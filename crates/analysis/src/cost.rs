@@ -1,0 +1,192 @@
+//! Exact expected-scan-count computation (`Time(S, C, Q)`).
+
+use bix_core::EncodingScheme;
+
+/// The paper's query classes over a one-component index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// `A = v`, all `v` in `0..C`.
+    Eq,
+    /// One-sided ranges: `[0, y]` for `0 < y < C−1` and `[x, C−1]` for
+    /// `0 < x < C−1` (equalities and the full domain excluded).
+    OneSided,
+    /// Two-sided ranges: `[x, y]` with `0 < x < y < C−1`.
+    TwoSided,
+    /// All range queries: `OneSided ∪ TwoSided`.
+    Range,
+}
+
+impl QueryClass {
+    /// The four classes in the paper's order.
+    pub const ALL: [QueryClass; 4] = [
+        QueryClass::Eq,
+        QueryClass::OneSided,
+        QueryClass::TwoSided,
+        QueryClass::Range,
+    ];
+
+    /// The paper's name for the class.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Eq => "EQ",
+            QueryClass::OneSided => "1RQ",
+            QueryClass::TwoSided => "2RQ",
+            QueryClass::Range => "RQ",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Enumerates the `(lo, hi)` interval queries of a class at cardinality `c`.
+pub fn queries_in_class(class: QueryClass, c: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    match class {
+        QueryClass::Eq => {
+            out.extend((0..c).map(|v| (v, v)));
+        }
+        QueryClass::OneSided => {
+            out.extend((1..c - 1).map(|y| (0, y)));
+            out.extend((1..c - 1).map(|x| (x, c - 1)));
+        }
+        QueryClass::TwoSided => {
+            for x in 1..c - 1 {
+                for y in x + 1..c - 1 {
+                    out.push((x, y));
+                }
+            }
+        }
+        QueryClass::Range => {
+            out.extend(queries_in_class(QueryClass::OneSided, c));
+            out.extend(queries_in_class(QueryClass::TwoSided, c));
+        }
+    }
+    out
+}
+
+/// `Time(S, C, Q)`: the expected number of bitmap scans to evaluate a
+/// uniformly random query of `class` on a one-component index with
+/// encoding `scheme` — computed exactly by enumeration.
+///
+/// Returns `NaN` for empty classes (e.g. 2RQ at `C < 4`).
+pub fn expected_scans(scheme: EncodingScheme, c: u64, class: QueryClass) -> f64 {
+    let queries = queries_in_class(class, c);
+    if queries.is_empty() {
+        return f64::NAN;
+    }
+    let total: usize = queries
+        .iter()
+        .map(|&(lo, hi)| scheme.expr_range(c, lo, hi, 0).scan_count())
+        .sum();
+    total as f64 / queries.len() as f64
+}
+
+/// Histogram of scan counts over a class: `hist[k]` = number of queries
+/// needing exactly `k` scans. Useful for verifying worst-case guarantees.
+pub fn scan_histogram(scheme: EncodingScheme, c: u64, class: QueryClass) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for (lo, hi) in queries_in_class(class, c) {
+        let scans = scheme.expr_range(c, lo, hi, 0).scan_count();
+        if hist.len() <= scans {
+            hist.resize(scans + 1, 0);
+        }
+        hist[scans] += 1;
+    }
+    hist
+}
+
+/// `Space(S, C)`: the number of bitmaps stored.
+pub fn space(scheme: EncodingScheme, c: u64) -> usize {
+    scheme.num_bitmaps(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sizes() {
+        let c = 10;
+        assert_eq!(queries_in_class(QueryClass::Eq, c).len(), 10);
+        assert_eq!(queries_in_class(QueryClass::OneSided, c).len(), 16);
+        assert_eq!(queries_in_class(QueryClass::TwoSided, c).len(), 28);
+        assert_eq!(queries_in_class(QueryClass::Range, c).len(), 44);
+    }
+
+    #[test]
+    fn equality_encoding_eq_time_is_one() {
+        for c in 3u64..=64 {
+            assert_eq!(expected_scans(EncodingScheme::Equality, c, QueryClass::Eq), 1.0);
+        }
+    }
+
+    #[test]
+    fn range_encoding_one_sided_time_is_one() {
+        for c in 4u64..=64 {
+            assert_eq!(
+                expected_scans(EncodingScheme::Range, c, QueryClass::OneSided),
+                1.0
+            );
+        }
+    }
+
+    #[test]
+    fn range_encoding_eq_time_approaches_two() {
+        // eq(0) and eq(C-1) take 1 scan, the C-2 middle values take 2:
+        // expected (2C−2)/C.
+        let c = 10u64;
+        let expect = (2.0 * c as f64 - 2.0) / c as f64;
+        assert!((expected_scans(EncodingScheme::Range, c, QueryClass::Eq) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_encoding_times_are_at_most_two() {
+        for c in 4u64..=64 {
+            for class in QueryClass::ALL {
+                let t = expected_scans(EncodingScheme::Interval, c, class);
+                assert!(t <= 2.0 + 1e-12, "I C={c} {class}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_beats_range_on_space_ties_on_two_sided_time() {
+        // §4.2: I and R are equally query-efficient for EQ and 2RQ, and I
+        // needs about half the bitmaps.
+        for c in 6u64..=64 {
+            let ti = expected_scans(EncodingScheme::Interval, c, QueryClass::TwoSided);
+            let tr = expected_scans(EncodingScheme::Range, c, QueryClass::TwoSided);
+            assert!(ti <= tr + 1e-12, "C={c}: I={ti} R={tr}");
+            assert!(space(EncodingScheme::Interval, c) < space(EncodingScheme::Range, c));
+        }
+    }
+
+    #[test]
+    fn equality_encoding_range_time_grows_linearly() {
+        // Equation (1) costs ~C/4 scans on average for ranges.
+        let t = expected_scans(EncodingScheme::Equality, 50, QueryClass::Range);
+        assert!(t > 5.0, "expected linear growth, got {t}");
+    }
+
+    #[test]
+    fn scan_histogram_matches_expected_scans() {
+        for scheme in EncodingScheme::BASIC {
+            let c = 12;
+            let hist = scan_histogram(scheme, c, QueryClass::Range);
+            let total_queries: usize = hist.iter().sum();
+            let weighted: usize = hist.iter().enumerate().map(|(k, &n)| k * n).sum();
+            let mean = weighted as f64 / total_queries as f64;
+            let direct = expected_scans(scheme, c, QueryClass::Range);
+            assert!((mean - direct).abs() < 1e-12, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn empty_class_yields_nan() {
+        assert!(expected_scans(EncodingScheme::Equality, 3, QueryClass::TwoSided).is_nan());
+    }
+}

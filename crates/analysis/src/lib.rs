@@ -1,0 +1,36 @@
+//! Analytic space-time cost model and optimality analysis for bitmap
+//! encoding schemes (§3, §4.1, Table 1, Figure 3 of the paper).
+//!
+//! The paper measures an encoding scheme `S` at cardinality `C` by
+//!
+//! * `Space(S, C)` — the number of bitmaps stored, and
+//! * `Time(S, C, Q)` — the *expected* number of bitmap scans to evaluate a
+//!   query drawn uniformly from class `Q ∈ {EQ, 1RQ, 2RQ, RQ}`,
+//!
+//! and calls `S` **optimal** for `Q` if no other *complete* scheme weakly
+//! dominates it on both axes with one strict inequality.
+//!
+//! This crate computes `Time` exactly (by enumerating the query class and
+//! counting distinct leaves of each evaluation expression), reproduces the
+//! paper's Table 1 by brute-force search over all complete encoding
+//! schemes at small `C`, extracts Pareto frontiers (Figure 3), and
+//! reproduces the §4.2 update-cost comparison.
+
+#![warn(missing_docs)]
+
+mod advisor;
+mod cost;
+mod optimality;
+mod pareto;
+mod update;
+
+pub use advisor::{advise, best_bases_for_workload, knee_design, Advice, Design, Workload};
+pub use cost::{expected_scans, queries_in_class, scan_histogram, space, QueryClass};
+pub use optimality::{
+    encoding_as_scheme, find_dominating, is_complete, is_optimal, min_scans, performance_field,
+    scheme_time, FieldPoint, SchemeBitmaps,
+};
+pub use pareto::{pareto_frontier, PerfPoint};
+pub use update::{update_cost, UpdateCost};
+
+pub use bix_core::EncodingScheme;

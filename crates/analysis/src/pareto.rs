@@ -1,0 +1,111 @@
+//! Pareto-frontier extraction (Figure 3's space-time performance field).
+
+/// One index design plotted in the space-time field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// Label (encoding symbol, base vector, codec, …).
+    pub name: String,
+    /// Space cost (bitmap count or bytes).
+    pub space: f64,
+    /// Time cost (expected scans or seconds).
+    pub time: f64,
+}
+
+impl PerfPoint {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, space: f64, time: f64) -> Self {
+        PerfPoint {
+            name: name.into(),
+            space,
+            time,
+        }
+    }
+
+    /// True if `self` weakly dominates `other` with one strict inequality
+    /// (the paper's optimality-breaking relation).
+    pub fn dominates(&self, other: &PerfPoint) -> bool {
+        self.space <= other.space
+            && self.time <= other.time
+            && (self.space < other.space || self.time < other.time)
+    }
+}
+
+/// Returns the Pareto-optimal subset (the "black points" of Figure 3),
+/// sorted by ascending space. Duplicate coordinates are kept — they are
+/// mutually non-dominating.
+pub fn pareto_frontier(points: &[PerfPoint]) -> Vec<PerfPoint> {
+    let mut frontier: Vec<PerfPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| {
+        a.space
+            .partial_cmp(&b.space)
+            .expect("costs are finite")
+            .then(a.time.partial_cmp(&b.time).expect("costs are finite"))
+    });
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_one_strict_improvement() {
+        let a = PerfPoint::new("a", 1.0, 1.0);
+        let b = PerfPoint::new("b", 1.0, 1.0);
+        assert!(!a.dominates(&b));
+        let c = PerfPoint::new("c", 1.0, 0.5);
+        assert!(c.dominates(&a));
+        assert!(!a.dominates(&c));
+    }
+
+    #[test]
+    fn frontier_keeps_incomparable_points() {
+        let points = vec![
+            PerfPoint::new("cheap-slow", 1.0, 10.0),
+            PerfPoint::new("balanced", 5.0, 5.0),
+            PerfPoint::new("big-fast", 10.0, 1.0),
+            PerfPoint::new("dominated", 6.0, 6.0),
+            PerfPoint::new("strictly-worse", 12.0, 12.0),
+        ];
+        let frontier = pareto_frontier(&points);
+        let names: Vec<&str> = frontier.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["cheap-slow", "balanced", "big-fast"]);
+    }
+
+    #[test]
+    fn frontier_of_empty_is_empty() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let p = vec![PerfPoint::new("only", 3.0, 3.0)];
+        assert_eq!(pareto_frontier(&p), p);
+    }
+
+    #[test]
+    fn interval_range_equality_are_mutually_incomparable_in_their_strengths() {
+        // E is fastest for EQ, I smallest, R fastest for 1RQ: a frontier
+        // over (space, EQ-time) keeps E and I.
+        use bix_core::EncodingScheme;
+        let c = 20;
+        let points: Vec<PerfPoint> = EncodingScheme::BASIC
+            .iter()
+            .map(|&s| {
+                PerfPoint::new(
+                    s.symbol(),
+                    crate::space(s, c) as f64,
+                    crate::expected_scans(s, c, crate::QueryClass::Eq),
+                )
+            })
+            .collect();
+        let frontier = pareto_frontier(&points);
+        let names: Vec<&str> = frontier.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"E"));
+        assert!(names.contains(&"I"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Codec microbenchmarks: BBC vs WAH vs raw, across bitmap densities.
+//!
+//! The density sweep explains the paper's Figure 6(b): equality bitmaps
+//! (sparse) compress an order of magnitude better than interval bitmaps
+//! (half-dense), and decompression CPU scales with decoded size.
+
+use bix_bitvec::Bitvec;
+use bix_compress::{Bbc, BitmapCodec, Raw, Wah};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const BITS: usize = 1 << 20;
+
+/// A bitmap resembling one slot of an index over a column with the given
+/// selectivity: `density` of the rows set, clustered in short runs.
+fn bitmap_with_density(density: f64) -> Bitvec {
+    let mut bv = Bitvec::zeros(BITS);
+    let period = (1.0 / density).round() as usize;
+    let mut x = 0x12345678u64;
+    for i in (0..BITS).step_by(period.max(1)) {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Short run of 1-4 bits, like records with equal values loaded together.
+        let run = 1 + (x % 4) as usize;
+        for j in 0..run {
+            if i + j < BITS {
+                bv.set(i + j, true);
+            }
+        }
+    }
+    bv
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let codecs: Vec<(&str, Box<dyn BitmapCodec>)> = vec![
+        ("raw", Box::new(Raw)),
+        ("bbc", Box::new(Bbc)),
+        ("wah", Box::new(Wah)),
+    ];
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes((BITS / 8) as u64));
+    for density in [0.02f64, 0.5] {
+        let bv = bitmap_with_density(density);
+        for (name, codec) in &codecs {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("density_{density}")),
+                &bv,
+                |bench, bv| bench.iter(|| black_box(codec.compress(black_box(bv)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let codecs: Vec<(&str, Box<dyn BitmapCodec>)> = vec![
+        ("raw", Box::new(Raw)),
+        ("bbc", Box::new(Bbc)),
+        ("wah", Box::new(Wah)),
+    ];
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes((BITS / 8) as u64));
+    for density in [0.02f64, 0.5] {
+        let bv = bitmap_with_density(density);
+        for (name, codec) in &codecs {
+            let compressed = codec.compress(&bv);
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("density_{density}")),
+                &compressed,
+                |bench, data| bench.iter(|| black_box(codec.decompress(black_box(data), BITS))),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Compressed-domain AND vs decompress-then-AND-then-compress: the
+/// classic BBC advantage, largest on sparse (runny) bitmaps.
+fn bench_compressed_domain_ops(c: &mut Criterion) {
+    use bix_compress::{bbc_binary, BitOp};
+    let mut group = c.benchmark_group("bbc_domain_ops");
+    for density in [0.02f64, 0.5] {
+        let a = bitmap_with_density(density);
+        let b = bitmap_with_density(density * 0.7);
+        let ca = Bbc.compress(&a);
+        let cb = Bbc.compress(&b);
+        group.bench_function(BenchmarkId::new("compressed_and", format!("d{density}")), |bench| {
+            bench.iter(|| black_box(bbc_binary(black_box(&ca), black_box(&cb), BitOp::And)))
+        });
+        group.bench_function(
+            BenchmarkId::new("decompress_and_recompress", format!("d{density}")),
+            |bench| {
+                bench.iter(|| {
+                    let x = Bbc.decompress(black_box(&ca), BITS);
+                    let y = Bbc.decompress(black_box(&cb), BITS);
+                    black_box(Bbc.compress(&x.and(&y)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_decompress,
+    bench_compressed_domain_ops
+);
+criterion_main!(benches);

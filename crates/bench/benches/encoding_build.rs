@@ -1,0 +1,87 @@
+//! Index-construction benchmarks: one per encoding scheme, plus the
+//! decomposition ablation (1 vs 2 components).
+
+use bix_core::{CodecKind, EncodingScheme, IndexConfig};
+use bix_workload::DatasetSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const ROWS: usize = 100_000;
+
+fn bench_build_per_scheme(c: &mut Criterion) {
+    let data = DatasetSpec {
+        rows: ROWS,
+        cardinality: 50,
+        zipf_z: 1.0,
+        seed: 42,
+    }
+    .generate();
+    let mut group = c.benchmark_group("index_build");
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.sample_size(10);
+    for scheme in EncodingScheme::ALL {
+        let config = IndexConfig::one_component(50, scheme);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.symbol()),
+            &config,
+            |bench, config| {
+                bench.iter(|| {
+                    black_box(bix_core::BitmapIndex::build(black_box(&data.values), config))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_build_by_components(c: &mut Criterion) {
+    let data = DatasetSpec {
+        rows: ROWS,
+        cardinality: 50,
+        zipf_z: 1.0,
+        seed: 42,
+    }
+    .generate();
+    let mut group = c.benchmark_group("index_build_components");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let config = IndexConfig::n_components(50, EncodingScheme::Interval, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &config, |bench, config| {
+            bench.iter(|| black_box(bix_core::BitmapIndex::build(black_box(&data.values), config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_compressed(c: &mut Criterion) {
+    let data = DatasetSpec {
+        rows: ROWS,
+        cardinality: 50,
+        zipf_z: 2.0,
+        seed: 42,
+    }
+    .generate();
+    let mut group = c.benchmark_group("index_build_codec");
+    group.sample_size(10);
+    for codec in [CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah] {
+        let config = IndexConfig::one_component(50, EncodingScheme::Equality).with_codec(codec);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            &config,
+            |bench, config| {
+                bench.iter(|| {
+                    black_box(bix_core::BitmapIndex::build(black_box(&data.values), config))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_per_scheme,
+    bench_build_by_components,
+    bench_build_compressed
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 6: space-efficiency and compressibility of the encoding schemes
+//! (C = 50, z = 1) as a function of the number of index components `n`.
+//!
+//! Reproduces all three panels:
+//!
+//! * **(a)** uncompressed n-component index size ÷ uncompressed
+//!   one-component equality-encoded index size;
+//! * **(b)** compressed size ÷ own uncompressed size (compressibility);
+//! * **(c)** compressed size ÷ uncompressed one-component equality index.
+//!
+//! For each `(scheme, n)` the space-optimal base vector is used — the
+//! paper's "best space ratio per n" selection rule.
+
+use bix_bench::{experiment, ExperimentParams, Table};
+use bix_core::{CodecKind, EncodingScheme};
+
+fn main() {
+    let params = ExperimentParams::from_args();
+    let data = params.dataset(1.0);
+    let c = params.cardinality;
+
+    // The base case: uncompressed one-component equality index.
+    let (_, base) =
+        experiment::build_index(&data.values, c, EncodingScheme::Equality, 1, CodecKind::Raw);
+    let base_bytes = base.uncompressed_bytes as f64;
+
+    println!(
+        "# Figure 6: space-efficiency and compressibility (C={}, z=1, rows={})",
+        c, params.rows
+    );
+    let mut table = Table::new(&[
+        "scheme",
+        "n",
+        "bitmaps",
+        "fig6a_uncomp_ratio",
+        "fig6b_comp_over_uncomp",
+        "fig6c_comp_ratio",
+    ]);
+
+    for scheme in EncodingScheme::ALL {
+        for n in experiment::valid_component_counts(c, 6) {
+            let (_, m) = experiment::build_index(&data.values, c, scheme, n, params.codec);
+            let uncomp_ratio = m.uncompressed_bytes as f64 / base_bytes;
+            let comp_over_uncomp = m.stored_bytes as f64 / m.uncompressed_bytes as f64;
+            let comp_ratio = m.stored_bytes as f64 / base_bytes;
+            table.row(vec![
+                scheme.symbol().into(),
+                n.to_string(),
+                m.bitmaps.to_string(),
+                format!("{uncomp_ratio:.4}"),
+                format!("{comp_over_uncomp:.4}"),
+                format!("{comp_ratio:.4}"),
+            ]);
+        }
+    }
+    table.print(params.csv);
+}

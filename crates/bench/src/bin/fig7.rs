@@ -1,0 +1,42 @@
+//! Figure 7: effect of data skew on the space-efficiency of compressed
+//! indexes (C = 50), for n = 1, 2, 5 components.
+//!
+//! Reports the ratio of the compressed n-component index size to the
+//! uncompressed one-component equality-encoded index size, for each basic
+//! encoding scheme at Zipf skew z ∈ {0, 1, 2, 3}.
+
+use bix_bench::{experiment, ExperimentParams, Table};
+use bix_core::{CodecKind, EncodingScheme};
+
+fn main() {
+    let params = ExperimentParams::from_args();
+    let c = params.cardinality;
+
+    println!(
+        "# Figure 7: skew vs compressed space (C={}, rows={})",
+        c, params.rows
+    );
+    let mut table = Table::new(&["z", "scheme", "n", "compressed_ratio"]);
+
+    for z in [0.0f64, 1.0, 2.0, 3.0] {
+        let data = params.dataset(z);
+        let (_, base) =
+            experiment::build_index(&data.values, c, EncodingScheme::Equality, 1, CodecKind::Raw);
+        let base_bytes = base.uncompressed_bytes as f64;
+        for scheme in EncodingScheme::BASIC {
+            for n in [1usize, 2, 5] {
+                if !experiment::valid_component_counts(c, 8).contains(&n) {
+                    continue;
+                }
+                let (_, m) = experiment::build_index(&data.values, c, scheme, n, params.codec);
+                table.row(vec![
+                    format!("{z}"),
+                    scheme.symbol().into(),
+                    n.to_string(),
+                    format!("{:.4}", m.stored_bytes as f64 / base_bytes),
+                ]);
+            }
+        }
+    }
+    table.print(params.csv);
+}

@@ -1,0 +1,61 @@
+//! Figure 8: space-time tradeoff of the encoding schemes (C = 50, z = 1)
+//! for the paper's 8 membership-query sets.
+//!
+//! For every query set `(N_int, N_equ)` and every `(scheme, n, codec)`
+//! index design, reports the index space and the average processing time
+//! (simulated I/O + measured CPU) over 10 random queries — the points the
+//! paper plots in its 3×3 grid. Shapes to compare against the paper:
+//! interval encoding has the best space-time tradeoff except for
+//! equality-rich query sets (`N_equ = N_int`), where equality encoding
+//! wins.
+
+use bix_bench::{experiment, ExperimentParams, Table};
+use bix_core::{CodecKind, EncodingScheme};
+use bix_workload::QuerySetSpec;
+
+fn main() {
+    let params = ExperimentParams::from_args();
+    let c = params.cardinality;
+    let data = params.dataset(1.0);
+
+    println!(
+        "# Figure 8: space-time tradeoff (C={}, z=1, rows={}, 10 queries/set)",
+        c, params.rows
+    );
+    let mut table = Table::new(&[
+        "n_int",
+        "n_equ",
+        "scheme",
+        "n",
+        "codec",
+        "space_bytes",
+        "avg_time_ms",
+        "avg_scans",
+    ]);
+
+    let component_counts = experiment::valid_component_counts(c, 3);
+    for spec in QuerySetSpec::paper_query_sets() {
+        let queries = spec.generate(c, 10, params.seed);
+        for scheme in EncodingScheme::ALL {
+            for &n in &component_counts {
+                for codec in [CodecKind::Raw, params.codec] {
+                    let (mut index, m) =
+                        experiment::build_index(&data.values, c, scheme, n, codec);
+                    let timing =
+                        experiment::run_query_set(&mut index, &queries, &params);
+                    table.row(vec![
+                        spec.n_int.to_string(),
+                        spec.n_equ.to_string(),
+                        scheme.symbol().into(),
+                        n.to_string(),
+                        codec.name().into(),
+                        m.stored_bytes.to_string(),
+                        format!("{:.3}", timing.avg_seconds * 1e3),
+                        format!("{:.1}", timing.avg_scans),
+                    ]);
+                }
+            }
+        }
+    }
+    table.print(params.csv);
+}

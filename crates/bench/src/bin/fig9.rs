@@ -1,0 +1,62 @@
+//! Figure 9: effect of data skew on the space-time tradeoff (C = 50).
+//!
+//! For z ∈ {0, 1, 2, 3}, reports index space and the processing time
+//! averaged over *all* queries in all 8 query sets (the paper's Figure 9
+//! methodology), for each `(scheme, n, codec)`. Shapes to compare:
+//! uncompressed indexes win at low-to-medium skew and interval encoding is
+//! the overall winner there; compressed indexes win at medium-to-high
+//! skew.
+
+use bix_bench::{experiment, ExperimentParams, Table};
+use bix_core::{CodecKind, EncodingScheme};
+use bix_workload::QuerySetSpec;
+
+fn main() {
+    let params = ExperimentParams::from_args();
+    let c = params.cardinality;
+
+    println!(
+        "# Figure 9: skew vs space-time (C={}, rows={}, 8 query sets x 10 queries)",
+        c, params.rows
+    );
+    let mut table = Table::new(&[
+        "z",
+        "scheme",
+        "n",
+        "codec",
+        "space_bytes",
+        "avg_time_ms",
+        "avg_scans",
+    ]);
+
+    // All 80 queries, shared across skews (queries are data-independent).
+    let all_queries: Vec<bix_workload::GeneratedQuery> = QuerySetSpec::paper_query_sets()
+        .into_iter()
+        .flat_map(|spec| spec.generate(c, 10, params.seed))
+        .collect();
+
+    let component_counts = experiment::valid_component_counts(c, 3);
+    for z in [0.0f64, 1.0, 2.0, 3.0] {
+        let data = params.dataset(z);
+        for scheme in EncodingScheme::ALL {
+            for &n in &component_counts {
+                for codec in [CodecKind::Raw, params.codec] {
+                    let (mut index, m) =
+                        experiment::build_index(&data.values, c, scheme, n, codec);
+                    let timing =
+                        experiment::run_query_set(&mut index, &all_queries, &params);
+                    table.row(vec![
+                        format!("{z}"),
+                        scheme.symbol().into(),
+                        n.to_string(),
+                        codec.name().into(),
+                        m.stored_bytes.to_string(),
+                        format!("{:.3}", timing.avg_seconds * 1e3),
+                        format!("{:.1}", timing.avg_scans),
+                    ]);
+                }
+            }
+        }
+    }
+    table.print(params.csv);
+}

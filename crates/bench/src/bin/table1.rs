@@ -1,0 +1,132 @@
+//! Table 1 (Theorems 3.1 / 4.1): optimality of the encoding schemes per
+//! query class, verified by exhaustive search at small C, plus the
+//! analytic space/time numbers behind it, the Figure 3 Pareto field, and
+//! the §4.2 update-cost comparison.
+//!
+//! The brute-force verification enumerates *all* complete encoding
+//! schemes (bitmap sets) at a given cardinality and checks whether any
+//! weakly dominates the named scheme; it is exponential in C and run at
+//! C ∈ {4, 5, 6}. The expected-scan table is exact at any C.
+
+use bix_analysis::{
+    encoding_as_scheme, expected_scans, find_dominating, pareto_frontier, performance_field,
+    scheme_time, space, update_cost, PerfPoint, QueryClass,
+};
+use bix_bench::{ExperimentParams, Table};
+use bix_core::EncodingScheme;
+
+fn main() {
+    let params = ExperimentParams::from_args();
+    let c = params.cardinality;
+
+    // --- Expected scans and space at the experiment cardinality ---
+    println!("# Time(S, C, Q): expected bitmap scans (C={c}) and Space(S, C)");
+    let mut cost_table = Table::new(&["scheme", "space_bitmaps", "EQ", "1RQ", "2RQ", "RQ"]);
+    for scheme in EncodingScheme::ALL {
+        let mut row = vec![scheme.symbol().to_string(), space(scheme, c).to_string()];
+        for class in QueryClass::ALL {
+            row.push(format!("{:.3}", expected_scans(scheme, c, class)));
+        }
+        cost_table.row(row);
+    }
+    cost_table.print(params.csv);
+
+    // --- Figure 3: the Pareto field over (space, RQ time) ---
+    println!("\n# Figure 3: space-time field at C={c} (query class RQ)");
+    let points: Vec<PerfPoint> = EncodingScheme::ALL
+        .iter()
+        .map(|&s| {
+            PerfPoint::new(
+                s.symbol(),
+                space(s, c) as f64,
+                expected_scans(s, c, QueryClass::Range),
+            )
+        })
+        .collect();
+    let frontier = pareto_frontier(&points);
+    let mut pareto_table = Table::new(&["scheme", "space", "rq_time", "pareto_optimal"]);
+    for p in &points {
+        let optimal = frontier.iter().any(|f| f.name == p.name);
+        pareto_table.row(vec![
+            p.name.clone(),
+            format!("{:.0}", p.space),
+            format!("{:.3}", p.time),
+            optimal.to_string(),
+        ]);
+    }
+    pareto_table.print(params.csv);
+
+    // --- Figure 3 proper: the exhaustive field over ALL complete schemes
+    // at a small cardinality (each point may host many schemes) ---
+    println!("\n# Figure 3 (exhaustive): all complete schemes, C=5, <=4 bitmaps, class RQ");
+    let mut field_table = Table::new(&["space", "rq_time", "schemes_here", "pareto_optimal"]);
+    for p in performance_field(5, 4, QueryClass::Range) {
+        field_table.row(vec![
+            p.space.to_string(),
+            format!("{:.3}", p.time),
+            p.schemes.to_string(),
+            p.pareto_optimal.to_string(),
+        ]);
+    }
+    field_table.print(params.csv);
+
+    // --- Table 1 proper: brute-force optimality at small C ---
+    println!("\n# Table 1: optimality of E / R / I, exhaustively verified");
+    println!("# (x = not optimal, v = optimal; paper claims in parentheses)");
+    let paper_claims = |scheme: EncodingScheme, class: QueryClass, c: u64| -> &'static str {
+        match (scheme, class) {
+            (EncodingScheme::Equality, QueryClass::Eq) => "v",
+            (EncodingScheme::Equality, _) => "x",
+            (EncodingScheme::Range, QueryClass::Eq) => {
+                if c <= 5 {
+                    "v"
+                } else {
+                    "x"
+                }
+            }
+            (EncodingScheme::Range, QueryClass::TwoSided) => "x",
+            (EncodingScheme::Range, _) => "v",
+            (EncodingScheme::Interval, QueryClass::Eq) => "?",
+            (EncodingScheme::Interval, _) => "v",
+            _ => "?",
+        }
+    };
+    let mut t1 = Table::new(&["C", "scheme", "EQ", "1RQ", "2RQ", "RQ"]);
+    for check_c in [4u64, 5, 6] {
+        for scheme in EncodingScheme::BASIC {
+            let bitmaps = encoding_as_scheme(scheme, check_c);
+            let mut row = vec![check_c.to_string(), scheme.symbol().to_string()];
+            for class in QueryClass::ALL {
+                let cell = match scheme_time(&bitmaps, check_c, class) {
+                    Some(time) => {
+                        let optimal =
+                            find_dominating(bitmaps.len(), time, check_c, class).is_none();
+                        format!(
+                            "{} ({})",
+                            if optimal { "v" } else { "x" },
+                            paper_claims(scheme, class, check_c)
+                        )
+                    }
+                    None => "-".to_string(),
+                };
+                row.push(cell);
+            }
+            t1.row(row);
+        }
+    }
+    t1.print(params.csv);
+
+    // --- §4.2: update costs ---
+    println!("\n# Update cost per inserted record (C={c}): bitmaps set to 1");
+    let mut ut = Table::new(&["scheme", "best", "expected", "worst"]);
+    for scheme in EncodingScheme::ALL {
+        let cost = update_cost(scheme, c);
+        ut.row(vec![
+            scheme.symbol().into(),
+            cost.best.to_string(),
+            format!("{:.2}", cost.expected),
+            cost.worst.to_string(),
+        ]);
+    }
+    ut.print(params.csv);
+}

@@ -1,0 +1,26 @@
+//! Shared machinery for the experiment harness binaries.
+//!
+//! Each binary regenerates one table or figure of the paper's §7
+//! evaluation (see DESIGN.md's experiment index). All binaries accept:
+//!
+//! * `--rows N` — records in the synthetic data set (default 100,000;
+//!   the paper used just over 6,000,000);
+//! * `--full` — paper-scale run (6,000,000 rows);
+//! * `--cardinality C` — attribute cardinality (default 50; the paper
+//!   also reports C = 200 as "similar");
+//! * `--seed S` — RNG seed (default 42);
+//! * `--csv` — machine-readable CSV instead of the human table.
+//!
+//! Timing methodology mirrors §7: the buffer pool is flushed before every
+//! query (the paper flushed the file-system cache), the pool is sized at
+//! 11 MB, evaluation is component-wise, and the reported processing time
+//! is simulated disk I/O (seek + transfer cost model) plus measured CPU
+//! time for bitmap operations and decompression.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod table;
+
+pub use experiment::{ExperimentParams, IndexMeasurement, QueryTiming};
+pub use table::Table;

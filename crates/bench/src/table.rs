@@ -1,0 +1,98 @@
+//! Aligned text tables and CSV output for the harness binaries.
+
+/// A simple column-aligned table that can also render as CSV.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as CSV (RFC-4180-ish; cells are expected not to contain
+    /// commas or quotes — experiment output never does).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = render(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints CSV or text depending on the flag.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            print!("{}", self.to_csv());
+        } else {
+            print!("{}", self.to_text());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_and_text_render() {
+        let mut t = Table::new(&["scheme", "n", "ratio"]);
+        t.row(vec!["I".into(), "1".into(), "0.50".into()]);
+        t.row(vec!["ER".into(), "2".into(), "1.94".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "scheme,n,ratio\nI,1,0.50\nER,2,1.94\n");
+        let text = t.to_text();
+        assert!(text.contains("scheme  n  ratio"));
+        assert!(text.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

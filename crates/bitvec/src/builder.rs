@@ -1,0 +1,137 @@
+//! Incremental construction of bit vectors.
+
+use crate::{Bitvec, WORD_BITS};
+
+/// Builds a [`Bitvec`] by appending bits, without knowing the final length
+/// up front. Used by index construction, which appends one bit per record.
+#[derive(Default)]
+pub struct BitvecBuilder {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitvecBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitvecBuilder {
+            words: Vec::with_capacity(bits.div_ceil(WORD_BITS)),
+            len: 0,
+        }
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let offset = self.len % WORD_BITS;
+        if offset == 0 {
+            self.words.push(0);
+        }
+        if bit {
+            *self.words.last_mut().expect("just pushed") |= 1u64 << offset;
+        }
+        self.len += 1;
+    }
+
+    /// Appends `n` copies of `bit`.
+    pub fn push_run(&mut self, bit: bool, n: usize) {
+        // Fast path: fill whole words once aligned.
+        let mut remaining = n;
+        while remaining > 0 && !self.len.is_multiple_of(WORD_BITS) {
+            self.push(bit);
+            remaining -= 1;
+        }
+        let fill = if bit { u64::MAX } else { 0 };
+        while remaining >= WORD_BITS {
+            self.words.push(fill);
+            self.len += WORD_BITS;
+            remaining -= WORD_BITS;
+        }
+        for _ in 0..remaining {
+            self.push(bit);
+        }
+    }
+
+    /// Number of bits pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Finalizes into a [`Bitvec`].
+    pub fn finish(self) -> Bitvec {
+        let mut bv = Bitvec {
+            words: self.words,
+            len: self.len,
+        };
+        bv.mask_tail();
+        bv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_builds_expected_vector() {
+        let mut b = BitvecBuilder::new();
+        for i in 0..100 {
+            b.push(i % 7 == 0);
+        }
+        let bv = b.finish();
+        assert_eq!(bv.len(), 100);
+        for i in 0..100 {
+            assert_eq!(bv.get(i), i % 7 == 0);
+        }
+    }
+
+    #[test]
+    fn push_run_matches_individual_pushes() {
+        let mut a = BitvecBuilder::new();
+        a.push(true);
+        a.push_run(false, 70);
+        a.push_run(true, 130);
+        a.push(false);
+        let fast = a.finish();
+
+        let mut b = BitvecBuilder::new();
+        b.push(true);
+        for _ in 0..70 {
+            b.push(false);
+        }
+        for _ in 0..130 {
+            b.push(true);
+        }
+        b.push(false);
+        let slow = b.finish();
+
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 202);
+        assert_eq!(fast.count_ones(), 131);
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_empty_vector() {
+        let bv = BitvecBuilder::new().finish();
+        assert!(bv.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = BitvecBuilder::with_capacity(1000);
+        b.push(true);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        let bv = b.finish();
+        assert!(bv.get(0));
+    }
+}

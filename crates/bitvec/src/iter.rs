@@ -1,0 +1,112 @@
+//! Iterators over bit vectors.
+
+use crate::{Bitvec, WORD_BITS};
+
+/// Iterator over the positions of set bits, ascending.
+///
+/// Uses the classic "clear lowest set bit" word walk, so iteration cost is
+/// proportional to the number of set bits plus the number of words.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    /// Remaining bits of the word currently being drained.
+    current: u64,
+    /// Index of the word `current` was loaded from.
+    word_idx: usize,
+    len: usize,
+}
+
+impl<'a> Iterator for Ones<'a> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        let pos = self.word_idx * WORD_BITS + bit;
+        debug_assert!(pos < self.len);
+        Some(pos)
+    }
+}
+
+/// Iterator over fixed-size word blocks of a bit vector, used by bulk
+/// operations and serialization.
+pub struct Blocks<'a> {
+    words: std::slice::Iter<'a, u64>,
+}
+
+impl<'a> Iterator for Blocks<'a> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.words.next().copied()
+    }
+}
+
+impl Bitvec {
+    /// Iterates over the positions of set bits, ascending.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            current: self.words.first().copied().unwrap_or(0),
+            word_idx: 0,
+            len: self.len,
+        }
+    }
+
+    /// Iterates over the backing 64-bit words.
+    pub fn blocks(&self) -> Blocks<'_> {
+        Blocks {
+            words: self.words.iter(),
+        }
+    }
+
+    /// Collects the set-bit positions into a vector.
+    pub fn to_positions(&self) -> Vec<usize> {
+        self.ones().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_yields_ascending_positions() {
+        let bv = Bitvec::from_positions(200, &[0, 1, 63, 64, 65, 128, 199]);
+        assert_eq!(bv.to_positions(), vec![0, 1, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn ones_on_empty_and_zero() {
+        assert_eq!(Bitvec::zeros(0).to_positions(), Vec::<usize>::new());
+        assert_eq!(Bitvec::zeros(100).to_positions(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ones_on_full_vector() {
+        let bv = Bitvec::ones_vec(67);
+        assert_eq!(bv.to_positions(), (0..67).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ones_count_matches_count_ones() {
+        let bv = Bitvec::from_positions(500, &[3, 77, 123, 456, 499]);
+        assert_eq!(bv.ones().count(), bv.count_ones());
+    }
+
+    #[test]
+    fn blocks_covers_all_words() {
+        let bv = Bitvec::ones_vec(130);
+        let blocks: Vec<u64> = bv.blocks().collect();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0], u64::MAX);
+        assert_eq!(blocks[1], u64::MAX);
+        assert_eq!(blocks[2], 0b11); // only 2 bits in the tail word
+    }
+}

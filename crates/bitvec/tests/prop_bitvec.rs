@@ -1,0 +1,137 @@
+//! Property-based tests checking `Bitvec` against a `Vec<bool>` model.
+
+use bix_bitvec::{Bitvec, BitvecBuilder};
+use proptest::prelude::*;
+
+fn model_pair() -> impl Strategy<Value = (Vec<bool>, Vec<bool>)> {
+    (1usize..300).prop_flat_map(|len| {
+        (
+            prop::collection::vec(any::<bool>(), len),
+            prop::collection::vec(any::<bool>(), len),
+        )
+    })
+}
+
+fn apply(model: &[bool]) -> Bitvec {
+    Bitvec::from_bools(model)
+}
+
+proptest! {
+    #[test]
+    fn and_matches_model((a, b) in model_pair()) {
+        let expect: Vec<bool> = a.iter().zip(&b).map(|(x, y)| *x && *y).collect();
+        prop_assert_eq!(apply(&a).and(&apply(&b)), apply(&expect));
+    }
+
+    #[test]
+    fn or_matches_model((a, b) in model_pair()) {
+        let expect: Vec<bool> = a.iter().zip(&b).map(|(x, y)| *x || *y).collect();
+        prop_assert_eq!(apply(&a).or(&apply(&b)), apply(&expect));
+    }
+
+    #[test]
+    fn xor_matches_model((a, b) in model_pair()) {
+        let expect: Vec<bool> = a.iter().zip(&b).map(|(x, y)| *x != *y).collect();
+        prop_assert_eq!(apply(&a).xor(&apply(&b)), apply(&expect));
+    }
+
+    #[test]
+    fn not_matches_model(a in prop::collection::vec(any::<bool>(), 1..300)) {
+        let expect: Vec<bool> = a.iter().map(|x| !*x).collect();
+        prop_assert_eq!(apply(&a).not(), apply(&expect));
+    }
+
+    #[test]
+    fn count_ones_matches_model(a in prop::collection::vec(any::<bool>(), 0..300)) {
+        prop_assert_eq!(apply(&a).count_ones(), a.iter().filter(|&&x| x).count());
+    }
+
+    #[test]
+    fn ones_iterator_matches_model(a in prop::collection::vec(any::<bool>(), 0..300)) {
+        let expect: Vec<usize> = a
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| x.then_some(i))
+            .collect();
+        prop_assert_eq!(apply(&a).to_positions(), expect);
+    }
+
+    #[test]
+    fn byte_serialization_round_trips(a in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bv = apply(&a);
+        let back = Bitvec::from_bytes(bv.len(), &bv.to_bytes());
+        prop_assert_eq!(back, bv);
+    }
+
+    #[test]
+    fn rank_matches_model(a in prop::collection::vec(any::<bool>(), 1..300), frac in 0.0f64..=1.0) {
+        let bv = apply(&a);
+        let i = ((a.len() as f64) * frac) as usize;
+        let expect = a[..i].iter().filter(|&&x| x).count();
+        prop_assert_eq!(bv.rank(i), expect);
+    }
+
+    #[test]
+    fn select_inverts_rank(a in prop::collection::vec(any::<bool>(), 1..300)) {
+        let bv = apply(&a);
+        for k in 0..bv.count_ones() {
+            let pos = bv.select(k).unwrap();
+            prop_assert!(bv.get(pos));
+            prop_assert_eq!(bv.rank(pos), k);
+        }
+        prop_assert_eq!(bv.select(bv.count_ones()), None);
+    }
+
+    #[test]
+    fn get_bits_matches_model(
+        a in prop::collection::vec(any::<bool>(), 1..300),
+        pos_frac in 0.0f64..1.0,
+        n in 0usize..=64,
+    ) {
+        let bv = apply(&a);
+        let pos = ((a.len() as f64) * pos_frac) as usize;
+        let expect: u64 = (0..n)
+            .filter(|&b| pos + b < a.len() && a[pos + b])
+            .fold(0, |acc, b| acc | (1u64 << b));
+        prop_assert_eq!(bv.get_bits(pos, n), expect);
+    }
+
+    #[test]
+    fn set_bits_matches_model(
+        a in prop::collection::vec(any::<bool>(), 64..300),
+        pos_frac in 0.0f64..1.0,
+        n in 0usize..=64,
+        value in any::<u64>(),
+    ) {
+        let mut bv = apply(&a);
+        let pos = (((a.len() - 64) as f64) * pos_frac) as usize;
+        let mut model = a.clone();
+        for b in 0..n {
+            model[pos + b] = (value >> b) & 1 == 1;
+        }
+        bv.set_bits(pos, n, value);
+        prop_assert_eq!(bv, apply(&model));
+    }
+
+    #[test]
+    fn builder_matches_from_bools(a in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mut b = BitvecBuilder::new();
+        for &bit in &a {
+            b.push(bit);
+        }
+        prop_assert_eq!(b.finish(), apply(&a));
+    }
+
+    #[test]
+    fn absorption_laws((a, b) in model_pair()) {
+        let (x, y) = (apply(&a), apply(&b));
+        prop_assert_eq!(x.and(&x.or(&y)), x.clone());
+        prop_assert_eq!(x.or(&x.and(&y)), x);
+    }
+
+    #[test]
+    fn and_not_is_difference((a, b) in model_pair()) {
+        let (x, y) = (apply(&a), apply(&b));
+        prop_assert_eq!(x.and_not(&y), x.and(&y.not()));
+    }
+}

@@ -1,0 +1,488 @@
+//! Byte-aligned bitmap code (BBC).
+//!
+//! A clean-room byte-aligned fill/literal run-length code in the spirit of
+//! Antoshenkov's Byte-Aligned Bitmap Code. The compressed stream is a
+//! sequence of *atoms*. Each atom describes a **gap** (a run of identical
+//! fill bytes, all `0x00` or all `0xFF`) followed by a **literal tail**
+//! (bytes stored verbatim):
+//!
+//! ```text
+//! atom := header [gap-varint] [lit-varint] literal-bytes*
+//!
+//! header (1 byte):
+//!   bit  7    fill bit of the gap (0 => 0x00 bytes, 1 => 0xFF bytes)
+//!   bits 6..4 gap length in bytes, 0..=6; 7 => gap-varint follows
+//!   bits 3..0 literal byte count,  0..=14; 15 => lit-varint follows
+//! ```
+//!
+//! Varints are LEB128 (7 bits per byte, high bit = continuation) and encode
+//! the *full* value (not an offset), so the format is trivially seekable
+//! atom by atom. A gap run shorter than [`MIN_GAP`] bytes is cheaper to
+//! store as literals, so the encoder folds it into the literal tail.
+//!
+//! Decompression cost is linear in the *uncompressed* size — exactly the
+//! CPU-cost behaviour the paper's experiments charge for compressed
+//! bitmaps.
+
+use crate::runs::{ByteRun, ByteRunIter};
+use bix_bitvec::Bitvec;
+
+/// Minimum run length (in bytes) worth encoding as a gap. A gap costs at
+/// least one header byte, so runs of 1 byte never pay for themselves; runs
+/// of 2 break even only when they don't split a literal tail in two.
+pub const MIN_GAP: usize = 3;
+
+/// Maximum gap length representable in the header without a varint.
+const HDR_GAP_MAX: usize = 6;
+/// Maximum literal count representable in the header without a varint.
+const HDR_LIT_MAX: usize = 14;
+
+/// The BBC codec. Stateless; see the module docs for the format.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bbc;
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+        assert!(shift < 64, "varint overflow in BBC stream");
+    }
+}
+
+fn push_atom(out: &mut Vec<u8>, fill: bool, gap: usize, literals: &[u8]) {
+    let gap_code = if gap > HDR_GAP_MAX { 7 } else { gap as u8 };
+    let lit_code = if literals.len() > HDR_LIT_MAX {
+        15
+    } else {
+        literals.len() as u8
+    };
+    let header = (u8::from(fill) << 7) | (gap_code << 4) | lit_code;
+    out.push(header);
+    if gap_code == 7 {
+        push_varint(out, gap as u64);
+    }
+    if lit_code == 15 {
+        push_varint(out, literals.len() as u64);
+    }
+    out.extend_from_slice(literals);
+}
+
+/// A streaming BBC encoder: feed it fill runs and literal bytes in decoded
+/// order, get the canonical compressed stream out. Produces byte-identical
+/// output to [`Bbc::compress_bytes`] for the same logical content, which
+/// the compressed-domain operations ([`crate::bbc_binary`]) rely on.
+#[derive(Default)]
+pub struct BbcEncoder {
+    out: Vec<u8>,
+    /// Pending atom: gap then literal tail.
+    gap_fill: bool,
+    gap_len: usize,
+    literals: Vec<u8>,
+    /// Uncommitted fill run still being merged across pushes.
+    run_bit: bool,
+    run_len: usize,
+}
+
+impl BbcEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies the merged fill run as a gap or as literal bytes, the
+    /// same decision [`Bbc::compress_bytes`] makes per maximal run.
+    fn commit_run(&mut self) {
+        if self.run_len == 0 {
+            return;
+        }
+        if self.run_len >= MIN_GAP {
+            if self.gap_len > 0 || !self.literals.is_empty() {
+                push_atom(&mut self.out, self.gap_fill, self.gap_len, &self.literals);
+                self.literals.clear();
+            }
+            self.gap_fill = self.run_bit;
+            self.gap_len = self.run_len;
+        } else {
+            let byte = if self.run_bit { 0xFFu8 } else { 0x00 };
+            self.literals.extend(std::iter::repeat_n(byte, self.run_len));
+        }
+        self.run_len = 0;
+    }
+
+    /// Appends `len` fill bytes (`0xFF` if `bit`, else `0x00`).
+    pub fn push_fill(&mut self, bit: bool, len: usize) {
+        if len == 0 {
+            return;
+        }
+        if self.run_len > 0 && self.run_bit != bit {
+            self.commit_run();
+        }
+        self.run_bit = bit;
+        self.run_len += len;
+    }
+
+    /// Appends decoded bytes verbatim (fill bytes among them are merged
+    /// into runs exactly as the block compressor would).
+    pub fn push_literals(&mut self, bytes: &[u8]) {
+        for run in crate::ByteRunIter::new(bytes) {
+            match run {
+                crate::ByteRun::Fill { bit, len } => self.push_fill(bit, len),
+                crate::ByteRun::Literal(slice) => {
+                    self.commit_run();
+                    self.literals.extend_from_slice(slice);
+                }
+            }
+        }
+    }
+
+    /// Finalizes and returns the compressed stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.commit_run();
+        if self.gap_len > 0 || !self.literals.is_empty() {
+            push_atom(&mut self.out, self.gap_fill, self.gap_len, &self.literals);
+        }
+        self.out
+    }
+}
+
+impl Bbc {
+    /// Compresses a raw little-endian byte image of a bitmap.
+    pub fn compress_bytes(bytes: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        // Pending atom state: a gap followed by accumulating literals.
+        let mut gap_fill = false;
+        let mut gap_len = 0usize;
+        let mut literals: Vec<u8> = Vec::new();
+
+        for run in ByteRunIter::new(bytes) {
+            match run {
+                ByteRun::Fill { bit, len } if len >= MIN_GAP && literals.is_empty() => {
+                    if gap_len > 0 {
+                        // Two adjacent gaps of different fill: flush the first.
+                        push_atom(&mut out, gap_fill, gap_len, &[]);
+                    }
+                    gap_fill = bit;
+                    gap_len = len;
+                }
+                ByteRun::Fill { bit, len } if len >= MIN_GAP => {
+                    // A real gap terminates the current atom's literal tail.
+                    push_atom(&mut out, gap_fill, gap_len, &literals);
+                    literals.clear();
+                    gap_fill = bit;
+                    gap_len = len;
+                }
+                ByteRun::Fill { bit, len } => {
+                    // Short run: cheaper as literal bytes.
+                    let byte = if bit { 0xFF } else { 0x00 };
+                    literals.extend(std::iter::repeat_n(byte, len));
+                }
+                ByteRun::Literal(slice) => literals.extend_from_slice(slice),
+            }
+        }
+        if gap_len > 0 || !literals.is_empty() {
+            push_atom(&mut out, gap_fill, gap_len, &literals);
+        }
+        out
+    }
+
+    /// Decompresses into a raw byte image of exactly `n_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is malformed or does not decode to `n_bytes`.
+    pub fn decompress_bytes(stream: &[u8], n_bytes: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n_bytes);
+        let mut pos = 0usize;
+        while pos < stream.len() {
+            let header = stream[pos];
+            pos += 1;
+            let fill = header & 0x80 != 0;
+            let gap_code = (header >> 4) & 0x7;
+            let lit_code = header & 0xf;
+            let gap = if gap_code == 7 {
+                read_varint(stream, &mut pos) as usize
+            } else {
+                gap_code as usize
+            };
+            let lits = if lit_code == 15 {
+                read_varint(stream, &mut pos) as usize
+            } else {
+                lit_code as usize
+            };
+            out.extend(std::iter::repeat_n(if fill { 0xFFu8 } else { 0x00 }, gap));
+            assert!(
+                pos + lits <= stream.len(),
+                "BBC stream truncated: literal tail runs past end"
+            );
+            out.extend_from_slice(&stream[pos..pos + lits]);
+            pos += lits;
+        }
+        assert_eq!(
+            out.len(),
+            n_bytes,
+            "BBC stream decoded to wrong length: {} vs expected {}",
+            out.len(),
+            n_bytes
+        );
+        out
+    }
+
+    /// Iterates over the decoded byte runs of a compressed stream without
+    /// materializing the whole bitmap. Used by compressed-domain operations.
+    pub fn atoms(stream: &[u8]) -> BbcAtoms<'_> {
+        BbcAtoms {
+            stream,
+            pos: 0,
+            pending: None,
+        }
+    }
+}
+
+/// One decoded piece of a BBC stream: either a fill run or literal bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BbcPiece<'a> {
+    /// `len` bytes of `0x00` (bit = false) or `0xFF` (bit = true).
+    Fill {
+        /// The fill bit.
+        bit: bool,
+        /// Run length in bytes.
+        len: usize,
+    },
+    /// Bytes stored verbatim.
+    Literal(&'a [u8]),
+}
+
+/// Iterator over the [`BbcPiece`]s of a compressed stream.
+pub struct BbcAtoms<'a> {
+    stream: &'a [u8],
+    pos: usize,
+    /// Literal half of an atom whose gap half was already yielded.
+    pending: Option<BbcPiece<'a>>,
+}
+
+impl<'a> BbcAtoms<'a> {
+    /// Queue of at most two pieces per atom (gap then literal).
+    fn next_atom(&mut self) -> Option<(Option<BbcPiece<'a>>, Option<BbcPiece<'a>>)> {
+        if self.pos >= self.stream.len() {
+            return None;
+        }
+        let header = self.stream[self.pos];
+        self.pos += 1;
+        let fill = header & 0x80 != 0;
+        let gap_code = (header >> 4) & 0x7;
+        let lit_code = header & 0xf;
+        let gap = if gap_code == 7 {
+            read_varint(self.stream, &mut self.pos) as usize
+        } else {
+            gap_code as usize
+        };
+        let lits = if lit_code == 15 {
+            read_varint(self.stream, &mut self.pos) as usize
+        } else {
+            lit_code as usize
+        };
+        let gap_piece = (gap > 0).then_some(BbcPiece::Fill { bit: fill, len: gap });
+        let lit_piece = if lits > 0 {
+            let slice = &self.stream[self.pos..self.pos + lits];
+            self.pos += lits;
+            Some(BbcPiece::Literal(slice))
+        } else {
+            None
+        };
+        Some((gap_piece, lit_piece))
+    }
+}
+
+impl<'a> Iterator for BbcAtoms<'a> {
+    type Item = BbcPiece<'a>;
+
+    fn next(&mut self) -> Option<BbcPiece<'a>> {
+        // Flatten (gap, literal) pairs, skipping empty halves.
+        loop {
+            if let Some(p) = self.pending.take() {
+                return Some(p);
+            }
+            match self.next_atom() {
+                None => return None,
+                Some((gap, lit)) => match (gap, lit) {
+                    (Some(g), l) => {
+                        self.pending = l;
+                        return Some(g);
+                    }
+                    (None, Some(l)) => return Some(l),
+                    (None, None) => continue, // degenerate empty atom
+                },
+            }
+        }
+    }
+}
+
+impl super::codec::BitmapCodec for Bbc {
+    fn name(&self) -> &'static str {
+        "bbc"
+    }
+
+    fn kind(&self) -> crate::CodecKind {
+        crate::CodecKind::Bbc
+    }
+
+    fn compress(&self, bv: &Bitvec) -> Vec<u8> {
+        Bbc::compress_bytes(&bv.to_bytes())
+    }
+
+    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
+        let raw = Bbc::decompress_bytes(bytes, len_bits.div_ceil(8));
+        Bitvec::from_bytes(len_bits, &raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitmapCodec;
+
+    fn round_trip(bytes: &[u8]) {
+        let c = Bbc::compress_bytes(bytes);
+        let d = Bbc::decompress_bytes(&c, bytes.len());
+        assert_eq!(d, bytes);
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn all_zero_compresses_to_a_few_bytes() {
+        let bytes = vec![0u8; 100_000];
+        let c = Bbc::compress_bytes(&bytes);
+        assert!(c.len() <= 4, "100KB of zeros became {} bytes", c.len());
+        assert_eq!(Bbc::decompress_bytes(&c, bytes.len()), bytes);
+    }
+
+    #[test]
+    fn all_ones_compresses_to_a_few_bytes() {
+        let bytes = vec![0xFFu8; 100_000];
+        let c = Bbc::compress_bytes(&bytes);
+        assert!(c.len() <= 4);
+        assert_eq!(Bbc::decompress_bytes(&c, bytes.len()), bytes);
+    }
+
+    #[test]
+    fn literal_data_round_trips_with_small_overhead() {
+        let bytes: Vec<u8> = (0..1000u32).map(|i| (i * 37 % 251) as u8 | 1).collect();
+        let c = Bbc::compress_bytes(&bytes);
+        round_trip(&bytes);
+        // Incompressible data should cost at most a few percent extra.
+        assert!(c.len() <= bytes.len() + bytes.len() / 10 + 4);
+    }
+
+    #[test]
+    fn alternating_gaps_and_literals() {
+        let mut bytes = Vec::new();
+        for i in 0..50 {
+            bytes.extend(std::iter::repeat_n(0x00u8, 10 + i));
+            bytes.push(0xAB);
+            bytes.extend(std::iter::repeat_n(0xFFu8, 5 + i));
+            bytes.push(0x01);
+        }
+        round_trip(&bytes);
+    }
+
+    #[test]
+    fn short_fill_runs_are_folded_into_literals() {
+        // Runs of 1-2 fill bytes between literals must not explode into atoms.
+        let bytes = vec![0xAB, 0x00, 0xCD, 0x00, 0x00, 0xEF];
+        let c = Bbc::compress_bytes(&bytes);
+        // One atom: header + 6 literals.
+        assert_eq!(c.len(), 1 + 6);
+        round_trip(&bytes);
+    }
+
+    #[test]
+    fn long_gap_uses_varint() {
+        let mut bytes = vec![0u8; 1_000_000];
+        bytes.push(0xAA);
+        let c = Bbc::compress_bytes(&bytes);
+        assert!(c.len() < 10);
+        round_trip(&bytes);
+    }
+
+    #[test]
+    fn long_literal_tail_uses_varint() {
+        let bytes: Vec<u8> = (0..300u32).map(|i| (i % 97) as u8 + 1).collect();
+        round_trip(&bytes);
+    }
+
+    #[test]
+    fn adjacent_gaps_of_different_fill() {
+        let mut bytes = vec![0x00u8; 20];
+        bytes.extend(vec![0xFFu8; 20]);
+        bytes.extend(vec![0x00u8; 20]);
+        round_trip(&bytes);
+    }
+
+    #[test]
+    fn codec_trait_round_trips_bitvec() {
+        let bv = Bitvec::from_positions(5000, &[0, 1, 2, 2500, 4999]);
+        let codec = Bbc;
+        let c = codec.compress(&bv);
+        assert_eq!(codec.decompress(&c, bv.len()), bv);
+        assert!(c.len() < bv.byte_size());
+    }
+
+    #[test]
+    fn atoms_iterator_reconstructs_stream() {
+        let mut bytes = vec![0u8; 100];
+        bytes.extend_from_slice(&[1, 2, 3]);
+        bytes.extend(vec![0xFFu8; 50]);
+        let c = Bbc::compress_bytes(&bytes);
+        let mut rebuilt = Vec::new();
+        for piece in Bbc::atoms(&c) {
+            match piece {
+                BbcPiece::Fill { bit, len } => {
+                    rebuilt.extend(std::iter::repeat_n(if bit { 0xFFu8 } else { 0 }, len));
+                }
+                BbcPiece::Literal(s) => rebuilt.extend_from_slice(s),
+            }
+        }
+        assert_eq!(rebuilt, bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn wrong_expected_length_panics() {
+        let c = Bbc::compress_bytes(&[0u8; 10]);
+        let _ = Bbc::decompress_bytes(&c, 11);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Compressed-domain bitwise operations on BBC streams.
+//!
+//! Oracle 8's BBC implementation (and the bitmap-index literature since)
+//! performs AND/OR directly on the compressed representation: aligned
+//! fill runs combine in O(1) regardless of their length, and only literal
+//! regions pay a byte loop. This module implements that for our BBC
+//! format — two compressed streams in, one compressed stream out, no full
+//! decompression in between.
+//!
+//! Complement is also closed over the format: flip fill bits and literal
+//! bytes atom by atom.
+//!
+//! ```
+//! use bix_bitvec::Bitvec;
+//! use bix_compress::{bbc_binary, Bbc, BitOp, BitmapCodec};
+//!
+//! let a = Bitvec::from_positions(100_000, &[1, 2, 3]);
+//! let b = Bitvec::from_positions(100_000, &[3, 4, 50_000]);
+//! let ca = Bbc.compress(&a);
+//! let cb = Bbc.compress(&b);
+//! let c_and = bbc_binary(&ca, &cb, BitOp::And);
+//! assert_eq!(Bbc.decompress(&c_and, 100_000), a.and(&b));
+//! ```
+
+use crate::bbc::{BbcEncoder, BbcPiece};
+use crate::Bbc;
+
+/// The binary bitwise operations supported in the compressed domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitOp {
+    /// `a & b`
+    And,
+    /// `a | b`
+    Or,
+    /// `a ^ b`
+    Xor,
+    /// `a & !b`
+    AndNot,
+}
+
+impl BitOp {
+    #[inline]
+    fn apply(self, a: u8, b: u8) -> u8 {
+        match self {
+            BitOp::And => a & b,
+            BitOp::Or => a | b,
+            BitOp::Xor => a ^ b,
+            BitOp::AndNot => a & !b,
+        }
+    }
+
+    #[inline]
+    fn apply_bit(self, a: bool, b: bool) -> bool {
+        match self {
+            BitOp::And => a && b,
+            BitOp::Or => a || b,
+            BitOp::Xor => a != b,
+            BitOp::AndNot => a && !b,
+        }
+    }
+}
+
+/// A cursor over the decoded segments of a BBC stream, supporting partial
+/// consumption so two streams can be walked in lockstep.
+struct SegCursor<'a> {
+    atoms: crate::bbc::BbcAtoms<'a>,
+    current: Option<BbcPiece<'a>>,
+    /// Bytes of `current` already consumed.
+    offset: usize,
+}
+
+/// One aligned chunk handed to the combiner.
+enum Seg<'a> {
+    Fill(bool),
+    Literal(&'a [u8]),
+}
+
+impl<'a> SegCursor<'a> {
+    fn new(stream: &'a [u8]) -> Self {
+        let mut atoms = Bbc::atoms(stream);
+        let current = atoms.next();
+        SegCursor {
+            atoms,
+            current,
+            offset: 0,
+        }
+    }
+
+    /// Decoded bytes remaining in the current piece, or `None` at end.
+    fn remaining(&self) -> Option<usize> {
+        self.current.as_ref().map(|p| match p {
+            BbcPiece::Fill { len, .. } => len - self.offset,
+            BbcPiece::Literal(s) => s.len() - self.offset,
+        })
+    }
+
+    /// Consumes exactly `n` decoded bytes (must not exceed `remaining`).
+    fn take(&mut self, n: usize) -> Seg<'a> {
+        let piece = self.current.as_ref().expect("take past end of stream");
+        let seg = match piece {
+            BbcPiece::Fill { bit, .. } => Seg::Fill(*bit),
+            BbcPiece::Literal(s) => Seg::Literal(&s[self.offset..self.offset + n]),
+        };
+        self.offset += n;
+        let exhausted = match piece {
+            BbcPiece::Fill { len, .. } => self.offset == *len,
+            BbcPiece::Literal(s) => self.offset == s.len(),
+        };
+        if exhausted {
+            self.current = self.atoms.next();
+            self.offset = 0;
+        }
+        seg
+    }
+}
+
+/// Combines two BBC streams bitwise, producing a BBC stream. Both inputs
+/// must decode to the same byte length.
+///
+/// # Panics
+///
+/// Panics if the streams decode to different lengths.
+pub fn bbc_binary(a: &[u8], b: &[u8], op: BitOp) -> Vec<u8> {
+    let mut ca = SegCursor::new(a);
+    let mut cb = SegCursor::new(b);
+    let mut enc = BbcEncoder::new();
+    let mut scratch = Vec::new();
+
+    loop {
+        match (ca.remaining(), cb.remaining()) {
+            (None, None) => break,
+            (Some(ra), Some(rb)) => {
+                let n = ra.min(rb);
+                match (ca.take(n), cb.take(n)) {
+                    (Seg::Fill(x), Seg::Fill(y)) => enc.push_fill(op.apply_bit(x, y), n),
+                    (Seg::Fill(x), Seg::Literal(s)) => {
+                        let fx = if x { 0xFFu8 } else { 0x00 };
+                        scratch.clear();
+                        scratch.extend(s.iter().map(|&byte| op.apply(fx, byte)));
+                        enc.push_literals(&scratch);
+                    }
+                    (Seg::Literal(s), Seg::Fill(y)) => {
+                        let fy = if y { 0xFFu8 } else { 0x00 };
+                        scratch.clear();
+                        scratch.extend(s.iter().map(|&byte| op.apply(byte, fy)));
+                        enc.push_literals(&scratch);
+                    }
+                    (Seg::Literal(sa), Seg::Literal(sb)) => {
+                        scratch.clear();
+                        scratch.extend(sa.iter().zip(sb).map(|(&x, &y)| op.apply(x, y)));
+                        enc.push_literals(&scratch);
+                    }
+                }
+            }
+            _ => panic!("BBC streams decode to different lengths"),
+        }
+    }
+    enc.finish()
+}
+
+/// Complements a BBC stream over `len_bits` bits: fill bits and literal
+/// bytes flip atom by atom; bits past `len_bits` in the final byte are
+/// cleared so the result stays a canonical bitmap image.
+pub fn bbc_not(stream: &[u8], len_bits: usize) -> Vec<u8> {
+    let mut enc = BbcEncoder::new();
+    let n_bytes = len_bits.div_ceil(8);
+    let mut produced = 0usize;
+    let tail_bits = len_bits % 8;
+    let mut scratch = Vec::new();
+    for piece in Bbc::atoms(stream) {
+        match piece {
+            BbcPiece::Fill { bit, len } => {
+                // If the final (partial) byte falls inside this run, split
+                // it off so its stray bits can be masked.
+                let covers_tail = tail_bits != 0 && produced + len == n_bytes;
+                let body = if covers_tail { len - 1 } else { len };
+                enc.push_fill(!bit, body);
+                if covers_tail {
+                    let last = if bit { 0xFFu8 } else { 0x00 };
+                    enc.push_literals(&[!last & ((1u8 << tail_bits) - 1)]);
+                }
+                produced += len;
+            }
+            BbcPiece::Literal(s) => {
+                scratch.clear();
+                scratch.extend(s.iter().map(|&b| !b));
+                produced += s.len();
+                if tail_bits != 0 && produced == n_bytes {
+                    let last = scratch.last_mut().expect("non-empty literal");
+                    *last &= (1u8 << tail_bits) - 1;
+                }
+                enc.push_literals(&scratch);
+            }
+        }
+    }
+    assert_eq!(produced, n_bytes, "BBC stream shorter than len_bits");
+    enc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitmapCodec;
+    use bix_bitvec::Bitvec;
+
+    fn sample(seed: u64, bits: usize) -> Bitvec {
+        let mut bv = Bitvec::zeros(bits);
+        let mut x = seed | 1;
+        // Mix of long runs and scattered bits.
+        let mut pos = 0usize;
+        while pos < bits {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let run = (x % 97) as usize + 1;
+            if x.is_multiple_of(3) {
+                for i in 0..run.min(bits - pos) {
+                    bv.set(pos + i, true);
+                }
+            }
+            pos += run;
+        }
+        bv
+    }
+
+    #[test]
+    fn binary_ops_match_uncompressed_reference() {
+        for bits in [1usize, 7, 64, 1000, 10_000] {
+            let a = sample(1, bits);
+            let b = sample(2, bits);
+            let ca = Bbc.compress(&a);
+            let cb = Bbc.compress(&b);
+            for (op, expect) in [
+                (BitOp::And, a.and(&b)),
+                (BitOp::Or, a.or(&b)),
+                (BitOp::Xor, a.xor(&b)),
+                (BitOp::AndNot, a.and_not(&b)),
+            ] {
+                let combined = bbc_binary(&ca, &cb, op);
+                assert_eq!(
+                    Bbc.decompress(&combined, bits),
+                    expect,
+                    "{op:?} bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_canonical() {
+        // The compressed-domain result must equal compress(decompress op).
+        let bits = 5_000;
+        let a = sample(3, bits);
+        let b = sample(4, bits);
+        let ca = Bbc.compress(&a);
+        let cb = Bbc.compress(&b);
+        let direct = bbc_binary(&ca, &cb, BitOp::Or);
+        let reference = Bbc.compress(&a.or(&b));
+        assert_eq!(direct, reference);
+    }
+
+    #[test]
+    fn fills_combine_without_byte_loops() {
+        // Two all-zero megabyte bitmaps AND to a tiny stream.
+        let bits = 8 * (1 << 20);
+        let zeros = Bitvec::zeros(bits);
+        let c = Bbc.compress(&zeros);
+        let combined = bbc_binary(&c, &c, BitOp::And);
+        assert!(combined.len() <= 8);
+        assert_eq!(Bbc.decompress(&combined, bits), zeros);
+    }
+
+    #[test]
+    fn not_matches_uncompressed_reference() {
+        for bits in [1usize, 7, 8, 63, 64, 1000, 4096, 10_001] {
+            let a = sample(5, bits);
+            let ca = Bbc.compress(&a);
+            let neg = bbc_not(&ca, bits);
+            assert_eq!(Bbc.decompress(&neg, bits), a.not(), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn not_of_all_zero_is_all_one() {
+        let bits = 100;
+        let c = Bbc.compress(&Bitvec::zeros(bits));
+        assert_eq!(Bbc.decompress(&bbc_not(&c, bits), bits), Bitvec::ones_vec(bits));
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn mismatched_streams_panic() {
+        let a = Bbc.compress(&Bitvec::zeros(100));
+        let b = Bbc.compress(&Bitvec::zeros(200));
+        let _ = bbc_binary(&a, &b, BitOp::And);
+    }
+
+    #[test]
+    fn encoder_matches_block_compressor() {
+        // Pushing the decoded runs through the streaming encoder must
+        // reproduce compress_bytes exactly.
+        let bits = 20_000;
+        let a = sample(6, bits);
+        let bytes = a.to_bytes();
+        let mut enc = BbcEncoder::new();
+        enc.push_literals(&bytes);
+        assert_eq!(enc.finish(), Bbc::compress_bytes(&bytes));
+    }
+}

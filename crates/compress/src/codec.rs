@@ -1,0 +1,188 @@
+//! The codec abstraction shared by compressed and uncompressed indexes.
+
+use bix_bitvec::Bitvec;
+
+/// Identifies a codec in configuration and experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecKind {
+    /// Identity codec: bitmaps stored as raw little-endian bytes.
+    Raw,
+    /// Byte-aligned run-length code (Antoshenkov-style).
+    Bbc,
+    /// 32-bit word-aligned hybrid.
+    Wah,
+    /// 64-bit enhanced word-aligned hybrid.
+    Ewah,
+    /// Roaring-style hybrid containers (array / bitmap per 64Ki chunk).
+    Roaring,
+}
+
+impl CodecKind {
+    /// Returns the codec implementation for this kind.
+    pub fn codec(self) -> Box<dyn BitmapCodec> {
+        match self {
+            CodecKind::Raw => Box::new(Raw),
+            CodecKind::Bbc => Box::new(crate::Bbc),
+            CodecKind::Wah => Box::new(crate::Wah),
+            CodecKind::Ewah => Box::new(crate::Ewah),
+            CodecKind::Roaring => Box::new(crate::Roaring),
+        }
+    }
+
+    /// Short lowercase name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecKind::Raw => "raw",
+            CodecKind::Bbc => "bbc",
+            CodecKind::Wah => "wah",
+            CodecKind::Ewah => "ewah",
+            CodecKind::Roaring => "roaring",
+        }
+    }
+}
+
+impl std::fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A bitmap compression codec.
+///
+/// Implementations must round-trip exactly:
+/// `decompress(compress(bv), bv.len()) == bv`.
+pub trait BitmapCodec: Send + Sync {
+    /// Short lowercase name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// The corresponding [`CodecKind`].
+    fn kind(&self) -> CodecKind;
+
+    /// Compresses a bitmap to a byte stream.
+    fn compress(&self, bv: &Bitvec) -> Vec<u8>;
+
+    /// Decompresses a byte stream back into a bitmap of `len_bits` bits.
+    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec;
+}
+
+/// The identity codec: bitmaps are stored as their raw byte image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Raw;
+
+impl BitmapCodec for Raw {
+    fn name(&self) -> &'static str {
+        "raw"
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::Raw
+    }
+
+    fn compress(&self, bv: &Bitvec) -> Vec<u8> {
+        bv.to_bytes()
+    }
+
+    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
+        Bitvec::from_bytes(len_bits, bytes)
+    }
+}
+
+/// A bitmap held in compressed form, tagged with its codec and bit length.
+#[derive(Clone)]
+pub struct CompressedBitmap {
+    kind: CodecKind,
+    len_bits: usize,
+    bytes: Vec<u8>,
+}
+
+impl CompressedBitmap {
+    /// Compresses `bv` with the given codec.
+    pub fn encode(kind: CodecKind, bv: &Bitvec) -> Self {
+        CompressedBitmap {
+            kind,
+            len_bits: bv.len(),
+            bytes: kind.codec().compress(bv),
+        }
+    }
+
+    /// Decompresses back to a plain bitmap.
+    pub fn decode(&self) -> Bitvec {
+        self.kind.codec().decompress(&self.bytes, self.len_bits)
+    }
+
+    /// Stored (compressed) size in bytes.
+    pub fn stored_size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Uncompressed size in bytes.
+    pub fn raw_size(&self) -> usize {
+        self.len_bits.div_ceil(8)
+    }
+
+    /// Number of bits in the decoded bitmap.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// The codec used.
+    pub fn kind(&self) -> CodecKind {
+        self.kind
+    }
+
+    /// The compressed byte stream.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_codec_is_identity() {
+        let bv = Bitvec::from_positions(100, &[1, 50, 99]);
+        let raw = Raw;
+        assert_eq!(raw.compress(&bv), bv.to_bytes());
+        assert_eq!(raw.decompress(&bv.to_bytes(), 100), bv);
+    }
+
+    #[test]
+    fn compressed_bitmap_round_trips_all_codecs() {
+        let bv = Bitvec::from_positions(2000, &[0, 3, 700, 701, 702, 1999]);
+        for kind in [CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah, CodecKind::Roaring] {
+            let cb = CompressedBitmap::encode(kind, &bv);
+            assert_eq!(cb.decode(), bv, "codec {kind}");
+            assert_eq!(cb.len_bits(), 2000);
+            assert_eq!(cb.raw_size(), 250);
+        }
+    }
+
+    #[test]
+    fn sparse_bitmaps_are_smaller_compressed() {
+        let bv = Bitvec::from_positions(80_000, &[5, 40_000]);
+        let raw = CompressedBitmap::encode(CodecKind::Raw, &bv);
+        let bbc = CompressedBitmap::encode(CodecKind::Bbc, &bv);
+        let wah = CompressedBitmap::encode(CodecKind::Wah, &bv);
+        assert_eq!(raw.stored_size(), 10_000);
+        assert!(bbc.stored_size() < 100);
+        assert!(wah.stored_size() < 100);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(CodecKind::Raw.name(), "raw");
+        assert_eq!(CodecKind::Bbc.name(), "bbc");
+        assert_eq!(CodecKind::Wah.name(), "wah");
+        assert_eq!(CodecKind::Ewah.name(), "ewah");
+        assert_eq!(format!("{}", CodecKind::Bbc), "bbc");
+    }
+
+    #[test]
+    fn kind_dispatch_matches_codec_kind() {
+        for kind in [CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah, CodecKind::Roaring] {
+            assert_eq!(kind.codec().kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Bitmap compression codecs for bitmap indexes.
+//!
+//! The SIGMOD '99 experiments store every bitmap either **uncompressed** or
+//! compressed with a **byte-aligned run-length code** ("BBC", Antoshenkov
+//! '93, as used by Oracle 8). The patent text is not publicly available, so
+//! [`Bbc`] is a clean-room byte-aligned fill/literal code with the same
+//! structure and asymptotics: runs of identical fill bytes (`0x00`/`0xFF`)
+//! are counted, everything else is stored verbatim, and all boundaries are
+//! byte-aligned so decompression is branchy-but-cheap byte copying.
+//!
+//! [`Wah`] (word-aligned hybrid, the scheme FastBit later adopted) is
+//! included as an ablation baseline, and [`Raw`] is the identity codec so
+//! that compressed and uncompressed indexes share one storage interface.
+//!
+//! # Example
+//!
+//! ```
+//! use bix_bitvec::Bitvec;
+//! use bix_compress::{Bbc, BitmapCodec};
+//!
+//! // A sparse bitmap: long zero runs compress well.
+//! let bv = Bitvec::from_positions(10_000, &[3, 4_000, 9_999]);
+//! let codec = Bbc;
+//! let compressed = codec.compress(&bv);
+//! assert!(compressed.len() < bv.byte_size() / 10);
+//! assert_eq!(codec.decompress(&compressed, bv.len()), bv);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bbc;
+mod bbc_ops;
+mod codec;
+mod ewah;
+mod roaring;
+mod runs;
+mod wah;
+
+pub use bbc::{Bbc, BbcAtoms, BbcEncoder, BbcPiece};
+pub use bbc_ops::{bbc_binary, bbc_not, BitOp};
+pub use codec::{BitmapCodec, CodecKind, CompressedBitmap, Raw};
+pub use ewah::Ewah;
+pub use roaring::Roaring;
+pub use runs::{ByteRun, ByteRunIter};
+pub use wah::Wah;

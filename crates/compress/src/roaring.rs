@@ -1,0 +1,208 @@
+//! A Roaring-style hybrid container codec.
+//!
+//! Roaring bitmaps (Chambi, Lemire et al., 2016) postdate the paper by
+//! almost two decades but are today's default bitmap representation —
+//! notably, they *skip* interval encoding entirely (each bitmap is stored
+//! independently), which makes them the natural modern baseline for the
+//! codec ablation. This is a self-contained reimplementation of the core
+//! idea: the bit space is split into 2^16-bit chunks, and each non-empty
+//! chunk is stored as whichever container is smaller:
+//!
+//! * an **array container** — sorted `u16` offsets, for chunks with at
+//!   most 4096 set bits;
+//! * a **bitmap container** — the raw 8 KiB chunk image, otherwise.
+//!
+//! Serialized layout (little-endian):
+//!
+//! ```text
+//! u32                     number of containers
+//! per container:
+//!   u16  chunk key (bit index >> 16)
+//!   u8   type (0 = array, 1 = bitmap)
+//!   u16  cardinality − 1        (array only)
+//!   data: u16×cardinality (array) or 8192 bytes (bitmap)
+//! ```
+
+use bix_bitvec::Bitvec;
+
+const CHUNK_BITS: usize = 1 << 16;
+const CHUNK_BYTES: usize = CHUNK_BITS / 8;
+const ARRAY_MAX: usize = 4096;
+
+/// The Roaring-style codec. Stateless; see the module docs for the format.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Roaring;
+
+impl super::codec::BitmapCodec for Roaring {
+    fn name(&self) -> &'static str {
+        "roaring"
+    }
+
+    fn kind(&self) -> crate::CodecKind {
+        crate::CodecKind::Roaring
+    }
+
+    fn compress(&self, bv: &Bitvec) -> Vec<u8> {
+        // Gather per-chunk positions.
+        let n_chunks = bv.len().div_ceil(CHUNK_BITS);
+        let mut containers: Vec<(u16, Vec<u16>)> = Vec::new();
+        let mut current: Option<(u16, Vec<u16>)> = None;
+        for pos in bv.ones() {
+            let key = (pos / CHUNK_BITS) as u16;
+            let offset = (pos % CHUNK_BITS) as u16;
+            match &mut current {
+                Some((k, offsets)) if *k == key => offsets.push(offset),
+                _ => {
+                    if let Some(done) = current.take() {
+                        containers.push(done);
+                    }
+                    current = Some((key, vec![offset]));
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            containers.push(done);
+        }
+        let _ = n_chunks;
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&(containers.len() as u32).to_le_bytes());
+        for (key, offsets) in containers {
+            out.extend_from_slice(&key.to_le_bytes());
+            if offsets.len() <= ARRAY_MAX {
+                out.push(0);
+                out.extend_from_slice(&((offsets.len() - 1) as u16).to_le_bytes());
+                for o in offsets {
+                    out.extend_from_slice(&o.to_le_bytes());
+                }
+            } else {
+                out.push(1);
+                let mut chunk = [0u8; CHUNK_BYTES];
+                for o in offsets {
+                    chunk[o as usize / 8] |= 1 << (o % 8);
+                }
+                out.extend_from_slice(&chunk);
+            }
+        }
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
+        let mut bv = Bitvec::zeros(len_bits);
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> &[u8] {
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            s
+        };
+        let n_containers =
+            u32::from_le_bytes(take(&mut pos, 4).try_into().expect("4 bytes")) as usize;
+        for _ in 0..n_containers {
+            let key =
+                u16::from_le_bytes(take(&mut pos, 2).try_into().expect("2 bytes")) as usize;
+            let kind = take(&mut pos, 1)[0];
+            let base = key * CHUNK_BITS;
+            match kind {
+                0 => {
+                    let card = u16::from_le_bytes(
+                        take(&mut pos, 2).try_into().expect("2 bytes"),
+                    ) as usize
+                        + 1;
+                    for _ in 0..card {
+                        let o = u16::from_le_bytes(
+                            take(&mut pos, 2).try_into().expect("2 bytes"),
+                        ) as usize;
+                        bv.set(base + o, true);
+                    }
+                }
+                1 => {
+                    let chunk = take(&mut pos, CHUNK_BYTES);
+                    for (byte_idx, &byte) in chunk.iter().enumerate() {
+                        if byte == 0 {
+                            continue;
+                        }
+                        let bit_base = base + byte_idx * 8;
+                        let n = 8.min(len_bits.saturating_sub(bit_base));
+                        if n > 0 {
+                            bv.set_bits(bit_base, n, u64::from(byte));
+                        }
+                    }
+                }
+                other => panic!("bad roaring container type {other}"),
+            }
+        }
+        assert_eq!(pos, bytes.len(), "trailing bytes in roaring stream");
+        bv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitmapCodec;
+
+    fn round_trip(bv: &Bitvec) {
+        let c = Roaring.compress(bv);
+        assert_eq!(&Roaring.decompress(&c, bv.len()), bv);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(&Bitvec::zeros(0));
+        round_trip(&Bitvec::zeros(100));
+        round_trip(&Bitvec::from_positions(1, &[0]));
+    }
+
+    #[test]
+    fn sparse_uses_array_containers() {
+        let bv = Bitvec::from_positions(1 << 20, &[3, 70_000, 1_000_000]);
+        let c = Roaring.compress(&bv);
+        // 3 containers, each: 2 key + 1 type + 2 card + 2 value = 7 bytes,
+        // plus the 4-byte count.
+        assert_eq!(c.len(), 4 + 3 * 7);
+        round_trip(&bv);
+    }
+
+    #[test]
+    fn dense_chunk_switches_to_bitmap_container() {
+        let positions: Vec<usize> = (0..CHUNK_BITS).step_by(2).collect();
+        let bv = Bitvec::from_positions(CHUNK_BITS, &positions);
+        let c = Roaring.compress(&bv);
+        // One bitmap container: 4 + 2 + 1 + 8192.
+        assert_eq!(c.len(), 4 + 3 + CHUNK_BYTES);
+        round_trip(&bv);
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        // Exactly ARRAY_MAX stays array; one more becomes a bitmap.
+        let at: Vec<usize> = (0..ARRAY_MAX).map(|i| i * 16).collect();
+        let bv = Bitvec::from_positions(CHUNK_BITS, &at);
+        let c = Roaring.compress(&bv);
+        assert_eq!(c.len(), 4 + 2 + 1 + 2 + 2 * ARRAY_MAX);
+        round_trip(&bv);
+
+        let over: Vec<usize> = (0..=ARRAY_MAX).map(|i| i * 15).collect();
+        let bv = Bitvec::from_positions(CHUNK_BITS, &over);
+        let c = Roaring.compress(&bv);
+        assert_eq!(c.len(), 4 + 3 + CHUNK_BYTES);
+        round_trip(&bv);
+    }
+
+    #[test]
+    fn multi_chunk_mixed_containers() {
+        let mut positions: Vec<usize> = (0..CHUNK_BITS).step_by(3).collect(); // dense chunk 0
+        positions.extend([CHUNK_BITS + 5, CHUNK_BITS + 99]); // sparse chunk 1
+        positions.extend((3 * CHUNK_BITS..3 * CHUNK_BITS + 10_000).step_by(2)); // chunk 3
+        let bv = Bitvec::from_positions(4 * CHUNK_BITS, &positions);
+        round_trip(&bv);
+    }
+
+    #[test]
+    fn tail_partial_chunk() {
+        let len = CHUNK_BITS + 12_345;
+        let positions: Vec<usize> = (CHUNK_BITS..len).step_by(2).collect();
+        let bv = Bitvec::from_positions(len, &positions);
+        round_trip(&bv);
+    }
+}

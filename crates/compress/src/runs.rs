@@ -1,0 +1,123 @@
+//! Byte-run scanning shared by the codecs.
+
+/// A maximal run of bytes classified as fill or literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByteRun<'a> {
+    /// `len` consecutive bytes, all `0x00` (`bit = false`) or all `0xFF`
+    /// (`bit = true`).
+    Fill {
+        /// The fill bit.
+        bit: bool,
+        /// Run length in bytes.
+        len: usize,
+    },
+    /// A maximal stretch of bytes that are neither `0x00` nor `0xFF`.
+    Literal(&'a [u8]),
+}
+
+impl ByteRun<'_> {
+    /// Decoded length of the run in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            ByteRun::Fill { len, .. } => *len,
+            ByteRun::Literal(s) => s.len(),
+        }
+    }
+
+    /// True for a zero-length run (never produced by [`ByteRunIter`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Splits a byte slice into maximal [`ByteRun`]s.
+///
+/// Fill runs are maximal stretches of identical `0x00` or `0xFF` bytes
+/// (even a single such byte is reported as a fill run of length 1 — the
+/// *encoder* decides whether a short run is worth a gap atom).
+pub struct ByteRunIter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteRunIter<'a> {
+    /// Creates a run iterator over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteRunIter { bytes, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for ByteRunIter<'a> {
+    type Item = ByteRun<'a>;
+
+    fn next(&mut self) -> Option<ByteRun<'a>> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let start = self.pos;
+        let first = self.bytes[start];
+        if first == 0x00 || first == 0xFF {
+            let mut end = start + 1;
+            while end < self.bytes.len() && self.bytes[end] == first {
+                end += 1;
+            }
+            self.pos = end;
+            Some(ByteRun::Fill {
+                bit: first == 0xFF,
+                len: end - start,
+            })
+        } else {
+            let mut end = start + 1;
+            while end < self.bytes.len() && self.bytes[end] != 0x00 && self.bytes[end] != 0xFF {
+                end += 1;
+            }
+            self.pos = end;
+            Some(ByteRun::Literal(&self.bytes[start..end]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_fill_and_literal_runs() {
+        let bytes = [0x00, 0x00, 0xAB, 0xCD, 0xFF, 0xFF, 0xFF, 0x01];
+        let runs: Vec<ByteRun> = ByteRunIter::new(&bytes).collect();
+        assert_eq!(
+            runs,
+            vec![
+                ByteRun::Fill { bit: false, len: 2 },
+                ByteRun::Literal(&[0xAB, 0xCD]),
+                ByteRun::Fill { bit: true, len: 3 },
+                ByteRun::Literal(&[0x01]),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert_eq!(ByteRunIter::new(&[]).count(), 0);
+    }
+
+    #[test]
+    fn single_fill_byte_is_a_run_of_one() {
+        let runs: Vec<ByteRun> = ByteRunIter::new(&[0xFF]).collect();
+        assert_eq!(runs, vec![ByteRun::Fill { bit: true, len: 1 }]);
+    }
+
+    #[test]
+    fn runs_cover_input_exactly() {
+        let bytes: Vec<u8> = (0..=255u8).chain(std::iter::repeat_n(0, 100)).collect();
+        let total: usize = ByteRunIter::new(&bytes).map(|r| r.len()).sum();
+        assert_eq!(total, bytes.len());
+    }
+
+    #[test]
+    fn adjacent_opposite_fills_are_separate_runs() {
+        let bytes = [0x00, 0xFF];
+        let runs: Vec<ByteRun> = ByteRunIter::new(&bytes).collect();
+        assert_eq!(runs.len(), 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Word-Aligned Hybrid (WAH) bitmap compression.
+//!
+//! The classic 32-bit WAH scheme (Wu, Otoo & Shoshani): the bitmap is cut
+//! into 31-bit groups; each compressed word is either
+//!
+//! * a **literal word** — MSB 0, low 31 bits verbatim, or
+//! * a **fill word** — MSB 1, bit 30 the fill bit, low 30 bits counting how
+//!   many consecutive 31-bit groups share that fill.
+//!
+//! WAH postdates the paper but became the dominant bitmap code (FastBit);
+//! it is included as an ablation baseline against BBC: word alignment
+//! trades ~1 bit per 32 of extra space for faster decode.
+
+use bix_bitvec::Bitvec;
+
+const GROUP_BITS: usize = 31;
+const FILL_FLAG: u32 = 1 << 31;
+const FILL_BIT: u32 = 1 << 30;
+const COUNT_MASK: u32 = FILL_BIT - 1;
+const LITERAL_MASK: u32 = (1 << GROUP_BITS) - 1;
+
+/// The WAH codec. Stateless; see the module docs for the format.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Wah;
+
+/// Extracts the `i`-th 31-bit group from a bitmap, zero-padded at the tail.
+#[inline]
+fn group(bv: &Bitvec, i: usize) -> u32 {
+    let start = i * GROUP_BITS;
+    let n = GROUP_BITS.min(bv.len().saturating_sub(start));
+    bv.get_bits(start, n) as u32
+}
+
+impl Wah {
+    /// Compresses to a sequence of 32-bit words, serialized little-endian.
+    pub fn compress_words(bv: &Bitvec) -> Vec<u32> {
+        let n_groups = bv.len().div_ceil(GROUP_BITS);
+        let mut out: Vec<u32> = Vec::new();
+        let mut i = 0usize;
+        while i < n_groups {
+            let g = group(bv, i);
+            if g == 0 || g == LITERAL_MASK {
+                let fill = g == LITERAL_MASK;
+                let mut count = 1usize;
+                while i + count < n_groups && group(bv, i + count) == g {
+                    count += 1;
+                }
+                let mut remaining = count;
+                while remaining > 0 {
+                    let chunk = remaining.min(COUNT_MASK as usize);
+                    out.push(FILL_FLAG | (u32::from(fill) * FILL_BIT) | chunk as u32);
+                    remaining -= chunk;
+                }
+                i += count;
+            } else {
+                out.push(g);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Decompresses a word sequence back into a bitmap of `len_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream decodes to a different number of groups than
+    /// `len_bits` requires.
+    pub fn decompress_words(words: &[u32], len_bits: usize) -> Bitvec {
+        let mut bv = Bitvec::zeros(len_bits);
+        let mut pos = 0usize; // bit cursor
+        for &w in words {
+            if w & FILL_FLAG != 0 {
+                let fill = w & FILL_BIT != 0;
+                let count = (w & COUNT_MASK) as usize;
+                let bits = count * GROUP_BITS;
+                if fill {
+                    let mut p = pos;
+                    let end = (pos + bits).min(len_bits);
+                    while p < end {
+                        let chunk = (end - p).min(64);
+                        bv.set_bits(p, chunk, u64::MAX);
+                        p += chunk;
+                    }
+                }
+                pos += bits;
+            } else {
+                let n = GROUP_BITS.min(len_bits.saturating_sub(pos));
+                if n > 0 {
+                    bv.set_bits(pos, n, u64::from(w & LITERAL_MASK));
+                }
+                pos += GROUP_BITS;
+            }
+        }
+        let expected_groups = len_bits.div_ceil(GROUP_BITS);
+        assert_eq!(
+            pos / GROUP_BITS,
+            expected_groups,
+            "WAH stream decoded to wrong group count"
+        );
+        bv
+    }
+}
+
+impl super::codec::BitmapCodec for Wah {
+    fn name(&self) -> &'static str {
+        "wah"
+    }
+
+    fn kind(&self) -> crate::CodecKind {
+        crate::CodecKind::Wah
+    }
+
+    fn compress(&self, bv: &Bitvec) -> Vec<u8> {
+        let words = Wah::compress_words(bv);
+        let mut out = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
+        assert_eq!(bytes.len() % 4, 0, "WAH stream not word-aligned");
+        let words: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Wah::decompress_words(&words, len_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitmapCodec;
+
+    fn round_trip(bv: &Bitvec) {
+        let codec = Wah;
+        let c = codec.compress(bv);
+        assert_eq!(&codec.decompress(&c, bv.len()), bv);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        round_trip(&Bitvec::zeros(0));
+    }
+
+    #[test]
+    fn all_zero_is_one_fill_word() {
+        let bv = Bitvec::zeros(31 * 1000);
+        let words = Wah::compress_words(&bv);
+        assert_eq!(words.len(), 1);
+        assert_eq!(words[0], FILL_FLAG | 1000);
+        round_trip(&bv);
+    }
+
+    #[test]
+    fn all_one_is_one_fill_word() {
+        let bv = Bitvec::ones_vec(31 * 10);
+        let words = Wah::compress_words(&bv);
+        assert_eq!(words.len(), 1);
+        assert_eq!(words[0], FILL_FLAG | FILL_BIT | 10);
+        round_trip(&bv);
+    }
+
+    #[test]
+    fn tail_groups_are_zero_padded() {
+        // Length not a multiple of 31.
+        let bv = Bitvec::from_positions(100, &[0, 50, 99]);
+        round_trip(&bv);
+    }
+
+    #[test]
+    fn mixed_fills_and_literals() {
+        let mut positions = Vec::new();
+        positions.extend(0..31); // one full group
+        positions.push(31 * 5 + 3); // sparse literal later
+        positions.extend(31 * 10..31 * 12); // two full groups
+        let bv = Bitvec::from_positions(31 * 20, &positions);
+        round_trip(&bv);
+    }
+
+    #[test]
+    fn sparse_bitmap_compresses_well() {
+        let bv = Bitvec::from_positions(1_000_000, &[12, 500_000, 999_999]);
+        let c = Wah.compress(&bv);
+        assert!(c.len() < 64, "sparse WAH stream was {} bytes", c.len());
+        round_trip(&bv);
+    }
+
+    #[test]
+    fn dense_irregular_bitmap_costs_about_one_word_per_group() {
+        let positions: Vec<usize> = (0..10_000).filter(|i| i % 2 == 0).collect();
+        let bv = Bitvec::from_positions(10_000, &positions);
+        let words = Wah::compress_words(&bv);
+        assert_eq!(words.len(), 10_000usize.div_ceil(31));
+        round_trip(&bv);
+    }
+}

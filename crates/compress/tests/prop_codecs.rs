@@ -1,0 +1,119 @@
+//! Property tests: every codec round-trips every bitmap exactly.
+
+use bix_bitvec::Bitvec;
+use bix_compress::{
+    bbc_binary, bbc_not, Bbc, BitOp, BitmapCodec, CodecKind, CompressedBitmap, Raw, Wah,
+};
+use proptest::prelude::*;
+
+/// Bitmaps with realistic index structure: runs plus noise.
+fn arb_bitmap() -> impl Strategy<Value = Bitvec> {
+    let dense = prop::collection::vec(any::<bool>(), 0..2000).prop_map(|b| Bitvec::from_bools(&b));
+    let runny = (1usize..2000, prop::collection::vec((any::<bool>(), 1usize..200), 0..30)).prop_map(
+        |(pad, runs)| {
+            let mut builder = bix_bitvec::BitvecBuilder::new();
+            for (bit, n) in runs {
+                builder.push_run(bit, n);
+            }
+            builder.push_run(false, pad);
+            builder.finish()
+        },
+    );
+    let sparse = (100usize..5000, prop::collection::vec(0usize..5000, 0..10)).prop_map(
+        |(len, mut pos)| {
+            pos.retain(|&p| p < len);
+            Bitvec::from_positions(len, &pos)
+        },
+    );
+    prop_oneof![dense, runny, sparse]
+}
+
+proptest! {
+    #[test]
+    fn bbc_round_trips(bv in arb_bitmap()) {
+        let c = Bbc.compress(&bv);
+        prop_assert_eq!(Bbc.decompress(&c, bv.len()), bv);
+    }
+
+    #[test]
+    fn wah_round_trips(bv in arb_bitmap()) {
+        let c = Wah.compress(&bv);
+        prop_assert_eq!(Wah.decompress(&c, bv.len()), bv);
+    }
+
+    #[test]
+    fn raw_round_trips(bv in arb_bitmap()) {
+        let c = Raw.compress(&bv);
+        prop_assert_eq!(Raw.decompress(&c, bv.len()), bv);
+    }
+
+    #[test]
+    fn ewah_round_trips(bv in arb_bitmap()) {
+        use bix_compress::Ewah;
+        let c = Ewah.compress(&bv);
+        prop_assert_eq!(Ewah.decompress(&c, bv.len()), bv);
+    }
+
+    #[test]
+    fn roaring_round_trips(bv in arb_bitmap()) {
+        use bix_compress::Roaring;
+        let c = Roaring.compress(&bv);
+        prop_assert_eq!(Roaring.decompress(&c, bv.len()), bv);
+    }
+
+    #[test]
+    fn compressed_bitmap_sizes_are_consistent(bv in arb_bitmap()) {
+        for kind in [CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah, CodecKind::Roaring] {
+            let cb = CompressedBitmap::encode(kind, &bv);
+            prop_assert_eq!(cb.raw_size(), bv.byte_size());
+            prop_assert_eq!(cb.decode().len(), bv.len());
+        }
+    }
+
+    /// BBC never exceeds raw size by more than the worst-case header
+    /// overhead (one header + varint per 14-byte literal tail ≈ 15%).
+    #[test]
+    fn bbc_overhead_is_bounded(bv in arb_bitmap()) {
+        let c = Bbc.compress(&bv);
+        prop_assert!(c.len() <= bv.byte_size() + bv.byte_size() / 6 + 4);
+    }
+
+    /// Compressed-domain BBC operations equal decompress-then-operate,
+    /// and their output streams are canonical (identical to compressing
+    /// the operated bitmap).
+    #[test]
+    fn bbc_compressed_domain_ops_are_exact((a, b) in (arb_bitmap(), arb_bitmap())) {
+        let len = a.len().min(b.len());
+        prop_assume!(len > 0);
+        let a = Bitvec::from_bools(&(0..len).map(|i| a.get(i)).collect::<Vec<_>>());
+        let b = Bitvec::from_bools(&(0..len).map(|i| b.get(i)).collect::<Vec<_>>());
+        let ca = Bbc.compress(&a);
+        let cb = Bbc.compress(&b);
+        for (op, expect) in [
+            (BitOp::And, a.and(&b)),
+            (BitOp::Or, a.or(&b)),
+            (BitOp::Xor, a.xor(&b)),
+            (BitOp::AndNot, a.and_not(&b)),
+        ] {
+            let combined = bbc_binary(&ca, &cb, op);
+            prop_assert_eq!(Bbc.decompress(&combined, len), expect.clone(), "{:?}", op);
+            prop_assert_eq!(combined, Bbc.compress(&expect), "canonical {:?}", op);
+        }
+        let negated = bbc_not(&ca, len);
+        prop_assert_eq!(Bbc.decompress(&negated, len), a.not());
+        prop_assert_eq!(negated, Bbc.compress(&a.not()));
+    }
+
+    /// Ops on decompressed bitmaps agree with ops on originals.
+    #[test]
+    fn decompress_then_op_matches((a, b) in (arb_bitmap(), arb_bitmap())) {
+        // Force equal lengths by truncating to the shorter model.
+        let len = a.len().min(b.len());
+        let a = Bitvec::from_bools(&(0..len).map(|i| a.get(i)).collect::<Vec<_>>());
+        let b = Bitvec::from_bools(&(0..len).map(|i| b.get(i)).collect::<Vec<_>>());
+        let ca = CompressedBitmap::encode(CodecKind::Bbc, &a);
+        let cb = CompressedBitmap::encode(CodecKind::Wah, &b);
+        prop_assert_eq!(ca.decode().and(&cb.decode()), a.and(&b));
+        prop_assert_eq!(ca.decode().or(&cb.decode()), a.or(&b));
+    }
+}

@@ -1,0 +1,269 @@
+//! Attribute-value decomposition (Equation 3 of the paper).
+//!
+//! Given a base vector `<b_n, …, b_1>`, an attribute value `v` decomposes
+//! into digits `v_n v_{n−1} … v_1` with
+//! `v = Σ_i v_i · Π_{j<i} b_j`, each `v_i` a base-`b_i` digit. Every
+//! choice of `n` and bases defines a different *n-component* index.
+
+use crate::EncodingScheme;
+
+/// The base vector of an n-component index.
+///
+/// Bases are stored **least-significant first**: `bases()[0]` is `b_1`.
+/// The paper writes vectors most-significant first (`base-<3,4>` means
+/// `b_2 = 3, b_1 = 4`); use [`BaseVector::from_msb`] for that order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BaseVector {
+    /// `b_1, b_2, …, b_n` — least significant first.
+    bases: Vec<u64>,
+}
+
+impl BaseVector {
+    /// Builds from least-significant-first bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or any base is `< 2`.
+    pub fn from_lsb(bases: Vec<u64>) -> Self {
+        assert!(!bases.is_empty(), "base vector cannot be empty");
+        assert!(
+            bases.iter().all(|&b| b >= 2),
+            "every base must be at least 2, got {bases:?}"
+        );
+        BaseVector { bases }
+    }
+
+    /// Builds from the paper's most-significant-first notation, e.g.
+    /// `from_msb(&[3, 4])` is the paper's `base-<3,4>`.
+    pub fn from_msb(bases: &[u64]) -> Self {
+        let mut v = bases.to_vec();
+        v.reverse();
+        BaseVector::from_lsb(v)
+    }
+
+    /// A one-component vector covering cardinality `c`.
+    pub fn single(c: u64) -> Self {
+        BaseVector::from_lsb(vec![c.max(2)])
+    }
+
+    /// Number of components `n`.
+    pub fn n(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Bases, least significant first (`b_1` first).
+    pub fn bases(&self) -> &[u64] {
+        &self.bases
+    }
+
+    /// The number of distinct values representable, `Π b_i`.
+    pub fn capacity(&self) -> u64 {
+        self.bases.iter().product()
+    }
+
+    /// Decomposes `v` into digits, least significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= capacity()`.
+    pub fn decompose(&self, v: u64) -> Vec<u64> {
+        assert!(
+            v < self.capacity(),
+            "value {v} exceeds capacity {} of {:?}",
+            self.capacity(),
+            self.bases
+        );
+        let mut digits = Vec::with_capacity(self.bases.len());
+        let mut rest = v;
+        for &b in &self.bases {
+            digits.push(rest % b);
+            rest /= b;
+        }
+        digits
+    }
+
+    /// Recomposes digits (least significant first) into a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digit count mismatches or a digit is out of base range.
+    pub fn compose(&self, digits: &[u64]) -> u64 {
+        assert_eq!(digits.len(), self.bases.len(), "digit count mismatch");
+        let mut v = 0u64;
+        let mut place = 1u64;
+        for (&d, &b) in digits.iter().zip(&self.bases) {
+            assert!(d < b, "digit {d} out of range for base {b}");
+            v += d * place;
+            place *= b;
+        }
+        v
+    }
+
+    /// Total number of bitmaps an index with this base vector stores under
+    /// the given encoding scheme.
+    pub fn num_bitmaps(&self, scheme: EncodingScheme) -> usize {
+        self.bases.iter().map(|&b| scheme.num_bitmaps(b)).sum()
+    }
+}
+
+/// Decomposes `v` over `bases` (least significant first) — free-function
+/// form of [`BaseVector::decompose`].
+pub fn decompose(v: u64, bases: &[u64]) -> Vec<u64> {
+    BaseVector::from_lsb(bases.to_vec()).decompose(v)
+}
+
+/// Recomposes `digits` over `bases` (least significant first).
+pub fn compose(digits: &[u64], bases: &[u64]) -> u64 {
+    BaseVector::from_lsb(bases.to_vec()).compose(digits)
+}
+
+/// Finds the base vector with `n` components covering cardinality `c` that
+/// minimizes the total number of bitmaps for `scheme` — the paper's
+/// "best index per component count" selection rule (§7.1 picks, for each
+/// `n`, the index with the best space ratio).
+///
+/// Ties are broken toward more balanced (smaller maximum) bases, matching
+/// the time-optimal choice among space-equal indexes.
+///
+/// # Panics
+///
+/// Panics if `c < 2`, `n == 0`, or `c < 2^n` (no valid decomposition).
+pub fn best_bases(c: u64, n: usize, scheme: EncodingScheme) -> BaseVector {
+    assert!(c >= 2, "cardinality must be at least 2");
+    assert!(n >= 1, "need at least one component");
+    // Valid iff the lower n−1 components can stay below C (else the most
+    // significant base b_n = ⌈C / Π b_i⌉ would degenerate to 1).
+    assert!(
+        n == 1 || (c as f64) > 2f64.powi(n as i32 - 1),
+        "cardinality {c} cannot be decomposed into {n} components of base >= 2"
+    );
+
+    // Enumerate candidate base vectors recursively. The search space for
+    // the paper's parameters (c <= 1000, n <= 8) is tiny.
+    fn search(
+        c: u64,
+        remaining: usize,
+        prefix: &mut Vec<u64>,
+        best: &mut Option<(usize, u64, Vec<u64>)>,
+        scheme: EncodingScheme,
+    ) {
+        let prod: u64 = prefix.iter().product();
+        if remaining == 1 {
+            // Last (most significant) base: b_n = ceil(c / prod), >= 2.
+            let bn = c.div_ceil(prod).max(2);
+            let mut bases = prefix.clone();
+            bases.push(bn);
+            let cost: usize = bases.iter().map(|&b| scheme.num_bitmaps(b)).sum();
+            let balance = *bases.iter().max().expect("non-empty");
+            let candidate = (cost, balance, bases);
+            if best.as_ref().is_none_or(|b| (candidate.0, candidate.1) < (b.0, b.1)) {
+                *best = Some(candidate);
+            }
+            return;
+        }
+        // Lower components may range 2..=c/2 but anything beyond ceil(c/prod)
+        // only wastes space; cap the branching accordingly.
+        let cap = c.div_ceil(prod).max(2);
+        for b in 2..=cap {
+            prefix.push(b);
+            search(c, remaining - 1, prefix, best, scheme);
+            prefix.pop();
+        }
+    }
+
+    let mut best = None;
+    search(c, n, &mut Vec::new(), &mut best, scheme);
+    let (_, _, bases) = best.expect("search space is non-empty");
+    BaseVector::from_lsb(bases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_base_3_4() {
+        // Figure 2: C = 10 decomposed over base-<3,4>.
+        let bv = BaseVector::from_msb(&[3, 4]);
+        assert_eq!(bv.n(), 2);
+        assert_eq!(bv.bases(), &[4, 3]);
+        // 8 = 2*4 + 0, 9 = 2*4 + 1, 7 = 1*4 + 3 (paper's arrows).
+        assert_eq!(bv.decompose(8), vec![0, 2]);
+        assert_eq!(bv.decompose(9), vec![1, 2]);
+        assert_eq!(bv.decompose(7), vec![3, 1]);
+        assert_eq!(bv.decompose(0), vec![0, 0]);
+    }
+
+    #[test]
+    fn decompose_compose_round_trip() {
+        let bv = BaseVector::from_lsb(vec![4, 3, 5]);
+        for v in 0..bv.capacity() {
+            assert_eq!(bv.compose(&bv.decompose(v)), v);
+        }
+    }
+
+    #[test]
+    fn paper_example_35_in_base_8() {
+        // §2: 35 = 4_8 3_8.
+        let bv = BaseVector::from_lsb(vec![8, 8]);
+        assert_eq!(bv.decompose(35), vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn decompose_out_of_range_panics() {
+        let bv = BaseVector::from_lsb(vec![4, 3]);
+        let _ = bv.decompose(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn base_one_rejected() {
+        let _ = BaseVector::from_lsb(vec![4, 1]);
+    }
+
+    #[test]
+    fn best_bases_single_component_is_c() {
+        let bv = best_bases(50, 1, EncodingScheme::Equality);
+        assert_eq!(bv.bases(), &[50]);
+    }
+
+    #[test]
+    fn best_bases_covers_cardinality() {
+        for scheme in EncodingScheme::ALL {
+            for n in 1..=4 {
+                let bv = best_bases(50, n, scheme);
+                assert!(bv.capacity() >= 50, "{scheme:?} n={n}: {:?}", bv.bases());
+                assert_eq!(bv.n(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn best_bases_for_equality_prefers_balanced_splits() {
+        // For equality encoding, bitmap count is the sum of bases, which is
+        // minimized by near-equal factors: 50 -> ~{7,8}.
+        let bv = best_bases(50, 2, EncodingScheme::Equality);
+        let total: usize = bv
+            .bases()
+            .iter()
+            .map(|&b| EncodingScheme::Equality.num_bitmaps(b))
+            .sum();
+        assert!(total <= 15, "expected near-sqrt split, got {:?}", bv.bases());
+    }
+
+    #[test]
+    fn best_bases_base2_components_reach_binary_encoding() {
+        // With n = ceil(log2 C) components, the best equality-encoded index
+        // degenerates to Wu & Buchmann's binary encoding: one bitmap per
+        // component (the C=2 footnote).
+        let bv = best_bases(50, 6, EncodingScheme::Equality);
+        assert_eq!(bv.num_bitmaps(EncodingScheme::Equality), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be decomposed")]
+    fn too_many_components_panics() {
+        let _ = best_bases(10, 5, EncodingScheme::Equality);
+    }
+}

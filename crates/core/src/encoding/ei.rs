@@ -1,0 +1,113 @@
+//! Equality-interval encoding `EI = E ∪ I` (§5.3).
+//!
+//! Equality constituents use the equality bitmaps (1 scan); range
+//! constituents use the interval bitmaps (≤ 2 scans). `EI` reduces to `E`
+//! when `C < 4` (the interval bitmaps would duplicate equality bitmaps).
+//! Layout: slots `0..C` are `E^v`; slots `C..C+⌈C/2⌉` are `I^j`.
+
+use crate::encoding::{equality, interval};
+use crate::Expr;
+
+/// Offsets an interval-encoding expression's slots past the equality half.
+fn shift_interval(e: Expr, b: u64) -> Expr {
+    match e {
+        Expr::Leaf(r) => Expr::Leaf(crate::BitmapRef::new(r.component, r.slot + b as usize)),
+        Expr::Not(inner) => Expr::Not(Box::new(shift_interval(*inner, b))),
+        Expr::And(children) => {
+            Expr::And(children.into_iter().map(|c| shift_interval(c, b)).collect())
+        }
+        Expr::Or(children) => {
+            Expr::Or(children.into_iter().map(|c| shift_interval(c, b)).collect())
+        }
+        Expr::Xor(x, y) => Expr::Xor(
+            Box::new(shift_interval(*x, b)),
+            Box::new(shift_interval(*y, b)),
+        ),
+        constant => constant,
+    }
+}
+
+pub(crate) fn num_bitmaps(b: u64) -> usize {
+    if b < 4 {
+        equality::num_bitmaps(b)
+    } else {
+        (b + b.div_ceil(2)) as usize
+    }
+}
+
+pub(crate) fn slot_values(b: u64, slot: usize) -> Vec<u64> {
+    if b < 4 || slot < b as usize {
+        equality::slot_values(b, slot)
+    } else {
+        interval::slot_values(b, slot - b as usize)
+    }
+}
+
+pub(crate) fn slot_name(b: u64, slot: usize) -> String {
+    if b < 4 || slot < b as usize {
+        equality::slot_name(b, slot)
+    } else {
+        interval::slot_name(b, slot - b as usize)
+    }
+}
+
+pub(crate) fn eq(b: u64, v: u64, comp: usize) -> Expr {
+    equality::eq(b, v, comp)
+}
+
+pub(crate) fn le(b: u64, v: u64, comp: usize) -> Expr {
+    if b < 4 {
+        equality::le(b, v, comp)
+    } else {
+        shift_interval(interval::le(b, v, comp), b)
+    }
+}
+
+pub(crate) fn two_sided(b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+    debug_assert!(b >= 4, "two-sided requires b >= 4");
+    shift_interval(interval::two_sided(b, lo, hi, comp), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_equality_then_interval() {
+        // b = 10: 10 E slots + 5 I slots.
+        assert_eq!(num_bitmaps(10), 15);
+        assert_eq!(slot_values(10, 4), vec![4]); // E^4
+        assert_eq!(slot_values(10, 10), (0..=4).collect::<Vec<_>>()); // I^0
+        assert_eq!(slot_name(10, 12), "I^2");
+    }
+
+    #[test]
+    fn small_cardinalities_reduce_to_equality() {
+        assert_eq!(num_bitmaps(2), 1);
+        assert_eq!(num_bitmaps(3), 3);
+    }
+
+    #[test]
+    fn equality_is_one_scan_ranges_at_most_two() {
+        for b in 2u64..=32 {
+            for v in 0..b {
+                assert!(crate::EncodingScheme::EqualityInterval.expr_eq(b, v, 0).scan_count() <= 1);
+            }
+            for lo in 0..b {
+                for hi in lo + 1..b {
+                    let e = crate::EncodingScheme::EqualityInterval.expr_range(b, lo, hi, 0);
+                    assert!(e.scan_count() <= 2, "EI b={b} [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_expressions_reference_interval_slots() {
+        // [0, 7] over b = 10 must use I bitmaps (slots >= 10).
+        let e = le(10, 7, 0);
+        for leaf in e.leaves() {
+            assert!(leaf.slot >= 10, "expected interval slot, got {leaf:?}");
+        }
+    }
+}

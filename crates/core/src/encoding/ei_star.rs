@@ -1,0 +1,148 @@
+//! `EI*` — the space-reduced variant of equality-interval encoding (§5.4).
+//!
+//! `EI* = I ∪ {P^1, …, P^r}` with `r = ⌈(C−4)/2⌉` and
+//! `P^i = E^i ∪ E^{i+m+1}` (two equality bitmaps OR-ed together, one value
+//! from each half of the domain). Because `I^0 = [0, ⌊C/2⌋−1]` splits the
+//! domain, each equality query is `P ∧ I^0` or `P ∧ ¬I^0` — two scans —
+//! while ranges use the interval bitmaps unchanged. Total space
+//! `⌈C/2⌉ + ⌈(C−4)/2⌉ ≈ ⅔` of `EI`. Reduces to `I` when `C <= 4`.
+//!
+//! The paper defers the evaluation expressions to [CI98a]; the case split
+//! below is our derivation (DESIGN.md §4), exhaustively verified in
+//! `encoding::tests`. Layout: slots `0..⌈C/2⌉` are `I^j`; slot
+//! `⌈C/2⌉−1+i` is `P^i`.
+
+use crate::encoding::interval;
+use crate::Expr;
+
+/// Number of paired-equality bitmaps, `r = ⌈(C−4)/2⌉`.
+fn r(b: u64) -> u64 {
+    (b - 4).div_ceil(2)
+}
+
+pub(crate) fn num_bitmaps(b: u64) -> usize {
+    if b <= 4 {
+        interval::num_bitmaps(b)
+    } else {
+        (b.div_ceil(2) + r(b)) as usize
+    }
+}
+
+pub(crate) fn slot_values(b: u64, slot: usize) -> Vec<u64> {
+    let n = b.div_ceil(2) as usize;
+    if b <= 4 || slot < n {
+        interval::slot_values(b, slot)
+    } else {
+        let i = (slot - n + 1) as u64;
+        let m = interval::m(b);
+        vec![i, i + m + 1]
+    }
+}
+
+pub(crate) fn slot_name(b: u64, slot: usize) -> String {
+    let n = b.div_ceil(2) as usize;
+    if b <= 4 || slot < n {
+        interval::slot_name(b, slot)
+    } else {
+        format!("P^{}", slot - n + 1)
+    }
+}
+
+/// The paired bitmap `P^i`, `1 <= i <= r`.
+fn p(b: u64, i: u64, comp: usize) -> Expr {
+    debug_assert!((1..=r(b)).contains(&i));
+    Expr::leaf(comp, (b.div_ceil(2) + i - 1) as usize)
+}
+
+fn i0(comp: usize) -> Expr {
+    Expr::leaf(comp, 0)
+}
+
+/// `A = v`: pair bitmap ∧ (I^0 or its complement), interval forms at the
+/// four values without a pair (`0`, `m` for even C, `m+1`, `C−1`).
+pub(crate) fn eq(b: u64, v: u64, comp: usize) -> Expr {
+    if b <= 4 {
+        return interval::eq(b, v, comp);
+    }
+    let m = interval::m(b);
+    let r = r(b);
+    if v >= 1 && v <= r {
+        // v is the low element of P^v.
+        Expr::and([p(b, v, comp), i0(comp)])
+    } else if v >= m + 2 && v <= b - 2 {
+        // v is the high element of P^{v-m-1}.
+        Expr::and([p(b, v - m - 1, comp), Expr::not(i0(comp))])
+    } else {
+        // v ∈ {0, m (even C), m+1, C−1}: interval-encoding forms.
+        interval::eq(b, v, comp)
+    }
+}
+
+/// Ranges use the interval bitmaps (Equation 5).
+pub(crate) fn le(b: u64, v: u64, comp: usize) -> Expr {
+    interval::le(b, v, comp)
+}
+
+/// Ranges use the interval bitmaps (Equation 6).
+pub(crate) fn two_sided(b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+    interval::two_sided(b, lo, hi, comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_interval_then_pairs() {
+        // b = 10: 5 I slots + 3 P slots (r = 3), m = 4.
+        assert_eq!(num_bitmaps(10), 8);
+        assert_eq!(slot_values(10, 0), (0..=4).collect::<Vec<_>>()); // I^0
+        assert_eq!(slot_values(10, 5), vec![1, 6]); // P^1
+        assert_eq!(slot_values(10, 6), vec![2, 7]); // P^2
+        assert_eq!(slot_values(10, 7), vec![3, 8]); // P^3
+        assert_eq!(slot_name(10, 5), "P^1");
+    }
+
+    #[test]
+    fn space_is_two_thirds_of_ei() {
+        // (C−2) / (3C/2) approaches 2/3 from below as C grows.
+        for b in 40u64..=200 {
+            let ei_star = num_bitmaps(b) as f64;
+            let ei = crate::EncodingScheme::EqualityInterval.num_bitmaps(b) as f64;
+            let ratio = ei_star / ei;
+            assert!(
+                (0.6..0.70).contains(&ratio),
+                "b={b}: EI*/EI = {ratio:.3}"
+            );
+        }
+        // The paper's example cardinality: 8 of EI's 15 bitmaps.
+        assert_eq!(num_bitmaps(10), 8);
+        assert_eq!(crate::EncodingScheme::EqualityInterval.num_bitmaps(10), 15);
+    }
+
+    #[test]
+    fn reduces_to_interval_when_small() {
+        for b in 2u64..=4 {
+            assert_eq!(num_bitmaps(b), interval::num_bitmaps(b));
+        }
+    }
+
+    #[test]
+    fn pair_equalities_share_i0() {
+        // Every pair-based equality touches I^0 — the §5.4 design insight.
+        for b in 5u64..=32 {
+            let m = interval::m(b);
+            for v in 1..b - 1 {
+                if v == m || v == m + 1 {
+                    continue; // interval-form values
+                }
+                let e = eq(b, v, 0);
+                assert!(
+                    e.leaves().iter().any(|l| l.slot == 0),
+                    "b={b} v={v}: expected I^0 in {e:?}"
+                );
+                assert_eq!(e.scan_count(), 2, "b={b} v={v}");
+            }
+        }
+    }
+}

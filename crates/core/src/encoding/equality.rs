@@ -1,0 +1,97 @@
+//! Equality encoding `E` (§2, Equation 1).
+//!
+//! `C` bitmaps, `E^v = {v}`. For `C = 2` only `E^0` is materialized, since
+//! `E^1 = NOT E^0` (the paper's footnote 2).
+
+use crate::Expr;
+
+pub(crate) fn num_bitmaps(b: u64) -> usize {
+    if b == 2 {
+        1
+    } else {
+        b as usize
+    }
+}
+
+pub(crate) fn slot_values(b: u64, slot: usize) -> Vec<u64> {
+    debug_assert!(slot < num_bitmaps(b));
+    vec![slot as u64]
+}
+
+pub(crate) fn slot_name(_b: u64, slot: usize) -> String {
+    format!("E^{slot}")
+}
+
+pub(crate) fn eq(b: u64, v: u64, comp: usize) -> Expr {
+    if b == 2 {
+        if v == 0 {
+            Expr::leaf(comp, 0)
+        } else {
+            Expr::not(Expr::leaf(comp, 0))
+        }
+    } else {
+        Expr::leaf(comp, v as usize)
+    }
+}
+
+/// `[0, v]` by Equation (1): OR the side with fewer bitmaps.
+pub(crate) fn le(b: u64, v: u64, comp: usize) -> Expr {
+    or_range(b, 0, v, comp)
+}
+
+/// `[lo, hi]` by Equation (1).
+pub(crate) fn two_sided(b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+    or_range(b, lo, hi, comp)
+}
+
+/// `[lo, hi]` as a disjunction of equality bitmaps, complemented when the
+/// complement side has fewer values (Equation 1's `⌊C/2⌋` rule).
+fn or_range(b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+    let width = hi - lo + 1;
+    if width <= b / 2 {
+        Expr::or((lo..=hi).map(|v| eq(b, v, comp)))
+    } else {
+        let outside = (0..lo).chain(hi + 1..b).map(|v| eq(b, v, comp));
+        Expr::not(Expr::or(outside))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncodingScheme;
+
+    #[test]
+    fn c2_stores_single_bitmap() {
+        assert_eq!(num_bitmaps(2), 1);
+        assert_eq!(eq(2, 0, 0), Expr::leaf(0, 0));
+        assert_eq!(eq(2, 1, 0), Expr::not(Expr::leaf(0, 0)));
+    }
+
+    #[test]
+    fn narrow_range_is_direct_or() {
+        // [1,2] over b=10: 2 <= 5 bitmaps, direct OR.
+        let e = EncodingScheme::Equality.expr_range(10, 1, 2, 0);
+        assert_eq!(e, Expr::or([Expr::leaf(0, 1), Expr::leaf(0, 2)]));
+    }
+
+    #[test]
+    fn wide_range_uses_complement() {
+        // [1,8] over b=10: 8 > 5, complement of {0, 9}.
+        let e = EncodingScheme::Equality.expr_range(10, 1, 8, 0);
+        assert_eq!(
+            e,
+            Expr::not(Expr::or([Expr::leaf(0, 0), Expr::leaf(0, 9)]))
+        );
+        assert_eq!(e.scan_count(), 2);
+    }
+
+    #[test]
+    fn figure_1b_layout() {
+        // Figure 1(b): C = 10 equality index, E^v = {v}.
+        for v in 0..10u64 {
+            assert_eq!(slot_values(10, v as usize), vec![v]);
+        }
+        assert_eq!(slot_name(10, 3), "E^3");
+    }
+}

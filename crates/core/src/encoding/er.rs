@@ -1,0 +1,113 @@
+//! Equality-range encoding `ER = E ∪ R` (§5.1).
+//!
+//! Both bitmap families are materialized, except `R^0 = E^0` and
+//! `R^{C−2} = NOT E^{C−1}`, which are answered from the equality bitmaps.
+//! Layout: slots `0..C` are `E^v`; slots `C..2C−3` are `R^1..R^{C−3}`.
+//! For `C <= 3` every range bitmap is redundant and `ER` degenerates to `E`.
+
+use crate::encoding::equality;
+use crate::Expr;
+
+pub(crate) fn num_bitmaps(b: u64) -> usize {
+    if b <= 3 {
+        equality::num_bitmaps(b)
+    } else {
+        (2 * b - 3) as usize
+    }
+}
+
+pub(crate) fn slot_values(b: u64, slot: usize) -> Vec<u64> {
+    if b <= 3 || slot < b as usize {
+        equality::slot_values(b, slot)
+    } else {
+        // Slot b + i - 1 is R^i, i in 1..=b-3.
+        let i = (slot as u64) - b + 1;
+        (0..=i).collect()
+    }
+}
+
+pub(crate) fn slot_name(b: u64, slot: usize) -> String {
+    if b <= 3 || slot < b as usize {
+        equality::slot_name(b, slot)
+    } else {
+        format!("R^{}", (slot as u64) - b + 1)
+    }
+}
+
+/// `R^v` for `0 <= v <= b−2`, substituting the non-materialized endpoints.
+fn r(b: u64, v: u64, comp: usize) -> Expr {
+    debug_assert!(v <= b - 2);
+    if b <= 3 {
+        // Degenerate: answer from equality bitmaps.
+        return equality::le(b, v, comp);
+    }
+    if v == 0 {
+        Expr::leaf(comp, 0) // R^0 = E^0
+    } else if v == b - 2 {
+        Expr::not(Expr::leaf(comp, (b - 1) as usize)) // R^{C-2} = ¬E^{C-1}
+    } else {
+        Expr::leaf(comp, (b + v - 1) as usize)
+    }
+}
+
+/// Equality constituents use the equality half.
+pub(crate) fn eq(b: u64, v: u64, comp: usize) -> Expr {
+    equality::eq(b, v, comp)
+}
+
+/// Range constituents use the range half: `[0, v] = R^v`.
+pub(crate) fn le(b: u64, v: u64, comp: usize) -> Expr {
+    r(b, v, comp)
+}
+
+/// `[lo, hi] = R^{hi} XOR R^{lo−1}`.
+pub(crate) fn two_sided(b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+    Expr::xor(r(b, hi, comp), r(b, lo - 1, comp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_has_both_families() {
+        // b = 10: slots 0..10 are E^v, slots 10..17 are R^1..R^7.
+        assert_eq!(num_bitmaps(10), 17);
+        assert_eq!(slot_values(10, 3), vec![3]);
+        assert_eq!(slot_values(10, 10), vec![0, 1]); // R^1
+        assert_eq!(slot_values(10, 16), (0..=7).collect::<Vec<_>>()); // R^7
+        assert_eq!(slot_name(10, 10), "R^1");
+        assert_eq!(slot_name(10, 3), "E^3");
+    }
+
+    #[test]
+    fn non_materialized_endpoints_substitute() {
+        // R^0 = E^0.
+        assert_eq!(le(10, 0, 0), Expr::leaf(0, 0));
+        // R^{C-2} = NOT E^{C-1}.
+        assert_eq!(le(10, 8, 0), Expr::not(Expr::leaf(0, 9)));
+        // Interior R bitmaps are their own slots.
+        assert_eq!(le(10, 4, 0), Expr::leaf(0, 13));
+    }
+
+    #[test]
+    fn small_cardinalities_degenerate_to_equality() {
+        assert_eq!(num_bitmaps(2), 1);
+        assert_eq!(num_bitmaps(3), 3);
+        // b = 3: [0,1] answered from equality bitmaps.
+        let e = le(3, 1, 0);
+        assert!(e.scan_count() <= 1, "got {e:?}");
+    }
+
+    #[test]
+    fn every_query_at_most_two_scans() {
+        for b in 2u64..=32 {
+            for lo in 0..b {
+                for hi in lo..b {
+                    let e = crate::EncodingScheme::EqualityRange.expr_range(b, lo, hi, 0);
+                    assert!(e.scan_count() <= 2, "ER b={b} [{lo},{hi}]");
+                }
+            }
+        }
+    }
+}

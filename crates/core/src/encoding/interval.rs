@@ -1,0 +1,217 @@
+//! Interval encoding `I` (§4, Equations 4-6) — the paper's contribution.
+//!
+//! `⌈C/2⌉` bitmaps, `I^j = [j, j+m]` with `m = ⌊C/2⌋ − 1`: a sliding
+//! window covering half the domain. Any interval query is answered with at
+//! most **two** bitmap scans, at about half the space of range encoding.
+
+use crate::Expr;
+
+/// The window half-width `m = ⌊C/2⌋ − 1`.
+pub(crate) fn m(b: u64) -> u64 {
+    b / 2 - 1
+}
+
+/// `⌈C/2⌉` bitmaps.
+pub(crate) fn num_bitmaps(b: u64) -> usize {
+    b.div_ceil(2) as usize
+}
+
+pub(crate) fn slot_values(b: u64, slot: usize) -> Vec<u64> {
+    let j = slot as u64;
+    (j..=j + m(b)).collect()
+}
+
+pub(crate) fn slot_name(_b: u64, slot: usize) -> String {
+    format!("I^{slot}")
+}
+
+fn i(comp: usize, j: u64) -> Expr {
+    Expr::leaf(comp, j as usize)
+}
+
+/// Equation (4): `A = v`.
+pub(crate) fn eq(b: u64, v: u64, comp: usize) -> Expr {
+    let m = m(b);
+    let n = b.div_ceil(2); // number of bitmaps
+    if m == 0 {
+        // b = 2 (one bitmap {0}) or b = 3 (bitmaps {0}, {1}).
+        return match (b, v) {
+            (2, 0) => i(comp, 0),
+            (2, 1) => Expr::not(i(comp, 0)),
+            (3, 2) => Expr::not(Expr::or([i(comp, 0), i(comp, 1)])),
+            (_, v) => i(comp, v),
+        };
+    }
+    if v < m {
+        // I^v ∧ NOT I^{v+1}.
+        Expr::and([i(comp, v), Expr::not(i(comp, v + 1))])
+    } else if v == m {
+        // I^v ∧ I^0.
+        Expr::and([i(comp, v), i(comp, 0)])
+    } else if v < b - 1 {
+        // I^{v−m} ∧ NOT I^{v−m−1}.
+        Expr::and([i(comp, v - m), Expr::not(i(comp, v - m - 1))])
+    } else {
+        // v = C−1: NOT (I^{⌈C/2⌉−1} ∨ I^0).
+        Expr::not(Expr::or([i(comp, n - 1), i(comp, 0)]))
+    }
+}
+
+/// Equation (5): `A <= v` for `0 <= v < C−1`.
+pub(crate) fn le(b: u64, v: u64, comp: usize) -> Expr {
+    let m = m(b);
+    if m == 0 {
+        // b = 2: v = 0 is the equality {0}; b = 3: v <= 1.
+        return match (b, v) {
+            (2, 0) => i(comp, 0),
+            (3, 0) => i(comp, 0),
+            (3, 1) => Expr::or([i(comp, 0), i(comp, 1)]),
+            _ => unreachable!("le called with v >= b-1"),
+        };
+    }
+    if v < m {
+        // I^0 ∧ NOT I^{v+1}.
+        Expr::and([i(comp, 0), Expr::not(i(comp, v + 1))])
+    } else if v == m {
+        i(comp, 0)
+    } else {
+        // m < v < C−1: I^0 ∨ I^{v−m}.
+        Expr::or([i(comp, 0), i(comp, v - m)])
+    }
+}
+
+/// Equation (6): `v1 <= A <= v2` for `0 < v1 < v2 < C−1`.
+///
+/// Derived case split (the paper's typeset equation is reconstructed in
+/// DESIGN.md §4; each case is verified exhaustively in tests):
+///
+/// * width `= m+1`: the query is exactly one stored bitmap, `I^{v1}`;
+/// * width `> m+1`: `I^{v1} ∨ I^{v2−m}` (two overlapping windows);
+/// * width `< m+1`: intersect/subtract two windows, choosing the pair
+///   whose indexes exist: `I^{v1} ∧ ¬I^{v2+1}`, or
+///   `I^{v2−m} ∧ ¬I^{v1−m−1}`, or `I^{v1} ∧ I^{v2−m}`.
+pub(crate) fn two_sided(b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+    let m = m(b);
+    let n = b.div_ceil(2);
+    debug_assert!(m >= 1, "two-sided requires b >= 4");
+    let width = hi - lo; // inclusive width minus one
+    if width == m {
+        i(comp, lo)
+    } else if width > m {
+        Expr::or([i(comp, lo), i(comp, hi - m)])
+    } else if hi < n - 1 {
+        Expr::and([i(comp, lo), Expr::not(i(comp, hi + 1))])
+    } else if lo > m {
+        Expr::and([i(comp, hi - m), Expr::not(i(comp, lo - m - 1))])
+    } else {
+        Expr::and([i(comp, lo), i(comp, hi - m)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncodingScheme;
+
+    #[test]
+    fn figure_4b_layout_c10() {
+        // Figure 4(b)/5(a): C = 10, m = 4, five bitmaps I^j = [j, j+4].
+        assert_eq!(num_bitmaps(10), 5);
+        assert_eq!(m(10), 4);
+        for j in 0..5u64 {
+            assert_eq!(slot_values(10, j as usize), (j..=j + 4).collect::<Vec<_>>());
+        }
+        assert_eq!(slot_name(10, 2), "I^2");
+    }
+
+    #[test]
+    fn space_is_half_of_range_encoding() {
+        for b in 2u64..=200 {
+            let i = num_bitmaps(b);
+            let r = (b - 1) as usize;
+            assert!(i <= r / 2 + 1, "b={b}: I={i} R={r}");
+        }
+    }
+
+    #[test]
+    fn equation_4_branch_shapes_c10() {
+        let s = EncodingScheme::Interval;
+        // v < m: I^v ∧ ¬I^{v+1}.
+        assert_eq!(
+            s.expr_eq(10, 2, 0),
+            Expr::and([Expr::leaf(0, 2), Expr::not(Expr::leaf(0, 3))])
+        );
+        // v = m: I^m ∧ I^0.
+        assert_eq!(
+            s.expr_eq(10, 4, 0),
+            Expr::and([Expr::leaf(0, 4), Expr::leaf(0, 0)])
+        );
+        // m < v < C-1: I^{v-m} ∧ ¬I^{v-m-1}.
+        assert_eq!(
+            s.expr_eq(10, 7, 0),
+            Expr::and([Expr::leaf(0, 3), Expr::not(Expr::leaf(0, 2))])
+        );
+        // v = C-1: ¬(I^{N-1} ∨ I^0).
+        assert_eq!(
+            s.expr_eq(10, 9, 0),
+            Expr::not(Expr::or([Expr::leaf(0, 4), Expr::leaf(0, 0)]))
+        );
+    }
+
+    #[test]
+    fn equation_5_branch_shapes_c10() {
+        let s = EncodingScheme::Interval;
+        assert_eq!(
+            s.expr_le(10, 2, 0),
+            Expr::and([Expr::leaf(0, 0), Expr::not(Expr::leaf(0, 3))])
+        );
+        assert_eq!(s.expr_le(10, 4, 0), Expr::leaf(0, 0));
+        assert_eq!(
+            s.expr_le(10, 7, 0),
+            Expr::or([Expr::leaf(0, 0), Expr::leaf(0, 3)])
+        );
+        assert_eq!(s.expr_le(10, 9, 0), Expr::True);
+    }
+
+    #[test]
+    fn width_m_plus_one_ranges_are_free() {
+        // A two-sided range of exactly the window width is one scan.
+        for b in 4u64..=40 {
+            let m = m(b);
+            for lo in 1..(b - 1).saturating_sub(m) {
+                let hi = lo + m;
+                if hi < b - 1 {
+                    let e = EncodingScheme::Interval.expr_range(b, lo, hi, 0);
+                    assert_eq!(e.scan_count(), 1, "b={b} [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_cardinality_edge_cases() {
+        // C = 9: N = 5 bitmaps, m = 3.
+        assert_eq!(num_bitmaps(9), 5);
+        assert_eq!(m(9), 3);
+        // All equalities verified structurally at the domain level in
+        // encoding::tests; spot-check v = C-1 here.
+        let e = EncodingScheme::Interval.expr_eq(9, 8, 0);
+        assert_eq!(
+            e,
+            Expr::not(Expr::or([Expr::leaf(0, 4), Expr::leaf(0, 0)]))
+        );
+    }
+
+    #[test]
+    fn tiny_cardinalities() {
+        assert_eq!(num_bitmaps(2), 1);
+        assert_eq!(num_bitmaps(3), 2);
+        let s = EncodingScheme::Interval;
+        assert_eq!(s.expr_eq(2, 1, 0), Expr::not(Expr::leaf(0, 0)));
+        assert_eq!(s.expr_eq(3, 1, 0), Expr::leaf(0, 1));
+        assert_eq!(
+            s.expr_eq(3, 2, 0),
+            Expr::not(Expr::or([Expr::leaf(0, 0), Expr::leaf(0, 1)]))
+        );
+    }
+}

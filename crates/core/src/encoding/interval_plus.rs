@@ -1,0 +1,199 @@
+//! `I+` — the odd-cardinality interval-encoding variant (footnote 4).
+//!
+//! The paper's footnote 4 mentions "another variant of the interval
+//! encoding scheme for the case when C is odd", detailed only in the
+//! unavailable technical report [CI98a]. Our optimality analysis shows
+//! why it exists: at odd C the basic windows `[j, j+⌊C/2⌋−1]` are *not*
+//! optimal for one-sided range queries, while windows **one value wider**
+//! are (see `bix-analysis`'s `odd_c_needs_the_footnote_4_variant`).
+//!
+//! For odd `C`, `I+` stores the same `⌈C/2⌉` bitmaps but with
+//! `m = (C−1)/2`: `I⁺^j = [j, j+m]`, so `I⁺^0 = [0, (C−1)/2]` covers a
+//! strict majority of the domain and `A <= m` is a single scan both ways
+//! from the midpoint. For even `C` the widened windows lose completeness
+//! (the two middle values become indistinguishable), so `I+` falls back
+//! to the basic interval encoding — the variant is exactly the odd-C
+//! complement the footnote describes.
+//!
+//! The evaluation case split mirrors Equations (4)-(6) with the wider
+//! `m`; every branch is verified exhaustively in `encoding::tests`.
+
+use crate::encoding::interval;
+use crate::Expr;
+
+/// True when the wide-window variant applies.
+fn is_odd(b: u64) -> bool {
+    b % 2 == 1
+}
+
+/// The wide window half-width `m = (C−1)/2` (odd C only).
+fn m(b: u64) -> u64 {
+    debug_assert!(is_odd(b));
+    (b - 1) / 2
+}
+
+pub(crate) fn num_bitmaps(b: u64) -> usize {
+    // Same count as basic interval encoding in both parities.
+    b.div_ceil(2) as usize
+}
+
+pub(crate) fn slot_values(b: u64, slot: usize) -> Vec<u64> {
+    if !is_odd(b) {
+        return interval::slot_values(b, slot);
+    }
+    let j = slot as u64;
+    (j..=j + m(b)).collect()
+}
+
+pub(crate) fn slot_name(b: u64, slot: usize) -> String {
+    if !is_odd(b) {
+        interval::slot_name(b, slot)
+    } else {
+        format!("I+^{slot}")
+    }
+}
+
+fn i(comp: usize, j: u64) -> Expr {
+    Expr::leaf(comp, j as usize)
+}
+
+/// `A = v` with the wide windows.
+pub(crate) fn eq(b: u64, v: u64, comp: usize) -> Expr {
+    if !is_odd(b) {
+        return interval::eq(b, v, comp);
+    }
+    if b == 3 {
+        // Windows [0,1], [1,2].
+        return match v {
+            0 => Expr::and([i(comp, 0), Expr::not(i(comp, 1))]),
+            1 => Expr::and([i(comp, 1), i(comp, 0)]),
+            _ => Expr::not(i(comp, 0)),
+        };
+    }
+    let m = m(b);
+    if v < m {
+        Expr::and([i(comp, v), Expr::not(i(comp, v + 1))])
+    } else if v == m {
+        Expr::and([i(comp, v), i(comp, 0)])
+    } else if v < b - 1 {
+        Expr::and([i(comp, v - m), Expr::not(i(comp, v - m - 1))])
+    } else {
+        // {C−1} = NOT [0, C−2] = NOT (I⁺^0 ∨ I⁺^{m−1}).
+        Expr::not(Expr::or([i(comp, 0), i(comp, m - 1)]))
+    }
+}
+
+/// `A <= v` for `v < C−1`: one scan at the midpoint and just below it
+/// (where `[v+1, C−1]` is exactly the last window), two elsewhere.
+pub(crate) fn le(b: u64, v: u64, comp: usize) -> Expr {
+    if !is_odd(b) {
+        return interval::le(b, v, comp);
+    }
+    let m = m(b);
+    let n = num_bitmaps(b) as u64;
+    if v == m {
+        i(comp, 0)
+    } else if v + 1 == m {
+        // [0, m−1] = NOT [m, C−1] = NOT I⁺^{N−1}: the wide windows reach
+        // the top of the domain, so this complement is a single scan.
+        Expr::not(i(comp, n - 1))
+    } else if v < m {
+        Expr::and([i(comp, 0), Expr::not(i(comp, v + 1))])
+    } else {
+        Expr::or([i(comp, 0), i(comp, v - m)])
+    }
+}
+
+/// `A >= lo` for `0 < lo <= C−1`: one scan when `[lo, C−1]` is exactly
+/// the last window, else the complement of [`le`].
+pub(crate) fn ge(b: u64, lo: u64, comp: usize) -> Expr {
+    if is_odd(b) && b - 1 - lo == m(b) {
+        return i(comp, num_bitmaps(b) as u64 - 1);
+    }
+    Expr::not(le(b, lo - 1, comp))
+}
+
+/// `lo <= A <= hi` for `0 < lo < hi < C−1`: the Equation (6) case split
+/// with the wider window.
+pub(crate) fn two_sided(b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+    if !is_odd(b) {
+        return interval::two_sided(b, lo, hi, comp);
+    }
+    let m = m(b);
+    let n = num_bitmaps(b) as u64;
+    let width = hi - lo;
+    if width == m {
+        i(comp, lo)
+    } else if width > m {
+        Expr::or([i(comp, lo), i(comp, hi - m)])
+    } else if hi < n - 1 {
+        Expr::and([i(comp, lo), Expr::not(i(comp, hi + 1))])
+    } else if lo > m {
+        Expr::and([i(comp, hi - m), Expr::not(i(comp, lo - m - 1))])
+    } else {
+        Expr::and([i(comp, lo), i(comp, hi - m)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncodingScheme;
+
+    #[test]
+    fn odd_c_layout_widens_the_window() {
+        // C = 9: five bitmaps [j, j+4] instead of basic I's [j, j+3].
+        assert_eq!(num_bitmaps(9), 5);
+        assert_eq!(slot_values(9, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(slot_values(9, 4), vec![4, 5, 6, 7, 8]);
+        assert_eq!(slot_name(9, 2), "I+^2");
+    }
+
+    #[test]
+    fn even_c_falls_back_to_basic_interval() {
+        for b in [4u64, 10, 16] {
+            for slot in 0..num_bitmaps(b) {
+                assert_eq!(
+                    slot_values(b, slot),
+                    interval::slot_values(b, slot),
+                    "b={b} slot={slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_one_sided_is_single_scan() {
+        // "A <= (C−1)/2" is exactly I⁺^0 — the query the wide variant wins.
+        for b in [5u64, 9, 17, 49] {
+            let e = EncodingScheme::IntervalPlus.expr_le(b, (b - 1) / 2, 0);
+            assert_eq!(e.scan_count(), 1, "b={b}");
+        }
+    }
+
+    #[test]
+    fn all_queries_at_most_two_scans() {
+        for b in 2u64..=33 {
+            for lo in 0..b {
+                for hi in lo..b {
+                    let e = EncodingScheme::IntervalPlus.expr_range(b, lo, hi, 0);
+                    assert!(e.scan_count() <= 2, "b={b} [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_sided_expected_scans_beat_basic_interval_at_odd_c() {
+        // The reason footnote 4 exists, measured directly.
+        for b in [5u64, 9, 13, 21] {
+            let basic: usize = (0..b - 1)
+                .map(|v| EncodingScheme::Interval.expr_le(b, v, 0).scan_count())
+                .sum();
+            let plus: usize = (0..b - 1)
+                .map(|v| EncodingScheme::IntervalPlus.expr_le(b, v, 0).scan_count())
+                .sum();
+            assert!(plus < basic, "b={b}: I+ {plus} vs I {basic}");
+        }
+    }
+}

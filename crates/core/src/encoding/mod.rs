@@ -1,0 +1,458 @@
+//! The bitmap encoding schemes.
+//!
+//! Each scheme answers two questions about a single index component of
+//! cardinality `b` (for a one-component index, `b = C`):
+//!
+//! 1. **Layout** — how many bitmaps, and which attribute values each
+//!    bitmap represents ([`EncodingScheme::slot_values`]).
+//! 2. **Evaluation** — the bitmap expression answering each predicate
+//!    class over this component: `A_i = v`, `A_i <= v`, `lo <= A_i <= hi`
+//!    (the paper's Equations 1, 2, 4, 5, 6 plus our derived expressions
+//!    for OREO and EI*; see DESIGN.md §4).
+//!
+//! The dispatcher here also normalizes edge cases once for every scheme:
+//! `A <= b−1` is `True`, `[0, b−1]` is `True`, `[v, v]` is an equality,
+//! `[0, hi]` is one-sided, and `[lo, b−1]` is `NOT (A <= lo−1)`.
+
+mod ei;
+mod ei_star;
+mod equality;
+mod er;
+mod interval;
+mod interval_plus;
+mod oreo;
+mod range;
+
+use crate::Expr;
+
+/// Which form the multi-component rewrite should pick for `α_k` in the
+/// paper's Equation (8): `(A_k = v_k)` or `(A_k <= v_k)`, whichever the
+/// encoding evaluates more cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlphaForm {
+    /// Prefer equality predicates (equality-rich encodings).
+    Equality,
+    /// Prefer one-sided range predicates (range-capable encodings).
+    Range,
+}
+
+/// The seven encoding schemes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingScheme {
+    /// `E`: bitmap per value (§2).
+    Equality,
+    /// `R`: bitmap `R^v = [0, v]` (§2).
+    Range,
+    /// `I`: bitmap `I^j = [j, j+m]`, `m = ⌊C/2⌋−1` (§4).
+    Interval,
+    /// `ER = E ∪ R` (§5.1).
+    EqualityRange,
+    /// OREO: oscillating range and equality organization (§5.2).
+    Oreo,
+    /// `EI = E ∪ I` (§5.3).
+    EqualityInterval,
+    /// `EI*`: interval bitmaps plus paired-equality bitmaps (§5.4).
+    EqualityIntervalStar,
+    /// `I+`: the odd-cardinality interval variant of footnote 4 — windows
+    /// one value wider, optimal for 1RQ at odd C (falls back to `I` at
+    /// even C).
+    IntervalPlus,
+}
+
+impl EncodingScheme {
+    /// All seven schemes, in the paper's order.
+    pub const ALL: [EncodingScheme; 7] = [
+        EncodingScheme::Equality,
+        EncodingScheme::Range,
+        EncodingScheme::Interval,
+        EncodingScheme::EqualityRange,
+        EncodingScheme::Oreo,
+        EncodingScheme::EqualityInterval,
+        EncodingScheme::EqualityIntervalStar,
+    ];
+
+    /// The three basic (non-hybrid) schemes.
+    pub const BASIC: [EncodingScheme; 3] = [
+        EncodingScheme::Equality,
+        EncodingScheme::Range,
+        EncodingScheme::Interval,
+    ];
+
+    /// The paper's seven schemes plus the footnote-4 odd-C variant.
+    pub const ALL_WITH_VARIANTS: [EncodingScheme; 8] = [
+        EncodingScheme::Equality,
+        EncodingScheme::Range,
+        EncodingScheme::Interval,
+        EncodingScheme::EqualityRange,
+        EncodingScheme::Oreo,
+        EncodingScheme::EqualityInterval,
+        EncodingScheme::EqualityIntervalStar,
+        EncodingScheme::IntervalPlus,
+    ];
+
+    /// The paper's symbol for the scheme.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            EncodingScheme::Equality => "E",
+            EncodingScheme::Range => "R",
+            EncodingScheme::Interval => "I",
+            EncodingScheme::EqualityRange => "ER",
+            EncodingScheme::Oreo => "O",
+            EncodingScheme::EqualityInterval => "EI",
+            EncodingScheme::EqualityIntervalStar => "EI*",
+            EncodingScheme::IntervalPlus => "I+",
+        }
+    }
+
+    /// Number of bitmaps stored for one component of cardinality `b`
+    /// (the paper's `Space(S, C)` for one component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b < 2`.
+    pub fn num_bitmaps(self, b: u64) -> usize {
+        assert!(b >= 2, "component cardinality must be at least 2");
+        match self {
+            EncodingScheme::Equality => equality::num_bitmaps(b),
+            EncodingScheme::Range => range::num_bitmaps(b),
+            EncodingScheme::Interval => interval::num_bitmaps(b),
+            EncodingScheme::EqualityRange => er::num_bitmaps(b),
+            EncodingScheme::Oreo => oreo::num_bitmaps(b),
+            EncodingScheme::EqualityInterval => ei::num_bitmaps(b),
+            EncodingScheme::EqualityIntervalStar => ei_star::num_bitmaps(b),
+            EncodingScheme::IntervalPlus => interval_plus::num_bitmaps(b),
+        }
+    }
+
+    /// The attribute values represented by bitmap `slot` (its bits are 1
+    /// for records whose digit is in this set). Used by index construction
+    /// and by the optimality analysis.
+    pub fn slot_values(self, b: u64, slot: usize) -> Vec<u64> {
+        assert!(slot < self.num_bitmaps(b), "slot {slot} out of range");
+        match self {
+            EncodingScheme::Equality => equality::slot_values(b, slot),
+            EncodingScheme::Range => range::slot_values(b, slot),
+            EncodingScheme::Interval => interval::slot_values(b, slot),
+            EncodingScheme::EqualityRange => er::slot_values(b, slot),
+            EncodingScheme::Oreo => oreo::slot_values(b, slot),
+            EncodingScheme::EqualityInterval => ei::slot_values(b, slot),
+            EncodingScheme::EqualityIntervalStar => ei_star::slot_values(b, slot),
+            EncodingScheme::IntervalPlus => interval_plus::slot_values(b, slot),
+        }
+    }
+
+    /// A human-readable name for bitmap `slot` (e.g. `"I^3"`).
+    pub fn slot_name(self, b: u64, slot: usize) -> String {
+        assert!(slot < self.num_bitmaps(b), "slot {slot} out of range");
+        match self {
+            EncodingScheme::Equality => equality::slot_name(b, slot),
+            EncodingScheme::Range => range::slot_name(b, slot),
+            EncodingScheme::Interval => interval::slot_name(b, slot),
+            EncodingScheme::EqualityRange => er::slot_name(b, slot),
+            EncodingScheme::Oreo => oreo::slot_name(b, slot),
+            EncodingScheme::EqualityInterval => ei::slot_name(b, slot),
+            EncodingScheme::EqualityIntervalStar => ei_star::slot_name(b, slot),
+            EncodingScheme::IntervalPlus => interval_plus::slot_name(b, slot),
+        }
+    }
+
+    /// The `α_k` preference for the multi-component rewrite (§6.2).
+    pub fn alpha(self) -> AlphaForm {
+        match self {
+            EncodingScheme::Equality
+            | EncodingScheme::EqualityRange
+            | EncodingScheme::EqualityInterval => AlphaForm::Equality,
+            EncodingScheme::Range
+            | EncodingScheme::Interval
+            | EncodingScheme::Oreo
+            | EncodingScheme::EqualityIntervalStar
+            | EncodingScheme::IntervalPlus => AlphaForm::Range,
+        }
+    }
+
+    /// Bitmap expression for `A_comp = v` on a component of cardinality `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= b`.
+    pub fn expr_eq(self, b: u64, v: u64, comp: usize) -> Expr {
+        assert!(v < b, "value {v} outside component domain 0..{b}");
+        match self {
+            EncodingScheme::Equality => equality::eq(b, v, comp),
+            EncodingScheme::Range => range::eq(b, v, comp),
+            EncodingScheme::Interval => interval::eq(b, v, comp),
+            EncodingScheme::EqualityRange => er::eq(b, v, comp),
+            EncodingScheme::Oreo => oreo::eq(b, v, comp),
+            EncodingScheme::EqualityInterval => ei::eq(b, v, comp),
+            EncodingScheme::EqualityIntervalStar => ei_star::eq(b, v, comp),
+            EncodingScheme::IntervalPlus => interval_plus::eq(b, v, comp),
+        }
+    }
+
+    /// Bitmap expression for `A_comp <= v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= b`.
+    pub fn expr_le(self, b: u64, v: u64, comp: usize) -> Expr {
+        assert!(v < b, "bound {v} outside component domain 0..{b}");
+        if v == b - 1 {
+            return Expr::True;
+        }
+        match self {
+            EncodingScheme::Equality => equality::le(b, v, comp),
+            EncodingScheme::Range => range::le(b, v, comp),
+            EncodingScheme::Interval => interval::le(b, v, comp),
+            EncodingScheme::EqualityRange => er::le(b, v, comp),
+            EncodingScheme::Oreo => oreo::le(b, v, comp),
+            EncodingScheme::EqualityInterval => ei::le(b, v, comp),
+            EncodingScheme::EqualityIntervalStar => ei_star::le(b, v, comp),
+            EncodingScheme::IntervalPlus => interval_plus::le(b, v, comp),
+        }
+    }
+
+    /// Bitmap expression for `lo <= A_comp <= hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi >= b`.
+    pub fn expr_range(self, b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+        assert!(lo <= hi && hi < b, "bad range [{lo}, {hi}] for base {b}");
+        if lo == hi {
+            return self.expr_eq(b, lo, comp);
+        }
+        if lo == 0 && hi == b - 1 {
+            return Expr::True;
+        }
+        if lo == 0 {
+            return self.expr_le(b, hi, comp);
+        }
+        if hi == b - 1 {
+            // The wide-window variant can answer some suffixes with a
+            // single stored bitmap; everything else complements `<=`.
+            return match self {
+                EncodingScheme::IntervalPlus => interval_plus::ge(b, lo, comp),
+                _ => Expr::not(self.expr_le(b, lo - 1, comp)),
+            };
+        }
+        // Proper two-sided range: 0 < lo < hi < b-1 (so b >= 4).
+        match self {
+            EncodingScheme::Equality => equality::two_sided(b, lo, hi, comp),
+            EncodingScheme::Range => range::two_sided(b, lo, hi, comp),
+            EncodingScheme::Interval => interval::two_sided(b, lo, hi, comp),
+            EncodingScheme::EqualityRange => er::two_sided(b, lo, hi, comp),
+            EncodingScheme::Oreo => oreo::two_sided(b, lo, hi, comp),
+            EncodingScheme::EqualityInterval => ei::two_sided(b, lo, hi, comp),
+            EncodingScheme::EqualityIntervalStar => ei_star::two_sided(b, lo, hi, comp),
+            EncodingScheme::IntervalPlus => interval_plus::two_sided(b, lo, hi, comp),
+        }
+    }
+}
+
+impl std::fmt::Display for EncodingScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bix_bitvec::Bitvec;
+
+    /// Evaluates an expression at the *domain level*: each bitmap is
+    /// replaced by the length-`b` bit vector of the values it represents,
+    /// so the evaluated expression is exactly the set of matching values.
+    fn domain_eval(scheme: EncodingScheme, b: u64, expr: &Expr) -> Vec<u64> {
+        let mut fetch = |r: crate::BitmapRef| {
+            assert_eq!(r.component, 0);
+            let values = scheme.slot_values(b, r.slot);
+            let positions: Vec<usize> = values.iter().map(|&v| v as usize).collect();
+            Bitvec::from_positions(b as usize, &positions)
+        };
+        expr.evaluate(b as usize, &mut fetch)
+            .to_positions()
+            .into_iter()
+            .map(|p| p as u64)
+            .collect()
+    }
+
+    /// Exhaustively verifies every evaluation equation of every scheme at
+    /// every cardinality 2..=17: equality for all v, one-sided for all v,
+    /// and every two-sided range.
+    #[test]
+    fn all_schemes_answer_all_interval_queries_exactly() {
+        for scheme in EncodingScheme::ALL_WITH_VARIANTS {
+            for b in 2u64..=17 {
+                for v in 0..b {
+                    let expr = scheme.expr_eq(b, v, 0);
+                    assert_eq!(
+                        domain_eval(scheme, b, &expr),
+                        vec![v],
+                        "{scheme} b={b}: A = {v} (expr {expr:?})"
+                    );
+                }
+                for v in 0..b {
+                    let expr = scheme.expr_le(b, v, 0);
+                    assert_eq!(
+                        domain_eval(scheme, b, &expr),
+                        (0..=v).collect::<Vec<_>>(),
+                        "{scheme} b={b}: A <= {v}"
+                    );
+                }
+                for lo in 0..b {
+                    for hi in lo..b {
+                        let expr = scheme.expr_range(b, lo, hi, 0);
+                        assert_eq!(
+                            domain_eval(scheme, b, &expr),
+                            (lo..=hi).collect::<Vec<_>>(),
+                            "{scheme} b={b}: {lo} <= A <= {hi} (expr {expr:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The paper's headline guarantee (§4): interval encoding answers
+    /// *every* interval query with at most two bitmap scans.
+    #[test]
+    fn interval_encoding_needs_at_most_two_scans() {
+        for b in 2u64..=64 {
+            for lo in 0..b {
+                for hi in lo..b {
+                    let expr = EncodingScheme::Interval.expr_range(b, lo, hi, 0);
+                    assert!(
+                        expr.scan_count() <= 2,
+                        "I b={b} [{lo},{hi}]: {} scans",
+                        expr.scan_count()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Range encoding: every interval query in at most two scans as well
+    /// (with twice the bitmaps).
+    #[test]
+    fn range_encoding_needs_at_most_two_scans() {
+        for b in 2u64..=64 {
+            for lo in 0..b {
+                for hi in lo..b {
+                    let expr = EncodingScheme::Range.expr_range(b, lo, hi, 0);
+                    assert!(expr.scan_count() <= 2, "R b={b} [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    /// Equality encoding: equality queries in one scan; ranges cost up to
+    /// ⌊C/2⌋ scans (Equation 1's complement trick caps it there).
+    #[test]
+    fn equality_encoding_scan_bounds() {
+        for b in 2u64..=64 {
+            for v in 0..b {
+                assert!(EncodingScheme::Equality.expr_eq(b, v, 0).scan_count() <= 1);
+            }
+            for lo in 0..b {
+                for hi in lo..b {
+                    let scans = EncodingScheme::Equality.expr_range(b, lo, hi, 0).scan_count();
+                    assert!(
+                        scans <= (b / 2) as usize,
+                        "E b={b} [{lo},{hi}]: {scans} scans"
+                    );
+                }
+            }
+        }
+    }
+
+    /// ER answers equality in 1 scan and one-sided ranges in 1 scan.
+    #[test]
+    fn er_is_time_optimal_for_eq_and_1rq() {
+        for b in 4u64..=32 {
+            for v in 0..b {
+                assert!(EncodingScheme::EqualityRange.expr_eq(b, v, 0).scan_count() <= 1);
+                assert!(EncodingScheme::EqualityRange.expr_le(b, v, 0).scan_count() <= 1);
+            }
+        }
+    }
+
+    /// EI* answers every equality query with at most two scans, one of
+    /// which is I^0 (§5.4's design goal).
+    #[test]
+    fn ei_star_equality_within_two_scans() {
+        for b in 2u64..=64 {
+            for v in 0..b {
+                let expr = EncodingScheme::EqualityIntervalStar.expr_eq(b, v, 0);
+                assert!(expr.scan_count() <= 2, "EI* b={b} v={v}");
+            }
+        }
+    }
+
+    /// OREO: one-sided ranges within 2 scans, equality within 3
+    /// (3 only at the `v = C−2` odd corner).
+    #[test]
+    fn oreo_scan_bounds() {
+        for b in 2u64..=64 {
+            for v in 0..b {
+                let le = EncodingScheme::Oreo.expr_le(b, v, 0);
+                assert!(le.scan_count() <= 2, "O b={b} le {v}");
+                let eq = EncodingScheme::Oreo.expr_eq(b, v, 0);
+                assert!(eq.scan_count() <= 3, "O b={b} eq {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_counts_match_paper_formulas() {
+        for b in 5u64..=64 {
+            assert_eq!(EncodingScheme::Equality.num_bitmaps(b), b as usize);
+            assert_eq!(EncodingScheme::Range.num_bitmaps(b), (b - 1) as usize);
+            assert_eq!(
+                EncodingScheme::Interval.num_bitmaps(b),
+                b.div_ceil(2) as usize
+            );
+            assert_eq!(EncodingScheme::Oreo.num_bitmaps(b), (b - 1) as usize);
+            // ER = E + R minus the two non-materialized bitmaps.
+            assert_eq!(EncodingScheme::EqualityRange.num_bitmaps(b), (2 * b - 3) as usize);
+            // EI = E + I (no sharing for b >= 4).
+            assert_eq!(
+                EncodingScheme::EqualityInterval.num_bitmaps(b),
+                (b + b.div_ceil(2)) as usize
+            );
+            // EI* = ceil(C/2) + ceil((C-4)/2).
+            assert_eq!(
+                EncodingScheme::EqualityIntervalStar.num_bitmaps(b),
+                (b.div_ceil(2) + (b - 4).div_ceil(2)) as usize
+            );
+        }
+    }
+
+    #[test]
+    fn slot_values_partition_information() {
+        // Every scheme must be *complete*: distinct values get distinct
+        // bitmap-membership signatures, so every equality query is
+        // answerable.
+        for scheme in EncodingScheme::ALL_WITH_VARIANTS {
+            for b in 2u64..=17 {
+                let n = scheme.num_bitmaps(b);
+                let mut signatures = std::collections::HashSet::new();
+                for v in 0..b {
+                    let sig: Vec<bool> = (0..n)
+                        .map(|s| scheme.slot_values(b, s).contains(&v))
+                        .collect();
+                    assert!(
+                        signatures.insert(sig),
+                        "{scheme} b={b}: value {v} is indistinguishable"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbols_are_paper_notation() {
+        let symbols: Vec<&str> = EncodingScheme::ALL.iter().map(|s| s.symbol()).collect();
+        assert_eq!(symbols, ["E", "R", "I", "ER", "O", "EI", "EI*"]);
+    }
+}

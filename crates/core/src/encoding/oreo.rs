@@ -1,0 +1,182 @@
+//! OREO encoding `O` — Oscillating Range and Equality Organization (§5.2).
+//!
+//! `C − 1` bitmaps `O^1 … O^{C−1}` interleaving the two basic schemes:
+//!
+//! * odd `i < C−1`: `O^i = R^i = [0, i]` (a range bitmap);
+//! * even `i < C−1`: `O^i = E^{i−1} ∨ E^i = {i−1, i}` (an equality pair);
+//! * `O^{C−1} = ∨_{i even} E^i` (the even-values bitmap).
+//!
+//! The paper defers the evaluation expressions to the technical report
+//! [CI98a]; the expressions below are our derivation (DESIGN.md §4),
+//! verified exhaustively against the slot definitions for every
+//! `C ∈ 2..=17` in `encoding::tests`. Slot `s` stores `O^{s+1}`.
+
+use crate::Expr;
+
+pub(crate) fn num_bitmaps(b: u64) -> usize {
+    (b - 1) as usize
+}
+
+pub(crate) fn slot_values(b: u64, slot: usize) -> Vec<u64> {
+    let i = slot as u64 + 1;
+    if i == b - 1 {
+        (0..b).filter(|v| v % 2 == 0).collect()
+    } else if i % 2 == 1 {
+        (0..=i).collect()
+    } else {
+        vec![i - 1, i]
+    }
+}
+
+pub(crate) fn slot_name(b: u64, slot: usize) -> String {
+    let i = slot as u64 + 1;
+    if i == b - 1 {
+        format!("O^{i}(evens)")
+    } else if i % 2 == 1 {
+        format!("O^{i}(range)")
+    } else {
+        format!("O^{i}(pair)")
+    }
+}
+
+/// The bitmap `O^i`, `1 <= i <= b−1`.
+fn o(i: u64, comp: usize) -> Expr {
+    debug_assert!(i >= 1);
+    Expr::leaf(comp, (i - 1) as usize)
+}
+
+/// `A = v`, at most 2 scans except the odd `v = C−2` corner (3 scans).
+pub(crate) fn eq(b: u64, v: u64, comp: usize) -> Expr {
+    if b == 2 {
+        // O^1 = evens = {0}.
+        return if v == 0 {
+            o(1, comp)
+        } else {
+            Expr::not(o(1, comp))
+        };
+    }
+    let evens = o(b - 1, comp);
+    if v == 0 {
+        // [0,1] ∧ evens.
+        Expr::and([o(1, comp), evens])
+    } else if v == b - 1 {
+        if b % 2 == 1 {
+            // C odd: O^{C-2} = [0, C-2], complement is {C-1}.
+            Expr::not(o(b - 2, comp))
+        } else {
+            // C even: neither evens nor [0, C-3] contains C-1.
+            Expr::not(Expr::or([evens, o(b - 3, comp)]))
+        }
+    } else if v.is_multiple_of(2) {
+        // {v-1, v} ∧ evens.
+        Expr::and([o(v, comp), evens])
+    } else if v < b - 2 {
+        // {v, v+1} ∧ odds.
+        Expr::and([o(v + 1, comp), Expr::not(evens)])
+    } else if v == 1 {
+        // b = 3: [0,1] ∧ odds = {1}.
+        Expr::and([o(1, comp), Expr::not(evens)])
+    } else {
+        // Odd v = C-2 (C odd, b >= 5): ([0,v] ⊕ [0,v-2]) ∧ odds.
+        Expr::and([
+            Expr::xor(o(v, comp), o(v - 2, comp)),
+            Expr::not(evens),
+        ])
+    }
+}
+
+/// `A <= v` for `v < C−1`: 1 scan at odd `v`, 2 at even `v`.
+pub(crate) fn le(b: u64, v: u64, comp: usize) -> Expr {
+    if v == 0 {
+        return eq(b, 0, comp);
+    }
+    if v % 2 == 1 {
+        o(v, comp)
+    } else {
+        // [0, v-1] ∨ {v-1, v}.
+        Expr::or([o(v - 1, comp), o(v, comp)])
+    }
+}
+
+/// `lo <= A <= hi` for `0 < lo < hi < C−1`.
+pub(crate) fn two_sided(b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+    if hi % 2 == 1 && lo >= 2 && (lo - 1) % 2 == 1 {
+        // Both bounds land on range bitmaps: nested XOR, 2 scans.
+        Expr::xor(o(hi, comp), o(lo - 1, comp))
+    } else {
+        Expr::and([le(b, hi, comp), Expr::not(le(b, lo - 1, comp))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_interleaves_ranges_and_pairs() {
+        // C = 10: O^1..O^9.
+        assert_eq!(num_bitmaps(10), 9);
+        assert_eq!(slot_values(10, 0), vec![0, 1]); // O^1 = [0,1]
+        assert_eq!(slot_values(10, 1), vec![1, 2]); // O^2 = {1,2}
+        assert_eq!(slot_values(10, 2), vec![0, 1, 2, 3]); // O^3 = [0,3]
+        assert_eq!(slot_values(10, 8), vec![0, 2, 4, 6, 8]); // O^9 = evens
+        assert!(slot_name(10, 8).contains("evens"));
+        assert!(slot_name(10, 2).contains("range"));
+        assert!(slot_name(10, 1).contains("pair"));
+    }
+
+    #[test]
+    fn same_space_as_range_encoding() {
+        for b in 2u64..=100 {
+            assert_eq!(num_bitmaps(b), (b - 1) as usize);
+        }
+    }
+
+    #[test]
+    fn odd_le_is_one_scan() {
+        for b in 4u64..=32 {
+            for v in (1..b - 1).step_by(2) {
+                assert_eq!(
+                    crate::EncodingScheme::Oreo.expr_le(b, v, 0).scan_count(),
+                    1,
+                    "b={b} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn even_le_is_two_scans() {
+        for b in 6u64..=32 {
+            for v in (2..b - 1).step_by(2) {
+                assert_eq!(
+                    crate::EncodingScheme::Oreo.expr_le(b, v, 0).scan_count(),
+                    2,
+                    "b={b} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equality_is_at_most_two_scans_except_corner() {
+        for b in 2u64..=33 {
+            for v in 0..b {
+                let scans = crate::EncodingScheme::Oreo.expr_eq(b, v, 0).scan_count();
+                let corner = b % 2 == 1 && b >= 5 && v == b - 2;
+                if corner {
+                    assert_eq!(scans, 3, "b={b} v={v}");
+                } else {
+                    assert!(scans <= 2, "b={b} v={v}: {scans}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_two_sided_is_xor_of_two() {
+        // [2, 7] over b = 10: lo-1 = 1 odd, hi = 7 odd -> XOR form.
+        let e = crate::EncodingScheme::Oreo.expr_range(10, 2, 7, 0);
+        assert_eq!(e, Expr::xor(Expr::leaf(0, 6), Expr::leaf(0, 0)));
+    }
+}

@@ -1,0 +1,98 @@
+//! Range encoding `R` (§2, Equation 2).
+//!
+//! `C − 1` bitmaps, `R^v = [0, v]` for `0 <= v <= C−2` (`R^{C−1}` would be
+//! all ones and is never stored).
+
+use crate::Expr;
+
+pub(crate) fn num_bitmaps(b: u64) -> usize {
+    (b - 1) as usize
+}
+
+pub(crate) fn slot_values(_b: u64, slot: usize) -> Vec<u64> {
+    (0..=slot as u64).collect()
+}
+
+pub(crate) fn slot_name(_b: u64, slot: usize) -> String {
+    format!("R^{slot}")
+}
+
+/// Equation (2), equality rows.
+pub(crate) fn eq(b: u64, v: u64, comp: usize) -> Expr {
+    if v == 0 {
+        Expr::leaf(comp, 0)
+    } else if v == b - 1 {
+        Expr::not(Expr::leaf(comp, (b - 2) as usize))
+    } else {
+        Expr::xor(
+            Expr::leaf(comp, v as usize),
+            Expr::leaf(comp, (v - 1) as usize),
+        )
+    }
+}
+
+/// Equation (2): `[0, v] = R^v` (caller guarantees `v < b−1`).
+pub(crate) fn le(_b: u64, v: u64, comp: usize) -> Expr {
+    Expr::leaf(comp, v as usize)
+}
+
+/// Equation (2), final row: `[lo, hi] = R^{hi} XOR R^{lo−1}` (XOR is valid
+/// because `R^{lo−1} ⊆ R^{hi}`).
+pub(crate) fn two_sided(_b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+    Expr::xor(
+        Expr::leaf(comp, hi as usize),
+        Expr::leaf(comp, (lo - 1) as usize),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncodingScheme;
+
+    #[test]
+    fn figure_1c_layout() {
+        // Figure 1(c): C = 10 range index, R^v = [0, v], 9 bitmaps.
+        assert_eq!(num_bitmaps(10), 9);
+        assert_eq!(slot_values(10, 0), vec![0]);
+        assert_eq!(slot_values(10, 8), (0..=8).collect::<Vec<u64>>());
+        assert_eq!(slot_name(10, 8), "R^8");
+    }
+
+    #[test]
+    fn equation_2_branches() {
+        // v1 = v2 = 0 -> R^0.
+        assert_eq!(EncodingScheme::Range.expr_eq(10, 0, 0), Expr::leaf(0, 0));
+        // 0 < v < C-1 -> R^v XOR R^{v-1}.
+        assert_eq!(
+            EncodingScheme::Range.expr_eq(10, 4, 0),
+            Expr::xor(Expr::leaf(0, 4), Expr::leaf(0, 3))
+        );
+        // v = C-1 -> NOT R^{C-2}.
+        assert_eq!(
+            EncodingScheme::Range.expr_eq(10, 9, 0),
+            Expr::not(Expr::leaf(0, 8))
+        );
+        // v1 = 0 -> R^{v2}.
+        assert_eq!(EncodingScheme::Range.expr_range(10, 0, 6, 0), Expr::leaf(0, 6));
+        // v2 = C-1 -> NOT R^{v1-1}.
+        assert_eq!(
+            EncodingScheme::Range.expr_range(10, 3, 9, 0),
+            Expr::not(Expr::leaf(0, 2))
+        );
+        // General two-sided -> XOR.
+        assert_eq!(
+            EncodingScheme::Range.expr_range(10, 3, 6, 0),
+            Expr::xor(Expr::leaf(0, 6), Expr::leaf(0, 2))
+        );
+    }
+
+    #[test]
+    fn one_sided_is_single_scan() {
+        for b in 2u64..=32 {
+            for v in 0..b {
+                assert!(EncodingScheme::Range.expr_le(b, v, 0).scan_count() <= 1);
+            }
+        }
+    }
+}

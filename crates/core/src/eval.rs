@@ -1,0 +1,527 @@
+//! Query evaluation strategies (§6.3).
+//!
+//! The rewrite phase produces a bitmap expression DAG; evaluating it is a
+//! scheduling problem over a bounded buffer. The paper describes the two
+//! extreme points, both implemented here:
+//!
+//! * **Component-wise** — all constituent interval queries are merged and
+//!   their bitmaps fetched one component at a time, each distinct bitmap
+//!   scanned exactly once (given sufficient buffer). This is the strategy
+//!   used throughout the paper's performance study.
+//! * **Query-wise** — constituents are evaluated one at a time, keeping a
+//!   single intermediate result. Minimal buffer requirement, but bitmaps
+//!   shared between constituents may be re-read if evicted.
+
+use crate::{BitmapRef, Expr};
+use bix_bitvec::Bitvec;
+use bix_storage::{BitmapHandle, BitmapStore, BufferPool, CostModel, IoStats};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Which evaluation strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalStrategy {
+    /// Fetch each distinct bitmap once, ordered by component (§6.3).
+    #[default]
+    ComponentWise,
+    /// Evaluate one constituent at a time with one intermediate result.
+    QueryWise,
+    /// Query-wise with a greedy schedule: constituents are reordered so
+    /// that each next constituent shares as many bitmaps as possible with
+    /// the ones just evaluated, maximizing buffer-pool reuse under tight
+    /// memory. This is the scheduling problem §6.3 leaves as future work,
+    /// solved with a nearest-neighbour heuristic.
+    QueryWiseScheduled,
+    /// The paper's component-wise evaluation *as described*: process one
+    /// component at a time, combining each component's bitmaps into the
+    /// per-constituent intermediate results and freeing them before the
+    /// next component — so working memory stays bounded by the §6.3
+    /// formula (`n1 + 2·n2` intermediates plus one component's bitmaps)
+    /// instead of holding every distinct bitmap like
+    /// [`EvalStrategy::ComponentWise`]. [`EvalResult::peak_resident`]
+    /// reports the measured footprint.
+    ComponentStreaming,
+}
+
+/// Greedy nearest-neighbour ordering: start from the constituent with the
+/// most leaves shared with any other, then repeatedly append the
+/// unvisited constituent sharing the most leaves with the previous one.
+fn schedule(constituents: &[Expr]) -> Vec<usize> {
+    let leaves: Vec<std::collections::BTreeSet<BitmapRef>> =
+        constituents.iter().map(Expr::leaves).collect();
+    let overlap = |a: usize, b: usize| leaves[a].intersection(&leaves[b]).count();
+
+    let n = constituents.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut visited = vec![false; n];
+    // Seed: the pair with maximum overlap (ties fall back to input order).
+    let mut current = (0..n)
+        .max_by_key(|&i| (0..n).filter(|&j| j != i).map(|j| overlap(i, j)).max())
+        .unwrap_or(0);
+    let mut order = Vec::with_capacity(n);
+    loop {
+        visited[current] = true;
+        order.push(current);
+        match (0..n)
+            .filter(|&j| !visited[j])
+            .max_by_key(|&j| overlap(current, j))
+        {
+            Some(next) => current = next,
+            None => break,
+        }
+    }
+    order
+}
+
+/// The outcome of one query evaluation, with the paper's cost metrics.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The matching records.
+    pub bitmap: Bitvec,
+    /// Bitmap reads issued against the store (rescans included).
+    pub scans: usize,
+    /// Distinct bitmaps referenced by the expression.
+    pub distinct_bitmaps: usize,
+    /// Disk activity attributable to this evaluation.
+    pub io: IoStats,
+    /// Simulated disk time (cost model over `io`), seconds.
+    pub io_seconds: f64,
+    /// Measured CPU time (bitwise ops + decompression), seconds.
+    pub cpu_seconds: f64,
+    /// Peak number of bitmaps resident in working memory at once
+    /// (loaded leaves plus live intermediate results). Meaningfully small
+    /// only for [`EvalStrategy::ComponentStreaming`]; the cache-everything
+    /// strategies report their full cache size.
+    pub peak_resident: usize,
+}
+
+impl EvalResult {
+    /// Simulated total processing time: disk + CPU, the paper's
+    /// time-efficiency metric.
+    pub fn total_seconds(&self) -> f64 {
+        self.io_seconds + self.cpu_seconds
+    }
+}
+
+/// Evaluates constituent expressions against stored bitmaps.
+///
+/// `handles` maps a [`BitmapRef`] to its stored bitmap; `rows` is the
+/// relation cardinality. Constituents are OR-ed together (a membership
+/// query is a disjunction of its interval constituents); pass a single
+/// constituent for a plain interval query.
+pub fn evaluate(
+    constituents: &[Expr],
+    rows: usize,
+    handles: &dyn Fn(BitmapRef) -> BitmapHandle,
+    store: &mut BitmapStore,
+    pool: &mut BufferPool,
+    strategy: EvalStrategy,
+    cost: &CostModel,
+) -> EvalResult {
+    let before_io = store.stats();
+    let started = Instant::now();
+
+    let merged = Expr::or(constituents.iter().cloned());
+    let distinct = merged.scan_count();
+    let mut scans = 0usize;
+    let mut peak_resident = 0usize;
+
+    let bitmap = match strategy {
+        EvalStrategy::ComponentStreaming => {
+            let (result, peak, n_scans) =
+                evaluate_streaming(&merged, rows, handles, store, pool);
+            scans = n_scans;
+            peak_resident = peak;
+            result
+        }
+        EvalStrategy::ComponentWise => {
+            // Fetch every distinct bitmap once, in component order, then
+            // fold the whole expression from the cache.
+            let mut cache: BTreeMap<BitmapRef, Bitvec> = BTreeMap::new();
+            for r in merged.leaves() {
+                let bv = store.read(handles(r), pool);
+                scans += 1;
+                cache.insert(r, bv);
+            }
+            peak_resident = cache.len() + 1;
+            let mut fetch = |r: BitmapRef| cache[&r].clone();
+            merged.evaluate(rows, &mut fetch)
+        }
+        EvalStrategy::QueryWise | EvalStrategy::QueryWiseScheduled => {
+            // One constituent at a time; each constituent re-fetches its
+            // own leaves (the pool may or may not still hold them).
+            let order: Vec<usize> = match strategy {
+                EvalStrategy::QueryWiseScheduled => schedule(constituents),
+                _ => (0..constituents.len()).collect(),
+            };
+            let mut acc = Bitvec::zeros(rows);
+            let mut any = false;
+            for expr in order.iter().map(|&i| &constituents[i]) {
+                let mut fetch = |r: BitmapRef| {
+                    scans += 1;
+                    store.read(handles(r), pool)
+                };
+                let result = expr.evaluate(rows, &mut fetch);
+                if any {
+                    acc.or_assign(&result);
+                } else {
+                    acc = result;
+                    any = true;
+                }
+            }
+            if constituents.is_empty() {
+                Bitvec::zeros(rows)
+            } else {
+                acc
+            }
+        }
+    };
+
+    let cpu_seconds = cost.cpu_seconds(started.elapsed().as_secs_f64());
+    let io = store.stats().since(&before_io);
+    EvalResult {
+        bitmap,
+        scans,
+        distinct_bitmaps: distinct,
+        io,
+        io_seconds: cost.io_seconds(&io),
+        cpu_seconds,
+        peak_resident,
+    }
+}
+
+/// The §6.3 streaming component-wise pass: a dataflow schedule over the
+/// expression DAG. Unique subexpressions are computed in component phases
+/// (a node runs in the phase of its highest-component leaf), leaf bitmaps
+/// are loaded only during their component's phase, and every value —
+/// leaf or intermediate — is freed as soon as its last consumer has run.
+/// Returns `(result, peak_resident, scans)`.
+fn evaluate_streaming(
+    merged: &Expr,
+    rows: usize,
+    handles: &dyn Fn(BitmapRef) -> BitmapHandle,
+    store: &mut BitmapStore,
+    pool: &mut BufferPool,
+) -> (Bitvec, usize, usize) {
+    use std::collections::HashMap;
+
+    // 1. Hash-cons the DAG: unique nodes in topological (postorder) order.
+    #[derive(Clone)]
+    enum NodeOp {
+        Const(bool),
+        Leaf(BitmapRef),
+        Not(usize),
+        And(Vec<usize>),
+        Or(Vec<usize>),
+        Xor(usize, usize),
+    }
+    let mut index_of: HashMap<&Expr, usize> = HashMap::new();
+    let mut ops: Vec<NodeOp> = Vec::new();
+    let mut phase_of: Vec<usize> = Vec::new(); // component phase (0 = constants)
+
+    fn intern<'e>(
+        e: &'e Expr,
+        index_of: &mut std::collections::HashMap<&'e Expr, usize>,
+        ops: &mut Vec<NodeOp>,
+        phase_of: &mut Vec<usize>,
+    ) -> usize {
+        if let Some(&i) = index_of.get(e) {
+            return i;
+        }
+        let (op, phase) = match e {
+            Expr::True => (NodeOp::Const(true), 0),
+            Expr::False => (NodeOp::Const(false), 0),
+            Expr::Leaf(r) => (NodeOp::Leaf(*r), r.component + 1),
+            Expr::Not(inner) => {
+                let c = intern(inner, index_of, ops, phase_of);
+                (NodeOp::Not(c), phase_of[c])
+            }
+            Expr::And(children) => {
+                let cs: Vec<usize> = children
+                    .iter()
+                    .map(|c| intern(c, index_of, ops, phase_of))
+                    .collect();
+                let phase = cs.iter().map(|&c| phase_of[c]).max().unwrap_or(0);
+                (NodeOp::And(cs), phase)
+            }
+            Expr::Or(children) => {
+                let cs: Vec<usize> = children
+                    .iter()
+                    .map(|c| intern(c, index_of, ops, phase_of))
+                    .collect();
+                let phase = cs.iter().map(|&c| phase_of[c]).max().unwrap_or(0);
+                (NodeOp::Or(cs), phase)
+            }
+            Expr::Xor(a, b) => {
+                let ca = intern(a, index_of, ops, phase_of);
+                let cb = intern(b, index_of, ops, phase_of);
+                (NodeOp::Xor(ca, cb), phase_of[ca].max(phase_of[cb]))
+            }
+        };
+        ops.push(op);
+        phase_of.push(phase);
+        let i = ops.len() - 1;
+        index_of.insert(e, i);
+        i
+    }
+    let root = intern(merged, &mut index_of, &mut ops, &mut phase_of);
+
+    // 2. Reference counts (how many consumers each node has).
+    let mut refs = vec![0usize; ops.len()];
+    for op in &ops {
+        match op {
+            NodeOp::Not(c) => refs[*c] += 1,
+            NodeOp::And(cs) | NodeOp::Or(cs) => {
+                for &c in cs {
+                    refs[c] += 1;
+                }
+            }
+            NodeOp::Xor(a, b) => {
+                refs[*a] += 1;
+                refs[*b] += 1;
+            }
+            _ => {}
+        }
+    }
+    refs[root] += 1; // the final consumer
+
+    // 3. Phase-ordered execution. Nodes are already topologically ordered
+    // within `ops` (postorder), so a stable sort by phase preserves
+    // child-before-parent within each phase.
+    let mut order: Vec<usize> = (0..ops.len()).collect();
+    order.sort_by_key(|&i| phase_of[i]);
+
+    let mut results: Vec<Option<Bitvec>> = vec![None; ops.len()];
+    let mut resident = 0usize;
+    let mut peak = 0usize;
+    let mut scans = 0usize;
+
+    for &i in &order {
+        let value = match &ops[i] {
+            NodeOp::Const(true) => Bitvec::ones_vec(rows),
+            NodeOp::Const(false) => Bitvec::zeros(rows),
+            NodeOp::Leaf(r) => {
+                scans += 1;
+                store.read(handles(*r), pool)
+            }
+            NodeOp::Not(c) => results[*c].as_ref().expect("child computed").not(),
+            NodeOp::And(cs) => {
+                let mut acc = results[cs[0]].as_ref().expect("child computed").clone();
+                for &c in &cs[1..] {
+                    acc.and_assign(results[c].as_ref().expect("child computed"));
+                }
+                acc
+            }
+            NodeOp::Or(cs) => {
+                let mut acc = results[cs[0]].as_ref().expect("child computed").clone();
+                for &c in &cs[1..] {
+                    acc.or_assign(results[c].as_ref().expect("child computed"));
+                }
+                acc
+            }
+            NodeOp::Xor(a, b) => {
+                let mut acc = results[*a].as_ref().expect("child computed").clone();
+                acc.xor_assign(results[*b].as_ref().expect("child computed"));
+                acc
+            }
+        };
+        results[i] = Some(value);
+        resident += 1;
+        peak = peak.max(resident);
+        // Release children whose last consumer just ran.
+        let release: Vec<usize> = match &ops[i] {
+            NodeOp::Not(c) => vec![*c],
+            NodeOp::And(cs) | NodeOp::Or(cs) => cs.clone(),
+            NodeOp::Xor(a, b) => vec![*a, *b],
+            _ => Vec::new(),
+        };
+        for c in release {
+            refs[c] -= 1;
+            if refs[c] == 0 && results[c].is_some() {
+                results[c] = None;
+                resident -= 1;
+            }
+        }
+    }
+
+    let result = results[root].take().expect("root computed");
+    (result, peak, scans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bix_compress::CodecKind;
+    use bix_storage::DiskConfig;
+
+    /// A toy store with 4 bitmaps over 100 rows.
+    fn setup() -> (BitmapStore, Vec<BitmapHandle>, Vec<Bitvec>) {
+        let mut store = BitmapStore::new(DiskConfig { page_size: 64 });
+        let rows = 100usize;
+        let bitmaps: Vec<Bitvec> = (0..4)
+            .map(|k| {
+                let positions: Vec<usize> = (0..rows).filter(|i| i % (k + 2) == 0).collect();
+                Bitvec::from_positions(rows, &positions)
+            })
+            .collect();
+        let handles = bitmaps
+            .iter()
+            .enumerate()
+            .map(|(k, bv)| store.put(&format!("b{k}"), CodecKind::Raw, bv))
+            .collect();
+        (store, handles, bitmaps)
+    }
+
+    #[test]
+    fn component_wise_scans_each_distinct_bitmap_once() {
+        let (mut store, handles, bitmaps) = setup();
+        let mut pool = BufferPool::new(64);
+        // Expression referencing bitmap 0 twice and bitmap 1 once.
+        let e = Expr::or([
+            Expr::and([Expr::leaf(0, 0), Expr::leaf(0, 1)]),
+            Expr::and([Expr::leaf(0, 0), Expr::not(Expr::leaf(0, 1))]),
+        ]);
+        let result = evaluate(
+            &[e],
+            100,
+            &|r| handles[r.slot],
+            &mut store,
+            &mut pool,
+            EvalStrategy::ComponentWise,
+            &CostModel::default(),
+        );
+        assert_eq!(result.scans, 2);
+        assert_eq!(result.distinct_bitmaps, 2);
+        // (b0 ∧ b1) ∨ (b0 ∧ ¬b1) = b0.
+        assert_eq!(result.bitmap, bitmaps[0]);
+        assert!(result.io_seconds > 0.0);
+    }
+
+    #[test]
+    fn query_wise_rescans_shared_bitmaps() {
+        let (mut store, handles, bitmaps) = setup();
+        let mut pool = BufferPool::new(64);
+        let constituents = vec![
+            Expr::and([Expr::leaf(0, 0), Expr::leaf(0, 1)]),
+            Expr::and([Expr::leaf(0, 0), Expr::leaf(0, 2)]),
+        ];
+        let result = evaluate(
+            &constituents,
+            100,
+            &|r| handles[r.slot],
+            &mut store,
+            &mut pool,
+            EvalStrategy::QueryWise,
+            &CostModel::default(),
+        );
+        // Bitmap 0 fetched by both constituents: 4 store reads, 3 distinct.
+        assert_eq!(result.scans, 4);
+        assert_eq!(result.distinct_bitmaps, 3);
+        let expect = bitmaps[0].and(&bitmaps[1]).or(&bitmaps[0].and(&bitmaps[2]));
+        assert_eq!(result.bitmap, expect);
+    }
+
+    #[test]
+    fn schedule_groups_sharing_constituents() {
+        // Constituents 0 and 2 share leaves; the schedule must make them
+        // adjacent so the pool can serve the second from cache.
+        let constituents = vec![
+            Expr::and([Expr::leaf(0, 0), Expr::leaf(0, 1)]),
+            Expr::leaf(0, 7),
+            Expr::and([Expr::leaf(0, 0), Expr::leaf(0, 2)]),
+        ];
+        let order = schedule(&constituents);
+        let pos = |i: usize| order.iter().position(|&x| x == i).expect("present");
+        assert_eq!(pos(0).abs_diff(pos(2)), 1, "sharing pair split: {order:?}");
+    }
+
+    #[test]
+    fn schedule_is_a_permutation() {
+        let constituents: Vec<Expr> = (0..6).map(|s| Expr::leaf(0, s)).collect();
+        let mut order = schedule(&constituents);
+        order.sort_unstable();
+        assert_eq!(order, (0..6).collect::<Vec<_>>());
+        assert!(schedule(&[]).is_empty());
+        assert_eq!(schedule(&constituents[..1]), vec![0]);
+    }
+
+    #[test]
+    fn strategies_agree_on_results() {
+        let (mut store, handles, _) = setup();
+        let constituents = vec![
+            Expr::xor(Expr::leaf(0, 0), Expr::leaf(0, 3)),
+            Expr::not(Expr::leaf(0, 2)),
+        ];
+        let mut results = Vec::new();
+        for strategy in [
+            EvalStrategy::ComponentWise,
+            EvalStrategy::QueryWise,
+            EvalStrategy::QueryWiseScheduled,
+        ] {
+            let mut pool = BufferPool::new(64);
+            store.reset_stats();
+            results.push(
+                evaluate(
+                    &constituents,
+                    100,
+                    &|r| handles[r.slot],
+                    &mut store,
+                    &mut pool,
+                    strategy,
+                    &CostModel::default(),
+                )
+                .bitmap,
+            );
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn empty_constituents_yield_empty_bitmap() {
+        let (mut store, handles, _) = setup();
+        for strategy in [EvalStrategy::ComponentWise, EvalStrategy::QueryWise] {
+            let mut pool = BufferPool::new(8);
+            let result = evaluate(
+                &[],
+                100,
+                &|r| handles[r.slot],
+                &mut store,
+                &mut pool,
+                strategy,
+                &CostModel::default(),
+            );
+            assert!(result.bitmap.is_all_zero());
+            assert_eq!(result.scans, 0);
+        }
+    }
+
+    #[test]
+    fn warm_pool_reduces_io_but_not_scans() {
+        let (mut store, handles, _) = setup();
+        let mut pool = BufferPool::new(64);
+        let e = vec![Expr::leaf(0, 0)];
+        let cold = evaluate(
+            &e,
+            100,
+            &|r| handles[r.slot],
+            &mut store,
+            &mut pool,
+            EvalStrategy::ComponentWise,
+            &CostModel::default(),
+        );
+        let warm = evaluate(
+            &e,
+            100,
+            &|r| handles[r.slot],
+            &mut store,
+            &mut pool,
+            EvalStrategy::ComponentWise,
+            &CostModel::default(),
+        );
+        assert_eq!(cold.scans, warm.scans);
+        assert!(warm.io.pages_read < cold.io.pages_read.max(1));
+        assert!(warm.io_seconds < cold.io_seconds);
+    }
+}

@@ -1,0 +1,345 @@
+//! Index persistence: a versioned on-disk format for built indexes.
+//!
+//! The experiments run against a simulated disk, but a downstream user
+//! needs to build an index once and reopen it later. The format is a
+//! single file:
+//!
+//! ```text
+//! magic  "BIXIDX1\n"                          8 bytes
+//! u64    attribute cardinality C
+//! u64    row count
+//! u8     encoding tag   u8 codec tag   u8 has-existence-bitmap
+//! u16    number of components
+//! u64×n  component bases, least significant first
+//! u64×C  per-value histogram (for selectivity estimation)
+//! u32    total bitmap count
+//! per bitmap (component-major, slot order; the existence bitmap, when
+//! present, comes last):
+//!   u64  stored (compressed) byte length
+//!   ...  stored bytes (exactly as on the simulated disk)
+//! ```
+//!
+//! All integers are little-endian. Loading rebuilds the simulated disk
+//! with the same page geometry, so space accounting and query costs are
+//! identical to the freshly built index.
+
+use crate::{BaseVector, BitmapIndex, CodecKind, EncodingScheme, IndexConfig};
+use bix_storage::{BitmapStore, DiskConfig};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"BIXIDX1\n";
+
+fn encoding_tag(scheme: EncodingScheme) -> u8 {
+    match scheme {
+        EncodingScheme::Equality => 0,
+        EncodingScheme::Range => 1,
+        EncodingScheme::Interval => 2,
+        EncodingScheme::EqualityRange => 3,
+        EncodingScheme::Oreo => 4,
+        EncodingScheme::EqualityInterval => 5,
+        EncodingScheme::EqualityIntervalStar => 6,
+        EncodingScheme::IntervalPlus => 7,
+    }
+}
+
+fn encoding_from_tag(tag: u8) -> io::Result<EncodingScheme> {
+    EncodingScheme::ALL_WITH_VARIANTS
+        .into_iter()
+        .find(|&s| encoding_tag(s) == tag)
+        .ok_or_else(|| bad_data(format!("unknown encoding tag {tag}")))
+}
+
+fn codec_tag(codec: CodecKind) -> u8 {
+    match codec {
+        CodecKind::Raw => 0,
+        CodecKind::Bbc => 1,
+        CodecKind::Wah => 2,
+        CodecKind::Ewah => 3,
+        CodecKind::Roaring => 4,
+    }
+}
+
+fn codec_from_tag(tag: u8) -> io::Result<CodecKind> {
+    match tag {
+        0 => Ok(CodecKind::Raw),
+        1 => Ok(CodecKind::Bbc),
+        2 => Ok(CodecKind::Wah),
+        3 => Ok(CodecKind::Ewah),
+        4 => Ok(CodecKind::Roaring),
+        other => Err(bad_data(format!("unknown codec tag {other}"))),
+    }
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_exact_array<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(read_exact_array(r)?))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(read_exact_array(r)?))
+}
+
+fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    Ok(u16::from_le_bytes(read_exact_array(r)?))
+}
+
+impl BitmapIndex {
+    /// Serializes the index to a writer in the format above.
+    pub fn save_to(&self, mut w: impl Write) -> io::Result<()> {
+        let config = self.config();
+        w.write_all(MAGIC)?;
+        w.write_all(&config.cardinality.to_le_bytes())?;
+        w.write_all(&(self.rows() as u64).to_le_bytes())?;
+        w.write_all(&[
+            encoding_tag(config.encoding),
+            codec_tag(config.codec),
+            u8::from(self.is_nullable()),
+        ])?;
+        let bases = config.bases.bases();
+        w.write_all(&(bases.len() as u16).to_le_bytes())?;
+        for &b in bases {
+            w.write_all(&b.to_le_bytes())?;
+        }
+        for &count in self.histogram() {
+            w.write_all(&count.to_le_bytes())?;
+        }
+        w.write_all(&(self.num_bitmaps() as u32).to_le_bytes())?;
+        for (comp, &base) in bases.iter().enumerate() {
+            for slot in 0..config.encoding.num_bitmaps(base) {
+                let contents = self.stored_contents(comp, slot);
+                w.write_all(&(contents.len() as u64).to_le_bytes())?;
+                w.write_all(contents)?;
+            }
+        }
+        if let Some(eb) = self.existence_handle() {
+            let contents = self.existence_contents(eb);
+            w.write_all(&(contents.len() as u64).to_le_bytes())?;
+            w.write_all(contents)?;
+        }
+        Ok(())
+    }
+
+    /// Saves to a file path.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.save_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Deserializes an index from a reader.
+    pub fn load_from(mut r: impl Read) -> io::Result<BitmapIndex> {
+        let magic: [u8; 8] = read_exact_array(&mut r)?;
+        if &magic != MAGIC {
+            return Err(bad_data("not a bitmap-index file (bad magic)".into()));
+        }
+        let cardinality = read_u64(&mut r)?;
+        let rows = read_u64(&mut r)? as usize;
+        let [enc_tag, codec_tag_byte, has_existence] = read_exact_array::<3>(&mut r)?;
+        let encoding = encoding_from_tag(enc_tag)?;
+        let codec = codec_from_tag(codec_tag_byte)?;
+        if has_existence > 1 {
+            return Err(bad_data(format!("bad existence flag {has_existence}")));
+        }
+        let n = read_u16(&mut r)? as usize;
+        if n == 0 {
+            return Err(bad_data("zero components".into()));
+        }
+        let mut bases = Vec::with_capacity(n);
+        for _ in 0..n {
+            bases.push(read_u64(&mut r)?);
+        }
+        let bases = BaseVector::from_lsb(bases);
+        if bases.capacity() < cardinality {
+            return Err(bad_data("base vector cannot cover cardinality".into()));
+        }
+        let mut histogram = Vec::with_capacity(cardinality as usize);
+        for _ in 0..cardinality {
+            histogram.push(read_u64(&mut r)?);
+        }
+        let total_bitmaps = read_u32(&mut r)? as usize;
+        let config = IndexConfig {
+            cardinality,
+            bases,
+            encoding,
+            codec,
+            disk: DiskConfig::default(),
+        };
+        if total_bitmaps != config.num_bitmaps() {
+            return Err(bad_data(format!(
+                "bitmap count {} does not match configuration ({})",
+                total_bitmaps,
+                config.num_bitmaps()
+            )));
+        }
+
+        let mut store = BitmapStore::new(config.disk);
+        let mut handles = Vec::with_capacity(n);
+        let mut uncompressed_bytes = 0usize;
+        for (comp, &b) in config.bases.bases().iter().enumerate() {
+            let n_slots = encoding.num_bitmaps(b);
+            let mut comp_handles = Vec::with_capacity(n_slots);
+            for slot in 0..n_slots {
+                let len = read_u64(&mut r)? as usize;
+                let mut contents = vec![0u8; len];
+                r.read_exact(&mut contents)?;
+                // Validate by decoding once; also restores len-bits info.
+                let name = format!("c{comp}:{}", encoding.slot_name(b, slot));
+                let bitmap = codec.codec().decompress(&contents, rows);
+                uncompressed_bytes += bitmap.byte_size();
+                comp_handles.push(store.put(&name, codec, &bitmap));
+            }
+            handles.push(comp_handles);
+        }
+        let existence = if has_existence == 1 {
+            let len = read_u64(&mut r)? as usize;
+            let mut contents = vec![0u8; len];
+            r.read_exact(&mut contents)?;
+            let bitmap = codec.codec().decompress(&contents, rows);
+            uncompressed_bytes += bitmap.byte_size();
+            Some(store.put("EB", codec, &bitmap))
+        } else {
+            None
+        };
+        Ok(BitmapIndex::from_parts(
+            config,
+            store,
+            handles,
+            existence,
+            histogram,
+            rows,
+            uncompressed_bytes,
+        ))
+    }
+
+    /// Loads from a file path.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<BitmapIndex> {
+        let file = std::fs::File::open(path)?;
+        BitmapIndex::load_from(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Query;
+
+    fn sample_index(scheme: EncodingScheme, codec: CodecKind) -> BitmapIndex {
+        let column: Vec<u64> = (0..5000u64).map(|i| (i * 37 + i / 7) % 50).collect();
+        let config = IndexConfig::n_components(50, scheme, 2).with_codec(codec);
+        BitmapIndex::build(&column, &config)
+    }
+
+    #[test]
+    fn save_load_round_trip_in_memory() {
+        for scheme in EncodingScheme::ALL_WITH_VARIANTS {
+            for codec in [CodecKind::Raw, CodecKind::Bbc] {
+                let mut original = sample_index(scheme, codec);
+                let mut buf = Vec::new();
+                original.save_to(&mut buf).expect("save");
+                let mut loaded = BitmapIndex::load_from(buf.as_slice()).expect("load");
+
+                assert_eq!(loaded.rows(), original.rows());
+                assert_eq!(loaded.num_bitmaps(), original.num_bitmaps());
+                assert_eq!(loaded.space_bytes(), original.space_bytes());
+                for q in [
+                    Query::equality(17),
+                    Query::range(5, 31),
+                    Query::membership(vec![0, 9, 48, 49]),
+                ] {
+                    assert_eq!(
+                        loaded.evaluate(&q).to_positions(),
+                        original.evaluate(&q).to_positions(),
+                        "{scheme} {codec} {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_on_disk() {
+        let mut original = sample_index(EncodingScheme::Interval, CodecKind::Bbc);
+        let path = std::env::temp_dir().join(format!("bix_persist_test_{}.idx", std::process::id()));
+        original.save(&path).expect("save to file");
+        let mut loaded = BitmapIndex::load(&path).expect("load from file");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            loaded.evaluate(&Query::range(10, 20)).to_positions(),
+            original.evaluate(&Query::range(10, 20)).to_positions()
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = match BitmapIndex::load_from(&b"NOTANIDX________"[..]) {
+            Err(e) => e,
+            Ok(_) => panic!("bad magic accepted"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let original = sample_index(EncodingScheme::Equality, CodecKind::Raw);
+        let mut buf = Vec::new();
+        original.save_to(&mut buf).expect("save");
+        buf.truncate(buf.len() / 2);
+        assert!(BitmapIndex::load_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let original = sample_index(EncodingScheme::Equality, CodecKind::Raw);
+        let mut buf = Vec::new();
+        original.save_to(&mut buf).expect("save");
+        buf[24] = 0xEE; // encoding tag byte
+        assert!(BitmapIndex::load_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn nullable_index_round_trips_with_existence_bitmap() {
+        let column: Vec<Option<u64>> = (0..1000u64)
+            .map(|i| if i % 7 == 0 { None } else { Some(i % 50) })
+            .collect();
+        let config =
+            IndexConfig::one_component(50, EncodingScheme::Interval).with_codec(CodecKind::Bbc);
+        let mut original = BitmapIndex::build_nullable(&column, &config);
+        let mut buf = Vec::new();
+        original.save_to(&mut buf).expect("save");
+        let mut loaded = BitmapIndex::load_from(buf.as_slice()).expect("load");
+        assert!(loaded.is_nullable());
+        assert_eq!(loaded.non_null_rows(), original.non_null_rows());
+        for q in [Query::equality(49), Query::range(3, 20).not()] {
+            assert_eq!(
+                loaded.evaluate(&q).to_positions(),
+                original.evaluate(&q).to_positions(),
+                "{q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn loaded_index_supports_appends() {
+        let mut original = sample_index(EncodingScheme::Interval, CodecKind::Bbc);
+        let mut buf = Vec::new();
+        original.save_to(&mut buf).expect("save");
+        let mut loaded = BitmapIndex::load_from(buf.as_slice()).expect("load");
+        loaded.append(&[7, 7, 7]);
+        original.append(&[7, 7, 7]);
+        assert_eq!(
+            loaded.evaluate(&Query::equality(7)).to_positions(),
+            original.evaluate(&Query::equality(7)).to_positions()
+        );
+    }
+}

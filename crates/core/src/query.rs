@@ -1,0 +1,224 @@
+//! The query model: interval and membership selection queries.
+
+/// A selection query over one attribute with domain `0..C`.
+///
+/// The paper's taxonomy (§1): an *interval query* is `x <= A <= y` or its
+/// negation; a *membership query* is `A IN {v1, …, vk}`. Equality and
+/// one-/two-sided range queries are special cases of interval queries, and
+/// every membership query is a disjunction of a minimal set of interval
+/// queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// `lo <= A <= hi` (inclusive both ends).
+    Interval {
+        /// Lower bound, inclusive.
+        lo: u64,
+        /// Upper bound, inclusive.
+        hi: u64,
+    },
+    /// `A IN {values}` — an arbitrary value set.
+    Membership(Vec<u64>),
+    /// `NOT (q)`.
+    Not(Box<Query>),
+}
+
+/// The paper's query classes (§1): EQ, 1RQ, 2RQ, RQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// `A = v` (`x = y`).
+    Equality,
+    /// `A <= v` or `A >= v` (`x = 0` or `y = C−1`).
+    OneSidedRange,
+    /// `x <= A <= y` with `0 < x <= y < C−1`, `x < y`.
+    TwoSidedRange,
+    /// The whole domain (`x = 0` and `y = C−1`).
+    All,
+}
+
+impl Query {
+    /// `A = v`.
+    pub fn equality(v: u64) -> Query {
+        Query::Interval { lo: v, hi: v }
+    }
+
+    /// `lo <= A <= hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(lo: u64, hi: u64) -> Query {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        Query::Interval { lo, hi }
+    }
+
+    /// `A <= v`.
+    pub fn le(v: u64) -> Query {
+        Query::Interval { lo: 0, hi: v }
+    }
+
+    /// `A >= v` over a domain of cardinality `c`.
+    pub fn ge(v: u64, c: u64) -> Query {
+        assert!(v < c, "bound {v} outside domain 0..{c}");
+        Query::Interval { lo: v, hi: c - 1 }
+    }
+
+    /// `A IN {values}`.
+    pub fn membership(values: impl Into<Vec<u64>>) -> Query {
+        Query::Membership(values.into())
+    }
+
+    /// `NOT (self)`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Query {
+        match self {
+            Query::Not(inner) => *inner,
+            other => Query::Not(Box::new(other)),
+        }
+    }
+
+    /// Classifies an interval query `[lo, hi]` within domain `0..c`.
+    pub fn classify_interval(lo: u64, hi: u64, c: u64) -> QueryClass {
+        if lo == hi {
+            QueryClass::Equality
+        } else if lo == 0 && hi == c - 1 {
+            QueryClass::All
+        } else if lo == 0 || hi == c - 1 {
+            QueryClass::OneSidedRange
+        } else {
+            QueryClass::TwoSidedRange
+        }
+    }
+
+    /// Parses the compact predicate grammar used by the `bix` CLI:
+    ///
+    /// | Syntax | Meaning |
+    /// |---|---|
+    /// | `=v` | `A = v` |
+    /// | `<=v` | `A <= v` |
+    /// | `>=v` | `A >= v` |
+    /// | `lo..hi` | `lo <= A <= hi` (inclusive) |
+    /// | `in:a,b,c` | `A IN {a, b, c}` |
+    /// | `!<pred>` | negation of any of the above |
+    ///
+    /// `cardinality` bounds `>=` (and validates nothing else — evaluation
+    /// validates bounds against the index domain).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed input.
+    pub fn parse(s: &str, cardinality: u64) -> Result<Query, String> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix('!') {
+            return Ok(Query::parse(rest, cardinality)?.not());
+        }
+        if let Some(v) = s.strip_prefix('=') {
+            let v: u64 = v.trim().parse().map_err(|_| format!("bad value in {s:?}"))?;
+            return Ok(Query::equality(v));
+        }
+        if let Some(v) = s.strip_prefix("<=") {
+            let v: u64 = v.trim().parse().map_err(|_| format!("bad bound in {s:?}"))?;
+            return Ok(Query::le(v));
+        }
+        if let Some(v) = s.strip_prefix(">=") {
+            let v: u64 = v.trim().parse().map_err(|_| format!("bad bound in {s:?}"))?;
+            if v >= cardinality {
+                return Err(format!("bound {v} outside domain 0..{cardinality}"));
+            }
+            return Ok(Query::ge(v, cardinality));
+        }
+        if let Some(list) = s.strip_prefix("in:") {
+            let values: Result<Vec<u64>, _> = list.split(',').map(|p| p.trim().parse()).collect();
+            return Ok(Query::membership(
+                values.map_err(|_| format!("bad value list in {s:?}"))?,
+            ));
+        }
+        if let Some((lo, hi)) = s.split_once("..") {
+            let lo: u64 = lo.trim().parse().map_err(|_| format!("bad range in {s:?}"))?;
+            let hi: u64 = hi.trim().parse().map_err(|_| format!("bad range in {s:?}"))?;
+            if lo > hi {
+                return Err(format!("empty range in {s:?}"));
+            }
+            return Ok(Query::range(lo, hi));
+        }
+        Err(format!(
+            "cannot parse predicate {s:?} (use =v, <=v, >=v, lo..hi, in:a,b,c, !pred)"
+        ))
+    }
+
+    /// True if row value `v` satisfies the query (reference semantics used
+    /// by tests and brute-force cross-validation).
+    pub fn matches(&self, v: u64) -> bool {
+        match self {
+            Query::Interval { lo, hi } => *lo <= v && v <= *hi,
+            Query::Membership(values) => values.contains(&v),
+            Query::Not(inner) => !inner.matches(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_intervals() {
+        assert_eq!(Query::equality(5), Query::Interval { lo: 5, hi: 5 });
+        assert_eq!(Query::range(2, 7), Query::Interval { lo: 2, hi: 7 });
+        assert_eq!(Query::le(4), Query::Interval { lo: 0, hi: 4 });
+        assert_eq!(Query::ge(4, 10), Query::Interval { lo: 4, hi: 9 });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        let _ = Query::range(7, 2);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let q = Query::equality(3);
+        assert_eq!(q.clone().not().not(), q);
+    }
+
+    #[test]
+    fn classification_covers_all_cases() {
+        let c = 10;
+        assert_eq!(Query::classify_interval(4, 4, c), QueryClass::Equality);
+        assert_eq!(Query::classify_interval(0, 0, c), QueryClass::Equality);
+        assert_eq!(Query::classify_interval(0, 5, c), QueryClass::OneSidedRange);
+        assert_eq!(Query::classify_interval(5, 9, c), QueryClass::OneSidedRange);
+        assert_eq!(Query::classify_interval(2, 7, c), QueryClass::TwoSidedRange);
+        assert_eq!(Query::classify_interval(0, 9, c), QueryClass::All);
+    }
+
+    #[test]
+    fn parse_grammar_round_trips() {
+        assert_eq!(Query::parse("=5", 10).unwrap(), Query::equality(5));
+        assert_eq!(Query::parse("<= 7", 10).unwrap(), Query::le(7));
+        assert_eq!(Query::parse(">=3", 10).unwrap(), Query::ge(3, 10));
+        assert_eq!(Query::parse("2..8", 10).unwrap(), Query::range(2, 8));
+        assert_eq!(
+            Query::parse("in:1, 4,9", 10).unwrap(),
+            Query::membership(vec![1, 4, 9])
+        );
+        assert_eq!(
+            Query::parse("!2..8", 10).unwrap(),
+            Query::range(2, 8).not()
+        );
+        assert!(Query::parse("8..2", 10).is_err());
+        assert!(Query::parse(">=10", 10).is_err());
+        assert!(Query::parse("nonsense", 10).is_err());
+    }
+
+    #[test]
+    fn matches_implements_reference_semantics() {
+        let q = Query::membership(vec![1, 5, 6]);
+        assert!(q.matches(5));
+        assert!(!q.matches(4));
+        let n = q.not();
+        assert!(n.matches(4));
+        assert!(!n.matches(5));
+        let r = Query::range(3, 6);
+        assert!(r.matches(3) && r.matches(6) && !r.matches(2) && !r.matches(7));
+    }
+}

@@ -1,0 +1,388 @@
+//! The query rewrite phase (§6.1-6.2).
+//!
+//! Three steps turn a query into a bitmap expression:
+//!
+//! 1. **Membership rewrite** — `A IN {…}` becomes a disjunction of a
+//!    *minimal* number of interval queries ([`minimal_intervals`]).
+//! 2. **Interval rewrite** — each interval query is decomposed into
+//!    digit-level predicates over the index components: equality queries
+//!    by Equation (7), one-sided ranges by Equation (8) with the
+//!    encoding-dependent `α_k` choice, two-sided ranges as a common-prefix
+//!    conjunction plus either a top-digit split (equality-friendly
+//!    encodings) or a `GE ∧ LE` pair (range-friendly encodings).
+//!    Trailing maximal digits are trimmed (`A <= 499` over base-<10,10,10>
+//!    becomes `A_3 <= 4`), and trailing zero digits are trimmed from lower
+//!    bounds symmetrically.
+//! 3. **Predicate-level rewrite** — each digit predicate becomes the
+//!    encoding's bitmap expression (Equations 1, 2, 4-6), via
+//!    [`EncodingScheme::expr_eq`]/[`EncodingScheme::expr_le`]/
+//!    [`EncodingScheme::expr_range`].
+
+use crate::{BaseVector, EncodingScheme, Expr, Query};
+use crate::encoding::AlphaForm;
+
+/// Rewrites an arbitrary value set into the unique minimal sorted list of
+/// disjoint, non-adjacent intervals (§5's example:
+/// `{6,19,20,21,22,35}` → `[6,6], [19,22], [35,35]`).
+pub fn minimal_intervals(values: &[u64]) -> Vec<(u64, u64)> {
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for v in sorted {
+        match out.last_mut() {
+            Some((_, hi)) if *hi + 1 == v => *hi = v,
+            _ => out.push((v, v)),
+        }
+    }
+    out
+}
+
+/// Rewrites a full [`Query`] into a bitmap expression over the components
+/// of an index with base vector `bases` and the given encoding.
+///
+/// # Panics
+///
+/// Panics if a query constant is `>= c`.
+pub fn rewrite_query(q: &Query, c: u64, bases: &BaseVector, scheme: EncodingScheme) -> Expr {
+    match q {
+        Query::Interval { lo, hi } => rewrite_interval(*lo, *hi, c, bases, scheme),
+        Query::Membership(values) => {
+            let intervals = minimal_intervals(values);
+            Expr::or(
+                intervals
+                    .into_iter()
+                    .map(|(lo, hi)| rewrite_interval(lo, hi, c, bases, scheme)),
+            )
+        }
+        Query::Not(inner) => Expr::not(rewrite_query(inner, c, bases, scheme)),
+    }
+}
+
+/// Rewrites one interval query `lo <= A <= hi` (steps 2 + 3).
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `hi >= c`.
+pub fn rewrite_interval(
+    lo: u64,
+    hi: u64,
+    c: u64,
+    bases: &BaseVector,
+    scheme: EncodingScheme,
+) -> Expr {
+    assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+    assert!(hi < c, "interval bound {hi} outside domain 0..{c}");
+    if lo == 0 && hi == c - 1 {
+        return Expr::True;
+    }
+    if lo == hi {
+        return rewrite_eq(lo, bases, scheme);
+    }
+    if lo == 0 {
+        return rewrite_le(hi, bases, scheme);
+    }
+    if hi == c - 1 {
+        return Expr::not(rewrite_le(lo - 1, bases, scheme));
+    }
+    rewrite_two_sided(lo, hi, bases, scheme)
+}
+
+/// Equation (7): `A = v` is a conjunction of per-digit equalities.
+fn rewrite_eq(v: u64, bases: &BaseVector, scheme: EncodingScheme) -> Expr {
+    let digits = bases.decompose(v);
+    Expr::and(
+        digits
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| scheme.expr_eq(bases.bases()[i], d, i)),
+    )
+}
+
+/// Equation (8): `A <= v` over all components.
+fn rewrite_le(v: u64, bases: &BaseVector, scheme: EncodingScheme) -> Expr {
+    le_digits(v, bases.n() - 1, bases, scheme)
+}
+
+/// `A_{top+1} … A_1 <= digits(value)` — Equation (8) restricted to the
+/// `top+1` least significant components. `value` must be below the
+/// capacity of those components.
+fn le_digits(value: u64, top: usize, bases: &BaseVector, scheme: EncodingScheme) -> Expr {
+    let b = bases.bases();
+    let mut digits = Vec::with_capacity(top + 1);
+    let mut rest = value;
+    for &base in &b[..=top] {
+        digits.push(rest % base);
+        rest /= base;
+    }
+    debug_assert_eq!(rest, 0, "value exceeds capacity of components 0..={top}");
+
+    // Trailing-max trim: if the k lowest digits are all maximal, the
+    // comparison on them is vacuous (paper: "A <= 499" -> "A_3 <= 4").
+    let mut start = 0;
+    while start <= top && digits[start] == b[start] - 1 {
+        start += 1;
+    }
+    if start > top {
+        return Expr::True;
+    }
+
+    let mut acc = scheme.expr_le(b[start], digits[start], start);
+    for i in start + 1..=top {
+        let d = digits[i];
+        let below = if d > 0 {
+            scheme.expr_le(b[i], d - 1, i)
+        } else {
+            Expr::False
+        };
+        let alpha = match scheme.alpha() {
+            AlphaForm::Equality => scheme.expr_eq(b[i], d, i),
+            AlphaForm::Range => scheme.expr_le(b[i], d, i),
+        };
+        acc = Expr::or([below, Expr::and([alpha, acc])]);
+    }
+    acc
+}
+
+/// `A_{top+1} … A_1 >= digits(value)`, as `NOT (<= value−1)` with the
+/// symmetric trailing-zero trim falling out of the recursion.
+fn ge_digits(value: u64, top: usize, bases: &BaseVector, scheme: EncodingScheme) -> Expr {
+    if value == 0 {
+        return Expr::True;
+    }
+    Expr::not(le_digits(value - 1, top, bases, scheme))
+}
+
+/// Two-sided ranges (§6.2): strip the common most-significant digit
+/// prefix into equality predicates, then split or bracket the rest.
+fn rewrite_two_sided(lo: u64, hi: u64, bases: &BaseVector, scheme: EncodingScheme) -> Expr {
+    let b = bases.bases();
+    let dlo = bases.decompose(lo);
+    let dhi = bases.decompose(hi);
+
+    // Common most-significant digits become equality conjuncts.
+    let mut j = bases.n() - 1;
+    let mut prefix: Vec<Expr> = Vec::new();
+    while j > 0 && dlo[j] == dhi[j] {
+        prefix.push(scheme.expr_eq(b[j], dlo[j], j));
+        j -= 1;
+    }
+
+    if j == 0 {
+        // Only the least significant digit differs: one component range.
+        prefix.push(scheme.expr_range(b[0], dlo[0], dhi[0], 0));
+        return Expr::and(prefix);
+    }
+
+    // Capacity of components below j.
+    let cap_below: u64 = b[..j].iter().product();
+    let lo_low = lo % cap_below;
+    let hi_low = hi % cap_below;
+
+    let body = match scheme.alpha() {
+        AlphaForm::Equality => {
+            // Top-digit split (the paper's equality-encoded example):
+            //   (dlo_j+1 <= A_j <= dhi_j−1)
+            // ∨ (A_j = dlo_j ∧ suffix >= lo)
+            // ∨ (A_j = dhi_j ∧ suffix <= hi).
+            let mid = if dlo[j] < dhi[j] - 1 {
+                scheme.expr_range(b[j], dlo[j] + 1, dhi[j] - 1, j)
+            } else {
+                Expr::False
+            };
+            let low_arm = Expr::and([
+                scheme.expr_eq(b[j], dlo[j], j),
+                ge_digits(lo_low, j - 1, bases, scheme),
+            ]);
+            let high_arm = Expr::and([
+                scheme.expr_eq(b[j], dhi[j], j),
+                le_suffix(hi_low, j - 1, cap_below, bases, scheme),
+            ]);
+            Expr::or([mid, low_arm, high_arm])
+        }
+        AlphaForm::Range => {
+            // GE ∧ LE over the suffix including digit j.
+            let cap_incl: u64 = cap_below * b[j];
+            let lo_s = lo % cap_incl;
+            let hi_s = hi % cap_incl;
+            Expr::and([
+                ge_digits(lo_s, j, bases, scheme),
+                le_suffix(hi_s, j, cap_incl, bases, scheme),
+            ])
+        }
+    };
+    prefix.push(body);
+    Expr::and(prefix)
+}
+
+/// `suffix <= value`, short-circuiting to `True` when `value` is the
+/// suffix maximum.
+fn le_suffix(
+    value: u64,
+    top: usize,
+    capacity: u64,
+    bases: &BaseVector,
+    scheme: EncodingScheme,
+) -> Expr {
+    if value == capacity - 1 {
+        Expr::True
+    } else {
+        le_digits(value, top, bases, scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bix_bitvec::Bitvec;
+
+    #[test]
+    fn minimal_intervals_merges_runs() {
+        // §5's example.
+        assert_eq!(
+            minimal_intervals(&[6, 19, 20, 21, 22, 35]),
+            vec![(6, 6), (19, 22), (35, 35)]
+        );
+        assert_eq!(minimal_intervals(&[]), vec![]);
+        assert_eq!(minimal_intervals(&[3]), vec![(3, 3)]);
+        assert_eq!(minimal_intervals(&[1, 2, 3]), vec![(1, 3)]);
+        // Unsorted input with duplicates.
+        assert_eq!(
+            minimal_intervals(&[5, 1, 2, 5, 0]),
+            vec![(0, 2), (5, 5)]
+        );
+    }
+
+    /// Evaluates a rewritten expression at the domain level (leaves become
+    /// the value sets they represent, projected through decomposition) and
+    /// compares against the reference semantics.
+    fn check_rewrite(c: u64, bases: &BaseVector, scheme: EncodingScheme, q: &Query) {
+        let expr = rewrite_query(q, c, bases, scheme);
+        let mut fetch = |r: crate::BitmapRef| {
+            let b = bases.bases()[r.component];
+            let slot_vals = scheme.slot_values(b, r.slot);
+            let positions: Vec<usize> = (0..c)
+                .filter(|&v| slot_vals.contains(&bases.decompose(v)[r.component]))
+                .map(|v| v as usize)
+                .collect();
+            Bitvec::from_positions(c as usize, &positions)
+        };
+        let got = expr.evaluate(c as usize, &mut fetch);
+        for v in 0..c {
+            assert_eq!(
+                got.get(v as usize),
+                q.matches(v),
+                "{scheme} bases={:?} query={q:?} value={v}",
+                bases.bases()
+            );
+        }
+    }
+
+    #[test]
+    fn every_interval_query_rewrites_correctly_all_schemes_and_bases() {
+        let c = 24u64;
+        let base_choices = [
+            BaseVector::single(c),
+            BaseVector::from_msb(&[2, 12]),
+            BaseVector::from_msb(&[4, 6]),
+            BaseVector::from_msb(&[6, 4]),
+            BaseVector::from_msb(&[2, 3, 4]),
+            BaseVector::from_msb(&[3, 2, 2, 2]),
+        ];
+        for scheme in EncodingScheme::ALL {
+            for bases in &base_choices {
+                for lo in 0..c {
+                    for hi in lo..c {
+                        check_rewrite(c, bases, scheme, &Query::range(lo, hi));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn membership_and_not_queries_rewrite_correctly() {
+        let c = 20u64;
+        let bases = BaseVector::from_msb(&[4, 5]);
+        for scheme in EncodingScheme::ALL {
+            check_rewrite(c, &bases, scheme, &Query::membership(vec![6, 7, 8, 15]));
+            check_rewrite(c, &bases, scheme, &Query::membership(vec![0, 19]));
+            check_rewrite(c, &bases, scheme, &Query::range(3, 12).not());
+            check_rewrite(c, &bases, scheme, &Query::membership(vec![]));
+        }
+    }
+
+    #[test]
+    fn paper_example_a_le_85_base_10_10() {
+        // §6.1 step 2: "A <= 85" over base-<10,10> with equality encoding
+        // becomes (A_2 <= 7) ∨ [(A_2 = 8) ∧ (A_1 <= 5)].
+        let bases = BaseVector::from_msb(&[10, 10]);
+        let expr = rewrite_le(85, &bases, EncodingScheme::Equality);
+        // Structure: Or with the low-digit arm containing E_2^8.
+        match &expr {
+            Expr::Or(children) => assert_eq!(children.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+        check_rewrite(100, &bases, EncodingScheme::Equality, &Query::le(85));
+    }
+
+    #[test]
+    fn paper_example_a_le_499_trims_low_digits() {
+        // §6.2: "A <= 499" over base-<10,10,10> simplifies to "A_3 <= 4".
+        let bases = BaseVector::from_msb(&[10, 10, 10]);
+        let expr = rewrite_le(499, &bases, EncodingScheme::Range);
+        // Only component 2 (most significant) may be referenced.
+        for leaf in expr.leaves() {
+            assert_eq!(leaf.component, 2, "unexpected leaf {leaf:?}");
+        }
+        assert_eq!(expr.scan_count(), 1);
+    }
+
+    #[test]
+    fn paper_example_common_prefix_4326_4377() {
+        // §6.2: "4326 <= A <= 4377" over base-<10,10,10,10> becomes
+        // (A_4 = 4) ∧ (A_3 = 3) ∧ (26 <= A_2 A_1 <= 77).
+        let bases = BaseVector::from_msb(&[10, 10, 10, 10]);
+        for scheme in [EncodingScheme::Equality, EncodingScheme::Range] {
+            let expr = rewrite_two_sided(4326, 4377, &bases, scheme);
+            check_rewrite_large(&bases, scheme, 4326, 4377, &expr);
+        }
+    }
+
+    /// Domain-level check for larger domains: sample instead of exhaust.
+    fn check_rewrite_large(
+        bases: &BaseVector,
+        scheme: EncodingScheme,
+        lo: u64,
+        hi: u64,
+        expr: &Expr,
+    ) {
+        let c = bases.capacity();
+        let mut fetch = |r: crate::BitmapRef| {
+            let b = bases.bases()[r.component];
+            let slot_vals = scheme.slot_values(b, r.slot);
+            let positions: Vec<usize> = (0..c)
+                .filter(|&v| slot_vals.contains(&bases.decompose(v)[r.component]))
+                .map(|v| v as usize)
+                .collect();
+            Bitvec::from_positions(c as usize, &positions)
+        };
+        let got = expr.evaluate(c as usize, &mut fetch);
+        for v in 0..c {
+            assert_eq!(
+                got.get(v as usize),
+                lo <= v && v <= hi,
+                "{scheme} [{lo},{hi}] at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn ge_trailing_zero_digits_trim() {
+        // "A >= 500" over base-<10,10,10> is ¬(A <= 499) = ¬(A_3 <= 4):
+        // one leaf.
+        let bases = BaseVector::from_msb(&[10, 10, 10]);
+        let expr = rewrite_interval(500, 999, 1000, &bases, EncodingScheme::Range);
+        assert_eq!(expr.scan_count(), 1, "got {expr:?}");
+    }
+}

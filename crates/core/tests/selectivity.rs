@@ -1,0 +1,94 @@
+//! Selectivity estimation: the retained histogram agrees with real
+//! evaluation for every query shape, through builds, appends, NULLs, and
+//! persistence.
+
+use bix_core::{BitmapIndex, CodecKind, EncodingScheme, IndexConfig, Query};
+use proptest::prelude::*;
+
+fn queries(c: u64) -> Vec<Query> {
+    let mut qs = vec![
+        Query::equality(0),
+        Query::equality(c - 1),
+        Query::le(c / 2),
+        Query::range(c / 4, 3 * c / 4),
+        Query::membership(vec![0, c / 3, c - 1]),
+        Query::range(1, c - 2).not(),
+        Query::membership(vec![]),
+    ];
+    qs.push(Query::ge(c / 2, c));
+    qs
+}
+
+#[test]
+fn estimate_matches_count_after_build_and_append() {
+    let c = 40u64;
+    let initial: Vec<u64> = (0..3_000).map(|i| (i * 17) % c).collect();
+    let extra: Vec<u64> = (0..500).map(|i| (i * 7 + 3) % c).collect();
+    for scheme in EncodingScheme::BASIC {
+        let mut idx = BitmapIndex::build(
+            &initial,
+            &IndexConfig::one_component(c, scheme).with_codec(CodecKind::Bbc),
+        );
+        for q in queries(c) {
+            assert_eq!(idx.estimate_rows(&q), idx.count(&q), "{scheme} {q:?}");
+        }
+        idx.append(&extra);
+        for q in queries(c) {
+            assert_eq!(idx.estimate_rows(&q), idx.count(&q), "post-append {q:?}");
+        }
+    }
+}
+
+#[test]
+fn estimate_matches_count_for_nullable_indexes() {
+    let c = 20u64;
+    let column: Vec<Option<u64>> = (0..2_000u64)
+        .map(|i| if i % 5 == 0 { None } else { Some(i % c) })
+        .collect();
+    let mut idx = BitmapIndex::build_nullable(
+        &column,
+        &IndexConfig::one_component(c, EncodingScheme::Interval),
+    );
+    for q in queries(c) {
+        assert_eq!(idx.estimate_rows(&q), idx.count(&q), "{q:?}");
+    }
+    // And after a nullable append.
+    idx.append_nullable(&[Some(0), None, Some(19), None]);
+    for q in queries(c) {
+        assert_eq!(idx.estimate_rows(&q), idx.count(&q), "post-append {q:?}");
+    }
+}
+
+#[test]
+fn histogram_survives_persistence() {
+    let c = 30u64;
+    let column: Vec<u64> = (0..1_000).map(|i| (i * i) % c).collect();
+    let original = BitmapIndex::build(&column, &IndexConfig::one_component(c, EncodingScheme::Range));
+    let mut buf = Vec::new();
+    original.save_to(&mut buf).expect("save");
+    let loaded = BitmapIndex::load_from(buf.as_slice()).expect("load");
+    assert_eq!(loaded.histogram(), original.histogram());
+    assert_eq!(
+        loaded.estimate_rows(&Query::range(5, 20)),
+        original.estimate_rows(&Query::range(5, 20))
+    );
+}
+
+proptest! {
+    #[test]
+    fn estimate_always_equals_count(
+        column in prop::collection::vec(0u64..25, 1..500),
+        lo in 0u64..25,
+        width in 0u64..25,
+    ) {
+        let hi = (lo + width).min(24);
+        let mut idx = BitmapIndex::build(
+            &column,
+            &IndexConfig::one_component(25, EncodingScheme::EqualityIntervalStar),
+        );
+        let q = Query::range(lo, hi);
+        prop_assert_eq!(idx.estimate_rows(&q), idx.count(&q));
+        let negated = q.not();
+        prop_assert_eq!(idx.estimate_rows(&negated), idx.count(&negated));
+    }
+}

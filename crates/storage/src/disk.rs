@@ -1,0 +1,224 @@
+//! The simulated disk: paged, append-only bitmap files.
+
+use crate::IoStats;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Identifies one stored file (one bitmap) on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub(crate) u32);
+
+/// Disk geometry and page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskConfig {
+    /// Page size in bytes. The paper's platform used 8 KB file-system pages.
+    pub page_size: usize,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig { page_size: 8192 }
+    }
+}
+
+impl DiskConfig {
+    /// Number of whole pages needed to hold `bytes` bytes of buffer space.
+    pub fn pages_for_bytes(&self, bytes: usize) -> usize {
+        (bytes / self.page_size).max(1)
+    }
+}
+
+/// An in-memory simulation of an on-disk file store.
+///
+/// Files are immutable once written. Every page fetch is counted in the
+/// shared [`IoStats`]; fetches of the next sequential page of the same file
+/// avoid the seek charge.
+pub struct DiskSim {
+    config: DiskConfig,
+    files: Vec<Vec<u8>>,
+    stats: Arc<Mutex<IoStats>>,
+    /// Head position: last (file, page) read, for seek accounting.
+    head: Option<(FileId, usize)>,
+}
+
+impl DiskSim {
+    /// Creates an empty disk.
+    pub fn new(config: DiskConfig) -> Self {
+        DiskSim {
+            config,
+            files: Vec::new(),
+            stats: Arc::new(Mutex::new(IoStats::new())),
+            head: None,
+        }
+    }
+
+    /// The disk geometry.
+    pub fn config(&self) -> DiskConfig {
+        self.config
+    }
+
+    /// Writes a new immutable file and returns its id. Writes are not
+    /// charged to the I/O stats: the experiments measure query time only,
+    /// and index construction happens before the clock starts.
+    pub fn create_file(&mut self, contents: Vec<u8>) -> FileId {
+        let id = FileId(u32::try_from(self.files.len()).expect("too many files"));
+        self.files.push(contents);
+        id
+    }
+
+    /// Deletes a file's contents, freeing its space. The id remains
+    /// allocated (reads of a deleted file panic); used when a bitmap is
+    /// rewritten in place by a batched update.
+    pub fn delete_file(&mut self, id: FileId) {
+        self.files[id.0 as usize] = Vec::new();
+        if let Some((head_file, _)) = self.head {
+            if head_file == id {
+                self.head = None;
+            }
+        }
+    }
+
+    /// Size of a file in bytes.
+    pub fn file_size(&self, id: FileId) -> usize {
+        self.files[id.0 as usize].len()
+    }
+
+    /// Direct access to a file's contents without charging I/O — for
+    /// maintenance operations (persistence, bulk export) that run off the
+    /// query clock.
+    pub fn file_contents(&self, id: FileId) -> &[u8] {
+        &self.files[id.0 as usize]
+    }
+
+    /// Number of pages in a file.
+    pub fn file_pages(&self, id: FileId) -> usize {
+        self.file_size(id).div_ceil(self.config.page_size).max(1)
+    }
+
+    /// Reads one page, charging transfer (and a seek if non-sequential).
+    /// The final page of a file may be short.
+    pub fn read_page(&mut self, id: FileId, page_no: usize) -> &[u8] {
+        let file = &self.files[id.0 as usize];
+        let start = page_no * self.config.page_size;
+        assert!(
+            start < file.len() || (file.is_empty() && page_no == 0),
+            "page {page_no} out of range for file {id:?} ({} bytes)",
+            file.len()
+        );
+        let end = (start + self.config.page_size).min(file.len());
+
+        let sequential = self.head == Some((id, page_no.wrapping_sub(1)));
+        {
+            let mut stats = self.stats.lock();
+            stats.pages_read += 1;
+            stats.bytes_read += end - start;
+            if !sequential {
+                stats.seeks += 1;
+            }
+        }
+        self.head = Some((id, page_no));
+        &file[start..end]
+    }
+
+    /// Shared handle to the I/O counters.
+    pub fn stats_handle(&self) -> Arc<Mutex<IoStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the I/O counters and head position (used between queries to
+    /// mimic the paper's cold-cache methodology).
+    pub fn reset_stats(&mut self) {
+        *self.stats.lock() = IoStats::new();
+        self.head = None;
+    }
+
+    /// Total bytes stored across all files.
+    pub fn total_stored_bytes(&self) -> usize {
+        self.files.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_read_round_trip() {
+        let mut disk = DiskSim::new(DiskConfig { page_size: 16 });
+        let data: Vec<u8> = (0..40).collect();
+        let id = disk.create_file(data.clone());
+        assert_eq!(disk.file_size(id), 40);
+        assert_eq!(disk.file_pages(id), 3);
+
+        let mut read = Vec::new();
+        for p in 0..3 {
+            read.extend_from_slice(disk.read_page(id, p));
+        }
+        assert_eq!(read, data);
+    }
+
+    #[test]
+    fn sequential_reads_charge_one_seek() {
+        let mut disk = DiskSim::new(DiskConfig { page_size: 8 });
+        let id = disk.create_file(vec![0u8; 64]);
+        for p in 0..8 {
+            disk.read_page(id, p);
+        }
+        let stats = disk.stats();
+        assert_eq!(stats.pages_read, 8);
+        assert_eq!(stats.seeks, 1, "one seek then sequential transfer");
+        assert_eq!(stats.bytes_read, 64);
+    }
+
+    #[test]
+    fn random_reads_charge_a_seek_each() {
+        let mut disk = DiskSim::new(DiskConfig { page_size: 8 });
+        let id = disk.create_file(vec![0u8; 64]);
+        for p in [0, 4, 2, 7] {
+            disk.read_page(id, p);
+        }
+        assert_eq!(disk.stats().seeks, 4);
+    }
+
+    #[test]
+    fn switching_files_charges_a_seek() {
+        let mut disk = DiskSim::new(DiskConfig { page_size: 8 });
+        let a = disk.create_file(vec![0u8; 16]);
+        let b = disk.create_file(vec![0u8; 16]);
+        disk.read_page(a, 0);
+        disk.read_page(b, 0);
+        disk.read_page(a, 1);
+        assert_eq!(disk.stats().seeks, 3);
+    }
+
+    #[test]
+    fn short_final_page_transfers_partial_bytes() {
+        let mut disk = DiskSim::new(DiskConfig { page_size: 16 });
+        let id = disk.create_file(vec![0u8; 20]);
+        disk.read_page(id, 0);
+        disk.read_page(id, 1);
+        assert_eq!(disk.stats().bytes_read, 20);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut disk = DiskSim::new(DiskConfig::default());
+        let id = disk.create_file(vec![0u8; 100]);
+        disk.read_page(id, 0);
+        disk.reset_stats();
+        assert_eq!(disk.stats(), IoStats::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reading_past_end_panics() {
+        let mut disk = DiskSim::new(DiskConfig { page_size: 8 });
+        let id = disk.create_file(vec![0u8; 8]);
+        disk.read_page(id, 1);
+    }
+}

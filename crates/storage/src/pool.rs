@@ -1,0 +1,155 @@
+//! An LRU buffer pool over the simulated disk.
+
+use crate::{DiskSim, FileId};
+use std::collections::HashMap;
+
+/// Key of one cached page.
+type PageKey = (FileId, usize);
+
+/// A fixed-capacity LRU page cache.
+///
+/// The paper's component-wise evaluation strategy (§6.3) exists precisely
+/// to work within a bounded buffer: with enough buffer space no bitmap is
+/// scanned twice, with too little the evaluator pays rescans. The pool
+/// makes that trade-off observable — hits are counted against the shared
+/// [`crate::IoStats`], misses go to the disk.
+pub struct BufferPool {
+    capacity_pages: usize,
+    /// page -> (contents, LRU stamp)
+    pages: HashMap<PageKey, (Vec<u8>, u64)>,
+    clock: u64,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_pages` is zero.
+    pub fn new(capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0, "buffer pool needs at least one page");
+        BufferPool {
+            capacity_pages,
+            pages: HashMap::with_capacity(capacity_pages),
+            clock: 0,
+        }
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Fetches a page through the pool, reading from `disk` on a miss and
+    /// evicting the least-recently-used page if full.
+    pub fn get(&mut self, disk: &mut DiskSim, file: FileId, page_no: usize) -> &[u8] {
+        self.clock += 1;
+        let key = (file, page_no);
+        if self.pages.contains_key(&key) {
+            disk.stats_handle().lock().pool_hits += 1;
+            let entry = self.pages.get_mut(&key).expect("checked above");
+            entry.1 = self.clock;
+            return &entry.0;
+        }
+        let contents = disk.read_page(file, page_no).to_vec();
+        if self.pages.len() >= self.capacity_pages {
+            let victim = self
+                .pages
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+                .expect("pool is non-empty when full");
+            self.pages.remove(&victim);
+        }
+        let stamp = self.clock;
+        &self.pages.entry(key).or_insert((contents, stamp)).0
+    }
+
+    /// Drops every cached page (the paper flushes the FS cache per query).
+    pub fn flush(&mut self) {
+        self.pages.clear();
+    }
+
+    /// True if the page is resident (test/diagnostic helper).
+    pub fn contains(&self, file: FileId, page_no: usize) -> bool {
+        self.pages.contains_key(&(file, page_no))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskConfig;
+
+    fn disk_with_file(pages: usize, page_size: usize) -> (DiskSim, FileId) {
+        let mut disk = DiskSim::new(DiskConfig { page_size });
+        let data: Vec<u8> = (0..pages * page_size).map(|i| (i % 251) as u8).collect();
+        let id = disk.create_file(data);
+        (disk, id)
+    }
+
+    #[test]
+    fn hit_avoids_disk_read() {
+        let (mut disk, id) = disk_with_file(4, 8);
+        let mut pool = BufferPool::new(4);
+        pool.get(&mut disk, id, 0);
+        pool.get(&mut disk, id, 0);
+        let stats = disk.stats();
+        assert_eq!(stats.pages_read, 1);
+        assert_eq!(stats.pool_hits, 1);
+    }
+
+    #[test]
+    fn returns_correct_page_contents() {
+        let (mut disk, id) = disk_with_file(4, 8);
+        let mut pool = BufferPool::new(2);
+        let page2: Vec<u8> = pool.get(&mut disk, id, 2).to_vec();
+        let direct: Vec<u8> = disk.read_page(id, 2).to_vec();
+        assert_eq!(page2, direct);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let (mut disk, id) = disk_with_file(4, 8);
+        let mut pool = BufferPool::new(2);
+        pool.get(&mut disk, id, 0);
+        pool.get(&mut disk, id, 1);
+        pool.get(&mut disk, id, 0); // refresh page 0
+        pool.get(&mut disk, id, 2); // evicts page 1
+        assert!(pool.contains(id, 0));
+        assert!(!pool.contains(id, 1));
+        assert!(pool.contains(id, 2));
+    }
+
+    #[test]
+    fn rescan_after_eviction_hits_disk_again() {
+        let (mut disk, id) = disk_with_file(3, 8);
+        let mut pool = BufferPool::new(1);
+        pool.get(&mut disk, id, 0);
+        pool.get(&mut disk, id, 1);
+        pool.get(&mut disk, id, 0);
+        assert_eq!(disk.stats().pages_read, 3, "tiny pool forces rescans");
+    }
+
+    #[test]
+    fn flush_clears_residency() {
+        let (mut disk, id) = disk_with_file(2, 8);
+        let mut pool = BufferPool::new(2);
+        pool.get(&mut disk, id, 0);
+        pool.flush();
+        assert_eq!(pool.resident(), 0);
+        pool.get(&mut disk, id, 0);
+        assert_eq!(disk.stats().pages_read, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_panics() {
+        let _ = BufferPool::new(0);
+    }
+}

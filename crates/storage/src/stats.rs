@@ -1,0 +1,100 @@
+//! I/O accounting.
+
+/// Counters for simulated disk activity.
+///
+/// A *seek* is charged whenever a read is not physically sequential with
+/// the previous one (different file, or a non-adjacent page of the same
+/// file). Sequential page reads after a seek are charged transfer time
+/// only, matching rotational-disk behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages fetched from the simulated disk (buffer-pool misses).
+    pub pages_read: usize,
+    /// Page requests satisfied by the buffer pool.
+    pub pool_hits: usize,
+    /// Non-sequential disk accesses.
+    pub seeks: usize,
+    /// Total bytes transferred from disk.
+    pub bytes_read: usize,
+}
+
+impl IoStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total page requests (hits + misses).
+    pub fn page_requests(&self) -> usize {
+        self.pages_read + self.pool_hits
+    }
+
+    /// Difference since an earlier snapshot (for per-query accounting).
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            pages_read: self.pages_read - earlier.pages_read,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            seeks: self.seeks - earlier.seeks,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+        }
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            pages_read: self.pages_read + rhs.pages_read,
+            pool_hits: self.pool_hits + rhs.pool_hits,
+            seeks: self.seeks + rhs.seeks,
+            bytes_read: self.bytes_read + rhs.bytes_read,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let a = IoStats {
+            pages_read: 10,
+            pool_hits: 5,
+            seeks: 2,
+            bytes_read: 80_000,
+        };
+        let b = IoStats {
+            pages_read: 4,
+            pool_hits: 1,
+            seeks: 1,
+            bytes_read: 32_000,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.pages_read, 6);
+        assert_eq!(d.pool_hits, 4);
+        assert_eq!(d.seeks, 1);
+        assert_eq!(d.bytes_read, 48_000);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = IoStats {
+            pages_read: 1,
+            pool_hits: 2,
+            seeks: 3,
+            bytes_read: 4,
+        };
+        let mut sum = IoStats::new();
+        sum += a;
+        sum += a;
+        assert_eq!(sum.pages_read, 2);
+        assert_eq!(sum.page_requests(), 6);
+    }
+}

@@ -1,0 +1,212 @@
+//! Bitmap-level storage facade.
+
+use crate::{BufferPool, CodecKind, DiskConfig, DiskSim, FileId, IoStats};
+use bix_bitvec::Bitvec;
+use bix_compress::CompressedBitmap;
+
+/// Handle to one stored bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitmapHandle {
+    file: FileId,
+    len_bits: usize,
+    codec: CodecKind,
+}
+
+impl BitmapHandle {
+    /// Number of bits in the stored bitmap.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Codec the bitmap is stored with.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+}
+
+/// Stores bitmaps as files on the simulated disk and reads them back
+/// through a buffer pool, decompressing as needed.
+///
+/// One `BitmapStore` corresponds to one physical index directory: all the
+/// bitmaps of all the components of one bitmap index.
+pub struct BitmapStore {
+    disk: DiskSim,
+    names: Vec<String>,
+}
+
+impl BitmapStore {
+    /// Creates an empty store on a fresh simulated disk.
+    pub fn new(config: DiskConfig) -> Self {
+        BitmapStore {
+            disk: DiskSim::new(config),
+            names: Vec::new(),
+        }
+    }
+
+    /// The disk geometry.
+    pub fn config(&self) -> DiskConfig {
+        self.disk.config()
+    }
+
+    /// Compresses and stores a bitmap under a diagnostic name.
+    pub fn put(&mut self, name: &str, codec: CodecKind, bv: &Bitvec) -> BitmapHandle {
+        let compressed = CompressedBitmap::encode(codec, bv);
+        let file = self.disk.create_file(compressed.bytes().to_vec());
+        self.names.push(name.to_owned());
+        BitmapHandle {
+            file,
+            len_bits: bv.len(),
+            codec,
+        }
+    }
+
+    /// Reads a bitmap back, paying page I/O through the pool and CPU for
+    /// decompression.
+    pub fn read(&mut self, handle: BitmapHandle, pool: &mut BufferPool) -> Bitvec {
+        let n_pages = self.disk.file_pages(handle.file);
+        let mut bytes = Vec::with_capacity(self.disk.file_size(handle.file));
+        for p in 0..n_pages {
+            bytes.extend_from_slice(pool.get(&mut self.disk, handle.file, p));
+        }
+        handle.codec.codec().decompress(&bytes, handle.len_bits)
+    }
+
+    /// Stores an already-compressed bitmap stream (produced off-line,
+    /// e.g. by a parallel build worker). The caller guarantees the stream
+    /// decodes to `len_bits` bits under `codec`.
+    pub fn put_precompressed(
+        &mut self,
+        name: &str,
+        codec: CodecKind,
+        len_bits: usize,
+        compressed: &[u8],
+    ) -> BitmapHandle {
+        let file = self.disk.create_file(compressed.to_vec());
+        self.names.push(name.to_owned());
+        BitmapHandle {
+            file,
+            len_bits,
+            codec,
+        }
+    }
+
+    /// Replaces a stored bitmap with new contents (a batched-update
+    /// rewrite). The old file is deleted; a fresh handle is returned. Any
+    /// buffer-pool pages of the old file become unreachable garbage that
+    /// LRU eviction will recycle.
+    pub fn replace(&mut self, old: BitmapHandle, codec: CodecKind, bv: &Bitvec) -> BitmapHandle {
+        let name = self.names[old.file.0 as usize].clone();
+        self.disk.delete_file(old.file);
+        self.put(&name, codec, bv)
+    }
+
+    /// Stored (compressed) size of one bitmap in bytes.
+    pub fn stored_size(&self, handle: BitmapHandle) -> usize {
+        self.disk.file_size(handle.file)
+    }
+
+    /// The stored (compressed) bytes of one bitmap, without charging I/O
+    /// — for persistence and bulk export off the query clock.
+    pub fn contents(&self, handle: BitmapHandle) -> &[u8] {
+        self.disk.file_contents(handle.file)
+    }
+
+    /// Diagnostic name a bitmap was stored under.
+    pub fn name(&self, handle: BitmapHandle) -> &str {
+        &self.names[handle.file.0 as usize]
+    }
+
+    /// Total stored bytes across all bitmaps — the index's space cost.
+    pub fn total_stored_bytes(&self) -> usize {
+        self.disk.total_stored_bytes()
+    }
+
+    /// Snapshot of I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+
+    /// Resets I/O counters and disk-head position (between queries).
+    pub fn reset_stats(&mut self) {
+        self.disk.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bitmap() -> Bitvec {
+        Bitvec::from_positions(100_000, &[0, 1, 2, 3, 50_000, 99_999])
+    }
+
+    #[test]
+    fn put_read_round_trip_every_codec() {
+        for codec in [CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah] {
+            let mut store = BitmapStore::new(DiskConfig::default());
+            let bv = sample_bitmap();
+            let h = store.put("b", codec, &bv);
+            let mut pool = BufferPool::new(16);
+            assert_eq!(store.read(h, &mut pool), bv, "codec {codec}");
+            assert_eq!(h.codec(), codec);
+            assert_eq!(h.len_bits(), bv.len());
+        }
+    }
+
+    #[test]
+    fn compressed_storage_is_smaller_and_reads_fewer_pages() {
+        let bv = sample_bitmap();
+
+        let mut raw_store = BitmapStore::new(DiskConfig::default());
+        let raw_h = raw_store.put("b", CodecKind::Raw, &bv);
+        let mut pool = BufferPool::new(16);
+        raw_store.read(raw_h, &mut pool);
+        let raw_pages = raw_store.stats().pages_read;
+
+        let mut bbc_store = BitmapStore::new(DiskConfig::default());
+        let bbc_h = bbc_store.put("b", CodecKind::Bbc, &bv);
+        let mut pool = BufferPool::new(16);
+        bbc_store.read(bbc_h, &mut pool);
+        let bbc_pages = bbc_store.stats().pages_read;
+
+        assert!(bbc_store.stored_size(bbc_h) < raw_store.stored_size(raw_h));
+        assert!(bbc_pages < raw_pages);
+    }
+
+    #[test]
+    fn rereading_with_warm_pool_hits_cache() {
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let h = store.put("b", CodecKind::Raw, &bv);
+        let mut pool = BufferPool::new(64);
+        store.read(h, &mut pool);
+        let cold = store.stats();
+        store.read(h, &mut pool);
+        let warm = store.stats().since(&cold);
+        assert_eq!(warm.pages_read, 0);
+        assert!(warm.pool_hits > 0);
+    }
+
+    #[test]
+    fn total_stored_bytes_sums_bitmaps() {
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let h1 = store.put("a", CodecKind::Raw, &bv);
+        let h2 = store.put("b", CodecKind::Bbc, &bv);
+        assert_eq!(
+            store.total_stored_bytes(),
+            store.stored_size(h1) + store.stored_size(h2)
+        );
+        assert_eq!(store.name(h1), "a");
+        assert_eq!(store.name(h2), "b");
+    }
+
+    #[test]
+    fn empty_bitmap_round_trips() {
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = Bitvec::zeros(10);
+        let h = store.put("z", CodecKind::Bbc, &bv);
+        let mut pool = BufferPool::new(4);
+        assert_eq!(store.read(h, &mut pool), bv);
+    }
+}

@@ -1,0 +1,251 @@
+//! Synthetic column generation.
+
+use crate::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of a synthetic data set (§7 "Data Sets").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Number of records (the paper uses just over 6 million).
+    pub rows: usize,
+    /// Attribute cardinality C (the paper uses 50 and 200).
+    pub cardinality: u64,
+    /// Zipf skew z (the paper uses 0, 1, 2, 3; 0 = uniform).
+    pub zipf_z: f64,
+    /// RNG seed, for reproducible runs.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Generates the column.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sampler = ZipfSampler::new(self.cardinality, self.zipf_z, &mut rng);
+        let values = (0..self.rows).map(|_| sampler.sample(&mut rng)).collect();
+        Dataset {
+            cardinality: self.cardinality,
+            values,
+        }
+    }
+}
+
+/// A generated column: the projection of the indexed attribute, duplicates
+/// preserved (Figure 1(a) of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    /// Attribute cardinality C; every value is in `0..C`.
+    pub cardinality: u64,
+    /// One attribute value per record.
+    pub values: Vec<u64>,
+}
+
+impl Dataset {
+    /// Per-value occurrence counts (histogram of length C).
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.cardinality as usize];
+        for &v in &self.values {
+            h[v as usize] += 1;
+        }
+        h
+    }
+
+    /// The exact 12-row, C = 10 example column of Figure 1(a)/2(a)/5(b),
+    /// used throughout the paper's worked examples.
+    pub fn paper_example() -> Dataset {
+        Dataset {
+            cardinality: 10,
+            values: vec![3, 2, 1, 2, 8, 2, 9, 0, 7, 5, 6, 4],
+        }
+    }
+
+    /// Returns the same multiset of values in fully sorted order — the
+    /// best case for run-length bitmap compression (each bitmap becomes a
+    /// handful of runs). The paper's data sets are unsorted; this is the
+    /// ablation for how much physical clustering matters to BBC.
+    pub fn into_sorted(mut self) -> Dataset {
+        self.values.sort_unstable();
+        self
+    }
+
+    /// Partially clusters the column: values are grouped into runs of up
+    /// to `run_length` identical values while preserving the multiset —
+    /// the realistic middle ground between the paper's random placement
+    /// and fully sorted storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run_length == 0`.
+    pub fn into_clustered(self, run_length: usize) -> Dataset {
+        assert!(run_length > 0, "run length must be positive");
+        let hist = self.histogram();
+        let mut remaining: Vec<(u64, usize)> = hist
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, n)| n > 0)
+            .map(|(v, n)| (v as u64, n))
+            .collect();
+        let mut values = Vec::with_capacity(self.values.len());
+        // Round-robin over the values, emitting up to run_length at once;
+        // deterministic, preserves counts, bounds run lengths.
+        while !remaining.is_empty() {
+            remaining.retain_mut(|(v, n)| {
+                let take = run_length.min(*n);
+                values.extend(std::iter::repeat_n(*v, take));
+                *n -= take;
+                *n > 0
+            });
+        }
+        Dataset {
+            cardinality: self.cardinality,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let d = DatasetSpec {
+            rows: 5000,
+            cardinality: 50,
+            zipf_z: 1.0,
+            seed: 1,
+        }
+        .generate();
+        assert_eq!(d.values.len(), 5000);
+        assert!(d.values.iter().all(|&v| v < 50));
+    }
+
+    #[test]
+    fn same_seed_same_data() {
+        let spec = DatasetSpec {
+            rows: 1000,
+            cardinality: 20,
+            zipf_z: 2.0,
+            seed: 99,
+        };
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetSpec {
+            rows: 1000,
+            cardinality: 20,
+            zipf_z: 1.0,
+            seed: 1,
+        }
+        .generate();
+        let b = DatasetSpec {
+            rows: 1000,
+            cardinality: 20,
+            zipf_z: 1.0,
+            seed: 2,
+        }
+        .generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn histogram_sums_to_rows() {
+        let d = DatasetSpec {
+            rows: 3000,
+            cardinality: 10,
+            zipf_z: 3.0,
+            seed: 5,
+        }
+        .generate();
+        assert_eq!(d.histogram().iter().sum::<usize>(), 3000);
+    }
+
+    #[test]
+    fn skewed_data_has_a_dominant_value() {
+        let d = DatasetSpec {
+            rows: 10_000,
+            cardinality: 50,
+            zipf_z: 3.0,
+            seed: 5,
+        }
+        .generate();
+        let max = d.histogram().into_iter().max().unwrap();
+        assert!(max > 7_000, "z=3 should concentrate most rows, got {max}");
+    }
+
+    #[test]
+    fn uniform_data_is_balanced() {
+        let d = DatasetSpec {
+            rows: 50_000,
+            cardinality: 10,
+            zipf_z: 0.0,
+            seed: 5,
+        }
+        .generate();
+        for (v, count) in d.histogram().into_iter().enumerate() {
+            assert!(
+                (count as f64 - 5_000.0).abs() < 500.0,
+                "value {v} count {count} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_preserves_multiset() {
+        let d = DatasetSpec {
+            rows: 1000,
+            cardinality: 10,
+            zipf_z: 1.0,
+            seed: 3,
+        }
+        .generate();
+        let sorted = d.clone().into_sorted();
+        assert_eq!(sorted.histogram(), d.histogram());
+        assert!(sorted.values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn clustered_preserves_multiset_and_bounds_runs() {
+        let d = DatasetSpec {
+            rows: 2000,
+            cardinality: 10,
+            zipf_z: 2.0,
+            seed: 3,
+        }
+        .generate();
+        let run = 16;
+        let clustered = d.clone().into_clustered(run);
+        assert_eq!(clustered.histogram(), d.histogram());
+        // No run of identical values longer than 2*run-1 (adjacent chunks
+        // of the same value can only touch at round-robin wraparound when
+        // a single value remains).
+        let mut longest = 1usize;
+        let mut current = 1usize;
+        for w in clustered.values.windows(2) {
+            if w[0] == w[1] {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 1;
+            }
+        }
+        // The dominant value's tail may be contiguous once others run out.
+        let max_count = *d.histogram().iter().max().expect("non-empty");
+        assert!(longest <= max_count, "longest run {longest}");
+    }
+
+    #[test]
+    #[should_panic(expected = "run length")]
+    fn zero_run_length_panics() {
+        let _ = Dataset::paper_example().into_clustered(0);
+    }
+
+    #[test]
+    fn paper_example_matches_figure_1a() {
+        let d = Dataset::paper_example();
+        assert_eq!(d.cardinality, 10);
+        assert_eq!(d.values, vec![3, 2, 1, 2, 8, 2, 9, 0, 7, 5, 6, 4]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic workloads for the SIGMOD '99 bitmap-index experiments.
+//!
+//! The paper's data sets (§7) are characterized by two parameters — the
+//! attribute cardinality `C ∈ {50, 200}` and a Zipf skew `z ∈ {0,1,2,3}`
+//! (`z = 0` is uniform) — with **no correlation between attribute values
+//! and their frequencies** (frequencies are assigned to values by a random
+//! permutation). The query workload is 8 query sets characterized by
+//! `N_int ∈ {1,2,5}` (number of interval constituents per membership
+//! query) and `N_equ ∈ {0, ⌈N_int/2⌉, N_int}` (how many of those are
+//! equality constituents), 10 random queries per set.
+//!
+//! All generation is seeded and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use bix_workload::{DatasetSpec, QuerySetSpec};
+//!
+//! let data = DatasetSpec { rows: 10_000, cardinality: 50, zipf_z: 1.0, seed: 42 }.generate();
+//! assert_eq!(data.values.len(), 10_000);
+//! assert!(data.values.iter().all(|&v| v < 50));
+//!
+//! let sets = QuerySetSpec::paper_query_sets();
+//! assert_eq!(sets.len(), 8);
+//! let queries = sets[0].generate(50, 10, 7);
+//! assert_eq!(queries.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod queries;
+mod star;
+mod zipf;
+
+pub use dataset::{Dataset, DatasetSpec};
+pub use queries::{GeneratedQuery, QuerySetSpec};
+pub use star::{StarSchema, StarSchemaSpec};
+pub use zipf::ZipfSampler;

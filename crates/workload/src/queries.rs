@@ -1,0 +1,185 @@
+//! The paper's query-set generator (§7 "Queries").
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Characterizes one query set: `N_int` interval constituents per
+/// membership query, of which `N_equ` are equality constituents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuerySetSpec {
+    /// Total interval queries per membership query (paper: 1, 2, 5).
+    pub n_int: usize,
+    /// How many of those are equality queries (paper: 0, ⌈N_int/2⌉, N_int).
+    pub n_equ: usize,
+}
+
+impl QuerySetSpec {
+    /// The paper's 8 query sets: `N_int ∈ {1,2,5}` crossed with
+    /// `N_equ ∈ {0, ⌈N_int/2⌉, N_int}`, deduplicated (for `N_int = 1`,
+    /// `⌈N_int/2⌉ = N_int`).
+    pub fn paper_query_sets() -> Vec<QuerySetSpec> {
+        let mut sets = Vec::new();
+        for n_int in [1usize, 2, 5] {
+            let mut n_equs = vec![0, n_int.div_ceil(2), n_int];
+            n_equs.dedup();
+            for n_equ in n_equs {
+                let spec = QuerySetSpec { n_int, n_equ };
+                if !sets.contains(&spec) {
+                    sets.push(spec);
+                }
+            }
+        }
+        sets
+    }
+
+    /// Generates `count` random membership queries over domain `0..c`.
+    ///
+    /// Each query has exactly `n_int` pairwise disjoint, non-adjacent
+    /// constituent intervals (so the disjunction is already minimal, as the
+    /// paper's rewrite step requires), of which `n_equ` are single values
+    /// and the rest are proper ranges (at least two values wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_equ > n_int`, or if the domain is too small to fit
+    /// `n_int` disjoint non-adjacent constituents.
+    pub fn generate(&self, c: u64, count: usize, seed: u64) -> Vec<GeneratedQuery> {
+        assert!(self.n_equ <= self.n_int, "N_equ cannot exceed N_int");
+        // Worst case each constituent needs 2 values plus a 1-value gap.
+        assert!(
+            c >= (3 * self.n_int) as u64,
+            "domain of {c} too small for {} disjoint constituents",
+            self.n_int
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.generate_one(c, &mut rng)).collect()
+    }
+
+    fn generate_one(&self, c: u64, rng: &mut StdRng) -> GeneratedQuery {
+        // Rejection-sample constituent intervals until all are pairwise
+        // non-adjacent. Domains here are small (50-200), so this is cheap.
+        'retry: loop {
+            let mut intervals: Vec<(u64, u64)> = Vec::with_capacity(self.n_int);
+            for k in 0..self.n_int {
+                let is_equality = k < self.n_equ;
+                let (lo, hi) = if is_equality {
+                    let v = rng.random_range(0..c);
+                    (v, v)
+                } else {
+                    // A proper range: at least 2 values wide.
+                    let lo = rng.random_range(0..c - 1);
+                    let hi = rng.random_range(lo + 1..c);
+                    (lo, hi)
+                };
+                intervals.push((lo, hi));
+            }
+            intervals.sort_unstable();
+            // Non-adjacent: a gap of at least one value between intervals,
+            // otherwise the minimal rewrite would merge them.
+            for w in intervals.windows(2) {
+                if w[1].0 <= w[0].1 + 1 {
+                    continue 'retry;
+                }
+            }
+            return GeneratedQuery { intervals };
+        }
+    }
+}
+
+/// One membership query, already in minimal-interval form: the disjunction
+/// of `lo <= A <= hi` over its constituent intervals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedQuery {
+    /// Sorted, pairwise disjoint and non-adjacent `(lo, hi)` constituents.
+    pub intervals: Vec<(u64, u64)>,
+}
+
+impl GeneratedQuery {
+    /// Expands to the explicit value set `{v1, ..., vk}` form.
+    pub fn values(&self) -> Vec<u64> {
+        self.intervals
+            .iter()
+            .flat_map(|&(lo, hi)| lo..=hi)
+            .collect()
+    }
+
+    /// True if row value `v` satisfies the query.
+    pub fn matches(&self, v: u64) -> bool {
+        self.intervals.iter().any(|&(lo, hi)| lo <= v && v <= hi)
+    }
+
+    /// Number of equality constituents (single-value intervals).
+    pub fn equality_count(&self) -> usize {
+        self.intervals.iter().filter(|&&(lo, hi)| lo == hi).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_query_sets_match_section_7() {
+        let sets = QuerySetSpec::paper_query_sets();
+        assert_eq!(sets.len(), 8);
+        assert!(sets.contains(&QuerySetSpec { n_int: 1, n_equ: 0 }));
+        assert!(sets.contains(&QuerySetSpec { n_int: 1, n_equ: 1 }));
+        assert!(sets.contains(&QuerySetSpec { n_int: 2, n_equ: 0 }));
+        assert!(sets.contains(&QuerySetSpec { n_int: 2, n_equ: 1 }));
+        assert!(sets.contains(&QuerySetSpec { n_int: 2, n_equ: 2 }));
+        assert!(sets.contains(&QuerySetSpec { n_int: 5, n_equ: 0 }));
+        assert!(sets.contains(&QuerySetSpec { n_int: 5, n_equ: 3 }));
+        assert!(sets.contains(&QuerySetSpec { n_int: 5, n_equ: 5 }));
+    }
+
+    #[test]
+    fn generated_queries_have_requested_shape() {
+        for spec in QuerySetSpec::paper_query_sets() {
+            let queries = spec.generate(50, 10, 42);
+            assert_eq!(queries.len(), 10);
+            for q in &queries {
+                assert_eq!(q.intervals.len(), spec.n_int, "{spec:?}");
+                assert_eq!(q.equality_count(), spec.n_equ, "{spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_are_sorted_disjoint_non_adjacent() {
+        let spec = QuerySetSpec { n_int: 5, n_equ: 3 };
+        for q in spec.generate(50, 50, 7) {
+            for w in q.intervals.windows(2) {
+                assert!(w[1].0 > w[0].1 + 1, "adjacent or overlapping: {:?}", q.intervals);
+            }
+            for &(lo, hi) in &q.intervals {
+                assert!(lo <= hi && hi < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = QuerySetSpec { n_int: 2, n_equ: 1 };
+        assert_eq!(spec.generate(50, 10, 3), spec.generate(50, 10, 3));
+    }
+
+    #[test]
+    fn values_expansion_and_matching_agree() {
+        let q = GeneratedQuery {
+            intervals: vec![(6, 6), (19, 22), (35, 35)],
+        };
+        // The paper's §5 example: A ∈ {6, 19, 20, 21, 22, 35}.
+        assert_eq!(q.values(), vec![6, 19, 20, 21, 22, 35]);
+        for v in 0..50 {
+            assert_eq!(q.matches(v), q.values().contains(&v));
+        }
+        assert_eq!(q.equality_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_domain_panics() {
+        let spec = QuerySetSpec { n_int: 5, n_equ: 0 };
+        let _ = spec.generate(10, 1, 0);
+    }
+}

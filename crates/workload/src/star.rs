@@ -1,0 +1,166 @@
+//! A small star-schema fact-table generator.
+//!
+//! The paper motivates bitmap indexes with DSS workloads; this preset
+//! produces a sales-like fact table with several low-cardinality
+//! dimension-style attributes, including a pair of **correlated** columns
+//! (region determines a skewed distribution over store), so multi-
+//! attribute examples and tests exercise realistic value interactions
+//! rather than independent uniform noise.
+
+use crate::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the synthetic fact table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarSchemaSpec {
+    /// Number of fact rows.
+    pub rows: usize,
+    /// Number of regions (e.g. 8).
+    pub regions: u64,
+    /// Stores per region (store id = region * stores_per_region + k).
+    pub stores_per_region: u64,
+    /// Distinct discount percentages, 0..discount_levels.
+    pub discount_levels: u64,
+    /// Zipf skew of the discount distribution.
+    pub discount_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StarSchemaSpec {
+    fn default() -> Self {
+        StarSchemaSpec {
+            rows: 100_000,
+            regions: 8,
+            stores_per_region: 6,
+            discount_levels: 50,
+            discount_skew: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated fact table: columnar, one entry per row in each column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarSchema {
+    /// Region id per row, `0..regions` (uniform).
+    pub region: Vec<u64>,
+    /// Store id per row, `0..regions*stores_per_region`; correlated with
+    /// region (a store belongs to exactly one region).
+    pub store: Vec<u64>,
+    /// Discount percentage per row, `0..discount_levels` (Zipf-skewed).
+    pub discount: Vec<u64>,
+    /// Quantity per row, `1..=100` (uniform).
+    pub quantity: Vec<u64>,
+    /// The spec the table was generated from.
+    pub spec: StarSchemaSpec,
+}
+
+impl StarSchemaSpec {
+    /// Generates the fact table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension cardinality is zero.
+    pub fn generate(&self) -> StarSchema {
+        assert!(
+            self.regions > 0 && self.stores_per_region > 0 && self.discount_levels > 0,
+            "dimension cardinalities must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let discount_sampler =
+            ZipfSampler::new(self.discount_levels, self.discount_skew, &mut rng);
+
+        let mut region = Vec::with_capacity(self.rows);
+        let mut store = Vec::with_capacity(self.rows);
+        let mut discount = Vec::with_capacity(self.rows);
+        let mut quantity = Vec::with_capacity(self.rows);
+        for _ in 0..self.rows {
+            let r = rng.random_range(0..self.regions);
+            // Stores within a region are popularity-skewed: the first
+            // store of each region takes about half the traffic.
+            let s_local = {
+                let u: f64 = rng.random_range(0.0..1.0);
+                // u² concentrates near 0: low store indexes get most rows.
+                ((u * u) * self.stores_per_region as f64) as u64 % self.stores_per_region
+            };
+            region.push(r);
+            store.push(r * self.stores_per_region + s_local);
+            discount.push(discount_sampler.sample(&mut rng));
+            quantity.push(rng.random_range(1..=100));
+        }
+        StarSchema {
+            region,
+            store,
+            discount,
+            quantity,
+            spec: *self,
+        }
+    }
+}
+
+impl StarSchema {
+    /// Total store cardinality, `regions * stores_per_region`.
+    pub fn store_cardinality(&self) -> u64 {
+        self.spec.regions * self.spec.stores_per_region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_domains() {
+        let t = StarSchemaSpec {
+            rows: 5_000,
+            ..StarSchemaSpec::default()
+        }
+        .generate();
+        assert_eq!(t.region.len(), 5_000);
+        assert!(t.region.iter().all(|&r| r < 8));
+        assert!(t.store.iter().all(|&s| s < t.store_cardinality()));
+        assert!(t.discount.iter().all(|&d| d < 50));
+        assert!(t.quantity.iter().all(|&q| (1..=100).contains(&q)));
+    }
+
+    #[test]
+    fn store_is_consistent_with_region() {
+        let t = StarSchemaSpec::default().generate();
+        for (r, s) in t.region.iter().zip(&t.store) {
+            assert_eq!(s / t.spec.stores_per_region, *r, "store {s} not in region {r}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = StarSchemaSpec::default();
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn store_popularity_is_skewed_within_regions() {
+        let t = StarSchemaSpec {
+            rows: 100_000,
+            ..StarSchemaSpec::default()
+        }
+        .generate();
+        // The first store of region 0 should see far more traffic than
+        // the last.
+        let count = |s: u64| t.store.iter().filter(|&&x| x == s).count();
+        let first = count(0);
+        let last = count(t.spec.stores_per_region - 1);
+        assert!(first > 2 * last, "first {first}, last {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cardinality_panics() {
+        let _ = StarSchemaSpec {
+            regions: 0,
+            ..StarSchemaSpec::default()
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,169 @@
+//! Zipf-distributed value sampling.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Samples attribute values with Zipfian frequencies.
+///
+/// Rank `r` (0-based) receives probability proportional to
+/// `1 / (r + 1)^z`; `z = 0` degenerates to the uniform distribution. The
+/// mapping from frequency rank to attribute *value* is a seeded random
+/// permutation, reproducing the paper's "no correlation between the
+/// attribute values and their frequencies".
+///
+/// Sampling is by binary search over the cumulative distribution — O(log C)
+/// per row, exact (no approximation of the harmonic normalizer).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// cdf[i] = P(rank <= i), monotonically increasing to 1.0.
+    cdf: Vec<f64>,
+    /// rank -> attribute value permutation.
+    rank_to_value: Vec<u64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `cardinality` values with skew `z`, using
+    /// `rng` to draw the rank-to-value permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinality == 0` or `z < 0`.
+    pub fn new(cardinality: u64, z: f64, rng: &mut StdRng) -> Self {
+        assert!(cardinality > 0, "cardinality must be positive");
+        assert!(z >= 0.0, "Zipf skew must be non-negative");
+        let c = cardinality as usize;
+        let mut weights: Vec<f64> = (0..c).map(|r| 1.0 / ((r + 1) as f64).powf(z)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Clamp the final entry so search never falls off the end.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+
+        let mut rank_to_value: Vec<u64> = (0..cardinality).collect();
+        // Fisher-Yates with the caller's seeded RNG.
+        for i in (1..c).rev() {
+            let j = rng.random_range(0..=i);
+            rank_to_value.swap(i, j);
+        }
+
+        ZipfSampler {
+            cdf: weights,
+            rank_to_value,
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        let rank = self.cdf.partition_point(|&p| p < u);
+        self.rank_to_value[rank.min(self.cdf.len() - 1)]
+    }
+
+    /// The probability assigned to attribute value `v`.
+    pub fn probability_of_value(&self, v: u64) -> f64 {
+        let rank = self
+            .rank_to_value
+            .iter()
+            .position(|&x| x == v)
+            .expect("value out of domain");
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lo
+    }
+
+    /// Domain cardinality.
+    pub fn cardinality(&self) -> u64 {
+        self.rank_to_value.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_skew_gives_equal_probabilities() {
+        let mut r = rng(1);
+        let s = ZipfSampler::new(10, 0.0, &mut r);
+        for v in 0..10 {
+            assert!((s.probability_of_value(v) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for z in [0.0, 1.0, 2.0, 3.0] {
+            let mut r = rng(2);
+            let s = ZipfSampler::new(50, z, &mut r);
+            let total: f64 = (0..50).map(|v| s.probability_of_value(v)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "z={z}");
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass() {
+        let mut r = rng(3);
+        let s1 = ZipfSampler::new(50, 1.0, &mut r);
+        let mut r = rng(3);
+        let s3 = ZipfSampler::new(50, 3.0, &mut r);
+        let max1 = (0..50).map(|v| s1.probability_of_value(v)).fold(0.0, f64::max);
+        let max3 = (0..50).map(|v| s3.probability_of_value(v)).fold(0.0, f64::max);
+        assert!(max3 > max1);
+        assert!(max3 > 0.8, "z=3 over C=50 is heavily skewed, got {max3}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut r1 = rng(7);
+        let s1 = ZipfSampler::new(20, 1.0, &mut r1);
+        let a: Vec<u64> = (0..100).map(|_| s1.sample(&mut r1)).collect();
+        let mut r2 = rng(7);
+        let s2 = ZipfSampler::new(20, 1.0, &mut r2);
+        let b: Vec<u64> = (0..100).map(|_| s2.sample(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empirical_frequencies_track_probabilities() {
+        let mut r = rng(11);
+        let s = ZipfSampler::new(10, 2.0, &mut r);
+        let n = 200_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[s.sample(&mut r) as usize] += 1;
+        }
+        for v in 0..10u64 {
+            let expect = s.probability_of_value(v);
+            let got = counts[v as usize] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "value {v}: expected {expect:.4}, got {got:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let mut r = rng(13);
+        let s = ZipfSampler::new(7, 1.5, &mut r);
+        for _ in 0..1000 {
+            assert!(s.sample(&mut r) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality")]
+    fn zero_cardinality_panics() {
+        let mut r = rng(0);
+        let _ = ZipfSampler::new(0, 1.0, &mut r);
+    }
+}

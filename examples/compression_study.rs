@@ -1,0 +1,83 @@
+//! Compression and skew: when does compressing the index pay off?
+//!
+//! The paper's conclusion: for low-to-medium skew, uncompressed indexes
+//! have better space-time performance (interval encoding winning);
+//! for medium-to-high skew, compressed indexes win because bitmaps become
+//! highly compressible. This example sweeps Zipf skew z = 0..3 and prints
+//! space and simulated query time for raw vs BBC vs WAH storage of each
+//! basic scheme.
+//!
+//! Run with: `cargo run --release --example compression_study`
+
+use chan_bitmap_index::core::{
+    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
+    Query,
+};
+use chan_bitmap_index::workload::DatasetSpec;
+
+fn main() {
+    let rows = 200_000;
+    let c = 50u64;
+    // Two eras: the paper's testbed (slow disk AND slow CPU) and a modern
+    // NVMe machine. The compressed-vs-uncompressed verdict flips between
+    // them at low skew.
+    let eras = [
+        ("1997 (paper hardware)", CostModel::paper_hardware()),
+        ("2026 (modern NVMe)", CostModel::modern_nvme()),
+    ];
+    let query = Query::range(10, 35);
+
+    println!("rows = {rows}, C = {c}, query: 10 <= A <= 35\n");
+    for (era, cost) in &eras {
+        println!("=== {era} ===");
+        println!(
+            "{:>3} {:<7} {:<8} {:>12} {:>10} {:>10}",
+            "z", "scheme", "codec", "space bytes", "pages", "time ms"
+        );
+        for z in [0.0f64, 2.0] {
+            let data = DatasetSpec {
+                rows,
+                cardinality: c,
+                zipf_z: z,
+                seed: 9,
+            }
+            .generate();
+            for scheme in EncodingScheme::BASIC {
+                for codec in [
+                    CodecKind::Raw,
+                    CodecKind::Bbc,
+                    CodecKind::Wah,
+                    CodecKind::Roaring,
+                ] {
+                    let mut index = BitmapIndex::build(
+                        &data.values,
+                        &IndexConfig::one_component(c, scheme).with_codec(codec),
+                    );
+                    let mut pool = BufferPool::new(2048);
+                    let r = index.evaluate_detailed(
+                        &query,
+                        &mut pool,
+                        EvalStrategy::ComponentWise,
+                        cost,
+                    );
+                    println!(
+                        "{:>3} {:<7} {:<8} {:>12} {:>10} {:>10.3}",
+                        z,
+                        scheme.symbol(),
+                        codec.name(),
+                        index.space_bytes(),
+                        r.io.pages_read,
+                        r.total_seconds() * 1e3,
+                    );
+                }
+            }
+            println!();
+        }
+    }
+
+    println!("On 1997 hardware at z = 0 the compressed forms pay decompression");
+    println!("CPU for little space: uncompressed wins (the paper's Figure 9).");
+    println!("At z = 2 runs dominate and compression wins on both axes. On");
+    println!("modern hardware decompression is nearly free and compressed");
+    println!("forms win at every skew — the trade-off's 25-year drift.");
+}

@@ -1,0 +1,337 @@
+//! `bix` — a command-line front end for the bitmap-index library.
+//!
+//! ```text
+//! bix build   --input data.csv [--column 0] --cardinality C
+//!             [--encoding I] [--codec raw|bbc|wah|ewah|roaring]
+//!             [--components N] --out index.bix
+//! bix query   index.bix <predicate>   # '=5' '<=10' '3..7' 'in:1,2,9' '!3..7'
+//! bix explain index.bix <predicate>   # show the bitmap expression + scans
+//! bix info    index.bix
+//! bix advise  --cardinality C [--equality X --one-sided Y --two-sided Z]
+//!             [--budget BITMAPS]
+//! ```
+//!
+//! The input file is one value per line, or CSV with `--column` selecting
+//! a zero-based field. Query output is matching row numbers (zero-based),
+//! one per line, plus a summary on stderr.
+
+use chan_bitmap_index::analysis::{advise, Workload};
+use chan_bitmap_index::core::{
+    BitmapIndex, CodecKind, EncodingScheme, IndexConfig, Query,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("advise") => cmd_advise(&args[1..]),
+        _ => Err("usage: bix <build|query|info|explain|advise> ...".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_encoding(s: &str) -> Result<EncodingScheme, String> {
+    EncodingScheme::ALL_WITH_VARIANTS
+        .into_iter()
+        .find(|e| e.symbol().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown encoding {s} (use E, R, I, ER, O, EI, EI*, I+)"))
+}
+
+fn parse_codec(s: &str) -> Result<CodecKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "raw" => Ok(CodecKind::Raw),
+        "bbc" => Ok(CodecKind::Bbc),
+        "wah" => Ok(CodecKind::Wah),
+        "ewah" => Ok(CodecKind::Ewah),
+        "roaring" => Ok(CodecKind::Roaring),
+        other => Err(format!("unknown codec {other} (use raw, bbc, wah, ewah, roaring)")),
+    }
+}
+
+/// Parses the CLI predicate grammar into a [`Query`] (see
+/// [`Query::parse`] for the grammar).
+fn parse_predicate(s: &str, cardinality: u64) -> Result<Query, String> {
+    Query::parse(s, cardinality)
+}
+
+/// Reads one column of values from a text/CSV file.
+fn read_column(path: &str, column: usize) -> Result<Vec<u64>, String> {
+    let contents =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut values = Vec::new();
+    for (line_no, line) in contents.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let field = line
+            .split(',')
+            .nth(column)
+            .ok_or_else(|| format!("{path}:{}: no column {column}", line_no + 1))?;
+        let v: u64 = field
+            .trim()
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad value {field:?}", line_no + 1))?;
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err(format!("{path} contains no values"));
+    }
+    Ok(values)
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let input = flag_value(args, "--input").ok_or("--input is required")?;
+    let out = flag_value(args, "--out").ok_or("--out is required")?;
+    let column: usize = flag_value(args, "--column")
+        .map(|v| v.parse().map_err(|_| "--column must be a number"))
+        .transpose()?
+        .unwrap_or(0);
+    let values = read_column(&input, column)?;
+
+    let cardinality: u64 = match flag_value(args, "--cardinality") {
+        Some(v) => v.parse().map_err(|_| "--cardinality must be a number")?,
+        None => values.iter().max().copied().unwrap_or(1) + 1,
+    };
+    let encoding = parse_encoding(&flag_value(args, "--encoding").unwrap_or_else(|| "I".into()))?;
+    let codec = parse_codec(&flag_value(args, "--codec").unwrap_or_else(|| "raw".into()))?;
+    let components: usize = flag_value(args, "--components")
+        .map(|v| v.parse().map_err(|_| "--components must be a number"))
+        .transpose()?
+        .unwrap_or(1);
+
+    let config = IndexConfig::n_components(cardinality, encoding, components).with_codec(codec);
+    let index = BitmapIndex::build(&values, &config);
+    index
+        .save(&out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "built {} index over {} rows (C={cardinality}, {} bitmaps, {} bytes) -> {out}",
+        encoding.symbol(),
+        values.len(),
+        index.num_bitmaps(),
+        index.space_bytes(),
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let [path, predicate, ..] = args else {
+        return Err("usage: bix query <index.bix> <predicate>".into());
+    };
+    let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let query = parse_predicate(predicate, index.config().cardinality)?;
+    let expr = index.rewrite(&query);
+    let result = index.evaluate(&query);
+    for row in result.ones() {
+        println!("{row}");
+    }
+    eprintln!(
+        "{} rows matched ({} bitmap scans)",
+        result.count_ones(),
+        expr.scan_count()
+    );
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let [path, predicate, ..] = args else {
+        return Err("usage: bix explain <index.bix> <predicate>".into());
+    };
+    let index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let query = parse_predicate(predicate, index.config().cardinality)?;
+    let expr = index.rewrite(&query);
+    println!("{}", index.explain(&query));
+    println!(
+        "-- {} distinct bitmap scan(s), est. {} matching rows",
+        expr.scan_count(),
+        index.estimate_rows(&query),
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [path, ..] = args else {
+        return Err("usage: bix info <index.bix>".into());
+    };
+    let index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let config = index.config();
+    println!("encoding:     {}", config.encoding.symbol());
+    println!("codec:        {}", config.codec.name());
+    println!("cardinality:  {}", config.cardinality);
+    println!(
+        "components:   {} (bases, most significant first: {:?})",
+        config.bases.n(),
+        config.bases.bases().iter().rev().collect::<Vec<_>>()
+    );
+    println!("rows:         {}", index.rows());
+    println!("bitmaps:      {}", index.num_bitmaps());
+    println!("stored bytes: {}", index.space_bytes());
+    println!("raw bytes:    {}", index.uncompressed_bytes());
+    Ok(())
+}
+
+fn cmd_advise(args: &[String]) -> Result<(), String> {
+    let cardinality: u64 = flag_value(args, "--cardinality")
+        .ok_or("--cardinality is required")?
+        .parse()
+        .map_err(|_| "--cardinality must be a number")?;
+    let get = |flag: &str, default: f64| -> Result<f64, String> {
+        flag_value(args, flag)
+            .map(|v| v.parse().map_err(|_| format!("{flag} must be a number")))
+            .transpose()
+            .map(|o| o.unwrap_or(default))
+    };
+    let workload = Workload {
+        equality: get("--equality", 1.0)?,
+        one_sided: get("--one-sided", 1.0)?,
+        two_sided: get("--two-sided", 1.0)?,
+        membership_constituents: get("--constituents", 1.0)?,
+    };
+    let budget: Option<usize> = flag_value(args, "--budget")
+        .map(|v| v.parse().map_err(|_| "--budget must be a number"))
+        .transpose()?;
+
+    let advice = advise(cardinality, &workload, budget);
+    println!("space-time frontier (bitmaps, expected scans/query):");
+    for d in &advice.frontier {
+        println!(
+            "  {:<4} n={} bases={:?}  {:>4} bitmaps  {:.3} scans",
+            d.encoding.symbol(),
+            d.n_components,
+            d.bases.iter().rev().collect::<Vec<_>>(),
+            d.bitmaps,
+            d.expected_scans,
+        );
+    }
+    match &advice.recommended {
+        Some(d) => println!(
+            "recommended: {} with {} components ({} bitmaps, {:.3} scans/query)",
+            d.encoding.symbol(),
+            d.n_components,
+            d.bitmaps,
+            d.expected_scans,
+        ),
+        None => println!("no design fits the budget"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_grammar() {
+        assert_eq!(parse_predicate("=5", 10).unwrap(), Query::equality(5));
+        assert_eq!(parse_predicate("<=7", 10).unwrap(), Query::le(7));
+        assert_eq!(parse_predicate(">=3", 10).unwrap(), Query::ge(3, 10));
+        assert_eq!(parse_predicate("2..8", 10).unwrap(), Query::range(2, 8));
+        assert_eq!(
+            parse_predicate("in:1, 4,9", 10).unwrap(),
+            Query::membership(vec![1, 4, 9])
+        );
+        assert!(parse_predicate("8..2", 10).is_err());
+        assert!(parse_predicate("garbage", 10).is_err());
+    }
+
+    #[test]
+    fn encoding_and_codec_parsing() {
+        assert_eq!(parse_encoding("I").unwrap(), EncodingScheme::Interval);
+        assert_eq!(parse_encoding("ei*").unwrap(), EncodingScheme::EqualityIntervalStar);
+        assert_eq!(parse_encoding("i+").unwrap(), EncodingScheme::IntervalPlus);
+        assert!(parse_encoding("Z").is_err());
+        assert_eq!(parse_codec("BBC").unwrap(), CodecKind::Bbc);
+        assert!(parse_codec("zip").is_err());
+    }
+
+    #[test]
+    fn flag_value_extraction() {
+        let args: Vec<String> = ["--a", "1", "--b", "2"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(flag_value(&args, "--a"), Some("1".into()));
+        assert_eq!(flag_value(&args, "--b"), Some("2".into()));
+        assert_eq!(flag_value(&args, "--c"), None);
+    }
+
+    #[test]
+    fn read_column_parses_csv_fields() {
+        let path = std::env::temp_dir().join(format!("bix_cli_test_{}.csv", std::process::id()));
+        std::fs::write(&path, "1,10\n2,20\n\n3,30\n").unwrap();
+        assert_eq!(read_column(path.to_str().unwrap(), 0).unwrap(), vec![1, 2, 3]);
+        assert_eq!(read_column(path.to_str().unwrap(), 1).unwrap(), vec![10, 20, 30]);
+        assert!(read_column(path.to_str().unwrap(), 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_command_prints_the_rewrite() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join(format!("bix_cli_explain_{}.csv", std::process::id()));
+        let idx = dir.join(format!("bix_cli_explain_{}.bix", std::process::id()));
+        std::fs::write(
+            &csv,
+            (0..50u64).map(|i| i.to_string()).collect::<Vec<_>>().join("\n"),
+        )
+        .unwrap();
+        cmd_build(&[
+            "--input".into(),
+            csv.to_string_lossy().into_owned(),
+            "--out".into(),
+            idx.to_string_lossy().into_owned(),
+            "--encoding".into(),
+            "R".into(),
+        ])
+        .expect("build");
+        cmd_explain(&[idx.to_string_lossy().into_owned(), "=4".into()]).expect("explain");
+        assert!(cmd_explain(&[idx.to_string_lossy().into_owned(), "garbage".into()]).is_err());
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&idx).ok();
+    }
+
+    #[test]
+    fn build_query_info_end_to_end() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join(format!("bix_cli_e2e_{}.csv", std::process::id()));
+        let idx = dir.join(format!("bix_cli_e2e_{}.bix", std::process::id()));
+        let column: Vec<String> = (0..200u64).map(|i| (i % 10).to_string()).collect();
+        std::fs::write(&csv, column.join("\n")).unwrap();
+
+        cmd_build(&[
+            "--input".into(),
+            csv.to_string_lossy().into_owned(),
+            "--out".into(),
+            idx.to_string_lossy().into_owned(),
+            "--encoding".into(),
+            "I".into(),
+            "--codec".into(),
+            "bbc".into(),
+        ])
+        .expect("build");
+
+        let mut loaded = BitmapIndex::load(&idx).expect("load");
+        assert_eq!(loaded.rows(), 200);
+        assert_eq!(loaded.evaluate(&Query::equality(3)).count_ones(), 20);
+
+        cmd_info(&[idx.to_string_lossy().into_owned()]).expect("info");
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&idx).ok();
+    }
+}

@@ -1,0 +1,49 @@
+//! # chan-bitmap-index
+//!
+//! A complete reproduction of Chan & Ioannidis, *"An Efficient Bitmap
+//! Encoding Scheme for Selection Queries"* (SIGMOD 1999): the equality,
+//! range, and interval bitmap encoding schemes, the four hybrid schemes for
+//! membership queries, multi-component bitmap indexes with the paper's
+//! query rewrite and buffer-aware evaluation, BBC-style byte-aligned
+//! compression, and the full experimental harness regenerating every table
+//! and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`bitvec`] — the uncompressed bit-vector substrate
+//! * [`compress`] — BBC and WAH bitmap codecs
+//! * [`storage`] — simulated disk, buffer pool, and I/O cost model
+//! * [`workload`] — Zipf data sets and the paper's query-set generator
+//! * [`core`] — encoding schemes, decomposition, rewrite, and evaluation
+//! * [`analysis`] — space-time cost model and optimality search
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chan_bitmap_index::core::{BitmapIndex, EncodingScheme, IndexConfig, Query};
+//!
+//! // A small column over domain 0..10.
+//! let column: Vec<u64> = vec![3, 2, 1, 2, 8, 2, 9, 0, 7, 5, 6, 4];
+//!
+//! // Build a one-component interval-encoded index.
+//! let config = IndexConfig::one_component(10, EncodingScheme::Interval);
+//! let mut index = BitmapIndex::build(&column, &config);
+//!
+//! // Evaluate "2 <= A <= 5".
+//! let result = index.evaluate(&Query::range(2, 5));
+//! assert_eq!(result.to_positions(), vec![0, 1, 3, 5, 9, 11]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bix_analysis as analysis;
+pub use bix_bitvec as bitvec;
+pub use bix_compress as compress;
+pub use bix_core as core;
+pub use bix_storage as storage;
+pub use bix_workload as workload;
+
+// Compile-check the README's code blocks as doctests.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
