@@ -241,12 +241,7 @@ pub fn best_bases_for_workload(
     );
     let mut best: Option<Design> = None;
     // Enumerate lower-component bases; the top base is forced.
-    fn enumerate(
-        c: u64,
-        remaining: usize,
-        prefix: &mut Vec<u64>,
-        out: &mut Vec<Vec<u64>>,
-    ) {
+    fn enumerate(c: u64, remaining: usize, prefix: &mut Vec<u64>, out: &mut Vec<Vec<u64>>) {
         let prod: u64 = prefix.iter().product();
         if remaining == 1 {
             let bn = c.div_ceil(prod).max(2);
@@ -281,8 +276,7 @@ pub fn best_bases_for_workload(
         let better = match &best {
             None => true,
             Some(b) => {
-                (candidate.expected_scans, candidate.bitmaps)
-                    < (b.expected_scans, b.bitmaps)
+                (candidate.expected_scans, candidate.bitmaps) < (b.expected_scans, b.bitmaps)
             }
         };
         if better {
@@ -312,9 +306,7 @@ pub fn knee_design(c: u64, encoding: EncodingScheme, workload: &Workload) -> Des
     designs
         .into_iter()
         .min_by(|a, b| {
-            let score = |d: &Design| {
-                (d.bitmaps as f64 / max_space) * (d.expected_scans / max_time)
-            };
+            let score = |d: &Design| (d.bitmaps as f64 / max_space) * (d.expected_scans / max_time);
             score(a).partial_cmp(&score(b)).expect("finite")
         })
         .cloned()
@@ -370,9 +362,7 @@ mod tests {
             let designs = advise_scheme(200, &encoding, &w);
             let max_space = designs.iter().map(|d| d.bitmaps).max().unwrap() as f64;
             let max_time = designs.iter().map(|d| d.expected_scans).fold(0.0, f64::max);
-            let score = |d: &Design| {
-                (d.bitmaps as f64 / max_space) * (d.expected_scans / max_time)
-            };
+            let score = |d: &Design| (d.bitmaps as f64 / max_space) * (d.expected_scans / max_time);
             for d in &designs {
                 assert!(
                     score(&knee) <= score(d) + 1e-12,

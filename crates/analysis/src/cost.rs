@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn equality_encoding_eq_time_is_one() {
         for c in 3u64..=64 {
-            assert_eq!(expected_scans(EncodingScheme::Equality, c, QueryClass::Eq), 1.0);
+            assert_eq!(
+                expected_scans(EncodingScheme::Equality, c, QueryClass::Eq),
+                1.0
+            );
         }
     }
 

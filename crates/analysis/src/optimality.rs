@@ -182,11 +182,7 @@ fn search(
 /// # Panics
 ///
 /// Panics if `c > 10` (the enumeration is doubly exponential).
-pub fn performance_field(
-    c: u64,
-    max_bitmaps: usize,
-    class: QueryClass,
-) -> Vec<FieldPoint> {
+pub fn performance_field(c: u64, max_bitmaps: usize, class: QueryClass) -> Vec<FieldPoint> {
     assert!(c <= 10, "field enumeration is infeasible past C = 10");
     let full: u64 = (1u64 << c) - 1;
     let candidates: Vec<u64> = (1..=full).filter(|b| b & 1 == 0).collect();
@@ -287,7 +283,7 @@ mod tests {
     fn min_scans_basics() {
         let c = 4;
         let scheme = vec![0b0001u64, 0b0011, 0b0111]; // R-style prefixes
-        // Empty and full sets need zero bitmaps.
+                                                      // Empty and full sets need zero bitmaps.
         assert_eq!(min_scans(&scheme, 0, c), Some(0));
         assert_eq!(min_scans(&scheme, 0b1111, c), Some(0));
         // A stored bitmap needs one.
@@ -314,8 +310,7 @@ mod tests {
         for encoding in EncodingScheme::BASIC {
             for c in 4u64..=8 {
                 for class in [QueryClass::Eq, QueryClass::OneSided, QueryClass::TwoSided] {
-                    let brute =
-                        scheme_time(&encoding_as_scheme(encoding, c), c, class).unwrap();
+                    let brute = scheme_time(&encoding_as_scheme(encoding, c), c, class).unwrap();
                     let expr = crate::expected_scans(encoding, c, class);
                     assert!(
                         brute <= expr + 1e-9,
@@ -336,14 +331,20 @@ mod tests {
     #[test]
     fn table1_equality_is_optimal_for_eq() {
         for c in 3u64..=6 {
-            assert!(is_optimal(EncodingScheme::Equality, c, QueryClass::Eq), "C={c}");
+            assert!(
+                is_optimal(EncodingScheme::Equality, c, QueryClass::Eq),
+                "C={c}"
+            );
         }
     }
 
     #[test]
     fn table1_range_is_optimal_for_eq_iff_c_at_most_5() {
         for c in 4u64..=5 {
-            assert!(is_optimal(EncodingScheme::Range, c, QueryClass::Eq), "C={c}");
+            assert!(
+                is_optimal(EncodingScheme::Range, c, QueryClass::Eq),
+                "C={c}"
+            );
         }
         assert!(!is_optimal(EncodingScheme::Range, 6, QueryClass::Eq));
     }
@@ -351,7 +352,10 @@ mod tests {
     #[test]
     fn table1_range_is_optimal_for_1rq() {
         for c in 4u64..=6 {
-            assert!(is_optimal(EncodingScheme::Range, c, QueryClass::OneSided), "R C={c}");
+            assert!(
+                is_optimal(EncodingScheme::Range, c, QueryClass::OneSided),
+                "R C={c}"
+            );
         }
     }
 
@@ -374,7 +378,11 @@ mod tests {
     fn odd_c_needs_the_footnote_4_variant() {
         let c = 5u64;
         // The basic variant is dominated for 1RQ and RQ...
-        assert!(!is_optimal(EncodingScheme::Interval, c, QueryClass::OneSided));
+        assert!(!is_optimal(
+            EncodingScheme::Interval,
+            c,
+            QueryClass::OneSided
+        ));
         assert!(!is_optimal(EncodingScheme::Interval, c, QueryClass::Range));
         // ...while the widened odd-C variant (implemented as
         // `EncodingScheme::IntervalPlus`) is optimal for 1RQ (the class
@@ -390,7 +398,8 @@ mod tests {
         );
         // The I+ evaluation expressions realize the brute-force optimum
         // exactly: expected 1RQ scans match the min-scan metric.
-        let expr_time = crate::expected_scans(EncodingScheme::IntervalPlus, c, QueryClass::OneSided);
+        let expr_time =
+            crate::expected_scans(EncodingScheme::IntervalPlus, c, QueryClass::OneSided);
         assert!(
             (expr_time - t_1rq).abs() < 1e-9,
             "I+ expressions are not scan-minimal: {expr_time} vs {t_1rq}"
@@ -408,8 +417,8 @@ mod tests {
             QueryClass::Range,
         )
         .expect("complete");
-        let dominator = find_dominating(3, rq_time, c, QueryClass::Range)
-            .expect("the C=5 RQ dominator exists");
+        let dominator =
+            find_dominating(3, rq_time, c, QueryClass::Range).expect("the C=5 RQ dominator exists");
         let dom_time = scheme_time(&dominator, c, QueryClass::Range).expect("complete");
         assert!((dom_time - 13.0 / 9.0).abs() < 1e-9);
     }
@@ -452,7 +461,11 @@ mod tests {
     #[test]
     fn table1_equality_is_not_optimal_for_ranges() {
         for c in 5u64..=6 {
-            for class in [QueryClass::OneSided, QueryClass::TwoSided, QueryClass::Range] {
+            for class in [
+                QueryClass::OneSided,
+                QueryClass::TwoSided,
+                QueryClass::Range,
+            ] {
                 assert!(
                     !is_optimal(EncodingScheme::Equality, c, class),
                     "E C={c} {class}"
@@ -464,7 +477,10 @@ mod tests {
     #[test]
     fn table1_range_is_optimal_for_rq() {
         for c in 5u64..=6 {
-            assert!(is_optimal(EncodingScheme::Range, c, QueryClass::Range), "C={c}");
+            assert!(
+                is_optimal(EncodingScheme::Range, c, QueryClass::Range),
+                "C={c}"
+            );
         }
     }
 }
@@ -487,15 +503,15 @@ mod field_tests {
             }
             let time = scheme_time(&scheme, 5, QueryClass::Range).unwrap();
             assert!(
-                field.iter().any(|p| p.space == scheme.len()
-                    && (p.time - time).abs() < 1e-6),
+                field
+                    .iter()
+                    .any(|p| p.space == scheme.len() && (p.time - time).abs() < 1e-6),
                 "{encoding} missing from field"
             );
         }
         // At least one Pareto point exists and no pareto point dominates
         // another.
-        let frontier: Vec<&FieldPoint> =
-            field.iter().filter(|p| p.pareto_optimal).collect();
+        let frontier: Vec<&FieldPoint> = field.iter().filter(|p| p.pareto_optimal).collect();
         assert!(!frontier.is_empty());
         for a in &frontier {
             for b in &frontier {

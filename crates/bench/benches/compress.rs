@@ -18,7 +18,9 @@ fn bitmap_with_density(density: f64) -> Bitvec {
     let period = (1.0 / density).round() as usize;
     let mut x = 0x12345678u64;
     for i in (0..BITS).step_by(period.max(1)) {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         // Short run of 1-4 bits, like records with equal values loaded together.
         let run = 1 + (x % 4) as usize;
         for j in 0..run {
@@ -83,9 +85,12 @@ fn bench_compressed_domain_ops(c: &mut Criterion) {
         let b = bitmap_with_density(density * 0.7);
         let ca = Bbc.compress(&a);
         let cb = Bbc.compress(&b);
-        group.bench_function(BenchmarkId::new("compressed_and", format!("d{density}")), |bench| {
-            bench.iter(|| black_box(bbc_binary(black_box(&ca), black_box(&cb), BitOp::And)))
-        });
+        group.bench_function(
+            BenchmarkId::new("compressed_and", format!("d{density}")),
+            |bench| {
+                bench.iter(|| black_box(bbc_binary(black_box(&ca), black_box(&cb), BitOp::And)))
+            },
+        );
         group.bench_function(
             BenchmarkId::new("decompress_and_recompress", format!("d{density}")),
             |bench| {

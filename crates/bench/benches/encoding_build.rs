@@ -26,7 +26,10 @@ fn bench_build_per_scheme(c: &mut Criterion) {
             &config,
             |bench, config| {
                 bench.iter(|| {
-                    black_box(bix_core::BitmapIndex::build(black_box(&data.values), config))
+                    black_box(bix_core::BitmapIndex::build(
+                        black_box(&data.values),
+                        config,
+                    ))
                 })
             },
         );
@@ -47,7 +50,12 @@ fn bench_build_by_components(c: &mut Criterion) {
     for n in [1usize, 2, 3] {
         let config = IndexConfig::n_components(50, EncodingScheme::Interval, n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &config, |bench, config| {
-            bench.iter(|| black_box(bix_core::BitmapIndex::build(black_box(&data.values), config)))
+            bench.iter(|| {
+                black_box(bix_core::BitmapIndex::build(
+                    black_box(&data.values),
+                    config,
+                ))
+            })
         });
     }
     group.finish();
@@ -70,7 +78,10 @@ fn bench_build_compressed(c: &mut Criterion) {
             &config,
             |bench, config| {
                 bench.iter(|| {
-                    black_box(bix_core::BitmapIndex::build(black_box(&data.values), config))
+                    black_box(bix_core::BitmapIndex::build(
+                        black_box(&data.values),
+                        config,
+                    ))
                 })
             },
         );

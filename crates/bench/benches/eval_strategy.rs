@@ -8,8 +8,7 @@
 //!   wall time of the full evaluation).
 
 use bix_core::{
-    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
-    Query,
+    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig, Query,
 };
 use bix_workload::{DatasetSpec, QuerySetSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -39,8 +38,16 @@ fn bench_strategies(c: &mut Criterion) {
     for scheme in [EncodingScheme::Interval, EncodingScheme::Equality] {
         let mut index = build(scheme);
         for (label, strategy, pool_pages) in [
-            ("component_wise_big_pool", EvalStrategy::ComponentWise, 2048usize),
-            ("component_streaming", EvalStrategy::ComponentStreaming, 2048),
+            (
+                "component_wise_big_pool",
+                EvalStrategy::ComponentWise,
+                2048usize,
+            ),
+            (
+                "component_streaming",
+                EvalStrategy::ComponentStreaming,
+                2048,
+            ),
             ("query_wise_big_pool", EvalStrategy::QueryWise, 2048),
             ("query_wise_tiny_pool", EvalStrategy::QueryWise, 2),
         ] {

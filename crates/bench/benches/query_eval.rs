@@ -2,8 +2,7 @@
 //! every query class, through the full rewrite → fetch → fold pipeline.
 
 use bix_core::{
-    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
-    Query,
+    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig, Query,
 };
 use bix_workload::DatasetSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -38,21 +37,18 @@ fn bench_by_class(c: &mut Criterion) {
         let mut index = build(scheme, CodecKind::Raw);
         let cost = CostModel::default();
         for (class_name, query) in &classes {
-            group.bench_function(
-                BenchmarkId::new(scheme.symbol(), class_name),
-                |bench| {
-                    bench.iter(|| {
-                        let mut pool = BufferPool::new(2048);
-                        index.reset_stats();
-                        black_box(index.evaluate_detailed(
-                            black_box(query),
-                            &mut pool,
-                            EvalStrategy::ComponentWise,
-                            &cost,
-                        ))
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(scheme.symbol(), class_name), |bench| {
+                bench.iter(|| {
+                    let mut pool = BufferPool::new(2048);
+                    index.reset_stats();
+                    black_box(index.evaluate_detailed(
+                        black_box(query),
+                        &mut pool,
+                        EvalStrategy::ComponentWise,
+                        &cost,
+                    ))
+                })
+            });
         }
     }
     group.finish();

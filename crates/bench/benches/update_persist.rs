@@ -28,16 +28,13 @@ fn bench_append(c: &mut Criterion) {
     for scheme in EncodingScheme::BASIC {
         for codec in [CodecKind::Raw, CodecKind::Bbc] {
             let config = IndexConfig::one_component(C, scheme).with_codec(codec);
-            group.bench_function(
-                BenchmarkId::new(scheme.symbol(), codec.name()),
-                |bench| {
-                    bench.iter_batched(
-                        || BitmapIndex::build(&base, &config),
-                        |mut idx| black_box(idx.append(black_box(&batch))),
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+            group.bench_function(BenchmarkId::new(scheme.symbol(), codec.name()), |bench| {
+                bench.iter_batched(
+                    || BitmapIndex::build(&base, &config),
+                    |mut idx| black_box(idx.append(black_box(&batch))),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
     }
     group.finish();
@@ -78,13 +75,19 @@ fn bench_parallel_build(c: &mut Criterion) {
     }
     .generate()
     .values;
-    let config = IndexConfig::one_component(200, EncodingScheme::EqualityRange)
-        .with_codec(CodecKind::Bbc);
+    let config =
+        IndexConfig::one_component(200, EncodingScheme::EqualityRange).with_codec(CodecKind::Bbc);
     let mut group = c.benchmark_group("parallel_build_er_c200");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
         group.bench_function(BenchmarkId::from_parameter(threads), |bench| {
-            bench.iter(|| black_box(BitmapIndex::build_parallel(black_box(&wide), &config, threads)))
+            bench.iter(|| {
+                black_box(BitmapIndex::build_parallel(
+                    black_box(&wide),
+                    &config,
+                    threads,
+                ))
+            })
         });
     }
     group.bench_function("sequential", |bench| {
@@ -94,5 +97,10 @@ fn bench_parallel_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_append, bench_persistence, bench_parallel_build);
+criterion_group!(
+    benches,
+    bench_append,
+    bench_persistence,
+    bench_parallel_build
+);
 criterion_main!(benches);

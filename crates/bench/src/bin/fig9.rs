@@ -41,10 +41,8 @@ fn main() {
         for scheme in EncodingScheme::ALL {
             for &n in &component_counts {
                 for codec in [CodecKind::Raw, params.codec] {
-                    let (mut index, m) =
-                        experiment::build_index(&data.values, c, scheme, n, codec);
-                    let timing =
-                        experiment::run_query_set(&mut index, &all_queries, &params);
+                    let (mut index, m) = experiment::build_index(&data.values, c, scheme, n, codec);
+                    let timing = experiment::run_query_set(&mut index, &all_queries, &params);
                     table.row(vec![
                         format!("{z}"),
                         scheme.symbol().into(),

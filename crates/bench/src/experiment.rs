@@ -1,8 +1,7 @@
 //! Experiment configuration and the measurement loop.
 
 use bix_core::{
-    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
-    Query,
+    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig, Query,
 };
 use bix_workload::{DatasetSpec, GeneratedQuery};
 
@@ -206,8 +205,13 @@ mod tests {
             ..ExperimentParams::default()
         };
         let data = params.dataset(1.0);
-        let (mut index, m) =
-            build_index(&data.values, 50, EncodingScheme::Interval, 1, CodecKind::Raw);
+        let (mut index, m) = build_index(
+            &data.values,
+            50,
+            EncodingScheme::Interval,
+            1,
+            CodecKind::Raw,
+        );
         assert_eq!(m.bitmaps, 25);
         assert_eq!(m.stored_bytes, m.uncompressed_bytes);
 

@@ -128,7 +128,11 @@ impl Bitvec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -139,7 +143,11 @@ impl Bitvec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         let mask = 1u64 << (i % WORD_BITS);
         if value {
             self.words[i / WORD_BITS] |= mask;
@@ -231,7 +239,11 @@ impl Bitvec {
     ///
     /// Panics if `i > len`.
     pub fn rank(&self, i: usize) -> usize {
-        assert!(i <= self.len, "rank index {i} out of range for len {}", self.len);
+        assert!(
+            i <= self.len,
+            "rank index {i} out of range for len {}",
+            self.len
+        );
         let full_words = i / WORD_BITS;
         let mut count: usize = self.words[..full_words]
             .iter()
@@ -405,7 +417,7 @@ mod tests {
         assert_eq!(bv.get_bits(63, 3), 0b111);
         assert_eq!(bv.get_bits(0, 64), (1 << 0) | (1 << 1) | (1 << 63));
         assert_eq!(bv.get_bits(128, 8), 0b100); // bit 130 = offset 2
-        // Reads at the tail are zero-padded.
+                                                // Reads at the tail are zero-padded.
         assert_eq!(bv.get_bits(199, 1), 0);
         assert_eq!(bv.get_bits(200, 0), 0);
     }

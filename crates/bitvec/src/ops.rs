@@ -106,7 +106,10 @@ impl Bitvec {
     /// True if every set bit of `self` is also set in `other`.
     pub fn is_subset_of(&self, other: &Bitvec) -> bool {
         self.check_same_len(other, "is_subset_of");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 }
 

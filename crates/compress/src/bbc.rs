@@ -123,7 +123,8 @@ impl BbcEncoder {
             self.gap_len = self.run_len;
         } else {
             let byte = if self.run_bit { 0xFFu8 } else { 0x00 };
-            self.literals.extend(std::iter::repeat_n(byte, self.run_len));
+            self.literals
+                .extend(std::iter::repeat_n(byte, self.run_len));
         }
         self.run_len = 0;
     }
@@ -300,7 +301,10 @@ impl<'a> BbcAtoms<'a> {
         } else {
             lit_code as usize
         };
-        let gap_piece = (gap > 0).then_some(BbcPiece::Fill { bit: fill, len: gap });
+        let gap_piece = (gap > 0).then_some(BbcPiece::Fill {
+            bit: fill,
+            len: gap,
+        });
         let lit_piece = if lits > 0 {
             let slice = &self.stream[self.pos..self.pos + lits];
             self.pos += lits;

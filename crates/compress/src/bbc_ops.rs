@@ -284,7 +284,10 @@ mod tests {
     fn not_of_all_zero_is_all_one() {
         let bits = 100;
         let c = Bbc.compress(&Bitvec::zeros(bits));
-        assert_eq!(Bbc.decompress(&bbc_not(&c, bits), bits), Bitvec::ones_vec(bits));
+        assert_eq!(
+            Bbc.decompress(&bbc_not(&c, bits), bits),
+            Bitvec::ones_vec(bits)
+        );
     }
 
     #[test]

@@ -151,7 +151,13 @@ mod tests {
     #[test]
     fn compressed_bitmap_round_trips_all_codecs() {
         let bv = Bitvec::from_positions(2000, &[0, 3, 700, 701, 702, 1999]);
-        for kind in [CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah, CodecKind::Roaring] {
+        for kind in [
+            CodecKind::Raw,
+            CodecKind::Bbc,
+            CodecKind::Wah,
+            CodecKind::Ewah,
+            CodecKind::Roaring,
+        ] {
             let cb = CompressedBitmap::encode(kind, &bv);
             assert_eq!(cb.decode(), bv, "codec {kind}");
             assert_eq!(cb.len_bits(), 2000);
@@ -181,7 +187,13 @@ mod tests {
 
     #[test]
     fn kind_dispatch_matches_codec_kind() {
-        for kind in [CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah, CodecKind::Roaring] {
+        for kind in [
+            CodecKind::Raw,
+            CodecKind::Bbc,
+            CodecKind::Wah,
+            CodecKind::Ewah,
+            CodecKind::Roaring,
+        ] {
             assert_eq!(kind.codec().kind(), kind);
         }
     }

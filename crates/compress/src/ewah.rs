@@ -98,7 +98,10 @@ impl Ewah {
         while i < stream.len() {
             let (fill, fills, lits) = unpack(stream[i]);
             i += 1;
-            words.extend(std::iter::repeat_n(if fill { u64::MAX } else { 0 }, fills as usize));
+            words.extend(std::iter::repeat_n(
+                if fill { u64::MAX } else { 0 },
+                fills as usize,
+            ));
             assert!(
                 i + lits as usize <= stream.len(),
                 "EWAH stream truncated inside literal run"
@@ -106,7 +109,11 @@ impl Ewah {
             words.extend_from_slice(&stream[i..i + lits as usize]);
             i += lits as usize;
         }
-        assert_eq!(words.len(), total_words, "EWAH stream decoded to wrong length");
+        assert_eq!(
+            words.len(),
+            total_words,
+            "EWAH stream decoded to wrong length"
+        );
         // Reassemble through the byte path to restore the tail invariant.
         let mut bytes = Vec::with_capacity(total_words * 8);
         for w in &words {
@@ -211,7 +218,12 @@ mod tests {
 
     #[test]
     fn marker_pack_unpack_inverse() {
-        for (fill, fills, lits) in [(false, 0, 0), (true, 1, 0), (false, 12345, 678), (true, FILL_COUNT_MAX, LITERAL_COUNT_MAX)] {
+        for (fill, fills, lits) in [
+            (false, 0, 0),
+            (true, 1, 0),
+            (false, 12345, 678),
+            (true, FILL_COUNT_MAX, LITERAL_COUNT_MAX),
+        ] {
             assert_eq!(unpack(marker(fill, fills, lits)), (fill, fills, lits));
         }
     }

@@ -98,20 +98,17 @@ impl super::codec::BitmapCodec for Roaring {
         let n_containers =
             u32::from_le_bytes(take(&mut pos, 4).try_into().expect("4 bytes")) as usize;
         for _ in 0..n_containers {
-            let key =
-                u16::from_le_bytes(take(&mut pos, 2).try_into().expect("2 bytes")) as usize;
+            let key = u16::from_le_bytes(take(&mut pos, 2).try_into().expect("2 bytes")) as usize;
             let kind = take(&mut pos, 1)[0];
             let base = key * CHUNK_BITS;
             match kind {
                 0 => {
-                    let card = u16::from_le_bytes(
-                        take(&mut pos, 2).try_into().expect("2 bytes"),
-                    ) as usize
+                    let card = u16::from_le_bytes(take(&mut pos, 2).try_into().expect("2 bytes"))
+                        as usize
                         + 1;
                     for _ in 0..card {
-                        let o = u16::from_le_bytes(
-                            take(&mut pos, 2).try_into().expect("2 bytes"),
-                        ) as usize;
+                        let o = u16::from_le_bytes(take(&mut pos, 2).try_into().expect("2 bytes"))
+                            as usize;
                         bv.set(base + o, true);
                     }
                 }

@@ -9,22 +9,23 @@ use proptest::prelude::*;
 /// Bitmaps with realistic index structure: runs plus noise.
 fn arb_bitmap() -> impl Strategy<Value = Bitvec> {
     let dense = prop::collection::vec(any::<bool>(), 0..2000).prop_map(|b| Bitvec::from_bools(&b));
-    let runny = (1usize..2000, prop::collection::vec((any::<bool>(), 1usize..200), 0..30)).prop_map(
-        |(pad, runs)| {
+    let runny = (
+        1usize..2000,
+        prop::collection::vec((any::<bool>(), 1usize..200), 0..30),
+    )
+        .prop_map(|(pad, runs)| {
             let mut builder = bix_bitvec::BitvecBuilder::new();
             for (bit, n) in runs {
                 builder.push_run(bit, n);
             }
             builder.push_run(false, pad);
             builder.finish()
-        },
-    );
-    let sparse = (100usize..5000, prop::collection::vec(0usize..5000, 0..10)).prop_map(
-        |(len, mut pos)| {
+        });
+    let sparse =
+        (100usize..5000, prop::collection::vec(0usize..5000, 0..10)).prop_map(|(len, mut pos)| {
             pos.retain(|&p| p < len);
             Bitvec::from_positions(len, &pos)
-        },
-    );
+        });
     prop_oneof![dense, runny, sparse]
 }
 

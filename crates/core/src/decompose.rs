@@ -156,7 +156,10 @@ pub fn best_bases(c: u64, n: usize, scheme: EncodingScheme) -> BaseVector {
             let cost: usize = bases.iter().map(|&b| scheme.num_bitmaps(b)).sum();
             let balance = *bases.iter().max().expect("non-empty");
             let candidate = (cost, balance, bases);
-            if best.as_ref().is_none_or(|b| (candidate.0, candidate.1) < (b.0, b.1)) {
+            if best
+                .as_ref()
+                .is_none_or(|b| (candidate.0, candidate.1) < (b.0, b.1))
+            {
                 *best = Some(candidate);
             }
             return;
@@ -249,7 +252,11 @@ mod tests {
             .iter()
             .map(|&b| EncodingScheme::Equality.num_bitmaps(b))
             .sum();
-        assert!(total <= 15, "expected near-sqrt split, got {:?}", bv.bases());
+        assert!(
+            total <= 15,
+            "expected near-sqrt split, got {:?}",
+            bv.bases()
+        );
     }
 
     #[test]

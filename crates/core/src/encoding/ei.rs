@@ -91,7 +91,12 @@ mod tests {
     fn equality_is_one_scan_ranges_at_most_two() {
         for b in 2u64..=32 {
             for v in 0..b {
-                assert!(crate::EncodingScheme::EqualityInterval.expr_eq(b, v, 0).scan_count() <= 1);
+                assert!(
+                    crate::EncodingScheme::EqualityInterval
+                        .expr_eq(b, v, 0)
+                        .scan_count()
+                        <= 1
+                );
             }
             for lo in 0..b {
                 for hi in lo + 1..b {

@@ -110,10 +110,7 @@ mod tests {
             let ei_star = num_bitmaps(b) as f64;
             let ei = crate::EncodingScheme::EqualityInterval.num_bitmaps(b) as f64;
             let ratio = ei_star / ei;
-            assert!(
-                (0.6..0.70).contains(&ratio),
-                "b={b}: EI*/EI = {ratio:.3}"
-            );
+            assert!((0.6..0.70).contains(&ratio), "b={b}: EI*/EI = {ratio:.3}");
         }
         // The paper's example cardinality: 8 of EI's 15 bitmaps.
         assert_eq!(num_bitmaps(10), 8);

@@ -79,10 +79,7 @@ mod tests {
     fn wide_range_uses_complement() {
         // [1,8] over b=10: 8 > 5, complement of {0, 9}.
         let e = EncodingScheme::Equality.expr_range(10, 1, 8, 0);
-        assert_eq!(
-            e,
-            Expr::not(Expr::or([Expr::leaf(0, 0), Expr::leaf(0, 9)]))
-        );
+        assert_eq!(e, Expr::not(Expr::or([Expr::leaf(0, 0), Expr::leaf(0, 9)])));
         assert_eq!(e.scan_count(), 2);
     }
 

@@ -6,8 +6,11 @@
 
 use crate::Expr;
 
-/// The window half-width `m = ⌊C/2⌋ − 1`.
+/// The window half-width `m = ⌊C/2⌋ − 1`. Undefined for `b < 2` (the
+/// subtraction would underflow); [`EncodingScheme`] rejects those
+/// cardinalities at its boundary before any scheme module runs.
 pub(crate) fn m(b: u64) -> u64 {
+    debug_assert!(b >= 2, "interval window undefined for cardinality {b}");
     b / 2 - 1
 }
 
@@ -196,10 +199,7 @@ mod tests {
         // All equalities verified structurally at the domain level in
         // encoding::tests; spot-check v = C-1 here.
         let e = EncodingScheme::Interval.expr_eq(9, 8, 0);
-        assert_eq!(
-            e,
-            Expr::not(Expr::or([Expr::leaf(0, 4), Expr::leaf(0, 0)]))
-        );
+        assert_eq!(e, Expr::not(Expr::or([Expr::leaf(0, 4), Expr::leaf(0, 0)])));
     }
 
     #[test]

@@ -174,8 +174,9 @@ impl EncodingScheme {
     ///
     /// # Panics
     ///
-    /// Panics if `v >= b`.
+    /// Panics if `b < 2` or `v >= b`.
     pub fn expr_eq(self, b: u64, v: u64, comp: usize) -> Expr {
+        assert!(b >= 2, "component cardinality must be at least 2, got {b}");
         assert!(v < b, "value {v} outside component domain 0..{b}");
         match self {
             EncodingScheme::Equality => equality::eq(b, v, comp),
@@ -193,8 +194,9 @@ impl EncodingScheme {
     ///
     /// # Panics
     ///
-    /// Panics if `v >= b`.
+    /// Panics if `b < 2` or `v >= b`.
     pub fn expr_le(self, b: u64, v: u64, comp: usize) -> Expr {
+        assert!(b >= 2, "component cardinality must be at least 2, got {b}");
         assert!(v < b, "bound {v} outside component domain 0..{b}");
         if v == b - 1 {
             return Expr::True;
@@ -215,8 +217,9 @@ impl EncodingScheme {
     ///
     /// # Panics
     ///
-    /// Panics if `lo > hi` or `hi >= b`.
+    /// Panics if `b < 2`, `lo > hi`, or `hi >= b`.
     pub fn expr_range(self, b: u64, lo: u64, hi: u64, comp: usize) -> Expr {
+        assert!(b >= 2, "component cardinality must be at least 2, got {b}");
         assert!(lo <= hi && hi < b, "bad range [{lo}, {hi}] for base {b}");
         if lo == hi {
             return self.expr_eq(b, lo, comp);
@@ -356,7 +359,9 @@ mod tests {
             }
             for lo in 0..b {
                 for hi in lo..b {
-                    let scans = EncodingScheme::Equality.expr_range(b, lo, hi, 0).scan_count();
+                    let scans = EncodingScheme::Equality
+                        .expr_range(b, lo, hi, 0)
+                        .scan_count();
                     assert!(
                         scans <= (b / 2) as usize,
                         "E b={b} [{lo},{hi}]: {scans} scans"
@@ -414,7 +419,10 @@ mod tests {
             );
             assert_eq!(EncodingScheme::Oreo.num_bitmaps(b), (b - 1) as usize);
             // ER = E + R minus the two non-materialized bitmaps.
-            assert_eq!(EncodingScheme::EqualityRange.num_bitmaps(b), (2 * b - 3) as usize);
+            assert_eq!(
+                EncodingScheme::EqualityRange.num_bitmaps(b),
+                (2 * b - 3) as usize
+            );
             // EI = E + I (no sharing for b >= 4).
             assert_eq!(
                 EncodingScheme::EqualityInterval.num_bitmaps(b),

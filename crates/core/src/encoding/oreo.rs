@@ -78,10 +78,7 @@ pub(crate) fn eq(b: u64, v: u64, comp: usize) -> Expr {
         Expr::and([o(1, comp), Expr::not(evens)])
     } else {
         // Odd v = C-2 (C odd, b >= 5): ([0,v] ⊕ [0,v-2]) ∧ odds.
-        Expr::and([
-            Expr::xor(o(v, comp), o(v - 2, comp)),
-            Expr::not(evens),
-        ])
+        Expr::and([Expr::xor(o(v, comp), o(v - 2, comp)), Expr::not(evens)])
     }
 }
 

@@ -74,7 +74,10 @@ mod tests {
             Expr::not(Expr::leaf(0, 8))
         );
         // v1 = 0 -> R^{v2}.
-        assert_eq!(EncodingScheme::Range.expr_range(10, 0, 6, 0), Expr::leaf(0, 6));
+        assert_eq!(
+            EncodingScheme::Range.expr_range(10, 0, 6, 0),
+            Expr::leaf(0, 6)
+        );
         // v2 = C-1 -> NOT R^{v1-1}.
         assert_eq!(
             EncodingScheme::Range.expr_range(10, 3, 9, 0),

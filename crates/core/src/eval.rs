@@ -57,8 +57,13 @@ fn schedule(constituents: &[Expr]) -> Vec<usize> {
     }
     let mut visited = vec![false; n];
     // Seed: the pair with maximum overlap (ties fall back to input order).
+    // `max_by_key` keeps the *last* maximal element, so pair it with
+    // `Reverse(index)` to make ties resolve to the earliest constituent.
     let mut current = (0..n)
-        .max_by_key(|&i| (0..n).filter(|&j| j != i).map(|j| overlap(i, j)).max())
+        .max_by_key(|&i| {
+            let best = (0..n).filter(|&j| j != i).map(|j| overlap(i, j)).max();
+            (best, std::cmp::Reverse(i))
+        })
         .unwrap_or(0);
     let mut order = Vec::with_capacity(n);
     loop {
@@ -66,7 +71,7 @@ fn schedule(constituents: &[Expr]) -> Vec<usize> {
         order.push(current);
         match (0..n)
             .filter(|&j| !visited[j])
-            .max_by_key(|&j| overlap(current, j))
+            .max_by_key(|&j| (overlap(current, j), std::cmp::Reverse(j)))
         {
             Some(next) => current = next,
             None => break,
@@ -130,8 +135,7 @@ pub fn evaluate(
 
     let bitmap = match strategy {
         EvalStrategy::ComponentStreaming => {
-            let (result, peak, n_scans) =
-                evaluate_streaming(&merged, rows, handles, store, pool);
+            let (result, peak, n_scans) = evaluate_streaming(&merged, rows, handles, store, pool);
             scans = n_scans;
             peak_resident = peak;
             result
@@ -192,6 +196,128 @@ pub fn evaluate(
     }
 }
 
+/// One operation of the hash-consed expression DAG (children are node
+/// indexes, always smaller than the node's own index).
+#[derive(Clone)]
+pub(crate) enum NodeOp {
+    /// All-ones (`true`) or all-zeros (`false`).
+    Const(bool),
+    /// A stored bitmap.
+    Leaf(BitmapRef),
+    /// Complement of one node.
+    Not(usize),
+    /// Conjunction of two or more nodes.
+    And(Vec<usize>),
+    /// Disjunction of two or more nodes.
+    Or(Vec<usize>),
+    /// Symmetric difference of two nodes.
+    Xor(usize, usize),
+}
+
+impl NodeOp {
+    /// Child node indexes of this operation.
+    pub(crate) fn children(&self) -> Vec<usize> {
+        match self {
+            NodeOp::Const(_) | NodeOp::Leaf(_) => Vec::new(),
+            NodeOp::Not(c) => vec![*c],
+            NodeOp::And(cs) | NodeOp::Or(cs) => cs.clone(),
+            NodeOp::Xor(a, b) => vec![*a, *b],
+        }
+    }
+}
+
+/// The hash-consed form of a merged query expression, shared by the
+/// streaming evaluator below and the parallel DAG evaluator
+/// (`crate::parallel`). Nodes are unique (identical subexpressions intern
+/// to one node, so each distinct bitmap has exactly one `Leaf`) and stored
+/// in topological postorder: every child index precedes its parents.
+pub(crate) struct Dag {
+    /// The operations, child-before-parent.
+    pub(crate) ops: Vec<NodeOp>,
+    /// Component phase of each node (0 = constants; leaves run in phase
+    /// `component + 1`; interior nodes in their deepest child's phase).
+    pub(crate) phase_of: Vec<usize>,
+    /// Consumer counts per node, including one final consumer on `root` —
+    /// a value may be freed when its count drains to zero.
+    pub(crate) refs: Vec<usize>,
+    /// Index of the root node.
+    pub(crate) root: usize,
+}
+
+impl Dag {
+    /// Hash-conses `merged` into unique nodes in topological order.
+    pub(crate) fn build(merged: &Expr) -> Dag {
+        use std::collections::HashMap;
+
+        let mut index_of: HashMap<&Expr, usize> = HashMap::new();
+        let mut ops: Vec<NodeOp> = Vec::new();
+        let mut phase_of: Vec<usize> = Vec::new();
+
+        fn intern<'e>(
+            e: &'e Expr,
+            index_of: &mut std::collections::HashMap<&'e Expr, usize>,
+            ops: &mut Vec<NodeOp>,
+            phase_of: &mut Vec<usize>,
+        ) -> usize {
+            if let Some(&i) = index_of.get(e) {
+                return i;
+            }
+            let (op, phase) = match e {
+                Expr::True => (NodeOp::Const(true), 0),
+                Expr::False => (NodeOp::Const(false), 0),
+                Expr::Leaf(r) => (NodeOp::Leaf(*r), r.component + 1),
+                Expr::Not(inner) => {
+                    let c = intern(inner, index_of, ops, phase_of);
+                    (NodeOp::Not(c), phase_of[c])
+                }
+                Expr::And(children) => {
+                    let cs: Vec<usize> = children
+                        .iter()
+                        .map(|c| intern(c, index_of, ops, phase_of))
+                        .collect();
+                    let phase = cs.iter().map(|&c| phase_of[c]).max().unwrap_or(0);
+                    (NodeOp::And(cs), phase)
+                }
+                Expr::Or(children) => {
+                    let cs: Vec<usize> = children
+                        .iter()
+                        .map(|c| intern(c, index_of, ops, phase_of))
+                        .collect();
+                    let phase = cs.iter().map(|&c| phase_of[c]).max().unwrap_or(0);
+                    (NodeOp::Or(cs), phase)
+                }
+                Expr::Xor(a, b) => {
+                    let ca = intern(a, index_of, ops, phase_of);
+                    let cb = intern(b, index_of, ops, phase_of);
+                    (NodeOp::Xor(ca, cb), phase_of[ca].max(phase_of[cb]))
+                }
+            };
+            ops.push(op);
+            phase_of.push(phase);
+            let i = ops.len() - 1;
+            index_of.insert(e, i);
+            i
+        }
+        let root = intern(merged, &mut index_of, &mut ops, &mut phase_of);
+
+        // Reference counts (how many consumers each node has).
+        let mut refs = vec![0usize; ops.len()];
+        for op in &ops {
+            for c in op.children() {
+                refs[c] += 1;
+            }
+        }
+        refs[root] += 1; // the final consumer
+
+        Dag {
+            ops,
+            phase_of,
+            refs,
+            root,
+        }
+    }
+}
+
 /// The §6.3 streaming component-wise pass: a dataflow schedule over the
 /// expression DAG. Unique subexpressions are computed in component phases
 /// (a node runs in the phase of its highest-component leaf), leaf bitmaps
@@ -205,89 +331,14 @@ fn evaluate_streaming(
     store: &mut BitmapStore,
     pool: &mut BufferPool,
 ) -> (Bitvec, usize, usize) {
-    use std::collections::HashMap;
+    let Dag {
+        ops,
+        phase_of,
+        mut refs,
+        root,
+    } = Dag::build(merged);
 
-    // 1. Hash-cons the DAG: unique nodes in topological (postorder) order.
-    #[derive(Clone)]
-    enum NodeOp {
-        Const(bool),
-        Leaf(BitmapRef),
-        Not(usize),
-        And(Vec<usize>),
-        Or(Vec<usize>),
-        Xor(usize, usize),
-    }
-    let mut index_of: HashMap<&Expr, usize> = HashMap::new();
-    let mut ops: Vec<NodeOp> = Vec::new();
-    let mut phase_of: Vec<usize> = Vec::new(); // component phase (0 = constants)
-
-    fn intern<'e>(
-        e: &'e Expr,
-        index_of: &mut std::collections::HashMap<&'e Expr, usize>,
-        ops: &mut Vec<NodeOp>,
-        phase_of: &mut Vec<usize>,
-    ) -> usize {
-        if let Some(&i) = index_of.get(e) {
-            return i;
-        }
-        let (op, phase) = match e {
-            Expr::True => (NodeOp::Const(true), 0),
-            Expr::False => (NodeOp::Const(false), 0),
-            Expr::Leaf(r) => (NodeOp::Leaf(*r), r.component + 1),
-            Expr::Not(inner) => {
-                let c = intern(inner, index_of, ops, phase_of);
-                (NodeOp::Not(c), phase_of[c])
-            }
-            Expr::And(children) => {
-                let cs: Vec<usize> = children
-                    .iter()
-                    .map(|c| intern(c, index_of, ops, phase_of))
-                    .collect();
-                let phase = cs.iter().map(|&c| phase_of[c]).max().unwrap_or(0);
-                (NodeOp::And(cs), phase)
-            }
-            Expr::Or(children) => {
-                let cs: Vec<usize> = children
-                    .iter()
-                    .map(|c| intern(c, index_of, ops, phase_of))
-                    .collect();
-                let phase = cs.iter().map(|&c| phase_of[c]).max().unwrap_or(0);
-                (NodeOp::Or(cs), phase)
-            }
-            Expr::Xor(a, b) => {
-                let ca = intern(a, index_of, ops, phase_of);
-                let cb = intern(b, index_of, ops, phase_of);
-                (NodeOp::Xor(ca, cb), phase_of[ca].max(phase_of[cb]))
-            }
-        };
-        ops.push(op);
-        phase_of.push(phase);
-        let i = ops.len() - 1;
-        index_of.insert(e, i);
-        i
-    }
-    let root = intern(merged, &mut index_of, &mut ops, &mut phase_of);
-
-    // 2. Reference counts (how many consumers each node has).
-    let mut refs = vec![0usize; ops.len()];
-    for op in &ops {
-        match op {
-            NodeOp::Not(c) => refs[*c] += 1,
-            NodeOp::And(cs) | NodeOp::Or(cs) => {
-                for &c in cs {
-                    refs[c] += 1;
-                }
-            }
-            NodeOp::Xor(a, b) => {
-                refs[*a] += 1;
-                refs[*b] += 1;
-            }
-            _ => {}
-        }
-    }
-    refs[root] += 1; // the final consumer
-
-    // 3. Phase-ordered execution. Nodes are already topologically ordered
+    // Phase-ordered execution. Nodes are already topologically ordered
     // within `ops` (postorder), so a stable sort by phase preserves
     // child-before-parent within each phase.
     let mut order: Vec<usize> = (0..ops.len()).collect();
@@ -331,13 +382,7 @@ fn evaluate_streaming(
         resident += 1;
         peak = peak.max(resident);
         // Release children whose last consumer just ran.
-        let release: Vec<usize> = match &ops[i] {
-            NodeOp::Not(c) => vec![*c],
-            NodeOp::And(cs) | NodeOp::Or(cs) => cs.clone(),
-            NodeOp::Xor(a, b) => vec![*a, *b],
-            _ => Vec::new(),
-        };
-        for c in release {
+        for c in ops[i].children() {
             refs[c] -= 1;
             if refs[c] == 0 && results[c].is_some() {
                 results[c] = None;
@@ -435,6 +480,28 @@ mod tests {
         let order = schedule(&constituents);
         let pos = |i: usize| order.iter().position(|&x| x == i).expect("present");
         assert_eq!(pos(0).abs_diff(pos(2)), 1, "sharing pair split: {order:?}");
+    }
+
+    #[test]
+    fn schedule_breaks_ties_in_input_order() {
+        // All constituents are disjoint, so every overlap is 0 and every
+        // choice is a tie. The documented fallback is input order; the old
+        // `max_by_key` kept the *last* maximal element and started at the
+        // back.
+        let constituents: Vec<Expr> = (0..5).map(|s| Expr::leaf(0, s)).collect();
+        assert_eq!(schedule(&constituents), vec![0, 1, 2, 3, 4]);
+
+        // Two equally-good seeds (0∼1 and 2∼3 overlap pairwise): the seed
+        // must be constituent 0, not the last maximal candidate.
+        let paired = vec![
+            Expr::and([Expr::leaf(0, 0), Expr::leaf(0, 1)]),
+            Expr::leaf(0, 0),
+            Expr::and([Expr::leaf(0, 2), Expr::leaf(0, 3)]),
+            Expr::leaf(0, 2),
+        ];
+        let order = schedule(&paired);
+        assert_eq!(order[0], 0, "seed must be the first maximal constituent");
+        assert_eq!(order[1], 1, "nearest neighbour ties break low-index first");
     }
 
     #[test]

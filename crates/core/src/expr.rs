@@ -323,10 +323,7 @@ mod tests {
     #[test]
     fn leaves_deduplicate() {
         // I^0 shared between two predicates: 3 occurrences, 2 scans.
-        let e = Expr::or([
-            Expr::and([l(0), l(1)]),
-            Expr::and([l(0), Expr::not(l(0))]),
-        ]);
+        let e = Expr::or([Expr::and([l(0), l(1)]), Expr::and([l(0), Expr::not(l(0))])]);
         assert_eq!(e.scan_count(), 2);
         assert_eq!(e.leaf_occurrences(), 4);
     }
@@ -335,8 +332,8 @@ mod tests {
     fn evaluate_small_expression() {
         let rows = 4;
         let bitmaps = [
-            Bitvec::from_bools(&[true, true, false, false]),  // slot 0
-            Bitvec::from_bools(&[true, false, true, false]),  // slot 1
+            Bitvec::from_bools(&[true, true, false, false]), // slot 0
+            Bitvec::from_bools(&[true, false, true, false]), // slot 1
         ];
         let mut fetch = |r: BitmapRef| bitmaps[r.slot].clone();
 
@@ -362,7 +359,11 @@ mod tests {
         let refs: Vec<BitmapRef> = e.leaves().into_iter().collect();
         assert_eq!(
             refs,
-            vec![BitmapRef::new(0, 1), BitmapRef::new(0, 2), BitmapRef::new(1, 0)]
+            vec![
+                BitmapRef::new(0, 1),
+                BitmapRef::new(0, 2),
+                BitmapRef::new(1, 0)
+            ]
         );
     }
 }

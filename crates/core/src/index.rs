@@ -1,8 +1,6 @@
 //! The bitmap index: construction, storage, and the query API.
 
-use crate::{
-    best_bases, eval, BaseVector, EncodingScheme, EvalResult, EvalStrategy, Expr, Query,
-};
+use crate::{best_bases, eval, BaseVector, EncodingScheme, EvalResult, EvalStrategy, Expr, Query};
 use bix_bitvec::Bitvec;
 use bix_compress::CodecKind;
 use bix_storage::{BitmapHandle, BitmapStore, BufferPool, CostModel, DiskConfig};
@@ -213,7 +211,7 @@ impl BitmapIndex {
             let encoding = config.encoding;
             let mut results: Vec<Option<(usize, Vec<u8>)>> = vec![None; n_slots];
             let chunk = n_slots.div_ceil(threads).max(1);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut remaining: &mut [Option<(usize, Vec<u8>)>] = &mut results;
                 let mut start = 0usize;
                 let mut workers = Vec::new();
@@ -223,7 +221,7 @@ impl BitmapIndex {
                     remaining = rest;
                     let begin = start;
                     start += take;
-                    workers.push(scope.spawn(move |_| {
+                    workers.push(scope.spawn(move || {
                         for (offset, out) in mine.iter_mut().enumerate() {
                             let slot = begin + offset;
                             let values = encoding.slot_values(b, slot);
@@ -239,8 +237,7 @@ impl BitmapIndex {
                 for w in workers {
                     w.join().expect("index build worker panicked");
                 }
-            })
-            .expect("crossbeam scope");
+            });
 
             let mut comp_handles = Vec::with_capacity(n_slots);
             for (slot, result) in results.into_iter().enumerate() {
@@ -293,7 +290,12 @@ impl BitmapIndex {
     /// Rewrites a query into this index's bitmap expression (the §6.1
     /// rewrite phase; useful for inspecting scan counts without I/O).
     pub fn rewrite(&self, q: &Query) -> Expr {
-        crate::rewrite_query(q, self.config.cardinality, &self.config.bases, self.config.encoding)
+        crate::rewrite_query(
+            q,
+            self.config.cardinality,
+            &self.config.bases,
+            self.config.encoding,
+        )
     }
 
     /// Pretty-prints a query's rewritten bitmap expression with the real
@@ -324,7 +326,12 @@ impl BitmapIndex {
                     crate::rewrite_interval(lo, hi, c, &self.config.bases, self.config.encoding)
                 })
                 .collect(),
-            other => vec![crate::rewrite_query(other, c, &self.config.bases, self.config.encoding)],
+            other => vec![crate::rewrite_query(
+                other,
+                c,
+                &self.config.bases,
+                self.config.encoding,
+            )],
         }
     }
 
@@ -332,8 +339,13 @@ impl BitmapIndex {
     /// component-wise strategy, returning just the matching records.
     pub fn evaluate(&mut self, q: &Query) -> Bitvec {
         let mut pool = BufferPool::new(self.config.disk.pages_for_bytes(64 << 20));
-        self.evaluate_detailed(q, &mut pool, EvalStrategy::ComponentWise, &CostModel::default())
-            .bitmap
+        self.evaluate_detailed(
+            q,
+            &mut pool,
+            EvalStrategy::ComponentWise,
+            &CostModel::default(),
+        )
+        .bitmap
     }
 
     /// Evaluates a query with explicit buffer pool, strategy, and cost
@@ -473,6 +485,12 @@ impl BitmapIndex {
         self.handles[component][slot] = handle;
     }
 
+    /// Shared access to the underlying store (used by the parallel batch
+    /// executor's `&self` read path).
+    pub(crate) fn store(&self) -> &BitmapStore {
+        &self.store
+    }
+
     /// Mutable access to the underlying store (used by the update path).
     pub(crate) fn store_mut(&mut self) -> &mut BitmapStore {
         &mut self.store
@@ -557,7 +575,7 @@ mod tests {
             .with_bases(BaseVector::from_msb(&[3, 4]));
         let mut idx = BitmapIndex::build(&paper_column(), &config);
         assert_eq!(idx.num_bitmaps(), 7); // 4 + 3
-        // Component 1 (most significant), E_2^2: values 8, 9 -> rows 4, 6.
+                                          // Component 1 (most significant), E_2^2: values 8, 9 -> rows 4, 6.
         assert_eq!(idx.bitmap(1, 2).to_positions(), vec![4, 6]);
         // Component 0, E_1^2: digit1 = 2 for values 2, 6 -> rows 1, 3, 5, 10.
         assert_eq!(idx.bitmap(0, 2).to_positions(), vec![1, 3, 5, 10]);
@@ -570,7 +588,7 @@ mod tests {
             .with_bases(BaseVector::from_msb(&[3, 4]));
         let mut idx = BitmapIndex::build(&paper_column(), &config);
         assert_eq!(idx.num_bitmaps(), 5); // 3 + 2
-        // R_2^0 = digit2 <= 0: values 0..4 -> rows 0,1,2,3,5,7 and value 3 at 0.
+                                          // R_2^0 = digit2 <= 0: values 0..4 -> rows 0,1,2,3,5,7 and value 3 at 0.
         assert_eq!(idx.bitmap(1, 0).to_positions(), vec![0, 1, 2, 3, 5, 7]);
         // R_1^0 = digit1 <= 0: values 0, 4, 8 -> rows 4, 7, 11.
         assert_eq!(idx.bitmap(0, 0).to_positions(), vec![4, 7, 11]);
@@ -601,8 +619,7 @@ mod tests {
     fn compressed_index_gives_identical_answers() {
         let column = paper_column();
         for codec in [CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah] {
-            let config =
-                IndexConfig::one_component(10, EncodingScheme::Interval).with_codec(codec);
+            let config = IndexConfig::one_component(10, EncodingScheme::Interval).with_codec(codec);
             let mut idx = BitmapIndex::build(&column, &config);
             let got = idx.evaluate(&Query::membership(vec![0, 5, 9]));
             assert_eq!(got.to_positions(), vec![6, 7, 9], "{codec}");
@@ -621,8 +638,7 @@ mod tests {
 
         let bbc = BitmapIndex::build(
             &column,
-            &IndexConfig::one_component(50, EncodingScheme::Equality)
-                .with_codec(CodecKind::Bbc),
+            &IndexConfig::one_component(50, EncodingScheme::Equality).with_codec(CodecKind::Bbc),
         );
         assert!(bbc.space_bytes() < raw.space_bytes());
         assert_eq!(bbc.uncompressed_bytes(), raw.uncompressed_bytes());

@@ -47,6 +47,7 @@ mod expr;
 mod index;
 mod multi;
 mod nulls;
+mod parallel;
 mod persist;
 mod query;
 mod rewrite;
@@ -58,10 +59,11 @@ pub use eval::{EvalResult, EvalStrategy};
 pub use expr::{BitmapRef, Expr};
 pub use index::{BitmapIndex, IndexConfig};
 pub use multi::{IndexedTable, TableEvalResult, TableQuery};
+pub use parallel::{BatchResult, ParallelExecutor};
 pub use query::{Query, QueryClass};
 pub use rewrite::{minimal_intervals, rewrite_interval, rewrite_query};
 pub use update::UpdateStats;
 
 // Re-exports so callers name one source of truth.
 pub use bix_compress::CodecKind;
-pub use bix_storage::{BufferPool, CostModel, DiskConfig, IoStats};
+pub use bix_storage::{BufferPool, CostModel, DiskConfig, IoStats, ReadContext, ShardedBufferPool};

@@ -216,15 +216,10 @@ impl IndexedTable {
                 let index = self
                     .index_mut(name)
                     .unwrap_or_else(|| panic!("no index on attribute {name}"));
-                let mut pool =
-                    BufferPool::new(index.config().disk.pages_for_bytes(11 << 20));
+                let mut pool = BufferPool::new(index.config().disk.pages_for_bytes(11 << 20));
                 index.reset_stats();
-                let r = index.evaluate_detailed(
-                    query,
-                    &mut pool,
-                    EvalStrategy::ComponentWise,
-                    cost,
-                );
+                let r =
+                    index.evaluate_detailed(query, &mut pool, EvalStrategy::ComponentWise, cost);
                 let seconds = r.total_seconds();
                 TableEvalResult {
                     bitmap: r.bitmap,

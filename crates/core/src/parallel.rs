@@ -1,0 +1,558 @@
+//! Parallel batch query execution.
+//!
+//! The paper's evaluator answers one query at a time against a disk whose
+//! head position is part of the simulation state. A warehouse workload
+//! arrives as *batches* of selection queries, which parallelize on two
+//! axes:
+//!
+//! * **Across queries** — each query's rewrite and evaluation is
+//!   independent; a fixed worker pool drains the batch.
+//! * **Within a query** — the §6.3 streaming evaluator's expression DAG
+//!   has independent subtrees (different components' bitmaps, disjoint
+//!   constituents); a dependency-counting scheduler folds ready nodes
+//!   concurrently.
+//!
+//! Reads go through [`BitmapStore::read_shared`] (`&self`) and the
+//! lock-striped [`ShardedBufferPool`]; every thread carries its own
+//! [`ReadContext`] (disk head + I/O counters, one simulated disk arm per
+//! thread), merged into the batch totals — and charged back to the store's
+//! global counters — when the batch completes.
+//!
+//! Hash-consing guarantees each distinct bitmap appears as exactly one DAG
+//! leaf and is therefore scanned exactly once per query, so batch-level
+//! scan counts are identical to running [`EvalStrategy::ComponentWise`]
+//! sequentially (seek counts differ: heads are per-thread).
+
+use crate::eval::{Dag, NodeOp};
+use crate::{BitmapIndex, EvalResult, Expr, Query};
+use bix_bitvec::Bitvec;
+use bix_storage::{BitmapHandle, CostModel, IoStats, ReadContext, ShardedBufferPool};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+// Referenced by the module docs above.
+#[allow(unused_imports)]
+use crate::EvalStrategy;
+#[allow(unused_imports)]
+use bix_storage::BitmapStore;
+
+/// Executes batches of selection queries concurrently against one index.
+///
+/// The single-threaded API ([`BitmapIndex::evaluate_detailed`]) is
+/// untouched; this type is an additive facade over the same rewrite and
+/// the same §6.3 evaluation semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    threads: usize,
+    inner_threads: Option<usize>,
+}
+
+impl ParallelExecutor {
+    /// An executor with a total budget of `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        ParallelExecutor {
+            threads,
+            inner_threads: None,
+        }
+    }
+
+    /// Overrides how many threads fold each individual query's DAG.
+    ///
+    /// By default the budget is spent across queries first (one thread per
+    /// query while the batch is wide), and only batches narrower than the
+    /// thread count get within-query workers. Forcing `n > 1` exercises
+    /// within-query folding regardless of batch width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_inner_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one inner thread");
+        self.inner_threads = Some(n);
+        self
+    }
+
+    /// The total thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates every query in `queries`, fanning out over the executor's
+    /// threads. Results arrive in input order. I/O is charged per-thread
+    /// and merged; the merged counters are also added to the index store's
+    /// global statistics so sequential-style accounting keeps working.
+    pub fn execute(
+        &self,
+        index: &BitmapIndex,
+        queries: &[Query],
+        pool: &ShardedBufferPool,
+        cost: &CostModel,
+    ) -> BatchResult {
+        let started = Instant::now();
+        let outer = self.threads.min(queries.len()).max(1);
+        let inner = self
+            .inner_threads
+            .unwrap_or_else(|| (self.threads / outer).max(1));
+
+        let slots: Vec<Mutex<Option<EvalResult>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..outer {
+                let (next, slots) = (&next, &slots);
+                scope.spawn(move || loop {
+                    let qi = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(q) = queries.get(qi) else { break };
+                    let result = evaluate_one(index, q, pool, inner, cost);
+                    *slots[qi].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+
+        let results: Vec<EvalResult> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every query evaluated")
+            })
+            .collect();
+
+        let mut io = IoStats::new();
+        let mut io_seconds = 0.0;
+        let mut cpu_seconds = 0.0;
+        for r in &results {
+            io += r.io;
+            io_seconds += r.io_seconds;
+            cpu_seconds += r.cpu_seconds;
+        }
+        index.store().charge(io);
+
+        BatchResult {
+            results,
+            io,
+            io_seconds,
+            cpu_seconds,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            threads: self.threads,
+        }
+    }
+}
+
+/// The outcome of one parallel batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-query outcomes, in input order.
+    pub results: Vec<EvalResult>,
+    /// Merged disk activity across all worker threads.
+    pub io: IoStats,
+    /// Simulated disk time summed over queries (the batch's aggregate
+    /// cost-model I/O, as if each per-thread disk arm ran serially).
+    pub io_seconds: f64,
+    /// Measured CPU time summed over queries.
+    pub cpu_seconds: f64,
+    /// Real elapsed time for the whole batch.
+    pub wall_seconds: f64,
+    /// The executor's thread budget when this batch ran.
+    pub threads: usize,
+}
+
+impl BatchResult {
+    /// Total bitmap scans across the batch.
+    pub fn total_scans(&self) -> usize {
+        self.results.iter().map(|r| r.scans).sum()
+    }
+
+    /// Total distinct bitmaps referenced across the batch (per query;
+    /// bitmaps shared between queries count once per query, as in
+    /// sequential accounting).
+    pub fn total_distinct(&self) -> usize {
+        self.results.iter().map(|r| r.distinct_bitmaps).sum()
+    }
+}
+
+/// Evaluates one query: rewrite, DAG fold (parallel if `inner > 1`), and
+/// the existence-bitmap intersection — mirroring
+/// [`BitmapIndex::evaluate_detailed`] with
+/// [`EvalStrategy::ComponentWise`]-equivalent scan accounting.
+fn evaluate_one(
+    index: &BitmapIndex,
+    q: &Query,
+    pool: &ShardedBufferPool,
+    inner: usize,
+    cost: &CostModel,
+) -> EvalResult {
+    let started = Instant::now();
+    let constituents = index.rewrite_constituents(q);
+    let merged = Expr::or(constituents);
+    let mut distinct = merged.scan_count();
+
+    let lookup = |r: crate::BitmapRef| index.handle(r.component, r.slot);
+    let dag = Dag::build(&merged);
+    let (mut bitmap, peak_resident, mut scans, mut io) =
+        fold_dag(&dag, index.rows(), &lookup, index, pool, inner);
+
+    if let Some(eb) = index.existence_handle() {
+        let mut ctx = ReadContext::new();
+        let existence = index.store().read_shared(eb, pool, &mut ctx);
+        bitmap.and_assign(&existence);
+        scans += 1;
+        distinct += 1;
+        io += ctx.take_stats();
+    }
+
+    EvalResult {
+        bitmap,
+        scans,
+        distinct_bitmaps: distinct,
+        io,
+        io_seconds: cost.io_seconds(&io),
+        cpu_seconds: cost.cpu_seconds(started.elapsed().as_secs_f64()),
+        peak_resident,
+    }
+}
+
+/// Shared state of one DAG fold: a dependency-counting scheduler.
+/// A node becomes ready when all its children are computed; workers drain
+/// the ready queue until every node has run.
+struct FoldState {
+    /// Ready-node queue plus count of nodes completed so far.
+    ready: Mutex<(VecDeque<usize>, usize)>,
+    /// Wakes idle workers when nodes become ready or the fold finishes.
+    wake: Condvar,
+    /// Computed values; freed (set back to `None`) at the last consumer.
+    values: Vec<Mutex<Option<Bitvec>>>,
+    /// Children still pending per node; a node is enqueued at zero.
+    pending: Vec<AtomicUsize>,
+    /// Remaining consumers per node (from [`Dag::refs`]).
+    refs: Vec<AtomicUsize>,
+    /// Leaf reads issued (one per distinct bitmap, by construction).
+    scans: AtomicUsize,
+    /// Live values now / at peak (for `peak_resident` accounting).
+    resident: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+/// Folds the DAG bottom-up with `workers` threads (the §6.3 evaluator's
+/// independent-subtree parallelism). Runs inline when `workers == 1`.
+/// Returns `(result, peak_resident, scans, merged I/O)`.
+fn fold_dag(
+    dag: &Dag,
+    rows: usize,
+    lookup: &(dyn Fn(crate::BitmapRef) -> BitmapHandle + Sync),
+    index: &BitmapIndex,
+    pool: &ShardedBufferPool,
+    workers: usize,
+) -> (Bitvec, usize, usize, IoStats) {
+    let n = dag.ops.len();
+    let parents: Vec<Vec<usize>> = {
+        let mut parents = vec![Vec::new(); n];
+        for (i, op) in dag.ops.iter().enumerate() {
+            for c in op.children() {
+                parents[c].push(i);
+            }
+        }
+        parents
+    };
+
+    let state = FoldState {
+        ready: Mutex::new((VecDeque::new(), 0)),
+        wake: Condvar::new(),
+        values: (0..n).map(|_| Mutex::new(None)).collect(),
+        pending: dag
+            .ops
+            .iter()
+            .map(|op| AtomicUsize::new(op.children().len()))
+            .collect(),
+        refs: dag.refs.iter().map(|&r| AtomicUsize::new(r)).collect(),
+        scans: AtomicUsize::new(0),
+        resident: AtomicUsize::new(0),
+        peak: AtomicUsize::new(0),
+    };
+    {
+        let mut ready = state.ready.lock().expect("ready queue");
+        for (i, op) in dag.ops.iter().enumerate() {
+            if op.children().is_empty() {
+                ready.0.push_back(i);
+            }
+        }
+    }
+
+    let io = Mutex::new(IoStats::new());
+    std::thread::scope(|scope| {
+        let run = || {
+            let mut ctx = ReadContext::new();
+            worker_loop(
+                dag, &parents, &state, rows, lookup, index, pool, &mut ctx, n,
+            );
+            *io.lock().expect("io totals") += ctx.take_stats();
+        };
+        for _ in 1..workers {
+            scope.spawn(run);
+        }
+        run(); // the calling thread is worker 0
+    });
+
+    let result = state.values[dag.root]
+        .lock()
+        .expect("root value")
+        .take()
+        .expect("root computed");
+    let scans = state.scans.load(Ordering::Relaxed);
+    let peak = state.peak.load(Ordering::Relaxed);
+    let io = io.into_inner().expect("io totals");
+    (result, peak, scans, io)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    dag: &Dag,
+    parents: &[Vec<usize>],
+    state: &FoldState,
+    rows: usize,
+    lookup: &(dyn Fn(crate::BitmapRef) -> BitmapHandle + Sync),
+    index: &BitmapIndex,
+    pool: &ShardedBufferPool,
+    ctx: &mut ReadContext,
+    total: usize,
+) {
+    loop {
+        // Take a ready node, or sleep until one appears / the fold ends.
+        let node = {
+            let mut ready = state.ready.lock().expect("ready queue");
+            loop {
+                if let Some(i) = ready.0.pop_front() {
+                    break i;
+                }
+                if ready.1 == total {
+                    return;
+                }
+                ready = state.wake.wait(ready).expect("ready queue");
+            }
+        };
+
+        let value = match &dag.ops[node] {
+            NodeOp::Const(true) => Bitvec::ones_vec(rows),
+            NodeOp::Const(false) => Bitvec::zeros(rows),
+            NodeOp::Leaf(r) => {
+                state.scans.fetch_add(1, Ordering::Relaxed);
+                index.store().read_shared(lookup(*r), pool, ctx)
+            }
+            op => {
+                // Fold children, locking one value at a time. Children are
+                // all computed (dependency counts reached zero) and cannot
+                // be freed before this node — their consumer — runs.
+                let children = op.children();
+                let child = |c: usize| -> Bitvec {
+                    state.values[c]
+                        .lock()
+                        .expect("child value")
+                        .clone()
+                        .expect("child computed")
+                };
+                let mut acc = child(children[0]);
+                match op {
+                    NodeOp::Not(_) => acc = acc.not(),
+                    NodeOp::And(_) => {
+                        for &c in &children[1..] {
+                            acc.and_assign(
+                                state.values[c]
+                                    .lock()
+                                    .expect("child value")
+                                    .as_ref()
+                                    .expect("child computed"),
+                            );
+                        }
+                    }
+                    NodeOp::Or(_) => {
+                        for &c in &children[1..] {
+                            acc.or_assign(
+                                state.values[c]
+                                    .lock()
+                                    .expect("child value")
+                                    .as_ref()
+                                    .expect("child computed"),
+                            );
+                        }
+                    }
+                    NodeOp::Xor(_, b) => {
+                        acc.xor_assign(
+                            state.values[*b]
+                                .lock()
+                                .expect("child value")
+                                .as_ref()
+                                .expect("child computed"),
+                        );
+                    }
+                    NodeOp::Const(_) | NodeOp::Leaf(_) => unreachable!("handled above"),
+                }
+                acc
+            }
+        };
+
+        *state.values[node].lock().expect("node value") = Some(value);
+        let live = state.resident.fetch_add(1, Ordering::Relaxed) + 1;
+        state.peak.fetch_max(live, Ordering::Relaxed);
+
+        // Free children whose last consumer just ran.
+        for c in dag.ops[node].children() {
+            if state.refs[c].fetch_sub(1, Ordering::AcqRel) == 1
+                && state.values[c]
+                    .lock()
+                    .expect("child value")
+                    .take()
+                    .is_some()
+            {
+                state.resident.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        // Mark complete; enqueue parents that just became ready.
+        let mut newly_ready: Vec<usize> = Vec::new();
+        for &p in &parents[node] {
+            if state.pending[p].fetch_sub(1, Ordering::AcqRel) == 1 {
+                newly_ready.push(p);
+            }
+        }
+        {
+            let mut ready = state.ready.lock().expect("ready queue");
+            ready.1 += 1;
+            for p in newly_ready {
+                ready.0.push_back(p);
+            }
+            if ready.1 == total {
+                state.wake.notify_all();
+            } else {
+                state.wake.notify_one();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BufferPool, EncodingScheme, IndexConfig};
+    use bix_compress::CodecKind;
+
+    fn test_index(codec: CodecKind) -> BitmapIndex {
+        let column: Vec<u64> = (0..30_000u64).map(|i| (i * 37 + i / 13) % 50).collect();
+        let config = IndexConfig::one_component(50, EncodingScheme::Interval).with_codec(codec);
+        BitmapIndex::build(&column, &config)
+    }
+
+    fn test_queries() -> Vec<Query> {
+        vec![
+            Query::equality(7),
+            Query::range(3, 20),
+            Query::membership(vec![0, 4, 8, 12, 16, 49]),
+            Query::le(25),
+            Query::range(10, 40).not(),
+            Query::membership((0..50).step_by(3).collect::<Vec<u64>>()),
+        ]
+    }
+
+    /// Sequential ground truth for a query, plus its scan count.
+    fn sequential(index: &mut BitmapIndex, q: &Query) -> EvalResult {
+        let mut pool = BufferPool::new(4096);
+        index.evaluate_detailed(
+            q,
+            &mut pool,
+            EvalStrategy::ComponentWise,
+            &CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn batch_matches_sequential_bit_for_bit() {
+        for codec in [CodecKind::Raw, CodecKind::Bbc] {
+            let mut index = test_index(codec);
+            let queries = test_queries();
+            let expected: Vec<EvalResult> =
+                queries.iter().map(|q| sequential(&mut index, q)).collect();
+
+            for threads in [1usize, 2, 8] {
+                let pool = ShardedBufferPool::new(4096, 8);
+                let batch = ParallelExecutor::new(threads).execute(
+                    &index,
+                    &queries,
+                    &pool,
+                    &CostModel::default(),
+                );
+                assert_eq!(batch.results.len(), queries.len());
+                for (i, (got, want)) in batch.results.iter().zip(&expected).enumerate() {
+                    assert_eq!(got.bitmap, want.bitmap, "{codec} t={threads} q{i}");
+                    assert_eq!(got.scans, want.scans, "{codec} t={threads} q{i}");
+                    assert_eq!(got.distinct_bitmaps, want.distinct_bitmaps);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_query_folding_matches_sequential() {
+        let mut index = test_index(CodecKind::Raw);
+        let queries = test_queries();
+        let pool = ShardedBufferPool::new(4096, 8);
+        let batch = ParallelExecutor::new(4).with_inner_threads(4).execute(
+            &index,
+            &queries,
+            &pool,
+            &CostModel::default(),
+        );
+        for (i, q) in queries.iter().enumerate() {
+            let want = sequential(&mut index, q);
+            assert_eq!(batch.results[i].bitmap, want.bitmap, "q{i}");
+            assert_eq!(batch.results[i].scans, want.scans, "q{i}");
+        }
+    }
+
+    #[test]
+    fn batch_io_is_charged_to_store_totals() {
+        let index = test_index(CodecKind::Raw);
+        let before = index.store().stats();
+        let pool = ShardedBufferPool::new(4096, 4);
+        let batch =
+            ParallelExecutor::new(4).execute(&index, &test_queries(), &pool, &CostModel::default());
+        let after = index.store().stats().since(&before);
+        assert_eq!(after, batch.io, "merged batch I/O lands in global stats");
+        assert!(batch.io.pages_read > 0);
+        assert!(batch.io_seconds > 0.0);
+    }
+
+    #[test]
+    fn warm_striped_pool_turns_rereads_into_hits() {
+        let index = test_index(CodecKind::Raw);
+        let pool = ShardedBufferPool::new(4096, 4);
+        let exec = ParallelExecutor::new(4);
+        let queries = test_queries();
+        let cold = exec.execute(&index, &queries, &pool, &CostModel::default());
+        let warm = exec.execute(&index, &queries, &pool, &CostModel::default());
+        assert_eq!(warm.total_scans(), cold.total_scans());
+        assert!(warm.io.pages_read < cold.io.pages_read);
+        assert!(warm.io.pool_hits > cold.io.pool_hits);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let index = test_index(CodecKind::Raw);
+        let pool = ShardedBufferPool::new(64, 2);
+        let batch = ParallelExecutor::new(4).execute(&index, &[], &pool, &CostModel::default());
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.total_scans(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = ParallelExecutor::new(0);
+    }
+}

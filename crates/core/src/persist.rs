@@ -270,7 +270,8 @@ mod tests {
     #[test]
     fn save_load_round_trip_on_disk() {
         let mut original = sample_index(EncodingScheme::Interval, CodecKind::Bbc);
-        let path = std::env::temp_dir().join(format!("bix_persist_test_{}.idx", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("bix_persist_test_{}.idx", std::process::id()));
         original.save(&path).expect("save to file");
         let mut loaded = BitmapIndex::load(&path).expect("load from file");
         std::fs::remove_file(&path).ok();

@@ -112,15 +112,24 @@ impl Query {
             return Ok(Query::parse(rest, cardinality)?.not());
         }
         if let Some(v) = s.strip_prefix('=') {
-            let v: u64 = v.trim().parse().map_err(|_| format!("bad value in {s:?}"))?;
+            let v: u64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad value in {s:?}"))?;
             return Ok(Query::equality(v));
         }
         if let Some(v) = s.strip_prefix("<=") {
-            let v: u64 = v.trim().parse().map_err(|_| format!("bad bound in {s:?}"))?;
+            let v: u64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad bound in {s:?}"))?;
             return Ok(Query::le(v));
         }
         if let Some(v) = s.strip_prefix(">=") {
-            let v: u64 = v.trim().parse().map_err(|_| format!("bad bound in {s:?}"))?;
+            let v: u64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad bound in {s:?}"))?;
             if v >= cardinality {
                 return Err(format!("bound {v} outside domain 0..{cardinality}"));
             }
@@ -133,8 +142,14 @@ impl Query {
             ));
         }
         if let Some((lo, hi)) = s.split_once("..") {
-            let lo: u64 = lo.trim().parse().map_err(|_| format!("bad range in {s:?}"))?;
-            let hi: u64 = hi.trim().parse().map_err(|_| format!("bad range in {s:?}"))?;
+            let lo: u64 = lo
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad range in {s:?}"))?;
+            let hi: u64 = hi
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad range in {s:?}"))?;
             if lo > hi {
                 return Err(format!("empty range in {s:?}"));
             }
@@ -201,10 +216,7 @@ mod tests {
             Query::parse("in:1, 4,9", 10).unwrap(),
             Query::membership(vec![1, 4, 9])
         );
-        assert_eq!(
-            Query::parse("!2..8", 10).unwrap(),
-            Query::range(2, 8).not()
-        );
+        assert_eq!(Query::parse("!2..8", 10).unwrap(), Query::range(2, 8).not());
         assert!(Query::parse("8..2", 10).is_err());
         assert!(Query::parse(">=10", 10).is_err());
         assert!(Query::parse("nonsense", 10).is_err());

@@ -18,8 +18,8 @@
 //!    [`EncodingScheme::expr_eq`]/[`EncodingScheme::expr_le`]/
 //!    [`EncodingScheme::expr_range`].
 
-use crate::{BaseVector, EncodingScheme, Expr, Query};
 use crate::encoding::AlphaForm;
+use crate::{BaseVector, EncodingScheme, Expr, Query};
 
 /// Rewrites an arbitrary value set into the unique minimal sorted list of
 /// disjoint, non-adjacent intervals (§5's example:
@@ -247,10 +247,7 @@ mod tests {
         assert_eq!(minimal_intervals(&[3]), vec![(3, 3)]);
         assert_eq!(minimal_intervals(&[1, 2, 3]), vec![(1, 3)]);
         // Unsorted input with duplicates.
-        assert_eq!(
-            minimal_intervals(&[5, 1, 2, 5, 0]),
-            vec![(0, 2), (5, 5)]
-        );
+        assert_eq!(minimal_intervals(&[5, 1, 2, 5, 0]), vec![(0, 2), (5, 5)]);
     }
 
     /// Evaluates a rewritten expression at the domain level (leaves become

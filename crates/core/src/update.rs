@@ -72,9 +72,8 @@ impl BitmapIndex {
 
                 let old_handle = self.handle(comp, slot);
                 let old = self.store_mut().read(old_handle, &mut pool);
-                let mut builder = bix_bitvec::BitvecBuilder::with_capacity(
-                    old.len() + new_rows.len(),
-                );
+                let mut builder =
+                    bix_bitvec::BitvecBuilder::with_capacity(old.len() + new_rows.len());
                 for i in 0..old.len() {
                     builder.push(old.get(i));
                 }
@@ -109,7 +108,10 @@ mod tests {
     use crate::{CodecKind, EncodingScheme, IndexConfig, Query};
 
     fn build(scheme: EncodingScheme, codec: CodecKind, column: &[u64]) -> BitmapIndex {
-        BitmapIndex::build(column, &IndexConfig::one_component(10, scheme).with_codec(codec))
+        BitmapIndex::build(
+            column,
+            &IndexConfig::one_component(10, scheme).with_codec(codec),
+        )
     }
 
     #[test]
@@ -185,8 +187,8 @@ mod tests {
     fn multi_component_append_works() {
         let initial: Vec<u64> = vec![7, 3];
         let extra: Vec<u64> = vec![9, 0, 4];
-        let config = IndexConfig::n_components(10, EncodingScheme::Interval, 2)
-            .with_codec(CodecKind::Bbc);
+        let config =
+            IndexConfig::n_components(10, EncodingScheme::Interval, 2).with_codec(CodecKind::Bbc);
         let mut idx = BitmapIndex::build(&initial, &config);
         idx.append(&extra);
         assert_eq!(

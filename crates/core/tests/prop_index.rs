@@ -28,31 +28,28 @@ fn arb_codec() -> impl Strategy<Value = CodecKind> {
 
 fn arb_bases(c: u64) -> impl Strategy<Value = BaseVector> {
     // n in 1..=3, random near-balanced factors covering c.
-    (1usize..=3).prop_flat_map(move |n| {
-        match n {
-            1 => Just(BaseVector::single(c)).boxed(),
-            2 => (2u64..=c.div_ceil(2).max(2))
-                .prop_map(move |b1| {
-                    let b2 = c.div_ceil(b1).max(2);
-                    BaseVector::from_lsb(vec![b1, b2])
-                })
-                .boxed(),
-            _ => (2u64..=4, 2u64..=4)
-                .prop_map(move |(b1, b2)| {
-                    let b3 = c.div_ceil(b1 * b2).max(2);
-                    BaseVector::from_lsb(vec![b1, b2, b3])
-                })
-                .boxed(),
-        }
+    (1usize..=3).prop_flat_map(move |n| match n {
+        1 => Just(BaseVector::single(c)).boxed(),
+        2 => (2u64..=c.div_ceil(2).max(2))
+            .prop_map(move |b1| {
+                let b2 = c.div_ceil(b1).max(2);
+                BaseVector::from_lsb(vec![b1, b2])
+            })
+            .boxed(),
+        _ => (2u64..=4, 2u64..=4)
+            .prop_map(move |(b1, b2)| {
+                let b3 = c.div_ceil(b1 * b2).max(2);
+                BaseVector::from_lsb(vec![b1, b2, b3])
+            })
+            .boxed(),
     })
 }
 
 fn arb_query(c: u64) -> impl Strategy<Value = Query> {
-    let interval = (0..c).prop_flat_map(move |lo| (Just(lo), lo..c)).prop_map(|(lo, hi)| {
-        Query::range(lo, hi)
-    });
-    let membership =
-        prop::collection::vec(0..c, 0..8).prop_map(Query::membership);
+    let interval = (0..c)
+        .prop_flat_map(move |lo| (Just(lo), lo..c))
+        .prop_map(|(lo, hi)| Query::range(lo, hi));
+    let membership = prop::collection::vec(0..c, 0..8).prop_map(Query::membership);
     let negated = (0..c)
         .prop_flat_map(move |lo| (Just(lo), lo..c))
         .prop_map(|(lo, hi)| Query::range(lo, hi).not());

@@ -1,0 +1,116 @@
+//! Property tests: the parallel batch executor is observationally
+//! equivalent to sequential component-wise evaluation — bit-identical
+//! result bitmaps and identical scan counts — over random query batches
+//! on Zipf-distributed data, for any thread configuration.
+
+use bix_core::{
+    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
+    ParallelExecutor, Query, ShardedBufferPool,
+};
+use bix_workload::DatasetSpec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    cardinality: u64,
+    rows: usize,
+    zipf_z: f64,
+    seed: u64,
+    scheme: EncodingScheme,
+    codec: CodecKind,
+    queries: Vec<Query>,
+    threads: usize,
+    inner_threads: usize,
+}
+
+fn arb_query(c: u64) -> impl Strategy<Value = Query> {
+    let interval = (0..c)
+        .prop_flat_map(move |lo| (Just(lo), lo..c))
+        .prop_map(|(lo, hi)| Query::range(lo, hi));
+    let membership = prop::collection::vec(0..c, 0..10).prop_map(Query::membership);
+    let negated = (0..c)
+        .prop_flat_map(move |lo| (Just(lo), lo..c))
+        .prop_map(|(lo, hi)| Query::range(lo, hi).not());
+    prop_oneof![interval, membership, negated]
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (8u64..=48).prop_flat_map(|c| {
+        (
+            500usize..3000,
+            0.0f64..2.0,
+            0u64..10_000,
+            prop::sample::select(vec![
+                EncodingScheme::Equality,
+                EncodingScheme::Interval,
+                EncodingScheme::EqualityInterval,
+                EncodingScheme::Range,
+            ]),
+            prop::sample::select(vec![CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah]),
+            prop::collection::vec(arb_query(c), 1..12),
+            1usize..=6,
+            1usize..=4,
+        )
+            .prop_map(
+                move |(rows, zipf_z, seed, scheme, codec, queries, threads, inner_threads)| {
+                    Scenario {
+                        cardinality: c,
+                        rows,
+                        zipf_z,
+                        seed,
+                        scheme,
+                        codec,
+                        queries,
+                        threads,
+                        inner_threads,
+                    }
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_batch_equals_sequential_component_wise(s in arb_scenario()) {
+        let data = DatasetSpec {
+            rows: s.rows,
+            cardinality: s.cardinality,
+            zipf_z: s.zipf_z,
+            seed: s.seed,
+        }
+        .generate();
+        let config =
+            IndexConfig::one_component(s.cardinality, s.scheme).with_codec(s.codec);
+        let mut index = BitmapIndex::build(&data.values, &config);
+        let cost = CostModel::default();
+
+        // Sequential ground truth: one query at a time, component-wise.
+        let mut seq_pool = BufferPool::new(1024);
+        let sequential: Vec<_> = s
+            .queries
+            .iter()
+            .map(|q| {
+                index.evaluate_detailed(q, &mut seq_pool, EvalStrategy::ComponentWise, &cost)
+            })
+            .collect();
+
+        let pool = ShardedBufferPool::new(1024, s.threads.max(2));
+        let batch = ParallelExecutor::new(s.threads)
+            .with_inner_threads(s.inner_threads)
+            .execute(&index, &s.queries, &pool, &cost);
+
+        prop_assert_eq!(batch.results.len(), s.queries.len());
+        for (i, (got, want)) in batch.results.iter().zip(&sequential).enumerate() {
+            prop_assert_eq!(&got.bitmap, &want.bitmap, "query {} bitmap", i);
+            prop_assert_eq!(got.scans, want.scans, "query {} scans", i);
+            prop_assert_eq!(
+                got.distinct_bitmaps, want.distinct_bitmaps,
+                "query {} distinct", i
+            );
+        }
+        let seq_total: usize = sequential.iter().map(|r| r.scans).sum();
+        prop_assert_eq!(batch.total_scans(), seq_total, "aggregate scan count");
+    }
+}

@@ -63,7 +63,10 @@ fn estimate_matches_count_for_nullable_indexes() {
 fn histogram_survives_persistence() {
     let c = 30u64;
     let column: Vec<u64> = (0..1_000).map(|i| (i * i) % c).collect();
-    let original = BitmapIndex::build(&column, &IndexConfig::one_component(c, EncodingScheme::Range));
+    let original = BitmapIndex::build(
+        &column,
+        &IndexConfig::one_component(c, EncodingScheme::Range),
+    );
     let mut buf = Vec::new();
     original.save_to(&mut buf).expect("save");
     let loaded = BitmapIndex::load_from(buf.as_slice()).expect("load");

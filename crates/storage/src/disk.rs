@@ -1,8 +1,7 @@
 //! The simulated disk: paged, append-only bitmap files.
 
 use crate::IoStats;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Identifies one stored file (one bitmap) on the simulated disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -25,6 +24,38 @@ impl DiskConfig {
     /// Number of whole pages needed to hold `bytes` bytes of buffer space.
     pub fn pages_for_bytes(&self, bytes: usize) -> usize {
         (bytes / self.page_size).max(1)
+    }
+}
+
+/// Per-thread I/O accounting for shared (concurrent) reads.
+///
+/// The simulated disk's global counters and head position live behind a
+/// mutex; concurrent readers would serialize on it and — worse — share one
+/// head, making seek accounting depend on thread interleaving. A
+/// `ReadContext` gives each reader its own head and counters, modelling
+/// one disk arm (or one NCQ stream) per thread. Merge contexts back into
+/// the global counters with [`DiskSim::charge`] when the parallel region
+/// ends.
+#[derive(Debug, Default)]
+pub struct ReadContext {
+    pub(crate) stats: IoStats,
+    pub(crate) head: Option<(FileId, usize)>,
+}
+
+impl ReadContext {
+    /// A fresh context: zero counters, head unpositioned.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters accumulated through this context so far.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Takes the accumulated counters, zeroing them.
+    pub fn take_stats(&mut self) -> IoStats {
+        std::mem::take(&mut self.stats)
     }
 }
 
@@ -109,7 +140,7 @@ impl DiskSim {
 
         let sequential = self.head == Some((id, page_no.wrapping_sub(1)));
         {
-            let mut stats = self.stats.lock();
+            let mut stats = self.stats.lock().expect("stats lock");
             stats.pages_read += 1;
             stats.bytes_read += end - start;
             if !sequential {
@@ -120,6 +151,37 @@ impl DiskSim {
         &file[start..end]
     }
 
+    /// Reads one page without exclusive access, charging the caller's
+    /// [`ReadContext`] instead of the global counters and head. Safe to
+    /// call from many threads at once: files are immutable after
+    /// [`DiskSim::create_file`].
+    pub fn read_page_shared(&self, id: FileId, page_no: usize, ctx: &mut ReadContext) -> &[u8] {
+        let file = &self.files[id.0 as usize];
+        let start = page_no * self.config.page_size;
+        assert!(
+            start < file.len() || (file.is_empty() && page_no == 0),
+            "page {page_no} out of range for file {id:?} ({} bytes)",
+            file.len()
+        );
+        let end = (start + self.config.page_size).min(file.len());
+
+        let sequential = ctx.head == Some((id, page_no.wrapping_sub(1)));
+        ctx.stats.pages_read += 1;
+        ctx.stats.bytes_read += end - start;
+        if !sequential {
+            ctx.stats.seeks += 1;
+        }
+        ctx.head = Some((id, page_no));
+        &file[start..end]
+    }
+
+    /// Adds externally-accumulated counters (e.g. merged [`ReadContext`]s
+    /// from a parallel batch) into the global counters, so
+    /// [`DiskSim::stats`] stays the one total regardless of read path.
+    pub fn charge(&self, io: IoStats) {
+        *self.stats.lock().expect("stats lock") += io;
+    }
+
     /// Shared handle to the I/O counters.
     pub fn stats_handle(&self) -> Arc<Mutex<IoStats>> {
         Arc::clone(&self.stats)
@@ -127,13 +189,13 @@ impl DiskSim {
 
     /// Snapshot of the I/O counters.
     pub fn stats(&self) -> IoStats {
-        *self.stats.lock()
+        *self.stats.lock().expect("stats lock")
     }
 
     /// Resets the I/O counters and head position (used between queries to
     /// mimic the paper's cold-cache methodology).
     pub fn reset_stats(&mut self) {
-        *self.stats.lock() = IoStats::new();
+        *self.stats.lock().expect("stats lock") = IoStats::new();
         self.head = None;
     }
 

@@ -10,6 +10,10 @@
 //! * [`BufferPool`] is an LRU page cache of configurable size sitting above
 //!   the disk — the paper's evaluation strategy is explicitly buffer-aware
 //!   (§6.3), so rescans hit the pool and cold reads hit the "disk".
+//! * [`ShardedBufferPool`] is its lock-striped counterpart for concurrent
+//!   batch evaluation: shared `&self` reads go through
+//!   [`DiskSim::read_page_shared`] with a per-thread [`ReadContext`]
+//!   carrying the disk head and I/O counters.
 //! * [`CostModel`] converts I/O counts into simulated elapsed time using a
 //!   seek-latency + transfer-bandwidth model calibrated to the paper's
 //!   hardware, so experiment *shapes* (who wins, where crossovers fall)
@@ -44,12 +48,14 @@
 mod cost;
 mod disk;
 mod pool;
+mod shard_pool;
 mod stats;
 mod store;
 
 pub use cost::CostModel;
-pub use disk::{DiskConfig, DiskSim, FileId};
+pub use disk::{DiskConfig, DiskSim, FileId, ReadContext};
 pub use pool::BufferPool;
+pub use shard_pool::ShardedBufferPool;
 pub use stats::IoStats;
 pub use store::{BitmapHandle, BitmapStore};
 

@@ -51,7 +51,7 @@ impl BufferPool {
         self.clock += 1;
         let key = (file, page_no);
         if self.pages.contains_key(&key) {
-            disk.stats_handle().lock().pool_hits += 1;
+            disk.stats_handle().lock().expect("stats lock").pool_hits += 1;
             let entry = self.pages.get_mut(&key).expect("checked above");
             entry.1 = self.clock;
             return &entry.0;

@@ -1,0 +1,237 @@
+//! A lock-striped buffer pool for concurrent readers.
+
+use crate::{DiskSim, FileId, ReadContext};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Key of one cached page.
+type PageKey = (FileId, usize);
+
+/// One independently-locked LRU stripe.
+struct Shard {
+    capacity_pages: usize,
+    /// page -> (contents, LRU stamp)
+    pages: HashMap<PageKey, (Vec<u8>, u64)>,
+    clock: u64,
+}
+
+impl Shard {
+    fn get(&mut self, disk: &DiskSim, key: PageKey, ctx: &mut ReadContext) -> Vec<u8> {
+        self.clock += 1;
+        if let Some(entry) = self.pages.get_mut(&key) {
+            ctx.stats.pool_hits += 1;
+            entry.1 = self.clock;
+            return entry.0.clone();
+        }
+        let contents = disk.read_page_shared(key.0, key.1, ctx).to_vec();
+        if self.pages.len() >= self.capacity_pages {
+            let victim = self
+                .pages
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+                .expect("shard is non-empty when full");
+            self.pages.remove(&victim);
+        }
+        self.pages.insert(key, (contents.clone(), self.clock));
+        contents
+    }
+}
+
+/// A fixed-capacity page cache striped into independently-locked LRU
+/// shards, for use by concurrent readers ([`DiskSim::read_page_shared`]).
+///
+/// Pages map to shards by a hash of `(file, page)`, so the stripes fill
+/// evenly and two threads contend only when touching pages of the same
+/// stripe. Each shard runs the same LRU policy as the single-threaded
+/// [`crate::BufferPool`]; total capacity is divided evenly across shards
+/// (so per-stripe LRU is approximate global LRU, the standard trade-off).
+pub struct ShardedBufferPool {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl ShardedBufferPool {
+    /// Creates a pool of `capacity_pages` total pages striped over
+    /// `shards` locks. Capacity is split evenly, each shard getting at
+    /// least one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_pages` or `shards` is zero.
+    pub fn new(capacity_pages: usize, shards: usize) -> Self {
+        assert!(capacity_pages > 0, "buffer pool needs at least one page");
+        assert!(shards > 0, "need at least one shard");
+        let per_shard = (capacity_pages / shards).max(1);
+        ShardedBufferPool {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        capacity_pages: per_shard,
+                        pages: HashMap::with_capacity(per_shard),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total pool capacity in pages (after the per-shard split).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shards[0].lock().expect("shard lock").capacity_pages
+    }
+
+    /// Number of resident pages across all shards.
+    pub fn resident(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock").pages.len())
+            .sum()
+    }
+
+    /// Fetches a page through the pool, reading from `disk` on a miss and
+    /// evicting within the page's shard if that stripe is full. Hits and
+    /// misses are charged to the caller's [`ReadContext`].
+    ///
+    /// Returns an owned copy of the page: the cached bytes live behind the
+    /// shard lock, which is released before returning.
+    pub fn get(
+        &self,
+        disk: &DiskSim,
+        file: FileId,
+        page_no: usize,
+        ctx: &mut ReadContext,
+    ) -> Vec<u8> {
+        let key = (file, page_no);
+        let shard = &self.shards[self.shard_of(key)];
+        shard.lock().expect("shard lock").get(disk, key, ctx)
+    }
+
+    /// Drops every cached page.
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shard lock").pages.clear();
+        }
+    }
+
+    /// True if the page is resident (test/diagnostic helper).
+    pub fn contains(&self, file: FileId, page_no: usize) -> bool {
+        let key = (file, page_no);
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("shard lock")
+            .pages
+            .contains_key(&key)
+    }
+
+    fn shard_of(&self, key: PageKey) -> usize {
+        // Fibonacci hashing over (file, page): cheap, and spreads the
+        // sequential page numbers of one file across stripes.
+        let h = (key.0 .0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((key.1 as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        (h >> 32) as usize % self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskConfig;
+
+    fn disk_with_file(pages: usize, page_size: usize) -> (DiskSim, FileId) {
+        let mut disk = DiskSim::new(DiskConfig { page_size });
+        let data: Vec<u8> = (0..pages * page_size).map(|i| (i % 251) as u8).collect();
+        let id = disk.create_file(data);
+        (disk, id)
+    }
+
+    #[test]
+    fn hit_avoids_disk_read() {
+        let (disk, id) = disk_with_file(4, 8);
+        let pool = ShardedBufferPool::new(8, 2);
+        let mut ctx = ReadContext::new();
+        pool.get(&disk, id, 0, &mut ctx);
+        pool.get(&disk, id, 0, &mut ctx);
+        assert_eq!(ctx.stats().pages_read, 1);
+        assert_eq!(ctx.stats().pool_hits, 1);
+        assert_eq!(disk.stats().pages_read, 0, "shared reads bypass globals");
+    }
+
+    #[test]
+    fn returns_correct_page_contents() {
+        let (disk, id) = disk_with_file(4, 8);
+        let pool = ShardedBufferPool::new(4, 3);
+        let mut ctx = ReadContext::new();
+        let got = pool.get(&disk, id, 2, &mut ctx);
+        assert_eq!(got, disk.read_page_shared(id, 2, &mut ctx));
+    }
+
+    #[test]
+    fn eviction_is_per_shard_and_bounded() {
+        let (disk, id) = disk_with_file(64, 8);
+        let pool = ShardedBufferPool::new(8, 4);
+        let mut ctx = ReadContext::new();
+        for p in 0..64 {
+            pool.get(&disk, id, p, &mut ctx);
+        }
+        assert!(pool.resident() <= pool.capacity());
+        assert_eq!(pool.capacity(), 8);
+    }
+
+    #[test]
+    fn concurrent_readers_agree_with_direct_reads() {
+        let (disk, id) = disk_with_file(32, 16);
+        let pool = ShardedBufferPool::new(16, 4);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let (disk, pool) = (&disk, &pool);
+                scope.spawn(move || {
+                    let mut ctx = ReadContext::new();
+                    for round in 0..3 {
+                        for p in 0..32 {
+                            let got = pool.get(disk, id, (p + t * 7) % 32, &mut ctx);
+                            let expect = disk.read_page_shared(id, (p + t * 7) % 32, &mut ctx);
+                            assert_eq!(got, expect, "round {round}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn charge_merges_context_into_global_stats() {
+        let (disk, id) = disk_with_file(4, 8);
+        let pool = ShardedBufferPool::new(4, 2);
+        let mut ctx = ReadContext::new();
+        pool.get(&disk, id, 0, &mut ctx);
+        pool.get(&disk, id, 0, &mut ctx);
+        disk.charge(ctx.take_stats());
+        let global = disk.stats();
+        assert_eq!(global.pages_read, 1);
+        assert_eq!(global.pool_hits, 1);
+        assert_eq!(ctx.stats(), crate::IoStats::new(), "taken");
+    }
+
+    #[test]
+    fn flush_clears_residency() {
+        let (disk, id) = disk_with_file(4, 8);
+        let pool = ShardedBufferPool::new(4, 2);
+        let mut ctx = ReadContext::new();
+        pool.get(&disk, id, 0, &mut ctx);
+        assert!(pool.contains(id, 0));
+        pool.flush();
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedBufferPool::new(4, 0);
+    }
+}

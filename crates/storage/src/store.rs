@@ -1,8 +1,11 @@
 //! Bitmap-level storage facade.
 
-use crate::{BufferPool, CodecKind, DiskConfig, DiskSim, FileId, IoStats};
+use crate::{
+    BufferPool, CodecKind, DiskConfig, DiskSim, FileId, IoStats, ReadContext, ShardedBufferPool,
+};
 use bix_bitvec::Bitvec;
 use bix_compress::CompressedBitmap;
+use std::collections::HashMap;
 
 /// Handle to one stored bitmap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,7 +34,10 @@ impl BitmapHandle {
 /// bitmaps of all the components of one bitmap index.
 pub struct BitmapStore {
     disk: DiskSim,
-    names: Vec<String>,
+    /// Diagnostic names keyed by file id. A map rather than a `Vec`
+    /// indexed by `FileId`: after [`BitmapStore::replace`] deletes a file,
+    /// file ids and insertion order permanently diverge.
+    names: HashMap<FileId, String>,
 }
 
 impl BitmapStore {
@@ -39,7 +45,7 @@ impl BitmapStore {
     pub fn new(config: DiskConfig) -> Self {
         BitmapStore {
             disk: DiskSim::new(config),
-            names: Vec::new(),
+            names: HashMap::new(),
         }
     }
 
@@ -52,7 +58,7 @@ impl BitmapStore {
     pub fn put(&mut self, name: &str, codec: CodecKind, bv: &Bitvec) -> BitmapHandle {
         let compressed = CompressedBitmap::encode(codec, bv);
         let file = self.disk.create_file(compressed.bytes().to_vec());
-        self.names.push(name.to_owned());
+        self.names.insert(file, name.to_owned());
         BitmapHandle {
             file,
             len_bits: bv.len(),
@@ -71,6 +77,32 @@ impl BitmapStore {
         handle.codec.codec().decompress(&bytes, handle.len_bits)
     }
 
+    /// Reads a bitmap without exclusive access to the store, for
+    /// concurrent batch evaluation: page I/O goes through the lock-striped
+    /// `pool` and is charged to the caller's per-thread `ctx`;
+    /// decompression runs on the calling thread. Merge the context back
+    /// with [`BitmapStore::charge`] when the parallel region ends so
+    /// [`BitmapStore::stats`] stays the one total.
+    pub fn read_shared(
+        &self,
+        handle: BitmapHandle,
+        pool: &ShardedBufferPool,
+        ctx: &mut ReadContext,
+    ) -> Bitvec {
+        let n_pages = self.disk.file_pages(handle.file);
+        let mut bytes = Vec::with_capacity(self.disk.file_size(handle.file));
+        for p in 0..n_pages {
+            bytes.extend_from_slice(&pool.get(&self.disk, handle.file, p, ctx));
+        }
+        handle.codec.codec().decompress(&bytes, handle.len_bits)
+    }
+
+    /// Adds externally-accumulated counters (merged [`ReadContext`]s) into
+    /// the global counters.
+    pub fn charge(&self, io: IoStats) {
+        self.disk.charge(io);
+    }
+
     /// Stores an already-compressed bitmap stream (produced off-line,
     /// e.g. by a parallel build worker). The caller guarantees the stream
     /// decodes to `len_bits` bits under `codec`.
@@ -82,7 +114,7 @@ impl BitmapStore {
         compressed: &[u8],
     ) -> BitmapHandle {
         let file = self.disk.create_file(compressed.to_vec());
-        self.names.push(name.to_owned());
+        self.names.insert(file, name.to_owned());
         BitmapHandle {
             file,
             len_bits,
@@ -95,7 +127,10 @@ impl BitmapStore {
     /// buffer-pool pages of the old file become unreachable garbage that
     /// LRU eviction will recycle.
     pub fn replace(&mut self, old: BitmapHandle, codec: CodecKind, bv: &Bitvec) -> BitmapHandle {
-        let name = self.names[old.file.0 as usize].clone();
+        let name = self
+            .names
+            .remove(&old.file)
+            .expect("replacing unknown bitmap");
         self.disk.delete_file(old.file);
         self.put(&name, codec, bv)
     }
@@ -113,7 +148,7 @@ impl BitmapStore {
 
     /// Diagnostic name a bitmap was stored under.
     pub fn name(&self, handle: BitmapHandle) -> &str {
-        &self.names[handle.file.0 as usize]
+        &self.names[&handle.file]
     }
 
     /// Total stored bytes across all bitmaps — the index's space cost.
@@ -199,6 +234,46 @@ mod tests {
         );
         assert_eq!(store.name(h1), "a");
         assert_eq!(store.name(h2), "b");
+    }
+
+    #[test]
+    fn shared_read_matches_exclusive_read() {
+        for codec in [CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah] {
+            let mut store = BitmapStore::new(DiskConfig::default());
+            let bv = sample_bitmap();
+            let h = store.put("b", codec, &bv);
+            let pool = ShardedBufferPool::new(16, 4);
+            let mut ctx = ReadContext::new();
+            assert_eq!(store.read_shared(h, &pool, &mut ctx), bv, "codec {codec}");
+            assert!(ctx.stats().pages_read > 0);
+            // Second read comes from the striped cache.
+            store.read_shared(h, &pool, &mut ctx);
+            store.charge(ctx.take_stats());
+            let total = store.stats();
+            assert!(total.pool_hits > 0, "codec {codec}");
+        }
+    }
+
+    #[test]
+    fn names_survive_replace_then_put() {
+        // Regression: `names` was a Vec indexed by FileId, which desyncs
+        // once `replace` retires a file id (the replacement bitmap gets a
+        // fresh id, so later puts land at ids past the Vec's length).
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let a = store.put("a", CodecKind::Raw, &bv);
+        let b = store.put("b", CodecKind::Raw, &bv);
+
+        let a2 = store.replace(a, CodecKind::Bbc, &bv);
+        let c = store.put("c", CodecKind::Raw, &bv);
+
+        assert_eq!(store.name(a2), "a", "replace keeps the original name");
+        assert_eq!(store.name(b), "b");
+        assert_eq!(store.name(c), "c");
+
+        let mut pool = BufferPool::new(16);
+        assert_eq!(store.read(a2, &mut pool), bv);
+        assert_eq!(store.read(c, &mut pool), bv);
     }
 
     #[test]

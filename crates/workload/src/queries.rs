@@ -149,7 +149,11 @@ mod tests {
         let spec = QuerySetSpec { n_int: 5, n_equ: 3 };
         for q in spec.generate(50, 50, 7) {
             for w in q.intervals.windows(2) {
-                assert!(w[1].0 > w[0].1 + 1, "adjacent or overlapping: {:?}", q.intervals);
+                assert!(
+                    w[1].0 > w[0].1 + 1,
+                    "adjacent or overlapping: {:?}",
+                    q.intervals
+                );
             }
             for &(lo, hi) in &q.intervals {
                 assert!(lo <= hi && hi < 50);

@@ -69,8 +69,7 @@ impl StarSchemaSpec {
             "dimension cardinalities must be positive"
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let discount_sampler =
-            ZipfSampler::new(self.discount_levels, self.discount_skew, &mut rng);
+        let discount_sampler = ZipfSampler::new(self.discount_levels, self.discount_skew, &mut rng);
 
         let mut region = Vec::with_capacity(self.rows);
         let mut store = Vec::with_capacity(self.rows);
@@ -129,7 +128,11 @@ mod tests {
     fn store_is_consistent_with_region() {
         let t = StarSchemaSpec::default().generate();
         for (r, s) in t.region.iter().zip(&t.store) {
-            assert_eq!(s / t.spec.stores_per_region, *r, "store {s} not in region {r}");
+            assert_eq!(
+                s / t.spec.stores_per_region,
+                *r,
+                "store {s} not in region {r}"
+            );
         }
     }
 

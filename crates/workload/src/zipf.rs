@@ -115,8 +115,12 @@ mod tests {
         let s1 = ZipfSampler::new(50, 1.0, &mut r);
         let mut r = rng(3);
         let s3 = ZipfSampler::new(50, 3.0, &mut r);
-        let max1 = (0..50).map(|v| s1.probability_of_value(v)).fold(0.0, f64::max);
-        let max3 = (0..50).map(|v| s3.probability_of_value(v)).fold(0.0, f64::max);
+        let max1 = (0..50)
+            .map(|v| s1.probability_of_value(v))
+            .fold(0.0, f64::max);
+        let max3 = (0..50)
+            .map(|v| s3.probability_of_value(v))
+            .fold(0.0, f64::max);
         assert!(max3 > max1);
         assert!(max3 > 0.8, "z=3 over C=50 is heavily skewed, got {max3}");
     }

@@ -10,8 +10,7 @@
 //! Run with: `cargo run --release --example compression_study`
 
 use chan_bitmap_index::core::{
-    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
-    Query,
+    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig, Query,
 };
 use chan_bitmap_index::workload::DatasetSpec;
 

@@ -17,7 +17,10 @@ use chan_bitmap_index::core::{
 };
 use chan_bitmap_index::workload::StarSchemaSpec;
 
-fn build_table(facts: &chan_bitmap_index::workload::StarSchema, scheme: EncodingScheme) -> IndexedTable {
+fn build_table(
+    facts: &chan_bitmap_index::workload::StarSchema,
+    scheme: EncodingScheme,
+) -> IndexedTable {
     let rows = facts.region.len();
     let mut table = IndexedTable::new(rows);
     table.add_attribute(
@@ -59,9 +62,7 @@ fn main() {
     let report = TableQuery::attr("region", Query::membership(vec![1, 4, 6]))
         .and(TableQuery::attr("quantity", Query::ge(40, 101)))
         .and(TableQuery::attr("discount", Query::range(10, 25)))
-        .and(
-            TableQuery::attr("store", Query::membership(vec![6, 24, 36])).not(),
-        );
+        .and(TableQuery::attr("store", Query::membership(vec![6, 24, 36])).not());
 
     println!(
         "{:<8} {:>14} {:>8} {:>10} {:>12}",

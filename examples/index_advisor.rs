@@ -44,16 +44,16 @@ fn main() {
     let c = 50u64;
 
     // 1. Point-lookup heavy (an OLTP-ish dimension key).
-    show(
-        "point lookups",
-        c,
-        &Workload::equality_only(),
-        Some(60),
-    );
+    show("point lookups", c, &Workload::equality_only(), Some(60));
 
     // 2. Range scans under space pressure — the paper's sweet spot for
     // interval encoding.
-    show("range scans, tight space", c, &Workload::range_only(), Some(30));
+    show(
+        "range scans, tight space",
+        c,
+        &Workload::range_only(),
+        Some(30),
+    );
 
     // 3. Mixed membership queries with room to spare: buy speed with ER.
     let mixed = Workload {
@@ -88,11 +88,13 @@ fn main() {
     .generate();
     let cost = CostModel::default();
     for scheme in [EncodingScheme::Interval, EncodingScheme::Range] {
-        let mut index =
-            BitmapIndex::build(&data.values, &IndexConfig::one_component(c, scheme));
+        let mut index = BitmapIndex::build(&data.values, &IndexConfig::one_component(c, scheme));
         let mut total = 0.0;
         let mut scans = 0usize;
-        let queries: Vec<Query> = (5..45).step_by(5).map(|lo| Query::range(lo, lo + 4)).collect();
+        let queries: Vec<Query> = (5..45)
+            .step_by(5)
+            .map(|lo| Query::range(lo, lo + 4))
+            .collect();
         for q in &queries {
             let mut pool = BufferPool::new(2048);
             index.reset_stats();

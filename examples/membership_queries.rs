@@ -16,10 +16,7 @@ fn main() {
     // The paper's example: A IN {6, 19, 20, 21, 22, 35}, C = 50.
     let values = vec![6u64, 19, 20, 21, 22, 35];
     println!("membership query: A IN {values:?}");
-    println!(
-        "minimal interval rewrite: {:?}",
-        minimal_intervals(&values)
-    );
+    println!("minimal interval rewrite: {:?}", minimal_intervals(&values));
     println!("  -> (A = 6) OR (19 <= A <= 22) OR (A = 35)\n");
 
     let data = DatasetSpec {
@@ -55,10 +52,7 @@ fn main() {
         let queries = spec.generate(50, 10, 42);
         print!("{:<14}", format!("({}, {})", spec.n_int, spec.n_equ));
         for scheme in EncodingScheme::ALL {
-            let index = BitmapIndex::build(
-                &data.values,
-                &IndexConfig::one_component(50, scheme),
-            );
+            let index = BitmapIndex::build(&data.values, &IndexConfig::one_component(50, scheme));
             let total: usize = queries
                 .iter()
                 .map(|q| index.rewrite(&Query::Membership(q.values())).scan_count())

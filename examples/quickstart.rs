@@ -15,7 +15,10 @@ fn main() {
         ("A = 2        (equality)", Query::equality(2)),
         ("A <= 4       (one-sided)", Query::le(4)),
         ("2 <= A <= 5  (two-sided)", Query::range(2, 5)),
-        ("A IN {0,5,9} (membership)", Query::membership(vec![0, 5, 9])),
+        (
+            "A IN {0,5,9} (membership)",
+            Query::membership(vec![0, 5, 9]),
+        ),
     ];
 
     for scheme in EncodingScheme::BASIC {
@@ -31,7 +34,10 @@ fn main() {
             // The rewrite alone shows how many bitmaps a query touches.
             let expr = index.rewrite(query);
             let rows = index.evaluate(query).to_positions();
-            println!("  {label}  -> rows {rows:?}  ({} bitmap scans)", expr.scan_count());
+            println!(
+                "  {label}  -> rows {rows:?}  ({} bitmap scans)",
+                expr.scan_count()
+            );
         }
         println!();
     }

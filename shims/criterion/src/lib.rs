@@ -1,0 +1,381 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of Criterion's API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology is simplified but honest: every benchmark is warmed up,
+//! then timed over enough iterations to fill a fixed measurement window;
+//! the reported figure is the median of per-sample means. Results print
+//! as `group/function/parameter  <time>  (<throughput>)` lines. There are
+//! no HTML reports and no statistical regression analysis.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(60),
+            measurement: Duration::from_millis(240),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses Criterion-style CLI args. This shim accepts and ignores
+    /// them (it exists so `cargo bench -- <filter>` does not error).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let label = id.into_benchmark_id().label();
+        let group = self.benchmark_group("");
+        group.run(label, None, &mut f);
+    }
+}
+
+/// Units for reporting throughput alongside time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost; the shim only distinguishes
+/// batch sizes when picking iteration counts.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to set up; batch many per measurement.
+    SmallInput,
+    /// Inputs are expensive; one input per measurement.
+    LargeInput,
+    /// One fresh input per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function` at parameter `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self),
+            parameter: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sizing settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (the shim time-boxes instead, so
+    /// this only scales the measurement window slightly).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Fewer requested samples => the workload is heavy; keep the
+        // window as-is but never below one sample. The parameter is
+        // accepted for source compatibility.
+        let _ = n;
+        self
+    }
+
+    /// Sets measurement time for the group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    /// Reports per-iteration throughput with subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().label();
+        let throughput = self.throughput;
+        self.run(label, throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_benchmark_id().label();
+        let throughput = self.throughput;
+        self.run(label, throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn run(&self, label: String, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let name = if self.name.is_empty() {
+            label
+        } else {
+            format!("{}/{}", self.name, label)
+        };
+        match bencher.median_ns() {
+            Some(ns) => {
+                let rate = throughput
+                    .map(|t| Self::format_rate(t, ns))
+                    .unwrap_or_default();
+                eprintln!("bench: {name:<56} {:>14}{rate}", Self::format_ns(ns));
+            }
+            None => eprintln!("bench: {name:<56}  (no measurement)"),
+        }
+    }
+
+    fn format_ns(ns: f64) -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.1} ns/iter")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} µs/iter", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            format!("{:.2} ms/iter", ns / 1_000_000.0)
+        } else {
+            format!("{:.3} s/iter", ns / 1_000_000_000.0)
+        }
+    }
+
+    fn format_rate(t: Throughput, ns: f64) -> String {
+        let per_second = |n: u64| n as f64 / (ns / 1_000_000_000.0);
+        match t {
+            Throughput::Bytes(n) => format!("  ({:.1} MiB/s)", per_second(n) / (1024.0 * 1024.0)),
+            Throughput::Elements(n) => format!("  ({:.0} elem/s)", per_second(n)),
+        }
+    }
+}
+
+/// Runs and times the benchmarked routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many iterations fit one sample.
+        let warm_start = Instant::now();
+        let mut iters_in_warmup: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            iters_in_warmup += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_in_warmup as f64;
+        let samples = 10usize;
+        let iters_per_sample =
+            ((self.measurement.as_secs_f64() / samples as f64) / per_iter).ceil() as u64;
+        let iters_per_sample = iters_per_sample.max(1);
+
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up with a single input.
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let per_iter = warm_start.elapsed().as_secs_f64().max(1e-9);
+
+        let budget = self.measurement.as_secs_f64();
+        let total_iters = (budget / per_iter).ceil().clamp(1.0, 1_000_000.0) as u64;
+        let samples = 10u64.min(total_iters);
+        let iters_per_sample = (total_iters / samples).max(1);
+
+        for _ in 0..samples {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Runs one or more `criterion_group!`s as `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_positive_median() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 100],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", "p").label(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).label(), "3");
+    }
+}

@@ -1,0 +1,24 @@
+//! Sampling strategies (`prop::sample`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy choosing uniformly from a fixed set of options.
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (0..self.0.len()).generate(rng);
+        self.0[i].clone()
+    }
+}
+
+/// Uniform choice from `options` (mirrors `proptest::sample::select`).
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select(options)
+}

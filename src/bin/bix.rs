@@ -5,6 +5,7 @@
 //!             [--encoding I] [--codec raw|bbc|wah|ewah|roaring]
 //!             [--components N] --out index.bix
 //! bix query   index.bix <predicate>   # '=5' '<=10' '3..7' 'in:1,2,9' '!3..7'
+//! bix query   index.bix --batch queries.txt [--parallel N] [--pool-pages P]
 //! bix explain index.bix <predicate>   # show the bitmap expression + scans
 //! bix info    index.bix
 //! bix advise  --cardinality C [--equality X --one-sided Y --two-sided Z]
@@ -17,7 +18,8 @@
 
 use chan_bitmap_index::analysis::{advise, Workload};
 use chan_bitmap_index::core::{
-    BitmapIndex, CodecKind, EncodingScheme, IndexConfig, Query,
+    BitmapIndex, CodecKind, CostModel, EncodingScheme, IndexConfig, ParallelExecutor, Query,
+    ShardedBufferPool,
 };
 use std::process::ExitCode;
 
@@ -62,7 +64,9 @@ fn parse_codec(s: &str) -> Result<CodecKind, String> {
         "wah" => Ok(CodecKind::Wah),
         "ewah" => Ok(CodecKind::Ewah),
         "roaring" => Ok(CodecKind::Roaring),
-        other => Err(format!("unknown codec {other} (use raw, bbc, wah, ewah, roaring)")),
+        other => Err(format!(
+            "unknown codec {other} (use raw, bbc, wah, ewah, roaring)"
+        )),
     }
 }
 
@@ -74,8 +78,7 @@ fn parse_predicate(s: &str, cardinality: u64) -> Result<Query, String> {
 
 /// Reads one column of values from a text/CSV file.
 fn read_column(path: &str, column: usize) -> Result<Vec<u64>, String> {
-    let contents =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let contents = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut values = Vec::new();
     for (line_no, line) in contents.lines().enumerate() {
         let line = line.trim();
@@ -134,9 +137,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let [path, predicate, ..] = args else {
-        return Err("usage: bix query <index.bix> <predicate>".into());
-    };
+    const USAGE: &str =
+        "usage: bix query <index.bix> <predicate> | bix query <index.bix> --batch <file> [--parallel N]";
+    let path = args.first().ok_or(USAGE)?;
+    if let Some(batch_file) = flag_value(args, "--batch") {
+        return cmd_query_batch(path, &batch_file, args);
+    }
+    let predicate = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
     let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
     let query = parse_predicate(predicate, index.config().cardinality)?;
     let expr = index.rewrite(&query);
@@ -148,6 +155,70 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         "{} rows matched ({} bitmap scans)",
         result.count_ones(),
         expr.scan_count()
+    );
+    Ok(())
+}
+
+/// Batch mode: evaluates one predicate per line of `batch_file`
+/// concurrently over `--parallel N` threads (default: all cores) through
+/// the lock-striped buffer pool. Prints one `line: count` summary per
+/// query and merged I/O totals on stderr.
+fn cmd_query_batch(path: &str, batch_file: &str, args: &[String]) -> Result<(), String> {
+    let threads: usize = match flag_value(args, "--parallel") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--parallel must be a positive number")?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let pool_pages: usize = match flag_value(args, "--pool-pages") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("--pool-pages must be a positive number")?,
+        None => 8192,
+    };
+
+    let index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let contents = std::fs::read_to_string(batch_file)
+        .map_err(|e| format!("cannot read {batch_file}: {e}"))?;
+    let mut queries = Vec::new();
+    for (line_no, line) in contents.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let q = parse_predicate(line, index.config().cardinality)
+            .map_err(|e| format!("{batch_file}:{}: {e}", line_no + 1))?;
+        queries.push((line.to_owned(), q));
+    }
+    if queries.is_empty() {
+        return Err(format!("{batch_file} contains no predicates"));
+    }
+
+    let predicates: Vec<Query> = queries.iter().map(|(_, q)| q.clone()).collect();
+    let pool = ShardedBufferPool::new(pool_pages, threads.max(2));
+    let executor = ParallelExecutor::new(threads);
+    let batch = executor.execute(&index, &predicates, &pool, &CostModel::default());
+
+    for ((text, _), result) in queries.iter().zip(&batch.results) {
+        println!(
+            "{text}\t{} rows\t{} scans",
+            result.bitmap.count_ones(),
+            result.scans
+        );
+    }
+    eprintln!(
+        "{} queries on {} threads in {:.3}s wall: {} scans, {} pages read, {} pool hits, {:.3}s simulated I/O",
+        batch.results.len(),
+        batch.threads,
+        batch.wall_seconds,
+        batch.total_scans(),
+        batch.io.pages_read,
+        batch.io.pool_hits,
+        batch.io_seconds,
     );
     Ok(())
 }
@@ -256,7 +327,10 @@ mod tests {
     #[test]
     fn encoding_and_codec_parsing() {
         assert_eq!(parse_encoding("I").unwrap(), EncodingScheme::Interval);
-        assert_eq!(parse_encoding("ei*").unwrap(), EncodingScheme::EqualityIntervalStar);
+        assert_eq!(
+            parse_encoding("ei*").unwrap(),
+            EncodingScheme::EqualityIntervalStar
+        );
         assert_eq!(parse_encoding("i+").unwrap(), EncodingScheme::IntervalPlus);
         assert!(parse_encoding("Z").is_err());
         assert_eq!(parse_codec("BBC").unwrap(), CodecKind::Bbc);
@@ -265,7 +339,10 @@ mod tests {
 
     #[test]
     fn flag_value_extraction() {
-        let args: Vec<String> = ["--a", "1", "--b", "2"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--a", "1", "--b", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(flag_value(&args, "--a"), Some("1".into()));
         assert_eq!(flag_value(&args, "--b"), Some("2".into()));
         assert_eq!(flag_value(&args, "--c"), None);
@@ -275,8 +352,14 @@ mod tests {
     fn read_column_parses_csv_fields() {
         let path = std::env::temp_dir().join(format!("bix_cli_test_{}.csv", std::process::id()));
         std::fs::write(&path, "1,10\n2,20\n\n3,30\n").unwrap();
-        assert_eq!(read_column(path.to_str().unwrap(), 0).unwrap(), vec![1, 2, 3]);
-        assert_eq!(read_column(path.to_str().unwrap(), 1).unwrap(), vec![10, 20, 30]);
+        assert_eq!(
+            read_column(path.to_str().unwrap(), 0).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            read_column(path.to_str().unwrap(), 1).unwrap(),
+            vec![10, 20, 30]
+        );
         assert!(read_column(path.to_str().unwrap(), 2).is_err());
         std::fs::remove_file(&path).ok();
     }
@@ -288,7 +371,10 @@ mod tests {
         let idx = dir.join(format!("bix_cli_explain_{}.bix", std::process::id()));
         std::fs::write(
             &csv,
-            (0..50u64).map(|i| i.to_string()).collect::<Vec<_>>().join("\n"),
+            (0..50u64)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("\n"),
         )
         .unwrap();
         cmd_build(&[
@@ -304,6 +390,49 @@ mod tests {
         assert!(cmd_explain(&[idx.to_string_lossy().into_owned(), "garbage".into()]).is_err());
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&idx).ok();
+    }
+
+    #[test]
+    fn batch_query_end_to_end() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("bix_cli_batch_{pid}.csv"));
+        let idx = dir.join(format!("bix_cli_batch_{pid}.bix"));
+        let batch = dir.join(format!("bix_cli_batch_{pid}.txt"));
+        let column: Vec<String> = (0..500u64).map(|i| (i % 20).to_string()).collect();
+        std::fs::write(&csv, column.join("\n")).unwrap();
+        std::fs::write(&batch, "# comment\n=3\n\n5..10\nin:1,4,19\n").unwrap();
+
+        cmd_build(&[
+            "--input".into(),
+            csv.to_string_lossy().into_owned(),
+            "--out".into(),
+            idx.to_string_lossy().into_owned(),
+        ])
+        .expect("build");
+
+        cmd_query(&[
+            idx.to_string_lossy().into_owned(),
+            "--batch".into(),
+            batch.to_string_lossy().into_owned(),
+            "--parallel".into(),
+            "3".into(),
+        ])
+        .expect("batch query");
+
+        // Bad predicate inside the batch file is reported with its line.
+        std::fs::write(&batch, "=3\ngarbage\n").unwrap();
+        let err = cmd_query(&[
+            idx.to_string_lossy().into_owned(),
+            "--batch".into(),
+            batch.to_string_lossy().into_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains(":2:"), "{err}");
+
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&idx).ok();
+        std::fs::remove_file(&batch).ok();
     }
 
     #[test]

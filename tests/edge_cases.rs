@@ -3,8 +3,7 @@
 //! results, and maximal queries — across every encoding scheme.
 
 use chan_bitmap_index::core::{
-    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
-    Query,
+    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig, Query,
 };
 
 /// Every scheme must work at the smallest legal cardinalities, where the
@@ -30,6 +29,56 @@ fn minimal_cardinalities_all_schemes() {
     }
 }
 
+/// C = 1 has no legal encoding (interval's window width `⌊C/2⌋ − 1`
+/// would underflow): the scheme boundary must reject it with a clear
+/// error instead of wrapping.
+#[test]
+#[should_panic(expected = "cardinality must be at least 2")]
+fn cardinality_one_rejected_at_build() {
+    let config = IndexConfig::one_component(1, EncodingScheme::Interval);
+    BitmapIndex::build(&[0, 0, 0], &config);
+}
+
+/// The same guard holds when driving the expression API directly.
+#[test]
+#[should_panic(expected = "cardinality must be at least 2")]
+fn cardinality_one_rejected_by_expr_eq() {
+    EncodingScheme::Interval.expr_eq(1, 0, 0);
+}
+
+#[test]
+#[should_panic(expected = "cardinality must be at least 2")]
+fn cardinality_one_rejected_by_expr_range() {
+    EncodingScheme::Interval.expr_range(1, 0, 0, 0);
+}
+
+/// C ∈ {2, 3} exercise the `m = 0` special cases of the interval family;
+/// check the full query space (equalities, ranges, negations, memberships)
+/// for every scheme, not just the range sweep above.
+#[test]
+fn tiny_cardinality_full_query_space() {
+    for c in 2u64..=3 {
+        let column: Vec<u64> = (0..120).map(|i| (i * 7 + i / 3) % c).collect();
+        for scheme in EncodingScheme::ALL_WITH_VARIANTS {
+            let mut idx = BitmapIndex::build(&column, &IndexConfig::one_component(c, scheme));
+            let mut queries: Vec<Query> = Vec::new();
+            for v in 0..c {
+                queries.push(Query::equality(v));
+                queries.push(Query::equality(v).not());
+                queries.push(Query::le(v));
+                queries.push(Query::membership(vec![v]));
+            }
+            queries.push(Query::membership((0..c).collect::<Vec<u64>>()));
+            queries.push(Query::membership(vec![]));
+            for q in queries {
+                let got = idx.evaluate(&q).count_ones();
+                let expect = column.iter().filter(|&&v| q.matches(v)).count();
+                assert_eq!(got, expect, "{scheme} C={c} {q:?}");
+            }
+        }
+    }
+}
+
 /// A column where every record holds the same value: most bitmaps are
 /// all-zero (maximally compressible), some all-one.
 #[test]
@@ -43,7 +92,10 @@ fn constant_column() {
         assert_eq!(idx.evaluate(&Query::le(6)).count_ones(), 0);
         assert_eq!(idx.evaluate(&Query::ge(7, 10)).count_ones(), 5_000);
         // All-zero bitmaps compress to almost nothing.
-        assert!(idx.space_bytes() < idx.uncompressed_bytes() / 10, "{scheme}");
+        assert!(
+            idx.space_bytes() < idx.uncompressed_bytes() / 10,
+            "{scheme}"
+        );
     }
 }
 
@@ -120,7 +172,11 @@ fn queries_on_absent_values() {
     let column: Vec<u64> = (0..1_000).map(|i| (i % 25) * 2).collect();
     for scheme in EncodingScheme::ALL_WITH_VARIANTS {
         let mut idx = BitmapIndex::build(&column, &IndexConfig::one_component(50, scheme));
-        assert_eq!(idx.evaluate(&Query::equality(7)).count_ones(), 0, "{scheme}");
+        assert_eq!(
+            idx.evaluate(&Query::equality(7)).count_ones(),
+            0,
+            "{scheme}"
+        );
         assert_eq!(
             idx.evaluate(&Query::membership(vec![1, 3, 5])).count_ones(),
             0
@@ -147,8 +203,8 @@ fn base_two_components() {
     use chan_bitmap_index::core::BaseVector;
     let column: Vec<u64> = (0..2_000).map(|i| i % 48).collect();
     for scheme in EncodingScheme::ALL_WITH_VARIANTS {
-        let config = IndexConfig::one_component(48, scheme)
-            .with_bases(BaseVector::from_msb(&[2, 12, 2]));
+        let config =
+            IndexConfig::one_component(48, scheme).with_bases(BaseVector::from_msb(&[2, 12, 2]));
         let mut idx = BitmapIndex::build(&column, &config);
         for q in [Query::equality(47), Query::range(11, 37), Query::le(23)] {
             let got = idx.evaluate(&q).count_ones();

@@ -4,8 +4,7 @@
 
 use chan_bitmap_index::analysis;
 use chan_bitmap_index::core::{
-    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
-    Query,
+    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig, Query,
 };
 use chan_bitmap_index::workload::{DatasetSpec, QuerySetSpec};
 
@@ -23,8 +22,7 @@ fn dataset(z: f64) -> chan_bitmap_index::workload::Dataset {
 fn every_scheme_every_query_set_matches_brute_force() {
     let data = dataset(1.0);
     for scheme in EncodingScheme::ALL {
-        let mut index =
-            BitmapIndex::build(&data.values, &IndexConfig::one_component(50, scheme));
+        let mut index = BitmapIndex::build(&data.values, &IndexConfig::one_component(50, scheme));
         for spec in QuerySetSpec::paper_query_sets() {
             for q in spec.generate(50, 3, 7) {
                 let query = Query::Membership(q.values());
@@ -146,8 +144,7 @@ fn compression_improves_with_skew() {
         let data = dataset(z);
         let index = BitmapIndex::build(
             &data.values,
-            &IndexConfig::one_component(50, EncodingScheme::Equality)
-                .with_codec(CodecKind::Bbc),
+            &IndexConfig::one_component(50, EncodingScheme::Equality).with_codec(CodecKind::Bbc),
         );
         assert!(
             index.space_bytes() <= previous,
@@ -201,7 +198,7 @@ fn scheduled_query_wise_reduces_io_under_tight_pool() {
 /// multi-component rewrites it holds strictly fewer bitmaps in memory
 /// than the cache-everything strategy.
 #[test]
-fn streaming_component_wise_bounds_memory()  {
+fn streaming_component_wise_bounds_memory() {
     let data = dataset(1.0);
     let mut index = BitmapIndex::build(
         &data.values,

@@ -2,9 +2,7 @@
 //! test names the section it reproduces; EXPERIMENTS.md records the
 //! quantitative side.
 
-use chan_bitmap_index::core::{
-    BitmapIndex, EncodingScheme, IndexConfig, Query,
-};
+use chan_bitmap_index::core::{BitmapIndex, EncodingScheme, IndexConfig, Query};
 use chan_bitmap_index::workload::{DatasetSpec, QuerySetSpec};
 
 fn dataset() -> chan_bitmap_index::workload::Dataset {
@@ -28,7 +26,9 @@ fn interval_is_two_scan_at_half_the_space() {
     assert_eq!(r_bitmaps, 49);
     for lo in 0..c {
         for hi in lo..c {
-            let scans = EncodingScheme::Interval.expr_range(c, lo, hi, 0).scan_count();
+            let scans = EncodingScheme::Interval
+                .expr_range(c, lo, hi, 0)
+                .scan_count();
             assert!(scans <= 2, "[{lo},{hi}]: {scans}");
         }
     }
@@ -46,7 +46,9 @@ fn er_scans_are_minimal_per_constituent() {
     let c = 50u64;
     for lo in 0..c {
         for hi in lo..c {
-            let er = EncodingScheme::EqualityRange.expr_range(c, lo, hi, 0).scan_count();
+            let er = EncodingScheme::EqualityRange
+                .expr_range(c, lo, hi, 0)
+                .scan_count();
             assert!(er <= 2, "[{lo},{hi}]: {er}");
             if lo == hi {
                 assert!(er <= 1, "equality [{lo}]: {er}");
@@ -72,9 +74,7 @@ fn er_scans_are_minimal_per_constituent() {
 #[test]
 fn interval_dag_sharing_can_beat_er_on_membership() {
     let data = dataset();
-    let query = Query::membership(
-        (16..=17).chain(22..=40).collect::<Vec<u64>>(),
-    );
+    let query = Query::membership((16..=17).chain(22..=40).collect::<Vec<u64>>());
     let i_index = BitmapIndex::build(
         &data.values,
         &IndexConfig::one_component(50, EncodingScheme::Interval),
@@ -156,7 +156,10 @@ fn ei_star_space_time_claim() {
     assert!((ei_star / ei - 2.0 / 3.0).abs() < 0.05);
     for v in 0..c {
         assert!(
-            EncodingScheme::EqualityIntervalStar.expr_eq(c, v, 0).scan_count() <= 2,
+            EncodingScheme::EqualityIntervalStar
+                .expr_eq(c, v, 0)
+                .scan_count()
+                <= 2,
             "v={v}"
         );
     }
@@ -181,7 +184,10 @@ fn compressibility_ordering_matches_figure_6b() {
     let i = ratio(EncodingScheme::Interval);
     assert!(e < r, "E ({e:.3}) should compress better than R ({r:.3})");
     assert!(r < i || (i - r).abs() < 0.05, "R ({r:.3}) vs I ({i:.3})");
-    assert!(i > 0.9, "interval bitmaps are nearly incompressible, got {i:.3}");
+    assert!(
+        i > 0.9,
+        "interval bitmaps are nearly incompressible, got {i:.3}"
+    );
 }
 
 /// Figure 1 / Figure 5: the worked example matrices, bit for bit.

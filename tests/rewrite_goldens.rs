@@ -2,9 +2,7 @@
 //! against the human-readable `explain` output so a reviewer can match
 //! them to the paper line by line.
 
-use chan_bitmap_index::core::{
-    BaseVector, BitmapIndex, EncodingScheme, IndexConfig, Query,
-};
+use chan_bitmap_index::core::{BaseVector, BitmapIndex, EncodingScheme, IndexConfig, Query};
 
 fn index(c: u64, scheme: EncodingScheme, bases_msb: &[u64]) -> BitmapIndex {
     // An empty column is fine: we only inspect the rewrite.
@@ -53,7 +51,10 @@ fn paper_common_prefix_4326_4377() {
     let idx = index(10_000, EncodingScheme::Range, &[10, 10, 10, 10]);
     let text = idx.explain(&Query::range(4326, 4377));
     // Range-encoded equality on a digit is an XOR of adjacent R bitmaps.
-    assert!(text.starts_with("(R^4[c4] ⊕ R^3[c4]) ∧ (R^3[c3] ⊕ R^2[c3])"), "{text}");
+    assert!(
+        text.starts_with("(R^4[c4] ⊕ R^3[c4]) ∧ (R^3[c3] ⊕ R^2[c3])"),
+        "{text}"
+    );
     // The suffix brackets 26..77 over the low two digits.
     assert!(text.contains("R^1[c2]"), "{text}"); // ¬(A_2A_1 <= 25) arm
 }
