@@ -162,6 +162,23 @@ impl Expr {
         }
     }
 
+    /// Rewrites leaves through a substitution map: every leaf present in
+    /// `map` is replaced by its mapped expression, all other nodes are
+    /// rebuilt through the smart constructors (so constant folding and
+    /// flattening re-apply). The degradation path uses this to route
+    /// around quarantined bitmaps.
+    pub fn substitute(&self, map: &std::collections::BTreeMap<BitmapRef, Expr>) -> Expr {
+        match self {
+            Expr::True => Expr::True,
+            Expr::False => Expr::False,
+            Expr::Leaf(r) => map.get(r).cloned().unwrap_or(Expr::Leaf(*r)),
+            Expr::Not(inner) => Expr::not(inner.substitute(map)),
+            Expr::And(children) => Expr::and(children.iter().map(|c| c.substitute(map))),
+            Expr::Or(children) => Expr::or(children.iter().map(|c| c.substitute(map))),
+            Expr::Xor(a, b) => Expr::xor(a.substitute(map), b.substitute(map)),
+        }
+    }
+
     /// Number of distinct bitmap scans a buffer-sufficient evaluation
     /// needs — the paper's time-cost unit.
     pub fn scan_count(&self) -> usize {

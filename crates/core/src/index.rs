@@ -3,7 +3,10 @@
 use crate::{best_bases, eval, BaseVector, EncodingScheme, EvalResult, EvalStrategy, Expr, Query};
 use bix_bitvec::Bitvec;
 use bix_compress::CodecKind;
-use bix_storage::{BitmapHandle, BitmapStore, BufferPool, CostModel, DiskConfig};
+use bix_storage::{
+    BitmapHandle, BitmapStore, BufferPool, CostModel, DiskConfig, FaultPlan, IoStats,
+};
+use std::collections::BTreeSet;
 
 /// Everything that determines an index's shape: the attribute cardinality,
 /// the decomposition (base vector), the encoding scheme, and the storage
@@ -89,6 +92,12 @@ pub struct BitmapIndex {
     histogram: Vec<u64>,
     rows: usize,
     uncompressed_bytes: usize,
+    /// Bitmaps whose stored bytes failed checksum verification. Queries
+    /// through [`BitmapIndex::evaluate_checked`] route around them (the
+    /// degradation path); [`BitmapIndex::repair`] tries to rebuild them.
+    /// The existence bitmap is quarantined under
+    /// [`crate::degrade::EXISTENCE_REF`].
+    quarantined: BTreeSet<crate::BitmapRef>,
 }
 
 impl BitmapIndex {
@@ -163,6 +172,7 @@ impl BitmapIndex {
             histogram,
             rows,
             uncompressed_bytes,
+            quarantined: BTreeSet::new(),
         }
     }
 
@@ -258,6 +268,7 @@ impl BitmapIndex {
             histogram,
             rows,
             uncompressed_bytes,
+            quarantined: BTreeSet::new(),
         }
     }
 
@@ -477,6 +488,7 @@ impl BitmapIndex {
             histogram,
             rows,
             uncompressed_bytes,
+            quarantined: BTreeSet::new(),
         }
     }
 
@@ -518,6 +530,56 @@ impl BitmapIndex {
         self.rows += added;
         let eb = usize::from(self.existence.is_some());
         self.uncompressed_bytes = (self.num_bitmaps() + eb) * self.rows.div_ceil(8);
+    }
+
+    // ---- durability: quarantine state and fault-drill hooks -------------
+
+    /// Bitmaps currently quarantined after failing checksum verification
+    /// (the existence bitmap appears as [`crate::degrade::EXISTENCE_REF`]).
+    pub fn quarantined(&self) -> &BTreeSet<crate::BitmapRef> {
+        &self.quarantined
+    }
+
+    /// Marks a bitmap as quarantined (degradation path).
+    pub(crate) fn quarantine(&mut self, r: crate::BitmapRef) {
+        self.quarantined.insert(r);
+    }
+
+    /// Clears a bitmap's quarantine after a successful repair.
+    pub(crate) fn unquarantine(&mut self, r: &crate::BitmapRef) {
+        self.quarantined.remove(r);
+    }
+
+    /// Snapshot of the underlying disk's I/O and recovery counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.store.stats()
+    }
+
+    /// Installs a fault plan on the underlying simulated disk — the
+    /// fault-drill entry point for recovery tests. Write-operation indexes
+    /// in the plan are global per disk; see
+    /// [`BitmapIndex::disk_writes_issued`] for the current counter.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.store.set_fault_plan(plan);
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_faults(&mut self) {
+        self.store.clear_fault_plan();
+    }
+
+    /// Number of write operations the underlying disk has issued so far
+    /// (fault plans name these indexes).
+    pub fn disk_writes_issued(&self) -> u64 {
+        self.store.writes_issued()
+    }
+
+    /// Flips bits in a stored bitmap's bytes in place — simulated at-rest
+    /// corruption for fault drills. Returns `false` if the byte offset is
+    /// out of range for the compressed stream.
+    pub fn corrupt_bitmap(&mut self, component: usize, slot: usize, byte: usize, mask: u8) -> bool {
+        let handle = self.handles[component][slot];
+        self.store.corrupt_bitmap(handle, byte, mask)
     }
 }
 

@@ -41,10 +41,12 @@
 #![warn(missing_docs)]
 
 mod decompose;
+pub mod degrade;
 pub mod encoding;
 mod eval;
 mod expr;
 mod index;
+mod journal;
 mod multi;
 mod nulls;
 mod parallel;
@@ -54,10 +56,12 @@ mod rewrite;
 mod update;
 
 pub use decompose::{best_bases, compose, decompose, BaseVector};
+pub use degrade::{Degraded, RepairReport, VerifyReport, EXISTENCE_REF};
 pub use encoding::{AlphaForm, EncodingScheme};
 pub use eval::{EvalResult, EvalStrategy};
 pub use expr::{BitmapRef, Expr};
 pub use index::{BitmapIndex, IndexConfig};
+pub use journal::{RecoveryAction, RecoveryReport};
 pub use multi::{IndexedTable, TableEvalResult, TableQuery};
 pub use parallel::{BatchResult, ParallelExecutor};
 pub use query::{Query, QueryClass};
@@ -66,4 +70,7 @@ pub use update::UpdateStats;
 
 // Re-exports so callers name one source of truth.
 pub use bix_compress::CodecKind;
-pub use bix_storage::{BufferPool, CostModel, DiskConfig, IoStats, ReadContext, ShardedBufferPool};
+pub use bix_storage::{
+    BufferPool, CorruptBitmap, CostModel, DiskConfig, DiskFault, FaultPlan, IoStats, ReadContext,
+    ReadFlip, ShardedBufferPool, READ_RETRY_LIMIT,
+};

@@ -7,7 +7,7 @@
 //! rewritten through the codec. The returned [`UpdateStats`] exposes both
 //! the §4.2 cost unit (one-bit updates) and the physical rewrite cost.
 
-use crate::{BitmapIndex, BufferPool};
+use crate::BitmapIndex;
 
 /// Costs of one batched append.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,60 +45,18 @@ impl BitmapIndex {
     /// paper's convention that index maintenance happens off the query
     /// clock).
     ///
+    /// The rewrite runs through the crash-safe journal protocol of
+    /// [`BitmapIndex::try_append`]; this convenience wrapper simply treats
+    /// a disk fault as fatal. When fault injection is active, call
+    /// [`BitmapIndex::try_append`] and [`BitmapIndex::recover`] instead.
+    ///
     /// # Panics
     ///
-    /// Panics if any value is `>= cardinality`.
+    /// Panics if any value is `>= cardinality`, or if the simulated disk
+    /// faults mid-append.
     pub fn append(&mut self, new_rows: &[u64]) -> UpdateStats {
-        let c = self.config().cardinality;
-        if let Some(&bad) = new_rows.iter().find(|&&v| v >= c) {
-            panic!("appended value {bad} outside domain 0..{c}");
-        }
-
-        let codec = self.config().codec;
-        let bases: Vec<u64> = self.config().bases.bases().to_vec();
-        let encoding = self.config().encoding;
-        let mut one_bit_updates = 0usize;
-        let mut bitmaps_rewritten = 0usize;
-        // A scratch pool for the read-modify-write pass; sized to hold any
-        // single bitmap.
-        let mut pool = BufferPool::new(4096);
-
-        let mut divisor = 1u64;
-        for (comp, &b) in bases.iter().enumerate() {
-            let digits: Vec<u64> = new_rows.iter().map(|&v| (v / divisor) % b).collect();
-            for slot in 0..encoding.num_bitmaps(b) {
-                let values = encoding.slot_values(b, slot);
-                let member: Vec<bool> = (0..b).map(|d| values.contains(&d)).collect();
-
-                let old_handle = self.handle(comp, slot);
-                let old = self.store_mut().read(old_handle, &mut pool);
-                let mut builder =
-                    bix_bitvec::BitvecBuilder::with_capacity(old.len() + new_rows.len());
-                for i in 0..old.len() {
-                    builder.push(old.get(i));
-                }
-                for &d in &digits {
-                    let bit = member[d as usize];
-                    builder.push(bit);
-                    one_bit_updates += usize::from(bit);
-                }
-                let extended = builder.finish();
-                let new_handle = self.store_mut().replace(old_handle, codec, &extended);
-                self.set_handle(comp, slot, new_handle);
-                bitmaps_rewritten += 1;
-            }
-            divisor *= b;
-        }
-
-        self.histogram_add(new_rows);
-        self.grow_rows(new_rows.len());
-        self.reset_stats();
-        UpdateStats {
-            records: new_rows.len(),
-            one_bit_updates,
-            bitmaps_rewritten,
-            stored_bytes_after: self.space_bytes(),
-        }
+        self.try_append(new_rows)
+            .expect("disk fault during append; use try_append + recover under fault injection")
     }
 }
 

@@ -88,6 +88,7 @@ mod tests {
             pool_hits: 0,
             seeks: 2,
             bytes_read: 500_000,
+            ..IoStats::new()
         };
         let t = model.io_seconds(&stats);
         assert!((t - (0.02 + 0.5)).abs() < 1e-12);
@@ -106,6 +107,7 @@ mod tests {
             pool_hits: 1000,
             seeks: 0,
             bytes_read: 0,
+            ..IoStats::new()
         };
         assert_eq!(model.io_seconds(&hits_only), 0.0);
     }

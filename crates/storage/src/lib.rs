@@ -46,18 +46,22 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod crc32;
 mod disk;
+mod fault;
 mod pool;
 mod shard_pool;
 mod stats;
 mod store;
 
 pub use cost::CostModel;
-pub use disk::{DiskConfig, DiskSim, FileId, ReadContext};
+pub use crc32::{crc32, Crc32};
+pub use disk::{DiskConfig, DiskSim, FileId, ReadContext, READ_RETRY_LIMIT};
+pub use fault::{DiskFault, FaultPlan, ReadFlip};
 pub use pool::BufferPool;
 pub use shard_pool::ShardedBufferPool;
 pub use stats::IoStats;
-pub use store::{BitmapHandle, BitmapStore};
+pub use store::{BitmapHandle, BitmapStore, CorruptBitmap};
 
 // Re-exported so downstream crates name one source of truth for codecs.
 pub use bix_compress::{CodecKind, CompressedBitmap};

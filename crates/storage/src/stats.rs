@@ -6,6 +6,11 @@
 /// the previous one (different file, or a non-adjacent page of the same
 /// file). Sequential page reads after a seek are charged transfer time
 /// only, matching rotational-disk behaviour.
+///
+/// The recovery counters (`write_faults` through `journal_rollbacks`)
+/// track the durability subsystem: injected or observed fault activity,
+/// checksum failures caught before corrupt data reached a query, and
+/// journal recovery outcomes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Pages fetched from the simulated disk (buffer-pool misses).
@@ -16,6 +21,16 @@ pub struct IoStats {
     pub seeks: usize,
     /// Total bytes transferred from disk.
     pub bytes_read: usize,
+    /// Write operations that failed or were torn by an injected fault.
+    pub write_faults: usize,
+    /// Transient read failures absorbed by the retry-with-backoff loop.
+    pub read_retries: usize,
+    /// Bitmap reads rejected because stored bytes mismatched their CRC.
+    pub checksum_failures: usize,
+    /// Journaled appends rolled forward (replayed) by recovery.
+    pub journal_replays: usize,
+    /// Journaled appends rolled back by recovery.
+    pub journal_rollbacks: usize,
 }
 
 impl IoStats {
@@ -36,6 +51,11 @@ impl IoStats {
             pool_hits: self.pool_hits - earlier.pool_hits,
             seeks: self.seeks - earlier.seeks,
             bytes_read: self.bytes_read - earlier.bytes_read,
+            write_faults: self.write_faults - earlier.write_faults,
+            read_retries: self.read_retries - earlier.read_retries,
+            checksum_failures: self.checksum_failures - earlier.checksum_failures,
+            journal_replays: self.journal_replays - earlier.journal_replays,
+            journal_rollbacks: self.journal_rollbacks - earlier.journal_rollbacks,
         }
     }
 }
@@ -48,6 +68,11 @@ impl std::ops::Add for IoStats {
             pool_hits: self.pool_hits + rhs.pool_hits,
             seeks: self.seeks + rhs.seeks,
             bytes_read: self.bytes_read + rhs.bytes_read,
+            write_faults: self.write_faults + rhs.write_faults,
+            read_retries: self.read_retries + rhs.read_retries,
+            checksum_failures: self.checksum_failures + rhs.checksum_failures,
+            journal_replays: self.journal_replays + rhs.journal_replays,
+            journal_rollbacks: self.journal_rollbacks + rhs.journal_rollbacks,
         }
     }
 }
@@ -69,18 +94,23 @@ mod tests {
             pool_hits: 5,
             seeks: 2,
             bytes_read: 80_000,
+            checksum_failures: 3,
+            ..IoStats::new()
         };
         let b = IoStats {
             pages_read: 4,
             pool_hits: 1,
             seeks: 1,
             bytes_read: 32_000,
+            checksum_failures: 1,
+            ..IoStats::new()
         };
         let d = a.since(&b);
         assert_eq!(d.pages_read, 6);
         assert_eq!(d.pool_hits, 4);
         assert_eq!(d.seeks, 1);
         assert_eq!(d.bytes_read, 48_000);
+        assert_eq!(d.checksum_failures, 2);
     }
 
     #[test]
@@ -90,11 +120,18 @@ mod tests {
             pool_hits: 2,
             seeks: 3,
             bytes_read: 4,
+            read_retries: 5,
+            journal_replays: 1,
+            journal_rollbacks: 2,
+            ..IoStats::new()
         };
         let mut sum = IoStats::new();
         sum += a;
         sum += a;
         assert_eq!(sum.pages_read, 2);
         assert_eq!(sum.page_requests(), 6);
+        assert_eq!(sum.read_retries, 10);
+        assert_eq!(sum.journal_replays, 2);
+        assert_eq!(sum.journal_rollbacks, 4);
     }
 }

@@ -1,7 +1,8 @@
 //! Bitmap-level storage facade.
 
 use crate::{
-    BufferPool, CodecKind, DiskConfig, DiskSim, FileId, IoStats, ReadContext, ShardedBufferPool,
+    crc32, BufferPool, CodecKind, DiskConfig, DiskFault, DiskSim, FaultPlan, FileId, IoStats,
+    ReadContext, ShardedBufferPool,
 };
 use bix_bitvec::Bitvec;
 use bix_compress::CompressedBitmap;
@@ -25,19 +26,59 @@ impl BitmapHandle {
     pub fn codec(&self) -> CodecKind {
         self.codec
     }
+
+    /// The underlying file id (stable; used by the append journal to
+    /// name bitmaps across a crash).
+    pub fn file(&self) -> FileId {
+        self.file
+    }
 }
+
+/// A stored bitmap whose bytes no longer match their recorded CRC-32.
+///
+/// Returned by the verified read paths instead of a silently corrupt
+/// bitmap; the query layer reacts by quarantining the bitmap and
+/// degrading per the encoding's rewrite rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptBitmap {
+    /// File whose contents failed verification.
+    pub file: FileId,
+    /// CRC recorded when the bitmap was written.
+    pub expected: u32,
+    /// CRC of the bytes actually read back.
+    pub actual: u32,
+}
+
+impl std::fmt::Display for CorruptBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bitmap file {:?} is corrupt: stored crc {:08x}, read crc {:08x}",
+            self.file, self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for CorruptBitmap {}
 
 /// Stores bitmaps as files on the simulated disk and reads them back
 /// through a buffer pool, decompressing as needed.
 ///
 /// One `BitmapStore` corresponds to one physical index directory: all the
 /// bitmaps of all the components of one bitmap index.
+///
+/// Every stored bitmap carries a CRC-32 of its compressed bytes in a
+/// side table; the read paths verify it, so corruption is detected at
+/// the first read rather than surfacing as a wrong query answer.
 pub struct BitmapStore {
     disk: DiskSim,
     /// Diagnostic names keyed by file id. A map rather than a `Vec`
     /// indexed by `FileId`: after [`BitmapStore::replace`] deletes a file,
     /// file ids and insertion order permanently diverge.
     names: HashMap<FileId, String>,
+    /// CRC-32 of each live file's compressed bytes, recorded at write
+    /// time (or taken from a persisted v2 header on load).
+    checks: HashMap<FileId, u32>,
 }
 
 impl BitmapStore {
@@ -46,6 +87,7 @@ impl BitmapStore {
         BitmapStore {
             disk: DiskSim::new(config),
             names: HashMap::new(),
+            checks: HashMap::new(),
         }
     }
 
@@ -57,24 +99,73 @@ impl BitmapStore {
     /// Compresses and stores a bitmap under a diagnostic name.
     pub fn put(&mut self, name: &str, codec: CodecKind, bv: &Bitvec) -> BitmapHandle {
         let compressed = CompressedBitmap::encode(codec, bv);
-        let file = self.disk.create_file(compressed.bytes().to_vec());
+        self.put_bytes(name, codec, bv.len(), compressed.bytes().to_vec())
+    }
+
+    fn put_bytes(
+        &mut self,
+        name: &str,
+        codec: CodecKind,
+        len_bits: usize,
+        bytes: Vec<u8>,
+    ) -> BitmapHandle {
+        let crc = crc32(&bytes);
+        let file = self.disk.create_file(bytes);
         self.names.insert(file, name.to_owned());
+        self.checks.insert(file, crc);
         BitmapHandle {
             file,
-            len_bits: bv.len(),
+            len_bits,
             codec,
         }
     }
 
     /// Reads a bitmap back, paying page I/O through the pool and CPU for
     /// decompression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored bytes fail checksum verification — corruption
+    /// is *never* silently decoded. Query paths that must survive
+    /// corruption use [`BitmapStore::read_verified`].
     pub fn read(&mut self, handle: BitmapHandle, pool: &mut BufferPool) -> Bitvec {
+        self.read_verified(handle, pool)
+            .expect("corrupt bitmap on an unguarded read path")
+    }
+
+    /// Reads a bitmap back, verifying its CRC-32 before decompression.
+    /// Page I/O is charged as usual; a mismatch charges
+    /// [`IoStats::checksum_failures`] and returns the corruption report
+    /// instead of bytes that would decode to a wrong answer.
+    pub fn read_verified(
+        &mut self,
+        handle: BitmapHandle,
+        pool: &mut BufferPool,
+    ) -> Result<Bitvec, CorruptBitmap> {
         let n_pages = self.disk.file_pages(handle.file);
         let mut bytes = Vec::with_capacity(self.disk.file_size(handle.file));
         for p in 0..n_pages {
             bytes.extend_from_slice(pool.get(&mut self.disk, handle.file, p));
         }
-        handle.codec.codec().decompress(&bytes, handle.len_bits)
+        self.verify_bytes(handle.file, &bytes)?;
+        Ok(handle.codec.codec().decompress(&bytes, handle.len_bits))
+    }
+
+    fn verify_bytes(&self, file: FileId, bytes: &[u8]) -> Result<(), CorruptBitmap> {
+        let expected = *self.checks.get(&file).expect("bitmap has no recorded crc");
+        let actual = crc32(bytes);
+        if actual != expected {
+            self.disk.charge(IoStats {
+                checksum_failures: 1,
+                ..IoStats::new()
+            });
+            return Err(CorruptBitmap {
+                file,
+                expected,
+                actual,
+            });
+        }
+        Ok(())
     }
 
     /// Reads a bitmap without exclusive access to the store, for
@@ -83,6 +174,10 @@ impl BitmapStore {
     /// decompression runs on the calling thread. Merge the context back
     /// with [`BitmapStore::charge`] when the parallel region ends so
     /// [`BitmapStore::stats`] stays the one total.
+    ///
+    /// # Panics
+    ///
+    /// Panics on checksum mismatch, like [`BitmapStore::read`].
     pub fn read_shared(
         &self,
         handle: BitmapHandle,
@@ -94,6 +189,8 @@ impl BitmapStore {
         for p in 0..n_pages {
             bytes.extend_from_slice(&pool.get(&self.disk, handle.file, p, ctx));
         }
+        self.verify_bytes(handle.file, &bytes)
+            .expect("corrupt bitmap on an unguarded shared read path");
         handle.codec.codec().decompress(&bytes, handle.len_bits)
     }
 
@@ -113,8 +210,25 @@ impl BitmapStore {
         len_bits: usize,
         compressed: &[u8],
     ) -> BitmapHandle {
+        self.put_bytes(name, codec, len_bits, compressed.to_vec())
+    }
+
+    /// Stores an already-compressed stream under a *declared* CRC rather
+    /// than one recomputed from the bytes. The tolerant load path uses
+    /// this so that a bitmap whose persisted bytes already mismatch their
+    /// persisted checksum stays detectably corrupt in the store, instead
+    /// of being laundered into "valid" by re-checksumming the bad bytes.
+    pub fn put_precompressed_with_crc(
+        &mut self,
+        name: &str,
+        codec: CodecKind,
+        len_bits: usize,
+        compressed: &[u8],
+        declared_crc: u32,
+    ) -> BitmapHandle {
         let file = self.disk.create_file(compressed.to_vec());
         self.names.insert(file, name.to_owned());
+        self.checks.insert(file, declared_crc);
         BitmapHandle {
             file,
             len_bits,
@@ -131,9 +245,154 @@ impl BitmapStore {
             .names
             .remove(&old.file)
             .expect("replacing unknown bitmap");
+        self.checks.remove(&old.file);
         self.disk.delete_file(old.file);
         self.put(&name, codec, bv)
     }
+
+    // ---- crash-safe write-path primitives (used by the append journal) --
+
+    /// Fallible file creation with *no* name or checksum registered yet —
+    /// the first half of a copy-on-write rewrite. The journal commit step
+    /// later attaches identity via [`BitmapStore::adopt_file`]; until
+    /// then the file is invisible to queries, so a crash leaves only
+    /// unreferenced garbage that recovery deletes.
+    pub fn try_create_unnamed(&mut self, bytes: Vec<u8>) -> Result<FileId, DiskFault> {
+        self.disk.try_create_file(bytes)
+    }
+
+    /// Installs identity for a file written by
+    /// [`BitmapStore::try_create_unnamed`], making it a live bitmap.
+    pub fn adopt_file(
+        &mut self,
+        file: FileId,
+        name: String,
+        codec: CodecKind,
+        len_bits: usize,
+        crc: u32,
+    ) -> BitmapHandle {
+        self.names.insert(file, name);
+        self.checks.insert(file, crc);
+        BitmapHandle {
+            file,
+            len_bits,
+            codec,
+        }
+    }
+
+    /// Retires a live bitmap's file after its copy-on-write replacement
+    /// was installed, returning its diagnostic name for the replacement
+    /// to inherit.
+    pub fn retire(&mut self, old: BitmapHandle) -> String {
+        let name = self
+            .names
+            .remove(&old.file)
+            .expect("retiring unknown bitmap");
+        self.checks.remove(&old.file);
+        self.disk.delete_file(old.file);
+        name
+    }
+
+    /// Deletes every file with id at or after `first` — rollback of a
+    /// torn copy-on-write batch. Ids stay allocated (the disk's id space
+    /// is append-only) but the space is freed and any name/checksum
+    /// entries are dropped.
+    pub fn rollback_files_from(&mut self, first: FileId) {
+        for raw in first.raw()..u32::try_from(self.disk.file_count()).expect("file count") {
+            let id = FileId::from_raw(raw);
+            self.names.remove(&id);
+            self.checks.remove(&id);
+            self.disk.delete_file(id);
+        }
+    }
+
+    /// Verifies every live bitmap against its recorded CRC without
+    /// charging query I/O (an off-clock maintenance scan, as `bix verify`
+    /// runs). Returns the failures as `(file, name, report)` triples.
+    pub fn verify_all(&self) -> Vec<(FileId, String, CorruptBitmap)> {
+        let mut bad = Vec::new();
+        for (&file, &expected) in &self.checks {
+            let actual = crc32(self.disk.file_contents(file));
+            if actual != expected {
+                bad.push((
+                    file,
+                    self.names.get(&file).cloned().unwrap_or_default(),
+                    CorruptBitmap {
+                        file,
+                        expected,
+                        actual,
+                    },
+                ));
+            }
+        }
+        bad.sort_by_key(|(file, _, _)| *file);
+        bad
+    }
+
+    /// The CRC-32 recorded for a bitmap at write time.
+    pub fn recorded_crc(&self, handle: BitmapHandle) -> u32 {
+        self.checks[&handle.file]
+    }
+
+    /// Flips bits in a stored bitmap's bytes in place — simulated at-rest
+    /// corruption, for tests and fault drills. Returns `false` if the
+    /// offset is out of range.
+    pub fn corrupt_bitmap(&mut self, handle: BitmapHandle, byte: usize, mask: u8) -> bool {
+        self.disk.corrupt_file(handle.file, byte, mask)
+    }
+
+    // ---- journal region passthroughs ------------------------------------
+
+    /// Appends one record to the disk's write-ahead journal region.
+    pub fn journal_append(&mut self, record: &[u8]) -> Result<(), DiskFault> {
+        self.disk.journal_append(record)
+    }
+
+    /// The journal region's current contents.
+    pub fn journal(&self) -> &[u8] {
+        self.disk.journal()
+    }
+
+    /// Truncates the journal region (the commit point of recovery or of a
+    /// completed append).
+    pub fn journal_truncate(&mut self) -> Result<(), DiskFault> {
+        self.disk.journal_truncate()
+    }
+
+    // ---- fault-plan passthroughs ----------------------------------------
+
+    /// Installs a fault plan on the underlying disk.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.disk.set_fault_plan(plan);
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_fault_plan(&mut self) {
+        self.disk.clear_fault_plan();
+    }
+
+    /// Number of write operations the disk has issued so far.
+    pub fn writes_issued(&self) -> u64 {
+        self.disk.writes_issued()
+    }
+
+    /// The id the next created file will receive.
+    pub fn next_file_id(&self) -> FileId {
+        self.disk.next_file_id()
+    }
+
+    /// Number of file slots ever allocated (deleted files included).
+    pub fn file_count(&self) -> usize {
+        self.disk.file_count()
+    }
+
+    /// The stored bytes of an arbitrary file id, without charging I/O —
+    /// journal recovery uses this to re-verify rewritten bitmaps.
+    pub fn raw_contents(&self, file: FileId) -> &[u8] {
+        self.disk.file_contents(file)
+    }
+
+    // ---------------------------------------------------------------------
 
     /// Stored (compressed) size of one bitmap in bytes.
     pub fn stored_size(&self, handle: BitmapHandle) -> usize {
@@ -283,5 +542,100 @@ mod tests {
         let h = store.put("z", CodecKind::Bbc, &bv);
         let mut pool = BufferPool::new(4);
         assert_eq!(store.read(h, &mut pool), bv);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_decoded() {
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let h = store.put("b", CodecKind::Raw, &bv);
+        assert!(store.corrupt_bitmap(h, 7, 0x04));
+        let mut pool = BufferPool::new(16);
+        let err = store
+            .read_verified(h, &mut pool)
+            .expect_err("bit flip must fail verification");
+        assert_eq!(err.file, h.file());
+        assert_ne!(err.expected, err.actual);
+        assert_eq!(store.stats().checksum_failures, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt bitmap")]
+    fn unguarded_read_panics_on_corruption() {
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let h = store.put("b", CodecKind::Raw, &bv);
+        store.corrupt_bitmap(h, 0, 0xFF);
+        let mut pool = BufferPool::new(16);
+        store.read(h, &mut pool);
+    }
+
+    #[test]
+    fn verify_all_reports_only_corrupt_bitmaps() {
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let good = store.put("good", CodecKind::Raw, &bv);
+        let bad = store.put("bad", CodecKind::Raw, &bv);
+        assert!(store.verify_all().is_empty());
+        store.corrupt_bitmap(bad, 3, 0x80);
+        let report = store.verify_all();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].0, bad.file());
+        assert_eq!(report[0].1, "bad");
+        let _ = good;
+    }
+
+    #[test]
+    fn declared_crc_keeps_corruption_detectable() {
+        // Simulates the tolerant load path: bytes that already mismatch
+        // their declared CRC must stay corrupt in the store.
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let compressed = CompressedBitmap::encode(CodecKind::Raw, &bv);
+        let declared = crc32(compressed.bytes());
+        let mut tampered = compressed.bytes().to_vec();
+        tampered[0] ^= 0x01;
+        let h =
+            store.put_precompressed_with_crc("b", CodecKind::Raw, bv.len(), &tampered, declared);
+        let mut pool = BufferPool::new(16);
+        assert!(store.read_verified(h, &mut pool).is_err());
+    }
+
+    #[test]
+    fn adopt_and_retire_swap_a_bitmap() {
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let old = store.put("e0", CodecKind::Raw, &bv);
+
+        let mut grown = Bitvec::zeros(bv.len() + 1);
+        for pos in bv.ones() {
+            grown.set(pos, true);
+        }
+        grown.set(bv.len(), true);
+        let compressed = CompressedBitmap::encode(CodecKind::Raw, &grown);
+        let crc = crc32(compressed.bytes());
+        let file = store
+            .try_create_unnamed(compressed.bytes().to_vec())
+            .unwrap();
+        let name = store.retire(old);
+        let new = store.adopt_file(file, name, CodecKind::Raw, grown.len(), crc);
+
+        assert_eq!(store.name(new), "e0");
+        let mut pool = BufferPool::new(16);
+        assert_eq!(store.read(new, &mut pool), grown);
+        assert_eq!(store.total_stored_bytes(), store.stored_size(new));
+    }
+
+    #[test]
+    fn rollback_deletes_trailing_files() {
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let keep = store.put("keep", CodecKind::Raw, &bv);
+        let first_new = store.next_file_id();
+        store.try_create_unnamed(vec![1, 2, 3]).unwrap();
+        store.try_create_unnamed(vec![4, 5, 6]).unwrap();
+        store.rollback_files_from(first_new);
+        assert_eq!(store.total_stored_bytes(), store.stored_size(keep));
+        assert!(store.verify_all().is_empty(), "no orphan check entries");
     }
 }

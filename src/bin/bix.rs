@@ -10,6 +10,8 @@
 //! bix info    index.bix
 //! bix advise  --cardinality C [--equality X --one-sided Y --two-sided Z]
 //!             [--budget BITMAPS]
+//! bix verify  index.bix               # checksum every bitmap; exit 2 if corrupt
+//! bix repair  index.bix [--out file]  # rebuild corrupt bitmaps from survivors
 //! ```
 //!
 //! The input file is one value per line, or CSV with `--column` selecting
@@ -18,8 +20,8 @@
 
 use chan_bitmap_index::analysis::{advise, Workload};
 use chan_bitmap_index::core::{
-    BitmapIndex, CodecKind, CostModel, EncodingScheme, IndexConfig, ParallelExecutor, Query,
-    ShardedBufferPool,
+    BitmapIndex, BitmapRef, CodecKind, CostModel, EncodingScheme, IndexConfig, ParallelExecutor,
+    Query, ShardedBufferPool, EXISTENCE_REF,
 };
 use std::process::ExitCode;
 
@@ -31,7 +33,9 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
-        _ => Err("usage: bix <build|query|info|explain|advise> ...".to_string()),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("repair") => cmd_repair(&args[1..]),
+        _ => Err("usage: bix <build|query|info|explain|advise|verify|repair> ...".to_string()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -306,6 +310,82 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Human-readable name for a bitmap slot in verify/repair output.
+fn describe_ref(r: BitmapRef) -> String {
+    if r == EXISTENCE_REF {
+        "existence bitmap".to_string()
+    } else {
+        format!("component {} slot {}", r.component, r.slot)
+    }
+}
+
+/// Opens an index file with the corruption-tolerant loader, so damaged
+/// bitmaps are quarantined instead of aborting the load.
+fn load_tolerant_path(path: &str) -> Result<BitmapIndex, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    BitmapIndex::load_tolerant(std::io::BufReader::new(file))
+        .map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let [path, ..] = args else {
+        return Err("usage: bix verify <index.bix>".into());
+    };
+    let mut index = load_tolerant_path(path)?;
+    let report = index.verify();
+    for (r, name) in &report.corrupt {
+        eprintln!("corrupt: {} [{name}]", describe_ref(*r));
+    }
+    if report.is_clean() {
+        println!(
+            "{path}: ok ({} bitmaps, {} rows, {} bytes)",
+            index.num_bitmaps(),
+            index.rows(),
+            index.space_bytes(),
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: {} of {} bitmaps failed checksum verification",
+            report.corrupt.len(),
+            index.num_bitmaps(),
+        ))
+    }
+}
+
+fn cmd_repair(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: bix repair <index.bix> [--out <file>]")?;
+    let out = flag_value(args, "--out").unwrap_or_else(|| path.clone());
+    let mut index = load_tolerant_path(path)?;
+    let report = index.repair();
+    for r in &report.repaired {
+        eprintln!("repaired: {}", describe_ref(*r));
+    }
+    for r in &report.unrepairable {
+        eprintln!("unrepairable: {}", describe_ref(*r));
+    }
+    if !report.unrepairable.is_empty() {
+        // Never write a file that still contains corrupt bitmaps: saving
+        // would re-checksum nothing, but it would overwrite the caller's
+        // only copy with one we know is damaged.
+        return Err(format!(
+            "{path}: {} bitmap(s) could not be reconstructed; not saving",
+            report.unrepairable.len(),
+        ));
+    }
+    index
+        .save(&out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "{path}: {} bitmap(s) rebuilt, index saved to {out}",
+        report.repaired.len(),
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,5 +542,98 @@ mod tests {
         cmd_info(&[idx.to_string_lossy().into_owned()]).expect("info");
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&idx).ok();
+    }
+
+    /// Builds a 200-row index file for the verify/repair tests and returns
+    /// its path. 200 rows = 25 bytes per raw bitmap with no padding bits,
+    /// so flipping any stored byte is a real corruption.
+    fn build_index_file(tag: &str, encoding: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("bix_cli_{tag}_{pid}.csv"));
+        let idx = dir.join(format!("bix_cli_{tag}_{pid}.bix"));
+        let column: Vec<String> = (0..200u64).map(|i| (i % 10).to_string()).collect();
+        std::fs::write(&csv, column.join("\n")).unwrap();
+        cmd_build(&[
+            "--input".into(),
+            csv.to_string_lossy().into_owned(),
+            "--out".into(),
+            idx.to_string_lossy().into_owned(),
+            "--encoding".into(),
+            encoding.into(),
+        ])
+        .expect("build");
+        std::fs::remove_file(&csv).ok();
+        idx
+    }
+
+    /// Flips the final byte of the file, which lives inside the last
+    /// stored bitmap's payload.
+    fn corrupt_last_byte(path: &std::path::Path) {
+        let mut bytes = std::fs::read(path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xff;
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_and_repair_fixes_file_corruption() {
+        let idx = build_index_file("repairable", "E");
+        cmd_verify(&[idx.to_string_lossy().into_owned()]).expect("clean file verifies");
+
+        corrupt_last_byte(&idx);
+        let err = cmd_verify(&[idx.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+
+        // Equality encoding: a single lost slot is the complement of the
+        // surviving slots, so repair rebuilds it and rewrites the file.
+        cmd_repair(&[idx.to_string_lossy().into_owned()]).expect("repair");
+        cmd_verify(&[idx.to_string_lossy().into_owned()]).expect("repaired file verifies");
+
+        // The repaired index answers queries over the rebuilt slot exactly.
+        let mut loaded = BitmapIndex::load(&idx).expect("strict load after repair");
+        assert_eq!(loaded.evaluate(&Query::equality(9)).count_ones(), 20);
+        std::fs::remove_file(&idx).ok();
+    }
+
+    #[test]
+    fn repair_refuses_to_save_an_unrepairable_index() {
+        // Range encoding carries no redundancy: losing one slot is
+        // unrecoverable, so repair must fail and leave the file untouched.
+        let idx = build_index_file("unrepairable", "R");
+        corrupt_last_byte(&idx);
+        let before = std::fs::read(&idx).unwrap();
+
+        let err = cmd_repair(&[idx.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(err.contains("not saving"), "{err}");
+        assert_eq!(
+            std::fs::read(&idx).unwrap(),
+            before,
+            "failed repair must not rewrite the index file"
+        );
+        assert!(cmd_verify(&[idx.to_string_lossy().into_owned()]).is_err());
+        std::fs::remove_file(&idx).ok();
+    }
+
+    #[test]
+    fn repair_writes_to_a_separate_output_when_asked() {
+        let idx = build_index_file("repair_out", "E");
+        corrupt_last_byte(&idx);
+        let out = idx.with_extension("repaired.bix");
+        let damaged = std::fs::read(&idx).unwrap();
+
+        cmd_repair(&[
+            idx.to_string_lossy().into_owned(),
+            "--out".into(),
+            out.to_string_lossy().into_owned(),
+        ])
+        .expect("repair with --out");
+        assert_eq!(
+            std::fs::read(&idx).unwrap(),
+            damaged,
+            "--out must leave the damaged input alone"
+        );
+        cmd_verify(&[out.to_string_lossy().into_owned()]).expect("repaired copy verifies");
+        std::fs::remove_file(&idx).ok();
+        std::fs::remove_file(&out).ok();
     }
 }
