@@ -9,8 +9,11 @@
 //!
 //! Besides the Criterion timings, the bench writes a machine-readable
 //! summary — median batch times and speedups per thread count — to
-//! `results/eval_parallel.json` at the workspace root.
+//! `results/eval_parallel.json` at the workspace root, and the committed
+//! perf baseline `BENCH_eval.json` (same numbers plus a traced per-phase
+//! breakdown) in the repo root for future PRs to diff against.
 
+use bix_bench::results;
 use bix_core::{
     BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
     ParallelExecutor, Query, ShardedBufferPool,
@@ -119,13 +122,32 @@ fn write_results_json(index: &mut BitmapIndex, queries: &[Query]) {
             "    {{\"threads\": {t}, \"batch_seconds\": {par:.6}, \"speedup\": {speedup:.3}}}"
         ));
     }
+
+    // One traced batch run: where inside the executor the time goes
+    // (query span per batch entry, expression build, DAG fold, per-node
+    // run + queue-wait), keyed by span phase.
+    let traced = {
+        let shared: &BitmapIndex = index;
+        let pool = ShardedBufferPool::new(POOL_PAGES, 4);
+        results::trace_run(|tracer| {
+            black_box(ParallelExecutor::new(4).execute_traced(
+                shared,
+                queries,
+                &pool,
+                &CostModel::default(),
+                tracer,
+                None,
+            ));
+        })
+    };
+
     let json = format!(
-        "{{\n  \"benchmark\": \"eval_parallel\",\n  \"rows\": {ROWS},\n  \"cardinality\": {C},\n  \"zipf_z\": 1.0,\n  \"queries\": {QUERIES},\n  \"encoding\": \"I\",\n  \"codec\": \"bbc\",\n  \"pool_pages\": {POOL_PAGES},\n  \"host_cores\": {cores},\n  \"sequential_seconds\": {seq:.6},\n  \"parallel\": [\n{}\n  ]\n}}\n",
-        lines.join(",\n")
+        "{{\n  \"benchmark\": \"eval_parallel\",\n  \"rows\": {ROWS},\n  \"cardinality\": {C},\n  \"zipf_z\": 1.0,\n  \"queries\": {QUERIES},\n  \"encoding\": \"I\",\n  \"codec\": \"bbc\",\n  \"pool_pages\": {POOL_PAGES},\n  \"host_cores\": {cores},\n  \"sequential_seconds\": {seq:.6},\n  \"parallel\": [\n{}\n  ],\n  \"traced_phases\": {}\n}}\n",
+        lines.join(",\n"),
+        results::phases_json(&traced),
     );
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    std::fs::write(dir.join("eval_parallel.json"), json).expect("write results json");
+    results::write_validated(&results::results_dir().join("eval_parallel.json"), &json);
+    results::write_validated(&results::repo_root().join("BENCH_eval.json"), &json);
 }
 
 fn bench_parallel(c: &mut Criterion) {

@@ -6,13 +6,19 @@
 //!   range-form rewrites cost per encoding (reported as custom metrics via
 //!   bench names — the scan counts are asserted in tests; here we measure
 //!   wall time of the full evaluation).
+//!
+//! Besides the Criterion timings, the bench writes median wall times and
+//! a traced per-phase breakdown per (scheme, strategy) configuration to
+//! `results/eval_strategy.json` at the workspace root.
 
+use bix_bench::results;
 use bix_core::{
     BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig, Query,
 };
 use bix_workload::{DatasetSpec, QuerySetSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 const ROWS: usize = 100_000;
 const C: u64 = 50;
@@ -28,6 +34,21 @@ fn build(scheme: EncodingScheme) -> BitmapIndex {
     BitmapIndex::build(&data.values, &IndexConfig::one_component(C, scheme))
 }
 
+const CONFIGS: [(&str, EvalStrategy, usize); 4] = [
+    (
+        "component_wise_big_pool",
+        EvalStrategy::ComponentWise,
+        2048usize,
+    ),
+    (
+        "component_streaming",
+        EvalStrategy::ComponentStreaming,
+        2048,
+    ),
+    ("query_wise_big_pool", EvalStrategy::QueryWise, 2048),
+    ("query_wise_tiny_pool", EvalStrategy::QueryWise, 2),
+];
+
 fn bench_strategies(c: &mut Criterion) {
     // A 5-constituent membership query: the case where the strategies
     // diverge (shared bitmaps across constituents).
@@ -37,20 +58,7 @@ fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("eval_strategy");
     for scheme in [EncodingScheme::Interval, EncodingScheme::Equality] {
         let mut index = build(scheme);
-        for (label, strategy, pool_pages) in [
-            (
-                "component_wise_big_pool",
-                EvalStrategy::ComponentWise,
-                2048usize,
-            ),
-            (
-                "component_streaming",
-                EvalStrategy::ComponentStreaming,
-                2048,
-            ),
-            ("query_wise_big_pool", EvalStrategy::QueryWise, 2048),
-            ("query_wise_tiny_pool", EvalStrategy::QueryWise, 2),
-        ] {
+        for (label, strategy, pool_pages) in CONFIGS {
             group.bench_function(BenchmarkId::new(scheme.symbol(), label), |bench| {
                 bench.iter(|| {
                     let mut pool = BufferPool::new(pool_pages);
@@ -66,6 +74,51 @@ fn bench_strategies(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    write_results_json(&query, &cost);
+}
+
+/// Medians plus a traced per-phase breakdown for every configuration,
+/// written to `results/eval_strategy.json`.
+fn write_results_json(query: &Query, cost: &CostModel) {
+    let reps = 9;
+    let mut rows = Vec::new();
+    for scheme in [EncodingScheme::Interval, EncodingScheme::Equality] {
+        let mut index = build(scheme);
+        for (label, strategy, pool_pages) in CONFIGS {
+            let mut times: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let mut pool = BufferPool::new(pool_pages);
+                    index.reset_stats();
+                    let start = Instant::now();
+                    black_box(index.evaluate_detailed(query, &mut pool, strategy, cost));
+                    start.elapsed().as_secs_f64()
+                })
+                .collect();
+            times.sort_by(|a, b| a.total_cmp(b));
+            let median = times[times.len() / 2];
+
+            let records = results::trace_run(|tracer| {
+                let mut pool = BufferPool::new(pool_pages);
+                index.reset_stats();
+                black_box(
+                    index.evaluate_detailed_traced(query, &mut pool, strategy, cost, tracer, None),
+                );
+            });
+            rows.push(format!(
+                "    {{\"scheme\": \"{}\", \"strategy\": \"{label}\", \"pool_pages\": \
+                 {pool_pages}, \"median_seconds\": {median:.9}, \"phases\": {}}}",
+                scheme.symbol(),
+                results::phases_json(&records),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"eval_strategy\",\n  \"rows\": {ROWS},\n  \"cardinality\": {C},\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    results::write_validated(&results::results_dir().join("eval_strategy.json"), &json);
 }
 
 fn bench_decomposition_tradeoff(c: &mut Criterion) {

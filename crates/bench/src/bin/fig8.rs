@@ -9,7 +9,7 @@
 //! equality-rich query sets (`N_equ = N_int`), where equality encoding
 //! wins.
 
-use bix_bench::{experiment, ExperimentParams, Table};
+use bix_bench::{experiment, results, ExperimentParams, Table};
 use bix_core::{CodecKind, EncodingScheme};
 use bix_workload::QuerySetSpec;
 
@@ -33,6 +33,7 @@ fn main() {
         "avg_scans",
     ]);
 
+    let mut json_rows = Vec::new();
     let component_counts = experiment::valid_component_counts(c, 3);
     for spec in QuerySetSpec::paper_query_sets() {
         let queries = spec.generate(c, 10, params.seed);
@@ -51,9 +52,31 @@ fn main() {
                         format!("{:.3}", timing.avg_seconds * 1e3),
                         format!("{:.1}", timing.avg_scans),
                     ]);
+                    json_rows.push(format!(
+                        "    {{\"n_int\": {}, \"n_equ\": {}, \"scheme\": \"{}\", \"n\": {n}, \
+                         \"codec\": \"{}\", \"space_bytes\": {}, \"avg_io_seconds\": {:.6}, \
+                         \"avg_cpu_seconds\": {:.6}, \"avg_scans\": {:.1}}}",
+                        spec.n_int,
+                        spec.n_equ,
+                        scheme.symbol(),
+                        codec.name(),
+                        m.stored_bytes,
+                        timing.avg_io_seconds,
+                        timing.avg_cpu_seconds,
+                        timing.avg_scans,
+                    ));
                 }
             }
         }
     }
     table.print(params.csv);
+
+    let json = format!(
+        "{{\n  \"figure\": \"fig8\",\n  \"rows\": {},\n  \"cardinality\": {c},\n  \
+         \"zipf_z\": 1.0,\n  \"seed\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        params.rows,
+        params.seed,
+        json_rows.join(",\n")
+    );
+    results::write_validated(&results::results_dir().join("fig8.json"), &json);
 }

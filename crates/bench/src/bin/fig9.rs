@@ -7,7 +7,7 @@
 //! the overall winner there; compressed indexes win at medium-to-high
 //! skew.
 
-use bix_bench::{experiment, ExperimentParams, Table};
+use bix_bench::{experiment, results, ExperimentParams, Table};
 use bix_core::{CodecKind, EncodingScheme};
 use bix_workload::QuerySetSpec;
 
@@ -35,6 +35,7 @@ fn main() {
         .flat_map(|spec| spec.generate(c, 10, params.seed))
         .collect();
 
+    let mut json_rows = Vec::new();
     let component_counts = experiment::valid_component_counts(c, 3);
     for z in [0.0f64, 1.0, 2.0, 3.0] {
         let data = params.dataset(z);
@@ -52,9 +53,29 @@ fn main() {
                         format!("{:.3}", timing.avg_seconds * 1e3),
                         format!("{:.1}", timing.avg_scans),
                     ]);
+                    json_rows.push(format!(
+                        "    {{\"zipf_z\": {z}, \"scheme\": \"{}\", \"n\": {n}, \
+                         \"codec\": \"{}\", \"space_bytes\": {}, \"avg_io_seconds\": {:.6}, \
+                         \"avg_cpu_seconds\": {:.6}, \"avg_scans\": {:.1}}}",
+                        scheme.symbol(),
+                        codec.name(),
+                        m.stored_bytes,
+                        timing.avg_io_seconds,
+                        timing.avg_cpu_seconds,
+                        timing.avg_scans,
+                    ));
                 }
             }
         }
     }
     table.print(params.csv);
+
+    let json = format!(
+        "{{\n  \"figure\": \"fig9\",\n  \"rows\": {},\n  \"cardinality\": {c},\n  \
+         \"seed\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        params.rows,
+        params.seed,
+        json_rows.join(",\n")
+    );
+    results::write_validated(&results::results_dir().join("fig9.json"), &json);
 }

@@ -145,6 +145,10 @@ pub fn build_index(
 pub struct QueryTiming {
     /// Mean simulated total processing time (I/O + CPU), seconds.
     pub avg_seconds: f64,
+    /// Mean simulated disk time (seek + transfer), seconds.
+    pub avg_io_seconds: f64,
+    /// Mean measured CPU time scaled to era hardware, seconds.
+    pub avg_cpu_seconds: f64,
     /// Mean distinct bitmaps scanned.
     pub avg_scans: f64,
     /// Mean pages read from the simulated disk.
@@ -166,7 +170,8 @@ pub fn run_query_set(
     };
     let page_size = index.config().disk.page_size;
     let mut pool = BufferPool::new((pool_bytes / page_size).max(1));
-    let mut total_seconds = 0.0;
+    let mut total_io = 0.0;
+    let mut total_cpu = 0.0;
     let mut total_scans = 0usize;
     let mut total_pages = 0usize;
     for q in queries {
@@ -174,13 +179,16 @@ pub fn run_query_set(
         index.reset_stats();
         let query = Query::Membership(q.values());
         let r = index.evaluate_detailed(&query, &mut pool, EvalStrategy::ComponentWise, &cost);
-        total_seconds += r.total_seconds();
+        total_io += r.io_seconds;
+        total_cpu += r.cpu_seconds;
         total_scans += r.scans;
         total_pages += r.io.pages_read;
     }
     let n = queries.len().max(1) as f64;
     QueryTiming {
-        avg_seconds: total_seconds / n,
+        avg_seconds: (total_io + total_cpu) / n,
+        avg_io_seconds: total_io / n,
+        avg_cpu_seconds: total_cpu / n,
         avg_scans: total_scans as f64 / n,
         avg_pages: total_pages as f64 / n,
     }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod results;
 pub mod table;
 
 pub use experiment::{ExperimentParams, IndexMeasurement, QueryTiming};

@@ -15,6 +15,7 @@
 use crate::{BitmapRef, Expr};
 use bix_bitvec::Bitvec;
 use bix_storage::{BitmapHandle, BitmapStore, BufferPool, CostModel, IoStats};
+use bix_telemetry::{SpanId, Tracer};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -125,8 +126,39 @@ pub fn evaluate(
     strategy: EvalStrategy,
     cost: &CostModel,
 ) -> EvalResult {
+    evaluate_traced(
+        constituents,
+        rows,
+        handles,
+        store,
+        pool,
+        strategy,
+        cost,
+        &Tracer::disabled(),
+        None,
+    )
+}
+
+/// [`evaluate`] with span tracing: opens an `eval` span under `parent`
+/// with `fetch` / `fold` / `stream` / `constituent` children and
+/// per-bitmap `read` spans. A disabled tracer makes this identical to
+/// [`evaluate`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_traced(
+    constituents: &[Expr],
+    rows: usize,
+    handles: &dyn Fn(BitmapRef) -> BitmapHandle,
+    store: &mut BitmapStore,
+    pool: &mut BufferPool,
+    strategy: EvalStrategy,
+    cost: &CostModel,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
+) -> EvalResult {
     let before_io = store.stats();
     let started = Instant::now();
+    let eval_span = tracer.span("eval", parent);
+    let eval_id = eval_span.id();
 
     let merged = Expr::or(constituents.iter().cloned());
     let distinct = merged.scan_count();
@@ -135,23 +167,48 @@ pub fn evaluate(
 
     let bitmap = match strategy {
         EvalStrategy::ComponentStreaming => {
+            let stream = tracer.span("stream", eval_id);
             let (result, peak, n_scans) = evaluate_streaming(&merged, rows, handles, store, pool);
             scans = n_scans;
             peak_resident = peak;
+            stream.attr("scans", n_scans);
+            stream.attr("peak_resident", peak);
             result
         }
         EvalStrategy::ComponentWise => {
             // Fetch every distinct bitmap once, in component order, then
             // fold the whole expression from the cache.
+            let fetch_span = tracer.span("fetch", eval_id);
+            let fetch_id = fetch_span.id();
             let mut cache: BTreeMap<BitmapRef, Bitvec> = BTreeMap::new();
             for r in merged.leaves() {
+                let read_span = if tracer.is_enabled() {
+                    let before = store.stats();
+                    Some((
+                        tracer.span(&format!("read c{}:{}", r.component, r.slot), fetch_id),
+                        before,
+                    ))
+                } else {
+                    None
+                };
                 let bv = store.read(handles(r), pool);
+                if let Some((span, before)) = read_span {
+                    let d = store.stats().since(&before);
+                    span.attr("pages", d.pages_read);
+                    span.attr("pool_hits", d.pool_hits);
+                    span.attr("bytes", d.bytes_read);
+                }
                 scans += 1;
                 cache.insert(r, bv);
             }
+            fetch_span.attr("scans", scans);
+            fetch_span.finish();
             peak_resident = cache.len() + 1;
+            let fold_span = tracer.span("fold", eval_id);
             let mut fetch = |r: BitmapRef| cache[&r].clone();
-            merged.evaluate(rows, &mut fetch)
+            let result = merged.evaluate(rows, &mut fetch);
+            fold_span.finish();
+            result
         }
         EvalStrategy::QueryWise | EvalStrategy::QueryWiseScheduled => {
             // One constituent at a time; each constituent re-fetches its
@@ -162,12 +219,22 @@ pub fn evaluate(
             };
             let mut acc = Bitvec::zeros(rows);
             let mut any = false;
-            for expr in order.iter().map(|&i| &constituents[i]) {
+            for &ci in &order {
+                let expr = &constituents[ci];
+                let c_span = if tracer.is_enabled() {
+                    Some(tracer.span(&format!("constituent {ci}"), eval_id))
+                } else {
+                    None
+                };
+                let before_scans = scans;
                 let mut fetch = |r: BitmapRef| {
                     scans += 1;
                     store.read(handles(r), pool)
                 };
                 let result = expr.evaluate(rows, &mut fetch);
+                if let Some(span) = c_span {
+                    span.attr("scans", scans - before_scans);
+                }
                 if any {
                     acc.or_assign(&result);
                 } else {
@@ -185,6 +252,9 @@ pub fn evaluate(
 
     let cpu_seconds = cost.cpu_seconds(started.elapsed().as_secs_f64());
     let io = store.stats().since(&before_io);
+    eval_span.attr("scans", scans);
+    eval_span.attr("distinct", distinct);
+    eval_span.attr("pages", io.pages_read);
     EvalResult {
         bitmap,
         scans,

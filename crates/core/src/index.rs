@@ -6,7 +6,21 @@ use bix_compress::CodecKind;
 use bix_storage::{
     BitmapHandle, BitmapStore, BufferPool, CostModel, DiskConfig, FaultPlan, IoStats,
 };
+use bix_telemetry::{SpanId, Tracer};
 use std::collections::BTreeSet;
+
+/// Predicted evaluation cost of a rewritten expression, from stored
+/// sizes and the cost model alone — no I/O is performed. Matches the
+/// trace/explain terminology: one *scan* per distinct bitmap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPrediction {
+    /// Distinct bitmaps the expression reads (one scan each, cold pool).
+    pub scans: usize,
+    /// Total stored bytes of those bitmaps.
+    pub bytes: usize,
+    /// Predicted I/O seconds: one seek per scan plus transfer time.
+    pub seconds: f64,
+}
 
 /// Everything that determines an index's shape: the attribute cardinality,
 /// the decomposition (base vector), the encoding scheme, and the storage
@@ -346,6 +360,95 @@ impl BitmapIndex {
         }
     }
 
+    /// [`BitmapIndex::rewrite_constituents`] with span tracing: opens a
+    /// `rewrite` span under `parent` with one `constituent` child per
+    /// interval, each annotated with its bounds and carrying a
+    /// `decompose` child recording the endpoint digits under this
+    /// index's base vector. Produces exactly the same expressions.
+    pub fn rewrite_constituents_traced(
+        &self,
+        q: &Query,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> Vec<Expr> {
+        if !tracer.is_enabled() {
+            return self.rewrite_constituents(q);
+        }
+        let fmt_digits = |digits: &[u64]| {
+            digits
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let rewrite_span = tracer.span("rewrite", parent);
+        let rid = rewrite_span.id();
+        let c = self.config.cardinality;
+        match q {
+            Query::Membership(values) => crate::minimal_intervals(values)
+                .into_iter()
+                .enumerate()
+                .map(|(i, (lo, hi))| {
+                    let span = tracer.span(&format!("constituent {i}"), rid);
+                    span.attr("interval", format!("[{lo},{hi}]"));
+                    {
+                        let d = tracer.span("decompose", span.id());
+                        d.attr("lo_digits", fmt_digits(&self.config.bases.decompose(lo)));
+                        d.attr("hi_digits", fmt_digits(&self.config.bases.decompose(hi)));
+                    }
+                    let e = crate::rewrite_interval(
+                        lo,
+                        hi,
+                        c,
+                        &self.config.bases,
+                        self.config.encoding,
+                    );
+                    span.attr("scans", e.scan_count());
+                    e
+                })
+                .collect(),
+            other => {
+                let span = tracer.span("constituent 0", rid);
+                if let Query::Interval { lo, hi } = other {
+                    span.attr("interval", format!("[{lo},{hi}]"));
+                    let d = tracer.span("decompose", span.id());
+                    d.attr("lo_digits", fmt_digits(&self.config.bases.decompose(*lo)));
+                    d.attr(
+                        "hi_digits",
+                        fmt_digits(&self.config.bases.decompose((*hi).min(c - 1))),
+                    );
+                }
+                let e = crate::rewrite_query(other, c, &self.config.bases, self.config.encoding);
+                span.attr("scans", e.scan_count());
+                vec![e]
+            }
+        }
+    }
+
+    /// Predicted evaluation cost of one rewritten expression under
+    /// `cost`, assuming a cold buffer pool: each distinct bitmap is read
+    /// once (one seek) at its stored size. This is what `bix explain`
+    /// prints next to each constituent so explain output and trace
+    /// output agree on terminology.
+    pub fn predict_cost(&self, expr: &Expr, cost: &CostModel) -> CostPrediction {
+        let leaves = expr.leaves();
+        let scans = leaves.len();
+        let bytes: usize = leaves
+            .iter()
+            .map(|r| self.store.stored_size(self.handles[r.component][r.slot]))
+            .sum();
+        let io = IoStats {
+            seeks: scans,
+            bytes_read: bytes,
+            ..IoStats::new()
+        };
+        CostPrediction {
+            scans,
+            bytes,
+            seconds: cost.io_seconds(&io),
+        }
+    }
+
     /// Evaluates a query with a generous fresh buffer pool and the
     /// component-wise strategy, returning just the matching records.
     pub fn evaluate(&mut self, q: &Query) -> Bitvec {
@@ -368,11 +471,29 @@ impl BitmapIndex {
         strategy: EvalStrategy,
         cost: &CostModel,
     ) -> EvalResult {
+        self.evaluate_detailed_traced(q, pool, strategy, cost, &Tracer::disabled(), None)
+    }
+
+    /// [`BitmapIndex::evaluate_detailed`] with span tracing: records the
+    /// `rewrite` (with per-constituent `decompose` children), `eval`
+    /// (with `fetch`/`fold` or per-constituent children and per-bitmap
+    /// `read` spans), and — for nullable indexes — `existence` phases
+    /// under `parent`. A disabled tracer makes this identical to
+    /// [`BitmapIndex::evaluate_detailed`].
+    pub fn evaluate_detailed_traced(
+        &mut self,
+        q: &Query,
+        pool: &mut BufferPool,
+        strategy: EvalStrategy,
+        cost: &CostModel,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> EvalResult {
         let before_io = self.store.stats();
-        let constituents = self.rewrite_constituents(q);
+        let constituents = self.rewrite_constituents_traced(q, tracer, parent);
         let handles = &self.handles;
         let lookup = move |r: crate::BitmapRef| handles[r.component][r.slot];
-        let mut result = eval::evaluate(
+        let mut result = eval::evaluate_traced(
             &constituents,
             self.rows,
             &lookup,
@@ -380,12 +501,16 @@ impl BitmapIndex {
             pool,
             strategy,
             cost,
+            tracer,
+            parent,
         );
         // Nullable columns: intersect with the existence bitmap so that
         // NULL rows never match, even through complemented expressions.
         if let Some(eb) = self.existence {
+            let span = tracer.span("existence", parent);
             let existence = self.store.read(eb, pool);
             result.bitmap.and_assign(&existence);
+            span.finish();
             result.scans += 1;
             result.distinct_bitmaps += 1;
             result.io = self.store.stats().since(&before_io);

@@ -58,9 +58,9 @@ mod update;
 pub use decompose::{best_bases, compose, decompose, BaseVector};
 pub use degrade::{Degraded, RepairReport, VerifyReport, EXISTENCE_REF};
 pub use encoding::{AlphaForm, EncodingScheme};
-pub use eval::{EvalResult, EvalStrategy};
+pub use eval::{evaluate, evaluate_traced, EvalResult, EvalStrategy};
 pub use expr::{BitmapRef, Expr};
-pub use index::{BitmapIndex, IndexConfig};
+pub use index::{BitmapIndex, CostPrediction, IndexConfig};
 pub use journal::{RecoveryAction, RecoveryReport};
 pub use multi::{IndexedTable, TableEvalResult, TableQuery};
 pub use parallel::{BatchResult, ParallelExecutor};
@@ -71,6 +71,7 @@ pub use update::UpdateStats;
 // Re-exports so callers name one source of truth.
 pub use bix_compress::CodecKind;
 pub use bix_storage::{
-    BufferPool, CorruptBitmap, CostModel, DiskConfig, DiskFault, FaultPlan, IoStats, ReadContext,
-    ReadFlip, ShardedBufferPool, READ_RETRY_LIMIT,
+    BufferPool, CorruptBitmap, CostModel, DiskConfig, DiskFault, FaultPlan, IoMetrics, IoStats,
+    ReadContext, ReadFlip, ShardedBufferPool, READ_RETRY_LIMIT,
 };
+pub use bix_telemetry::{MetricsRegistry, MetricsSnapshot, SpanId, SpanRecord, Tracer};

@@ -27,6 +27,7 @@ use crate::eval::{Dag, NodeOp};
 use crate::{BitmapIndex, EvalResult, Expr, Query};
 use bix_bitvec::Bitvec;
 use bix_storage::{BitmapHandle, CostModel, IoStats, ReadContext, ShardedBufferPool};
+use bix_telemetry::{SpanId, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -95,11 +96,34 @@ impl ParallelExecutor {
         pool: &ShardedBufferPool,
         cost: &CostModel,
     ) -> BatchResult {
+        self.execute_traced(index, queries, pool, cost, &Tracer::disabled(), None)
+    }
+
+    /// [`ParallelExecutor::execute`] with span tracing: records a `batch`
+    /// span under `parent` with one `query` child per batch entry (opened
+    /// on whichever worker thread picks the query up) and, inside each
+    /// query, the rewrite / build / fold phases with per-DAG-node spans
+    /// carrying queue-wait and run time. A disabled tracer makes this
+    /// identical to [`ParallelExecutor::execute`].
+    pub fn execute_traced(
+        &self,
+        index: &BitmapIndex,
+        queries: &[Query],
+        pool: &ShardedBufferPool,
+        cost: &CostModel,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> BatchResult {
         let started = Instant::now();
         let outer = self.threads.min(queries.len()).max(1);
         let inner = self
             .inner_threads
             .unwrap_or_else(|| (self.threads / outer).max(1));
+
+        let batch_span = tracer.span("batch", parent);
+        batch_span.attr("queries", queries.len());
+        batch_span.attr("threads", self.threads);
+        let batch_id = batch_span.id();
 
         let slots: Vec<Mutex<Option<EvalResult>>> =
             queries.iter().map(|_| Mutex::new(None)).collect();
@@ -111,7 +135,17 @@ impl ParallelExecutor {
                 scope.spawn(move || loop {
                     let qi = next.fetch_add(1, Ordering::Relaxed);
                     let Some(q) = queries.get(qi) else { break };
-                    let result = evaluate_one(index, q, pool, inner, cost);
+                    let q_span = if tracer.is_enabled() {
+                        Some(tracer.span(&format!("query {qi}"), batch_id))
+                    } else {
+                        None
+                    };
+                    let q_id = q_span.as_ref().and_then(|s| s.id());
+                    let result = evaluate_one(index, q, pool, inner, cost, tracer, q_id);
+                    if let Some(span) = &q_span {
+                        span.attr("scans", result.scans);
+                        span.attr("pages", result.io.pages_read);
+                    }
                     *slots[qi].lock().expect("result slot") = Some(result);
                 });
             }
@@ -189,21 +223,41 @@ fn evaluate_one(
     pool: &ShardedBufferPool,
     inner: usize,
     cost: &CostModel,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
 ) -> EvalResult {
     let started = Instant::now();
-    let constituents = index.rewrite_constituents(q);
+    let constituents = index.rewrite_constituents_traced(q, tracer, parent);
     let merged = Expr::or(constituents);
     let mut distinct = merged.scan_count();
 
     let lookup = |r: crate::BitmapRef| index.handle(r.component, r.slot);
+    let build_span = tracer.span("build", parent);
     let dag = Dag::build(&merged);
-    let (mut bitmap, peak_resident, mut scans, mut io) =
-        fold_dag(&dag, index.rows(), &lookup, index, pool, inner);
+    build_span.attr("nodes", dag.ops.len());
+    build_span.finish();
+
+    let fold_span = tracer.span("fold", parent);
+    let fold_id = fold_span.id();
+    let (mut bitmap, peak_resident, mut scans, mut io) = fold_dag(
+        &dag,
+        index.rows(),
+        &lookup,
+        index,
+        pool,
+        inner,
+        tracer,
+        fold_id,
+    );
+    fold_span.attr("workers", inner);
+    fold_span.finish();
 
     if let Some(eb) = index.existence_handle() {
+        let span = tracer.span("existence", parent);
         let mut ctx = ReadContext::new();
         let existence = index.store().read_shared(eb, pool, &mut ctx);
         bitmap.and_assign(&existence);
+        span.finish();
         scans += 1;
         distinct += 1;
         io += ctx.take_stats();
@@ -220,12 +274,18 @@ fn evaluate_one(
     }
 }
 
+/// A ready-queue entry: the node index plus its enqueue time when
+/// tracing is on (`None` when off, so the untraced hot path never calls
+/// `Instant::now`). The stamp becomes the node span's `wait_ns` — time
+/// spent ready but not yet picked up by a worker.
+type ReadyEntry = (usize, Option<Instant>);
+
 /// Shared state of one DAG fold: a dependency-counting scheduler.
 /// A node becomes ready when all its children are computed; workers drain
 /// the ready queue until every node has run.
 struct FoldState {
     /// Ready-node queue plus count of nodes completed so far.
-    ready: Mutex<(VecDeque<usize>, usize)>,
+    ready: Mutex<(VecDeque<ReadyEntry>, usize)>,
     /// Wakes idle workers when nodes become ready or the fold finishes.
     wake: Condvar,
     /// Computed values; freed (set back to `None`) at the last consumer.
@@ -244,6 +304,7 @@ struct FoldState {
 /// Folds the DAG bottom-up with `workers` threads (the §6.3 evaluator's
 /// independent-subtree parallelism). Runs inline when `workers == 1`.
 /// Returns `(result, peak_resident, scans, merged I/O)`.
+#[allow(clippy::too_many_arguments)]
 fn fold_dag(
     dag: &Dag,
     rows: usize,
@@ -251,6 +312,8 @@ fn fold_dag(
     index: &BitmapIndex,
     pool: &ShardedBufferPool,
     workers: usize,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
 ) -> (Bitvec, usize, usize, IoStats) {
     let n = dag.ops.len();
     let parents: Vec<Vec<usize>> = {
@@ -277,11 +340,12 @@ fn fold_dag(
         resident: AtomicUsize::new(0),
         peak: AtomicUsize::new(0),
     };
+    let enqueue_stamp = || tracer.is_enabled().then(Instant::now);
     {
         let mut ready = state.ready.lock().expect("ready queue");
         for (i, op) in dag.ops.iter().enumerate() {
             if op.children().is_empty() {
-                ready.0.push_back(i);
+                ready.0.push_back((i, enqueue_stamp()));
             }
         }
     }
@@ -291,7 +355,7 @@ fn fold_dag(
         let run = || {
             let mut ctx = ReadContext::new();
             worker_loop(
-                dag, &parents, &state, rows, lookup, index, pool, &mut ctx, n,
+                dag, &parents, &state, rows, lookup, index, pool, &mut ctx, n, tracer, parent,
             );
             *io.lock().expect("io totals") += ctx.take_stats();
         };
@@ -323,14 +387,16 @@ fn worker_loop(
     pool: &ShardedBufferPool,
     ctx: &mut ReadContext,
     total: usize,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
 ) {
     loop {
         // Take a ready node, or sleep until one appears / the fold ends.
-        let node = {
+        let (node, enqueued) = {
             let mut ready = state.ready.lock().expect("ready queue");
             loop {
-                if let Some(i) = ready.0.pop_front() {
-                    break i;
+                if let Some(entry) = ready.0.pop_front() {
+                    break entry;
                 }
                 if ready.1 == total {
                     return;
@@ -338,6 +404,22 @@ fn worker_loop(
                 ready = state.wake.wait(ready).expect("ready queue");
             }
         };
+
+        // Span covering this node's run time, annotated with how long it
+        // sat in the ready queue before a worker picked it up.
+        let node_span = enqueued.map(|t| {
+            let kind = match &dag.ops[node] {
+                NodeOp::Const(_) => "const",
+                NodeOp::Leaf(_) => "read",
+                NodeOp::Not(_) => "not",
+                NodeOp::And(_) => "and",
+                NodeOp::Or(_) => "or",
+                NodeOp::Xor(..) => "xor",
+            };
+            let span = tracer.span(&format!("node {node} {kind}"), parent);
+            span.attr("wait_ns", t.elapsed().as_nanos());
+            span
+        });
 
         let value = match &dag.ops[node] {
             NodeOp::Const(true) => Bitvec::ones_vec(rows),
@@ -398,6 +480,7 @@ fn worker_loop(
             }
         };
 
+        drop(node_span);
         *state.values[node].lock().expect("node value") = Some(value);
         let live = state.resident.fetch_add(1, Ordering::Relaxed) + 1;
         state.peak.fetch_max(live, Ordering::Relaxed);
@@ -423,10 +506,11 @@ fn worker_loop(
             }
         }
         {
+            let stamp = tracer.is_enabled().then(Instant::now);
             let mut ready = state.ready.lock().expect("ready queue");
             ready.1 += 1;
             for p in newly_ready {
-                ready.0.push_back(p);
+                ready.0.push_back((p, stamp));
             }
             if ready.1 == total {
                 state.wake.notify_all();

@@ -5,7 +5,7 @@
 
 use bix_core::{
     BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy, IndexConfig,
-    ParallelExecutor, Query, ShardedBufferPool,
+    IoMetrics, IoStats, MetricsRegistry, ParallelExecutor, Query, ShardedBufferPool,
 };
 use bix_workload::DatasetSpec;
 use proptest::prelude::*;
@@ -112,5 +112,45 @@ proptest! {
         }
         let seq_total: usize = sequential.iter().map(|r| r.scans).sum();
         prop_assert_eq!(batch.total_scans(), seq_total, "aggregate scan count");
+    }
+
+    /// Metrics consistency under the parallel executor: the per-query
+    /// `IoStats` deltas must sum exactly to the batch totals and to the
+    /// store's global counter delta (no double-count, no drop), and
+    /// recording them through the `IoMetrics` registry facade must read
+    /// back the same numbers.
+    #[test]
+    fn per_query_io_deltas_sum_to_global_counters(s in arb_scenario()) {
+        let data = DatasetSpec {
+            rows: s.rows,
+            cardinality: s.cardinality,
+            zipf_z: s.zipf_z,
+            seed: s.seed,
+        }
+        .generate();
+        let config =
+            IndexConfig::one_component(s.cardinality, s.scheme).with_codec(s.codec);
+        let index = BitmapIndex::build(&data.values, &config);
+        let cost = CostModel::default();
+
+        let registry = MetricsRegistry::new();
+        let metrics = IoMetrics::register(&registry);
+
+        let before = index.io_stats();
+        let pool = ShardedBufferPool::new(1024, s.threads.max(2));
+        let batch = ParallelExecutor::new(s.threads)
+            .with_inner_threads(s.inner_threads)
+            .execute(&index, &s.queries, &pool, &cost);
+
+        let mut summed = IoStats::new();
+        for r in &batch.results {
+            metrics.record(&r.io);
+            summed += r.io;
+        }
+        prop_assert_eq!(summed, batch.io, "per-query deltas sum to batch totals");
+
+        let global_delta = index.io_stats().since(&before);
+        prop_assert_eq!(batch.io, global_delta, "batch totals equal store counter delta");
+        prop_assert_eq!(metrics.totals(), summed, "registry counters read back the sum");
     }
 }

@@ -60,7 +60,7 @@ pub use disk::{DiskConfig, DiskSim, FileId, ReadContext, READ_RETRY_LIMIT};
 pub use fault::{DiskFault, FaultPlan, ReadFlip};
 pub use pool::BufferPool;
 pub use shard_pool::ShardedBufferPool;
-pub use stats::IoStats;
+pub use stats::{IoMetrics, IoStats};
 pub use store::{BitmapHandle, BitmapStore, CorruptBitmap};
 
 // Re-exported so downstream crates name one source of truth for codecs.

@@ -1,0 +1,45 @@
+//! Query-path telemetry for the bitmap-index system.
+//!
+//! The paper's whole argument is a cost model — expected bitmap scans,
+//! pages read, seek-vs-transfer time — so the serving system must be able
+//! to show *where* inside the rewrite → decompose → expression-build →
+//! evaluation pipeline the time and I/O went. This crate provides the
+//! three pieces, with **zero dependencies** and zero cost when disabled:
+//!
+//! * [`Tracer`] — hierarchical span tracing with monotonic timestamps.
+//!   A disabled tracer ([`Tracer::disabled`]) allocates nothing and every
+//!   span call is a single `Option` check, so instrumented hot paths pay
+//!   no measurable overhead by default. Enabled tracers render as a
+//!   human-readable tree ([`Tracer::render_tree`]) or as machine-readable
+//!   JSONL ([`Tracer::render_jsonl`]).
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and
+//!   [`Histogram`]s (fixed log2 buckets). All metric updates are plain
+//!   atomic operations — no locks on the hot path; the registry's mutex
+//!   is touched only at registration and snapshot time.
+//! * Exposition — [`MetricsSnapshot::to_prometheus`] (Prometheus text
+//!   format) and [`MetricsSnapshot::to_json`] (JSON snapshot), plus a
+//!   minimal JSON parser ([`json::parse`]) so snapshots and bench
+//!   baselines can be validated without external crates.
+//!
+//! # Metric naming scheme
+//!
+//! `bix_<subsystem>_<what>[_total|_nanos|_bytes]`: counters end in
+//! `_total`, log2 histograms of durations end in `_nanos`, gauges carry a
+//! plain unit suffix. Span names start with a stable phase token
+//! (`rewrite`, `eval`, `fold`, `read`, …) optionally followed by detail
+//! after a space; [`MetricsRegistry::observe_trace`] aggregates span
+//! durations by that leading token into `bix_phase_<token>_nanos`
+//! histograms, which is how trace output and the metrics registry stay in
+//! agreement.
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, MetricsRegistry,
+    MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{SpanGuard, SpanId, SpanRecord, Tracer};

@@ -1,0 +1,342 @@
+//! Hierarchical span tracing with monotonic timestamps.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Identifies one recorded span within its [`Tracer`].
+///
+/// `Copy`, so it can be handed across threads (the parallel executor
+/// parents every worker's node spans under the query span's id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// The raw index of the span in [`Tracer::records`] order.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// One finished (or still-open) span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name. The leading whitespace-delimited token is the stable
+    /// *phase* (`rewrite`, `fold`, `read`, …); anything after it is
+    /// free-form detail (`read c0:I^3`).
+    pub name: String,
+    /// Parent span, if any.
+    pub parent: Option<SpanId>,
+    /// Nanoseconds from the tracer's origin to span start (monotonic).
+    pub start_ns: u64,
+    /// Nanoseconds from the tracer's origin to span end; equals
+    /// `start_ns` while the span is still open.
+    pub end_ns: u64,
+    /// Key/value annotations (scan counts, byte counts, wait times, …).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// The leading phase token of the span name.
+    pub fn phase(&self) -> &str {
+        self.name.split_whitespace().next().unwrap_or(&self.name)
+    }
+}
+
+struct TraceBuf {
+    origin: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// Collects a tree of timed spans.
+///
+/// A `Tracer` is either *enabled* (backed by a shared span buffer) or
+/// *disabled* (a `None`; every operation is a no-op costing one branch).
+/// Clones share the same buffer, and the type is `Send + Sync`, so one
+/// tracer can collect spans from every worker thread of a parallel batch.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<TraceBuf>>,
+}
+
+impl Tracer {
+    /// An enabled tracer with an empty span buffer.
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TraceBuf {
+                origin: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A disabled tracer: records nothing, allocates nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span under `parent` (`None` for a root span). The span
+    /// closes — records its end timestamp — when the returned guard is
+    /// dropped or [`SpanGuard::finish`]ed.
+    pub fn span(&self, name: &str, parent: Option<SpanId>) -> SpanGuard {
+        let Some(buf) = &self.inner else {
+            return SpanGuard { inner: None };
+        };
+        let start_ns = buf.origin.elapsed().as_nanos() as u64;
+        let mut spans = buf.spans.lock().expect("span buffer");
+        let id = u32::try_from(spans.len()).expect("too many spans");
+        spans.push(SpanRecord {
+            name: name.to_owned(),
+            parent,
+            start_ns,
+            end_ns: start_ns,
+            attrs: Vec::new(),
+        });
+        SpanGuard {
+            inner: Some((Arc::clone(buf), id)),
+        }
+    }
+
+    /// Snapshot of every span recorded so far, in creation order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(buf) => buf.spans.lock().expect("span buffer").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders the span forest as an indented human-readable tree with
+    /// durations and attributes, one span per line.
+    pub fn render_tree(&self) -> String {
+        let records = self.records();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); records.len()];
+        let mut roots = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            match r.parent {
+                Some(p) => children[p.raw() as usize].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut out = String::new();
+        fn emit(
+            out: &mut String,
+            records: &[SpanRecord],
+            children: &[Vec<usize>],
+            i: usize,
+            depth: usize,
+        ) {
+            let r = &records[i];
+            let indent = "  ".repeat(depth);
+            let mut line = format!("{indent}{}  {}", r.name, fmt_ns(r.duration_ns()));
+            for (k, v) in &r.attrs {
+                line.push_str(&format!("  {k}={v}"));
+            }
+            out.push_str(&line);
+            out.push('\n');
+            for &c in &children[i] {
+                emit(out, records, children, c, depth + 1);
+            }
+        }
+        for &root in &roots {
+            emit(&mut out, &records, &children, root, 0);
+        }
+        out
+    }
+
+    /// Renders every span as one JSON object per line (JSONL), in
+    /// creation order: `{"span": i, "parent": p|null, "name": "...",
+    /// "start_ns": ..., "end_ns": ..., "duration_ns": ..., "attrs": {...}}`.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, r) in self.records().iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"span\": {i}, \"parent\": {}, \"name\": {}, \"start_ns\": {}, \
+                 \"end_ns\": {}, \"duration_ns\": {}, \"attrs\": {{",
+                match r.parent {
+                    Some(p) => p.raw().to_string(),
+                    None => "null".to_owned(),
+                },
+                crate::json::escape(&r.name),
+                r.start_ns,
+                r.end_ns,
+                r.duration_ns(),
+            ));
+            for (j, (k, v)) in r.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{}: {}",
+                    crate::json::escape(k),
+                    crate::json::escape(v)
+                ));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+/// Formats a nanosecond duration with a human-friendly unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    }
+}
+
+/// Open handle to a span; closes the span on drop.
+///
+/// A guard from a disabled tracer is inert: [`SpanGuard::id`] is `None`
+/// and every method is a no-op.
+pub struct SpanGuard {
+    inner: Option<(Arc<TraceBuf>, u32)>,
+}
+
+impl SpanGuard {
+    /// The span's id, for parenting children (`None` when disabled).
+    pub fn id(&self) -> Option<SpanId> {
+        self.inner.as_ref().map(|(_, id)| SpanId(*id))
+    }
+
+    /// Attaches a key/value annotation to the span.
+    pub fn attr(&self, key: &str, value: impl std::fmt::Display) {
+        if let Some((buf, id)) = &self.inner {
+            let mut spans = buf.spans.lock().expect("span buffer");
+            spans[*id as usize]
+                .attrs
+                .push((key.to_owned(), value.to_string()));
+        }
+    }
+
+    /// Closes the span now (otherwise it closes on drop).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((buf, id)) = &self.inner {
+            let end_ns = buf.origin.elapsed().as_nanos() as u64;
+            let mut spans = buf.spans.lock().expect("span buffer");
+            spans[*id as usize].end_ns = end_ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let s = t.span("query", None);
+        assert!(s.id().is_none());
+        s.attr("k", 1);
+        drop(s);
+        assert!(t.records().is_empty());
+        assert!(t.render_tree().is_empty());
+        assert!(t.render_jsonl().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_children_fit_inside_parents() {
+        let t = Tracer::new();
+        let root = t.span("query =5", None);
+        {
+            let rewrite = t.span("rewrite", root.id());
+            let _inner = t.span("decompose lo", rewrite.id());
+        }
+        let eval = t.span("eval", root.id());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(eval);
+        drop(root);
+
+        let records = t.records();
+        assert_eq!(records.len(), 4);
+        let root_r = &records[0];
+        // Every child's window is inside its parent's, so sibling child
+        // durations sum to at most the parent's duration.
+        for r in &records[1..] {
+            let p = &records[r.parent.unwrap().raw() as usize];
+            assert!(r.start_ns >= p.start_ns);
+            assert!(
+                r.end_ns <= p.end_ns,
+                "{} outlives parent {}",
+                r.name,
+                p.name
+            );
+        }
+        let child_sum: u64 = records[1..]
+            .iter()
+            .filter(|r| r.parent == Some(SpanId(0)))
+            .map(SpanRecord::duration_ns)
+            .sum();
+        assert!(child_sum <= root_r.duration_ns());
+        assert_eq!(root_r.phase(), "query");
+    }
+
+    #[test]
+    fn tree_and_jsonl_render() {
+        let t = Tracer::new();
+        let root = t.span("query", None);
+        let child = t.span("read c0:I^3", root.id());
+        child.attr("bytes", 4096);
+        drop(child);
+        drop(root);
+
+        let tree = t.render_tree();
+        assert!(tree.contains("query"));
+        assert!(tree.contains("  read c0:I^3"), "{tree}");
+        assert!(tree.contains("bytes=4096"));
+
+        let jsonl = t.render_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            crate::json::parse(line).expect("every JSONL line parses");
+        }
+    }
+
+    #[test]
+    fn tracer_collects_across_threads() {
+        let t = Tracer::new();
+        let root = t.span("batch", None);
+        let root_id = root.id();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let s = t.span(&format!("query {i}"), root_id);
+                    s.attr("thread", i);
+                });
+            }
+        });
+        drop(root);
+        let records = t.records();
+        assert_eq!(records.len(), 5);
+        assert_eq!(
+            records.iter().filter(|r| r.parent == root_id).count(),
+            4,
+            "all worker spans parented under the batch root"
+        );
+    }
+}

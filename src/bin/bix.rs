@@ -3,25 +3,34 @@
 //! ```text
 //! bix build   --input data.csv [--column 0] --cardinality C
 //!             [--encoding I] [--codec raw|bbc|wah|ewah|roaring]
-//!             [--components N] --out index.bix
+//!             [--components N] --out index.bix [--metrics-out file.json]
 //! bix query   index.bix <predicate>   # '=5' '<=10' '3..7' 'in:1,2,9' '!3..7'
+//!             [--trace] [--trace-out spans.jsonl] [--metrics-out file.json]
 //! bix query   index.bix --batch queries.txt [--parallel N] [--pool-pages P]
-//! bix explain index.bix <predicate>   # show the bitmap expression + scans
+//!             [--trace] [--trace-out spans.jsonl] [--metrics-out file.json]
+//! bix explain index.bix <predicate>   # expression + per-constituent scans
+//!                                     # and predicted cost-model seconds
+//! bix stats   index.bix [--json]      # metrics snapshot: Prometheus text
+//!                                     # by default, JSON with --json
 //! bix info    index.bix
 //! bix advise  --cardinality C [--equality X --one-sided Y --two-sided Z]
 //!             [--budget BITMAPS]
 //! bix verify  index.bix               # checksum every bitmap; exit 2 if corrupt
-//! bix repair  index.bix [--out file]  # rebuild corrupt bitmaps from survivors
+//! bix repair  index.bix [--out file] [--metrics-out file.json]
 //! ```
 //!
 //! The input file is one value per line, or CSV with `--column` selecting
 //! a zero-based field. Query output is matching row numbers (zero-based),
-//! one per line, plus a summary on stderr.
+//! one per line, plus a summary on stderr. `--trace` prints the span tree
+//! on stderr; `--trace-out` writes one JSON object per span (JSONL);
+//! `--metrics-out` writes a JSON metrics snapshot (counters, gauges, and
+//! per-phase latency histograms).
 
 use chan_bitmap_index::analysis::{advise, Workload};
 use chan_bitmap_index::core::{
-    BitmapIndex, BitmapRef, CodecKind, CostModel, EncodingScheme, IndexConfig, ParallelExecutor,
-    Query, ShardedBufferPool, EXISTENCE_REF,
+    BitmapIndex, BitmapRef, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy,
+    IndexConfig, IoMetrics, MetricsRegistry, ParallelExecutor, Query, ShardedBufferPool, Tracer,
+    EXISTENCE_REF,
 };
 use std::process::ExitCode;
 
@@ -32,10 +41,13 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("repair") => cmd_repair(&args[1..]),
-        _ => Err("usage: bix <build|query|info|explain|advise|verify|repair> ...".to_string()),
+        _ => {
+            Err("usage: bix <build|query|info|explain|stats|advise|verify|repair> ...".to_string())
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -52,6 +64,67 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Whether a bare `--flag` is present.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Registers the index-shape gauges every metrics snapshot carries.
+fn register_index_gauges(registry: &MetricsRegistry, index: &BitmapIndex) {
+    let config = index.config();
+    let set = |name: &str, help: &str, v: f64| registry.gauge(name, help).set(v);
+    set("bix_index_rows", "Indexed records", index.rows() as f64);
+    set(
+        "bix_index_cardinality",
+        "Attribute cardinality C",
+        config.cardinality as f64,
+    );
+    set(
+        "bix_index_components",
+        "Decomposition components",
+        config.bases.n() as f64,
+    );
+    set(
+        "bix_index_bitmaps",
+        "Stored bitmaps",
+        index.num_bitmaps() as f64,
+    );
+    set(
+        "bix_index_stored_bytes",
+        "On-disk index size (compressed)",
+        index.space_bytes() as f64,
+    );
+    set(
+        "bix_index_raw_bytes",
+        "Uncompressed index size",
+        index.uncompressed_bytes() as f64,
+    );
+}
+
+/// Writes the registry's JSON snapshot to `path` (for `--metrics-out`).
+fn write_metrics(path: &str, registry: &MetricsRegistry) -> Result<(), String> {
+    std::fs::write(path, registry.snapshot().to_json())
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Emits trace output as requested: the human-readable tree on stderr
+/// for `--trace`, JSONL spans into the `--trace-out` file.
+fn emit_trace(args: &[String], tracer: &Tracer) -> Result<(), String> {
+    if has_flag(args, "--trace") {
+        eprint!("{}", tracer.render_tree());
+    }
+    if let Some(path) = flag_value(args, "--trace-out") {
+        std::fs::write(&path, tracer.render_jsonl())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Whether any tracing output was requested.
+fn wants_trace(args: &[String]) -> bool {
+    has_flag(args, "--trace") || flag_value(args, "--trace-out").is_some()
 }
 
 fn parse_encoding(s: &str) -> Result<EncodingScheme, String> {
@@ -126,10 +199,21 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .unwrap_or(1);
 
     let config = IndexConfig::n_components(cardinality, encoding, components).with_codec(codec);
+    let build_started = std::time::Instant::now();
     let index = BitmapIndex::build(&values, &config);
+    let build_seconds = build_started.elapsed().as_secs_f64();
     index
         .save(&out)
         .map_err(|e| format!("cannot write {out}: {e}"))?;
+    if let Some(metrics_out) = flag_value(args, "--metrics-out") {
+        let registry = MetricsRegistry::new();
+        register_index_gauges(&registry, &index);
+        registry
+            .gauge("bix_build_seconds", "Wall-clock index build time")
+            .set(build_seconds);
+        IoMetrics::register(&registry).record(&index.io_stats());
+        write_metrics(&metrics_out, &registry)?;
+    }
     eprintln!(
         "built {} index over {} rows (C={cardinality}, {} bitmaps, {} bytes) -> {out}",
         encoding.symbol(),
@@ -150,15 +234,46 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let predicate = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
     let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
     let query = parse_predicate(predicate, index.config().cardinality)?;
-    let expr = index.rewrite(&query);
-    let result = index.evaluate(&query);
-    for row in result.ones() {
+
+    let tracer = if wants_trace(args) {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let cost = CostModel::default();
+    let mut pool = BufferPool::new(index.config().disk.pages_for_bytes(64 << 20));
+    let root = tracer.span(&format!("query {predicate}"), None);
+    let root_id = root.id();
+    let result = index.evaluate_detailed_traced(
+        &query,
+        &mut pool,
+        EvalStrategy::ComponentWise,
+        &cost,
+        &tracer,
+        root_id,
+    );
+    root.attr("rows", result.bitmap.count_ones());
+    root.finish();
+
+    for row in result.bitmap.ones() {
         println!("{row}");
     }
+    emit_trace(args, &tracer)?;
+    if let Some(metrics_out) = flag_value(args, "--metrics-out") {
+        let registry = MetricsRegistry::new();
+        register_index_gauges(&registry, &index);
+        registry
+            .counter("bix_queries_total", "Queries executed")
+            .inc();
+        IoMetrics::register(&registry).record(&result.io);
+        registry.observe_trace(&tracer);
+        write_metrics(&metrics_out, &registry)?;
+    }
     eprintln!(
-        "{} rows matched ({} bitmap scans)",
-        result.count_ones(),
-        expr.scan_count()
+        "{} rows matched ({} bitmap scans, {:.4}s simulated I/O)",
+        result.bitmap.count_ones(),
+        result.scans,
+        result.io_seconds,
     );
     Ok(())
 }
@@ -205,7 +320,30 @@ fn cmd_query_batch(path: &str, batch_file: &str, args: &[String]) -> Result<(), 
     let predicates: Vec<Query> = queries.iter().map(|(_, q)| q.clone()).collect();
     let pool = ShardedBufferPool::new(pool_pages, threads.max(2));
     let executor = ParallelExecutor::new(threads);
-    let batch = executor.execute(&index, &predicates, &pool, &CostModel::default());
+    let tracer = if wants_trace(args) {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let batch = executor.execute_traced(
+        &index,
+        &predicates,
+        &pool,
+        &CostModel::default(),
+        &tracer,
+        None,
+    );
+    emit_trace(args, &tracer)?;
+    if let Some(metrics_out) = flag_value(args, "--metrics-out") {
+        let registry = MetricsRegistry::new();
+        register_index_gauges(&registry, &index);
+        registry
+            .counter("bix_queries_total", "Queries executed")
+            .add(batch.results.len() as u64);
+        IoMetrics::register(&registry).record(&batch.io);
+        registry.observe_trace(&tracer);
+        write_metrics(&metrics_out, &registry)?;
+    }
 
     for ((text, _), result) in queries.iter().zip(&batch.results) {
         println!(
@@ -234,12 +372,62 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
     let query = parse_predicate(predicate, index.config().cardinality)?;
     let expr = index.rewrite(&query);
+    let cost = CostModel::default();
     println!("{}", index.explain(&query));
+
+    // Per-constituent breakdown in the same terms the trace output uses:
+    // distinct bitmap scans and predicted cost-model seconds (cold pool).
+    let config = index.config();
+    let bases = config.bases.bases().to_vec();
+    let encoding = config.encoding;
+    let multi = bases.len() > 1;
+    let name_of = move |r: BitmapRef| {
+        let name = encoding.slot_name(bases[r.component], r.slot);
+        if multi {
+            format!("{name}[c{}]", r.component + 1)
+        } else {
+            name
+        }
+    };
+    let constituents = index.rewrite_constituents(&query);
+    if constituents.len() > 1 {
+        for (i, c) in constituents.iter().enumerate() {
+            let p = index.predict_cost(c, &cost);
+            println!(
+                "  constituent {i}: {}  -- {} scan(s), {} bytes, predicted {:.4}s",
+                c.display_with(&name_of),
+                p.scans,
+                p.bytes,
+                p.seconds,
+            );
+        }
+    }
+    let total = index.predict_cost(&expr, &cost);
     println!(
-        "-- {} distinct bitmap scan(s), est. {} matching rows",
-        expr.scan_count(),
+        "-- {} distinct bitmap scan(s), {} stored bytes, predicted {:.4}s I/O, est. {} matching rows",
+        total.scans,
+        total.bytes,
+        total.seconds,
         index.estimate_rows(&query),
     );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: bix stats <index.bix> [--json]")?;
+    let index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let registry = MetricsRegistry::new();
+    register_index_gauges(&registry, &index);
+    IoMetrics::register(&registry).record(&index.io_stats());
+    let snapshot = registry.snapshot();
+    if has_flag(args, "--json") {
+        print!("{}", snapshot.to_json());
+    } else {
+        print!("{}", snapshot.to_prometheus());
+    }
     Ok(())
 }
 
@@ -366,6 +554,21 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     }
     for r in &report.unrepairable {
         eprintln!("unrepairable: {}", describe_ref(*r));
+    }
+    if let Some(metrics_out) = flag_value(args, "--metrics-out") {
+        let registry = MetricsRegistry::new();
+        register_index_gauges(&registry, &index);
+        registry
+            .counter("bix_repair_rebuilt_total", "Bitmaps rebuilt by repair")
+            .add(report.repaired.len() as u64);
+        registry
+            .counter(
+                "bix_repair_unrepairable_total",
+                "Bitmaps repair could not reconstruct",
+            )
+            .add(report.unrepairable.len() as u64);
+        IoMetrics::register(&registry).record(&index.io_stats());
+        write_metrics(&metrics_out, &registry)?;
     }
     if !report.unrepairable.is_empty() {
         // Never write a file that still contains corrupt bitmaps: saving
@@ -513,6 +716,123 @@ mod tests {
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&idx).ok();
         std::fs::remove_file(&batch).ok();
+    }
+
+    #[test]
+    fn stats_trace_and_metrics_outputs() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("bix_cli_stats_{pid}.csv"));
+        let idx = dir.join(format!("bix_cli_stats_{pid}.bix"));
+        let trace_out = dir.join(format!("bix_cli_stats_{pid}.jsonl"));
+        let metrics_out = dir.join(format!("bix_cli_stats_{pid}.metrics.json"));
+        let build_metrics = dir.join(format!("bix_cli_stats_{pid}.build.json"));
+        let column: Vec<String> = (0..500u64).map(|i| (i % 20).to_string()).collect();
+        std::fs::write(&csv, column.join("\n")).unwrap();
+
+        cmd_build(&[
+            "--input".into(),
+            csv.to_string_lossy().into_owned(),
+            "--out".into(),
+            idx.to_string_lossy().into_owned(),
+            "--metrics-out".into(),
+            build_metrics.to_string_lossy().into_owned(),
+        ])
+        .expect("build");
+        let parsed = bix_telemetry::json::parse(&std::fs::read_to_string(&build_metrics).unwrap())
+            .expect("build metrics parse");
+        assert!(parsed.get("metrics").is_some());
+
+        // stats: both exposition formats produced from a fresh load.
+        cmd_stats(&[idx.to_string_lossy().into_owned()]).expect("stats text");
+        cmd_stats(&[idx.to_string_lossy().into_owned(), "--json".into()]).expect("stats json");
+        assert!(cmd_stats(&[]).is_err());
+
+        // query --trace-out --metrics-out: spans are valid JSONL, the
+        // snapshot parses and carries phase histograms + io counters.
+        cmd_query(&[
+            idx.to_string_lossy().into_owned(),
+            "in:1,7,13".into(),
+            "--trace-out".into(),
+            trace_out.to_string_lossy().into_owned(),
+            "--metrics-out".into(),
+            metrics_out.to_string_lossy().into_owned(),
+        ])
+        .expect("traced query");
+
+        let jsonl = std::fs::read_to_string(&trace_out).unwrap();
+        assert!(
+            jsonl.lines().count() >= 4,
+            "expected a span tree, got:\n{jsonl}"
+        );
+        for line in jsonl.lines() {
+            bix_telemetry::json::parse(line).expect("span line parses");
+        }
+        let snapshot = std::fs::read_to_string(&metrics_out).unwrap();
+        let parsed = bix_telemetry::json::parse(&snapshot).expect("metrics snapshot parses");
+        let names: Vec<String> = parsed
+            .get("metrics")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|m| m.get("name").unwrap().as_str().unwrap().to_owned())
+            .collect();
+        for expected in [
+            "bix_index_rows",
+            "bix_io_pages_read_total",
+            "bix_queries_total",
+            "bix_phase_eval_nanos",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected}: {names:?}"
+            );
+        }
+
+        for f in [&csv, &idx, &trace_out, &metrics_out, &build_metrics] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn explain_prints_per_constituent_costs() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("bix_cli_excost_{pid}.csv"));
+        let idx = dir.join(format!("bix_cli_excost_{pid}.bix"));
+        let column: Vec<String> = (0..200u64).map(|i| (i % 20).to_string()).collect();
+        std::fs::write(&csv, column.join("\n")).unwrap();
+        cmd_build(&[
+            "--input".into(),
+            csv.to_string_lossy().into_owned(),
+            "--out".into(),
+            idx.to_string_lossy().into_owned(),
+        ])
+        .expect("build");
+
+        // Multi-constituent membership query: predictions exist per
+        // constituent and agree with the merged expression's leaf count.
+        let index = BitmapIndex::load(&idx).expect("load");
+        let q = parse_predicate("in:1,7,13", 20).unwrap();
+        let cost = CostModel::default();
+        let merged = index.rewrite(&q);
+        let total = index.predict_cost(&merged, &cost);
+        assert_eq!(total.scans, merged.scan_count());
+        assert!(total.bytes > 0);
+        assert!(total.seconds > 0.0);
+        let per: Vec<_> = index
+            .rewrite_constituents(&q)
+            .iter()
+            .map(|c| index.predict_cost(c, &cost))
+            .collect();
+        assert!(per.len() > 1);
+        assert!(per.iter().map(|p| p.scans).sum::<usize>() >= total.scans);
+
+        cmd_explain(&[idx.to_string_lossy().into_owned(), "in:1,7,13".into()])
+            .expect("explain with costs");
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&idx).ok();
     }
 
     #[test]
