@@ -1,0 +1,219 @@
+//! Compressed-domain vs raw-domain query evaluation (§6.3 extension).
+//!
+//! The workload is the acceptance scenario for the compressed-domain
+//! evaluator: 64 membership queries against a Zipf(z=1) column of
+//! cardinality 200, interval-encoded and stored under each compressible
+//! codec (BBC, WAH, EWAH). Each query set is evaluated with
+//! `--eval-domain raw` (decode every leaf, fold bitwise) and
+//! `--eval-domain compressed` (fold word/byte-aligned kernels directly on
+//! the stored streams, decode once at the root). Both paths are asserted
+//! bit-identical with equal scan counts before timing starts, and the
+//! compressed domain must perform **strictly fewer decompressions** — that
+//! counter pair is the headline number.
+//!
+//! Besides the Criterion timings, the bench writes a machine-readable
+//! summary — per-codec median times and decompression counters — to
+//! `results/eval_domain.json` at the workspace root, and the committed
+//! perf baseline `BENCH_compress.json` in the repo root for future PRs to
+//! diff against.
+
+use bix_bench::results;
+use bix_core::{
+    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalDomain, EvalStrategy,
+    IndexConfig, Query, Tracer,
+};
+use bix_workload::{DatasetSpec, QuerySetSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROWS: usize = 200_000;
+const C: u64 = 200;
+const QUERIES: usize = 64;
+const POOL_PAGES: usize = 8192;
+
+const CODECS: [CodecKind; 3] = [CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah];
+
+fn codec_name(codec: CodecKind) -> &'static str {
+    match codec {
+        CodecKind::Raw => "raw",
+        CodecKind::Bbc => "bbc",
+        CodecKind::Wah => "wah",
+        CodecKind::Ewah => "ewah",
+        CodecKind::Roaring => "roaring",
+    }
+}
+
+fn setup(codec: CodecKind) -> (BitmapIndex, Vec<Query>) {
+    let data = DatasetSpec {
+        rows: ROWS,
+        cardinality: C,
+        zipf_z: 1.0,
+        seed: 99,
+    }
+    .generate();
+    let config = IndexConfig::one_component(C, EncodingScheme::Interval).with_codec(codec);
+    let index = BitmapIndex::build(&data.values, &config);
+    let queries: Vec<Query> = QuerySetSpec { n_int: 4, n_equ: 2 }
+        .generate(C, QUERIES, 7)
+        .into_iter()
+        .map(|g| Query::Membership(g.values()))
+        .collect();
+    (index, queries)
+}
+
+/// Runs the whole query set in one domain, returning
+/// `(total scans, total decompressions)`.
+fn run_domain(index: &mut BitmapIndex, queries: &[Query], domain: EvalDomain) -> (usize, usize) {
+    let mut pool = BufferPool::new(POOL_PAGES);
+    let cost = CostModel::default();
+    let tracer = Tracer::disabled();
+    let (mut scans, mut decompressions) = (0usize, 0usize);
+    for q in queries {
+        let r = index.evaluate_detailed_with_domain(
+            q,
+            &mut pool,
+            EvalStrategy::ComponentWise,
+            domain,
+            &cost,
+            &tracer,
+            None,
+        );
+        scans += r.scans;
+        decompressions += r.decompressions;
+    }
+    (scans, decompressions)
+}
+
+/// Median wall time of `reps` runs of `f`, in seconds.
+fn median_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Both domains must produce bit-identical results with equal scan
+/// counts, and the compressed domain strictly fewer decompressions.
+fn verify_agreement(index: &mut BitmapIndex, queries: &[Query]) -> (usize, usize) {
+    let mut pool = BufferPool::new(POOL_PAGES);
+    let cost = CostModel::default();
+    let tracer = Tracer::disabled();
+    let (mut raw_dec, mut packed_dec) = (0usize, 0usize);
+    for (i, q) in queries.iter().enumerate() {
+        let raw = index.evaluate_detailed_with_domain(
+            q,
+            &mut pool,
+            EvalStrategy::ComponentWise,
+            EvalDomain::Raw,
+            &cost,
+            &tracer,
+            None,
+        );
+        let packed = index.evaluate_detailed_with_domain(
+            q,
+            &mut pool,
+            EvalStrategy::ComponentWise,
+            EvalDomain::Compressed,
+            &cost,
+            &tracer,
+            None,
+        );
+        assert_eq!(raw.bitmap, packed.bitmap, "q{i} bitmap");
+        assert_eq!(raw.scans, packed.scans, "q{i} scans");
+        raw_dec += raw.decompressions;
+        packed_dec += packed.decompressions;
+    }
+    assert!(
+        packed_dec < raw_dec,
+        "compressed domain must decompress strictly less: {packed_dec} vs {raw_dec}"
+    );
+    (raw_dec, packed_dec)
+}
+
+fn write_results_json() {
+    let reps = 5;
+    let mut lines = Vec::new();
+    for codec in CODECS {
+        let (mut index, queries) = setup(codec);
+        let (raw_dec, packed_dec) = verify_agreement(&mut index, &queries);
+        let raw_s = median_seconds(reps, || {
+            black_box(run_domain(&mut index, &queries, EvalDomain::Raw));
+        });
+        let packed_s = median_seconds(reps, || {
+            black_box(run_domain(&mut index, &queries, EvalDomain::Compressed));
+        });
+        let (_, auto_dec) = run_domain(&mut index, &queries, EvalDomain::Auto);
+        let speedup = raw_s / packed_s;
+        eprintln!(
+            "eval_domain: {} x{QUERIES} queries: compressed {:.2}ms vs raw {:.2}ms \
+             ({speedup:.2}x), decompressions {packed_dec} vs {raw_dec}",
+            codec_name(codec),
+            packed_s * 1e3,
+            raw_s * 1e3,
+        );
+        lines.push(format!(
+            "    {{\"codec\": \"{}\", \"raw_seconds\": {raw_s:.6}, \
+             \"compressed_seconds\": {packed_s:.6}, \"speedup\": {speedup:.3}, \
+             \"raw_decompressions\": {raw_dec}, \
+             \"compressed_decompressions\": {packed_dec}, \
+             \"auto_decompressions\": {auto_dec}}}",
+            codec_name(codec),
+        ));
+    }
+
+    // One traced compressed-domain run: where the time goes (eval span,
+    // per-bitmap reads, DAG fold, per-node kernel ops), keyed by phase.
+    let traced = {
+        let (mut index, queries) = setup(CodecKind::Bbc);
+        results::trace_run(|tracer| {
+            let mut pool = BufferPool::new(POOL_PAGES);
+            let cost = CostModel::default();
+            for q in &queries {
+                black_box(index.evaluate_detailed_with_domain(
+                    q,
+                    &mut pool,
+                    EvalStrategy::ComponentWise,
+                    EvalDomain::Compressed,
+                    &cost,
+                    tracer,
+                    None,
+                ));
+            }
+        })
+    };
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"eval_domain\",\n  \"rows\": {ROWS},\n  \"cardinality\": {C},\n  \"zipf_z\": 1.0,\n  \"queries\": {QUERIES},\n  \"encoding\": \"I\",\n  \"pool_pages\": {POOL_PAGES},\n  \"codecs\": [\n{}\n  ],\n  \"traced_phases\": {}\n}}\n",
+        lines.join(",\n"),
+        results::phases_json(&traced),
+    );
+    results::write_validated(&results::results_dir().join("eval_domain.json"), &json);
+    results::write_validated(&results::repo_root().join("BENCH_compress.json"), &json);
+}
+
+fn bench_domains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_domain");
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    for codec in CODECS {
+        let (mut index, queries) = setup(codec);
+        verify_agreement(&mut index, &queries);
+        for domain in [EvalDomain::Raw, EvalDomain::Compressed, EvalDomain::Auto] {
+            let id = BenchmarkId::new(codec_name(codec), domain.name());
+            group.bench_function(id, |b| {
+                b.iter(|| black_box(run_domain(&mut index, &queries, domain)))
+            });
+        }
+    }
+    group.finish();
+
+    write_results_json();
+}
+
+criterion_group!(benches, bench_domains);
+criterion_main!(benches);

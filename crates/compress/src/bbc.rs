@@ -24,7 +24,9 @@
 //! CPU-cost behaviour the paper's experiments charge for compressed
 //! bitmaps.
 
+use crate::codec::check_tail_byte;
 use crate::runs::{ByteRun, ByteRunIter};
+use crate::DecodeError;
 use bix_bitvec::Bitvec;
 
 /// Minimum run length (in bytes) worth encoding as a gap. A gap costs at
@@ -53,19 +55,52 @@ fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+fn try_read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
-        let byte = bytes[*pos];
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(DecodeError::Truncated {
+                codec: "bbc",
+                offset: *pos,
+            });
+        };
         *pos += 1;
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
-            return v;
+            return Ok(v);
         }
         shift += 7;
-        assert!(shift < 64, "varint overflow in BBC stream");
+        if shift >= 64 {
+            return Err(DecodeError::BadAtom {
+                codec: "bbc",
+                offset: *pos,
+                what: "varint overflow",
+            });
+        }
     }
+}
+
+/// Parses one atom header (plus its varints) at `pos`, leaving `pos` at the
+/// first literal byte. Returns `(fill, gap_bytes, literal_bytes)`. The
+/// caller guarantees `*pos < stream.len()`.
+fn try_read_atom(stream: &[u8], pos: &mut usize) -> Result<(bool, usize, usize), DecodeError> {
+    let header = stream[*pos];
+    *pos += 1;
+    let fill = header & 0x80 != 0;
+    let gap_code = (header >> 4) & 0x7;
+    let lit_code = header & 0xf;
+    let gap = if gap_code == 7 {
+        try_read_varint(stream, pos)?
+    } else {
+        u64::from(gap_code)
+    };
+    let lits = if lit_code == 15 {
+        try_read_varint(stream, pos)?
+    } else {
+        u64::from(lit_code)
+    };
+    Ok((fill, gap as usize, lits as usize))
 }
 
 fn push_atom(out: &mut Vec<u8>, fill: bool, gap: usize, literals: &[u8]) {
@@ -211,40 +246,48 @@ impl Bbc {
     ///
     /// Panics if the stream is malformed or does not decode to `n_bytes`.
     pub fn decompress_bytes(stream: &[u8], n_bytes: usize) -> Vec<u8> {
+        Bbc::try_decompress_bytes(stream, n_bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Decompresses into a raw byte image of exactly `n_bytes` bytes,
+    /// rejecting malformed streams instead of panicking. Output is never
+    /// allowed to grow past `n_bytes`, so hostile gap or literal counts
+    /// cannot force oversized allocations.
+    pub fn try_decompress_bytes(stream: &[u8], n_bytes: usize) -> Result<Vec<u8>, DecodeError> {
         let mut out = Vec::with_capacity(n_bytes);
         let mut pos = 0usize;
         while pos < stream.len() {
-            let header = stream[pos];
-            pos += 1;
-            let fill = header & 0x80 != 0;
-            let gap_code = (header >> 4) & 0x7;
-            let lit_code = header & 0xf;
-            let gap = if gap_code == 7 {
-                read_varint(stream, &mut pos) as usize
-            } else {
-                gap_code as usize
-            };
-            let lits = if lit_code == 15 {
-                read_varint(stream, &mut pos) as usize
-            } else {
-                lit_code as usize
-            };
+            let (fill, gap, lits) = try_read_atom(stream, &mut pos)?;
+            if gap > n_bytes - out.len() {
+                return Err(DecodeError::Overrun {
+                    codec: "bbc",
+                    declared_bits: n_bytes * 8,
+                });
+            }
             out.extend(std::iter::repeat_n(if fill { 0xFFu8 } else { 0x00 }, gap));
-            assert!(
-                pos + lits <= stream.len(),
-                "BBC stream truncated: literal tail runs past end"
-            );
+            if lits > stream.len() - pos {
+                return Err(DecodeError::Truncated {
+                    codec: "bbc",
+                    offset: stream.len(),
+                });
+            }
+            if lits > n_bytes - out.len() {
+                return Err(DecodeError::Overrun {
+                    codec: "bbc",
+                    declared_bits: n_bytes * 8,
+                });
+            }
             out.extend_from_slice(&stream[pos..pos + lits]);
             pos += lits;
         }
-        assert_eq!(
-            out.len(),
-            n_bytes,
-            "BBC stream decoded to wrong length: {} vs expected {}",
-            out.len(),
-            n_bytes
-        );
-        out
+        if out.len() != n_bytes {
+            return Err(DecodeError::WrongLength {
+                codec: "bbc",
+                decoded: out.len(),
+                declared: n_bytes,
+            });
+        }
+        Ok(out)
     }
 
     /// Iterates over the decoded byte runs of a compressed stream without
@@ -286,26 +329,17 @@ impl<'a> BbcAtoms<'a> {
         if self.pos >= self.stream.len() {
             return None;
         }
-        let header = self.stream[self.pos];
-        self.pos += 1;
-        let fill = header & 0x80 != 0;
-        let gap_code = (header >> 4) & 0x7;
-        let lit_code = header & 0xf;
-        let gap = if gap_code == 7 {
-            read_varint(self.stream, &mut self.pos) as usize
-        } else {
-            gap_code as usize
-        };
-        let lits = if lit_code == 15 {
-            read_varint(self.stream, &mut self.pos) as usize
-        } else {
-            lit_code as usize
-        };
+        let (fill, gap, lits) =
+            try_read_atom(self.stream, &mut self.pos).unwrap_or_else(|e| panic!("{e}"));
         let gap_piece = (gap > 0).then_some(BbcPiece::Fill {
             bit: fill,
             len: gap,
         });
         let lit_piece = if lits > 0 {
+            assert!(
+                lits <= self.stream.len() - self.pos,
+                "BBC stream truncated: literal tail runs past end"
+            );
             let slice = &self.stream[self.pos..self.pos + lits];
             self.pos += lits;
             Some(BbcPiece::Literal(slice))
@@ -353,9 +387,69 @@ impl super::codec::BitmapCodec for Bbc {
         Bbc::compress_bytes(&bv.to_bytes())
     }
 
-    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
-        let raw = Bbc::decompress_bytes(bytes, len_bits.div_ceil(8));
-        Bitvec::from_bytes(len_bits, &raw)
+    fn try_decompress(&self, bytes: &[u8], len_bits: usize) -> Result<Bitvec, crate::DecodeError> {
+        let raw = Bbc::try_decompress_bytes(bytes, len_bits.div_ceil(8))?;
+        check_tail_byte(&raw, len_bits, "bbc")?;
+        Ok(Bitvec::from_bytes(len_bits, &raw))
+    }
+
+    fn validate(&self, bytes: &[u8], len_bits: usize) -> Result<(), crate::DecodeError> {
+        let n_bytes = len_bits.div_ceil(8);
+        let mut decoded = 0usize;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let atom_at = pos;
+            let (fill, gap, lits) = try_read_atom(bytes, &mut pos)?;
+            if gap > n_bytes - decoded {
+                return Err(crate::DecodeError::Overrun {
+                    codec: "bbc",
+                    declared_bits: n_bytes * 8,
+                });
+            }
+            decoded += gap;
+            if lits > bytes.len() - pos {
+                return Err(crate::DecodeError::Truncated {
+                    codec: "bbc",
+                    offset: bytes.len(),
+                });
+            }
+            if lits > n_bytes - decoded {
+                return Err(crate::DecodeError::Overrun {
+                    codec: "bbc",
+                    declared_bits: n_bytes * 8,
+                });
+            }
+            // The final byte of the image may not carry bits past len_bits.
+            let tail_bits = len_bits % 8;
+            if tail_bits != 0 {
+                let tail_mask = !((1u8 << tail_bits) - 1);
+                let covers_tail = decoded + lits == n_bytes;
+                if covers_tail && lits > 0 && bytes[pos + lits - 1] & tail_mask != 0 {
+                    return Err(crate::DecodeError::BadAtom {
+                        codec: "bbc",
+                        offset: pos + lits - 1,
+                        what: "set bits past the declared length",
+                    });
+                }
+                if covers_tail && lits == 0 && fill {
+                    return Err(crate::DecodeError::BadAtom {
+                        codec: "bbc",
+                        offset: atom_at,
+                        what: "set bits past the declared length",
+                    });
+                }
+            }
+            decoded += lits;
+            pos += lits;
+        }
+        if decoded != n_bytes {
+            return Err(crate::DecodeError::WrongLength {
+                codec: "bbc",
+                decoded,
+                declared: n_bytes,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -485,8 +579,46 @@ mod tests {
             let mut buf = Vec::new();
             push_varint(&mut buf, v);
             let mut pos = 0;
-            assert_eq!(read_varint(&buf, &mut pos), v);
+            assert_eq!(try_read_varint(&buf, &mut pos), Ok(v));
             assert_eq!(pos, buf.len());
         }
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error_not_a_panic() {
+        // Header promising a gap varint, but the stream ends there.
+        let stream = [0x70u8];
+        assert!(matches!(
+            Bbc::try_decompress_bytes(&stream, 100),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Continuation bit set on the final byte.
+        let stream = [0x70u8, 0x80];
+        assert!(matches!(
+            Bbc::try_decompress_bytes(&stream, 100),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_gap_is_capped_by_declared_length() {
+        // A gap varint claiming ~2^42 bytes must not allocate anything
+        // close to that: the decode is rejected against n_bytes first.
+        let mut stream = vec![0x70u8];
+        push_varint(&mut stream, 1 << 42);
+        assert!(matches!(
+            Bbc::try_decompress_bytes(&stream, 64),
+            Err(DecodeError::Overrun { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_literal_tail_is_an_error() {
+        // Header: gap 0, 3 literals — but only 1 byte follows.
+        let stream = [0x03u8, 0xAB];
+        assert!(matches!(
+            Bbc::try_decompress_bytes(&stream, 3),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 }

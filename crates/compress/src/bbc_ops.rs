@@ -50,7 +50,27 @@ impl BitOp {
     }
 
     #[inline]
-    fn apply_bit(self, a: bool, b: bool) -> bool {
+    pub(crate) fn apply_u32(self, a: u32, b: u32) -> u32 {
+        match self {
+            BitOp::And => a & b,
+            BitOp::Or => a | b,
+            BitOp::Xor => a ^ b,
+            BitOp::AndNot => a & !b,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn apply_u64(self, a: u64, b: u64) -> u64 {
+        match self {
+            BitOp::And => a & b,
+            BitOp::Or => a | b,
+            BitOp::Xor => a ^ b,
+            BitOp::AndNot => a & !b,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn apply_bit(self, a: bool, b: bool) -> bool {
         match self {
             BitOp::And => a && b,
             BitOp::Or => a || b,

@@ -1,6 +1,97 @@
 //! The codec abstraction shared by compressed and uncompressed indexes.
 
+use crate::BitOp;
 use bix_bitvec::Bitvec;
+
+/// Why a compressed byte stream failed to decode.
+///
+/// Returned by [`BitmapCodec::try_decompress`] so that callers holding
+/// possibly-corrupt bytes (e.g. a storage layer whose checksum passed but
+/// whose payload was written by a buggy producer) can treat malformed
+/// streams as data corruption instead of crashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream length is not a multiple of the codec's word size.
+    Misaligned {
+        /// Codec name.
+        codec: &'static str,
+        /// Required alignment in bytes.
+        align: usize,
+        /// Actual stream length in bytes.
+        len: usize,
+    },
+    /// The stream ended in the middle of a varint, literal run or container.
+    Truncated {
+        /// Codec name.
+        codec: &'static str,
+        /// Byte offset at which decoding had to stop.
+        offset: usize,
+    },
+    /// A fill atom or marker word is structurally invalid.
+    BadAtom {
+        /// Codec name.
+        codec: &'static str,
+        /// Byte offset of the offending atom.
+        offset: usize,
+        /// What is wrong with it.
+        what: &'static str,
+    },
+    /// Decoding would produce more output than the declared bitmap length;
+    /// also guards decode allocations against hostile length fields.
+    Overrun {
+        /// Codec name.
+        codec: &'static str,
+        /// Declared bitmap length in bits.
+        declared_bits: usize,
+    },
+    /// The stream decoded cleanly but to the wrong total length.
+    WrongLength {
+        /// Codec name.
+        codec: &'static str,
+        /// Decoded length (codec-specific unit: groups, words or bytes).
+        decoded: usize,
+        /// Length the declared bitmap size requires, in the same unit.
+        declared: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Misaligned { codec, align, len } => {
+                write!(
+                    f,
+                    "{codec} stream of {len} bytes is not {align}-byte aligned"
+                )
+            }
+            DecodeError::Truncated { codec, offset } => {
+                write!(f, "{codec} stream truncated at byte {offset}")
+            }
+            DecodeError::BadAtom {
+                codec,
+                offset,
+                what,
+            } => write!(f, "{codec} stream has {what} at byte {offset}"),
+            DecodeError::Overrun {
+                codec,
+                declared_bits,
+            } => write!(
+                f,
+                "{codec} stream overruns the declared length of {declared_bits} bits"
+            ),
+            DecodeError::WrongLength {
+                codec,
+                decoded,
+                declared,
+            } => write!(
+                f,
+                "{codec} stream decoded to wrong length: {decoded} vs expected {declared}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// Identifies a codec in configuration and experiment output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +118,12 @@ impl CodecKind {
             CodecKind::Ewah => Box::new(crate::Ewah),
             CodecKind::Roaring => Box::new(crate::Roaring),
         }
+    }
+
+    /// True when the codec has compressed-domain bitwise kernels
+    /// ([`CompressedBitmap::binary_op`] / [`CompressedBitmap::not_op`]).
+    pub fn supports_compressed_ops(self) -> bool {
+        matches!(self, CodecKind::Bbc | CodecKind::Wah | CodecKind::Ewah)
     }
 
     /// Short lowercase name used in experiment output.
@@ -61,8 +158,35 @@ pub trait BitmapCodec: Send + Sync {
     /// Compresses a bitmap to a byte stream.
     fn compress(&self, bv: &Bitvec) -> Vec<u8>;
 
+    /// Decompresses a byte stream back into a bitmap of `len_bits` bits,
+    /// returning a [`DecodeError`] instead of panicking on malformed input.
+    ///
+    /// Implementations must reject structurally invalid streams (zero-count
+    /// fills, truncated runs, trailing garbage) and must never allocate more
+    /// than the declared bitmap length requires, no matter how hostile the
+    /// input bytes are.
+    fn try_decompress(&self, bytes: &[u8], len_bits: usize) -> Result<Bitvec, DecodeError>;
+
     /// Decompresses a byte stream back into a bitmap of `len_bits` bits.
-    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec;
+    ///
+    /// Convenience wrapper over [`try_decompress`](Self::try_decompress)
+    /// for internal round-trips where the stream is trusted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is malformed.
+    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
+        self.try_decompress(bytes, len_bits)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Structurally validates a stream without materializing the bitmap.
+    ///
+    /// The default implementation decodes and discards; codecs override it
+    /// with an allocation-free walk where the format allows.
+    fn validate(&self, bytes: &[u8], len_bits: usize) -> Result<(), DecodeError> {
+        self.try_decompress(bytes, len_bits).map(|_| ())
+    }
 }
 
 /// The identity codec: bitmaps are stored as their raw byte image.
@@ -82,13 +206,47 @@ impl BitmapCodec for Raw {
         bv.to_bytes()
     }
 
-    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
-        Bitvec::from_bytes(len_bits, bytes)
+    fn try_decompress(&self, bytes: &[u8], len_bits: usize) -> Result<Bitvec, DecodeError> {
+        self.validate(bytes, len_bits)?;
+        Ok(Bitvec::from_bytes(len_bits, bytes))
+    }
+
+    fn validate(&self, bytes: &[u8], len_bits: usize) -> Result<(), DecodeError> {
+        let expected = len_bits.div_ceil(8);
+        if bytes.len() != expected {
+            return Err(DecodeError::WrongLength {
+                codec: "raw",
+                decoded: bytes.len(),
+                declared: expected,
+            });
+        }
+        check_tail_byte(bytes, len_bits, "raw")
     }
 }
 
+/// Rejects a raw byte image whose final byte has bits set past `len_bits`.
+pub(crate) fn check_tail_byte(
+    bytes: &[u8],
+    len_bits: usize,
+    codec: &'static str,
+) -> Result<(), DecodeError> {
+    let tail_bits = len_bits % 8;
+    if tail_bits != 0 {
+        if let Some(&last) = bytes.last() {
+            if last & !((1u8 << tail_bits) - 1) != 0 {
+                return Err(DecodeError::BadAtom {
+                    codec,
+                    offset: bytes.len() - 1,
+                    what: "set bits past the declared length",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A bitmap held in compressed form, tagged with its codec and bit length.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct CompressedBitmap {
     kind: CodecKind,
     len_bits: usize,
@@ -105,9 +263,75 @@ impl CompressedBitmap {
         }
     }
 
+    /// Wraps an already-compressed byte stream without decoding it.
+    ///
+    /// The bytes are *not* validated here; [`try_decode`](Self::try_decode)
+    /// or [`BitmapCodec::validate`] report malformed streams later. Used by
+    /// storage read paths that hand compressed pages straight to the
+    /// compressed-domain evaluator.
+    pub fn from_parts(kind: CodecKind, len_bits: usize, bytes: Vec<u8>) -> Self {
+        CompressedBitmap {
+            kind,
+            len_bits,
+            bytes,
+        }
+    }
+
     /// Decompresses back to a plain bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is malformed; use
+    /// [`try_decode`](Self::try_decode) for untrusted bytes.
     pub fn decode(&self) -> Bitvec {
         self.kind.codec().decompress(&self.bytes, self.len_bits)
+    }
+
+    /// Decompresses back to a plain bitmap, reporting malformed streams as
+    /// a [`DecodeError`] instead of panicking.
+    pub fn try_decode(&self) -> Result<Bitvec, DecodeError> {
+        self.kind.codec().try_decompress(&self.bytes, self.len_bits)
+    }
+
+    /// Combines two compressed bitmaps directly in the compressed domain,
+    /// without decompressing either operand.
+    ///
+    /// Returns `None` when the codec has no compressed-domain kernel
+    /// ([`CodecKind::supports_compressed_ops`] is false) or when the
+    /// operands disagree on codec or length; the caller then falls back to
+    /// decompress-then-bitwise.
+    pub fn binary_op(&self, other: &CompressedBitmap, op: BitOp) -> Option<CompressedBitmap> {
+        if self.kind != other.kind || self.len_bits != other.len_bits {
+            return None;
+        }
+        let bytes = match self.kind {
+            CodecKind::Bbc => crate::bbc_binary(&self.bytes, &other.bytes, op),
+            CodecKind::Wah => crate::wah_binary_bytes(&self.bytes, &other.bytes, op),
+            CodecKind::Ewah => crate::ewah_binary_bytes(&self.bytes, &other.bytes, op),
+            CodecKind::Raw | CodecKind::Roaring => return None,
+        };
+        Some(CompressedBitmap {
+            kind: self.kind,
+            len_bits: self.len_bits,
+            bytes,
+        })
+    }
+
+    /// Complements a compressed bitmap in the compressed domain.
+    ///
+    /// Returns `None` when the codec has no compressed-domain kernel.
+    pub fn not_op(&self) -> Option<CompressedBitmap> {
+        let bytes = match self.kind {
+            CodecKind::Bbc => crate::bbc_not(&self.bytes, self.len_bits),
+            CodecKind::Wah => crate::wah_not_bytes(&self.bytes, self.len_bits),
+            CodecKind::Ewah => crate::ewah_not_bytes(&self.bytes, self.len_bits),
+            CodecKind::Raw | CodecKind::Roaring => return None,
+        };
+        Some(CompressedBitmap {
+            kind: self.kind,
+            len_bits: self.len_bits,
+            bytes,
+        })
     }
 
     /// Stored (compressed) size in bytes.

@@ -16,24 +16,25 @@
 //! second ablation codec: it trades slightly worse compression on
 //! pathological alternating data for the fastest decode of the three.
 
+use crate::DecodeError;
 use bix_bitvec::Bitvec;
 
 const FILL_COUNT_BITS: u64 = 32;
-const FILL_COUNT_MAX: u64 = (1 << FILL_COUNT_BITS) - 1;
+pub(crate) const FILL_COUNT_MAX: u64 = (1 << FILL_COUNT_BITS) - 1;
 const LITERAL_COUNT_BITS: u64 = 31;
-const LITERAL_COUNT_MAX: u64 = (1 << LITERAL_COUNT_BITS) - 1;
+pub(crate) const LITERAL_COUNT_MAX: u64 = (1 << LITERAL_COUNT_BITS) - 1;
 
 /// The EWAH codec. Stateless; see the module docs for the format.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Ewah;
 
-fn marker(fill: bool, fill_words: u64, literal_words: u64) -> u64 {
+pub(crate) fn marker(fill: bool, fill_words: u64, literal_words: u64) -> u64 {
     debug_assert!(fill_words <= FILL_COUNT_MAX);
     debug_assert!(literal_words <= LITERAL_COUNT_MAX);
     u64::from(fill) | (fill_words << 1) | (literal_words << (1 + FILL_COUNT_BITS))
 }
 
-fn unpack(m: u64) -> (bool, u64, u64) {
+pub(crate) fn unpack(m: u64) -> (bool, u64, u64) {
     (
         m & 1 == 1,
         (m >> 1) & FILL_COUNT_MAX,
@@ -90,36 +91,84 @@ impl Ewah {
     ///
     /// # Panics
     ///
-    /// Panics if the stream is malformed or decodes to the wrong length.
+    /// Panics if the stream is malformed; see
+    /// [`try_decompress_words`](Self::try_decompress_words).
     pub fn decompress_words(stream: &[u64], len_bits: usize) -> Bitvec {
+        Ewah::try_decompress_words(stream, len_bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Decompresses a word sequence, rejecting malformed streams instead of
+    /// panicking: empty markers (no fills, no literals — never emitted by
+    /// the compressor), truncated literal runs, runs overstepping
+    /// `len_bits`, and stray bits past the declared length are all
+    /// [`DecodeError`]s. The output buffer never grows past what `len_bits`
+    /// requires, so a hostile fill count cannot force a huge allocation.
+    pub fn try_decompress_words(stream: &[u64], len_bits: usize) -> Result<Bitvec, DecodeError> {
         let total_words = len_bits.div_ceil(64);
         let mut words = Vec::with_capacity(total_words);
         let mut i = 0usize;
         while i < stream.len() {
             let (fill, fills, lits) = unpack(stream[i]);
+            if fills == 0 && lits == 0 {
+                return Err(DecodeError::BadAtom {
+                    codec: "ewah",
+                    offset: i * 8,
+                    what: "empty marker word",
+                });
+            }
             i += 1;
+            if fills as usize > total_words - words.len() {
+                return Err(DecodeError::Overrun {
+                    codec: "ewah",
+                    declared_bits: len_bits,
+                });
+            }
             words.extend(std::iter::repeat_n(
                 if fill { u64::MAX } else { 0 },
                 fills as usize,
             ));
-            assert!(
-                i + lits as usize <= stream.len(),
-                "EWAH stream truncated inside literal run"
-            );
+            if lits as usize > stream.len() - i {
+                return Err(DecodeError::Truncated {
+                    codec: "ewah",
+                    offset: stream.len() * 8,
+                });
+            }
+            if lits as usize > total_words - words.len() {
+                return Err(DecodeError::Overrun {
+                    codec: "ewah",
+                    declared_bits: len_bits,
+                });
+            }
             words.extend_from_slice(&stream[i..i + lits as usize]);
             i += lits as usize;
         }
-        assert_eq!(
-            words.len(),
-            total_words,
-            "EWAH stream decoded to wrong length"
-        );
+        if words.len() != total_words {
+            return Err(DecodeError::WrongLength {
+                codec: "ewah",
+                decoded: words.len(),
+                declared: total_words,
+            });
+        }
+        // Bits past len_bits in the final word must be zero (the encoder
+        // zero-pads the tail), otherwise the stream is non-canonical.
+        let tail_bits = len_bits % 64;
+        if tail_bits != 0 {
+            if let Some(&last) = words.last() {
+                if last >> tail_bits != 0 {
+                    return Err(DecodeError::BadAtom {
+                        codec: "ewah",
+                        offset: (stream.len().saturating_sub(1)) * 8,
+                        what: "set bits past the declared length",
+                    });
+                }
+            }
+        }
         // Reassemble through the byte path to restore the tail invariant.
         let mut bytes = Vec::with_capacity(total_words * 8);
         for w in &words {
             bytes.extend_from_slice(&w.to_le_bytes());
         }
-        Bitvec::from_bytes(len_bits, &bytes[..len_bits.div_ceil(8)])
+        Ok(Bitvec::from_bytes(len_bits, &bytes[..len_bits.div_ceil(8)]))
     }
 }
 
@@ -141,14 +190,109 @@ impl super::codec::BitmapCodec for Ewah {
         out
     }
 
-    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
-        assert_eq!(bytes.len() % 8, 0, "EWAH stream not word-aligned");
-        let words: Vec<u64> = bytes
+    fn try_decompress(&self, bytes: &[u8], len_bits: usize) -> Result<Bitvec, crate::DecodeError> {
+        let words = words_from_bytes(bytes)?;
+        Ewah::try_decompress_words(&words, len_bits)
+    }
+
+    fn validate(&self, bytes: &[u8], len_bits: usize) -> Result<(), crate::DecodeError> {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(DecodeError::Misaligned {
+                codec: "ewah",
+                align: 8,
+                len: bytes.len(),
+            });
+        }
+        let stream: Vec<u64> = bytes
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
             .collect();
-        Ewah::decompress_words(&words, len_bits)
+        let total_words = len_bits.div_ceil(64);
+        let tail_bits = len_bits % 64;
+        let mut decoded = 0usize;
+        let mut i = 0usize;
+        while i < stream.len() {
+            let (fill, fills, lits) = unpack(stream[i]);
+            if fills == 0 && lits == 0 {
+                return Err(DecodeError::BadAtom {
+                    codec: "ewah",
+                    offset: i * 8,
+                    what: "empty marker word",
+                });
+            }
+            i += 1;
+            if fills as usize > total_words - decoded {
+                return Err(DecodeError::Overrun {
+                    codec: "ewah",
+                    declared_bits: len_bits,
+                });
+            }
+            decoded += fills as usize;
+            if fill && tail_bits != 0 && decoded == total_words {
+                return Err(DecodeError::BadAtom {
+                    codec: "ewah",
+                    offset: (i - 1) * 8,
+                    what: "set bits past the declared length",
+                });
+            }
+            if lits as usize > stream.len() - i {
+                return Err(DecodeError::Truncated {
+                    codec: "ewah",
+                    offset: stream.len() * 8,
+                });
+            }
+            if lits as usize > total_words - decoded {
+                return Err(DecodeError::Overrun {
+                    codec: "ewah",
+                    declared_bits: len_bits,
+                });
+            }
+            decoded += lits as usize;
+            if lits > 0 && tail_bits != 0 && decoded == total_words {
+                let last = stream[i + lits as usize - 1];
+                if last >> tail_bits != 0 {
+                    return Err(DecodeError::BadAtom {
+                        codec: "ewah",
+                        offset: (i + lits as usize - 1) * 8,
+                        what: "set bits past the declared length",
+                    });
+                }
+            }
+            i += lits as usize;
+        }
+        if decoded != total_words {
+            return Err(DecodeError::WrongLength {
+                codec: "ewah",
+                decoded,
+                declared: total_words,
+            });
+        }
+        Ok(())
     }
+}
+
+/// Reinterprets a byte stream as little-endian 64-bit EWAH words.
+pub(crate) fn words_from_bytes(bytes: &[u8]) -> Result<Vec<u64>, DecodeError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(DecodeError::Misaligned {
+            codec: "ewah",
+            align: 8,
+            len: bytes.len(),
+        });
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
+}
+
+/// Serializes EWAH words back to little-endian bytes.
+pub(crate) fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,376 @@
+//! Compressed-domain bitwise operations on EWAH streams.
+//!
+//! The 64-bit word-aligned analogue of [`crate::bbc_binary`]: two
+//! compressed EWAH streams are walked in lockstep at word granularity,
+//! aligned fill runs combine in O(1), and only literal words pay a word
+//! operation. Output is canonical — byte-identical to compressing the
+//! bitwise result from scratch.
+//!
+//! Inputs are assumed structurally valid (see [`crate::BitmapCodec::validate`]);
+//! the storage layer validates streams when it reads them for
+//! compressed-domain use.
+//!
+//! ```
+//! use bix_bitvec::Bitvec;
+//! use bix_compress::{ewah_binary_bytes, BitOp, BitmapCodec, Ewah};
+//!
+//! let a = Bitvec::from_positions(100_000, &[1, 2, 3]);
+//! let b = Bitvec::from_positions(100_000, &[3, 4, 50_000]);
+//! let c = ewah_binary_bytes(&Ewah.compress(&a), &Ewah.compress(&b), BitOp::Or);
+//! assert_eq!(Ewah.decompress(&c, 100_000), a.or(&b));
+//! ```
+
+use crate::ewah::{marker, unpack, words_from_bytes, words_to_bytes};
+use crate::ewah::{FILL_COUNT_MAX, LITERAL_COUNT_MAX};
+use crate::BitOp;
+
+/// Re-encodes words into canonical EWAH: fill runs merge maximally,
+/// all-0 / all-1 literal words fold into fills, and each (fill run,
+/// literal run) pair becomes one marker, split exactly as
+/// [`crate::Ewah::compress_words`] splits oversized runs.
+struct EwahEncoder {
+    out: Vec<u64>,
+    fill_bit: bool,
+    fills: u64,
+    lits: Vec<u64>,
+}
+
+impl EwahEncoder {
+    fn new() -> Self {
+        EwahEncoder {
+            out: Vec::new(),
+            fill_bit: false,
+            fills: 0,
+            lits: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.fills == 0 && self.lits.is_empty() {
+            return;
+        }
+        // A marker with no fill run always encodes fill = false, matching
+        // the block compressor.
+        let bit = self.fills > 0 && self.fill_bit;
+        let mut fills = self.fills;
+        let lits = std::mem::take(&mut self.lits);
+        let mut lit_cursor = 0usize;
+        loop {
+            let f = fills.min(FILL_COUNT_MAX);
+            let l = ((lits.len() - lit_cursor) as u64).min(LITERAL_COUNT_MAX);
+            self.out.push(marker(bit, f, l));
+            self.out
+                .extend_from_slice(&lits[lit_cursor..lit_cursor + l as usize]);
+            fills -= f;
+            lit_cursor += l as usize;
+            if fills == 0 && lit_cursor == lits.len() {
+                break;
+            }
+        }
+        self.fills = 0;
+    }
+
+    fn push_fill(&mut self, bit: bool, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if !self.lits.is_empty() || (self.fills > 0 && self.fill_bit != bit) {
+            self.flush();
+        }
+        self.fill_bit = bit;
+        self.fills += n;
+    }
+
+    fn push_literal(&mut self, w: u64) {
+        if w == 0 {
+            self.push_fill(false, 1);
+        } else if w == u64::MAX {
+            self.push_fill(true, 1);
+        } else {
+            self.lits.push(w);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u64> {
+        self.flush();
+        self.out
+    }
+}
+
+/// One aligned run handed to the combiner.
+enum Seg {
+    /// Words of an identical fill.
+    Fill(bool),
+    /// A single literal word.
+    Literal(u64),
+}
+
+/// Cursor over the decoded word runs of an EWAH stream.
+struct EwahCursor<'a> {
+    stream: &'a [u64],
+    /// Index of the next unread stream word (past the current marker).
+    i: usize,
+    fill_bit: bool,
+    fills_left: u64,
+    lits_left: u64,
+}
+
+impl<'a> EwahCursor<'a> {
+    fn new(stream: &'a [u64]) -> Self {
+        let mut c = EwahCursor {
+            stream,
+            i: 0,
+            fill_bit: false,
+            fills_left: 0,
+            lits_left: 0,
+        };
+        c.advance();
+        c
+    }
+
+    /// Loads markers until the cursor has something to yield or the stream
+    /// ends.
+    fn advance(&mut self) {
+        while self.fills_left == 0 && self.lits_left == 0 && self.i < self.stream.len() {
+            let (bit, fills, lits) = unpack(self.stream[self.i]);
+            self.i += 1;
+            self.fill_bit = bit;
+            self.fills_left = fills;
+            self.lits_left = lits;
+        }
+    }
+
+    /// Words remaining in the current segment, or `None` at end.
+    fn remaining(&self) -> Option<u64> {
+        if self.fills_left > 0 {
+            Some(self.fills_left)
+        } else if self.lits_left > 0 {
+            Some(1)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes exactly `n` words (must not exceed `remaining`).
+    fn take(&mut self, n: u64) -> Seg {
+        let seg = if self.fills_left > 0 {
+            self.fills_left -= n;
+            Seg::Fill(self.fill_bit)
+        } else {
+            debug_assert_eq!(n, 1);
+            let w = self.stream[self.i];
+            self.i += 1;
+            self.lits_left -= 1;
+            Seg::Literal(w)
+        };
+        self.advance();
+        seg
+    }
+}
+
+/// Combines two EWAH word streams bitwise, producing a canonical EWAH word
+/// stream. Both inputs must decode to the same word count.
+///
+/// # Panics
+///
+/// Panics if the streams decode to different word counts.
+pub fn ewah_binary(a: &[u64], b: &[u64], op: BitOp) -> Vec<u64> {
+    let mut ca = EwahCursor::new(a);
+    let mut cb = EwahCursor::new(b);
+    let mut enc = EwahEncoder::new();
+    loop {
+        match (ca.remaining(), cb.remaining()) {
+            (None, None) => break,
+            (Some(ra), Some(rb)) => {
+                let n = ra.min(rb);
+                match (ca.take(n), cb.take(n)) {
+                    (Seg::Fill(x), Seg::Fill(y)) => enc.push_fill(op.apply_bit(x, y), n),
+                    (Seg::Fill(x), Seg::Literal(w)) => {
+                        let fx = if x { u64::MAX } else { 0 };
+                        enc.push_literal(op.apply_u64(fx, w));
+                    }
+                    (Seg::Literal(w), Seg::Fill(y)) => {
+                        let fy = if y { u64::MAX } else { 0 };
+                        enc.push_literal(op.apply_u64(w, fy));
+                    }
+                    (Seg::Literal(wa), Seg::Literal(wb)) => {
+                        enc.push_literal(op.apply_u64(wa, wb));
+                    }
+                }
+            }
+            _ => panic!("EWAH streams decode to different word counts"),
+        }
+    }
+    enc.finish()
+}
+
+/// Byte-stream wrapper around [`ewah_binary`].
+///
+/// # Panics
+///
+/// Panics if either stream is not 8-byte aligned or the streams decode to
+/// different word counts.
+pub fn ewah_binary_bytes(a: &[u8], b: &[u8], op: BitOp) -> Vec<u8> {
+    let wa = words_from_bytes(a).unwrap_or_else(|e| panic!("{e}"));
+    let wb = words_from_bytes(b).unwrap_or_else(|e| panic!("{e}"));
+    words_to_bytes(&ewah_binary(&wa, &wb, op))
+}
+
+/// Complements an EWAH word stream over `len_bits` bits: fills and literal
+/// words flip, and bits past `len_bits` in the final (partial) word are
+/// cleared so the result stays canonical.
+///
+/// # Panics
+///
+/// Panics if the stream does not decode to exactly the word count
+/// `len_bits` requires.
+pub fn ewah_not(stream: &[u64], len_bits: usize) -> Vec<u64> {
+    let total_words = (len_bits.div_ceil(64)) as u64;
+    let tail_bits = len_bits % 64;
+    let tail_mask: u64 = if tail_bits == 0 {
+        u64::MAX
+    } else {
+        (1u64 << tail_bits) - 1
+    };
+    let mut enc = EwahEncoder::new();
+    let mut cursor = EwahCursor::new(stream);
+    let mut produced = 0u64;
+    while let Some(r) = cursor.remaining() {
+        let covers_tail = produced + r == total_words && tail_mask != u64::MAX;
+        match cursor.take(r) {
+            Seg::Fill(bit) => {
+                let body = if covers_tail { r - 1 } else { r };
+                enc.push_fill(!bit, body);
+                if covers_tail {
+                    let last = if bit { u64::MAX } else { 0 };
+                    enc.push_literal(!last & tail_mask);
+                }
+            }
+            Seg::Literal(w) => {
+                let mask = if covers_tail { tail_mask } else { u64::MAX };
+                enc.push_literal(!w & mask);
+            }
+        }
+        produced += r;
+    }
+    assert_eq!(
+        produced, total_words,
+        "EWAH stream decoded to wrong word count"
+    );
+    enc.finish()
+}
+
+/// Byte-stream wrapper around [`ewah_not`].
+///
+/// # Panics
+///
+/// Panics if the stream is not 8-byte aligned or decodes to the wrong
+/// word count.
+pub fn ewah_not_bytes(stream: &[u8], len_bits: usize) -> Vec<u8> {
+    let words = words_from_bytes(stream).unwrap_or_else(|e| panic!("{e}"));
+    words_to_bytes(&ewah_not(&words, len_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitmapCodec, Ewah};
+    use bix_bitvec::Bitvec;
+
+    fn sample(seed: u64, bits: usize) -> Bitvec {
+        let mut bv = Bitvec::zeros(bits);
+        let mut x = seed | 1;
+        let mut pos = 0usize;
+        while pos < bits {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let run = (x % 97) as usize + 1;
+            if x.is_multiple_of(3) {
+                for i in 0..run.min(bits - pos) {
+                    bv.set(pos + i, true);
+                }
+            }
+            pos += run;
+        }
+        bv
+    }
+
+    #[test]
+    fn binary_ops_match_uncompressed_reference() {
+        for bits in [1usize, 7, 63, 64, 128, 1000, 10_000] {
+            let a = sample(1, bits);
+            let b = sample(2, bits);
+            let ca = Ewah.compress(&a);
+            let cb = Ewah.compress(&b);
+            for (op, expect) in [
+                (BitOp::And, a.and(&b)),
+                (BitOp::Or, a.or(&b)),
+                (BitOp::Xor, a.xor(&b)),
+                (BitOp::AndNot, a.and_not(&b)),
+            ] {
+                let combined = ewah_binary_bytes(&ca, &cb, op);
+                assert_eq!(
+                    Ewah.decompress(&combined, bits),
+                    expect,
+                    "{op:?} bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_canonical() {
+        let bits = 5_000;
+        let a = sample(3, bits);
+        let b = sample(4, bits);
+        for op in [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot] {
+            let direct = ewah_binary_bytes(&Ewah.compress(&a), &Ewah.compress(&b), op);
+            let expect = match op {
+                BitOp::And => a.and(&b),
+                BitOp::Or => a.or(&b),
+                BitOp::Xor => a.xor(&b),
+                BitOp::AndNot => a.and_not(&b),
+            };
+            assert_eq!(direct, Ewah.compress(&expect), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn fills_combine_without_word_loops() {
+        let bits = 64 * 1_000_000;
+        let zeros = Bitvec::zeros(bits);
+        let c = Ewah.compress(&zeros);
+        let combined = ewah_binary_bytes(&c, &c, BitOp::And);
+        assert!(combined.len() <= 16);
+        assert_eq!(Ewah.decompress(&combined, bits), zeros);
+    }
+
+    #[test]
+    fn not_matches_uncompressed_reference() {
+        for bits in [1usize, 7, 63, 64, 65, 128, 1000, 4096, 10_001] {
+            let a = sample(5, bits);
+            let neg = ewah_not_bytes(&Ewah.compress(&a), bits);
+            assert_eq!(Ewah.decompress(&neg, bits), a.not(), "bits={bits}");
+            assert_eq!(neg, Ewah.compress(&a.not()), "canonical bits={bits}");
+        }
+    }
+
+    #[test]
+    fn not_of_all_zero_is_all_one() {
+        let bits = 64 * 40 + 5;
+        let c = Ewah.compress(&Bitvec::zeros(bits));
+        assert_eq!(
+            Ewah.decompress(&ewah_not_bytes(&c, bits), bits),
+            Bitvec::ones_vec(bits)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different word counts")]
+    fn mismatched_streams_panic() {
+        let a = Ewah.compress(&Bitvec::zeros(64));
+        let b = Ewah.compress(&Bitvec::zeros(128));
+        let _ = ewah_binary_bytes(&a, &b, BitOp::And);
+    }
+}

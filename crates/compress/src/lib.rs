@@ -32,14 +32,18 @@ mod bbc;
 mod bbc_ops;
 mod codec;
 mod ewah;
+mod ewah_ops;
 mod roaring;
 mod runs;
 mod wah;
+mod wah_ops;
 
 pub use bbc::{Bbc, BbcAtoms, BbcEncoder, BbcPiece};
 pub use bbc_ops::{bbc_binary, bbc_not, BitOp};
-pub use codec::{BitmapCodec, CodecKind, CompressedBitmap, Raw};
+pub use codec::{BitmapCodec, CodecKind, CompressedBitmap, DecodeError, Raw};
 pub use ewah::Ewah;
+pub use ewah_ops::{ewah_binary, ewah_binary_bytes, ewah_not, ewah_not_bytes};
 pub use roaring::Roaring;
 pub use runs::{ByteRun, ByteRunIter};
 pub use wah::Wah;
+pub use wah_ops::{wah_binary, wah_binary_bytes, wah_not, wah_not_bytes};

@@ -87,49 +87,81 @@ impl super::codec::BitmapCodec for Roaring {
         out
     }
 
-    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
+    fn try_decompress(&self, bytes: &[u8], len_bits: usize) -> Result<Bitvec, crate::DecodeError> {
+        use crate::DecodeError;
         let mut bv = Bitvec::zeros(len_bits);
         let mut pos = 0usize;
-        let take = |pos: &mut usize, n: usize| -> &[u8] {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
+            if n > bytes.len() - *pos {
+                return Err(DecodeError::Truncated {
+                    codec: "roaring",
+                    offset: bytes.len(),
+                });
+            }
             let s = &bytes[*pos..*pos + n];
             *pos += n;
-            s
+            Ok(s)
         };
         let n_containers =
-            u32::from_le_bytes(take(&mut pos, 4).try_into().expect("4 bytes")) as usize;
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
         for _ in 0..n_containers {
-            let key = u16::from_le_bytes(take(&mut pos, 2).try_into().expect("2 bytes")) as usize;
-            let kind = take(&mut pos, 1)[0];
+            let key = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes")) as usize;
+            let kind_at = pos;
+            let kind = take(&mut pos, 1)?[0];
             let base = key * CHUNK_BITS;
             match kind {
                 0 => {
-                    let card = u16::from_le_bytes(take(&mut pos, 2).try_into().expect("2 bytes"))
+                    let card = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes"))
                         as usize
                         + 1;
                     for _ in 0..card {
-                        let o = u16::from_le_bytes(take(&mut pos, 2).try_into().expect("2 bytes"))
+                        let o = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes"))
                             as usize;
+                        if base + o >= len_bits {
+                            return Err(DecodeError::Overrun {
+                                codec: "roaring",
+                                declared_bits: len_bits,
+                            });
+                        }
                         bv.set(base + o, true);
                     }
                 }
                 1 => {
-                    let chunk = take(&mut pos, CHUNK_BYTES);
+                    let chunk = take(&mut pos, CHUNK_BYTES)?;
                     for (byte_idx, &byte) in chunk.iter().enumerate() {
                         if byte == 0 {
                             continue;
                         }
                         let bit_base = base + byte_idx * 8;
                         let n = 8.min(len_bits.saturating_sub(bit_base));
+                        if n < 8 && byte >> n != 0 {
+                            return Err(DecodeError::Overrun {
+                                codec: "roaring",
+                                declared_bits: len_bits,
+                            });
+                        }
                         if n > 0 {
                             bv.set_bits(bit_base, n, u64::from(byte));
                         }
                     }
                 }
-                other => panic!("bad roaring container type {other}"),
+                _ => {
+                    return Err(DecodeError::BadAtom {
+                        codec: "roaring",
+                        offset: kind_at,
+                        what: "bad container type byte",
+                    });
+                }
             }
         }
-        assert_eq!(pos, bytes.len(), "trailing bytes in roaring stream");
-        bv
+        if pos != bytes.len() {
+            return Err(DecodeError::BadAtom {
+                codec: "roaring",
+                offset: pos,
+                what: "trailing bytes after last container",
+            });
+        }
+        Ok(bv)
     }
 }
 

@@ -11,13 +11,14 @@
 //! it is included as an ablation baseline against BBC: word alignment
 //! trades ~1 bit per 32 of extra space for faster decode.
 
+use crate::DecodeError;
 use bix_bitvec::Bitvec;
 
-const GROUP_BITS: usize = 31;
-const FILL_FLAG: u32 = 1 << 31;
-const FILL_BIT: u32 = 1 << 30;
-const COUNT_MASK: u32 = FILL_BIT - 1;
-const LITERAL_MASK: u32 = (1 << GROUP_BITS) - 1;
+pub(crate) const GROUP_BITS: usize = 31;
+pub(crate) const FILL_FLAG: u32 = 1 << 31;
+pub(crate) const FILL_BIT: u32 = 1 << 30;
+pub(crate) const COUNT_MASK: u32 = FILL_BIT - 1;
+pub(crate) const LITERAL_MASK: u32 = (1 << GROUP_BITS) - 1;
 
 /// The WAH codec. Stateless; see the module docs for the format.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,41 +65,87 @@ impl Wah {
     ///
     /// # Panics
     ///
-    /// Panics if the stream decodes to a different number of groups than
-    /// `len_bits` requires.
+    /// Panics if the stream is malformed; see
+    /// [`try_decompress_words`](Self::try_decompress_words).
     pub fn decompress_words(words: &[u32], len_bits: usize) -> Bitvec {
+        Wah::try_decompress_words(words, len_bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Decompresses a word sequence, rejecting malformed streams instead of
+    /// panicking: zero-count fill words, runs overstepping `len_bits`, a
+    /// partial tail group carrying bits past the declared length, and
+    /// streams decoding to the wrong group count are all [`DecodeError`]s.
+    pub fn try_decompress_words(words: &[u32], len_bits: usize) -> Result<Bitvec, DecodeError> {
+        let expected_groups = len_bits.div_ceil(GROUP_BITS);
         let mut bv = Bitvec::zeros(len_bits);
-        let mut pos = 0usize; // bit cursor
-        for &w in words {
+        let mut groups = 0usize; // groups decoded so far
+        for (w_idx, &w) in words.iter().enumerate() {
             if w & FILL_FLAG != 0 {
                 let fill = w & FILL_BIT != 0;
                 let count = (w & COUNT_MASK) as usize;
-                let bits = count * GROUP_BITS;
+                if count == 0 {
+                    return Err(DecodeError::BadAtom {
+                        codec: "wah",
+                        offset: w_idx * 4,
+                        what: "zero-count fill word",
+                    });
+                }
+                if count > expected_groups - groups {
+                    return Err(DecodeError::Overrun {
+                        codec: "wah",
+                        declared_bits: len_bits,
+                    });
+                }
                 if fill {
-                    let mut p = pos;
-                    let end = (pos + bits).min(len_bits);
+                    // A run of ones may not cover a partial tail group:
+                    // the encoder zero-pads the tail, so such a group is
+                    // never all-ones in a canonical stream.
+                    if (groups + count) * GROUP_BITS > len_bits {
+                        return Err(DecodeError::BadAtom {
+                            codec: "wah",
+                            offset: w_idx * 4,
+                            what: "set bits past the declared length",
+                        });
+                    }
+                    let mut p = groups * GROUP_BITS;
+                    let end = p + count * GROUP_BITS;
                     while p < end {
                         let chunk = (end - p).min(64);
                         bv.set_bits(p, chunk, u64::MAX);
                         p += chunk;
                     }
                 }
-                pos += bits;
+                groups += count;
             } else {
-                let n = GROUP_BITS.min(len_bits.saturating_sub(pos));
+                if groups == expected_groups {
+                    return Err(DecodeError::Overrun {
+                        codec: "wah",
+                        declared_bits: len_bits,
+                    });
+                }
+                let pos = groups * GROUP_BITS;
+                let n = GROUP_BITS.min(len_bits - pos);
+                if n < GROUP_BITS && w >> n != 0 {
+                    return Err(DecodeError::BadAtom {
+                        codec: "wah",
+                        offset: w_idx * 4,
+                        what: "set bits past the declared length",
+                    });
+                }
                 if n > 0 {
                     bv.set_bits(pos, n, u64::from(w & LITERAL_MASK));
                 }
-                pos += GROUP_BITS;
+                groups += 1;
             }
         }
-        let expected_groups = len_bits.div_ceil(GROUP_BITS);
-        assert_eq!(
-            pos / GROUP_BITS,
-            expected_groups,
-            "WAH stream decoded to wrong group count"
-        );
-        bv
+        if groups != expected_groups {
+            return Err(DecodeError::WrongLength {
+                codec: "wah",
+                decoded: groups,
+                declared: expected_groups,
+            });
+        }
+        Ok(bv)
     }
 }
 
@@ -120,14 +167,97 @@ impl super::codec::BitmapCodec for Wah {
         out
     }
 
-    fn decompress(&self, bytes: &[u8], len_bits: usize) -> Bitvec {
-        assert_eq!(bytes.len() % 4, 0, "WAH stream not word-aligned");
-        let words: Vec<u32> = bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
-        Wah::decompress_words(&words, len_bits)
+    fn try_decompress(&self, bytes: &[u8], len_bits: usize) -> Result<Bitvec, crate::DecodeError> {
+        let words = words_from_bytes(bytes)?;
+        Wah::try_decompress_words(&words, len_bits)
     }
+
+    fn validate(&self, bytes: &[u8], len_bits: usize) -> Result<(), crate::DecodeError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(DecodeError::Misaligned {
+                codec: "wah",
+                align: 4,
+                len: bytes.len(),
+            });
+        }
+        let expected_groups = len_bits.div_ceil(GROUP_BITS);
+        let mut groups = 0usize;
+        for (w_idx, c) in bytes.chunks_exact(4).enumerate() {
+            let w = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            if w & FILL_FLAG != 0 {
+                let count = (w & COUNT_MASK) as usize;
+                if count == 0 {
+                    return Err(DecodeError::BadAtom {
+                        codec: "wah",
+                        offset: w_idx * 4,
+                        what: "zero-count fill word",
+                    });
+                }
+                if count > expected_groups - groups {
+                    return Err(DecodeError::Overrun {
+                        codec: "wah",
+                        declared_bits: len_bits,
+                    });
+                }
+                if w & FILL_BIT != 0 && (groups + count) * GROUP_BITS > len_bits {
+                    return Err(DecodeError::BadAtom {
+                        codec: "wah",
+                        offset: w_idx * 4,
+                        what: "set bits past the declared length",
+                    });
+                }
+                groups += count;
+            } else {
+                if groups == expected_groups {
+                    return Err(DecodeError::Overrun {
+                        codec: "wah",
+                        declared_bits: len_bits,
+                    });
+                }
+                let n = GROUP_BITS.min(len_bits - groups * GROUP_BITS);
+                if n < GROUP_BITS && w >> n != 0 {
+                    return Err(DecodeError::BadAtom {
+                        codec: "wah",
+                        offset: w_idx * 4,
+                        what: "set bits past the declared length",
+                    });
+                }
+                groups += 1;
+            }
+        }
+        if groups != expected_groups {
+            return Err(DecodeError::WrongLength {
+                codec: "wah",
+                decoded: groups,
+                declared: expected_groups,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Reinterprets a byte stream as little-endian 32-bit WAH words.
+pub(crate) fn words_from_bytes(bytes: &[u8]) -> Result<Vec<u32>, DecodeError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(DecodeError::Misaligned {
+            codec: "wah",
+            align: 4,
+            len: bytes.len(),
+        });
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Serializes WAH words back to little-endian bytes.
+pub(crate) fn words_to_bytes(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,365 @@
+//! Compressed-domain bitwise operations on WAH streams.
+//!
+//! The word-aligned analogue of [`crate::bbc_binary`]: two compressed WAH
+//! streams are walked in lockstep at 31-bit-group granularity, aligned fill
+//! runs combine in O(1) regardless of length, and only literal groups pay a
+//! word operation. Output is canonical — byte-identical to compressing the
+//! bitwise result from scratch — so compressed-domain and raw evaluation
+//! are interchangeable anywhere in a query DAG.
+//!
+//! Inputs are assumed structurally valid (see [`crate::BitmapCodec::validate`]);
+//! the storage layer validates streams when it reads them for
+//! compressed-domain use, so corruption is caught before it reaches these
+//! kernels.
+//!
+//! ```
+//! use bix_bitvec::Bitvec;
+//! use bix_compress::{wah_binary_bytes, BitOp, BitmapCodec, Wah};
+//!
+//! let a = Bitvec::from_positions(100_000, &[1, 2, 3]);
+//! let b = Bitvec::from_positions(100_000, &[3, 4, 50_000]);
+//! let c = wah_binary_bytes(&Wah.compress(&a), &Wah.compress(&b), BitOp::And);
+//! assert_eq!(Wah.decompress(&c, 100_000), a.and(&b));
+//! ```
+
+use crate::wah::{
+    words_from_bytes, words_to_bytes, COUNT_MASK, FILL_BIT, FILL_FLAG, GROUP_BITS, LITERAL_MASK,
+};
+use crate::BitOp;
+
+/// Re-encodes groups into canonical WAH: adjacent same-bit fills merge,
+/// all-0 / all-1 literal groups fold into fills, and oversized runs split
+/// exactly as [`crate::Wah::compress_words`] does.
+struct WahEncoder {
+    out: Vec<u32>,
+    run_bit: bool,
+    run_len: usize,
+}
+
+impl WahEncoder {
+    fn new() -> Self {
+        WahEncoder {
+            out: Vec::new(),
+            run_bit: false,
+            run_len: 0,
+        }
+    }
+
+    fn flush_run(&mut self) {
+        let mut remaining = self.run_len;
+        while remaining > 0 {
+            let chunk = remaining.min(COUNT_MASK as usize);
+            self.out
+                .push(FILL_FLAG | (u32::from(self.run_bit) * FILL_BIT) | chunk as u32);
+            remaining -= chunk;
+        }
+        self.run_len = 0;
+    }
+
+    fn push_fill(&mut self, bit: bool, count: usize) {
+        if count == 0 {
+            return;
+        }
+        if self.run_len > 0 && self.run_bit != bit {
+            self.flush_run();
+        }
+        self.run_bit = bit;
+        self.run_len += count;
+    }
+
+    fn push_group(&mut self, g: u32) {
+        if g == 0 {
+            self.push_fill(false, 1);
+        } else if g == LITERAL_MASK {
+            self.push_fill(true, 1);
+        } else {
+            self.flush_run();
+            self.out.push(g);
+        }
+    }
+
+    fn finish(mut self) -> Vec<u32> {
+        self.flush_run();
+        self.out
+    }
+}
+
+/// One aligned run handed to the combiner.
+enum Seg {
+    /// `count` groups of an identical fill.
+    Fill(bool),
+    /// A single literal group.
+    Literal(u32),
+}
+
+/// Cursor over the decoded group runs of a WAH stream.
+struct WahCursor<'a> {
+    words: &'a [u32],
+    i: usize,
+    /// Groups left in the current fill word (0 when positioned on a literal).
+    fill_left: usize,
+    fill_bit: bool,
+}
+
+impl<'a> WahCursor<'a> {
+    fn new(words: &'a [u32]) -> Self {
+        let mut c = WahCursor {
+            words,
+            i: 0,
+            fill_left: 0,
+            fill_bit: false,
+        };
+        c.load();
+        c
+    }
+
+    /// Loads the word at `i` into the cursor state (no-op for literals).
+    fn load(&mut self) {
+        if let Some(&w) = self.words.get(self.i) {
+            if w & FILL_FLAG != 0 {
+                self.fill_bit = w & FILL_BIT != 0;
+                self.fill_left = (w & COUNT_MASK) as usize;
+            }
+        }
+    }
+
+    /// Groups remaining in the current segment, or `None` at end.
+    fn remaining(&self) -> Option<usize> {
+        let &w = self.words.get(self.i)?;
+        if w & FILL_FLAG != 0 {
+            Some(self.fill_left)
+        } else {
+            Some(1)
+        }
+    }
+
+    /// Consumes exactly `n` groups (must not exceed `remaining`).
+    fn take(&mut self, n: usize) -> Seg {
+        let w = self.words[self.i];
+        if w & FILL_FLAG != 0 {
+            let seg = Seg::Fill(self.fill_bit);
+            self.fill_left -= n;
+            if self.fill_left == 0 {
+                self.i += 1;
+                // Canonical streams never emit adjacent same-bit fill words
+                // below the split threshold, but oversized runs do split —
+                // merging here is the encoder's job, not the cursor's.
+                self.load();
+            }
+            seg
+        } else {
+            debug_assert_eq!(n, 1);
+            self.i += 1;
+            self.load();
+            Seg::Literal(w & LITERAL_MASK)
+        }
+    }
+}
+
+/// Combines two WAH word streams bitwise, producing a canonical WAH word
+/// stream. Both inputs must decode to the same group count.
+///
+/// # Panics
+///
+/// Panics if the streams decode to different group counts.
+pub fn wah_binary(a: &[u32], b: &[u32], op: BitOp) -> Vec<u32> {
+    let mut ca = WahCursor::new(a);
+    let mut cb = WahCursor::new(b);
+    let mut enc = WahEncoder::new();
+    loop {
+        match (ca.remaining(), cb.remaining()) {
+            (None, None) => break,
+            (Some(ra), Some(rb)) => {
+                let n = ra.min(rb);
+                match (ca.take(n), cb.take(n)) {
+                    (Seg::Fill(x), Seg::Fill(y)) => enc.push_fill(op.apply_bit(x, y), n),
+                    (Seg::Fill(x), Seg::Literal(w)) => {
+                        let fx = if x { LITERAL_MASK } else { 0 };
+                        enc.push_group(op.apply_u32(fx, w) & LITERAL_MASK);
+                    }
+                    (Seg::Literal(w), Seg::Fill(y)) => {
+                        let fy = if y { LITERAL_MASK } else { 0 };
+                        enc.push_group(op.apply_u32(w, fy) & LITERAL_MASK);
+                    }
+                    (Seg::Literal(wa), Seg::Literal(wb)) => {
+                        enc.push_group(op.apply_u32(wa, wb) & LITERAL_MASK);
+                    }
+                }
+            }
+            _ => panic!("WAH streams decode to different group counts"),
+        }
+    }
+    enc.finish()
+}
+
+/// Byte-stream wrapper around [`wah_binary`].
+///
+/// # Panics
+///
+/// Panics if either stream is not 4-byte aligned or the streams decode to
+/// different group counts.
+pub fn wah_binary_bytes(a: &[u8], b: &[u8], op: BitOp) -> Vec<u8> {
+    let wa = words_from_bytes(a).unwrap_or_else(|e| panic!("{e}"));
+    let wb = words_from_bytes(b).unwrap_or_else(|e| panic!("{e}"));
+    words_to_bytes(&wah_binary(&wa, &wb, op))
+}
+
+/// Complements a WAH word stream over `len_bits` bits: fills and literal
+/// groups flip, and bits past `len_bits` in the final (partial) group are
+/// cleared so the result stays canonical.
+///
+/// # Panics
+///
+/// Panics if the stream does not decode to exactly the group count
+/// `len_bits` requires.
+pub fn wah_not(stream: &[u32], len_bits: usize) -> Vec<u32> {
+    let total_groups = len_bits.div_ceil(GROUP_BITS);
+    let tail_bits = len_bits - (total_groups.saturating_sub(1)) * GROUP_BITS;
+    let tail_mask: u32 = if tail_bits == GROUP_BITS {
+        LITERAL_MASK
+    } else {
+        (1u32 << tail_bits) - 1
+    };
+    let mut enc = WahEncoder::new();
+    let mut cursor = WahCursor::new(stream);
+    let mut produced = 0usize;
+    while let Some(r) = cursor.remaining() {
+        // Split the final group off a run so its padding can be masked.
+        let covers_tail = produced + r == total_groups && tail_mask != LITERAL_MASK;
+        match cursor.take(r) {
+            Seg::Fill(bit) => {
+                let body = if covers_tail { r - 1 } else { r };
+                enc.push_fill(!bit, body);
+                if covers_tail {
+                    let last = if bit { LITERAL_MASK } else { 0 };
+                    enc.push_group(!last & tail_mask);
+                }
+            }
+            Seg::Literal(w) => {
+                let mask = if covers_tail { tail_mask } else { LITERAL_MASK };
+                enc.push_group(!w & mask);
+            }
+        }
+        produced += r;
+    }
+    assert_eq!(
+        produced, total_groups,
+        "WAH stream decoded to wrong group count"
+    );
+    enc.finish()
+}
+
+/// Byte-stream wrapper around [`wah_not`].
+///
+/// # Panics
+///
+/// Panics if the stream is not 4-byte aligned or decodes to the wrong
+/// group count.
+pub fn wah_not_bytes(stream: &[u8], len_bits: usize) -> Vec<u8> {
+    let words = words_from_bytes(stream).unwrap_or_else(|e| panic!("{e}"));
+    words_to_bytes(&wah_not(&words, len_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitmapCodec, Wah};
+    use bix_bitvec::Bitvec;
+
+    fn sample(seed: u64, bits: usize) -> Bitvec {
+        let mut bv = Bitvec::zeros(bits);
+        let mut x = seed | 1;
+        let mut pos = 0usize;
+        while pos < bits {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let run = (x % 97) as usize + 1;
+            if x.is_multiple_of(3) {
+                for i in 0..run.min(bits - pos) {
+                    bv.set(pos + i, true);
+                }
+            }
+            pos += run;
+        }
+        bv
+    }
+
+    #[test]
+    fn binary_ops_match_uncompressed_reference() {
+        for bits in [1usize, 7, 31, 62, 1000, 10_000] {
+            let a = sample(1, bits);
+            let b = sample(2, bits);
+            let ca = Wah.compress(&a);
+            let cb = Wah.compress(&b);
+            for (op, expect) in [
+                (BitOp::And, a.and(&b)),
+                (BitOp::Or, a.or(&b)),
+                (BitOp::Xor, a.xor(&b)),
+                (BitOp::AndNot, a.and_not(&b)),
+            ] {
+                let combined = wah_binary_bytes(&ca, &cb, op);
+                assert_eq!(
+                    Wah.decompress(&combined, bits),
+                    expect,
+                    "{op:?} bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_canonical() {
+        let bits = 5_000;
+        let a = sample(3, bits);
+        let b = sample(4, bits);
+        for op in [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot] {
+            let direct = wah_binary_bytes(&Wah.compress(&a), &Wah.compress(&b), op);
+            let expect = match op {
+                BitOp::And => a.and(&b),
+                BitOp::Or => a.or(&b),
+                BitOp::Xor => a.xor(&b),
+                BitOp::AndNot => a.and_not(&b),
+            };
+            assert_eq!(direct, Wah.compress(&expect), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn fills_combine_without_group_loops() {
+        let bits = 31 * 1_000_000;
+        let zeros = Bitvec::zeros(bits);
+        let c = Wah.compress(&zeros);
+        let combined = wah_binary_bytes(&c, &c, BitOp::And);
+        assert!(combined.len() <= 8);
+        assert_eq!(Wah.decompress(&combined, bits), zeros);
+    }
+
+    #[test]
+    fn not_matches_uncompressed_reference() {
+        for bits in [1usize, 7, 30, 31, 32, 62, 1000, 4096, 10_001] {
+            let a = sample(5, bits);
+            let neg = wah_not_bytes(&Wah.compress(&a), bits);
+            assert_eq!(Wah.decompress(&neg, bits), a.not(), "bits={bits}");
+            assert_eq!(neg, Wah.compress(&a.not()), "canonical bits={bits}");
+        }
+    }
+
+    #[test]
+    fn not_of_all_zero_is_all_one() {
+        let bits = 31 * 40 + 5;
+        let c = Wah.compress(&Bitvec::zeros(bits));
+        assert_eq!(
+            Wah.decompress(&wah_not_bytes(&c, bits), bits),
+            Bitvec::ones_vec(bits)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different group counts")]
+    fn mismatched_streams_panic() {
+        let a = Wah.compress(&Bitvec::zeros(31));
+        let b = Wah.compress(&Bitvec::zeros(62));
+        let _ = wah_binary_bytes(&a, &b, BitOp::And);
+    }
+}

@@ -117,4 +117,209 @@ proptest! {
         prop_assert_eq!(ca.decode().and(&cb.decode()), a.and(&b));
         prop_assert_eq!(ca.decode().or(&cb.decode()), a.or(&b));
     }
+
+    /// The full compressed-domain operator matrix: for every codec with
+    /// compressed-domain kernels and every binary operator,
+    /// `op(compress(a), compress(b))` decodes to `a op b` and the output
+    /// stream is canonical. NOT is checked the same way.
+    #[test]
+    fn compressed_domain_op_matrix((a, b) in (arb_bitmap(), arb_bitmap())) {
+        let len = a.len().min(b.len());
+        prop_assume!(len > 0);
+        let a = Bitvec::from_bools(&(0..len).map(|i| a.get(i)).collect::<Vec<_>>());
+        let b = Bitvec::from_bools(&(0..len).map(|i| b.get(i)).collect::<Vec<_>>());
+        for kind in [CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah] {
+            prop_assert!(kind.supports_compressed_ops());
+            let ca = CompressedBitmap::encode(kind, &a);
+            let cb = CompressedBitmap::encode(kind, &b);
+            for (op, expect) in [
+                (BitOp::And, a.and(&b)),
+                (BitOp::Or, a.or(&b)),
+                (BitOp::Xor, a.xor(&b)),
+                (BitOp::AndNot, a.and_not(&b)),
+            ] {
+                let combined = ca.binary_op(&cb, op).expect("kernel exists");
+                prop_assert_eq!(
+                    combined.try_decode().expect("kernel output decodes"),
+                    expect.clone(),
+                    "{:?} {:?}", kind, op
+                );
+                prop_assert_eq!(
+                    combined.bytes(),
+                    CompressedBitmap::encode(kind, &expect).bytes(),
+                    "canonical {:?} {:?}", kind, op
+                );
+            }
+            let negated = ca.not_op().expect("kernel exists");
+            prop_assert_eq!(
+                negated.try_decode().expect("kernel output decodes"),
+                a.not(),
+                "{:?} not", kind
+            );
+            prop_assert_eq!(
+                negated.bytes(),
+                CompressedBitmap::encode(kind, &a.not()).bytes(),
+                "canonical {:?} not", kind
+            );
+        }
+    }
+
+    /// Operands that cannot be combined in the compressed domain are
+    /// declined, never mangled: mismatched codecs, mismatched lengths, and
+    /// codecs without kernels all return `None`.
+    #[test]
+    fn compressed_domain_op_declines_mismatches(bv in arb_bitmap()) {
+        prop_assume!(bv.len() > 1);
+        let bbc = CompressedBitmap::encode(CodecKind::Bbc, &bv);
+        let wah = CompressedBitmap::encode(CodecKind::Wah, &bv);
+        prop_assert!(bbc.binary_op(&wah, BitOp::And).is_none(), "codec mismatch");
+
+        let shorter = Bitvec::from_bools(&(0..bv.len() - 1).map(|i| bv.get(i)).collect::<Vec<_>>());
+        let cs = CompressedBitmap::encode(CodecKind::Bbc, &shorter);
+        prop_assert!(bbc.binary_op(&cs, BitOp::Or).is_none(), "length mismatch");
+
+        for kind in [CodecKind::Raw, CodecKind::Roaring] {
+            let c = CompressedBitmap::encode(kind, &bv);
+            prop_assert!(c.binary_op(&c, BitOp::And).is_none(), "{:?} has no kernel", kind);
+            prop_assert!(c.not_op().is_none(), "{:?} has no kernel", kind);
+        }
+    }
+
+    /// Hostile bytes through every fallible decoder: `try_decompress` must
+    /// return `Ok` or `Err`, never panic, and any `Ok` bitmap must have the
+    /// declared length.
+    #[test]
+    fn corrupt_streams_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+        len_bits in 0usize..4096,
+    ) {
+        for kind in [
+            CodecKind::Raw,
+            CodecKind::Bbc,
+            CodecKind::Wah,
+            CodecKind::Ewah,
+            CodecKind::Roaring,
+        ] {
+            let codec = kind.codec();
+            if let Ok(bv) = codec.try_decompress(&bytes, len_bits) {
+                prop_assert_eq!(bv.len(), len_bits, "{:?}", kind);
+            }
+            // validate() agrees with try_decompress() on stream health.
+            prop_assert_eq!(
+                codec.validate(&bytes, len_bits).is_ok(),
+                codec.try_decompress(&bytes, len_bits).is_ok(),
+                "{:?}", kind
+            );
+        }
+    }
+
+    /// Truncating or bit-flipping a well-formed stream must also never
+    /// panic — corruption of real streams is the case verify/repair hits.
+    #[test]
+    fn mutated_valid_streams_never_panic(
+        bv in arb_bitmap(),
+        cut in 0usize..64,
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        for kind in [
+            CodecKind::Raw,
+            CodecKind::Bbc,
+            CodecKind::Wah,
+            CodecKind::Ewah,
+            CodecKind::Roaring,
+        ] {
+            let codec = kind.codec();
+            let good = codec.compress(&bv);
+
+            let truncated = &good[..good.len().saturating_sub(cut)];
+            let _ = codec.try_decompress(truncated, bv.len());
+
+            if !good.is_empty() {
+                let mut flipped = good.clone();
+                let i = flip_at % flipped.len();
+                flipped[i] ^= 1 << flip_bit;
+                if let Ok(out) = codec.try_decompress(&flipped, bv.len()) {
+                    prop_assert_eq!(out.len(), bv.len(), "{:?}", kind);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic edge cases the random generator may not hit: odd tail
+/// lengths around word/group boundaries, and all-fill / all-literal
+/// extremes, through the full operator matrix.
+#[test]
+fn op_matrix_edge_lengths_and_extremes() {
+    let lengths = [1usize, 7, 8, 31, 32, 33, 63, 64, 65, 217, 313, 448];
+    for &len in &lengths {
+        let all_zero = Bitvec::zeros(len);
+        let all_one = all_zero.not();
+        let alternating = Bitvec::from_bools(&(0..len).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        let shapes = [
+            (&all_zero, &all_one),
+            (&all_one, &all_zero),
+            (&all_zero, &all_zero),
+            (&all_one, &all_one),
+            (&alternating, &all_one),
+            (&alternating, &all_zero),
+        ];
+        for (a, b) in shapes {
+            for kind in [CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah] {
+                let ca = CompressedBitmap::encode(kind, a);
+                let cb = CompressedBitmap::encode(kind, b);
+                for op in [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot] {
+                    let combined = ca.binary_op(&cb, op).expect("kernel exists");
+                    let expect = match op {
+                        BitOp::And => a.and(b),
+                        BitOp::Or => a.or(b),
+                        BitOp::Xor => a.xor(b),
+                        BitOp::AndNot => a.and_not(b),
+                    };
+                    assert_eq!(
+                        combined.try_decode().expect("kernel output decodes"),
+                        expect,
+                        "{kind:?} {op:?} len={len}"
+                    );
+                }
+                assert_eq!(
+                    ca.not_op().expect("kernel exists").try_decode().unwrap(),
+                    a.not(),
+                    "{kind:?} not len={len}"
+                );
+            }
+        }
+    }
+}
+
+/// Crafted hostile streams: fill counts that claim far more data than
+/// `len_bits` allows must be rejected without huge allocations or panics.
+#[test]
+fn oversized_fill_claims_are_rejected() {
+    // Maximal varint bytes / fill headers for each format.
+    let hostile: &[&[u8]] = &[
+        &[0x70, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F], // BBC: gap=7 + huge varint
+        &[0xFF; 16],                           // saturated everything
+        &[0x80, 0x00, 0x00, 0x00],             // WAH word: fill of zero groups
+        &[0xFF, 0xFF, 0xFF, 0xFF],             // WAH: max one-fill
+        &[0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xFF], // EWAH-ish marker
+    ];
+    for &bytes in hostile {
+        for kind in [
+            CodecKind::Raw,
+            CodecKind::Bbc,
+            CodecKind::Wah,
+            CodecKind::Ewah,
+            CodecKind::Roaring,
+        ] {
+            for len_bits in [0usize, 1, 64, 1 << 20] {
+                // Must return, not panic or OOM; Ok is fine if the stream
+                // happens to be valid for this codec and length.
+                if let Ok(bv) = kind.codec().try_decompress(bytes, len_bits) {
+                    assert_eq!(bv.len(), len_bits, "{kind:?}");
+                }
+            }
+        }
+    }
 }

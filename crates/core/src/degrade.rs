@@ -216,6 +216,7 @@ impl BitmapIndex {
             }
             let io = self.store().stats().since(&before_io);
             let cost = CostModel::default();
+            let codec = self.config().codec;
             return Ok(EvalResult {
                 bitmap,
                 scans,
@@ -223,6 +224,11 @@ impl BitmapIndex {
                 io_seconds: cost.io_seconds(&io),
                 io,
                 cpu_seconds: cpu_start.elapsed().as_secs_f64(),
+                decompressions: if codec == crate::CodecKind::Raw {
+                    0
+                } else {
+                    scans
+                },
                 peak_resident: scans + 1,
             });
         }
@@ -272,13 +278,48 @@ impl BitmapIndex {
         }
     }
 
-    /// Verifies every stored bitmap against its recorded CRC-32, off the
-    /// query clock, quarantining failures. The `bix verify` subcommand.
+    /// Verifies every stored bitmap against its recorded CRC-32 **and**
+    /// structurally validates its compressed stream, off the query clock,
+    /// quarantining failures of either kind. A bitmap whose bytes match
+    /// their checksum but no longer decode (e.g. garbage written through
+    /// the precompressed path) is just as lost as one that fails CRC —
+    /// treating it here keeps the decode panic out of every query path.
+    /// The `bix verify` subcommand.
     pub fn verify(&mut self) -> VerifyReport {
         let bad = self.store().verify_all();
         let mut corrupt = Vec::new();
+        let mut seen: BTreeSet<BitmapRef> = BTreeSet::new();
         for (file, name, _report) in bad {
             if let Some(r) = self.ref_for_file(file) {
+                self.quarantine(r);
+                seen.insert(r);
+                corrupt.push((r, name));
+            }
+        }
+        // Structural pass over the CRC-clean remainder.
+        let mut handles: Vec<(BitmapRef, bix_storage::BitmapHandle)> = Vec::new();
+        let bases = self.config().bases.bases().to_vec();
+        let encoding = self.config().encoding;
+        for (comp, &b) in bases.iter().enumerate() {
+            for slot in 0..encoding.num_bitmaps(b) {
+                handles.push((BitmapRef::new(comp, slot), self.handle(comp, slot)));
+            }
+        }
+        if let Some(eb) = self.existence_handle() {
+            handles.push((EXISTENCE_REF, eb));
+        }
+        for (r, handle) in handles {
+            if seen.contains(&r) {
+                continue;
+            }
+            let bytes = self.store().contents(handle);
+            if handle
+                .codec()
+                .codec()
+                .validate(bytes, handle.len_bits())
+                .is_err()
+            {
+                let name = self.store().name(handle).to_string();
                 self.quarantine(r);
                 corrupt.push((r, name));
             }
@@ -503,6 +544,47 @@ mod tests {
         assert!(idx.quarantined().is_empty());
         assert!(idx.verify().is_clean());
         assert_eq!(idx.evaluate(&Query::equality(7)).to_positions(), pristine);
+    }
+
+    #[test]
+    fn undecodable_stream_is_quarantined_and_repaired() {
+        // A stream that matches its recorded CRC but no longer decodes (a
+        // truncated BBC varint) must be caught by the structural pass of
+        // verify(), then rebuilt by repair() like any corrupt bitmap.
+        let mut idx = build(EncodingScheme::Equality, CodecKind::Bbc);
+        let pristine = idx.evaluate(&Query::equality(4)).to_positions();
+        let rows = idx.rows();
+        let bad = idx
+            .store_mut()
+            .put_precompressed("E^4-bad", CodecKind::Bbc, rows, &[0x70]);
+        idx.set_handle(0, 4, bad);
+
+        let report = idx.verify();
+        assert_eq!(report.corrupt.len(), 1);
+        assert_eq!(report.corrupt[0].0, BitmapRef::new(0, 4));
+
+        let repair = idx.repair();
+        assert_eq!(repair.repaired, vec![BitmapRef::new(0, 4)]);
+        assert!(repair.unrepairable.is_empty());
+        assert!(idx.verify().is_clean());
+        assert_eq!(idx.evaluate(&Query::equality(4)).to_positions(), pristine);
+    }
+
+    #[test]
+    fn evaluate_checked_routes_around_undecodable_stream() {
+        let mut idx = build(EncodingScheme::Equality, CodecKind::Bbc);
+        let expected = idx.evaluate(&Query::equality(4)).to_positions();
+        let rows = idx.rows();
+        let bad = idx
+            .store_mut()
+            .put_precompressed("E^4-bad", CodecKind::Bbc, rows, &[0x70]);
+        idx.set_handle(0, 4, bad);
+
+        let got = idx
+            .evaluate_checked(&Query::equality(4))
+            .expect("equality rewrites around the undecodable slot");
+        assert_eq!(got.bitmap.to_positions(), expected);
+        assert!(idx.quarantined().contains(&BitmapRef::new(0, 4)));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::{BitmapRef, Expr};
 use bix_bitvec::Bitvec;
+use bix_compress::{BitOp, CodecKind, CompressedBitmap};
 use bix_storage::{BitmapHandle, BitmapStore, BufferPool, CostModel, IoStats};
 use bix_telemetry::{SpanId, Tracer};
 use std::collections::BTreeMap;
@@ -42,6 +43,164 @@ pub enum EvalStrategy {
     /// [`EvalStrategy::ComponentWise`]. [`EvalResult::peak_resident`]
     /// reports the measured footprint.
     ComponentStreaming,
+}
+
+/// Which representation the §6.3 DAG fold works over.
+///
+/// The classic evaluator decompresses every bitmap as it is read and does
+/// word-wise bitwise work. Codecs closed under the bitwise operations
+/// (BBC, WAH, EWAH) also support folding the *compressed streams*
+/// directly — aligned fills combine in O(1) regardless of run length, and
+/// only one decompression is paid, at the root. Which wins depends on
+/// density: sparse, fill-heavy streams favour the compressed domain;
+/// near-incompressible streams favour a single decode plus word loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalDomain {
+    /// Per-bitmap choice from the stored stream's size: a leaf stays
+    /// compressed when its stream is at most half its raw size (and its
+    /// codec supports compressed ops); an intermediate result is
+    /// decompressed as soon as it stops compressing. This is the default.
+    #[default]
+    Auto,
+    /// Keep every supported codec's stream compressed through the whole
+    /// fold; decompress once at the root.
+    Compressed,
+    /// Decompress every bitmap at read time and fold word-wise (the
+    /// classic path).
+    Raw,
+}
+
+impl EvalDomain {
+    /// Parses the `--eval-domain` CLI spelling.
+    pub fn parse(s: &str) -> Option<EvalDomain> {
+        match s {
+            "auto" => Some(EvalDomain::Auto),
+            "compressed" => Some(EvalDomain::Compressed),
+            "raw" => Some(EvalDomain::Raw),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this domain.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalDomain::Auto => "auto",
+            EvalDomain::Compressed => "compressed",
+            EvalDomain::Raw => "raw",
+        }
+    }
+}
+
+/// Decides whether a leaf bitmap is read as a compressed stream
+/// ([`BitmapStore::read_compressed`]) or decoded at read time.
+pub(crate) fn reads_compressed(domain: EvalDomain, handle: BitmapHandle, stored: usize) -> bool {
+    if !handle.codec().supports_compressed_ops() {
+        return false;
+    }
+    match domain {
+        EvalDomain::Raw => false,
+        EvalDomain::Compressed => true,
+        EvalDomain::Auto => 2 * stored <= handle.len_bits().div_ceil(8),
+    }
+}
+
+/// One value flowing through the evaluation DAG: either a decoded bitmap
+/// or a still-compressed stream (validated at read time, so kernel ops
+/// and the final decode cannot fail).
+#[derive(Debug, Clone)]
+pub(crate) enum NodeVal {
+    /// A decoded bitmap; ops on it are word-wise.
+    Raw(Bitvec),
+    /// A compressed stream; ops on it run in the compressed domain.
+    Packed(CompressedBitmap),
+}
+
+fn apply_assign(acc: &mut Bitvec, op: BitOp, rhs: &Bitvec) {
+    match op {
+        BitOp::And => acc.and_assign(rhs),
+        BitOp::Or => acc.or_assign(rhs),
+        BitOp::Xor => acc.xor_assign(rhs),
+        BitOp::AndNot => *acc = acc.and_not(rhs),
+    }
+}
+
+impl NodeVal {
+    /// Telemetry label for the representation this value ended up in.
+    pub(crate) fn domain_name(&self) -> &'static str {
+        match self {
+            NodeVal::Raw(_) => "raw",
+            NodeVal::Packed(_) => "compressed",
+        }
+    }
+
+    /// Decodes (counting the decompression) or clones out a raw bitmap.
+    pub(crate) fn to_raw(&self, decompressions: &mut usize) -> Bitvec {
+        match self {
+            NodeVal::Raw(bv) => bv.clone(),
+            NodeVal::Packed(c) => {
+                *decompressions += 1;
+                c.try_decode().expect("stream validated at read time")
+            }
+        }
+    }
+
+    /// Consumes the value into a raw bitmap, counting any decompression.
+    pub(crate) fn into_raw(self, decompressions: &mut usize) -> Bitvec {
+        match self {
+            NodeVal::Raw(bv) => bv,
+            NodeVal::Packed(c) => {
+                *decompressions += 1;
+                c.try_decode().expect("stream validated at read time")
+            }
+        }
+    }
+
+    /// Complements the value, staying compressed when possible.
+    pub(crate) fn not(&self, decompressions: &mut usize) -> NodeVal {
+        if let NodeVal::Packed(c) = self {
+            if let Some(neg) = c.not_op() {
+                return NodeVal::Packed(neg);
+            }
+        }
+        NodeVal::Raw(self.to_raw(decompressions).not())
+    }
+
+    /// Combines two values under `op`. Two compressed streams combine in
+    /// the compressed domain; mixed or unsupported pairs decode and fold
+    /// word-wise. Under [`EvalDomain::Auto`] a compressed result that has
+    /// stopped compressing (stream larger than half the raw image) is
+    /// decoded eagerly so the ops above it run word-wise — the per-node
+    /// adaptive choice.
+    pub(crate) fn combine(
+        self,
+        other: &NodeVal,
+        op: BitOp,
+        domain: EvalDomain,
+        decompressions: &mut usize,
+    ) -> NodeVal {
+        if let (NodeVal::Packed(a), NodeVal::Packed(b)) = (&self, other) {
+            if let Some(c) = a.binary_op(b, op) {
+                if domain == EvalDomain::Auto && 2 * c.stored_size() > c.raw_size() {
+                    *decompressions += 1;
+                    return NodeVal::Raw(c.try_decode().expect("stream validated at read time"));
+                }
+                return NodeVal::Packed(c);
+            }
+        }
+        let mut acc = self.into_raw(decompressions);
+        match other {
+            NodeVal::Raw(bv) => apply_assign(&mut acc, op, bv),
+            NodeVal::Packed(c) => {
+                *decompressions += 1;
+                apply_assign(
+                    &mut acc,
+                    op,
+                    &c.try_decode().expect("stream validated at read time"),
+                );
+            }
+        }
+        NodeVal::Raw(acc)
+    }
 }
 
 /// Greedy nearest-neighbour ordering: start from the constituent with the
@@ -96,6 +255,11 @@ pub struct EvalResult {
     pub io_seconds: f64,
     /// Measured CPU time (bitwise ops + decompression), seconds.
     pub cpu_seconds: f64,
+    /// Compressed streams decoded to raw bitmaps during this evaluation
+    /// (reads of [`bix_compress::CodecKind::Raw`] bitmaps are not
+    /// decompressions). Compressed-domain folding drives this toward one
+    /// decode — at the root — per query.
+    pub decompressions: usize,
     /// Peak number of bitmaps resident in working memory at once
     /// (loaded leaves plus live intermediate results). Meaningfully small
     /// only for [`EvalStrategy::ComponentStreaming`]; the cache-everything
@@ -155,6 +319,37 @@ pub fn evaluate_traced(
     tracer: &Tracer,
     parent: Option<SpanId>,
 ) -> EvalResult {
+    evaluate_domain_traced(
+        constituents,
+        rows,
+        handles,
+        store,
+        pool,
+        strategy,
+        EvalDomain::default(),
+        cost,
+        tracer,
+        parent,
+    )
+}
+
+/// [`evaluate_traced`] with an explicit [`EvalDomain`]. The domain applies
+/// to the [`EvalStrategy::ComponentWise`] DAG fold; the query-wise and
+/// streaming strategies always fold raw bitmaps (their per-constituent
+/// structure re-reads shared bitmaps, so stream-level ops buy nothing).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_domain_traced(
+    constituents: &[Expr],
+    rows: usize,
+    handles: &dyn Fn(BitmapRef) -> BitmapHandle,
+    store: &mut BitmapStore,
+    pool: &mut BufferPool,
+    strategy: EvalStrategy,
+    domain: EvalDomain,
+    cost: &CostModel,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
+) -> EvalResult {
     let before_io = store.stats();
     let started = Instant::now();
     let eval_span = tracer.span("eval", parent);
@@ -164,24 +359,29 @@ pub fn evaluate_traced(
     let distinct = merged.scan_count();
     let mut scans = 0usize;
     let mut peak_resident = 0usize;
+    let mut decompressions = 0usize;
 
     let bitmap = match strategy {
         EvalStrategy::ComponentStreaming => {
             let stream = tracer.span("stream", eval_id);
-            let (result, peak, n_scans) = evaluate_streaming(&merged, rows, handles, store, pool);
+            let (result, peak, n_scans, n_dec) =
+                evaluate_streaming(&merged, rows, handles, store, pool);
             scans = n_scans;
             peak_resident = peak;
+            decompressions = n_dec;
             stream.attr("scans", n_scans);
             stream.attr("peak_resident", peak);
             result
         }
         EvalStrategy::ComponentWise => {
-            // Fetch every distinct bitmap once, in component order, then
-            // fold the whole expression from the cache.
+            // Fetch every distinct bitmap once, in component order —
+            // compressed streams stay compressed when the domain says so —
+            // then fold the hash-consed DAG from the cache.
             let fetch_span = tracer.span("fetch", eval_id);
             let fetch_id = fetch_span.id();
-            let mut cache: BTreeMap<BitmapRef, Bitvec> = BTreeMap::new();
+            let mut cache: BTreeMap<BitmapRef, NodeVal> = BTreeMap::new();
             for r in merged.leaves() {
+                let handle = handles(r);
                 let read_span = if tracer.is_enabled() {
                     let before = store.stats();
                     Some((
@@ -191,22 +391,38 @@ pub fn evaluate_traced(
                 } else {
                     None
                 };
-                let bv = store.read(handles(r), pool);
+                let val = if reads_compressed(domain, handle, store.stored_size(handle)) {
+                    let c = store.read_compressed(handle, pool).unwrap_or_else(|e| {
+                        panic!("corrupt bitmap on an unguarded read path: {e}")
+                    });
+                    NodeVal::Packed(c)
+                } else {
+                    decompressions += usize::from(handle.codec() != CodecKind::Raw);
+                    NodeVal::Raw(store.read(handle, pool))
+                };
                 if let Some((span, before)) = read_span {
                     let d = store.stats().since(&before);
                     span.attr("pages", d.pages_read);
                     span.attr("pool_hits", d.pool_hits);
                     span.attr("bytes", d.bytes_read);
+                    span.attr("domain", val.domain_name());
                 }
                 scans += 1;
-                cache.insert(r, bv);
+                cache.insert(r, val);
             }
             fetch_span.attr("scans", scans);
             fetch_span.finish();
             peak_resident = cache.len() + 1;
             let fold_span = tracer.span("fold", eval_id);
-            let mut fetch = |r: BitmapRef| cache[&r].clone();
-            let result = merged.evaluate(rows, &mut fetch);
+            let result = fold_cache(
+                &merged,
+                rows,
+                cache,
+                domain,
+                &mut decompressions,
+                tracer,
+                fold_span.id(),
+            );
             fold_span.finish();
             result
         }
@@ -229,7 +445,9 @@ pub fn evaluate_traced(
                 let before_scans = scans;
                 let mut fetch = |r: BitmapRef| {
                     scans += 1;
-                    store.read(handles(r), pool)
+                    let handle = handles(r);
+                    decompressions += usize::from(handle.codec() != CodecKind::Raw);
+                    store.read(handle, pool)
                 };
                 let result = expr.evaluate(rows, &mut fetch);
                 if let Some(span) = c_span {
@@ -255,6 +473,7 @@ pub fn evaluate_traced(
     eval_span.attr("scans", scans);
     eval_span.attr("distinct", distinct);
     eval_span.attr("pages", io.pages_read);
+    eval_span.attr("decompressions", decompressions);
     EvalResult {
         bitmap,
         scans,
@@ -262,8 +481,75 @@ pub fn evaluate_traced(
         io,
         io_seconds: cost.io_seconds(&io),
         cpu_seconds,
+        decompressions,
         peak_resident,
     }
+}
+
+/// Folds the hash-consed DAG of `merged` over the fetched leaf values,
+/// combining compressed streams in the compressed domain and decoding
+/// (once, at the root, in the best case) where the domain or codec
+/// requires. Emits a per-node span recording which representation each
+/// node's value ended up in.
+fn fold_cache(
+    merged: &Expr,
+    rows: usize,
+    mut cache: BTreeMap<BitmapRef, NodeVal>,
+    domain: EvalDomain,
+    decompressions: &mut usize,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
+) -> Bitvec {
+    let dag = Dag::build(merged);
+    let mut values: Vec<Option<NodeVal>> = Vec::with_capacity(dag.ops.len());
+    let child = |values: &[Option<NodeVal>], c: usize| -> NodeVal {
+        values[c].clone().expect("child computed")
+    };
+    for (i, op) in dag.ops.iter().enumerate() {
+        let value = match op {
+            NodeOp::Const(true) => NodeVal::Raw(Bitvec::ones_vec(rows)),
+            NodeOp::Const(false) => NodeVal::Raw(Bitvec::zeros(rows)),
+            NodeOp::Leaf(r) => cache.remove(r).expect("leaf fetched"),
+            NodeOp::Not(c) => values[*c]
+                .as_ref()
+                .expect("child computed")
+                .not(decompressions),
+            NodeOp::And(cs) | NodeOp::Or(cs) => {
+                let bit_op = if matches!(op, NodeOp::And(_)) {
+                    BitOp::And
+                } else {
+                    BitOp::Or
+                };
+                let mut acc = child(&values, cs[0]);
+                for &c in &cs[1..] {
+                    let rhs = values[c].as_ref().expect("child computed");
+                    acc = acc.combine(rhs, bit_op, domain, decompressions);
+                }
+                acc
+            }
+            NodeOp::Xor(a, b) => {
+                let rhs = values[*b].as_ref().expect("child computed");
+                child(&values, *a).combine(rhs, BitOp::Xor, domain, decompressions)
+            }
+        };
+        if tracer.is_enabled() {
+            let kind = match op {
+                NodeOp::Const(_) => "const",
+                NodeOp::Leaf(_) => "leaf",
+                NodeOp::Not(_) => "not",
+                NodeOp::And(_) => "and",
+                NodeOp::Or(_) => "or",
+                NodeOp::Xor(..) => "xor",
+            };
+            let span = tracer.span(&format!("node {i} {kind}"), parent);
+            span.attr("domain", value.domain_name());
+        }
+        values.push(Some(value));
+    }
+    values[dag.root]
+        .take()
+        .expect("root computed")
+        .into_raw(decompressions)
 }
 
 /// One operation of the hash-consed expression DAG (children are node
@@ -393,14 +679,14 @@ impl Dag {
 /// (a node runs in the phase of its highest-component leaf), leaf bitmaps
 /// are loaded only during their component's phase, and every value —
 /// leaf or intermediate — is freed as soon as its last consumer has run.
-/// Returns `(result, peak_resident, scans)`.
+/// Returns `(result, peak_resident, scans, decompressions)`.
 fn evaluate_streaming(
     merged: &Expr,
     rows: usize,
     handles: &dyn Fn(BitmapRef) -> BitmapHandle,
     store: &mut BitmapStore,
     pool: &mut BufferPool,
-) -> (Bitvec, usize, usize) {
+) -> (Bitvec, usize, usize, usize) {
     let Dag {
         ops,
         phase_of,
@@ -418,6 +704,7 @@ fn evaluate_streaming(
     let mut resident = 0usize;
     let mut peak = 0usize;
     let mut scans = 0usize;
+    let mut decompressions = 0usize;
 
     for &i in &order {
         let value = match &ops[i] {
@@ -425,7 +712,9 @@ fn evaluate_streaming(
             NodeOp::Const(false) => Bitvec::zeros(rows),
             NodeOp::Leaf(r) => {
                 scans += 1;
-                store.read(handles(*r), pool)
+                let handle = handles(*r);
+                decompressions += usize::from(handle.codec() != CodecKind::Raw);
+                store.read(handle, pool)
             }
             NodeOp::Not(c) => results[*c].as_ref().expect("child computed").not(),
             NodeOp::And(cs) => {
@@ -462,7 +751,7 @@ fn evaluate_streaming(
     }
 
     let result = results[root].take().expect("root computed");
-    (result, peak, scans)
+    (result, peak, scans, decompressions)
 }
 
 #[cfg(test)]

@@ -489,17 +489,43 @@ impl BitmapIndex {
         tracer: &Tracer,
         parent: Option<SpanId>,
     ) -> EvalResult {
+        self.evaluate_detailed_with_domain(
+            q,
+            pool,
+            strategy,
+            crate::EvalDomain::default(),
+            cost,
+            tracer,
+            parent,
+        )
+    }
+
+    /// [`BitmapIndex::evaluate_detailed_traced`] with an explicit
+    /// [`crate::EvalDomain`] controlling whether the §6.3 DAG fold runs on
+    /// compressed streams or decoded bitmaps (`bix query --eval-domain`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_detailed_with_domain(
+        &mut self,
+        q: &Query,
+        pool: &mut BufferPool,
+        strategy: EvalStrategy,
+        domain: crate::EvalDomain,
+        cost: &CostModel,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> EvalResult {
         let before_io = self.store.stats();
         let constituents = self.rewrite_constituents_traced(q, tracer, parent);
         let handles = &self.handles;
         let lookup = move |r: crate::BitmapRef| handles[r.component][r.slot];
-        let mut result = eval::evaluate_traced(
+        let mut result = eval::evaluate_domain_traced(
             &constituents,
             self.rows,
             &lookup,
             &mut self.store,
             pool,
             strategy,
+            domain,
             cost,
             tracer,
             parent,
@@ -513,6 +539,7 @@ impl BitmapIndex {
             span.finish();
             result.scans += 1;
             result.distinct_bitmaps += 1;
+            result.decompressions += usize::from(eb.codec() != CodecKind::Raw);
             result.io = self.store.stats().since(&before_io);
             result.io_seconds = cost.io_seconds(&result.io);
         }
@@ -810,6 +837,58 @@ mod tests {
             let mut idx = BitmapIndex::build(&column, &config);
             let got = idx.evaluate(&Query::membership(vec![0, 5, 9]));
             assert_eq!(got.to_positions(), vec![6, 7, 9], "{codec}");
+        }
+    }
+
+    #[test]
+    fn eval_domains_are_bit_identical_across_schemes_and_codecs() {
+        use crate::{EvalDomain, EvalStrategy, Query};
+        use bix_storage::CostModel;
+        use bix_telemetry::Tracer;
+
+        let column: Vec<u64> = (0..12_000u64).map(|i| (i * 37 + i / 13) % 25).collect();
+        let queries = [
+            Query::equality(7),
+            Query::range(3, 20),
+            Query::membership(vec![0, 4, 8, 12, 24]),
+            Query::range(5, 20).not(),
+        ];
+        for scheme in EncodingScheme::ALL {
+            for codec in [CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah] {
+                let config = IndexConfig::one_component(25, scheme).with_codec(codec);
+                let mut idx = BitmapIndex::build(&column, &config);
+                for q in &queries {
+                    let mut per_domain = Vec::new();
+                    for domain in [EvalDomain::Raw, EvalDomain::Auto, EvalDomain::Compressed] {
+                        let mut pool = BufferPool::new(4096);
+                        per_domain.push(idx.evaluate_detailed_with_domain(
+                            q,
+                            &mut pool,
+                            EvalStrategy::ComponentWise,
+                            domain,
+                            &CostModel::default(),
+                            &Tracer::disabled(),
+                            None,
+                        ));
+                    }
+                    let [raw, auto, packed] = per_domain.try_into().expect("three domains");
+                    assert_eq!(raw.bitmap, auto.bitmap, "{scheme} {codec} {q:?} auto");
+                    assert_eq!(
+                        raw.bitmap, packed.bitmap,
+                        "{scheme} {codec} {q:?} compressed"
+                    );
+                    assert_eq!(raw.scans, packed.scans, "{scheme} {codec} {q:?}");
+                    // Raw decodes once per leaf; the compressed domain at
+                    // most once per DAG fold plus mixed-operand fallbacks.
+                    assert_eq!(raw.decompressions, raw.scans, "{scheme} {codec} {q:?}");
+                    assert!(
+                        packed.decompressions <= raw.decompressions,
+                        "{scheme} {codec} {q:?}: {} > {}",
+                        packed.decompressions,
+                        raw.decompressions
+                    );
+                }
+            }
         }
     }
 

@@ -58,7 +58,9 @@ mod update;
 pub use decompose::{best_bases, compose, decompose, BaseVector};
 pub use degrade::{Degraded, RepairReport, VerifyReport, EXISTENCE_REF};
 pub use encoding::{AlphaForm, EncodingScheme};
-pub use eval::{evaluate, evaluate_traced, EvalResult, EvalStrategy};
+pub use eval::{
+    evaluate, evaluate_domain_traced, evaluate_traced, EvalDomain, EvalResult, EvalStrategy,
+};
 pub use expr::{BitmapRef, Expr};
 pub use index::{BitmapIndex, CostPrediction, IndexConfig};
 pub use journal::{RecoveryAction, RecoveryReport};
@@ -72,6 +74,6 @@ pub use update::UpdateStats;
 pub use bix_compress::CodecKind;
 pub use bix_storage::{
     BufferPool, CorruptBitmap, CostModel, DiskConfig, DiskFault, FaultPlan, IoMetrics, IoStats,
-    ReadContext, ReadFlip, ShardedBufferPool, READ_RETRY_LIMIT,
+    ReadContext, ReadError, ReadFlip, ShardedBufferPool, READ_RETRY_LIMIT,
 };
 pub use bix_telemetry::{MetricsRegistry, MetricsSnapshot, SpanId, SpanRecord, Tracer};

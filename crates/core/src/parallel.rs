@@ -23,9 +23,10 @@
 //! scan counts are identical to running [`EvalStrategy::ComponentWise`]
 //! sequentially (seek counts differ: heads are per-thread).
 
-use crate::eval::{Dag, NodeOp};
-use crate::{BitmapIndex, EvalResult, Expr, Query};
+use crate::eval::{reads_compressed, Dag, NodeOp, NodeVal};
+use crate::{BitmapIndex, EvalDomain, EvalResult, Expr, Query};
 use bix_bitvec::Bitvec;
+use bix_compress::{BitOp, CodecKind};
 use bix_storage::{BitmapHandle, CostModel, IoStats, ReadContext, ShardedBufferPool};
 use bix_telemetry::{SpanId, Tracer};
 use std::collections::VecDeque;
@@ -48,6 +49,7 @@ use bix_storage::BitmapStore;
 pub struct ParallelExecutor {
     threads: usize,
     inner_threads: Option<usize>,
+    domain: EvalDomain,
 }
 
 impl ParallelExecutor {
@@ -61,7 +63,15 @@ impl ParallelExecutor {
         ParallelExecutor {
             threads,
             inner_threads: None,
+            domain: EvalDomain::default(),
         }
+    }
+
+    /// Sets the [`EvalDomain`] every query's DAG fold runs in (default
+    /// [`EvalDomain::Auto`]).
+    pub fn with_domain(mut self, domain: EvalDomain) -> Self {
+        self.domain = domain;
+        self
     }
 
     /// Overrides how many threads fold each individual query's DAG.
@@ -141,7 +151,8 @@ impl ParallelExecutor {
                         None
                     };
                     let q_id = q_span.as_ref().and_then(|s| s.id());
-                    let result = evaluate_one(index, q, pool, inner, cost, tracer, q_id);
+                    let result =
+                        evaluate_one(index, q, pool, inner, self.domain, cost, tracer, q_id);
                     if let Some(span) = &q_span {
                         span.attr("scans", result.scans);
                         span.attr("pages", result.io.pages_read);
@@ -217,11 +228,13 @@ impl BatchResult {
 /// the existence-bitmap intersection — mirroring
 /// [`BitmapIndex::evaluate_detailed`] with
 /// [`EvalStrategy::ComponentWise`]-equivalent scan accounting.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_one(
     index: &BitmapIndex,
     q: &Query,
     pool: &ShardedBufferPool,
     inner: usize,
+    domain: EvalDomain,
     cost: &CostModel,
     tracer: &Tracer,
     parent: Option<SpanId>,
@@ -239,17 +252,19 @@ fn evaluate_one(
 
     let fold_span = tracer.span("fold", parent);
     let fold_id = fold_span.id();
-    let (mut bitmap, peak_resident, mut scans, mut io) = fold_dag(
+    let (mut bitmap, peak_resident, mut scans, mut io, mut decompressions) = fold_dag(
         &dag,
         index.rows(),
         &lookup,
         index,
         pool,
         inner,
+        domain,
         tracer,
         fold_id,
     );
     fold_span.attr("workers", inner);
+    fold_span.attr("decompressions", decompressions);
     fold_span.finish();
 
     if let Some(eb) = index.existence_handle() {
@@ -260,6 +275,7 @@ fn evaluate_one(
         span.finish();
         scans += 1;
         distinct += 1;
+        decompressions += usize::from(eb.codec() != CodecKind::Raw);
         io += ctx.take_stats();
     }
 
@@ -270,6 +286,7 @@ fn evaluate_one(
         io,
         io_seconds: cost.io_seconds(&io),
         cpu_seconds: cost.cpu_seconds(started.elapsed().as_secs_f64()),
+        decompressions,
         peak_resident,
     }
 }
@@ -288,14 +305,17 @@ struct FoldState {
     ready: Mutex<(VecDeque<ReadyEntry>, usize)>,
     /// Wakes idle workers when nodes become ready or the fold finishes.
     wake: Condvar,
-    /// Computed values; freed (set back to `None`) at the last consumer.
-    values: Vec<Mutex<Option<Bitvec>>>,
+    /// Computed values (raw or still-compressed); freed (set back to
+    /// `None`) at the last consumer.
+    values: Vec<Mutex<Option<NodeVal>>>,
     /// Children still pending per node; a node is enqueued at zero.
     pending: Vec<AtomicUsize>,
     /// Remaining consumers per node (from [`Dag::refs`]).
     refs: Vec<AtomicUsize>,
     /// Leaf reads issued (one per distinct bitmap, by construction).
     scans: AtomicUsize,
+    /// Compressed streams decoded to raw bitmaps so far.
+    decompressions: AtomicUsize,
     /// Live values now / at peak (for `peak_resident` accounting).
     resident: AtomicUsize,
     peak: AtomicUsize,
@@ -303,7 +323,7 @@ struct FoldState {
 
 /// Folds the DAG bottom-up with `workers` threads (the §6.3 evaluator's
 /// independent-subtree parallelism). Runs inline when `workers == 1`.
-/// Returns `(result, peak_resident, scans, merged I/O)`.
+/// Returns `(result, peak_resident, scans, merged I/O, decompressions)`.
 #[allow(clippy::too_many_arguments)]
 fn fold_dag(
     dag: &Dag,
@@ -312,9 +332,10 @@ fn fold_dag(
     index: &BitmapIndex,
     pool: &ShardedBufferPool,
     workers: usize,
+    domain: EvalDomain,
     tracer: &Tracer,
     parent: Option<SpanId>,
-) -> (Bitvec, usize, usize, IoStats) {
+) -> (Bitvec, usize, usize, IoStats, usize) {
     let n = dag.ops.len();
     let parents: Vec<Vec<usize>> = {
         let mut parents = vec![Vec::new(); n];
@@ -337,6 +358,7 @@ fn fold_dag(
             .collect(),
         refs: dag.refs.iter().map(|&r| AtomicUsize::new(r)).collect(),
         scans: AtomicUsize::new(0),
+        decompressions: AtomicUsize::new(0),
         resident: AtomicUsize::new(0),
         peak: AtomicUsize::new(0),
     };
@@ -355,7 +377,8 @@ fn fold_dag(
         let run = || {
             let mut ctx = ReadContext::new();
             worker_loop(
-                dag, &parents, &state, rows, lookup, index, pool, &mut ctx, n, tracer, parent,
+                dag, &parents, &state, rows, lookup, index, pool, &mut ctx, n, domain, tracer,
+                parent,
             );
             *io.lock().expect("io totals") += ctx.take_stats();
         };
@@ -365,15 +388,18 @@ fn fold_dag(
         run(); // the calling thread is worker 0
     });
 
-    let result = state.values[dag.root]
+    let root_val = state.values[dag.root]
         .lock()
         .expect("root value")
         .take()
         .expect("root computed");
+    let mut root_dec = 0usize;
+    let result = root_val.into_raw(&mut root_dec);
     let scans = state.scans.load(Ordering::Relaxed);
     let peak = state.peak.load(Ordering::Relaxed);
+    let decompressions = state.decompressions.load(Ordering::Relaxed) + root_dec;
     let io = io.into_inner().expect("io totals");
-    (result, peak, scans, io)
+    (result, peak, scans, io, decompressions)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -387,6 +413,7 @@ fn worker_loop(
     pool: &ShardedBufferPool,
     ctx: &mut ReadContext,
     total: usize,
+    domain: EvalDomain,
     tracer: &Tracer,
     parent: Option<SpanId>,
 ) {
@@ -421,19 +448,32 @@ fn worker_loop(
             span
         });
 
+        let mut dec = 0usize;
         let value = match &dag.ops[node] {
-            NodeOp::Const(true) => Bitvec::ones_vec(rows),
-            NodeOp::Const(false) => Bitvec::zeros(rows),
+            NodeOp::Const(true) => NodeVal::Raw(Bitvec::ones_vec(rows)),
+            NodeOp::Const(false) => NodeVal::Raw(Bitvec::zeros(rows)),
             NodeOp::Leaf(r) => {
                 state.scans.fetch_add(1, Ordering::Relaxed);
-                index.store().read_shared(lookup(*r), pool, ctx)
+                let handle = lookup(*r);
+                if reads_compressed(domain, handle, index.store().stored_size(handle)) {
+                    let c = index
+                        .store()
+                        .read_compressed_shared(handle, pool, ctx)
+                        .unwrap_or_else(|e| {
+                            panic!("corrupt bitmap on an unguarded shared read path: {e}")
+                        });
+                    NodeVal::Packed(c)
+                } else {
+                    dec += usize::from(handle.codec() != CodecKind::Raw);
+                    NodeVal::Raw(index.store().read_shared(handle, pool, ctx))
+                }
             }
             op => {
                 // Fold children, locking one value at a time. Children are
                 // all computed (dependency counts reached zero) and cannot
                 // be freed before this node — their consumer — runs.
                 let children = op.children();
-                let child = |c: usize| -> Bitvec {
+                let child = |c: usize| -> NodeVal {
                     state.values[c]
                         .lock()
                         .expect("child value")
@@ -442,44 +482,31 @@ fn worker_loop(
                 };
                 let mut acc = child(children[0]);
                 match op {
-                    NodeOp::Not(_) => acc = acc.not(),
-                    NodeOp::And(_) => {
+                    NodeOp::Not(_) => acc = acc.not(&mut dec),
+                    NodeOp::And(_) | NodeOp::Or(_) | NodeOp::Xor(..) => {
+                        let bit_op = match op {
+                            NodeOp::And(_) => BitOp::And,
+                            NodeOp::Or(_) => BitOp::Or,
+                            _ => BitOp::Xor,
+                        };
                         for &c in &children[1..] {
-                            acc.and_assign(
-                                state.values[c]
-                                    .lock()
-                                    .expect("child value")
-                                    .as_ref()
-                                    .expect("child computed"),
-                            );
+                            let guard = state.values[c].lock().expect("child value");
+                            let rhs = guard.as_ref().expect("child computed");
+                            acc = acc.combine(rhs, bit_op, domain, &mut dec);
                         }
-                    }
-                    NodeOp::Or(_) => {
-                        for &c in &children[1..] {
-                            acc.or_assign(
-                                state.values[c]
-                                    .lock()
-                                    .expect("child value")
-                                    .as_ref()
-                                    .expect("child computed"),
-                            );
-                        }
-                    }
-                    NodeOp::Xor(_, b) => {
-                        acc.xor_assign(
-                            state.values[*b]
-                                .lock()
-                                .expect("child value")
-                                .as_ref()
-                                .expect("child computed"),
-                        );
                     }
                     NodeOp::Const(_) | NodeOp::Leaf(_) => unreachable!("handled above"),
                 }
                 acc
             }
         };
+        if dec > 0 {
+            state.decompressions.fetch_add(dec, Ordering::Relaxed);
+        }
 
+        if let Some(span) = &node_span {
+            span.attr("domain", value.domain_name());
+        }
         drop(node_span);
         *state.values[node].lock().expect("node value") = Some(value);
         let live = state.resident.fetch_add(1, Ordering::Relaxed) + 1;
@@ -596,6 +623,50 @@ mod tests {
             let want = sequential(&mut index, q);
             assert_eq!(batch.results[i].bitmap, want.bitmap, "q{i}");
             assert_eq!(batch.results[i].scans, want.scans, "q{i}");
+        }
+    }
+
+    #[test]
+    fn eval_domains_agree_and_compressed_decodes_less() {
+        use bix_compress::CodecKind;
+        for codec in [CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah] {
+            let index = test_index(codec);
+            let queries = test_queries();
+            let pool = ShardedBufferPool::new(4096, 8);
+            let raw = ParallelExecutor::new(4)
+                .with_domain(EvalDomain::Raw)
+                .execute(&index, &queries, &pool, &CostModel::default());
+            for domain in [EvalDomain::Auto, EvalDomain::Compressed] {
+                let pool = ShardedBufferPool::new(4096, 8);
+                let got = ParallelExecutor::new(4).with_domain(domain).execute(
+                    &index,
+                    &queries,
+                    &pool,
+                    &CostModel::default(),
+                );
+                for (i, (g, w)) in got.results.iter().zip(&raw.results).enumerate() {
+                    assert_eq!(g.bitmap, w.bitmap, "{codec} {domain:?} q{i}");
+                    assert_eq!(g.scans, w.scans, "{codec} {domain:?} q{i}");
+                    assert!(
+                        g.decompressions <= w.decompressions,
+                        "{codec} {domain:?} q{i}: {} > {}",
+                        g.decompressions,
+                        w.decompressions
+                    );
+                }
+            }
+            // Keeping every stream compressed decodes strictly less over
+            // the batch: multi-leaf queries fold to one decode at the root.
+            let pool = ShardedBufferPool::new(4096, 8);
+            let packed = ParallelExecutor::new(4)
+                .with_domain(EvalDomain::Compressed)
+                .execute(&index, &queries, &pool, &CostModel::default());
+            let dec_packed: usize = packed.results.iter().map(|r| r.decompressions).sum();
+            let dec_raw: usize = raw.results.iter().map(|r| r.decompressions).sum();
+            assert!(
+                dec_packed < dec_raw,
+                "{codec}: compressed {dec_packed} vs raw {dec_raw}"
+            );
         }
     }
 

@@ -61,7 +61,7 @@ pub use fault::{DiskFault, FaultPlan, ReadFlip};
 pub use pool::BufferPool;
 pub use shard_pool::ShardedBufferPool;
 pub use stats::{IoMetrics, IoStats};
-pub use store::{BitmapHandle, BitmapStore, CorruptBitmap};
+pub use store::{BitmapHandle, BitmapStore, CorruptBitmap, ReadError};
 
 // Re-exported so downstream crates name one source of truth for codecs.
 pub use bix_compress::{CodecKind, CompressedBitmap};

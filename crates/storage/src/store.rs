@@ -5,7 +5,7 @@ use crate::{
     ReadContext, ShardedBufferPool,
 };
 use bix_bitvec::Bitvec;
-use bix_compress::CompressedBitmap;
+use bix_compress::{CompressedBitmap, DecodeError};
 use std::collections::HashMap;
 
 /// Handle to one stored bitmap.
@@ -60,6 +60,56 @@ impl std::fmt::Display for CorruptBitmap {
 }
 
 impl std::error::Error for CorruptBitmap {}
+
+/// Why a verified read could not produce a bitmap.
+///
+/// Both variants mean the stored bytes cannot be trusted: either they no
+/// longer match their recorded CRC-32, or they match it but are not a
+/// decodable stream under the handle's codec (possible when the checksum
+/// itself was taken over already-bad bytes, e.g. through the tolerant
+/// load path). The query layer treats both identically — quarantine the
+/// bitmap and degrade per the encoding's rewrite rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// The stored bytes fail CRC-32 verification.
+    Checksum(CorruptBitmap),
+    /// The bytes match their CRC but do not decode under the codec.
+    Undecodable {
+        /// File whose contents failed to decode.
+        file: FileId,
+        /// What the codec rejected.
+        error: DecodeError,
+    },
+}
+
+impl ReadError {
+    /// The file whose contents failed verification or decoding.
+    pub fn file(&self) -> FileId {
+        match self {
+            ReadError::Checksum(c) => c.file,
+            ReadError::Undecodable { file, .. } => *file,
+        }
+    }
+}
+
+impl From<CorruptBitmap> for ReadError {
+    fn from(c: CorruptBitmap) -> Self {
+        ReadError::Checksum(c)
+    }
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Checksum(c) => c.fmt(f),
+            ReadError::Undecodable { file, error } => {
+                write!(f, "bitmap file {file:?} is corrupt: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
 
 /// Stores bitmaps as files on the simulated disk and reads them back
 /// through a buffer pool, decompressing as needed.
@@ -133,32 +183,78 @@ impl BitmapStore {
             .expect("corrupt bitmap on an unguarded read path")
     }
 
-    /// Reads a bitmap back, verifying its CRC-32 before decompression.
-    /// Page I/O is charged as usual; a mismatch charges
-    /// [`IoStats::checksum_failures`] and returns the corruption report
-    /// instead of bytes that would decode to a wrong answer.
+    /// Reads a bitmap back, verifying its CRC-32 before decompression and
+    /// decoding fallibly. Page I/O is charged as usual; an integrity
+    /// failure of either kind charges [`IoStats::checksum_failures`] and
+    /// returns the corruption report instead of bytes that would decode
+    /// to a wrong answer (or kill the process — malformed streams are a
+    /// [`ReadError::Undecodable`], never a panic).
     pub fn read_verified(
         &mut self,
         handle: BitmapHandle,
         pool: &mut BufferPool,
-    ) -> Result<Bitvec, CorruptBitmap> {
+    ) -> Result<Bitvec, ReadError> {
+        let bytes = self.fetch_bytes(handle, pool);
+        if let Err(c) = self.verify_bytes(handle.file, &bytes) {
+            self.charge_integrity_failure();
+            return Err(ReadError::Checksum(c));
+        }
+        match handle.codec.codec().try_decompress(&bytes, handle.len_bits) {
+            Ok(bv) => Ok(bv),
+            Err(error) => {
+                self.charge_integrity_failure();
+                Err(ReadError::Undecodable {
+                    file: handle.file,
+                    error,
+                })
+            }
+        }
+    }
+
+    /// Reads a bitmap's compressed stream — CRC-verified and structurally
+    /// validated, but *not* decoded. The compressed-domain evaluation path
+    /// uses this so bitwise work can run directly on the stream; only page
+    /// I/O and the validation walk are paid here.
+    pub fn read_compressed(
+        &mut self,
+        handle: BitmapHandle,
+        pool: &mut BufferPool,
+    ) -> Result<CompressedBitmap, ReadError> {
+        let bytes = self.fetch_bytes(handle, pool);
+        if let Err(c) = self.verify_bytes(handle.file, &bytes) {
+            self.charge_integrity_failure();
+            return Err(ReadError::Checksum(c));
+        }
+        if let Err(error) = handle.codec.codec().validate(&bytes, handle.len_bits) {
+            self.charge_integrity_failure();
+            return Err(ReadError::Undecodable {
+                file: handle.file,
+                error,
+            });
+        }
+        Ok(CompressedBitmap::from_parts(
+            handle.codec,
+            handle.len_bits,
+            bytes,
+        ))
+    }
+
+    fn fetch_bytes(&mut self, handle: BitmapHandle, pool: &mut BufferPool) -> Vec<u8> {
         let n_pages = self.disk.file_pages(handle.file);
         let mut bytes = Vec::with_capacity(self.disk.file_size(handle.file));
         for p in 0..n_pages {
             bytes.extend_from_slice(pool.get(&mut self.disk, handle.file, p));
         }
-        self.verify_bytes(handle.file, &bytes)?;
-        Ok(handle.codec.codec().decompress(&bytes, handle.len_bits))
+        bytes
     }
 
+    /// Compares `bytes` against the file's recorded CRC. Pure: charging
+    /// the failure to the right counter set (global vs per-thread
+    /// [`ReadContext`]) is the caller's job.
     fn verify_bytes(&self, file: FileId, bytes: &[u8]) -> Result<(), CorruptBitmap> {
         let expected = *self.checks.get(&file).expect("bitmap has no recorded crc");
         let actual = crc32(bytes);
         if actual != expected {
-            self.disk.charge(IoStats {
-                checksum_failures: 1,
-                ..IoStats::new()
-            });
             return Err(CorruptBitmap {
                 file,
                 expected,
@@ -168,30 +264,87 @@ impl BitmapStore {
         Ok(())
     }
 
+    fn charge_integrity_failure(&self) {
+        self.disk.charge(IoStats {
+            checksum_failures: 1,
+            ..IoStats::new()
+        });
+    }
+
     /// Reads a bitmap without exclusive access to the store, for
     /// concurrent batch evaluation: page I/O goes through the lock-striped
-    /// `pool` and is charged to the caller's per-thread `ctx`;
+    /// `pool` and is charged to the caller's per-thread `ctx` —
+    /// including any [`IoStats::checksum_failures`], so the per-query ≡
+    /// global counter invariant survives corruption on the shared path;
     /// decompression runs on the calling thread. Merge the context back
     /// with [`BitmapStore::charge`] when the parallel region ends so
     /// [`BitmapStore::stats`] stays the one total.
     ///
     /// # Panics
     ///
-    /// Panics on checksum mismatch, like [`BitmapStore::read`].
+    /// Panics on checksum mismatch or an undecodable stream, like
+    /// [`BitmapStore::read`].
     pub fn read_shared(
         &self,
         handle: BitmapHandle,
         pool: &ShardedBufferPool,
         ctx: &mut ReadContext,
     ) -> Bitvec {
+        let bytes = self.fetch_bytes_shared(handle, pool, ctx);
+        if let Err(c) = self.verify_bytes(handle.file, &bytes) {
+            ctx.stats.checksum_failures += 1;
+            panic!("corrupt bitmap on an unguarded shared read path: {c}");
+        }
+        match handle.codec.codec().try_decompress(&bytes, handle.len_bits) {
+            Ok(bv) => bv,
+            Err(error) => {
+                ctx.stats.checksum_failures += 1;
+                panic!("corrupt bitmap on an unguarded shared read path: {error}");
+            }
+        }
+    }
+
+    /// Shared-path twin of [`BitmapStore::read_compressed`]: CRC-verified,
+    /// structurally validated, not decoded. Integrity failures are charged
+    /// to `ctx` and reported, not panicked, so the batch executor can fall
+    /// back or fail the query cleanly.
+    pub fn read_compressed_shared(
+        &self,
+        handle: BitmapHandle,
+        pool: &ShardedBufferPool,
+        ctx: &mut ReadContext,
+    ) -> Result<CompressedBitmap, ReadError> {
+        let bytes = self.fetch_bytes_shared(handle, pool, ctx);
+        if let Err(c) = self.verify_bytes(handle.file, &bytes) {
+            ctx.stats.checksum_failures += 1;
+            return Err(ReadError::Checksum(c));
+        }
+        if let Err(error) = handle.codec.codec().validate(&bytes, handle.len_bits) {
+            ctx.stats.checksum_failures += 1;
+            return Err(ReadError::Undecodable {
+                file: handle.file,
+                error,
+            });
+        }
+        Ok(CompressedBitmap::from_parts(
+            handle.codec,
+            handle.len_bits,
+            bytes,
+        ))
+    }
+
+    fn fetch_bytes_shared(
+        &self,
+        handle: BitmapHandle,
+        pool: &ShardedBufferPool,
+        ctx: &mut ReadContext,
+    ) -> Vec<u8> {
         let n_pages = self.disk.file_pages(handle.file);
         let mut bytes = Vec::with_capacity(self.disk.file_size(handle.file));
         for p in 0..n_pages {
             bytes.extend_from_slice(&pool.get(&self.disk, handle.file, p, ctx));
         }
-        self.verify_bytes(handle.file, &bytes)
-            .expect("corrupt bitmap on an unguarded shared read path");
-        handle.codec.codec().decompress(&bytes, handle.len_bits)
+        bytes
     }
 
     /// Adds externally-accumulated counters (merged [`ReadContext`]s) into
@@ -554,8 +707,81 @@ mod tests {
         let err = store
             .read_verified(h, &mut pool)
             .expect_err("bit flip must fail verification");
-        assert_eq!(err.file, h.file());
-        assert_ne!(err.expected, err.actual);
+        match err {
+            ReadError::Checksum(c) => {
+                assert_eq!(c.file, h.file());
+                assert_ne!(c.expected, c.actual);
+            }
+            other => panic!("expected a checksum failure, got {other:?}"),
+        }
+        assert_eq!(store.stats().checksum_failures, 1);
+    }
+
+    #[test]
+    fn undecodable_stream_is_an_error_not_a_panic() {
+        // CRC-valid garbage (checksummed over the bad bytes, as the
+        // tolerant load path can produce) must surface as Undecodable.
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let garbage = vec![0xFFu8; 12];
+        let h = store.put_precompressed("g", CodecKind::Bbc, 100_000, &garbage);
+        let mut pool = BufferPool::new(16);
+        let err = store
+            .read_verified(h, &mut pool)
+            .expect_err("garbage must not decode");
+        assert!(matches!(err, ReadError::Undecodable { .. }), "{err:?}");
+        assert_eq!(err.file(), h.file());
+        assert_eq!(store.stats().checksum_failures, 1);
+
+        // The compressed read path rejects it the same way.
+        let err = store
+            .read_compressed(h, &mut pool)
+            .expect_err("garbage must not validate");
+        assert!(matches!(err, ReadError::Undecodable { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn compressed_read_skips_decode_but_matches() {
+        for codec in [CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah] {
+            let mut store = BitmapStore::new(DiskConfig::default());
+            let bv = sample_bitmap();
+            let h = store.put("b", codec, &bv);
+            let mut pool = BufferPool::new(16);
+            let cb = store.read_compressed(h, &mut pool).unwrap();
+            assert_eq!(cb.kind(), codec);
+            assert_eq!(cb.len_bits(), bv.len());
+            assert_eq!(cb.bytes(), store.contents(h));
+            assert_eq!(cb.decode(), bv, "codec {codec}");
+
+            let pool = ShardedBufferPool::new(16, 2);
+            let mut ctx = ReadContext::new();
+            let cb = store.read_compressed_shared(h, &pool, &mut ctx).unwrap();
+            assert_eq!(cb.decode(), bv, "codec {codec} (shared)");
+            assert!(ctx.stats().pages_read > 0);
+        }
+    }
+
+    #[test]
+    fn shared_read_charges_checksum_failure_to_context() {
+        // Regression: verify_bytes used to charge the global DiskSim
+        // counters even on the shared path, breaking the per-query ≡
+        // global invariant the batch executor asserts.
+        let mut store = BitmapStore::new(DiskConfig::default());
+        let bv = sample_bitmap();
+        let h = store.put("b", CodecKind::Raw, &bv);
+        store.corrupt_bitmap(h, 7, 0x04);
+        let pool = ShardedBufferPool::new(16, 2);
+        let mut ctx = ReadContext::new();
+        let err = store
+            .read_compressed_shared(h, &pool, &mut ctx)
+            .expect_err("bit flip must fail verification");
+        assert!(matches!(err, ReadError::Checksum(_)));
+        assert_eq!(ctx.stats().checksum_failures, 1);
+        assert_eq!(
+            store.stats().checksum_failures,
+            0,
+            "global counters must only move when the context is merged"
+        );
+        store.charge(ctx.take_stats());
         assert_eq!(store.stats().checksum_failures, 1);
     }
 

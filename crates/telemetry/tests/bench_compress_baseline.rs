@@ -1,0 +1,87 @@
+//! The committed perf baseline `BENCH_compress.json` at the repo root
+//! must stay valid JSON with the fields future PRs diff against, and its
+//! counters must uphold the compressed-domain acceptance criterion:
+//! strictly fewer decompressions than raw evaluation on every codec. CI
+//! fails this test whenever a bench run (or a hand edit) corrupts the
+//! file or regresses the counter relationship.
+
+use bix_telemetry::json::{self, Json};
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_compress.json")
+}
+
+#[test]
+fn bench_compress_baseline_is_valid_and_complete() {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing perf baseline {}: {e}", path.display()));
+    let doc =
+        json::parse(&text).unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
+
+    assert_eq!(
+        doc.get("benchmark").and_then(Json::as_str),
+        Some("eval_domain"),
+        "baseline must come from the eval_domain bench"
+    );
+    for field in ["rows", "cardinality", "queries"] {
+        let v = doc
+            .get(field)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("baseline missing numeric field {field}"));
+        assert!(v > 0.0, "{field} must be positive, got {v}");
+    }
+
+    let codecs = doc
+        .get("codecs")
+        .and_then(Json::as_array)
+        .expect("baseline missing codecs[] measurements");
+    let names: Vec<&str> = codecs
+        .iter()
+        .filter_map(|c| c.get("codec").and_then(Json::as_str))
+        .collect();
+    for expected in ["bbc", "wah", "ewah"] {
+        assert!(
+            names.contains(&expected),
+            "codecs missing {expected}: {names:?}"
+        );
+    }
+    for entry in codecs {
+        let codec = entry.get("codec").and_then(Json::as_str).unwrap_or("?");
+        for field in ["raw_seconds", "compressed_seconds", "speedup"] {
+            let v = entry
+                .get(field)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{codec} entry missing {field}"));
+            assert!(v > 0.0, "{codec} {field} must be positive");
+        }
+        let raw_dec = entry
+            .get("raw_decompressions")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{codec} entry missing raw_decompressions"));
+        let packed_dec = entry
+            .get("compressed_decompressions")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{codec} entry missing compressed_decompressions"));
+        assert!(
+            packed_dec < raw_dec,
+            "{codec}: compressed domain must decompress strictly less \
+             ({packed_dec} vs {raw_dec})"
+        );
+    }
+
+    let phases = doc
+        .get("traced_phases")
+        .and_then(Json::as_array)
+        .expect("baseline missing traced_phases[] breakdown");
+    let phase_names: Vec<&str> = phases
+        .iter()
+        .filter_map(|p| p.get("phase").and_then(Json::as_str))
+        .collect();
+    for expected in ["eval", "fetch", "fold", "node", "read"] {
+        assert!(
+            phase_names.contains(&expected),
+            "traced_phases missing {expected}: {phase_names:?}"
+        );
+    }
+}

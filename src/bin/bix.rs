@@ -5,8 +5,10 @@
 //!             [--encoding I] [--codec raw|bbc|wah|ewah|roaring]
 //!             [--components N] --out index.bix [--metrics-out file.json]
 //! bix query   index.bix <predicate>   # '=5' '<=10' '3..7' 'in:1,2,9' '!3..7'
+//!             [--eval-domain auto|compressed|raw]
 //!             [--trace] [--trace-out spans.jsonl] [--metrics-out file.json]
 //! bix query   index.bix --batch queries.txt [--parallel N] [--pool-pages P]
+//!             [--eval-domain auto|compressed|raw]
 //!             [--trace] [--trace-out spans.jsonl] [--metrics-out file.json]
 //! bix explain index.bix <predicate>   # expression + per-constituent scans
 //!                                     # and predicted cost-model seconds
@@ -21,16 +23,19 @@
 //!
 //! The input file is one value per line, or CSV with `--column` selecting
 //! a zero-based field. Query output is matching row numbers (zero-based),
-//! one per line, plus a summary on stderr. `--trace` prints the span tree
+//! one per line, plus a summary on stderr. `--eval-domain` picks whether
+//! the evaluation DAG folds compressed streams directly (`compressed`),
+//! decodes every bitmap at read time (`raw`), or chooses per bitmap from
+//! stream size (`auto`, the default). `--trace` prints the span tree
 //! on stderr; `--trace-out` writes one JSON object per span (JSONL);
 //! `--metrics-out` writes a JSON metrics snapshot (counters, gauges, and
 //! per-phase latency histograms).
 
 use chan_bitmap_index::analysis::{advise, Workload};
 use chan_bitmap_index::core::{
-    BitmapIndex, BitmapRef, BufferPool, CodecKind, CostModel, EncodingScheme, EvalStrategy,
-    IndexConfig, IoMetrics, MetricsRegistry, ParallelExecutor, Query, ShardedBufferPool, Tracer,
-    EXISTENCE_REF,
+    BitmapIndex, BitmapRef, BufferPool, CodecKind, CostModel, EncodingScheme, EvalDomain,
+    EvalStrategy, IndexConfig, IoMetrics, MetricsRegistry, ParallelExecutor, Query,
+    ShardedBufferPool, Tracer, EXISTENCE_REF,
 };
 use std::process::ExitCode;
 
@@ -69,6 +74,15 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// Whether a bare `--flag` is present.
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Parses `--eval-domain auto|compressed|raw` (default: auto).
+fn parse_eval_domain(args: &[String]) -> Result<EvalDomain, String> {
+    match flag_value(args, "--eval-domain") {
+        None => Ok(EvalDomain::default()),
+        Some(v) => EvalDomain::parse(&v)
+            .ok_or_else(|| format!("--eval-domain must be auto, compressed, or raw (got {v})")),
+    }
 }
 
 /// Registers the index-shape gauges every metrics snapshot carries.
@@ -225,13 +239,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    const USAGE: &str =
-        "usage: bix query <index.bix> <predicate> | bix query <index.bix> --batch <file> [--parallel N]";
+    const USAGE: &str = "usage: bix query <index.bix> <predicate> [--eval-domain auto|compressed|raw] | bix query <index.bix> --batch <file> [--parallel N] [--eval-domain auto|compressed|raw]";
     let path = args.first().ok_or(USAGE)?;
     if let Some(batch_file) = flag_value(args, "--batch") {
         return cmd_query_batch(path, &batch_file, args);
     }
     let predicate = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let domain = parse_eval_domain(args)?;
     let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
     let query = parse_predicate(predicate, index.config().cardinality)?;
 
@@ -244,10 +258,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut pool = BufferPool::new(index.config().disk.pages_for_bytes(64 << 20));
     let root = tracer.span(&format!("query {predicate}"), None);
     let root_id = root.id();
-    let result = index.evaluate_detailed_traced(
+    let result = index.evaluate_detailed_with_domain(
         &query,
         &mut pool,
         EvalStrategy::ComponentWise,
+        domain,
         &cost,
         &tracer,
         root_id,
@@ -270,9 +285,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         write_metrics(&metrics_out, &registry)?;
     }
     eprintln!(
-        "{} rows matched ({} bitmap scans, {:.4}s simulated I/O)",
+        "{} rows matched ({} bitmap scans, {} decompressions, {:.4}s simulated I/O)",
         result.bitmap.count_ones(),
         result.scans,
+        result.decompressions,
         result.io_seconds,
     );
     Ok(())
@@ -319,7 +335,7 @@ fn cmd_query_batch(path: &str, batch_file: &str, args: &[String]) -> Result<(), 
 
     let predicates: Vec<Query> = queries.iter().map(|(_, q)| q.clone()).collect();
     let pool = ShardedBufferPool::new(pool_pages, threads.max(2));
-    let executor = ParallelExecutor::new(threads);
+    let executor = ParallelExecutor::new(threads).with_domain(parse_eval_domain(args)?);
     let tracer = if wants_trace(args) {
         Tracer::new()
     } else {
@@ -712,6 +728,61 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains(":2:"), "{err}");
+
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&idx).ok();
+        std::fs::remove_file(&batch).ok();
+    }
+
+    #[test]
+    fn eval_domain_flag_is_parsed_and_accepted_on_both_query_paths() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let csv = dir.join(format!("bix_cli_domain_{pid}.csv"));
+        let idx = dir.join(format!("bix_cli_domain_{pid}.bix"));
+        let batch = dir.join(format!("bix_cli_domain_{pid}.txt"));
+        let column: Vec<String> = (0..2_000u64).map(|i| (i % 16).to_string()).collect();
+        std::fs::write(&csv, column.join("\n")).unwrap();
+        std::fs::write(&batch, "=3\n5..10\n").unwrap();
+
+        cmd_build(&[
+            "--input".into(),
+            csv.to_string_lossy().into_owned(),
+            "--out".into(),
+            idx.to_string_lossy().into_owned(),
+            "--codec".into(),
+            "wah".into(),
+        ])
+        .expect("build");
+
+        for domain in ["auto", "compressed", "raw"] {
+            cmd_query(&[
+                idx.to_string_lossy().into_owned(),
+                "in:1,7,13".into(),
+                "--eval-domain".into(),
+                domain.into(),
+            ])
+            .unwrap_or_else(|e| panic!("single query, domain {domain}: {e}"));
+            cmd_query(&[
+                idx.to_string_lossy().into_owned(),
+                "--batch".into(),
+                batch.to_string_lossy().into_owned(),
+                "--parallel".into(),
+                "2".into(),
+                "--eval-domain".into(),
+                domain.into(),
+            ])
+            .unwrap_or_else(|e| panic!("batch query, domain {domain}: {e}"));
+        }
+
+        let err = cmd_query(&[
+            idx.to_string_lossy().into_owned(),
+            "=3".into(),
+            "--eval-domain".into(),
+            "sideways".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--eval-domain"), "{err}");
 
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&idx).ok();
