@@ -230,6 +230,9 @@ impl BitmapIndex {
                     scans
                 },
                 peak_resident: scans + 1,
+                // The degraded path folds raw bitmaps only.
+                nodes_raw: scans,
+                nodes_compressed: 0,
             });
         }
         Err(self.degraded(Vec::new()))

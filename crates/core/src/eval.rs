@@ -265,6 +265,14 @@ pub struct EvalResult {
     /// only for [`EvalStrategy::ComponentStreaming`]; the cache-everything
     /// strategies report their full cache size.
     pub peak_resident: usize,
+    /// DAG-fold nodes whose value ended up as a decoded (raw) bitmap.
+    /// Tracked by the [`EvalStrategy::ComponentWise`] fold and the
+    /// parallel executor; the non-DAG strategies report zero. Together
+    /// with [`EvalResult::nodes_compressed`] this is the operator-level
+    /// compressed-vs-raw evaluation mix.
+    pub nodes_raw: usize,
+    /// DAG-fold nodes whose value stayed a compressed stream.
+    pub nodes_compressed: usize,
 }
 
 impl EvalResult {
@@ -360,6 +368,7 @@ pub fn evaluate_domain_traced(
     let mut scans = 0usize;
     let mut peak_resident = 0usize;
     let mut decompressions = 0usize;
+    let mut node_mix = (0usize, 0usize);
 
     let bitmap = match strategy {
         EvalStrategy::ComponentStreaming => {
@@ -420,6 +429,7 @@ pub fn evaluate_domain_traced(
                 cache,
                 domain,
                 &mut decompressions,
+                &mut node_mix,
                 tracer,
                 fold_span.id(),
             );
@@ -483,6 +493,8 @@ pub fn evaluate_domain_traced(
         cpu_seconds,
         decompressions,
         peak_resident,
+        nodes_raw: node_mix.0,
+        nodes_compressed: node_mix.1,
     }
 }
 
@@ -491,12 +503,14 @@ pub fn evaluate_domain_traced(
 /// (once, at the root, in the best case) where the domain or codec
 /// requires. Emits a per-node span recording which representation each
 /// node's value ended up in.
+#[allow(clippy::too_many_arguments)]
 fn fold_cache(
     merged: &Expr,
     rows: usize,
     mut cache: BTreeMap<BitmapRef, NodeVal>,
     domain: EvalDomain,
     decompressions: &mut usize,
+    node_mix: &mut (usize, usize),
     tracer: &Tracer,
     parent: Option<SpanId>,
 ) -> Bitvec {
@@ -532,6 +546,10 @@ fn fold_cache(
                 child(&values, *a).combine(rhs, BitOp::Xor, domain, decompressions)
             }
         };
+        match &value {
+            NodeVal::Raw(_) => node_mix.0 += 1,
+            NodeVal::Packed(_) => node_mix.1 += 1,
+        }
         if tracer.is_enabled() {
             let kind = match op {
                 NodeOp::Const(_) => "const",

@@ -65,8 +65,9 @@ pub use expr::{BitmapRef, Expr};
 pub use index::{BitmapIndex, CostPrediction, IndexConfig};
 pub use journal::{RecoveryAction, RecoveryReport};
 pub use multi::{IndexedTable, TableEvalResult, TableQuery};
+pub use parallel::DeadlineExceeded;
 pub use parallel::{BatchResult, ParallelExecutor};
-pub use query::{Query, QueryClass};
+pub use query::{ParseError, Query, QueryClass, MAX_MEMBERSHIP_VALUES};
 pub use rewrite::{minimal_intervals, rewrite_interval, rewrite_query};
 pub use update::UpdateStats;
 

@@ -40,6 +40,52 @@ use crate::EvalStrategy;
 #[allow(unused_imports)]
 use bix_storage::BitmapStore;
 
+/// Returned by [`ParallelExecutor::execute_deadline`] when the deadline
+/// passed before every query in the batch finished. Partial results are
+/// discarded: a served query is either complete and bit-exact or not
+/// answered at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline exceeded before the batch completed")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+/// Shared cancellation state for one deadline-bounded batch: the wall
+/// deadline plus a sticky flag so that, once any worker observes expiry,
+/// every other worker short-circuits without re-reading the clock.
+struct Cancel {
+    deadline: Instant,
+    expired: std::sync::atomic::AtomicBool,
+}
+
+impl Cancel {
+    fn new(deadline: Instant) -> Cancel {
+        Cancel {
+            deadline,
+            expired: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// True once the deadline has passed. Checked between DAG nodes and
+    /// between queries — the enforcement points of a request deadline —
+    /// so a single node's work is the cancellation latency bound.
+    fn expired(&self) -> bool {
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        if Instant::now() >= self.deadline {
+            self.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
 /// Executes batches of selection queries concurrently against one index.
 ///
 /// The single-threaded API ([`BitmapIndex::evaluate_detailed`]) is
@@ -124,7 +170,50 @@ impl ParallelExecutor {
         tracer: &Tracer,
         parent: Option<SpanId>,
     ) -> BatchResult {
+        self.execute_inner(index, queries, pool, cost, tracer, parent, None)
+            .expect("no deadline, cannot expire")
+    }
+
+    /// [`ParallelExecutor::execute`] with a wall-clock deadline, the
+    /// serving path's bounded-latency entry point. The deadline is
+    /// checked between queries and between DAG nodes; once it passes,
+    /// remaining work is abandoned (leaf reads and bitwise ops are
+    /// skipped) and the whole batch returns [`DeadlineExceeded`] —
+    /// partial answers are never handed out. `None` behaves exactly like
+    /// [`ParallelExecutor::execute`].
+    pub fn execute_deadline(
+        &self,
+        index: &BitmapIndex,
+        queries: &[Query],
+        pool: &ShardedBufferPool,
+        cost: &CostModel,
+        deadline: Option<Instant>,
+    ) -> Result<BatchResult, DeadlineExceeded> {
+        self.execute_inner(
+            index,
+            queries,
+            pool,
+            cost,
+            &Tracer::disabled(),
+            None,
+            deadline,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_inner(
+        &self,
+        index: &BitmapIndex,
+        queries: &[Query],
+        pool: &ShardedBufferPool,
+        cost: &CostModel,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+        deadline: Option<Instant>,
+    ) -> Result<BatchResult, DeadlineExceeded> {
         let started = Instant::now();
+        let cancel = deadline.map(Cancel::new);
+        let cancel = cancel.as_ref();
         let outer = self.threads.min(queries.len()).max(1);
         let inner = self
             .inner_threads
@@ -145,14 +234,26 @@ impl ParallelExecutor {
                 scope.spawn(move || loop {
                     let qi = next.fetch_add(1, Ordering::Relaxed);
                     let Some(q) = queries.get(qi) else { break };
+                    if cancel.is_some_and(Cancel::expired) {
+                        break;
+                    }
                     let q_span = if tracer.is_enabled() {
                         Some(tracer.span(&format!("query {qi}"), batch_id))
                     } else {
                         None
                     };
                     let q_id = q_span.as_ref().and_then(|s| s.id());
-                    let result =
-                        evaluate_one(index, q, pool, inner, self.domain, cost, tracer, q_id);
+                    let result = evaluate_one(
+                        index,
+                        q,
+                        pool,
+                        inner,
+                        self.domain,
+                        cost,
+                        tracer,
+                        q_id,
+                        cancel,
+                    );
                     if let Some(span) = &q_span {
                         span.attr("scans", result.scans);
                         span.attr("pages", result.io.pages_read);
@@ -162,6 +263,9 @@ impl ParallelExecutor {
             }
         });
 
+        if cancel.is_some_and(Cancel::expired) {
+            return Err(DeadlineExceeded);
+        }
         let results: Vec<EvalResult> = slots
             .into_iter()
             .map(|slot| {
@@ -181,14 +285,14 @@ impl ParallelExecutor {
         }
         index.store().charge(io);
 
-        BatchResult {
+        Ok(BatchResult {
             results,
             io,
             io_seconds,
             cpu_seconds,
             wall_seconds: started.elapsed().as_secs_f64(),
             threads: self.threads,
-        }
+        })
     }
 }
 
@@ -238,6 +342,7 @@ fn evaluate_one(
     cost: &CostModel,
     tracer: &Tracer,
     parent: Option<SpanId>,
+    cancel: Option<&Cancel>,
 ) -> EvalResult {
     let started = Instant::now();
     let constituents = index.rewrite_constituents_traced(q, tracer, parent);
@@ -252,7 +357,7 @@ fn evaluate_one(
 
     let fold_span = tracer.span("fold", parent);
     let fold_id = fold_span.id();
-    let (mut bitmap, peak_resident, mut scans, mut io, mut decompressions) = fold_dag(
+    let fold = fold_dag(
         &dag,
         index.rows(),
         &lookup,
@@ -262,21 +367,31 @@ fn evaluate_one(
         domain,
         tracer,
         fold_id,
+        cancel,
+    );
+    let (mut bitmap, peak_resident, mut scans, mut io, mut decompressions) = (
+        fold.bitmap,
+        fold.peak_resident,
+        fold.scans,
+        fold.io,
+        fold.decompressions,
     );
     fold_span.attr("workers", inner);
     fold_span.attr("decompressions", decompressions);
     fold_span.finish();
 
     if let Some(eb) = index.existence_handle() {
-        let span = tracer.span("existence", parent);
-        let mut ctx = ReadContext::new();
-        let existence = index.store().read_shared(eb, pool, &mut ctx);
-        bitmap.and_assign(&existence);
-        span.finish();
-        scans += 1;
-        distinct += 1;
-        decompressions += usize::from(eb.codec() != CodecKind::Raw);
-        io += ctx.take_stats();
+        if !cancel.is_some_and(Cancel::expired) {
+            let span = tracer.span("existence", parent);
+            let mut ctx = ReadContext::new();
+            let existence = index.store().read_shared(eb, pool, &mut ctx);
+            bitmap.and_assign(&existence);
+            span.finish();
+            scans += 1;
+            distinct += 1;
+            decompressions += usize::from(eb.codec() != CodecKind::Raw);
+            io += ctx.take_stats();
+        }
     }
 
     EvalResult {
@@ -288,6 +403,8 @@ fn evaluate_one(
         cpu_seconds: cost.cpu_seconds(started.elapsed().as_secs_f64()),
         decompressions,
         peak_resident,
+        nodes_raw: fold.nodes_raw,
+        nodes_compressed: fold.nodes_compressed,
     }
 }
 
@@ -316,14 +433,28 @@ struct FoldState {
     scans: AtomicUsize,
     /// Compressed streams decoded to raw bitmaps so far.
     decompressions: AtomicUsize,
+    /// Nodes whose computed value was a decoded bitmap / a compressed
+    /// stream (the per-domain evaluation mix surfaced in `EvalResult`).
+    nodes_raw: AtomicUsize,
+    nodes_compressed: AtomicUsize,
     /// Live values now / at peak (for `peak_resident` accounting).
     resident: AtomicUsize,
     peak: AtomicUsize,
 }
 
+/// Everything one DAG fold produced.
+struct FoldOutcome {
+    bitmap: Bitvec,
+    peak_resident: usize,
+    scans: usize,
+    io: IoStats,
+    decompressions: usize,
+    nodes_raw: usize,
+    nodes_compressed: usize,
+}
+
 /// Folds the DAG bottom-up with `workers` threads (the §6.3 evaluator's
 /// independent-subtree parallelism). Runs inline when `workers == 1`.
-/// Returns `(result, peak_resident, scans, merged I/O, decompressions)`.
 #[allow(clippy::too_many_arguments)]
 fn fold_dag(
     dag: &Dag,
@@ -335,7 +466,8 @@ fn fold_dag(
     domain: EvalDomain,
     tracer: &Tracer,
     parent: Option<SpanId>,
-) -> (Bitvec, usize, usize, IoStats, usize) {
+    cancel: Option<&Cancel>,
+) -> FoldOutcome {
     let n = dag.ops.len();
     let parents: Vec<Vec<usize>> = {
         let mut parents = vec![Vec::new(); n];
@@ -359,6 +491,8 @@ fn fold_dag(
         refs: dag.refs.iter().map(|&r| AtomicUsize::new(r)).collect(),
         scans: AtomicUsize::new(0),
         decompressions: AtomicUsize::new(0),
+        nodes_raw: AtomicUsize::new(0),
+        nodes_compressed: AtomicUsize::new(0),
         resident: AtomicUsize::new(0),
         peak: AtomicUsize::new(0),
     };
@@ -378,7 +512,7 @@ fn fold_dag(
             let mut ctx = ReadContext::new();
             worker_loop(
                 dag, &parents, &state, rows, lookup, index, pool, &mut ctx, n, domain, tracer,
-                parent,
+                parent, cancel,
             );
             *io.lock().expect("io totals") += ctx.take_stats();
         };
@@ -395,11 +529,15 @@ fn fold_dag(
         .expect("root computed");
     let mut root_dec = 0usize;
     let result = root_val.into_raw(&mut root_dec);
-    let scans = state.scans.load(Ordering::Relaxed);
-    let peak = state.peak.load(Ordering::Relaxed);
-    let decompressions = state.decompressions.load(Ordering::Relaxed) + root_dec;
-    let io = io.into_inner().expect("io totals");
-    (result, peak, scans, io, decompressions)
+    FoldOutcome {
+        bitmap: result,
+        peak_resident: state.peak.load(Ordering::Relaxed),
+        scans: state.scans.load(Ordering::Relaxed),
+        io: io.into_inner().expect("io totals"),
+        decompressions: state.decompressions.load(Ordering::Relaxed) + root_dec,
+        nodes_raw: state.nodes_raw.load(Ordering::Relaxed),
+        nodes_compressed: state.nodes_compressed.load(Ordering::Relaxed),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -416,6 +554,7 @@ fn worker_loop(
     domain: EvalDomain,
     tracer: &Tracer,
     parent: Option<SpanId>,
+    cancel: Option<&Cancel>,
 ) {
     loop {
         // Take a ready node, or sleep until one appears / the fold ends.
@@ -449,60 +588,73 @@ fn worker_loop(
         });
 
         let mut dec = 0usize;
-        let value = match &dag.ops[node] {
-            NodeOp::Const(true) => NodeVal::Raw(Bitvec::ones_vec(rows)),
-            NodeOp::Const(false) => NodeVal::Raw(Bitvec::zeros(rows)),
-            NodeOp::Leaf(r) => {
-                state.scans.fetch_add(1, Ordering::Relaxed);
-                let handle = lookup(*r);
-                if reads_compressed(domain, handle, index.store().stored_size(handle)) {
-                    let c = index
-                        .store()
-                        .read_compressed_shared(handle, pool, ctx)
-                        .unwrap_or_else(|e| {
-                            panic!("corrupt bitmap on an unguarded shared read path: {e}")
-                        });
-                    NodeVal::Packed(c)
-                } else {
-                    dec += usize::from(handle.codec() != CodecKind::Raw);
-                    NodeVal::Raw(index.store().read_shared(handle, pool, ctx))
-                }
-            }
-            op => {
-                // Fold children, locking one value at a time. Children are
-                // all computed (dependency counts reached zero) and cannot
-                // be freed before this node — their consumer — runs.
-                let children = op.children();
-                let child = |c: usize| -> NodeVal {
-                    state.values[c]
-                        .lock()
-                        .expect("child value")
-                        .clone()
-                        .expect("child computed")
-                };
-                let mut acc = child(children[0]);
-                match op {
-                    NodeOp::Not(_) => acc = acc.not(&mut dec),
-                    NodeOp::And(_) | NodeOp::Or(_) | NodeOp::Xor(..) => {
-                        let bit_op = match op {
-                            NodeOp::And(_) => BitOp::And,
-                            NodeOp::Or(_) => BitOp::Or,
-                            _ => BitOp::Xor,
-                        };
-                        for &c in &children[1..] {
-                            let guard = state.values[c].lock().expect("child value");
-                            let rhs = guard.as_ref().expect("child computed");
-                            acc = acc.combine(rhs, bit_op, domain, &mut dec);
-                        }
+        let value = if cancel.is_some_and(Cancel::expired) {
+            // Deadline passed: complete the node without touching disk,
+            // children, or kernels so the fold drains immediately. The
+            // placeholder value is never handed out — the executor maps
+            // the whole batch to `DeadlineExceeded`.
+            NodeVal::Raw(Bitvec::zeros(0))
+        } else {
+            match &dag.ops[node] {
+                NodeOp::Const(true) => NodeVal::Raw(Bitvec::ones_vec(rows)),
+                NodeOp::Const(false) => NodeVal::Raw(Bitvec::zeros(rows)),
+                NodeOp::Leaf(r) => {
+                    state.scans.fetch_add(1, Ordering::Relaxed);
+                    let handle = lookup(*r);
+                    if reads_compressed(domain, handle, index.store().stored_size(handle)) {
+                        let c = index
+                            .store()
+                            .read_compressed_shared(handle, pool, ctx)
+                            .unwrap_or_else(|e| {
+                                panic!("corrupt bitmap on an unguarded shared read path: {e}")
+                            });
+                        NodeVal::Packed(c)
+                    } else {
+                        dec += usize::from(handle.codec() != CodecKind::Raw);
+                        NodeVal::Raw(index.store().read_shared(handle, pool, ctx))
                     }
-                    NodeOp::Const(_) | NodeOp::Leaf(_) => unreachable!("handled above"),
                 }
-                acc
+                op => {
+                    // Fold children, locking one value at a time. Children are
+                    // all computed (dependency counts reached zero) and cannot
+                    // be freed before this node — their consumer — runs.
+                    let children = op.children();
+                    let child = |c: usize| -> NodeVal {
+                        state.values[c]
+                            .lock()
+                            .expect("child value")
+                            .clone()
+                            .expect("child computed")
+                    };
+                    let mut acc = child(children[0]);
+                    match op {
+                        NodeOp::Not(_) => acc = acc.not(&mut dec),
+                        NodeOp::And(_) | NodeOp::Or(_) | NodeOp::Xor(..) => {
+                            let bit_op = match op {
+                                NodeOp::And(_) => BitOp::And,
+                                NodeOp::Or(_) => BitOp::Or,
+                                _ => BitOp::Xor,
+                            };
+                            for &c in &children[1..] {
+                                let guard = state.values[c].lock().expect("child value");
+                                let rhs = guard.as_ref().expect("child computed");
+                                acc = acc.combine(rhs, bit_op, domain, &mut dec);
+                            }
+                        }
+                        NodeOp::Const(_) | NodeOp::Leaf(_) => unreachable!("handled above"),
+                    }
+                    acc
+                }
             }
         };
         if dec > 0 {
             state.decompressions.fetch_add(dec, Ordering::Relaxed);
         }
+        match &value {
+            NodeVal::Raw(_) => &state.nodes_raw,
+            NodeVal::Packed(_) => &state.nodes_compressed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
 
         if let Some(span) = &node_span {
             span.attr("domain", value.domain_name());
@@ -709,5 +861,64 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         let _ = ParallelExecutor::new(0);
+    }
+
+    #[test]
+    fn expired_deadline_yields_typed_error() {
+        let index = test_index(CodecKind::Raw);
+        let pool = ShardedBufferPool::new(4096, 4);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let got = ParallelExecutor::new(4)
+            .with_inner_threads(2)
+            .execute_deadline(
+                &index,
+                &test_queries(),
+                &pool,
+                &CostModel::default(),
+                Some(past),
+            );
+        assert_eq!(got.unwrap_err(), DeadlineExceeded);
+    }
+
+    #[test]
+    fn generous_deadline_matches_undeadlined_run() {
+        let index = test_index(CodecKind::Raw);
+        let queries = test_queries();
+        let pool = ShardedBufferPool::new(4096, 4);
+        let plain =
+            ParallelExecutor::new(4).execute(&index, &queries, &pool, &CostModel::default());
+        let pool = ShardedBufferPool::new(4096, 4);
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(600);
+        let timed = ParallelExecutor::new(4)
+            .execute_deadline(&index, &queries, &pool, &CostModel::default(), Some(far))
+            .expect("generous deadline cannot expire");
+        for (g, w) in timed.results.iter().zip(&plain.results) {
+            assert_eq!(g.bitmap, w.bitmap);
+            assert_eq!(g.scans, w.scans);
+        }
+    }
+
+    #[test]
+    fn node_mix_counters_cover_the_fold() {
+        // Raw store: every folded node materialises as a raw bitvec.
+        let index = test_index(CodecKind::Raw);
+        let pool = ShardedBufferPool::new(4096, 4);
+        let batch = ParallelExecutor::new(2).with_inner_threads(2).execute(
+            &index,
+            &test_queries(),
+            &pool,
+            &CostModel::default(),
+        );
+        for r in &batch.results {
+            assert!(r.nodes_raw > 0);
+            assert_eq!(r.nodes_compressed, 0);
+        }
+        // Compressed-domain BBC: leaves stay packed through the fold.
+        let index = test_index(CodecKind::Bbc);
+        let pool = ShardedBufferPool::new(4096, 4);
+        let batch = ParallelExecutor::new(2)
+            .with_domain(EvalDomain::Compressed)
+            .execute(&index, &test_queries(), &pool, &CostModel::default());
+        assert!(batch.results.iter().any(|r| r.nodes_compressed > 0));
     }
 }

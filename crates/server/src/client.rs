@@ -1,0 +1,185 @@
+//! Blocking client for the `bix` wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time, matching each reply to its request id. Typed server failures
+//! (overload, deadline, bad query, …) surface as
+//! [`ClientError::Server`] so callers can branch on [`ErrorCode`]
+//! without string matching.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use bix_core::EvalDomain;
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, Message, Request, Response, RowsReply, StatsFormat,
+    WireError,
+};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The reply could not be decoded.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with the wrong frame kind or request id.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server { code, message } => write!(f, "server: {code}: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+impl ClientError {
+    /// Whether this is a typed server error with the given code.
+    pub fn is_code(&self, code: ErrorCode) -> bool {
+        matches!(self, ClientError::Server { code: c, .. } if *c == code)
+    }
+}
+
+/// A blocking connection to a `bix` server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects with default 10-second read/write timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with explicit socket read/write timeouts.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn roundtrip(&mut self, request: Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = Frame {
+            request_id: id,
+            msg: Message::Request(request),
+        };
+        write_frame(&mut self.stream, &frame)?;
+        let (reply, _) = read_frame(&mut self.stream)?;
+        match reply.msg {
+            // Typed errors are honoured whatever their id: admission
+            // rejections are written before the server ever reads a
+            // request, so they carry id 0.
+            Message::Response(Response::Error { code, message }) => {
+                Err(ClientError::Server { code, message })
+            }
+            Message::Response(resp) if reply.request_id == id => Ok(resp),
+            Message::Response(_) => Err(ClientError::Unexpected("request id mismatch")),
+            Message::Request(_) => Err(ClientError::Unexpected("request frame from server")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("want Pong")),
+        }
+    }
+
+    /// Evaluates one predicate. `deadline_ms` of 0 uses the server default.
+    pub fn query(
+        &mut self,
+        predicate: &str,
+        domain: EvalDomain,
+        deadline_ms: u32,
+    ) -> Result<RowsReply, ClientError> {
+        let req = Request::Query {
+            domain,
+            deadline_ms,
+            predicate: predicate.into(),
+        };
+        match self.roundtrip(req)? {
+            Response::Rows(rows) => Ok(rows),
+            _ => Err(ClientError::Unexpected("want Rows")),
+        }
+    }
+
+    /// Evaluates a batch of predicates; replies come back in order.
+    pub fn batch(
+        &mut self,
+        predicates: &[String],
+        domain: EvalDomain,
+        deadline_ms: u32,
+    ) -> Result<Vec<RowsReply>, ClientError> {
+        let req = Request::Batch {
+            domain,
+            deadline_ms,
+            predicates: predicates.to_vec(),
+        };
+        match self.roundtrip(req)? {
+            Response::BatchRows(rows) => Ok(rows),
+            _ => Err(ClientError::Unexpected("want BatchRows")),
+        }
+    }
+
+    /// Fetches the server's metrics in the requested format.
+    pub fn stats(&mut self, format: StatsFormat) -> Result<String, ClientError> {
+        match self.roundtrip(Request::Stats(format))? {
+            Response::Stats { text } => Ok(text),
+            _ => Err(ClientError::Unexpected("want Stats")),
+        }
+    }
+
+    /// Asks the server to hot-swap in the index at `path` (a
+    /// server-side filesystem path).
+    pub fn reload(&mut self, path: &str) -> Result<(), ClientError> {
+        match self.roundtrip(Request::Reload { path: path.into() })? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("want Ok")),
+        }
+    }
+
+    /// Asks the server to drain and exit; `Ok` means the drain started.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("want Ok")),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Networked query serving for bitmap indexes.
+//!
+//! This crate turns the in-process query engine of `bix-core` into a
+//! small, dependency-free TCP service:
+//!
+//! * [`protocol`] — a length-prefixed, CRC-checked binary wire format
+//!   with a pure (socket-free) codec, hardened against untrusted input;
+//! * [`server`] — an accept thread plus worker pool with bounded
+//!   admission, per-request deadlines, hot index reload, graceful
+//!   drain, and a live [`bix_core::MetricsRegistry`];
+//! * [`client`] — a blocking client library used by the `bix client`
+//!   CLI, the integration tests, and the serving benchmark.
+//!
+//! ```no_run
+//! use bix_server::{Client, Server, ServerConfig};
+//! use bix_core::{BitmapIndex, EncodingScheme, EvalDomain, IndexConfig};
+//!
+//! let column: Vec<u64> = (0..10_000).map(|i| i % 50).collect();
+//! let index = BitmapIndex::build(
+//!     &column,
+//!     &IndexConfig::one_component(50, EncodingScheme::Interval),
+//! );
+//! let server = Server::start(index, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let reply = client.query("10..19", EvalDomain::Auto, 0).unwrap();
+//! println!("{} rows in {} scans", reply.rows.len(), reply.scans);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, Message, Request,
+    Response, RowsReply, StatsFormat, WireError, HEADER_LEN, MAGIC, MAX_BATCH, MAX_PAYLOAD,
+    VERSION,
+};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,788 @@
+//! The `bix` wire protocol: length-prefixed, CRC-checked binary frames.
+//!
+//! Every frame is laid out as
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  b"bX"
+//! 2       1     protocol version (1)
+//! 3       1     frame kind
+//! 4       8     request id (little endian)
+//! 12      4     payload length in bytes (little endian)
+//! 16      n     payload
+//! 16+n    4     CRC-32 (IEEE) over the payload, little endian
+//! ```
+//!
+//! The codec in this module is pure — it maps between byte slices and
+//! typed [`Frame`] values without touching sockets — so every decode
+//! path is testable (and fuzzable) in isolation. [`read_frame`] /
+//! [`write_frame`] adapt the codec to any `Read`/`Write` transport.
+//!
+//! Decoding is hardened against untrusted peers: magic, version, frame
+//! kind, payload length, interior counts, and the CRC are all validated
+//! before any allocation proportional to the claimed size, and no input
+//! — truncated, oversized, or bit-flipped — can cause a panic.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use bix_core::EvalDomain;
+use bix_storage::crc32;
+
+/// Two-byte frame preamble.
+pub const MAGIC: [u8; 2] = *b"bX";
+/// Wire protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+/// Fixed byte length of the frame header (everything before the payload).
+pub const HEADER_LEN: usize = 16;
+/// Upper bound on a frame payload; larger claims are rejected before
+/// any allocation happens.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+/// Upper bound on the number of predicates a single batch may carry.
+pub const MAX_BATCH: u32 = 4096;
+
+/// Error codes carried by [`Response::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request frame could not be decoded.
+    Malformed = 1,
+    /// The predicate text failed to parse against the index domain.
+    BadQuery = 2,
+    /// The admission queue was full; retry later.
+    Overloaded = 3,
+    /// The request deadline elapsed before evaluation finished.
+    DeadlineExceeded = 4,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown = 5,
+    /// An unexpected server-side failure (e.g. a failed reload).
+    Internal = 6,
+}
+
+impl ErrorCode {
+    /// Decodes a wire value, mapping unknown codes to `Internal`.
+    pub fn from_u16(v: u16) -> ErrorCode {
+        match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::BadQuery,
+            3 => ErrorCode::Overloaded,
+            4 => ErrorCode::DeadlineExceeded,
+            5 => ErrorCode::ShuttingDown,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Malformed => "malformed frame",
+            ErrorCode::BadQuery => "bad query",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline exceeded",
+            ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::Internal => "internal error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Requested exposition format for a [`Request::Stats`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Prometheus text exposition.
+    Prometheus,
+    /// The registry's JSON snapshot.
+    Json,
+}
+
+/// Per-query summary inside a [`Response::Rows`] / [`Response::BatchRows`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowsReply {
+    /// Bitmap scans charged to the query (the paper's cost metric).
+    pub scans: u64,
+    /// Compressed bitmaps materialised during evaluation.
+    pub decompressions: u64,
+    /// Matching row ids, ascending.
+    pub rows: Vec<u64>,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Evaluate one selection predicate.
+    Query {
+        /// Evaluation domain to use.
+        domain: EvalDomain,
+        /// Per-request deadline in milliseconds; 0 uses the server default.
+        deadline_ms: u32,
+        /// Predicate text, `Query::parse` syntax.
+        predicate: String,
+    },
+    /// Evaluate a batch of predicates through the parallel executor.
+    Batch {
+        /// Evaluation domain to use.
+        domain: EvalDomain,
+        /// Per-request deadline in milliseconds; 0 uses the server default.
+        deadline_ms: u32,
+        /// Predicate texts, evaluated in order.
+        predicates: Vec<String>,
+    },
+    /// Fetch the server's metrics registry.
+    Stats(StatsFormat),
+    /// Atomically swap in a freshly verified index from this path.
+    Reload {
+        /// Server-side filesystem path of the index to load.
+        path: String,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Query`].
+    Rows(RowsReply),
+    /// Reply to [`Request::Batch`]; one entry per predicate, in order.
+    BatchRows(Vec<RowsReply>),
+    /// Reply to [`Request::Stats`].
+    Stats {
+        /// Rendered metrics text in the requested format.
+        text: String,
+    },
+    /// Untyped success acknowledgement (reload, shutdown).
+    Ok,
+    /// Typed failure.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail, bounded by the server.
+        message: String,
+    },
+}
+
+/// Either direction of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A client-to-server frame body.
+    Request(Request),
+    /// A server-to-client frame body.
+    Response(Response),
+}
+
+/// One decoded wire frame: a request id plus its message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen id echoed back on the matching response.
+    pub request_id: u64,
+    /// The frame body.
+    pub msg: Message,
+}
+
+/// Everything that can go wrong while decoding a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport-level failure.
+    Io(io::Error),
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unrecognised frame-kind byte.
+    UnknownKind(u8),
+    /// Claimed payload length exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// The CRC-32 trailer did not match the payload.
+    CrcMismatch,
+    /// The buffer ended before the frame did.
+    Truncated,
+    /// The payload decoded but violated the frame's grammar.
+    Malformed(&'static str),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::BadMagic => f.write_str("bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::Oversize(n) => write!(f, "payload of {n} bytes exceeds cap"),
+            WireError::CrcMismatch => f.write_str("payload CRC mismatch"),
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+            WireError::BadUtf8 => f.write_str("string field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+// Frame-kind bytes. Responses set the high bit.
+const KIND_PING: u8 = 0x01;
+const KIND_QUERY: u8 = 0x02;
+const KIND_BATCH: u8 = 0x03;
+const KIND_STATS: u8 = 0x04;
+const KIND_RELOAD: u8 = 0x05;
+const KIND_SHUTDOWN: u8 = 0x06;
+const KIND_PONG: u8 = 0x81;
+const KIND_ROWS: u8 = 0x82;
+const KIND_BATCH_ROWS: u8 = 0x83;
+const KIND_STATS_REPLY: u8 = 0x84;
+const KIND_OK: u8 = 0x85;
+const KIND_ERROR: u8 = 0xff;
+
+fn domain_to_u8(d: EvalDomain) -> u8 {
+    match d {
+        EvalDomain::Auto => 0,
+        EvalDomain::Compressed => 1,
+        EvalDomain::Raw => 2,
+    }
+}
+
+fn domain_from_u8(v: u8) -> Result<EvalDomain, WireError> {
+    match v {
+        0 => Ok(EvalDomain::Auto),
+        1 => Ok(EvalDomain::Compressed),
+        2 => Ok(EvalDomain::Raw),
+        _ => Err(WireError::Malformed("unknown eval domain")),
+    }
+}
+
+/// Bounded little-endian reader over a payload slice. Every accessor
+/// checks remaining length, so a lying count can never over-read.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn rest_utf8(&mut self) -> Result<String, WireError> {
+        let s = self.bytes(self.remaining())?;
+        String::from_utf8(s.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn sized_utf8(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let s = self.bytes(n)?;
+        String::from_utf8(s.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_rows(out: &mut Vec<u8>, r: &RowsReply) {
+    put_u64(out, r.scans);
+    put_u64(out, r.decompressions);
+    put_u64(out, r.rows.len() as u64);
+    for &row in &r.rows {
+        put_u64(out, row);
+    }
+}
+
+fn decode_rows(r: &mut Reader<'_>) -> Result<RowsReply, WireError> {
+    let scans = r.u64()?;
+    let decompressions = r.u64()?;
+    let count = r.u64()?;
+    // Each row id occupies 8 payload bytes; bound the allocation by
+    // what the frame can actually hold before trusting the count.
+    if count > (r.remaining() / 8) as u64 {
+        return Err(WireError::Malformed("row count exceeds payload"));
+    }
+    let mut rows = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        rows.push(r.u64()?);
+    }
+    Ok(RowsReply {
+        scans,
+        decompressions,
+        rows,
+    })
+}
+
+impl Message {
+    fn kind(&self) -> u8 {
+        match self {
+            Message::Request(Request::Ping) => KIND_PING,
+            Message::Request(Request::Query { .. }) => KIND_QUERY,
+            Message::Request(Request::Batch { .. }) => KIND_BATCH,
+            Message::Request(Request::Stats(_)) => KIND_STATS,
+            Message::Request(Request::Reload { .. }) => KIND_RELOAD,
+            Message::Request(Request::Shutdown) => KIND_SHUTDOWN,
+            Message::Response(Response::Pong) => KIND_PONG,
+            Message::Response(Response::Rows(_)) => KIND_ROWS,
+            Message::Response(Response::BatchRows(_)) => KIND_BATCH_ROWS,
+            Message::Response(Response::Stats { .. }) => KIND_STATS_REPLY,
+            Message::Response(Response::Ok) => KIND_OK,
+            Message::Response(Response::Error { .. }) => KIND_ERROR,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Request(Request::Ping)
+            | Message::Request(Request::Shutdown)
+            | Message::Response(Response::Pong)
+            | Message::Response(Response::Ok) => {}
+            Message::Request(Request::Query {
+                domain,
+                deadline_ms,
+                predicate,
+            }) => {
+                out.push(domain_to_u8(*domain));
+                put_u32(out, *deadline_ms);
+                out.extend_from_slice(predicate.as_bytes());
+            }
+            Message::Request(Request::Batch {
+                domain,
+                deadline_ms,
+                predicates,
+            }) => {
+                out.push(domain_to_u8(*domain));
+                put_u32(out, *deadline_ms);
+                put_u32(out, predicates.len() as u32);
+                for p in predicates {
+                    put_u32(out, p.len() as u32);
+                    out.extend_from_slice(p.as_bytes());
+                }
+            }
+            Message::Request(Request::Stats(format)) => {
+                out.push(match format {
+                    StatsFormat::Prometheus => 0,
+                    StatsFormat::Json => 1,
+                });
+            }
+            Message::Request(Request::Reload { path }) => {
+                out.extend_from_slice(path.as_bytes());
+            }
+            Message::Response(Response::Rows(rows)) => encode_rows(out, rows),
+            Message::Response(Response::BatchRows(all)) => {
+                put_u32(out, all.len() as u32);
+                for rows in all {
+                    encode_rows(out, rows);
+                }
+            }
+            Message::Response(Response::Stats { text }) => {
+                out.extend_from_slice(text.as_bytes());
+            }
+            Message::Response(Response::Error { code, message }) => {
+                out.extend_from_slice(&(*code as u16).to_le_bytes());
+                out.extend_from_slice(message.as_bytes());
+            }
+        }
+    }
+
+    fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match kind {
+            KIND_PING => Message::Request(Request::Ping),
+            KIND_SHUTDOWN => Message::Request(Request::Shutdown),
+            KIND_PONG => Message::Response(Response::Pong),
+            KIND_OK => Message::Response(Response::Ok),
+            KIND_QUERY => {
+                let domain = domain_from_u8(r.u8()?)?;
+                let deadline_ms = r.u32()?;
+                let predicate = r.rest_utf8()?;
+                Message::Request(Request::Query {
+                    domain,
+                    deadline_ms,
+                    predicate,
+                })
+            }
+            KIND_BATCH => {
+                let domain = domain_from_u8(r.u8()?)?;
+                let deadline_ms = r.u32()?;
+                let count = r.u32()?;
+                if count > MAX_BATCH {
+                    return Err(WireError::Malformed("batch count exceeds cap"));
+                }
+                let mut predicates = Vec::with_capacity(count.min(64) as usize);
+                for _ in 0..count {
+                    predicates.push(r.sized_utf8()?);
+                }
+                Message::Request(Request::Batch {
+                    domain,
+                    deadline_ms,
+                    predicates,
+                })
+            }
+            KIND_STATS => {
+                let format = match r.u8()? {
+                    0 => StatsFormat::Prometheus,
+                    1 => StatsFormat::Json,
+                    _ => return Err(WireError::Malformed("unknown stats format")),
+                };
+                Message::Request(Request::Stats(format))
+            }
+            KIND_RELOAD => Message::Request(Request::Reload {
+                path: r.rest_utf8()?,
+            }),
+            KIND_ROWS => Message::Response(Response::Rows(decode_rows(&mut r)?)),
+            KIND_BATCH_ROWS => {
+                let count = r.u32()?;
+                if count > MAX_BATCH {
+                    return Err(WireError::Malformed("batch count exceeds cap"));
+                }
+                let mut all = Vec::with_capacity(count.min(64) as usize);
+                for _ in 0..count {
+                    all.push(decode_rows(&mut r)?);
+                }
+                Message::Response(Response::BatchRows(all))
+            }
+            KIND_STATS_REPLY => Message::Response(Response::Stats {
+                text: r.rest_utf8()?,
+            }),
+            KIND_ERROR => {
+                let code = ErrorCode::from_u16(r.u16()?);
+                let message = r.rest_utf8()?;
+                Message::Response(Response::Error { code, message })
+            }
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        r.done()?;
+        Ok(msg)
+    }
+}
+
+/// Encodes a frame into a fresh byte buffer (header + payload + CRC).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    frame.msg.encode_payload(&mut payload);
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "frame payload exceeds wire cap"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.msg.kind());
+    put_u64(&mut out, frame.request_id);
+    put_u32(&mut out, payload.len() as u32);
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Decodes one frame from the front of `buf`, returning it with the
+/// number of bytes consumed. Fails with [`WireError::Truncated`] if the
+/// buffer ends early; never panics on any input.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if buf[0..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[2] != VERSION {
+        return Err(WireError::BadVersion(buf[2]));
+    }
+    let kind = buf[3];
+    let request_id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(payload_len));
+    }
+    let total = HEADER_LEN + payload_len as usize + 4;
+    if buf.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len as usize];
+    let crc = u32::from_le_bytes(buf[total - 4..total].try_into().unwrap());
+    if crc != crc32(payload) {
+        return Err(WireError::CrcMismatch);
+    }
+    let msg = Message::decode_payload(kind, payload)?;
+    Ok((Frame { request_id, msg }, total))
+}
+
+/// Writes one frame to a transport, returning the bytes written.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, WireError> {
+    let bytes = encode_frame(frame);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads one frame from a transport, returning it with the bytes read.
+///
+/// Header fields are validated before the payload allocation, so a
+/// hostile peer cannot force an oversized buffer; a CRC mismatch or
+/// grammar violation surfaces as a typed [`WireError`].
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[0..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if header[2] != VERSION {
+        return Err(WireError::BadVersion(header[2]));
+    }
+    let kind = header[3];
+    let request_id = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(payload_len));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer)?;
+    if u32::from_le_bytes(trailer) != crc32(&payload) {
+        return Err(WireError::CrcMismatch);
+    }
+    let msg = Message::decode_payload(kind, &payload)?;
+    let total = HEADER_LEN + payload_len as usize + 4;
+    Ok((Frame { request_id, msg }, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame {
+                request_id: 0,
+                msg: Message::Request(Request::Ping),
+            },
+            Frame {
+                request_id: 7,
+                msg: Message::Request(Request::Query {
+                    domain: EvalDomain::Compressed,
+                    deadline_ms: 250,
+                    predicate: "3..17".into(),
+                }),
+            },
+            Frame {
+                request_id: 8,
+                msg: Message::Request(Request::Batch {
+                    domain: EvalDomain::Auto,
+                    deadline_ms: 0,
+                    predicates: vec!["=4".into(), "in:1,2,3".into(), "!0..9".into()],
+                }),
+            },
+            Frame {
+                request_id: 9,
+                msg: Message::Request(Request::Stats(StatsFormat::Json)),
+            },
+            Frame {
+                request_id: 10,
+                msg: Message::Request(Request::Reload {
+                    path: "/tmp/x.bix".into(),
+                }),
+            },
+            Frame {
+                request_id: 11,
+                msg: Message::Request(Request::Shutdown),
+            },
+            Frame {
+                request_id: 12,
+                msg: Message::Response(Response::Pong),
+            },
+            Frame {
+                request_id: 13,
+                msg: Message::Response(Response::Rows(RowsReply {
+                    scans: 2,
+                    decompressions: 1,
+                    rows: vec![0, 5, 1_000_000],
+                })),
+            },
+            Frame {
+                request_id: 14,
+                msg: Message::Response(Response::BatchRows(vec![
+                    RowsReply {
+                        scans: 1,
+                        decompressions: 0,
+                        rows: vec![],
+                    },
+                    RowsReply {
+                        scans: 4,
+                        decompressions: 2,
+                        rows: vec![9, 10],
+                    },
+                ])),
+            },
+            Frame {
+                request_id: 15,
+                msg: Message::Response(Response::Stats {
+                    text: "# HELP x\n".into(),
+                }),
+            },
+            Frame {
+                request_id: 16,
+                msg: Message::Response(Response::Ok),
+            },
+            Frame {
+                request_id: 17,
+                msg: Message::Response(Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: "queue full".into(),
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_frame_kind() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let (got, used) = decode_frame(&bytes).expect("round trip");
+            assert_eq!(used, bytes.len());
+            assert_eq!(got, frame);
+            // Stream decode agrees with slice decode.
+            let (got2, n) = read_frame(&mut &bytes[..]).expect("stream decode");
+            assert_eq!(n, bytes.len());
+            assert_eq!(got2, frame);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            for cut in 0..bytes.len() {
+                assert!(decode_frame(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bit_flips_fail_crc() {
+        let frame = Frame {
+            request_id: 42,
+            msg: Message::Request(Request::Query {
+                domain: EvalDomain::Auto,
+                deadline_ms: 0,
+                predicate: "0..10".into(),
+            }),
+        };
+        let bytes = encode_frame(&frame);
+        for bit in 0..8 {
+            for pos in HEADER_LEN..bytes.len() - 4 {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << bit;
+                match decode_frame(&corrupt) {
+                    Err(WireError::CrcMismatch) => {}
+                    other => panic!("flip at {pos}.{bit}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_claim_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(&Frame {
+            request_id: 1,
+            msg: Message::Request(Request::Ping),
+        });
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::Oversize(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn lying_interior_counts_cannot_over_allocate() {
+        // A Rows frame claiming u64::MAX rows in an 8-byte payload.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0); // scans
+        put_u64(&mut payload, 0); // decompressions
+        put_u64(&mut payload, u64::MAX); // row count lie
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(KIND_ROWS);
+        put_u64(&mut bytes, 5);
+        put_u32(&mut bytes, payload.len() as u32);
+        let crc = crc32(&payload);
+        bytes.extend_from_slice(&payload);
+        put_u32(&mut bytes, crc);
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn wrong_magic_version_and_kind_are_typed() {
+        let good = encode_frame(&Frame {
+            request_id: 2,
+            msg: Message::Request(Request::Ping),
+        });
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        assert!(matches!(decode_frame(&bad), Err(WireError::BadMagic)));
+        let mut bad = good.clone();
+        bad[2] = 9;
+        assert!(matches!(decode_frame(&bad), Err(WireError::BadVersion(9))));
+        let mut bad = good.clone();
+        bad[3] = 0x40;
+        assert!(matches!(
+            decode_frame(&bad),
+            Err(WireError::UnknownKind(0x40))
+        ));
+    }
+}

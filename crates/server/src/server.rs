@@ -1,0 +1,668 @@
+//! The serving loop: a `TcpListener` accept thread feeding a bounded
+//! admission queue drained by a fixed worker pool.
+//!
+//! Threading model
+//! ---------------
+//! One accept thread owns the listener. Accepted connections either
+//! enter the admission queue (bounded by [`ServerConfig::queue_depth`])
+//! or are turned away with a typed `Overloaded` error frame — a full
+//! server never leaves a client hanging on a silent socket. `workers`
+//! threads pop connections and serve frames until the peer goes idle
+//! past the read budget, disconnects, or the server drains.
+//!
+//! Queries execute on the crate-standard [`ParallelExecutor`] against a
+//! shared [`ShardedBufferPool`], under the per-request deadline (or the
+//! server default). A hot `Reload` request loads and `verify()`s a new
+//! index off the request thread, then atomically swaps the serving
+//! snapshot — in-flight requests keep the old index and pool until they
+//! finish; new requests see the new one.
+//!
+//! Shutdown sets a stop flag, wakes the accept thread with a loopback
+//! connection, and lets each worker finish its in-flight request before
+//! exiting; queued-but-unserved connections receive `ShuttingDown`.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bix_core::{
+    BitmapIndex, CostModel, DeadlineExceeded, EvalDomain, IoMetrics, MetricsRegistry,
+    ParallelExecutor, Query, ShardedBufferPool,
+};
+use bix_telemetry::{Counter, Gauge, Histogram};
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, Message, Request, Response, RowsReply, StatsFormat,
+};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Admission-queue bound; connections beyond it are rejected with
+    /// a typed `Overloaded` reply.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that do not carry their own,
+    /// in milliseconds. `0` disables the default deadline.
+    pub default_deadline_ms: u64,
+    /// Executor threads available to a single request's batch.
+    pub request_threads: usize,
+    /// Pages in the shared sharded buffer pool.
+    pub pool_pages: usize,
+    /// How long a connection may sit idle between frames.
+    pub read_timeout: Duration,
+    /// Socket write budget for a single reply.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            default_deadline_ms: 0,
+            request_threads: 2,
+            pool_pages: 4096,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Polling tick used while waiting on sockets and the queue, so stop
+/// requests propagate promptly without busy-waiting.
+const TICK: Duration = Duration::from_millis(50);
+
+/// The immutable serving snapshot: an index plus the buffer pool built
+/// for it. Swapped wholesale on reload so pages cached for the old
+/// index can never be served against the new one's file ids.
+struct Serving {
+    index: BitmapIndex,
+    pool: ShardedBufferPool,
+}
+
+/// Handles to every server-side metric, created once at startup so the
+/// hot path never touches the registry's name map.
+struct ServerMetrics {
+    requests: Arc<Counter>,
+    queries: Arc<Counter>,
+    rows_returned: Arc<Counter>,
+    rejected: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    bad_frames: Arc<Counter>,
+    bad_queries: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    connections: Arc<Counter>,
+    reloads: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    queue_wait_nanos: Arc<Histogram>,
+    request_nanos: Arc<Histogram>,
+    eval_decompressions: Arc<Counter>,
+    eval_nodes_raw: Arc<Counter>,
+    eval_nodes_compressed: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricsRegistry) -> ServerMetrics {
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        ServerMetrics {
+            requests: c("bix_server_requests_total", "Frames served"),
+            queries: c("bix_server_queries_total", "Predicates evaluated"),
+            rows_returned: c("bix_server_rows_returned_total", "Row ids sent to clients"),
+            rejected: c(
+                "bix_server_rejected_total",
+                "Connections refused by admission control",
+            ),
+            deadline_exceeded: c(
+                "bix_server_deadline_exceeded_total",
+                "Requests that ran past their deadline",
+            ),
+            bad_frames: c(
+                "bix_server_bad_frames_total",
+                "Frames that failed wire-protocol validation",
+            ),
+            bad_queries: c(
+                "bix_server_bad_queries_total",
+                "Predicates rejected by the parser",
+            ),
+            bytes_in: c("bix_server_bytes_in_total", "Wire bytes received"),
+            bytes_out: c("bix_server_bytes_out_total", "Wire bytes sent"),
+            connections: c("bix_server_connections_total", "Connections accepted"),
+            reloads: c("bix_server_reloads_total", "Successful hot index reloads"),
+            queue_depth: registry.gauge(
+                "bix_server_queue_depth",
+                "Connections waiting in the admission queue",
+            ),
+            inflight: registry.gauge("bix_server_inflight", "Connections currently being served"),
+            queue_wait_nanos: registry.histogram(
+                "bix_server_queue_wait_nanos",
+                "Admission-queue wait per connection (ns)",
+            ),
+            request_nanos: registry.histogram(
+                "bix_server_request_nanos",
+                "Wall time per served request (ns)",
+            ),
+            eval_decompressions: c(
+                "bix_eval_decompressions_total",
+                "Compressed bitmaps materialised during evaluation",
+            ),
+            eval_nodes_raw: c(
+                "bix_eval_nodes_raw_total",
+                "DAG nodes folded in the raw (decoded) domain",
+            ),
+            eval_nodes_compressed: c(
+                "bix_eval_nodes_compressed_total",
+                "DAG nodes folded in the compressed domain",
+            ),
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    serving: Mutex<Arc<Serving>>,
+    registry: MetricsRegistry,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+    metrics: ServerMetrics,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Signals every thread to wind down and nudges the accept thread
+    /// out of its blocking `accept()` with a loopback connection.
+    fn trigger_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.queue_cv.notify_all();
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+    }
+}
+
+/// Publishes the index-shape gauges (same names the CLI uses) so a
+/// remote `Stats` scrape describes the index being served.
+fn set_index_gauges(registry: &MetricsRegistry, index: &BitmapIndex) {
+    let set = |name: &str, help: &str, v: f64| registry.gauge(name, help).set(v);
+    set("bix_index_rows", "Indexed records", index.rows() as f64);
+    set(
+        "bix_index_cardinality",
+        "Attribute cardinality C",
+        index.config().cardinality as f64,
+    );
+    set(
+        "bix_index_bitmaps",
+        "Stored bitmaps",
+        index.num_bitmaps() as f64,
+    );
+    set(
+        "bix_index_stored_bytes",
+        "On-disk index size (compressed)",
+        index.space_bytes() as f64,
+    );
+}
+
+/// A running query server. Dropping the handle does **not** stop the
+/// threads; call [`Server::shutdown`] or send a `Shutdown` frame and
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `index` on a pool of worker threads.
+    pub fn start(
+        index: BitmapIndex,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        assert!(config.workers > 0, "server needs at least one worker");
+        assert!(config.queue_depth > 0, "queue depth must be positive");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let registry = MetricsRegistry::new();
+        let metrics = ServerMetrics::new(&registry);
+        set_index_gauges(&registry, &index);
+        let pool = ShardedBufferPool::new(config.pool_pages, config.workers.max(2));
+        let shared = Arc::new(Shared {
+            serving: Mutex::new(Arc::new(Serving { index, pool })),
+            registry,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            metrics,
+            addr,
+            config,
+        });
+
+        let mut handles = Vec::new();
+        for worker in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("bix-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("bix-accept".into())
+                    .spawn(move || accept_loop(&listener, &shared))?,
+            );
+        }
+        Ok(Server { shared, handles })
+    }
+
+    /// The bound socket address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The server's metrics registry (shared with the serving threads).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.shared.registry
+    }
+
+    /// Initiates a graceful drain and blocks until every thread exits:
+    /// in-flight requests finish, queued-but-unserved connections get a
+    /// `ShuttingDown` reply.
+    pub fn shutdown(self) {
+        self.shared.trigger_stop();
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the server stops on its own (a `Shutdown` frame).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stopping() {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stopping() {
+            // Covers both the wake-up connection from `trigger_stop`
+            // and real clients racing the drain.
+            refuse(stream, shared, ErrorCode::ShuttingDown, "server draining");
+            break;
+        }
+        shared.metrics.connections.inc();
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(TICK));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            shared.metrics.rejected.inc();
+            refuse(
+                stream,
+                shared,
+                ErrorCode::Overloaded,
+                "admission queue full",
+            );
+            continue;
+        }
+        queue.push_back((stream, Instant::now()));
+        shared.metrics.queue_depth.set(queue.len() as f64);
+        drop(queue);
+        shared.queue_cv.notify_one();
+    }
+    // Flush whatever is still queued with a typed refusal.
+    let mut queue = shared.queue.lock().unwrap();
+    let leftovers: Vec<_> = queue.drain(..).collect();
+    shared.metrics.queue_depth.set(0.0);
+    drop(queue);
+    shared.queue_cv.notify_all();
+    for (stream, _) in leftovers {
+        refuse(stream, shared, ErrorCode::ShuttingDown, "server draining");
+    }
+}
+
+/// Best-effort typed rejection: one error frame, then close.
+fn refuse(mut stream: TcpStream, shared: &Shared, code: ErrorCode, message: &str) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let reply = Frame {
+        request_id: 0,
+        msg: Message::Response(Response::Error {
+            code,
+            message: message.into(),
+        }),
+    };
+    if let Ok(n) = write_frame(&mut stream, &reply) {
+        shared.metrics.bytes_out.add(n as u64);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let popped = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(entry) = queue.pop_front() {
+                    shared.metrics.queue_depth.set(queue.len() as f64);
+                    break Some(entry);
+                }
+                if shared.stopping() {
+                    break None;
+                }
+                let (q, _) = shared.queue_cv.wait_timeout(queue, TICK).unwrap();
+                queue = q;
+            }
+        };
+        let Some((stream, enqueued)) = popped else {
+            break; // stopping and the queue is empty
+        };
+        shared
+            .metrics
+            .queue_wait_nanos
+            .record(enqueued.elapsed().as_nanos() as u64);
+        if shared.stopping() {
+            refuse(stream, shared, ErrorCode::ShuttingDown, "server draining");
+            continue;
+        }
+        shared
+            .metrics
+            .inflight
+            .set(shared.metrics.inflight.get() + 1.0);
+        serve_connection(stream, shared);
+        shared
+            .metrics
+            .inflight
+            .set((shared.metrics.inflight.get() - 1.0).max(0.0));
+    }
+}
+
+/// Serves frames on one connection until the peer disconnects, idles
+/// out, breaks the protocol, or the server drains.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let mut idle = Duration::ZERO;
+    loop {
+        if shared.stopping() {
+            refuse(stream, shared, ErrorCode::ShuttingDown, "server draining");
+            return;
+        }
+        // Wait for the next frame in TICK-sized slices so stop requests
+        // and the idle budget are both honoured.
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                idle += TICK;
+                if idle >= shared.config.read_timeout {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        idle = Duration::ZERO;
+        let started = Instant::now();
+        let (frame, n_in) = match read_frame(&mut stream) {
+            Ok(ok) => ok,
+            Err(crate::protocol::WireError::Io(_)) | Err(crate::protocol::WireError::Truncated) => {
+                // Peer vanished or stalled mid-frame; nothing to say.
+                shared.metrics.bad_frames.inc();
+                return;
+            }
+            Err(e) => {
+                // Framing is lost after a decode error, so answer once
+                // and close rather than guessing at resync.
+                shared.metrics.bad_frames.inc();
+                send(
+                    &mut stream,
+                    shared,
+                    0,
+                    Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        shared.metrics.bytes_in.add(n_in as u64);
+        shared.metrics.requests.inc();
+        let request_id = frame.request_id;
+        let request = match frame.msg {
+            Message::Request(req) => req,
+            Message::Response(_) => {
+                shared.metrics.bad_frames.inc();
+                send(
+                    &mut stream,
+                    shared,
+                    request_id,
+                    Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: "expected a request frame".into(),
+                    },
+                );
+                return;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let reply = handle_request(request, shared);
+        send(&mut stream, shared, request_id, reply);
+        shared
+            .metrics
+            .request_nanos
+            .record(started.elapsed().as_nanos() as u64);
+        if is_shutdown {
+            shared.trigger_stop();
+            return;
+        }
+    }
+}
+
+/// Best-effort reply on an established connection.
+fn send(stream: &mut TcpStream, shared: &Shared, request_id: u64, response: Response) {
+    let frame = Frame {
+        request_id,
+        msg: Message::Response(response),
+    };
+    if let Ok(n) = write_frame(stream, &frame) {
+        shared.metrics.bytes_out.add(n as u64);
+    }
+}
+
+fn handle_request(request: Request, shared: &Shared) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::Ok,
+        Request::Stats(format) => Response::Stats {
+            text: match format {
+                StatsFormat::Prometheus => shared.registry.snapshot().to_prometheus(),
+                StatsFormat::Json => shared.registry.snapshot().to_json(),
+            },
+        },
+        Request::Query {
+            domain,
+            deadline_ms,
+            predicate,
+        } => match evaluate(shared, domain, deadline_ms, &[predicate]) {
+            Ok(mut rows) => Response::Rows(rows.pop().expect("one query in, one reply out")),
+            Err(resp) => resp,
+        },
+        Request::Batch {
+            domain,
+            deadline_ms,
+            predicates,
+        } => match evaluate(shared, domain, deadline_ms, &predicates) {
+            Ok(rows) => Response::BatchRows(rows),
+            Err(resp) => resp,
+        },
+        Request::Reload { path } => match reload(shared, &path) {
+            Ok(()) => Response::Ok,
+            Err(message) => Response::Error {
+                code: ErrorCode::Internal,
+                message,
+            },
+        },
+    }
+}
+
+/// Parses and evaluates a batch under the request deadline, charging
+/// all eval-side metrics. Errors come back as ready-to-send responses.
+fn evaluate(
+    shared: &Shared,
+    domain: EvalDomain,
+    deadline_ms: u32,
+    predicates: &[String],
+) -> Result<Vec<RowsReply>, Response> {
+    let serving = Arc::clone(&shared.serving.lock().unwrap());
+    let cardinality = serving.index.config().cardinality;
+    let mut queries = Vec::with_capacity(predicates.len());
+    for text in predicates {
+        match Query::parse(text, cardinality) {
+            Ok(q) => queries.push(q),
+            Err(e) => {
+                shared.metrics.bad_queries.inc();
+                return Err(Response::Error {
+                    code: ErrorCode::BadQuery,
+                    message: e.to_string(),
+                });
+            }
+        }
+    }
+    let effective_ms = if deadline_ms > 0 {
+        u64::from(deadline_ms)
+    } else {
+        shared.config.default_deadline_ms
+    };
+    let deadline = (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
+    let executor = ParallelExecutor::new(shared.config.request_threads.max(1)).with_domain(domain);
+    let batch = match executor.execute_deadline(
+        &serving.index,
+        &queries,
+        &serving.pool,
+        &CostModel::default(),
+        deadline,
+    ) {
+        Ok(batch) => batch,
+        Err(DeadlineExceeded) => {
+            shared.metrics.deadline_exceeded.inc();
+            return Err(Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: format!("deadline of {effective_ms}ms exceeded"),
+            });
+        }
+    };
+    IoMetrics::register(&shared.registry).record(&batch.io);
+    shared.metrics.queries.add(queries.len() as u64);
+    // Bound the reply frame before building it: every row id costs 8
+    // payload bytes and each per-query header 24, and a frame larger
+    // than MAX_PAYLOAD must surface as a typed error, not a panic.
+    let reply_bytes: u64 = batch
+        .results
+        .iter()
+        .map(|r| 24 + 8 * r.bitmap.count_ones() as u64)
+        .sum::<u64>()
+        + 8;
+    if reply_bytes > u64::from(crate::protocol::MAX_PAYLOAD) {
+        return Err(Response::Error {
+            code: ErrorCode::Internal,
+            message: format!(
+                "reply of {reply_bytes} bytes exceeds the frame cap; narrow the queries or split the batch"
+            ),
+        });
+    }
+    let mut replies = Vec::with_capacity(batch.results.len());
+    for result in &batch.results {
+        shared
+            .metrics
+            .eval_decompressions
+            .add(result.decompressions as u64);
+        shared.metrics.eval_nodes_raw.add(result.nodes_raw as u64);
+        shared
+            .metrics
+            .eval_nodes_compressed
+            .add(result.nodes_compressed as u64);
+        let rows: Vec<u64> = result
+            .bitmap
+            .to_positions()
+            .iter()
+            .map(|&p| p as u64)
+            .collect();
+        shared.metrics.rows_returned.add(rows.len() as u64);
+        replies.push(RowsReply {
+            scans: result.scans as u64,
+            decompressions: result.decompressions as u64,
+            rows,
+        });
+    }
+    Ok(replies)
+}
+
+/// Loads, verifies, and atomically swaps in a new index. The fresh
+/// buffer pool guarantees no page cached for the old index's file ids
+/// is ever returned for the new one.
+fn reload(shared: &Shared, path: &str) -> Result<(), String> {
+    let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let report = index.verify();
+    if !report.is_clean() {
+        return Err(format!(
+            "refusing reload: index at {path} failed verification"
+        ));
+    }
+    let pool = ShardedBufferPool::new(shared.config.pool_pages, shared.config.workers.max(2));
+    set_index_gauges(&shared.registry, &index);
+    *shared.serving.lock().unwrap() = Arc::new(Serving { index, pool });
+    shared.metrics.reloads.inc();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bix_core::{EncodingScheme, IndexConfig};
+
+    #[test]
+    fn start_serve_shutdown_smoke() {
+        let column: Vec<u64> = (0..5_000u64).map(|i| i % 20).collect();
+        let index = BitmapIndex::build(
+            &column,
+            &IndexConfig::one_component(20, EncodingScheme::Interval),
+        );
+        let server = Server::start(index, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let ping = Frame {
+            request_id: 5,
+            msg: Message::Request(Request::Ping),
+        };
+        write_frame(&mut stream, &ping).unwrap();
+        let (reply, _) = read_frame(&mut stream).unwrap();
+        assert_eq!(reply.request_id, 5);
+        assert_eq!(reply.msg, Message::Response(Response::Pong));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,197 @@
+//! Protocol hardening: no input — random bytes, truncations, bit
+//! flips, or lying length fields — may panic the codec, and a live
+//! server must survive socket-level garbage with a typed reply or a
+//! clean close, never a hang or a crash.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bix_core::{BitmapIndex, EncodingScheme, EvalDomain, IndexConfig};
+use bix_server::{
+    decode_frame, encode_frame, Client, Frame, Message, Request, Response, RowsReply, Server,
+    ServerConfig, StatsFormat,
+};
+use proptest::prelude::*;
+
+/// Printable-ASCII soup of up to `max` bytes.
+fn arb_text(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..max)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+fn arb_domain() -> impl Strategy<Value = EvalDomain> {
+    prop::sample::select(vec![
+        EvalDomain::Auto,
+        EvalDomain::Compressed,
+        EvalDomain::Raw,
+    ])
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Shutdown),
+        (arb_domain(), 0u32..10_000, arb_text(40)).prop_map(|(domain, deadline_ms, predicate)| {
+            Request::Query {
+                domain,
+                deadline_ms,
+                predicate,
+            }
+        }),
+        (
+            arb_domain(),
+            0u32..10_000,
+            prop::collection::vec(arb_text(40), 0..5)
+        )
+            .prop_map(|(domain, deadline_ms, predicates)| Request::Batch {
+                domain,
+                deadline_ms,
+                predicates,
+            }),
+        prop::sample::select(vec![StatsFormat::Prometheus, StatsFormat::Json])
+            .prop_map(Request::Stats),
+        arb_text(60).prop_map(|path| Request::Reload { path }),
+    ]
+}
+
+fn arb_rows() -> impl Strategy<Value = RowsReply> {
+    (
+        0u64..100,
+        0u64..100,
+        prop::collection::vec(0u64..1_000_000, 0..20),
+    )
+        .prop_map(|(scans, decompressions, rows)| RowsReply {
+            scans,
+            decompressions,
+            rows,
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        Just(Response::Ok),
+        arb_rows().prop_map(Response::Rows),
+        prop::collection::vec(arb_rows(), 0..4).prop_map(Response::BatchRows),
+        arb_text(60).prop_map(|text| Response::Stats { text }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Total: decode either succeeds or returns a typed error.
+        let _ = decode_frame(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_frames_round_trip(req in arb_request(), id in any::<u64>()) {
+        let frame = Frame { request_id: id, msg: Message::Request(req) };
+        let bytes = encode_frame(&frame);
+        let (got, used) = decode_frame(&bytes).expect("round trip");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn arbitrary_replies_round_trip(resp in arb_response(), id in any::<u64>()) {
+        let frame = Frame { request_id: id, msg: Message::Response(resp) };
+        let bytes = encode_frame(&frame);
+        let (got, _) = decode_frame(&bytes).expect("round trip");
+        prop_assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn single_byte_flips_never_panic(req in arb_request(), pos_seed in any::<u64>(), bit in 0u8..8) {
+        let frame = Frame { request_id: 9, msg: Message::Request(req) };
+        let mut bytes = encode_frame(&frame);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        // Either the flip is caught (header check, CRC, grammar) or it
+        // produced a different-but-valid frame; both are fine, panics
+        // and over-allocation are not.
+        let _ = decode_frame(&bytes);
+    }
+
+    #[test]
+    fn every_prefix_truncation_is_an_error(req in arb_request()) {
+        let frame = Frame { request_id: 3, msg: Message::Request(req) };
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_frame(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+}
+
+#[test]
+fn live_server_survives_socket_garbage() {
+    let column: Vec<u64> = (0..5_000u64).map(|i| i % 20).collect();
+    let index = BitmapIndex::build(
+        &column,
+        &IndexConfig::one_component(20, EncodingScheme::Interval),
+    );
+    let config = ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(index, "127.0.0.1:0", config).unwrap();
+    let addr = server.addr();
+
+    let payloads: Vec<Vec<u8>> = vec![
+        b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        vec![0u8; 64],
+        vec![0xff; 64],
+        // Correct magic+version, then garbage.
+        [b"bX\x01".to_vec(), vec![0xab; 40]].concat(),
+        // A valid ping frame with its CRC bit-flipped.
+        {
+            let mut f = encode_frame(&Frame {
+                request_id: 1,
+                msg: Message::Request(Request::Ping),
+            });
+            let last = f.len() - 1;
+            f[last] ^= 0x01;
+            f
+        },
+        // A header claiming a near-cap payload that never arrives.
+        {
+            let mut h = Vec::new();
+            h.extend_from_slice(b"bX\x01\x02");
+            h.extend_from_slice(&7u64.to_le_bytes());
+            h.extend_from_slice(&((32u32 << 20) - 1).to_le_bytes());
+            h
+        },
+    ];
+
+    for (i, garbage) in payloads.iter().enumerate() {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(garbage).expect("write garbage");
+        // The server must answer with an error frame or close the
+        // connection — read_to_end returning is the proof it did not
+        // leave us hanging (the read timeout would fire otherwise).
+        let mut buf = Vec::new();
+        let _ = stream.read_to_end(&mut buf);
+        // Whatever came back, if anything, must itself be well-formed.
+        if !buf.is_empty() {
+            let (reply, _) = decode_frame(&buf)
+                .unwrap_or_else(|e| panic!("case {i}: server sent an undecodable reply: {e}"));
+            assert!(
+                matches!(reply.msg, Message::Response(Response::Error { .. })),
+                "case {i}: want a typed error, got {:?}",
+                reply.msg
+            );
+        }
+        // The server is still healthy for the next legitimate client.
+        let mut client = Client::connect(addr).expect("connect after garbage");
+        client
+            .ping()
+            .unwrap_or_else(|e| panic!("case {i}: server died: {e}"));
+    }
+    server.shutdown();
+}

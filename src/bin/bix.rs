@@ -19,6 +19,13 @@
 //!             [--budget BITMAPS]
 //! bix verify  index.bix               # checksum every bitmap; exit 2 if corrupt
 //! bix repair  index.bix [--out file] [--metrics-out file.json]
+//! bix serve   index.bix [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!             [--deadline-ms MS] [--request-threads N] [--pool-pages P]
+//! bix client  ping|query|batch|stats|reload|shutdown --addr HOST:PORT ...
+//!             # query  <predicate> [--eval-domain ...] [--deadline-ms MS]
+//!             # batch  <file>      [--eval-domain ...] [--deadline-ms MS]
+//!             # stats  [--json]
+//!             # reload <server-side index path>
 //! ```
 //!
 //! The input file is one value per line, or CSV with `--column` selecting
@@ -34,10 +41,12 @@
 use chan_bitmap_index::analysis::{advise, Workload};
 use chan_bitmap_index::core::{
     BitmapIndex, BitmapRef, BufferPool, CodecKind, CostModel, EncodingScheme, EvalDomain,
-    EvalStrategy, IndexConfig, IoMetrics, MetricsRegistry, ParallelExecutor, Query,
+    EvalResult, EvalStrategy, IndexConfig, IoMetrics, MetricsRegistry, ParallelExecutor, Query,
     ShardedBufferPool, Tracer, EXISTENCE_REF,
 };
+use chan_bitmap_index::server::{Client, Server, ServerConfig, StatsFormat};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,9 +59,12 @@ fn main() -> ExitCode {
         Some("advise") => cmd_advise(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("repair") => cmd_repair(&args[1..]),
-        _ => {
-            Err("usage: bix <build|query|info|explain|stats|advise|verify|repair> ...".to_string())
-        }
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        _ => Err(
+            "usage: bix <build|query|info|explain|stats|advise|verify|repair|serve|client> ..."
+                .to_string(),
+        ),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -117,6 +129,31 @@ fn register_index_gauges(registry: &MetricsRegistry, index: &BitmapIndex) {
     );
 }
 
+/// Registers the evaluation-mix counters — decompressions plus DAG
+/// nodes folded per domain — charged from a set of query results.
+fn register_eval_counters<'a>(
+    registry: &MetricsRegistry,
+    results: impl IntoIterator<Item = &'a EvalResult>,
+) {
+    let decompressions = registry.counter(
+        "bix_eval_decompressions_total",
+        "Compressed bitmaps materialised during evaluation",
+    );
+    let nodes_raw = registry.counter(
+        "bix_eval_nodes_raw_total",
+        "DAG nodes folded in the raw (decoded) domain",
+    );
+    let nodes_compressed = registry.counter(
+        "bix_eval_nodes_compressed_total",
+        "DAG nodes folded in the compressed domain",
+    );
+    for r in results {
+        decompressions.add(r.decompressions as u64);
+        nodes_raw.add(r.nodes_raw as u64);
+        nodes_compressed.add(r.nodes_compressed as u64);
+    }
+}
+
 /// Writes the registry's JSON snapshot to `path` (for `--metrics-out`).
 fn write_metrics(path: &str, registry: &MetricsRegistry) -> Result<(), String> {
     std::fs::write(path, registry.snapshot().to_json())
@@ -164,7 +201,7 @@ fn parse_codec(s: &str) -> Result<CodecKind, String> {
 /// Parses the CLI predicate grammar into a [`Query`] (see
 /// [`Query::parse`] for the grammar).
 fn parse_predicate(s: &str, cardinality: u64) -> Result<Query, String> {
-    Query::parse(s, cardinality)
+    Query::parse(s, cardinality).map_err(|e| e.to_string())
 }
 
 /// Reads one column of values from a text/CSV file.
@@ -281,6 +318,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .counter("bix_queries_total", "Queries executed")
             .inc();
         IoMetrics::register(&registry).record(&result.io);
+        register_eval_counters(&registry, std::iter::once(&result));
         registry.observe_trace(&tracer);
         write_metrics(&metrics_out, &registry)?;
     }
@@ -357,6 +395,7 @@ fn cmd_query_batch(path: &str, batch_file: &str, args: &[String]) -> Result<(), 
             .counter("bix_queries_total", "Queries executed")
             .add(batch.results.len() as u64);
         IoMetrics::register(&registry).record(&batch.io);
+        register_eval_counters(&registry, &batch.results);
         registry.observe_trace(&tracer);
         write_metrics(&metrics_out, &registry)?;
     }
@@ -438,6 +477,9 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let registry = MetricsRegistry::new();
     register_index_gauges(&registry, &index);
     IoMetrics::register(&registry).record(&index.io_stats());
+    // Expose the eval-mix counters (zeroed: no queries have run in this
+    // process) so scrapers see a stable schema from every entry point.
+    register_eval_counters(&registry, std::iter::empty());
     let snapshot = registry.snapshot();
     if has_flag(args, "--json") {
         print!("{}", snapshot.to_json());
@@ -602,6 +644,128 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
         "{path}: {} bitmap(s) rebuilt, index saved to {out}",
         report.repaired.len(),
     );
+    Ok(())
+}
+
+/// Parses a positive `--flag N` with a default.
+fn numeric_flag(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("{flag} must be a positive number")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: bix serve <index.bix> [--addr HOST:PORT] [--workers N] \
+         [--queue-depth N] [--deadline-ms MS] [--request-threads N] [--pool-pages P]";
+    let path = args.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into());
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: numeric_flag(args, "--workers", defaults.workers)?,
+        queue_depth: numeric_flag(args, "--queue-depth", defaults.queue_depth)?,
+        request_threads: numeric_flag(args, "--request-threads", defaults.request_threads)?,
+        pool_pages: numeric_flag(args, "--pool-pages", defaults.pool_pages)?,
+        default_deadline_ms: match flag_value(args, "--deadline-ms") {
+            None => defaults.default_deadline_ms,
+            Some(v) => v.parse().map_err(|_| "--deadline-ms must be a number")?,
+        },
+        ..defaults
+    };
+    let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    // Never serve an index that fails verification; a reload request
+    // applies the same gate.
+    if !index.verify().is_clean() {
+        return Err(format!("{path}: index failed verification; not serving"));
+    }
+    let server = Server::start(index, addr.as_str(), config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("serving {path} on {}", server.addr());
+    server.join();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: bix client <ping|query|batch|stats|reload|shutdown> \
+         --addr HOST:PORT [...]";
+    let sub = args.first().ok_or(USAGE)?;
+    let addr = flag_value(args, "--addr").ok_or("missing --addr HOST:PORT")?;
+    let deadline_ms: u32 = match flag_value(args, "--deadline-ms") {
+        None => 0,
+        Some(v) => v.parse().map_err(|_| "--deadline-ms must be a number")?,
+    };
+    let timeout = Duration::from_secs(30);
+    let mut client = Client::connect_with_timeout(addr.as_str(), timeout)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match sub.as_str() {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            eprintln!("pong from {addr}");
+        }
+        "query" => {
+            let predicate = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+            let domain = parse_eval_domain(args)?;
+            let reply = client
+                .query(predicate, domain, deadline_ms)
+                .map_err(|e| e.to_string())?;
+            for row in &reply.rows {
+                println!("{row}");
+            }
+            eprintln!(
+                "{} rows matched ({} bitmap scans, {} decompressions)",
+                reply.rows.len(),
+                reply.scans,
+                reply.decompressions,
+            );
+        }
+        "batch" => {
+            let file = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+            let domain = parse_eval_domain(args)?;
+            let contents =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let predicates: Vec<String> = contents
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(String::from)
+                .collect();
+            if predicates.is_empty() {
+                return Err(format!("{file} contains no predicates"));
+            }
+            let replies = client
+                .batch(&predicates, domain, deadline_ms)
+                .map_err(|e| e.to_string())?;
+            let mut scans = 0u64;
+            for (text, reply) in predicates.iter().zip(&replies) {
+                println!("{text}\t{} rows\t{} scans", reply.rows.len(), reply.scans);
+                scans += reply.scans;
+            }
+            eprintln!("{} queries: {} scans", replies.len(), scans);
+        }
+        "stats" => {
+            let format = if has_flag(args, "--json") {
+                StatsFormat::Json
+            } else {
+                StatsFormat::Prometheus
+            };
+            print!("{}", client.stats(format).map_err(|e| e.to_string())?);
+        }
+        "reload" => {
+            let path = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+            client.reload(path).map_err(|e| e.to_string())?;
+            eprintln!("reloaded {path}");
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            eprintln!("server draining");
+        }
+        other => return Err(format!("unknown client subcommand {other}\n{USAGE}")),
+    }
     Ok(())
 }
 

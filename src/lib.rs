@@ -16,6 +16,7 @@
 //! * [`workload`] — Zipf data sets and the paper's query-set generator
 //! * [`core`] — encoding schemes, decomposition, rewrite, and evaluation
 //! * [`analysis`] — space-time cost model and optimality search
+//! * [`server`] — the TCP query server, wire protocol, and client library
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@ pub use bix_analysis as analysis;
 pub use bix_bitvec as bitvec;
 pub use bix_compress as compress;
 pub use bix_core as core;
+pub use bix_server as server;
 pub use bix_storage as storage;
 pub use bix_workload as workload;
 
