@@ -1,15 +1,21 @@
 //! Compressed-domain vs raw-domain query evaluation (§6.3 extension).
 //!
 //! The workload is the acceptance scenario for the compressed-domain
-//! evaluator: 64 membership queries against a Zipf(z=1) column of
-//! cardinality 200, interval-encoded and stored under each compressible
-//! codec (BBC, WAH, EWAH). Each query set is evaluated with
-//! `--eval-domain raw` (decode every leaf, fold bitwise) and
-//! `--eval-domain compressed` (fold word/byte-aligned kernels directly on
-//! the stored streams, decode once at the root). Both paths are asserted
+//! evaluator: 64 membership queries against a 200k-row Zipf(z=1) column
+//! of cardinality 200, stored under each compressible codec (BBC, WAH,
+//! EWAH, Roaring) and under both ends of the paper's space-time
+//! tradeoff: *interval* encoding (few dense, near-incompressible
+//! bitmaps — the regime where raw word-wise folding is hard to beat)
+//! and *equality* encoding (many sparse bitmaps that compress by an
+//! order of magnitude — the regime §5/Figure 6 credit compression
+//! with). Each query set is evaluated with `--eval-domain raw` (decode
+//! every leaf, fold bitwise), `--eval-domain compressed` (fold
+//! word/byte-aligned kernels directly on the stored streams, decode
+//! once at the root), and `--eval-domain auto` (the per-node choice
+//! priced by a calibrated `DomainCostModel`). All paths are asserted
 //! bit-identical with equal scan counts before timing starts, and the
-//! compressed domain must perform **strictly fewer decompressions** — that
-//! counter pair is the headline number.
+//! compressed domain must perform **strictly fewer decompressions** —
+//! that counter pair is the headline number.
 //!
 //! Besides the Criterion timings, the bench writes a machine-readable
 //! summary — per-codec median times and decompression counters — to
@@ -19,8 +25,8 @@
 
 use bix_bench::results;
 use bix_core::{
-    BitmapIndex, BufferPool, CodecKind, CostModel, EncodingScheme, EvalDomain, EvalStrategy,
-    IndexConfig, Query, Tracer,
+    BitmapIndex, BufferPool, CodecKind, CostModel, DomainCostModel, EncodingScheme, EvalDomain,
+    EvalStrategy, IndexConfig, Query, Tracer,
 };
 use bix_workload::{DatasetSpec, QuerySetSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -32,7 +38,14 @@ const C: u64 = 200;
 const QUERIES: usize = 64;
 const POOL_PAGES: usize = 8192;
 
-const CODECS: [CodecKind; 3] = [CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah];
+const CODECS: [CodecKind; 4] = [
+    CodecKind::Bbc,
+    CodecKind::Wah,
+    CodecKind::Ewah,
+    CodecKind::Roaring,
+];
+
+const SCHEMES: [EncodingScheme; 2] = [EncodingScheme::Interval, EncodingScheme::Equality];
 
 fn codec_name(codec: CodecKind) -> &'static str {
     match codec {
@@ -44,7 +57,15 @@ fn codec_name(codec: CodecKind) -> &'static str {
     }
 }
 
-fn setup(codec: CodecKind) -> (BitmapIndex, Vec<Query>) {
+fn scheme_name(scheme: EncodingScheme) -> &'static str {
+    match scheme {
+        EncodingScheme::Interval => "interval",
+        EncodingScheme::Equality => "equality",
+        _ => unreachable!("bench uses interval and equality only"),
+    }
+}
+
+fn setup(codec: CodecKind, scheme: EncodingScheme) -> (BitmapIndex, Vec<Query>) {
     let data = DatasetSpec {
         rows: ROWS,
         cardinality: C,
@@ -52,8 +73,10 @@ fn setup(codec: CodecKind) -> (BitmapIndex, Vec<Query>) {
         seed: 99,
     }
     .generate();
-    let config = IndexConfig::one_component(C, EncodingScheme::Interval).with_codec(codec);
-    let index = BitmapIndex::build(&data.values, &config);
+    let config = IndexConfig::one_component(C, scheme).with_codec(codec);
+    let mut index = BitmapIndex::build(&data.values, &config);
+    // Machine-true slopes for Auto's per-node packed-vs-raw pricing.
+    index.set_domain_cost_model(DomainCostModel::calibrate());
     let queries: Vec<Query> = QuerySetSpec { n_int: 4, n_equ: 2 }
         .generate(C, QUERIES, 7)
         .into_iter()
@@ -98,7 +121,7 @@ fn median_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-/// Both domains must produce bit-identical results with equal scan
+/// All three domains must produce bit-identical results with equal scan
 /// counts, and the compressed domain strictly fewer decompressions.
 fn verify_agreement(index: &mut BitmapIndex, queries: &[Query]) -> (usize, usize) {
     let mut pool = BufferPool::new(POOL_PAGES);
@@ -106,25 +129,22 @@ fn verify_agreement(index: &mut BitmapIndex, queries: &[Query]) -> (usize, usize
     let tracer = Tracer::disabled();
     let (mut raw_dec, mut packed_dec) = (0usize, 0usize);
     for (i, q) in queries.iter().enumerate() {
-        let raw = index.evaluate_detailed_with_domain(
-            q,
-            &mut pool,
-            EvalStrategy::ComponentWise,
-            EvalDomain::Raw,
-            &cost,
-            &tracer,
-            None,
-        );
-        let packed = index.evaluate_detailed_with_domain(
-            q,
-            &mut pool,
-            EvalStrategy::ComponentWise,
-            EvalDomain::Compressed,
-            &cost,
-            &tracer,
-            None,
-        );
+        let mut run = |domain| {
+            index.evaluate_detailed_with_domain(
+                q,
+                &mut pool,
+                EvalStrategy::ComponentWise,
+                domain,
+                &cost,
+                &tracer,
+                None,
+            )
+        };
+        let raw = run(EvalDomain::Raw);
+        let packed = run(EvalDomain::Compressed);
+        let auto = run(EvalDomain::Auto);
         assert_eq!(raw.bitmap, packed.bitmap, "q{i} bitmap");
+        assert_eq!(raw.bitmap, auto.bitmap, "q{i} auto bitmap");
         assert_eq!(raw.scans, packed.scans, "q{i} scans");
         raw_dec += raw.decompressions;
         packed_dec += packed.decompressions;
@@ -139,38 +159,49 @@ fn verify_agreement(index: &mut BitmapIndex, queries: &[Query]) -> (usize, usize
 fn write_results_json() {
     let reps = 5;
     let mut lines = Vec::new();
-    for codec in CODECS {
-        let (mut index, queries) = setup(codec);
-        let (raw_dec, packed_dec) = verify_agreement(&mut index, &queries);
-        let raw_s = median_seconds(reps, || {
-            black_box(run_domain(&mut index, &queries, EvalDomain::Raw));
-        });
-        let packed_s = median_seconds(reps, || {
-            black_box(run_domain(&mut index, &queries, EvalDomain::Compressed));
-        });
-        let (_, auto_dec) = run_domain(&mut index, &queries, EvalDomain::Auto);
-        let speedup = raw_s / packed_s;
-        eprintln!(
-            "eval_domain: {} x{QUERIES} queries: compressed {:.2}ms vs raw {:.2}ms \
-             ({speedup:.2}x), decompressions {packed_dec} vs {raw_dec}",
-            codec_name(codec),
-            packed_s * 1e3,
-            raw_s * 1e3,
-        );
-        lines.push(format!(
-            "    {{\"codec\": \"{}\", \"raw_seconds\": {raw_s:.6}, \
-             \"compressed_seconds\": {packed_s:.6}, \"speedup\": {speedup:.3}, \
-             \"raw_decompressions\": {raw_dec}, \
-             \"compressed_decompressions\": {packed_dec}, \
-             \"auto_decompressions\": {auto_dec}}}",
-            codec_name(codec),
-        ));
+    for scheme in SCHEMES {
+        for codec in CODECS {
+            let (mut index, queries) = setup(codec, scheme);
+            let (raw_dec, packed_dec) = verify_agreement(&mut index, &queries);
+            let raw_s = median_seconds(reps, || {
+                black_box(run_domain(&mut index, &queries, EvalDomain::Raw));
+            });
+            let packed_s = median_seconds(reps, || {
+                black_box(run_domain(&mut index, &queries, EvalDomain::Compressed));
+            });
+            let auto_s = median_seconds(reps, || {
+                black_box(run_domain(&mut index, &queries, EvalDomain::Auto));
+            });
+            let (_, auto_dec) = run_domain(&mut index, &queries, EvalDomain::Auto);
+            let speedup = raw_s / packed_s;
+            eprintln!(
+                "eval_domain: {}/{} x{QUERIES} queries: compressed {:.2}ms vs raw {:.2}ms \
+                 ({speedup:.2}x), auto {:.2}ms, decompressions {packed_dec} vs {raw_dec} \
+                 (auto {auto_dec})",
+                codec_name(codec),
+                scheme_name(scheme),
+                packed_s * 1e3,
+                raw_s * 1e3,
+                auto_s * 1e3,
+            );
+            lines.push(format!(
+                "    {{\"codec\": \"{}\", \"encoding\": \"{}\", \
+                 \"raw_seconds\": {raw_s:.6}, \
+                 \"compressed_seconds\": {packed_s:.6}, \"auto_seconds\": {auto_s:.6}, \
+                 \"speedup\": {speedup:.3}, \
+                 \"raw_decompressions\": {raw_dec}, \
+                 \"compressed_decompressions\": {packed_dec}, \
+                 \"auto_decompressions\": {auto_dec}}}",
+                codec_name(codec),
+                scheme_name(scheme),
+            ));
+        }
     }
 
     // One traced compressed-domain run: where the time goes (eval span,
     // per-bitmap reads, DAG fold, per-node kernel ops), keyed by phase.
     let traced = {
-        let (mut index, queries) = setup(CodecKind::Bbc);
+        let (mut index, queries) = setup(CodecKind::Bbc, EncodingScheme::Interval);
         results::trace_run(|tracer| {
             let mut pool = BufferPool::new(POOL_PAGES);
             let cost = CostModel::default();
@@ -189,7 +220,7 @@ fn write_results_json() {
     };
 
     let json = format!(
-        "{{\n  \"benchmark\": \"eval_domain\",\n  \"rows\": {ROWS},\n  \"cardinality\": {C},\n  \"zipf_z\": 1.0,\n  \"queries\": {QUERIES},\n  \"encoding\": \"I\",\n  \"pool_pages\": {POOL_PAGES},\n  \"codecs\": [\n{}\n  ],\n  \"traced_phases\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"eval_domain\",\n  \"rows\": {ROWS},\n  \"cardinality\": {C},\n  \"zipf_z\": 1.0,\n  \"queries\": {QUERIES},\n  \"encodings\": [\"interval\", \"equality\"],\n  \"pool_pages\": {POOL_PAGES},\n  \"codecs\": [\n{}\n  ],\n  \"traced_phases\": {}\n}}\n",
         lines.join(",\n"),
         results::phases_json(&traced),
     );
@@ -200,14 +231,19 @@ fn write_results_json() {
 fn bench_domains(c: &mut Criterion) {
     let mut group = c.benchmark_group("eval_domain");
     group.throughput(Throughput::Elements(QUERIES as u64));
-    for codec in CODECS {
-        let (mut index, queries) = setup(codec);
-        verify_agreement(&mut index, &queries);
-        for domain in [EvalDomain::Raw, EvalDomain::Compressed, EvalDomain::Auto] {
-            let id = BenchmarkId::new(codec_name(codec), domain.name());
-            group.bench_function(id, |b| {
-                b.iter(|| black_box(run_domain(&mut index, &queries, domain)))
-            });
+    for scheme in SCHEMES {
+        for codec in CODECS {
+            let (mut index, queries) = setup(codec, scheme);
+            verify_agreement(&mut index, &queries);
+            for domain in [EvalDomain::Raw, EvalDomain::Compressed, EvalDomain::Auto] {
+                let id = BenchmarkId::new(
+                    format!("{}-{}", codec_name(codec), scheme_name(scheme)),
+                    domain.name(),
+                );
+                group.bench_function(id, |b| {
+                    b.iter(|| black_box(run_domain(&mut index, &queries, domain)))
+                });
+            }
         }
     }
     group.finish();

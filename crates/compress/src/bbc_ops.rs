@@ -80,6 +80,48 @@ impl BitOp {
     }
 }
 
+/// What a fill region on one side does to literal data on the other, for
+/// a given op. Shared by the BBC, WAH, and EWAH kernels.
+pub(crate) enum FillEffect {
+    /// The fill forces the result to a constant: emit a fill of this bit
+    /// and skip the literal data entirely.
+    Absorb(bool),
+    /// The fill is the identity: the literal data passes through verbatim.
+    Copy,
+    /// The fill complements: emit the bitwise NOT of the literal data.
+    Complement,
+}
+
+/// Effect of a fill of value `fill` on the *other* operand's literals.
+/// `fill_is_left` distinguishes the two operand orders of the one
+/// non-commutative op (AndNot: `a & !b`).
+pub(crate) fn fill_effect(op: BitOp, fill: bool, fill_is_left: bool) -> FillEffect {
+    match (op, fill) {
+        (BitOp::And, false) => FillEffect::Absorb(false),
+        (BitOp::And, true) => FillEffect::Copy,
+        (BitOp::Or, true) => FillEffect::Absorb(true),
+        (BitOp::Or, false) => FillEffect::Copy,
+        (BitOp::Xor, false) => FillEffect::Copy,
+        (BitOp::Xor, true) => FillEffect::Complement,
+        (BitOp::AndNot, fill) => {
+            if fill_is_left {
+                // fill & !w
+                if fill {
+                    FillEffect::Complement
+                } else {
+                    FillEffect::Absorb(false)
+                }
+            } else if fill {
+                // w & !1 == 0
+                FillEffect::Absorb(false)
+            } else {
+                // w & !0 == w
+                FillEffect::Copy
+            }
+        }
+    }
+}
+
 /// A cursor over the decoded segments of a BBC stream, supporting partial
 /// consumption so two streams can be walked in lockstep.
 struct SegCursor<'a> {
@@ -153,18 +195,24 @@ pub fn bbc_binary(a: &[u8], b: &[u8], op: BitOp) -> Vec<u8> {
                 let n = ra.min(rb);
                 match (ca.take(n), cb.take(n)) {
                     (Seg::Fill(x), Seg::Fill(y)) => enc.push_fill(op.apply_bit(x, y), n),
-                    (Seg::Fill(x), Seg::Literal(s)) => {
-                        let fx = if x { 0xFFu8 } else { 0x00 };
-                        scratch.clear();
-                        scratch.extend(s.iter().map(|&byte| op.apply(fx, byte)));
-                        enc.push_literals(&scratch);
-                    }
-                    (Seg::Literal(s), Seg::Fill(y)) => {
-                        let fy = if y { 0xFFu8 } else { 0x00 };
-                        scratch.clear();
-                        scratch.extend(s.iter().map(|&byte| op.apply(byte, fy)));
-                        enc.push_literals(&scratch);
-                    }
+                    (Seg::Fill(x), Seg::Literal(s)) => match fill_effect(op, x, true) {
+                        FillEffect::Absorb(bit) => enc.push_fill(bit, n),
+                        FillEffect::Copy => enc.push_literals(s),
+                        FillEffect::Complement => {
+                            scratch.clear();
+                            scratch.extend(s.iter().map(|&byte| !byte));
+                            enc.push_literals(&scratch);
+                        }
+                    },
+                    (Seg::Literal(s), Seg::Fill(y)) => match fill_effect(op, y, false) {
+                        FillEffect::Absorb(bit) => enc.push_fill(bit, n),
+                        FillEffect::Copy => enc.push_literals(s),
+                        FillEffect::Complement => {
+                            scratch.clear();
+                            scratch.extend(s.iter().map(|&byte| !byte));
+                            enc.push_literals(&scratch);
+                        }
+                    },
                     (Seg::Literal(sa), Seg::Literal(sb)) => {
                         scratch.clear();
                         scratch.extend(sa.iter().zip(sb).map(|(&x, &y)| op.apply(x, y)));

@@ -123,7 +123,10 @@ impl CodecKind {
     /// True when the codec has compressed-domain bitwise kernels
     /// ([`CompressedBitmap::binary_op`] / [`CompressedBitmap::not_op`]).
     pub fn supports_compressed_ops(self) -> bool {
-        matches!(self, CodecKind::Bbc | CodecKind::Wah | CodecKind::Ewah)
+        matches!(
+            self,
+            CodecKind::Bbc | CodecKind::Wah | CodecKind::Ewah | CodecKind::Roaring
+        )
     }
 
     /// Short lowercase name used in experiment output.
@@ -308,7 +311,8 @@ impl CompressedBitmap {
             CodecKind::Bbc => crate::bbc_binary(&self.bytes, &other.bytes, op),
             CodecKind::Wah => crate::wah_binary_bytes(&self.bytes, &other.bytes, op),
             CodecKind::Ewah => crate::ewah_binary_bytes(&self.bytes, &other.bytes, op),
-            CodecKind::Raw | CodecKind::Roaring => return None,
+            CodecKind::Roaring => crate::roaring_binary(&self.bytes, &other.bytes, op),
+            CodecKind::Raw => return None,
         };
         Some(CompressedBitmap {
             kind: self.kind,
@@ -325,7 +329,8 @@ impl CompressedBitmap {
             CodecKind::Bbc => crate::bbc_not(&self.bytes, self.len_bits),
             CodecKind::Wah => crate::wah_not_bytes(&self.bytes, self.len_bits),
             CodecKind::Ewah => crate::ewah_not_bytes(&self.bytes, self.len_bits),
-            CodecKind::Raw | CodecKind::Roaring => return None,
+            CodecKind::Roaring => crate::roaring_not(&self.bytes, self.len_bits),
+            CodecKind::Raw => return None,
         };
         Some(CompressedBitmap {
             kind: self.kind,

@@ -1,14 +1,20 @@
 //! Compressed-domain bitwise operations on EWAH streams.
 //!
 //! The 64-bit word-aligned analogue of [`crate::bbc_binary`]: two
-//! compressed EWAH streams are walked in lockstep at word granularity,
-//! aligned fill runs combine in O(1), and only literal words pay a word
-//! operation. Output is canonical — byte-identical to compressing the
-//! bitwise result from scratch.
+//! compressed EWAH streams are walked in lockstep at *run* granularity.
+//! Aligned fill runs combine in O(1), a fill meeting a literal run either
+//! absorbs it (And with a zero fill, Or with a ones fill) in O(1) or
+//! copies / complements the whole literal slice in one pass, and only
+//! literal-against-literal regions pay a word-by-word loop. Output is
+//! canonical — byte-identical to compressing the bitwise result from
+//! scratch.
 //!
-//! Inputs are assumed structurally valid (see [`crate::BitmapCodec::validate`]);
-//! the storage layer validates streams when it reads them for
-//! compressed-domain use.
+//! Inputs are assumed canonical (as produced by
+//! [`crate::Ewah::compress_words`] or by these kernels); in particular a
+//! canonical stream never stores an all-0 or all-1 word as a literal, so
+//! the copy and complement fast paths can move whole slices without
+//! re-checking each word for fill-folding. The storage layer validates
+//! streams when it reads them for compressed-domain use.
 //!
 //! ```
 //! use bix_bitvec::Bitvec;
@@ -20,6 +26,7 @@
 //! assert_eq!(Ewah.decompress(&c, 100_000), a.or(&b));
 //! ```
 
+use crate::bbc_ops::{fill_effect, FillEffect};
 use crate::ewah::{marker, unpack, words_from_bytes, words_to_bytes};
 use crate::ewah::{FILL_COUNT_MAX, LITERAL_COUNT_MAX};
 use crate::BitOp;
@@ -91,18 +98,32 @@ impl EwahEncoder {
         }
     }
 
+    /// Appends literal words already known to be neither all-0 nor all-1
+    /// (words copied verbatim from a canonical stream), skipping the
+    /// per-word fill-folding check.
+    fn push_lits_verbatim(&mut self, ws: &[u64]) {
+        self.lits.extend_from_slice(ws);
+    }
+
+    /// Appends the complement of literal words from a canonical stream;
+    /// `!w` of a word that is neither all-0 nor all-1 is itself neither,
+    /// so no fill-folding check is needed.
+    fn push_lits_complement(&mut self, ws: &[u64]) {
+        self.lits.extend(ws.iter().map(|w| !w));
+    }
+
     fn finish(mut self) -> Vec<u64> {
         self.flush();
         self.out
     }
 }
 
-/// One aligned run handed to the combiner.
-enum Seg {
-    /// Words of an identical fill.
-    Fill(bool),
-    /// A single literal word.
-    Literal(u64),
+/// The head run of a cursor: a maximal fill region or the number of
+/// literal words contiguous in the stream.
+#[derive(Clone, Copy)]
+enum Head {
+    Fill(bool, u64),
+    Lits(u64),
 }
 
 /// Cursor over the decoded word runs of an EWAH stream.
@@ -140,31 +161,33 @@ impl<'a> EwahCursor<'a> {
         }
     }
 
-    /// Words remaining in the current segment, or `None` at end.
-    fn remaining(&self) -> Option<u64> {
+    /// The current run, or `None` at end of stream.
+    fn head(&self) -> Option<Head> {
         if self.fills_left > 0 {
-            Some(self.fills_left)
+            Some(Head::Fill(self.fill_bit, self.fills_left))
         } else if self.lits_left > 0 {
-            Some(1)
+            Some(Head::Lits(self.lits_left))
         } else {
             None
         }
     }
 
-    /// Consumes exactly `n` words (must not exceed `remaining`).
-    fn take(&mut self, n: u64) -> Seg {
-        let seg = if self.fills_left > 0 {
-            self.fills_left -= n;
-            Seg::Fill(self.fill_bit)
-        } else {
-            debug_assert_eq!(n, 1);
-            let w = self.stream[self.i];
-            self.i += 1;
-            self.lits_left -= 1;
-            Seg::Literal(w)
-        };
+    /// Consumes `n` fill words (must not exceed the current fill run).
+    fn take_fill(&mut self, n: u64) {
+        debug_assert!(n <= self.fills_left);
+        self.fills_left -= n;
         self.advance();
-        seg
+    }
+
+    /// Consumes `n` literal words (must not exceed the current literal
+    /// run), returning them as one contiguous slice.
+    fn take_lits(&mut self, n: u64) -> &'a [u64] {
+        debug_assert!(n <= self.lits_left);
+        let s = &self.stream[self.i..self.i + n as usize];
+        self.i += n as usize;
+        self.lits_left -= n;
+        self.advance();
+        s
     }
 }
 
@@ -179,23 +202,40 @@ pub fn ewah_binary(a: &[u64], b: &[u64], op: BitOp) -> Vec<u64> {
     let mut cb = EwahCursor::new(b);
     let mut enc = EwahEncoder::new();
     loop {
-        match (ca.remaining(), cb.remaining()) {
+        match (ca.head(), cb.head()) {
             (None, None) => break,
-            (Some(ra), Some(rb)) => {
-                let n = ra.min(rb);
-                match (ca.take(n), cb.take(n)) {
-                    (Seg::Fill(x), Seg::Fill(y)) => enc.push_fill(op.apply_bit(x, y), n),
-                    (Seg::Fill(x), Seg::Literal(w)) => {
-                        let fx = if x { u64::MAX } else { 0 };
-                        enc.push_literal(op.apply_u64(fx, w));
-                    }
-                    (Seg::Literal(w), Seg::Fill(y)) => {
-                        let fy = if y { u64::MAX } else { 0 };
-                        enc.push_literal(op.apply_u64(w, fy));
-                    }
-                    (Seg::Literal(wa), Seg::Literal(wb)) => {
-                        enc.push_literal(op.apply_u64(wa, wb));
-                    }
+            (Some(Head::Fill(x, na)), Some(Head::Fill(y, nb))) => {
+                let n = na.min(nb);
+                enc.push_fill(op.apply_bit(x, y), n);
+                ca.take_fill(n);
+                cb.take_fill(n);
+            }
+            (Some(Head::Fill(x, na)), Some(Head::Lits(nb))) => {
+                let n = na.min(nb);
+                ca.take_fill(n);
+                let ws = cb.take_lits(n);
+                match fill_effect(op, x, true) {
+                    FillEffect::Absorb(bit) => enc.push_fill(bit, n),
+                    FillEffect::Copy => enc.push_lits_verbatim(ws),
+                    FillEffect::Complement => enc.push_lits_complement(ws),
+                }
+            }
+            (Some(Head::Lits(na)), Some(Head::Fill(y, nb))) => {
+                let n = na.min(nb);
+                let ws = ca.take_lits(n);
+                cb.take_fill(n);
+                match fill_effect(op, y, false) {
+                    FillEffect::Absorb(bit) => enc.push_fill(bit, n),
+                    FillEffect::Copy => enc.push_lits_verbatim(ws),
+                    FillEffect::Complement => enc.push_lits_complement(ws),
+                }
+            }
+            (Some(Head::Lits(na)), Some(Head::Lits(nb))) => {
+                let n = na.min(nb);
+                let wa = ca.take_lits(n);
+                let wb = cb.take_lits(n);
+                for (x, y) in wa.iter().zip(wb) {
+                    enc.push_literal(op.apply_u64(*x, *y));
                 }
             }
             _ => panic!("EWAH streams decode to different word counts"),
@@ -235,23 +275,31 @@ pub fn ewah_not(stream: &[u64], len_bits: usize) -> Vec<u64> {
     let mut enc = EwahEncoder::new();
     let mut cursor = EwahCursor::new(stream);
     let mut produced = 0u64;
-    while let Some(r) = cursor.remaining() {
-        let covers_tail = produced + r == total_words && tail_mask != u64::MAX;
-        match cursor.take(r) {
-            Seg::Fill(bit) => {
-                let body = if covers_tail { r - 1 } else { r };
+    while let Some(head) = cursor.head() {
+        match head {
+            Head::Fill(bit, n) => {
+                cursor.take_fill(n);
+                let covers_tail = produced + n == total_words && tail_mask != u64::MAX;
+                let body = if covers_tail { n - 1 } else { n };
                 enc.push_fill(!bit, body);
                 if covers_tail {
                     let last = if bit { u64::MAX } else { 0 };
                     enc.push_literal(!last & tail_mask);
                 }
+                produced += n;
             }
-            Seg::Literal(w) => {
-                let mask = if covers_tail { tail_mask } else { u64::MAX };
-                enc.push_literal(!w & mask);
+            Head::Lits(n) => {
+                let ws = cursor.take_lits(n);
+                let covers_tail = produced + n == total_words && tail_mask != u64::MAX;
+                if covers_tail {
+                    enc.push_lits_complement(&ws[..ws.len() - 1]);
+                    enc.push_literal(!ws[ws.len() - 1] & tail_mask);
+                } else {
+                    enc.push_lits_complement(ws);
+                }
+                produced += n;
             }
         }
-        produced += r;
     }
     assert_eq!(
         produced, total_words,
@@ -333,6 +381,41 @@ mod tests {
                 BitOp::AndNot => a.and_not(&b),
             };
             assert_eq!(direct, Ewah.compress(&expect), "{op:?}");
+        }
+    }
+
+    /// Fill-against-literal fast paths (absorb / copy / complement) must
+    /// stay canonical: pit a half-fill half-dense bitmap against a fully
+    /// dense one so every path is exercised with multi-word slices.
+    #[test]
+    fn fill_against_literal_runs_stay_canonical() {
+        let bits = 64 * 200;
+        // a: first half all-one fill, second half all-zero fill.
+        let mut a = Bitvec::zeros(bits);
+        for i in 0..bits / 2 {
+            a.set(i, true);
+        }
+        // b: dense irregular literals throughout.
+        let b = {
+            let positions: Vec<usize> = (0..bits).step_by(3).collect();
+            Bitvec::from_positions(bits, &positions)
+        };
+        for (x, y) in [(&a, &b), (&b, &a)] {
+            let cx = Ewah.compress(x);
+            let cy = Ewah.compress(y);
+            for op in [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot] {
+                let expect = match op {
+                    BitOp::And => x.and(y),
+                    BitOp::Or => x.or(y),
+                    BitOp::Xor => x.xor(y),
+                    BitOp::AndNot => x.and_not(y),
+                };
+                assert_eq!(
+                    ewah_binary_bytes(&cx, &cy, op),
+                    Ewah.compress(&expect),
+                    "{op:?}"
+                );
+            }
         }
     }
 

@@ -34,6 +34,7 @@ mod codec;
 mod ewah;
 mod ewah_ops;
 mod roaring;
+mod roaring_ops;
 mod runs;
 mod wah;
 mod wah_ops;
@@ -44,6 +45,7 @@ pub use codec::{BitmapCodec, CodecKind, CompressedBitmap, DecodeError, Raw};
 pub use ewah::Ewah;
 pub use ewah_ops::{ewah_binary, ewah_binary_bytes, ewah_not, ewah_not_bytes};
 pub use roaring::Roaring;
+pub use roaring_ops::{roaring_binary, roaring_not};
 pub use runs::{ByteRun, ByteRunIter};
 pub use wah::Wah;
 pub use wah_ops::{wah_binary, wah_binary_bytes, wah_not, wah_not_bytes};

@@ -25,9 +25,9 @@
 
 use bix_bitvec::Bitvec;
 
-const CHUNK_BITS: usize = 1 << 16;
-const CHUNK_BYTES: usize = CHUNK_BITS / 8;
-const ARRAY_MAX: usize = 4096;
+pub(crate) const CHUNK_BITS: usize = 1 << 16;
+pub(crate) const CHUNK_BYTES: usize = CHUNK_BITS / 8;
+pub(crate) const ARRAY_MAX: usize = 4096;
 
 /// The Roaring-style codec. Stateless; see the module docs for the format.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

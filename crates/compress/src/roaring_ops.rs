@@ -1,0 +1,619 @@
+//! Compressed-domain bitwise operations on Roaring streams.
+//!
+//! Roaring's pitch (Chambi, Kaser, Lemire & Godin) is that set operations
+//! run directly over the hybrid containers: two sorted `u16` arrays
+//! intersect by galloping search, an array probes a bitmap container bit
+//! by bit, and two bitmap containers combine in a plain 64-bit word loop.
+//! Chunks absent from one side are zero chunks, so AND skips them without
+//! touching the other operand's bytes and OR copies containers verbatim.
+//! Output is canonical — byte-identical to compressing the bitwise result
+//! from scratch: containers appear in ascending key order, empty chunks
+//! are omitted, and each result container is re-typed by its cardinality
+//! (array at ≤ 4096 bits set, bitmap above).
+//!
+//! Inputs are assumed structurally valid (see
+//! [`crate::BitmapCodec::try_decompress`]); the storage layer validates
+//! streams when it reads them for compressed-domain use.
+//!
+//! ```
+//! use bix_bitvec::Bitvec;
+//! use bix_compress::{roaring_binary, BitOp, BitmapCodec, Roaring};
+//!
+//! let a = Bitvec::from_positions(100_000, &[1, 2, 3]);
+//! let b = Bitvec::from_positions(100_000, &[3, 4, 90_000]);
+//! let c = roaring_binary(&Roaring.compress(&a), &Roaring.compress(&b), BitOp::And);
+//! assert_eq!(Roaring.decompress(&c, 100_000), a.and(&b));
+//! ```
+
+use crate::roaring::{ARRAY_MAX, CHUNK_BITS, CHUNK_BYTES};
+use crate::BitOp;
+
+const CHUNK_WORDS: usize = CHUNK_BYTES / 8;
+
+/// One parsed container, borrowing the stream's payload bytes.
+#[derive(Clone, Copy)]
+enum Container<'a> {
+    /// `2 × cardinality` bytes of sorted little-endian `u16` offsets.
+    Array(&'a [u8]),
+    /// The raw 8 KiB chunk image.
+    Bitmap(&'a [u8]),
+}
+
+/// Parses a Roaring stream into (key, container) pairs in stream order.
+///
+/// # Panics
+///
+/// Panics on malformed streams; callers validate first.
+fn parse(stream: &[u8]) -> Vec<(u16, Container<'_>)> {
+    let n = u32::from_le_bytes(stream[..4].try_into().expect("4 bytes")) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 4usize;
+    for _ in 0..n {
+        let key = u16::from_le_bytes([stream[pos], stream[pos + 1]]);
+        let kind = stream[pos + 2];
+        pos += 3;
+        let c = match kind {
+            0 => {
+                let card = u16::from_le_bytes([stream[pos], stream[pos + 1]]) as usize + 1;
+                pos += 2;
+                let s = &stream[pos..pos + 2 * card];
+                pos += 2 * card;
+                Container::Array(s)
+            }
+            1 => {
+                let s = &stream[pos..pos + CHUNK_BYTES];
+                pos += CHUNK_BYTES;
+                Container::Bitmap(s)
+            }
+            _ => panic!("roaring stream has bad container type byte"),
+        };
+        out.push((key, c));
+    }
+    assert_eq!(pos, stream.len(), "roaring stream has trailing bytes");
+    out
+}
+
+/// Reads the `i`-th offset of an array container payload.
+#[inline]
+fn at(vals: &[u8], i: usize) -> u16 {
+    u16::from_le_bytes([vals[2 * i], vals[2 * i + 1]])
+}
+
+#[inline]
+fn bitmap_get(chunk: &[u8], v: u16) -> bool {
+    chunk[v as usize / 8] & (1 << (v % 8)) != 0
+}
+
+/// An 8 KiB chunk materialized as words for bulk ops.
+struct Chunk([u64; CHUNK_WORDS]);
+
+impl Chunk {
+    fn zero() -> Self {
+        Chunk([0u64; CHUNK_WORDS])
+    }
+
+    fn from_bytes(s: &[u8]) -> Self {
+        let mut w = [0u64; CHUNK_WORDS];
+        for (i, c) in s.chunks_exact(8).enumerate() {
+            w[i] = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        }
+        Chunk(w)
+    }
+
+    #[inline]
+    fn set(&mut self, v: u16) {
+        self.0[v as usize / 64] |= 1 << (v % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, v: u16) {
+        self.0[v as usize / 64] &= !(1 << (v % 64));
+    }
+
+    #[inline]
+    fn flip(&mut self, v: u16) {
+        self.0[v as usize / 64] ^= 1 << (v % 64);
+    }
+
+    fn cardinality(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Builds a canonical Roaring stream: ascending keys, empty containers
+/// dropped, container type chosen by cardinality exactly as
+/// [`crate::Roaring`]'s compressor does.
+struct RoaringBuilder {
+    out: Vec<u8>,
+    n: u32,
+}
+
+impl RoaringBuilder {
+    fn new() -> Self {
+        RoaringBuilder {
+            out: vec![0u8; 4],
+            n: 0,
+        }
+    }
+
+    fn header(&mut self, key: u16, kind: u8) {
+        self.out.extend_from_slice(&key.to_le_bytes());
+        self.out.push(kind);
+        self.n += 1;
+    }
+
+    /// Copies a parsed container verbatim; its bytes are already canonical.
+    fn push_verbatim(&mut self, key: u16, c: Container<'_>) {
+        match c {
+            Container::Array(vals) => {
+                self.header(key, 0);
+                let card = vals.len() / 2;
+                self.out
+                    .extend_from_slice(&((card - 1) as u16).to_le_bytes());
+                self.out.extend_from_slice(vals);
+            }
+            Container::Bitmap(chunk) => {
+                self.header(key, 1);
+                self.out.extend_from_slice(chunk);
+            }
+        }
+    }
+
+    /// Emits sorted offsets, converting to a bitmap container past the
+    /// array threshold. Skips empty sets.
+    fn push_sorted_vals(&mut self, key: u16, vals: &[u16]) {
+        if vals.is_empty() {
+            return;
+        }
+        if vals.len() <= ARRAY_MAX {
+            self.header(key, 0);
+            self.out
+                .extend_from_slice(&((vals.len() - 1) as u16).to_le_bytes());
+            for v in vals {
+                self.out.extend_from_slice(&v.to_le_bytes());
+            }
+        } else {
+            let mut chunk = Chunk::zero();
+            for &v in vals {
+                chunk.set(v);
+            }
+            self.header(key, 1);
+            for w in &chunk.0 {
+                self.out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+
+    /// Emits a materialized chunk, re-typing by cardinality. Skips empty
+    /// chunks.
+    fn push_chunk(&mut self, key: u16, chunk: &Chunk) {
+        let card = chunk.cardinality();
+        if card == 0 {
+            return;
+        }
+        if card <= ARRAY_MAX {
+            self.header(key, 0);
+            self.out
+                .extend_from_slice(&((card - 1) as u16).to_le_bytes());
+            for (i, &w) in chunk.0.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    let v = (i * 64) as u16 + w.trailing_zeros() as u16;
+                    self.out.extend_from_slice(&v.to_le_bytes());
+                    w &= w - 1;
+                }
+            }
+        } else {
+            self.header(key, 1);
+            for w in &chunk.0 {
+                self.out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        self.out[..4].copy_from_slice(&self.n.to_le_bytes());
+        self.out
+    }
+}
+
+/// Intersects two sorted array payloads. When the sizes are badly skewed
+/// the larger side is traversed by galloping (exponential then binary)
+/// search; otherwise a linear merge wins on branch predictability.
+fn array_and(a: &[u8], b: &[u8]) -> Vec<u16> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let ns = small.len() / 2;
+    let nl = large.len() / 2;
+    let mut out = Vec::with_capacity(ns);
+    if nl / 32 > ns {
+        // Galloping probe of the large side for each small value.
+        let mut lo = 0usize;
+        for i in 0..ns {
+            let v = at(small, i);
+            // Exponential search for the first index with value >= v.
+            let mut step = 1usize;
+            let mut hi = lo;
+            while hi < nl && at(large, hi) < v {
+                lo = hi + 1;
+                hi += step;
+                step *= 2;
+            }
+            let mut left = lo;
+            let mut right = hi.min(nl);
+            while left < right {
+                let mid = (left + right) / 2;
+                if at(large, mid) < v {
+                    left = mid + 1;
+                } else {
+                    right = mid;
+                }
+            }
+            lo = left;
+            if lo < nl && at(large, lo) == v {
+                out.push(v);
+                lo += 1;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ns && j < nl {
+            let (x, y) = (at(small, i), at(large, j));
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(x);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Linear-merge union / symmetric difference / difference of two sorted
+/// array payloads. `a` and `b` keep their operand roles (AndNot is
+/// `a \ b`).
+fn array_merge(a: &[u8], b: &[u8], op: BitOp) -> Vec<u16> {
+    let na = a.len() / 2;
+    let nb = b.len() / 2;
+    let mut out = Vec::with_capacity(na.max(nb));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < na && j < nb {
+        let (x, y) = (at(a, i), at(b, j));
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => {
+                if matches!(op, BitOp::Or | BitOp::Xor | BitOp::AndNot) {
+                    out.push(x);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if matches!(op, BitOp::Or | BitOp::Xor) {
+                    out.push(y);
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if matches!(op, BitOp::Or) {
+                    out.push(x);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if matches!(op, BitOp::Or | BitOp::Xor | BitOp::AndNot) {
+        while i < na {
+            out.push(at(a, i));
+            i += 1;
+        }
+    }
+    if matches!(op, BitOp::Or | BitOp::Xor) {
+        while j < nb {
+            out.push(at(b, j));
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Combines two present containers under `op` into the builder.
+fn combine(builder: &mut RoaringBuilder, key: u16, a: Container<'_>, b: Container<'_>, op: BitOp) {
+    match (a, b) {
+        (Container::Array(va), Container::Array(vb)) => {
+            let vals = match op {
+                BitOp::And => array_and(va, vb),
+                _ => array_merge(va, vb, op),
+            };
+            builder.push_sorted_vals(key, &vals);
+        }
+        (Container::Array(va), Container::Bitmap(cb)) => match op {
+            // array ∧ bitmap: probe each array value against the bitmap.
+            BitOp::And | BitOp::AndNot => {
+                let want = op == BitOp::And;
+                let vals: Vec<u16> = (0..va.len() / 2)
+                    .map(|i| at(va, i))
+                    .filter(|&v| bitmap_get(cb, v) == want)
+                    .collect();
+                builder.push_sorted_vals(key, &vals);
+            }
+            BitOp::Or | BitOp::Xor => {
+                let mut chunk = Chunk::from_bytes(cb);
+                for i in 0..va.len() / 2 {
+                    match op {
+                        BitOp::Or => chunk.set(at(va, i)),
+                        _ => chunk.flip(at(va, i)),
+                    }
+                }
+                builder.push_chunk(key, &chunk);
+            }
+        },
+        (Container::Bitmap(ca), Container::Array(vb)) => match op {
+            BitOp::And => {
+                let vals: Vec<u16> = (0..vb.len() / 2)
+                    .map(|i| at(vb, i))
+                    .filter(|&v| bitmap_get(ca, v))
+                    .collect();
+                builder.push_sorted_vals(key, &vals);
+            }
+            BitOp::Or | BitOp::Xor | BitOp::AndNot => {
+                let mut chunk = Chunk::from_bytes(ca);
+                for i in 0..vb.len() / 2 {
+                    match op {
+                        BitOp::Or => chunk.set(at(vb, i)),
+                        BitOp::Xor => chunk.flip(at(vb, i)),
+                        _ => chunk.clear(at(vb, i)),
+                    }
+                }
+                builder.push_chunk(key, &chunk);
+            }
+        },
+        (Container::Bitmap(ca), Container::Bitmap(cb)) => {
+            // bitmap ∧ bitmap: straight word loop.
+            let wa = Chunk::from_bytes(ca);
+            let wb = Chunk::from_bytes(cb);
+            let mut out = Chunk::zero();
+            for i in 0..CHUNK_WORDS {
+                out.0[i] = op.apply_u64(wa.0[i], wb.0[i]);
+            }
+            builder.push_chunk(key, &out);
+        }
+    }
+}
+
+/// Combines two Roaring streams bitwise, producing a canonical Roaring
+/// stream. Both inputs must come from bitmaps of the same bit length (the
+/// format does not store the length; the caller tracks it).
+pub fn roaring_binary(a: &[u8], b: &[u8], op: BitOp) -> Vec<u8> {
+    let ca = parse(a);
+    let cb = parse(b);
+    let mut builder = RoaringBuilder::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ca.len() || j < cb.len() {
+        let ka = ca.get(i).map(|&(k, _)| k);
+        let kb = cb.get(j).map(|&(k, _)| k);
+        match (ka, kb) {
+            (Some(k), Some(kk)) if k == kk => {
+                combine(&mut builder, k, ca[i].1, cb[j].1, op);
+                i += 1;
+                j += 1;
+            }
+            // Chunk present only on the left: the right side is zero here.
+            (Some(k), other) if other.is_none() || k < other.unwrap() => {
+                // op(x, 0): And → 0, Or/Xor/AndNot → x.
+                if !matches!(op, BitOp::And) {
+                    builder.push_verbatim(k, ca[i].1);
+                }
+                i += 1;
+            }
+            // Chunk present only on the right: the left side is zero here.
+            (_, Some(k)) => {
+                // op(0, y): Or/Xor → y, And/AndNot → 0.
+                if matches!(op, BitOp::Or | BitOp::Xor) {
+                    builder.push_verbatim(k, cb[j].1);
+                }
+                j += 1;
+            }
+            _ => unreachable!("loop condition guarantees one side remains"),
+        }
+    }
+    builder.finish()
+}
+
+/// Complements a Roaring stream over `len_bits` bits. Absent chunks
+/// become full chunks, present containers flip within the chunk, and the
+/// final partial chunk is masked to `len_bits`.
+pub fn roaring_not(stream: &[u8], len_bits: usize) -> Vec<u8> {
+    let containers = parse(stream);
+    let n_chunks = len_bits.div_ceil(CHUNK_BITS);
+    let mut builder = RoaringBuilder::new();
+    let mut next = 0usize;
+    for key in 0..n_chunks {
+        let chunk_bits = CHUNK_BITS.min(len_bits - key * CHUNK_BITS);
+        let present = containers
+            .get(next)
+            .filter(|&&(k, _)| k as usize == key)
+            .map(|&(_, c)| c);
+        let chunk = match present {
+            Some(Container::Array(vals)) => {
+                next += 1;
+                let mut c = ones_chunk(chunk_bits);
+                for i in 0..vals.len() / 2 {
+                    c.clear(at(vals, i));
+                }
+                c
+            }
+            Some(Container::Bitmap(bytes)) => {
+                next += 1;
+                let mut c = Chunk::from_bytes(bytes);
+                let ones = ones_chunk(chunk_bits);
+                for i in 0..CHUNK_WORDS {
+                    c.0[i] = !c.0[i] & ones.0[i];
+                }
+                c
+            }
+            None => ones_chunk(chunk_bits),
+        };
+        // Sparse complements re-type to arrays inside push_chunk.
+        builder.push_chunk(key as u16, &chunk);
+    }
+    assert_eq!(
+        next,
+        containers.len(),
+        "roaring stream has containers past the declared length"
+    );
+    builder.finish()
+}
+
+/// A chunk with the first `n` bits set.
+fn ones_chunk(n: usize) -> Chunk {
+    let mut c = Chunk::zero();
+    let full = n / 64;
+    for w in &mut c.0[..full] {
+        *w = u64::MAX;
+    }
+    if !n.is_multiple_of(64) {
+        c.0[full] = (1u64 << (n % 64)) - 1;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitmapCodec, Roaring};
+    use bix_bitvec::Bitvec;
+
+    fn sample(seed: u64, bits: usize) -> Bitvec {
+        let mut bv = Bitvec::zeros(bits);
+        let mut x = seed | 1;
+        let mut pos = 0usize;
+        while pos < bits {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let run = (x % 97) as usize + 1;
+            if x.is_multiple_of(3) {
+                for i in 0..run.min(bits - pos) {
+                    bv.set(pos + i, true);
+                }
+            }
+            pos += run;
+        }
+        bv
+    }
+
+    /// Sparse bitmap staying in array containers.
+    fn sparse(seed: u64, bits: usize) -> Bitvec {
+        let mut bv = Bitvec::zeros(bits);
+        let mut x = seed | 1;
+        let mut pos = 0usize;
+        loop {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            pos += (x % 211) as usize + 17;
+            if pos >= bits {
+                return bv;
+            }
+            bv.set(pos, true);
+        }
+    }
+
+    #[test]
+    fn binary_ops_match_uncompressed_reference() {
+        for bits in [1usize, 100, 65_536, 65_537, 200_000] {
+            let a = sample(1, bits);
+            let b = sample(2, bits);
+            let ca = Roaring.compress(&a);
+            let cb = Roaring.compress(&b);
+            for (op, expect) in [
+                (BitOp::And, a.and(&b)),
+                (BitOp::Or, a.or(&b)),
+                (BitOp::Xor, a.xor(&b)),
+                (BitOp::AndNot, a.and_not(&b)),
+            ] {
+                let combined = roaring_binary(&ca, &cb, op);
+                assert_eq!(
+                    Roaring.decompress(&combined, bits),
+                    expect,
+                    "{op:?} bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_canonical_across_container_mixes() {
+        let bits = 3 * 65_536 + 12_345;
+        // dense (bitmap containers), sparse (array containers), and a
+        // mixed bitmap with empty middle chunks.
+        let dense = sample(3, bits);
+        let sparse_bv = sparse(4, bits);
+        let gappy = {
+            let mut bv = Bitvec::zeros(bits);
+            for i in 0..30_000 {
+                bv.set(i * 2, true);
+            }
+            bv.set(bits - 1, true);
+            bv
+        };
+        let inputs = [&dense, &sparse_bv, &gappy];
+        for x in inputs {
+            for y in inputs {
+                let cx = Roaring.compress(x);
+                let cy = Roaring.compress(y);
+                for op in [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot] {
+                    let expect = match op {
+                        BitOp::And => x.and(y),
+                        BitOp::Or => x.or(y),
+                        BitOp::Xor => x.xor(y),
+                        BitOp::AndNot => x.and_not(y),
+                    };
+                    assert_eq!(
+                        roaring_binary(&cx, &cy, op),
+                        Roaring.compress(&expect),
+                        "{op:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_skips_absent_chunks_without_touching_bytes() {
+        // A spans chunks 0..16, B only chunk 15: And output is one
+        // container and the result is tiny.
+        let bits = 16 * 65_536;
+        let a = sample(5, bits);
+        let b = Bitvec::from_positions(bits, &[15 * 65_536 + 7]);
+        let c = roaring_binary(&Roaring.compress(&a), &Roaring.compress(&b), BitOp::And);
+        assert!(c.len() <= 4 + 7);
+        assert_eq!(Roaring.decompress(&c, bits), a.and(&b));
+    }
+
+    #[test]
+    fn not_matches_uncompressed_reference() {
+        for bits in [1usize, 100, 4096, 65_536, 65_537, 200_000] {
+            for bv in [sample(6, bits), sparse(7, bits), Bitvec::zeros(bits)] {
+                let neg = roaring_not(&Roaring.compress(&bv), bits);
+                assert_eq!(Roaring.decompress(&neg, bits), bv.not(), "bits={bits}");
+                assert_eq!(neg, Roaring.compress(&bv.not()), "canonical bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn array_intersection_gallops_on_skewed_sizes() {
+        // One value against a full array container: the galloping path.
+        let bits = 65_536;
+        let big: Vec<usize> = (0..4096).map(|i| i * 16).collect();
+        let a = Bitvec::from_positions(bits, &big);
+        let b = Bitvec::from_positions(bits, &[32 * 16]);
+        let c = roaring_binary(&Roaring.compress(&a), &Roaring.compress(&b), BitOp::And);
+        assert_eq!(Roaring.decompress(&c, bits), a.and(&b));
+        assert_eq!(c, Roaring.compress(&a.and(&b)));
+    }
+}

@@ -1,16 +1,22 @@
 //! Compressed-domain bitwise operations on WAH streams.
 //!
 //! The word-aligned analogue of [`crate::bbc_binary`]: two compressed WAH
-//! streams are walked in lockstep at 31-bit-group granularity, aligned fill
-//! runs combine in O(1) regardless of length, and only literal groups pay a
-//! word operation. Output is canonical — byte-identical to compressing the
-//! bitwise result from scratch — so compressed-domain and raw evaluation
-//! are interchangeable anywhere in a query DAG.
+//! streams are walked in lockstep at *run* granularity. Aligned fill runs
+//! combine in O(1) regardless of length, a fill meeting a literal run
+//! either absorbs it (And with a zero fill, Or with a ones fill) in O(1)
+//! or copies / complements the whole literal slice in one pass, and only
+//! literal-against-literal regions pay a word-by-word loop. Output is
+//! canonical — byte-identical to compressing the bitwise result from
+//! scratch — so compressed-domain and raw evaluation are interchangeable
+//! anywhere in a query DAG.
 //!
-//! Inputs are assumed structurally valid (see [`crate::BitmapCodec::validate`]);
-//! the storage layer validates streams when it reads them for
-//! compressed-domain use, so corruption is caught before it reaches these
-//! kernels.
+//! Inputs are assumed canonical (as produced by
+//! [`crate::Wah::compress_words`] or by these kernels); in particular a
+//! canonical stream never stores an all-0 or all-1 group as a literal
+//! word, so the copy and complement fast paths can move whole slices
+//! without re-checking each group for fill-folding. The storage layer
+//! validates streams when it reads them for compressed-domain use, so
+//! corruption is caught before it reaches these kernels.
 //!
 //! ```
 //! use bix_bitvec::Bitvec;
@@ -22,6 +28,7 @@
 //! assert_eq!(Wah.decompress(&c, 100_000), a.and(&b));
 //! ```
 
+use crate::bbc_ops::{fill_effect, FillEffect};
 use crate::wah::{
     words_from_bytes, words_to_bytes, COUNT_MASK, FILL_BIT, FILL_FLAG, GROUP_BITS, LITERAL_MASK,
 };
@@ -78,27 +85,54 @@ impl WahEncoder {
         }
     }
 
+    /// Appends literal groups already known to be neither all-0 nor all-1
+    /// (words copied verbatim from a canonical stream, where a literal
+    /// word equals its group value), skipping the per-group fold check.
+    fn push_groups_verbatim(&mut self, gs: &[u32]) {
+        if gs.is_empty() {
+            return;
+        }
+        self.flush_run();
+        self.out.extend_from_slice(gs);
+    }
+
+    /// Appends the complement of literal groups from a canonical stream;
+    /// `!g & LITERAL_MASK` of a group that is neither all-0 nor all-1 is
+    /// itself neither, so no fold check is needed.
+    fn push_groups_complement(&mut self, gs: &[u32]) {
+        if gs.is_empty() {
+            return;
+        }
+        self.flush_run();
+        self.out.extend(gs.iter().map(|g| !g & LITERAL_MASK));
+    }
+
     fn finish(mut self) -> Vec<u32> {
         self.flush_run();
         self.out
     }
 }
 
-/// One aligned run handed to the combiner.
-enum Seg {
-    /// `count` groups of an identical fill.
-    Fill(bool),
-    /// A single literal group.
-    Literal(u32),
+/// The head run of a cursor: a maximal fill region or the number of
+/// literal words contiguous in the stream.
+#[derive(Clone, Copy)]
+enum Head {
+    Fill(bool, usize),
+    Lits(usize),
 }
 
 /// Cursor over the decoded group runs of a WAH stream.
 struct WahCursor<'a> {
     words: &'a [u32],
+    /// Start of the unread remainder; during a literal run, the first
+    /// unconsumed literal word.
     i: usize,
-    /// Groups left in the current fill word (0 when positioned on a literal).
-    fill_left: usize,
     fill_bit: bool,
+    /// Groups left in the current fill run (adjacent same-bit fill words —
+    /// the split form of an oversized run — are merged on load).
+    fills_left: usize,
+    /// Literal words left in the current run, located at `words[i..]`.
+    lits_left: usize,
 }
 
 impl<'a> WahCursor<'a> {
@@ -106,53 +140,70 @@ impl<'a> WahCursor<'a> {
         let mut c = WahCursor {
             words,
             i: 0,
-            fill_left: 0,
             fill_bit: false,
+            fills_left: 0,
+            lits_left: 0,
         };
-        c.load();
+        c.advance();
         c
     }
 
-    /// Loads the word at `i` into the cursor state (no-op for literals).
-    fn load(&mut self) {
-        if let Some(&w) = self.words.get(self.i) {
-            if w & FILL_FLAG != 0 {
-                self.fill_bit = w & FILL_BIT != 0;
-                self.fill_left = (w & COUNT_MASK) as usize;
-            }
+    /// Loads the next maximal run once the current one is exhausted.
+    fn advance(&mut self) {
+        if self.fills_left > 0 || self.lits_left > 0 || self.i >= self.words.len() {
+            return;
         }
-    }
-
-    /// Groups remaining in the current segment, or `None` at end.
-    fn remaining(&self) -> Option<usize> {
-        let &w = self.words.get(self.i)?;
-        if w & FILL_FLAG != 0 {
-            Some(self.fill_left)
-        } else {
-            Some(1)
-        }
-    }
-
-    /// Consumes exactly `n` groups (must not exceed `remaining`).
-    fn take(&mut self, n: usize) -> Seg {
         let w = self.words[self.i];
         if w & FILL_FLAG != 0 {
-            let seg = Seg::Fill(self.fill_bit);
-            self.fill_left -= n;
-            if self.fill_left == 0 {
-                self.i += 1;
-                // Canonical streams never emit adjacent same-bit fill words
-                // below the split threshold, but oversized runs do split —
-                // merging here is the encoder's job, not the cursor's.
-                self.load();
-            }
-            seg
-        } else {
-            debug_assert_eq!(n, 1);
+            let bit = w & FILL_BIT != 0;
+            self.fill_bit = bit;
+            self.fills_left = (w & COUNT_MASK) as usize;
             self.i += 1;
-            self.load();
-            Seg::Literal(w & LITERAL_MASK)
+            // Merge the continuation words of an oversized split run.
+            while let Some(&next) = self.words.get(self.i) {
+                if next & FILL_FLAG != 0 && (next & FILL_BIT != 0) == bit {
+                    self.fills_left += (next & COUNT_MASK) as usize;
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+        } else {
+            let mut j = self.i + 1;
+            while j < self.words.len() && self.words[j] & FILL_FLAG == 0 {
+                j += 1;
+            }
+            self.lits_left = j - self.i;
         }
+    }
+
+    /// The current run, or `None` at end of stream.
+    fn head(&self) -> Option<Head> {
+        if self.fills_left > 0 {
+            Some(Head::Fill(self.fill_bit, self.fills_left))
+        } else if self.lits_left > 0 {
+            Some(Head::Lits(self.lits_left))
+        } else {
+            None
+        }
+    }
+
+    /// Consumes `n` fill groups (must not exceed the current fill run).
+    fn take_fill(&mut self, n: usize) {
+        debug_assert!(n <= self.fills_left);
+        self.fills_left -= n;
+        self.advance();
+    }
+
+    /// Consumes `n` literal groups (must not exceed the current literal
+    /// run), returning them as one contiguous slice.
+    fn take_lits(&mut self, n: usize) -> &'a [u32] {
+        debug_assert!(n <= self.lits_left);
+        let s = &self.words[self.i..self.i + n];
+        self.i += n;
+        self.lits_left -= n;
+        self.advance();
+        s
     }
 }
 
@@ -167,23 +218,40 @@ pub fn wah_binary(a: &[u32], b: &[u32], op: BitOp) -> Vec<u32> {
     let mut cb = WahCursor::new(b);
     let mut enc = WahEncoder::new();
     loop {
-        match (ca.remaining(), cb.remaining()) {
+        match (ca.head(), cb.head()) {
             (None, None) => break,
-            (Some(ra), Some(rb)) => {
-                let n = ra.min(rb);
-                match (ca.take(n), cb.take(n)) {
-                    (Seg::Fill(x), Seg::Fill(y)) => enc.push_fill(op.apply_bit(x, y), n),
-                    (Seg::Fill(x), Seg::Literal(w)) => {
-                        let fx = if x { LITERAL_MASK } else { 0 };
-                        enc.push_group(op.apply_u32(fx, w) & LITERAL_MASK);
-                    }
-                    (Seg::Literal(w), Seg::Fill(y)) => {
-                        let fy = if y { LITERAL_MASK } else { 0 };
-                        enc.push_group(op.apply_u32(w, fy) & LITERAL_MASK);
-                    }
-                    (Seg::Literal(wa), Seg::Literal(wb)) => {
-                        enc.push_group(op.apply_u32(wa, wb) & LITERAL_MASK);
-                    }
+            (Some(Head::Fill(x, na)), Some(Head::Fill(y, nb))) => {
+                let n = na.min(nb);
+                enc.push_fill(op.apply_bit(x, y), n);
+                ca.take_fill(n);
+                cb.take_fill(n);
+            }
+            (Some(Head::Fill(x, na)), Some(Head::Lits(nb))) => {
+                let n = na.min(nb);
+                ca.take_fill(n);
+                let gs = cb.take_lits(n);
+                match fill_effect(op, x, true) {
+                    FillEffect::Absorb(bit) => enc.push_fill(bit, n),
+                    FillEffect::Copy => enc.push_groups_verbatim(gs),
+                    FillEffect::Complement => enc.push_groups_complement(gs),
+                }
+            }
+            (Some(Head::Lits(na)), Some(Head::Fill(y, nb))) => {
+                let n = na.min(nb);
+                let gs = ca.take_lits(n);
+                cb.take_fill(n);
+                match fill_effect(op, y, false) {
+                    FillEffect::Absorb(bit) => enc.push_fill(bit, n),
+                    FillEffect::Copy => enc.push_groups_verbatim(gs),
+                    FillEffect::Complement => enc.push_groups_complement(gs),
+                }
+            }
+            (Some(Head::Lits(na)), Some(Head::Lits(nb))) => {
+                let n = na.min(nb);
+                let ga = ca.take_lits(n);
+                let gb = cb.take_lits(n);
+                for (x, y) in ga.iter().zip(gb) {
+                    enc.push_group(op.apply_u32(*x, *y) & LITERAL_MASK);
                 }
             }
             _ => panic!("WAH streams decode to different group counts"),
@@ -223,24 +291,33 @@ pub fn wah_not(stream: &[u32], len_bits: usize) -> Vec<u32> {
     let mut enc = WahEncoder::new();
     let mut cursor = WahCursor::new(stream);
     let mut produced = 0usize;
-    while let Some(r) = cursor.remaining() {
-        // Split the final group off a run so its padding can be masked.
-        let covers_tail = produced + r == total_groups && tail_mask != LITERAL_MASK;
-        match cursor.take(r) {
-            Seg::Fill(bit) => {
-                let body = if covers_tail { r - 1 } else { r };
+    while let Some(head) = cursor.head() {
+        match head {
+            Head::Fill(bit, n) => {
+                cursor.take_fill(n);
+                // Split the final group off a run so its padding can be
+                // masked.
+                let covers_tail = produced + n == total_groups && tail_mask != LITERAL_MASK;
+                let body = if covers_tail { n - 1 } else { n };
                 enc.push_fill(!bit, body);
                 if covers_tail {
                     let last = if bit { LITERAL_MASK } else { 0 };
                     enc.push_group(!last & tail_mask);
                 }
+                produced += n;
             }
-            Seg::Literal(w) => {
-                let mask = if covers_tail { tail_mask } else { LITERAL_MASK };
-                enc.push_group(!w & mask);
+            Head::Lits(n) => {
+                let gs = cursor.take_lits(n);
+                let covers_tail = produced + n == total_groups && tail_mask != LITERAL_MASK;
+                if covers_tail {
+                    enc.push_groups_complement(&gs[..gs.len() - 1]);
+                    enc.push_group(!gs[gs.len() - 1] & tail_mask);
+                } else {
+                    enc.push_groups_complement(gs);
+                }
+                produced += n;
             }
         }
-        produced += r;
     }
     assert_eq!(
         produced, total_groups,
@@ -322,6 +399,39 @@ mod tests {
                 BitOp::AndNot => a.and_not(&b),
             };
             assert_eq!(direct, Wah.compress(&expect), "{op:?}");
+        }
+    }
+
+    /// Fill-against-literal fast paths (absorb / copy / complement) must
+    /// stay canonical: pit a half-fill half-dense bitmap against a fully
+    /// dense one so every path is exercised with multi-group slices.
+    #[test]
+    fn fill_against_literal_runs_stay_canonical() {
+        let bits = 31 * 200;
+        let mut a = Bitvec::zeros(bits);
+        for i in 0..bits / 2 {
+            a.set(i, true);
+        }
+        let b = {
+            let positions: Vec<usize> = (0..bits).step_by(3).collect();
+            Bitvec::from_positions(bits, &positions)
+        };
+        for (x, y) in [(&a, &b), (&b, &a)] {
+            let cx = Wah.compress(x);
+            let cy = Wah.compress(y);
+            for op in [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot] {
+                let expect = match op {
+                    BitOp::And => x.and(y),
+                    BitOp::Or => x.or(y),
+                    BitOp::Xor => x.xor(y),
+                    BitOp::AndNot => x.and_not(y),
+                };
+                assert_eq!(
+                    wah_binary_bytes(&cx, &cy, op),
+                    Wah.compress(&expect),
+                    "{op:?}"
+                );
+            }
         }
     }
 

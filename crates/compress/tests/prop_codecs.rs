@@ -128,7 +128,12 @@ proptest! {
         prop_assume!(len > 0);
         let a = Bitvec::from_bools(&(0..len).map(|i| a.get(i)).collect::<Vec<_>>());
         let b = Bitvec::from_bools(&(0..len).map(|i| b.get(i)).collect::<Vec<_>>());
-        for kind in [CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah] {
+        for kind in [
+            CodecKind::Bbc,
+            CodecKind::Wah,
+            CodecKind::Ewah,
+            CodecKind::Roaring,
+        ] {
             prop_assert!(kind.supports_compressed_ops());
             let ca = CompressedBitmap::encode(kind, &a);
             let cb = CompressedBitmap::encode(kind, &b);
@@ -178,11 +183,9 @@ proptest! {
         let cs = CompressedBitmap::encode(CodecKind::Bbc, &shorter);
         prop_assert!(bbc.binary_op(&cs, BitOp::Or).is_none(), "length mismatch");
 
-        for kind in [CodecKind::Raw, CodecKind::Roaring] {
-            let c = CompressedBitmap::encode(kind, &bv);
-            prop_assert!(c.binary_op(&c, BitOp::And).is_none(), "{:?} has no kernel", kind);
-            prop_assert!(c.not_op().is_none(), "{:?} has no kernel", kind);
-        }
+        let raw = CompressedBitmap::encode(CodecKind::Raw, &bv);
+        prop_assert!(raw.binary_op(&raw, BitOp::And).is_none(), "Raw has no kernel");
+        prop_assert!(raw.not_op().is_none(), "Raw has no kernel");
     }
 
     /// Hostile bytes through every fallible decoder: `try_decompress` must
@@ -266,7 +269,12 @@ fn op_matrix_edge_lengths_and_extremes() {
             (&alternating, &all_zero),
         ];
         for (a, b) in shapes {
-            for kind in [CodecKind::Bbc, CodecKind::Wah, CodecKind::Ewah] {
+            for kind in [
+                CodecKind::Bbc,
+                CodecKind::Wah,
+                CodecKind::Ewah,
+                CodecKind::Roaring,
+            ] {
                 let ca = CompressedBitmap::encode(kind, a);
                 let cb = CompressedBitmap::encode(kind, b);
                 for op in [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot] {
@@ -290,6 +298,108 @@ fn op_matrix_edge_lengths_and_extremes() {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    /// Roaring op-matrix against the `Bitvec` oracle on bitmaps that
+    /// straddle the array↔bitmap container boundary, leave middle chunks
+    /// empty, and end in a partial final chunk. Results must decode to the
+    /// oracle's answer and the streams must be canonical.
+    #[test]
+    fn roaring_ops_across_container_boundaries(
+        card_a in 4090usize..4104,
+        card_b in 4090usize..4104,
+        stride_a in 1usize..=15,
+        stride_b in 1usize..=15,
+        tail in 1usize..65_536,
+    ) {
+        const CHUNK: usize = 1 << 16;
+        let len = 2 * CHUNK + tail; // chunk 1 stays empty on one side
+        let mut pos_a: Vec<usize> = (0..card_a).map(|i| i * stride_a).collect();
+        pos_a.dedup();
+        pos_a.extend((0..tail.min(64)).map(|j| 2 * CHUNK + j));
+        let mut pos_b: Vec<usize> = (0..card_b).map(|i| i * stride_b + 1).collect();
+        pos_b.dedup();
+        pos_b.extend((0..card_b.min(CHUNK)).map(|i| CHUNK + i * 15)); // chunk 1 set only in b
+        let a = Bitvec::from_positions(len, &pos_a);
+        let b = Bitvec::from_positions(len, &pos_b);
+        let ca = CompressedBitmap::encode(CodecKind::Roaring, &a);
+        let cb = CompressedBitmap::encode(CodecKind::Roaring, &b);
+        for (op, expect) in [
+            (BitOp::And, a.and(&b)),
+            (BitOp::Or, a.or(&b)),
+            (BitOp::Xor, a.xor(&b)),
+            (BitOp::AndNot, a.and_not(&b)),
+        ] {
+            let combined = ca.binary_op(&cb, op).expect("roaring kernel exists");
+            prop_assert_eq!(
+                combined.try_decode().expect("kernel output decodes"),
+                expect.clone(),
+                "{:?}", op
+            );
+            prop_assert_eq!(
+                combined.bytes(),
+                CompressedBitmap::encode(CodecKind::Roaring, &expect).bytes(),
+                "canonical {:?}", op
+            );
+        }
+        let negated = ca.not_op().expect("roaring kernel exists");
+        prop_assert_eq!(negated.try_decode().expect("decodes"), a.not());
+        prop_assert_eq!(
+            negated.bytes(),
+            CompressedBitmap::encode(CodecKind::Roaring, &a.not()).bytes(),
+            "canonical not"
+        );
+    }
+}
+
+/// The exact array↔bitmap threshold: cardinalities 4095..=4098 in one
+/// chunk, an empty middle chunk, and a partial final chunk, through the
+/// full op matrix with canonical outputs.
+#[test]
+fn roaring_op_matrix_at_container_threshold() {
+    const CHUNK: usize = 1 << 16;
+    let len = 3 * CHUNK + 12_345;
+    for card in [4095usize, 4096, 4097, 4098] {
+        let mut pos_a: Vec<usize> = (0..card).map(|i| i * 15).collect();
+        pos_a.push(3 * CHUNK + 12_344); // last bit of the partial chunk
+        let mut pos_b: Vec<usize> = (0..card).map(|i| i * 13 + 2).collect();
+        pos_b.extend((0..200).map(|i| 2 * CHUNK + i * 64)); // chunk 2 set only in b
+        let a = Bitvec::from_positions(len, &pos_a);
+        let b = Bitvec::from_positions(len, &pos_b);
+        let ca = CompressedBitmap::encode(CodecKind::Roaring, &a);
+        let cb = CompressedBitmap::encode(CodecKind::Roaring, &b);
+        for op in [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot] {
+            let expect = match op {
+                BitOp::And => a.and(&b),
+                BitOp::Or => a.or(&b),
+                BitOp::Xor => a.xor(&b),
+                BitOp::AndNot => a.and_not(&b),
+            };
+            let combined = ca.binary_op(&cb, op).expect("roaring kernel exists");
+            assert_eq!(
+                combined.try_decode().expect("decodes"),
+                expect,
+                "card={card} {op:?}"
+            );
+            assert_eq!(
+                combined.bytes(),
+                CompressedBitmap::encode(CodecKind::Roaring, &expect).bytes(),
+                "canonical card={card} {op:?}"
+            );
+        }
+        let negated = ca.not_op().expect("roaring kernel exists");
+        assert_eq!(
+            negated.try_decode().expect("decodes"),
+            a.not(),
+            "card={card}"
+        );
+        assert_eq!(
+            negated.bytes(),
+            CompressedBitmap::encode(CodecKind::Roaring, &a.not()).bytes(),
+            "canonical not card={card}"
+        );
     }
 }
 

@@ -56,10 +56,11 @@ pub enum EvalStrategy {
 /// near-incompressible streams favour a single decode plus word loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EvalDomain {
-    /// Per-bitmap choice from the stored stream's size: a leaf stays
-    /// compressed when its stream is at most half its raw size (and its
-    /// codec supports compressed ops); an intermediate result is
-    /// decompressed as soon as it stops compressing. This is the default.
+    /// Per-node choice priced by the [`DomainCostModel`]: a leaf stays
+    /// compressed when its codec's kernel is predicted cheaper over the
+    /// stored stream than a decode plus word-wise work over the raw
+    /// image; an intermediate result is decoded as soon as that stops
+    /// holding. This is the default.
     #[default]
     Auto,
     /// Keep every supported codec's stream compressed through the whole
@@ -91,16 +92,326 @@ impl EvalDomain {
     }
 }
 
+/// Per-codec slopes of the [`DomainCostModel`], nanoseconds per byte.
+///
+/// Both slopes are measured on near-incompressible (literal-heavy)
+/// inputs — the regime where the packed-vs-raw decision is close. Fill-
+/// heavy streams have tiny stored sizes, so the linear rule prefers the
+/// packed domain for them automatically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainCosts {
+    /// Decoding cost for dense (literal-heavy) streams: nanoseconds per
+    /// byte of the *decoded* image.
+    pub decode_ns_per_raw_byte: f64,
+    /// Decoding cost for sparse (run-heavy) streams, same denomination.
+    /// Decode speed is strongly density-dependent and the codecs
+    /// disagree on the sign: WAH and Roaring decode sparse streams
+    /// several times *faster* than dense ones (fills memset, arrays set
+    /// scattered bits), while BBC and EWAH decode them *slower* (per-run
+    /// header overhead dominates when every run is short).
+    pub decode_sparse_ns_per_raw_byte: f64,
+    /// Compressed-kernel cost: nanoseconds per *stored* byte folded.
+    pub kernel_ns_per_stored_byte: f64,
+}
+
+impl DomainCosts {
+    /// The decode slope for a stream of `stored` bytes decoding to `raw`
+    /// bytes, picked by the stream's own compression ratio: below 50%
+    /// the stream is run-dominated and the sparse slope applies.
+    pub fn decode_slope(&self, stored: usize, raw: usize) -> f64 {
+        if stored * 2 < raw {
+            self.decode_sparse_ns_per_raw_byte
+        } else {
+            self.decode_ns_per_raw_byte
+        }
+    }
+}
+
+/// Expected number of future fold ops a decoded value serves.
+///
+/// The packed-vs-raw choice is made greedily per DAG node, but a decode
+/// is a one-time cost while every op after it runs at
+/// `word_ns_per_byte`. [`DomainCostModel::prefer_packed`] therefore
+/// amortizes the decode over this many ops — a typical §6 expression
+/// fold is several levels deep, so charging the full decode against one
+/// op systematically overprices demotion.
+pub const DECODE_REUSE: f64 = 3.0;
+
+/// A measured cost model deciding, per DAG node, whether a value is
+/// cheaper to keep as a compressed stream or as a decoded bitmap.
+///
+/// The rule compares the marginal cost of the next operation on the value
+/// in each domain. Folding a packed value costs about
+/// `kernel_ns_per_stored_byte × stored` per op; going raw costs a decode
+/// (the density-matched [`DomainCosts::decode_slope`] × raw, amortized
+/// over [`DECODE_REUSE`] future ops), plus `word_ns_per_byte × raw` for
+/// the word-wise op, plus — the term that makes the choice honest — a
+/// full decode of the packed operand the next op would otherwise have
+/// kernel-folded: once a value is raw, [`NodeVal::combine`] must decode
+/// every compressed operand it meets. The value stays packed when
+///
+/// ```text
+/// kernel_ns × stored  ≤  (decode_ns / DECODE_REUSE + word_ns) × raw
+///                         + operand_decode_ns × operand_raw
+/// ```
+///
+/// The same inequality governs leaf admission (`reads_compressed`,
+/// operand priced self-like) and intermediate-result demotion
+/// (`NodeVal::combine`/`not`, operand priced from the op actually
+/// performed), replacing the two ad-hoc size-ratio thresholds that
+/// previously disagreed with each other — and that demoted every dense
+/// stream even when its kernel was cheaper than a decode. The operand
+/// term is what lets EWAH hold a dense accumulator packed through a long
+/// OR over compressed leaves (its kernel is cheaper per byte than its
+/// own decode) while WAH and Roaring, whose sparse decodes are nearly
+/// free, correctly let the same accumulator demote.
+///
+/// [`DomainCostModel::DEFAULT`] holds constants measured with
+/// [`DomainCostModel::calibrate`] on the development container;
+/// `calibrate()` re-measures on the current machine in a few
+/// milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainCostModel {
+    /// BBC slopes.
+    pub bbc: DomainCosts,
+    /// WAH slopes.
+    pub wah: DomainCosts,
+    /// EWAH slopes.
+    pub ewah: DomainCosts,
+    /// Roaring slopes.
+    pub roaring: DomainCosts,
+    /// Word-wise fold cost: nanoseconds per byte of a decoded bitmap.
+    pub word_ns_per_byte: f64,
+}
+
+impl Default for DomainCostModel {
+    fn default() -> Self {
+        DomainCostModel::DEFAULT
+    }
+}
+
+impl DomainCostModel {
+    /// Constants measured by [`DomainCostModel::calibrate`] on the
+    /// reference container (single-core x86-64, release build).
+    pub const DEFAULT: DomainCostModel = DomainCostModel {
+        bbc: DomainCosts {
+            decode_ns_per_raw_byte: 1.31,
+            decode_sparse_ns_per_raw_byte: 3.05,
+            kernel_ns_per_stored_byte: 34.5,
+        },
+        wah: DomainCosts {
+            decode_ns_per_raw_byte: 1.39,
+            decode_sparse_ns_per_raw_byte: 1.79,
+            kernel_ns_per_stored_byte: 4.75,
+        },
+        ewah: DomainCosts {
+            decode_ns_per_raw_byte: 1.21,
+            decode_sparse_ns_per_raw_byte: 1.28,
+            kernel_ns_per_stored_byte: 0.80,
+        },
+        roaring: DomainCosts {
+            decode_ns_per_raw_byte: 3.36,
+            decode_sparse_ns_per_raw_byte: 0.31,
+            kernel_ns_per_stored_byte: 7.42,
+        },
+        word_ns_per_byte: 0.030,
+    };
+
+    /// The slopes for `codec`, or `None` when the codec has no
+    /// compressed-domain kernels (only [`CodecKind::Raw`] today).
+    pub fn costs(&self, codec: CodecKind) -> Option<DomainCosts> {
+        match codec {
+            CodecKind::Bbc => Some(self.bbc),
+            CodecKind::Wah => Some(self.wah),
+            CodecKind::Ewah => Some(self.ewah),
+            CodecKind::Roaring => Some(self.roaring),
+            CodecKind::Raw => None,
+        }
+    }
+
+    /// Predicted nanoseconds for one compressed-domain op over a value of
+    /// `codec` with `stored` stream bytes. Infinite when the codec has no
+    /// kernels, so [`DomainCostModel::prefer_packed`] never picks it.
+    pub fn packed_op_ns(&self, codec: CodecKind, stored: usize) -> f64 {
+        self.costs(codec).map_or(f64::INFINITY, |c| {
+            c.kernel_ns_per_stored_byte * stored as f64
+        })
+    }
+
+    /// Predicted nanoseconds to decode a value of `codec` with `stored`
+    /// stream bytes and `raw` decoded-image bytes, then fold one
+    /// word-wise op over it.
+    pub fn raw_op_ns(&self, codec: CodecKind, stored: usize, raw: usize) -> f64 {
+        let decode = self
+            .costs(codec)
+            .map_or(0.0, |c| c.decode_slope(stored, raw));
+        (decode + self.word_ns_per_byte) * raw as f64
+    }
+
+    /// Whether a value of `codec` with `stored` stream bytes and `raw`
+    /// decoded bytes is cheaper kept packed — the *admission* rule for
+    /// [`EvalDomain::Auto`], applied when a leaf is fetched.
+    ///
+    /// Unlike [`DomainCostModel::raw_op_ns`] (the true one-op price used
+    /// for prediction), the value's own decode is divided by
+    /// [`DECODE_REUSE`]: demoting once makes every later op on the value
+    /// word-cheap, and charging the whole decode against a single op
+    /// would pin dense streams packed through folds deep enough to repay
+    /// the decode many times over. The demote side also carries a full
+    /// *sibling* decode: a raw value forces every packed operand it later
+    /// combines with through [`NodeVal::into_raw`], a per-op cost a
+    /// packed kernel would have avoided entirely. At admission time the
+    /// sibling is unknown, so it is priced self-like (same codec, same
+    /// density regime) — the other leaves of the same query.
+    pub fn prefer_packed(&self, codec: CodecKind, stored: usize, raw: usize) -> bool {
+        self.keep_packed(codec, stored, raw, Some((stored, raw)))
+    }
+
+    /// The *demotion* rule for [`EvalDomain::Auto`], applied to the
+    /// result of every compressed-domain op ([`NodeVal::combine`] /
+    /// [`NodeVal::not`]). Same inequality as
+    /// [`DomainCostModel::prefer_packed`], but the forced-decode term
+    /// prices the op's *actual* operand (`None` when the operand arrived
+    /// raw, so demotion forces no decode and gets cheaper).
+    pub fn keep_packed(
+        &self,
+        codec: CodecKind,
+        stored: usize,
+        raw: usize,
+        operand: Option<(usize, usize)>,
+    ) -> bool {
+        let Some(c) = self.costs(codec) else {
+            return false;
+        };
+        let packed = c.kernel_ns_per_stored_byte * stored as f64;
+        let mut demote =
+            (c.decode_slope(stored, raw) / DECODE_REUSE + self.word_ns_per_byte) * raw as f64;
+        if let Some((op_stored, op_raw)) = operand {
+            demote += c.decode_slope(op_stored, op_raw) * op_raw as f64;
+        }
+        packed <= demote
+    }
+
+    /// Measures the model's slopes on the current machine.
+    ///
+    /// Times each codec's decode and binary kernel, and the word-wise
+    /// fold, over a pseudo-random half-dense megabit bitmap (the literal-
+    /// heavy regime where the packed-vs-raw decision is close) and takes
+    /// the minimum of several repetitions. The kernel slope is also
+    /// measured on a sparse pair (XOR over scattered single bits — the
+    /// regime that exercises per-run and per-element merge paths rather
+    /// than bulk word loops) and the worse of the two slopes wins: a
+    /// model that underprices the slow path keeps values packed exactly
+    /// where the kernel loses. Decode is measured in both regimes and
+    /// kept as *separate* slopes ([`DomainCosts::decode_slope`] picks by
+    /// the stream's own ratio) because the codecs disagree on which
+    /// regime decodes faster. Costs a few milliseconds; callers that
+    /// care (the `eval_domain` bench) run it once and reuse the result
+    /// via [`crate::BitmapIndex::set_domain_cost_model`].
+    pub fn calibrate() -> DomainCostModel {
+        use bix_compress::{Bbc, BitmapCodec, Ewah, Roaring, Wah};
+        const BITS: usize = 1 << 20;
+        let raw_bytes = (BITS / 8) as f64;
+
+        // xorshift64*: deterministic, dependency-free irregular fill.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut a = Bitvec::zeros(BITS);
+        let mut b = Bitvec::zeros(BITS);
+        for w in 0..BITS / 64 {
+            a.set_bits(w * 64, 64, next());
+            b.set_bits(w * 64, 64, next());
+        }
+        // Scattered single bits, mean gap ~42: Roaring stays in array
+        // containers, WAH/EWAH alternate fills and lone literals.
+        let mut sparse = |salt: u64| {
+            let mut bv = Bitvec::zeros(BITS);
+            let mut pos = (salt % 13) as usize;
+            while pos < BITS {
+                bv.set(pos, true);
+                pos += (next() % 67) as usize + 9;
+            }
+            bv
+        };
+        let (sa, sb) = (sparse(1), sparse(2));
+
+        // Minimum over reps: the least noise-sensitive location statistic
+        // for a throughput slope (outliers are always slowdowns).
+        fn min_ns(mut f: impl FnMut()) -> f64 {
+            f(); // warm-up
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t = Instant::now();
+                f();
+                best = best.min(t.elapsed().as_nanos() as f64);
+            }
+            best
+        }
+
+        let word_ns_per_byte = {
+            let mut acc = a.clone();
+            min_ns(|| {
+                acc.and_assign(&b);
+                std::hint::black_box(&acc);
+            }) / raw_bytes
+        };
+
+        let measure = |codec: &dyn BitmapCodec| -> DomainCosts {
+            let ca = CompressedBitmap::from_parts(codec.kind(), BITS, codec.compress(&a));
+            let cb = CompressedBitmap::from_parts(codec.kind(), BITS, codec.compress(&b));
+            let decode_ns_per_raw_byte = min_ns(|| {
+                std::hint::black_box(ca.try_decode().expect("calibration stream"));
+            }) / raw_bytes;
+            let dense_slope = min_ns(|| {
+                std::hint::black_box(ca.binary_op(&cb, BitOp::And).expect("kernel"));
+            }) / ca.stored_size().max(cb.stored_size()).max(1) as f64;
+            let csa = CompressedBitmap::from_parts(codec.kind(), BITS, codec.compress(&sa));
+            let csb = CompressedBitmap::from_parts(codec.kind(), BITS, codec.compress(&sb));
+            let decode_sparse_ns_per_raw_byte = min_ns(|| {
+                std::hint::black_box(csa.try_decode().expect("calibration stream"));
+            }) / raw_bytes;
+            let sparse_slope = min_ns(|| {
+                std::hint::black_box(csa.binary_op(&csb, BitOp::Xor).expect("kernel"));
+            }) / csa.stored_size().max(csb.stored_size()).max(1) as f64;
+            DomainCosts {
+                decode_ns_per_raw_byte,
+                decode_sparse_ns_per_raw_byte,
+                kernel_ns_per_stored_byte: dense_slope.max(sparse_slope),
+            }
+        };
+
+        DomainCostModel {
+            bbc: measure(&Bbc),
+            wah: measure(&Wah),
+            ewah: measure(&Ewah),
+            roaring: measure(&Roaring),
+            word_ns_per_byte,
+        }
+    }
+}
+
 /// Decides whether a leaf bitmap is read as a compressed stream
 /// ([`BitmapStore::read_compressed`]) or decoded at read time.
-pub(crate) fn reads_compressed(domain: EvalDomain, handle: BitmapHandle, stored: usize) -> bool {
+pub(crate) fn reads_compressed(
+    domain: EvalDomain,
+    handle: BitmapHandle,
+    stored: usize,
+    model: &DomainCostModel,
+) -> bool {
     if !handle.codec().supports_compressed_ops() {
         return false;
     }
     match domain {
         EvalDomain::Raw => false,
         EvalDomain::Compressed => true,
-        EvalDomain::Auto => 2 * stored <= handle.len_bits().div_ceil(8),
+        EvalDomain::Auto => {
+            model.prefer_packed(handle.codec(), stored, handle.len_bits().div_ceil(8))
+        }
     }
 }
 
@@ -111,8 +422,38 @@ pub(crate) fn reads_compressed(domain: EvalDomain, handle: BitmapHandle, stored:
 pub(crate) enum NodeVal {
     /// A decoded bitmap; ops on it are word-wise.
     Raw(Bitvec),
-    /// A compressed stream; ops on it run in the compressed domain.
-    Packed(CompressedBitmap),
+    /// A compressed stream; ops on it run in the compressed domain. The
+    /// cell lazily caches the decoded image: hash-consed DAG nodes are
+    /// consumed by several parents, and without the cache every
+    /// mixed-domain consumer would decode (and count) the same stream
+    /// again — letting `auto` exceed the raw domain's decompression
+    /// count on queries with shared subexpressions. Clones share the
+    /// cell, so a value decodes at most once however often it is read.
+    Packed(CompressedBitmap, DecodedCell),
+}
+
+/// Shared lazy decode slot for [`NodeVal::Packed`]; `Arc` because the
+/// parallel executor's fold reads node values from several threads.
+pub(crate) type DecodedCell = std::sync::Arc<std::sync::OnceLock<Bitvec>>;
+
+/// Decodes through the cache, counting the decompression only when this
+/// call actually performed it (`get_or_init` runs the closure exactly
+/// once per cell, so the count stays deterministic under the parallel
+/// executor too).
+fn decode_cached<'a>(
+    c: &CompressedBitmap,
+    cell: &'a DecodedCell,
+    decompressions: &mut usize,
+) -> &'a Bitvec {
+    let mut fresh = false;
+    let bv = cell.get_or_init(|| {
+        fresh = true;
+        c.try_decode().expect("stream validated at read time")
+    });
+    if fresh {
+        *decompressions += 1;
+    }
+    bv
 }
 
 fn apply_assign(acc: &mut Bitvec, op: BitOp, rhs: &Bitvec) {
@@ -129,18 +470,22 @@ impl NodeVal {
     pub(crate) fn domain_name(&self) -> &'static str {
         match self {
             NodeVal::Raw(_) => "raw",
-            NodeVal::Packed(_) => "compressed",
+            NodeVal::Packed(..) => "compressed",
         }
     }
 
-    /// Decodes (counting the decompression) or clones out a raw bitmap.
+    /// Wraps a freshly produced compressed stream with an empty decode
+    /// cache.
+    pub(crate) fn packed(c: CompressedBitmap) -> NodeVal {
+        NodeVal::Packed(c, DecodedCell::default())
+    }
+
+    /// Decodes (through the shared cache, counting only a fresh
+    /// decompression) or clones out a raw bitmap.
     pub(crate) fn to_raw(&self, decompressions: &mut usize) -> Bitvec {
         match self {
             NodeVal::Raw(bv) => bv.clone(),
-            NodeVal::Packed(c) => {
-                *decompressions += 1;
-                c.try_decode().expect("stream validated at read time")
-            }
+            NodeVal::Packed(c, cell) => decode_cached(c, cell, decompressions).clone(),
         }
     }
 
@@ -148,18 +493,56 @@ impl NodeVal {
     pub(crate) fn into_raw(self, decompressions: &mut usize) -> Bitvec {
         match self {
             NodeVal::Raw(bv) => bv,
-            NodeVal::Packed(c) => {
-                *decompressions += 1;
-                c.try_decode().expect("stream validated at read time")
+            NodeVal::Packed(c, cell) => {
+                decode_cached(&c, &cell, decompressions);
+                match std::sync::Arc::try_unwrap(cell) {
+                    Ok(once) => once.into_inner().expect("cell just initialized"),
+                    Err(shared) => shared.get().expect("cell just initialized").clone(),
+                }
             }
         }
     }
 
-    /// Complements the value, staying compressed when possible.
-    pub(crate) fn not(&self, decompressions: &mut usize) -> NodeVal {
-        if let NodeVal::Packed(c) = self {
+    /// Demotes a packed result to raw when the cost model says the ops
+    /// above it are cheaper word-wise — the per-node adaptive choice
+    /// under [`EvalDomain::Auto`]. `operand` carries the stored/raw
+    /// sizes of the packed operand the producing op consumed (if any):
+    /// demoting a value that keeps meeting compressed operands forces a
+    /// decode per op, so the model charges for it.
+    fn settle(
+        c: CompressedBitmap,
+        domain: EvalDomain,
+        model: &DomainCostModel,
+        operand: Option<(usize, usize)>,
+        decompressions: &mut usize,
+    ) -> NodeVal {
+        if domain == EvalDomain::Auto
+            && !model.keep_packed(c.kind(), c.stored_size(), c.raw_size(), operand)
+        {
+            *decompressions += 1;
+            return NodeVal::Raw(c.try_decode().expect("stream validated at read time"));
+        }
+        NodeVal::packed(c)
+    }
+
+    /// Complements the value, staying compressed when possible. A
+    /// complement can change the stored size dramatically (a sparse
+    /// Roaring array becomes near-full bitmap containers), so the result
+    /// goes through the same [`DomainCostModel`] demotion check as
+    /// [`NodeVal::combine`].
+    pub(crate) fn not(
+        &self,
+        domain: EvalDomain,
+        model: &DomainCostModel,
+        decompressions: &mut usize,
+    ) -> NodeVal {
+        if let NodeVal::Packed(c, _) = self {
             if let Some(neg) = c.not_op() {
-                return NodeVal::Packed(neg);
+                // The complemented stream is the proxy for the operands
+                // the result will meet (same codec, same density regime):
+                // demoting here would force them through a decode apiece.
+                let operand = Some((c.stored_size(), c.raw_size()));
+                return NodeVal::settle(neg, domain, model, operand, decompressions);
             }
         }
         NodeVal::Raw(self.to_raw(decompressions).not())
@@ -167,36 +550,28 @@ impl NodeVal {
 
     /// Combines two values under `op`. Two compressed streams combine in
     /// the compressed domain; mixed or unsupported pairs decode and fold
-    /// word-wise. Under [`EvalDomain::Auto`] a compressed result that has
-    /// stopped compressing (stream larger than half the raw image) is
-    /// decoded eagerly so the ops above it run word-wise — the per-node
-    /// adaptive choice.
+    /// word-wise. Under [`EvalDomain::Auto`] a compressed result whose
+    /// future ops the [`DomainCostModel`] prices higher than a decode
+    /// plus word loops is decoded eagerly — the per-node adaptive choice.
     pub(crate) fn combine(
         self,
         other: &NodeVal,
         op: BitOp,
         domain: EvalDomain,
+        model: &DomainCostModel,
         decompressions: &mut usize,
     ) -> NodeVal {
-        if let (NodeVal::Packed(a), NodeVal::Packed(b)) = (&self, other) {
+        if let (NodeVal::Packed(a, _), NodeVal::Packed(b, _)) = (&self, other) {
             if let Some(c) = a.binary_op(b, op) {
-                if domain == EvalDomain::Auto && 2 * c.stored_size() > c.raw_size() {
-                    *decompressions += 1;
-                    return NodeVal::Raw(c.try_decode().expect("stream validated at read time"));
-                }
-                return NodeVal::Packed(c);
+                let operand = Some((b.stored_size(), b.raw_size()));
+                return NodeVal::settle(c, domain, model, operand, decompressions);
             }
         }
         let mut acc = self.into_raw(decompressions);
         match other {
             NodeVal::Raw(bv) => apply_assign(&mut acc, op, bv),
-            NodeVal::Packed(c) => {
-                *decompressions += 1;
-                apply_assign(
-                    &mut acc,
-                    op,
-                    &c.try_decode().expect("stream validated at read time"),
-                );
+            NodeVal::Packed(c, cell) => {
+                apply_assign(&mut acc, op, decode_cached(c, cell, decompressions));
             }
         }
         NodeVal::Raw(acc)
@@ -335,14 +710,17 @@ pub fn evaluate_traced(
         pool,
         strategy,
         EvalDomain::default(),
+        &DomainCostModel::DEFAULT,
         cost,
         tracer,
         parent,
     )
 }
 
-/// [`evaluate_traced`] with an explicit [`EvalDomain`]. The domain applies
-/// to the [`EvalStrategy::ComponentWise`] DAG fold; the query-wise and
+/// [`evaluate_traced`] with an explicit [`EvalDomain`] and the
+/// [`DomainCostModel`] that prices [`EvalDomain::Auto`]'s per-node
+/// packed-vs-raw choice. The domain applies to the
+/// [`EvalStrategy::ComponentWise`] DAG fold; the query-wise and
 /// streaming strategies always fold raw bitmaps (their per-constituent
 /// structure re-reads shared bitmaps, so stream-level ops buy nothing).
 #[allow(clippy::too_many_arguments)]
@@ -354,6 +732,7 @@ pub fn evaluate_domain_traced(
     pool: &mut BufferPool,
     strategy: EvalStrategy,
     domain: EvalDomain,
+    model: &DomainCostModel,
     cost: &CostModel,
     tracer: &Tracer,
     parent: Option<SpanId>,
@@ -400,11 +779,11 @@ pub fn evaluate_domain_traced(
                 } else {
                     None
                 };
-                let val = if reads_compressed(domain, handle, store.stored_size(handle)) {
+                let val = if reads_compressed(domain, handle, store.stored_size(handle), model) {
                     let c = store.read_compressed(handle, pool).unwrap_or_else(|e| {
                         panic!("corrupt bitmap on an unguarded read path: {e}")
                     });
-                    NodeVal::Packed(c)
+                    NodeVal::packed(c)
                 } else {
                     decompressions += usize::from(handle.codec() != CodecKind::Raw);
                     NodeVal::Raw(store.read(handle, pool))
@@ -428,6 +807,7 @@ pub fn evaluate_domain_traced(
                 rows,
                 cache,
                 domain,
+                model,
                 &mut decompressions,
                 &mut node_mix,
                 tracer,
@@ -504,11 +884,38 @@ pub fn evaluate_domain_traced(
 /// requires. Emits a per-node span recording which representation each
 /// node's value ended up in.
 #[allow(clippy::too_many_arguments)]
+/// Model-predicted nanoseconds for one pairwise combine — the number
+/// `bix explain` puts next to each node's measured time. Same-codec
+/// packed pairs are priced as one kernel pass over the larger stream;
+/// anything else decodes its packed operands and folds word-wise.
+fn predict_combine_ns(lhs: &NodeVal, rhs: &NodeVal, model: &DomainCostModel) -> f64 {
+    match (lhs, rhs) {
+        (NodeVal::Packed(a, _), NodeVal::Packed(b, _)) if a.kind() == b.kind() => {
+            model.packed_op_ns(a.kind(), a.stored_size().max(b.stored_size()))
+        }
+        _ => {
+            let decode = |v: &NodeVal| match v {
+                NodeVal::Packed(c, _) => model.costs(c.kind()).map_or(0.0, |s| {
+                    s.decode_slope(c.stored_size(), c.raw_size()) * c.raw_size() as f64
+                }),
+                NodeVal::Raw(_) => 0.0,
+            };
+            let raw_bytes = match lhs {
+                NodeVal::Raw(bv) => bv.byte_size(),
+                NodeVal::Packed(c, _) => c.raw_size(),
+            };
+            decode(lhs) + decode(rhs) + model.word_ns_per_byte * raw_bytes as f64
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn fold_cache(
     merged: &Expr,
     rows: usize,
     mut cache: BTreeMap<BitmapRef, NodeVal>,
     domain: EvalDomain,
+    model: &DomainCostModel,
     decompressions: &mut usize,
     node_mix: &mut (usize, usize),
     tracer: &Tracer,
@@ -520,14 +927,39 @@ fn fold_cache(
         values[c].clone().expect("child computed")
     };
     for (i, op) in dag.ops.iter().enumerate() {
+        // Open the node span before doing the work so its duration is
+        // the measured per-node cost `bix explain` compares against the
+        // model's prediction.
+        let node_span = if tracer.is_enabled() {
+            let kind = match op {
+                NodeOp::Const(_) => "const",
+                NodeOp::Leaf(_) => "leaf",
+                NodeOp::Not(_) => "not",
+                NodeOp::And(_) => "and",
+                NodeOp::Or(_) => "or",
+                NodeOp::Xor(..) => "xor",
+            };
+            Some(tracer.span(&format!("node {i} {kind}"), parent))
+        } else {
+            None
+        };
+        // Sum of model predictions for the work this node performs
+        // (tracing only; stays 0.0 on the untraced hot path).
+        let mut predicted_ns = 0.0f64;
         let value = match op {
             NodeOp::Const(true) => NodeVal::Raw(Bitvec::ones_vec(rows)),
             NodeOp::Const(false) => NodeVal::Raw(Bitvec::zeros(rows)),
             NodeOp::Leaf(r) => cache.remove(r).expect("leaf fetched"),
-            NodeOp::Not(c) => values[*c]
-                .as_ref()
-                .expect("child computed")
-                .not(decompressions),
+            NodeOp::Not(c) => {
+                let operand = values[*c].as_ref().expect("child computed");
+                if tracer.is_enabled() {
+                    predicted_ns = match operand {
+                        NodeVal::Packed(p, _) => model.packed_op_ns(p.kind(), p.stored_size()),
+                        NodeVal::Raw(bv) => model.word_ns_per_byte * bv.byte_size() as f64,
+                    };
+                }
+                operand.not(domain, model, decompressions)
+            }
             NodeOp::And(cs) | NodeOp::Or(cs) => {
                 let bit_op = if matches!(op, NodeOp::And(_)) {
                     BitOp::And
@@ -537,31 +969,31 @@ fn fold_cache(
                 let mut acc = child(&values, cs[0]);
                 for &c in &cs[1..] {
                     let rhs = values[c].as_ref().expect("child computed");
-                    acc = acc.combine(rhs, bit_op, domain, decompressions);
+                    if tracer.is_enabled() {
+                        predicted_ns += predict_combine_ns(&acc, rhs, model);
+                    }
+                    acc = acc.combine(rhs, bit_op, domain, model, decompressions);
                 }
                 acc
             }
             NodeOp::Xor(a, b) => {
+                let lhs = child(&values, *a);
                 let rhs = values[*b].as_ref().expect("child computed");
-                child(&values, *a).combine(rhs, BitOp::Xor, domain, decompressions)
+                if tracer.is_enabled() {
+                    predicted_ns = predict_combine_ns(&lhs, rhs, model);
+                }
+                lhs.combine(rhs, BitOp::Xor, domain, model, decompressions)
             }
         };
         match &value {
             NodeVal::Raw(_) => node_mix.0 += 1,
-            NodeVal::Packed(_) => node_mix.1 += 1,
+            NodeVal::Packed(..) => node_mix.1 += 1,
         }
-        if tracer.is_enabled() {
-            let kind = match op {
-                NodeOp::Const(_) => "const",
-                NodeOp::Leaf(_) => "leaf",
-                NodeOp::Not(_) => "not",
-                NodeOp::And(_) => "and",
-                NodeOp::Or(_) => "or",
-                NodeOp::Xor(..) => "xor",
-            };
-            let span = tracer.span(&format!("node {i} {kind}"), parent);
+        if let Some(span) = &node_span {
             span.attr("domain", value.domain_name());
+            span.attr("predicted_ns", predicted_ns.round() as u64);
         }
+        drop(node_span);
         values.push(Some(value));
     }
     values[dag.root]
@@ -777,6 +1209,39 @@ mod tests {
     use super::*;
     use bix_compress::CodecKind;
     use bix_storage::DiskConfig;
+
+    #[test]
+    fn eval_domain_cost_model_calibrates_to_finite_slopes() {
+        let m = DomainCostModel::calibrate();
+        eprintln!("calibrated: {m:#?}");
+        for c in [
+            CodecKind::Bbc,
+            CodecKind::Wah,
+            CodecKind::Ewah,
+            CodecKind::Roaring,
+        ] {
+            let s = m.costs(c).expect("kernel-capable codec has slopes");
+            assert!(
+                s.decode_ns_per_raw_byte > 0.0 && s.decode_ns_per_raw_byte.is_finite(),
+                "{c:?} decode slope"
+            );
+            assert!(
+                s.decode_sparse_ns_per_raw_byte > 0.0
+                    && s.decode_sparse_ns_per_raw_byte.is_finite(),
+                "{c:?} sparse decode slope"
+            );
+            assert!(
+                s.kernel_ns_per_stored_byte > 0.0 && s.kernel_ns_per_stored_byte.is_finite(),
+                "{c:?} kernel slope"
+            );
+        }
+        assert!(m.word_ns_per_byte > 0.0 && m.word_ns_per_byte.is_finite());
+        assert!(m.costs(CodecKind::Raw).is_none(), "raw never packs");
+        // An empty stream is always worth keeping packed; a huge stream
+        // over a tiny image never is.
+        assert!(m.prefer_packed(CodecKind::Ewah, 0, 1 << 20));
+        assert!(!m.prefer_packed(CodecKind::Ewah, 1 << 30, 8));
+    }
 
     /// A toy store with 4 bitmaps over 100 rows.
     fn setup() -> (BitmapStore, Vec<BitmapHandle>, Vec<Bitvec>) {

@@ -112,6 +112,13 @@ pub struct BitmapIndex {
     /// The existence bitmap is quarantined under
     /// [`crate::degrade::EXISTENCE_REF`].
     quarantined: BTreeSet<crate::BitmapRef>,
+    /// Prices [`crate::EvalDomain::Auto`]'s per-node packed-vs-raw
+    /// choice. One model per index so the sequential fold and the
+    /// parallel executor make identical decisions. Defaults to the
+    /// pre-measured [`crate::DomainCostModel::DEFAULT`]; swap in
+    /// [`crate::DomainCostModel::calibrate`] via
+    /// [`BitmapIndex::set_domain_cost_model`] for machine-true slopes.
+    domain_cost: crate::DomainCostModel,
 }
 
 impl BitmapIndex {
@@ -187,6 +194,7 @@ impl BitmapIndex {
             rows,
             uncompressed_bytes,
             quarantined: BTreeSet::new(),
+            domain_cost: crate::DomainCostModel::DEFAULT,
         }
     }
 
@@ -283,12 +291,26 @@ impl BitmapIndex {
             rows,
             uncompressed_bytes,
             quarantined: BTreeSet::new(),
+            domain_cost: crate::DomainCostModel::DEFAULT,
         }
     }
 
     /// The index configuration.
     pub fn config(&self) -> &IndexConfig {
         &self.config
+    }
+
+    /// The cost model pricing [`crate::EvalDomain::Auto`]'s per-node
+    /// packed-vs-raw choice, for this index's sequential folds and any
+    /// [`crate::ParallelExecutor`] batch over it.
+    pub fn domain_cost_model(&self) -> &crate::DomainCostModel {
+        &self.domain_cost
+    }
+
+    /// Replaces the domain cost model — typically with
+    /// [`crate::DomainCostModel::calibrate`]'s machine-measured slopes.
+    pub fn set_domain_cost_model(&mut self, model: crate::DomainCostModel) {
+        self.domain_cost = model;
     }
 
     /// Number of indexed records.
@@ -526,6 +548,7 @@ impl BitmapIndex {
             pool,
             strategy,
             domain,
+            &self.domain_cost,
             cost,
             tracer,
             parent,
@@ -641,6 +664,7 @@ impl BitmapIndex {
             rows,
             uncompressed_bytes,
             quarantined: BTreeSet::new(),
+            domain_cost: crate::DomainCostModel::DEFAULT,
         }
     }
 
@@ -888,6 +912,75 @@ mod tests {
                         raw.decompressions
                     );
                 }
+            }
+        }
+    }
+
+    /// Regression: the old size-ratio heuristics demanded 2× compression
+    /// for admission, so `Auto` decoded every leaf even on workloads
+    /// where the compressed domain clearly wins. With the measured
+    /// [`crate::DomainCostModel`] a compressible workload must engage
+    /// the compressed domain: strictly fewer decompressions than `Raw`,
+    /// same answer bits.
+    #[test]
+    fn eval_domain_auto_beats_raw_on_compressible_workloads() {
+        use crate::{EvalDomain, EvalStrategy, Query};
+        use bix_storage::CostModel;
+        use bix_telemetry::Tracer;
+
+        let queries = [
+            Query::range(3, 30),
+            Query::membership(vec![0, 7, 14, 21, 28, 35, 42, 49]),
+        ];
+        for codec in [
+            CodecKind::Bbc,
+            CodecKind::Wah,
+            CodecKind::Ewah,
+            CodecKind::Roaring,
+        ] {
+            // Clustered values: each equality bitmap is one short run, so
+            // every codec compresses it by an order of magnitude. Roaring
+            // gets a sparser column (0.05% density vs 0.5%) because its
+            // array containers spend two bytes per set bit regardless of
+            // clustering *and* its sparse decode is nearly free, so the
+            // packed domain only pays off at higher cardinality.
+            let (rows_per_value, cardinality) = if codec == CodecKind::Roaring {
+                (50u64, 2000u64)
+            } else {
+                (200u64, 200u64)
+            };
+            let column: Vec<u64> = (0..rows_per_value * cardinality)
+                .map(|i| i / rows_per_value)
+                .collect();
+            let config =
+                IndexConfig::one_component(cardinality, EncodingScheme::Equality).with_codec(codec);
+            let mut idx = BitmapIndex::build(&column, &config);
+            for q in &queries {
+                let mut run = |domain| {
+                    let mut pool = BufferPool::new(4096);
+                    idx.evaluate_detailed_with_domain(
+                        q,
+                        &mut pool,
+                        EvalStrategy::ComponentWise,
+                        domain,
+                        &CostModel::default(),
+                        &Tracer::disabled(),
+                        None,
+                    )
+                };
+                let raw = run(EvalDomain::Raw);
+                let auto = run(EvalDomain::Auto);
+                assert_eq!(raw.bitmap, auto.bitmap, "{codec} {q:?}");
+                assert!(
+                    auto.decompressions < raw.decompressions,
+                    "{codec} {q:?}: auto decoded {} streams, raw {}",
+                    auto.decompressions,
+                    raw.decompressions
+                );
+                assert!(
+                    auto.nodes_compressed > 0,
+                    "{codec} {q:?}: auto never folded in the compressed domain"
+                );
             }
         }
     }

@@ -59,7 +59,8 @@ pub use decompose::{best_bases, compose, decompose, BaseVector};
 pub use degrade::{Degraded, RepairReport, VerifyReport, EXISTENCE_REF};
 pub use encoding::{AlphaForm, EncodingScheme};
 pub use eval::{
-    evaluate, evaluate_domain_traced, evaluate_traced, EvalDomain, EvalResult, EvalStrategy,
+    evaluate, evaluate_domain_traced, evaluate_traced, DomainCostModel, DomainCosts, EvalDomain,
+    EvalResult, EvalStrategy,
 };
 pub use expr::{BitmapRef, Expr};
 pub use index::{BitmapIndex, CostPrediction, IndexConfig};

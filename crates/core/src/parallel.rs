@@ -601,14 +601,15 @@ fn worker_loop(
                 NodeOp::Leaf(r) => {
                     state.scans.fetch_add(1, Ordering::Relaxed);
                     let handle = lookup(*r);
-                    if reads_compressed(domain, handle, index.store().stored_size(handle)) {
+                    let stored = index.store().stored_size(handle);
+                    if reads_compressed(domain, handle, stored, index.domain_cost_model()) {
                         let c = index
                             .store()
                             .read_compressed_shared(handle, pool, ctx)
                             .unwrap_or_else(|e| {
                                 panic!("corrupt bitmap on an unguarded shared read path: {e}")
                             });
-                        NodeVal::Packed(c)
+                        NodeVal::packed(c)
                     } else {
                         dec += usize::from(handle.codec() != CodecKind::Raw);
                         NodeVal::Raw(index.store().read_shared(handle, pool, ctx))
@@ -628,7 +629,9 @@ fn worker_loop(
                     };
                     let mut acc = child(children[0]);
                     match op {
-                        NodeOp::Not(_) => acc = acc.not(&mut dec),
+                        NodeOp::Not(_) => {
+                            acc = acc.not(domain, index.domain_cost_model(), &mut dec);
+                        }
                         NodeOp::And(_) | NodeOp::Or(_) | NodeOp::Xor(..) => {
                             let bit_op = match op {
                                 NodeOp::And(_) => BitOp::And,
@@ -638,7 +641,13 @@ fn worker_loop(
                             for &c in &children[1..] {
                                 let guard = state.values[c].lock().expect("child value");
                                 let rhs = guard.as_ref().expect("child computed");
-                                acc = acc.combine(rhs, bit_op, domain, &mut dec);
+                                acc = acc.combine(
+                                    rhs,
+                                    bit_op,
+                                    domain,
+                                    index.domain_cost_model(),
+                                    &mut dec,
+                                );
                             }
                         }
                         NodeOp::Const(_) | NodeOp::Leaf(_) => unreachable!("handled above"),
@@ -652,7 +661,7 @@ fn worker_loop(
         }
         match &value {
             NodeVal::Raw(_) => &state.nodes_raw,
-            NodeVal::Packed(_) => &state.nodes_compressed,
+            NodeVal::Packed(..) => &state.nodes_compressed,
         }
         .fetch_add(1, Ordering::Relaxed);
 

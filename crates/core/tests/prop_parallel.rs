@@ -46,7 +46,13 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 EncodingScheme::EqualityInterval,
                 EncodingScheme::Range,
             ]),
-            prop::sample::select(vec![CodecKind::Raw, CodecKind::Bbc, CodecKind::Wah]),
+            prop::sample::select(vec![
+                CodecKind::Raw,
+                CodecKind::Bbc,
+                CodecKind::Wah,
+                CodecKind::Ewah,
+                CodecKind::Roaring,
+            ]),
             prop::collection::vec(arb_query(c), 1..12),
             1usize..=6,
             1usize..=4,
@@ -108,6 +114,19 @@ proptest! {
             prop_assert_eq!(
                 got.distinct_bitmaps, want.distinct_bitmaps,
                 "query {} distinct", i
+            );
+            // Auto's per-node domain choices are priced by the index's
+            // one DomainCostModel, so the sequential fold and the
+            // parallel workers must make identical decisions — the
+            // decode count and the raw/compressed node mix are exact.
+            prop_assert_eq!(
+                got.decompressions, want.decompressions,
+                "query {} decompressions", i
+            );
+            prop_assert_eq!(got.nodes_raw, want.nodes_raw, "query {} nodes_raw", i);
+            prop_assert_eq!(
+                got.nodes_compressed, want.nodes_compressed,
+                "query {} nodes_compressed", i
             );
         }
         let seq_total: usize = sequential.iter().map(|r| r.scans).sum();

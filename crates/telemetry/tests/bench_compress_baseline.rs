@@ -1,9 +1,12 @@
 //! The committed perf baseline `BENCH_compress.json` at the repo root
 //! must stay valid JSON with the fields future PRs diff against, and its
-//! counters must uphold the compressed-domain acceptance criterion:
-//! strictly fewer decompressions than raw evaluation on every codec. CI
-//! fails this test whenever a bench run (or a hand edit) corrupts the
-//! file or regresses the counter relationship.
+//! counters must uphold the compressed-domain acceptance criteria:
+//! strictly fewer decompressions than raw evaluation on every codec, a
+//! compressed-domain wall-clock win (speedup > 1) on at least one codec,
+//! auto engaging the compressed domain (fewer decodes than raw) on at
+//! least one codec, and auto never slower than the best fixed domain
+//! beyond measurement noise. CI fails this test whenever a bench run (or
+//! a hand edit) corrupts the file or regresses those relationships.
 
 use bix_telemetry::json::{self, Json};
 
@@ -40,21 +43,33 @@ fn bench_compress_baseline_is_valid_and_complete() {
         .iter()
         .filter_map(|c| c.get("codec").and_then(Json::as_str))
         .collect();
-    for expected in ["bbc", "wah", "ewah"] {
+    for expected in ["bbc", "wah", "ewah", "roaring"] {
         assert!(
             names.contains(&expected),
             "codecs missing {expected}: {names:?}"
         );
     }
+    let mut any_speedup = false;
+    let mut any_auto_win = false;
     for entry in codecs {
         let codec = entry.get("codec").and_then(Json::as_str).unwrap_or("?");
-        for field in ["raw_seconds", "compressed_seconds", "speedup"] {
+        entry
+            .get("encoding")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{codec} entry missing encoding"));
+        let num = |field: &str| {
             let v = entry
                 .get(field)
                 .and_then(Json::as_f64)
                 .unwrap_or_else(|| panic!("{codec} entry missing {field}"));
             assert!(v > 0.0, "{codec} {field} must be positive");
-        }
+            v
+        };
+        let raw_s = num("raw_seconds");
+        let packed_s = num("compressed_seconds");
+        let auto_s = num("auto_seconds");
+        let speedup = num("speedup");
+        any_speedup |= speedup > 1.0;
         let raw_dec = entry
             .get("raw_decompressions")
             .and_then(Json::as_f64)
@@ -63,12 +78,34 @@ fn bench_compress_baseline_is_valid_and_complete() {
             .get("compressed_decompressions")
             .and_then(Json::as_f64)
             .unwrap_or_else(|| panic!("{codec} entry missing compressed_decompressions"));
+        let auto_dec = entry
+            .get("auto_decompressions")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{codec} entry missing auto_decompressions"));
         assert!(
             packed_dec < raw_dec,
             "{codec}: compressed domain must decompress strictly less \
              ({packed_dec} vs {raw_dec})"
         );
+        any_auto_win |= auto_dec < raw_dec;
+        // Auto must track the better fixed domain; 30% headroom covers
+        // shared-runner timing noise on these millisecond-scale medians.
+        let best = raw_s.min(packed_s);
+        assert!(
+            auto_s <= best * 1.30,
+            "{codec}: auto ({auto_s}s) must not lose to the best fixed \
+             domain ({best}s) beyond noise"
+        );
     }
+    assert!(
+        any_speedup,
+        "at least one codec must show a compressed-domain speedup > 1.0"
+    );
+    assert!(
+        any_auto_win,
+        "auto must engage the compressed domain (fewer decompressions \
+         than raw) on at least one codec"
+    );
 
     let phases = doc
         .get("traced_phases")

@@ -10,8 +10,11 @@
 //! bix query   index.bix --batch queries.txt [--parallel N] [--pool-pages P]
 //!             [--eval-domain auto|compressed|raw]
 //!             [--trace] [--trace-out spans.jsonl] [--metrics-out file.json]
-//! bix explain index.bix <predicate>   # expression + per-constituent scans
-//!                                     # and predicted cost-model seconds
+//! bix explain index.bix <predicate> [--eval-domain auto|compressed|raw]
+//!                                     # expression, per-constituent scans,
+//!                                     # predicted cost-model seconds, and a
+//!                                     # traced fold: per-node chosen domain
+//!                                     # with predicted-vs-actual time
 //! bix stats   index.bix [--json]      # metrics snapshot: Prometheus text
 //!                                     # by default, JSON with --json
 //! bix info    index.bix
@@ -32,8 +35,8 @@
 //! a zero-based field. Query output is matching row numbers (zero-based),
 //! one per line, plus a summary on stderr. `--eval-domain` picks whether
 //! the evaluation DAG folds compressed streams directly (`compressed`),
-//! decodes every bitmap at read time (`raw`), or chooses per bitmap from
-//! stream size (`auto`, the default). `--trace` prints the span tree
+//! decodes every bitmap at read time (`raw`), or chooses per DAG node by
+//! a measured cost model (`auto`, the default). `--trace` prints the span tree
 //! on stderr; `--trace-out` writes one JSON object per span (JSONL);
 //! `--metrics-out` writes a JSON metrics snapshot (counters, gauges, and
 //! per-phase latency histograms).
@@ -422,9 +425,11 @@ fn cmd_query_batch(path: &str, batch_file: &str, args: &[String]) -> Result<(), 
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {
     let [path, predicate, ..] = args else {
-        return Err("usage: bix explain <index.bix> <predicate>".into());
+        return Err(
+            "usage: bix explain <index.bix> <predicate> [--eval-domain auto|compressed|raw]".into(),
+        );
     };
-    let index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
     let query = parse_predicate(predicate, index.config().cardinality)?;
     let expr = index.rewrite(&query);
     let cost = CostModel::default();
@@ -465,6 +470,49 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         total.seconds,
         index.estimate_rows(&query),
     );
+
+    // One traced evaluation: which domain each DAG node actually ran in,
+    // with the DomainCostModel's predicted nanoseconds next to the
+    // measured time, so model misfires are visible per node.
+    let domain = parse_eval_domain(args)?;
+    let tracer = Tracer::new();
+    let mut pool = BufferPool::new(4096);
+    let result = index.evaluate_detailed_with_domain(
+        &query,
+        &mut pool,
+        EvalStrategy::ComponentWise,
+        domain,
+        &cost,
+        &tracer,
+        None,
+    );
+    println!(
+        "-- {} fold: {} raw node(s), {} compressed node(s), {} decompression(s)",
+        domain.name(),
+        result.nodes_raw,
+        result.nodes_compressed,
+        result.decompressions,
+    );
+    for r in tracer.records() {
+        if r.phase() != "node" {
+            continue;
+        }
+        let attr = |k: &str| {
+            r.attrs
+                .iter()
+                .find(|(a, _)| a == k)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("-")
+                .to_owned()
+        };
+        let predicted_us = attr("predicted_ns").parse::<f64>().unwrap_or(0.0) / 1e3;
+        println!(
+            "  {}: domain={}  predicted {predicted_us:.1}us  actual {:.1}us",
+            r.name,
+            attr("domain"),
+            r.duration_ns() as f64 / 1e3,
+        );
+    }
     Ok(())
 }
 
