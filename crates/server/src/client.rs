@@ -1,21 +1,39 @@
 //! Blocking client for the `bix` wire protocol.
 //!
-//! One [`Client`] owns one TCP connection and issues one request at a
-//! time, matching each reply to its request id. Typed server failures
+//! One [`Client`] owns one connection and issues one request at a time,
+//! matching each reply to its request id. Typed server failures
 //! (overload, deadline, bad query, …) surface as
 //! [`ClientError::Server`] so callers can branch on [`ErrorCode`]
 //! without string matching.
+//!
+//! The transport is generic over `Read + Write` so the router and the
+//! chaos tests can splice a [`FaultyStream`](crate::FaultyStream) (or
+//! any in-memory pipe) under the exact production frame logic;
+//! [`Client::connect`] specialises it to `TcpStream`.
+//!
+//! Retries
+//! -------
+//! With a [`RetryPolicy`] installed, transient failures — connect
+//! errors, socket I/O, truncated or CRC-corrupt replies, and typed
+//! `Overloaded` rejections — are retried on a fresh connection with
+//! jittered exponential backoff, mirroring the disk layer's bounded
+//! read-retry loop. Non-transient failures (`BadQuery`,
+//! `DeadlineExceeded`, malformed-request rejections) are never
+//! retried: re-sending them cannot succeed and may double work.
+//! Every retry and redial is counted in [`ClientStats`].
 
 use std::fmt;
-use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use bix_core::EvalDomain;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, Frame, Message, Request, Response, RowsReply, StatsFormat,
-    WireError,
+    WireError, FLAG_ALLOW_DEGRADED,
 };
 
 /// Client-side failure modes.
@@ -69,38 +87,263 @@ impl ClientError {
     pub fn is_code(&self, code: ErrorCode) -> bool {
         matches!(self, ClientError::Server { code: c, .. } if *c == code)
     }
+
+    /// Whether a fresh attempt on a fresh connection could plausibly
+    /// succeed. Semantic rejections are permanent by definition.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            // A mangled or cut-short reply is line noise, not a server
+            // decision; the request itself may be perfectly fine.
+            ClientError::Wire(WireError::Truncated) | ClientError::Wire(WireError::CrcMismatch) => {
+                true
+            }
+            ClientError::Wire(_) => false,
+            ClientError::Server { code, .. } => matches!(code, ErrorCode::Overloaded),
+            ClientError::Unexpected(_) => false,
+        }
+    }
 }
 
-/// A blocking connection to a `bix` server.
-pub struct Client {
-    stream: TcpStream,
+/// Bounded retry-with-jittered-backoff for transient failures, the
+/// network twin of the disk layer's `READ_RETRY_LIMIT` loop.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_delay << (n-1)`, capped at
+    /// `max_delay`, plus uniform jitter of up to half that value.
+    pub base_delay: Duration,
+    /// Ceiling on a single backoff sleep (pre-jitter).
+    pub max_delay: Duration,
+    /// Seed for the jitter stream, so tests are reproducible.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Sensible interactive default: 3 retries, 2 ms–256 ms backoff.
+    pub fn standard(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(256),
+            seed,
+        }
+    }
+
+    /// The jittered sleep before retry `attempt` (1-based).
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let shift = attempt.saturating_sub(1).min(20);
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << shift)
+            .min(self.max_delay);
+        let jitter_budget = exp.as_micros() as u64 / 2;
+        let jitter = if jitter_budget > 0 {
+            Duration::from_micros(rng.next_u64() % (jitter_budget + 1))
+        } else {
+            Duration::ZERO
+        };
+        exp + jitter
+    }
+}
+
+/// Counters accumulated over a client's lifetime, mirroring the
+/// server-side metrics discipline on the caller's side of the wire.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientStats {
+    /// Requests issued (first attempts, not retries).
+    pub requests: u64,
+    /// Re-sent attempts after a transient failure.
+    pub retries: u64,
+    /// Fresh connections dialled after the first.
+    pub reconnects: u64,
+    /// Degraded (partial) replies accepted.
+    pub degraded_replies: u64,
+}
+
+/// A reply that may be partial: routed requests that opted in via
+/// [`Client::set_allow_degraded`] can come back missing shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// Every shard contributed; the value is exact.
+    Full(T),
+    /// The listed shards were unreachable; the value covers the rest.
+    Degraded {
+        /// Shards whose rows are absent from the value.
+        missing_shards: Vec<u16>,
+        /// The partial result.
+        value: T,
+    },
+}
+
+impl<T> Outcome<T> {
+    /// The value, whether or not it is partial.
+    pub fn into_value(self) -> T {
+        match self {
+            Outcome::Full(v) | Outcome::Degraded { value: v, .. } => v,
+        }
+    }
+
+    /// Shards missing from the value (empty when full).
+    pub fn missing_shards(&self) -> &[u16] {
+        match self {
+            Outcome::Full(_) => &[],
+            Outcome::Degraded { missing_shards, .. } => missing_shards,
+        }
+    }
+}
+
+/// How a generic client re-establishes its transport for a retry.
+type Dialer<S> = Box<dyn FnMut() -> io::Result<S> + Send>;
+
+/// A blocking connection to a `bix` server (or router), generic over
+/// the byte transport.
+pub struct Client<S: Read + Write + Send = TcpStream> {
+    stream: Option<S>,
+    dialer: Option<Dialer<S>>,
     next_id: u64,
+    retry: RetryPolicy,
+    rng: StdRng,
+    allow_degraded: bool,
+    stats: ClientStats,
+    last_epoch: u64,
+    last_shard: u16,
 }
 
-impl Client {
+impl Client<TcpStream> {
     /// Connects with default 10-second read/write timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         Client::connect_with_timeout(addr, Duration::from_secs(10))
     }
 
-    /// Connects with explicit socket read/write timeouts.
+    /// Connects with explicit socket read/write timeouts. The resolved
+    /// address is kept so transient failures can redial.
     pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        Ok(Client { stream, next_id: 1 })
+        let resolved: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let dial = move || -> io::Result<TcpStream> {
+            let mut last = io::Error::new(io::ErrorKind::InvalidInput, "no addresses resolved");
+            for a in &resolved {
+                match TcpStream::connect_timeout(a, timeout) {
+                    Ok(stream) => {
+                        stream.set_nodelay(true)?;
+                        stream.set_read_timeout(Some(timeout))?;
+                        stream.set_write_timeout(Some(timeout))?;
+                        return Ok(stream);
+                    }
+                    Err(e) => last = e,
+                }
+            }
+            Err(last)
+        };
+        let mut dialer: Dialer<TcpStream> = Box::new(dial);
+        let stream = dialer()?;
+        Ok(Client {
+            stream: Some(stream),
+            dialer: Some(dialer),
+            next_id: 1,
+            retry: RetryPolicy::none(),
+            rng: StdRng::seed_from_u64(0),
+            allow_degraded: false,
+            stats: ClientStats::default(),
+            last_epoch: 0,
+            last_shard: 0,
+        })
+    }
+}
+
+impl<S: Read + Write + Send> Client<S> {
+    /// Wraps an already-open transport (an in-memory pipe, a
+    /// [`FaultyStream`](crate::FaultyStream), …). Without a dialer the
+    /// client cannot redial, so transport failures end the retry loop.
+    pub fn from_stream(stream: S) -> Client<S> {
+        Client {
+            stream: Some(stream),
+            dialer: None,
+            next_id: 1,
+            retry: RetryPolicy::none(),
+            rng: StdRng::seed_from_u64(0),
+            allow_degraded: false,
+            stats: ClientStats::default(),
+            last_epoch: 0,
+            last_shard: 0,
+        }
     }
 
-    fn roundtrip(&mut self, request: Request) -> Result<Response, ClientError> {
+    /// Builds a client that dials lazily through `dialer` — the hook the
+    /// router uses to splice fault injection under its shard links.
+    pub fn from_dialer(dialer: Dialer<S>) -> Client<S> {
+        Client {
+            stream: None,
+            dialer: Some(dialer),
+            next_id: 1,
+            retry: RetryPolicy::none(),
+            rng: StdRng::seed_from_u64(0),
+            allow_degraded: false,
+            stats: ClientStats::default(),
+            last_epoch: 0,
+            last_shard: 0,
+        }
+    }
+
+    /// Installs a retry policy for transient failures (builder-style).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client<S> {
+        self.rng = StdRng::seed_from_u64(policy.seed);
+        self.retry = policy;
+        self
+    }
+
+    /// Opts future requests in (or out) of partial `Degraded` results.
+    /// Only meaningful against a router; plain shards ignore the flag.
+    pub fn set_allow_degraded(&mut self, allow: bool) {
+        self.allow_degraded = allow;
+    }
+
+    /// Lifetime counters: requests, retries, reconnects, degraded.
+    pub fn client_stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Epoch stamped on the most recent reply (0 before any reply).
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Shard id stamped on the most recent reply.
+    pub fn last_shard(&self) -> u16 {
+        self.last_shard
+    }
+
+    /// Sends one request and reads its reply on the current transport.
+    fn attempt(&mut self, request: &Request) -> Result<Response, ClientError> {
+        if self.stream.is_none() {
+            let dialer = self
+                .dialer
+                .as_mut()
+                .ok_or(ClientError::Unexpected("transport gone and no dialer"))?;
+            self.stream = Some(dialer()?);
+        }
+        let stream = self.stream.as_mut().expect("dialled above");
         let id = self.next_id;
         self.next_id += 1;
-        let frame = Frame {
-            request_id: id,
-            msg: Message::Request(request),
-        };
-        write_frame(&mut self.stream, &frame)?;
-        let (reply, _) = read_frame(&mut self.stream)?;
+        let mut frame = Frame::new(id, Message::Request(request.clone()));
+        if self.allow_degraded {
+            frame.flags |= FLAG_ALLOW_DEGRADED;
+        }
+        write_frame(stream, &frame)?;
+        let (reply, _) = read_frame(stream)?;
+        self.last_epoch = reply.epoch;
+        self.last_shard = reply.shard_id;
         match reply.msg {
             // Typed errors are honoured whatever their id: admission
             // rejections are written before the server ever reads a
@@ -114,6 +357,57 @@ impl Client {
         }
     }
 
+    /// One logical request: bounded transient retries around
+    /// [`Client::attempt`], redialling when the transport is suspect.
+    fn roundtrip(&mut self, request: Request) -> Result<Response, ClientError> {
+        self.stats.requests += 1;
+        let mut attempt_no: u32 = 0;
+        loop {
+            attempt_no += 1;
+            let err = match self.attempt(&request) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            let out_of_budget = attempt_no > self.retry.max_retries;
+            if out_of_budget || !err.is_transient() {
+                return Err(err);
+            }
+            // The connection is in an unknown state after any transient
+            // failure (mid-frame death, post-refusal close), so drop it;
+            // the next attempt redials. Without a dialer, surface now.
+            self.stream = None;
+            if self.dialer.is_none() {
+                return Err(err);
+            }
+            self.stats.retries += 1;
+            self.stats.reconnects += 1;
+            std::thread::sleep(self.retry.delay(attempt_no, &mut self.rng));
+        }
+    }
+
+    /// As [`Client::roundtrip`], but lets a `Degraded` reply through as
+    /// a partial batch instead of treating it as unexpected.
+    fn roundtrip_outcome(
+        &mut self,
+        request: Request,
+    ) -> Result<Outcome<Vec<RowsReply>>, ClientError> {
+        match self.roundtrip(request)? {
+            Response::Rows(rows) => Ok(Outcome::Full(vec![rows])),
+            Response::BatchRows(rows) => Ok(Outcome::Full(rows)),
+            Response::Degraded {
+                missing_shards,
+                replies,
+            } => {
+                self.stats.degraded_replies += 1;
+                Ok(Outcome::Degraded {
+                    missing_shards,
+                    value: replies,
+                })
+            }
+            _ => Err(ClientError::Unexpected("want Rows, BatchRows or Degraded")),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.roundtrip(Request::Ping)? {
@@ -122,7 +416,9 @@ impl Client {
         }
     }
 
-    /// Evaluates one predicate. `deadline_ms` of 0 uses the server default.
+    /// Evaluates one predicate. `deadline_ms` of 0 uses the server
+    /// default. A `Degraded` reply is *not* accepted here — use
+    /// [`Client::query_outcome`] to opt into partial results.
     pub fn query(
         &mut self,
         predicate: &str,
@@ -140,7 +436,37 @@ impl Client {
         }
     }
 
-    /// Evaluates a batch of predicates; replies come back in order.
+    /// Evaluates one predicate, surfacing partial results as
+    /// [`Outcome::Degraded`] when the request opted in.
+    pub fn query_outcome(
+        &mut self,
+        predicate: &str,
+        domain: EvalDomain,
+        deadline_ms: u32,
+    ) -> Result<Outcome<RowsReply>, ClientError> {
+        let req = Request::Query {
+            domain,
+            deadline_ms,
+            predicate: predicate.into(),
+        };
+        match self.roundtrip_outcome(req)? {
+            Outcome::Full(mut rows) if rows.len() == 1 => {
+                Ok(Outcome::Full(rows.pop().expect("len checked")))
+            }
+            Outcome::Degraded {
+                missing_shards,
+                mut value,
+            } if value.len() == 1 => Ok(Outcome::Degraded {
+                missing_shards,
+                value: value.pop().expect("len checked"),
+            }),
+            _ => Err(ClientError::Unexpected("want exactly one reply")),
+        }
+    }
+
+    /// Evaluates a batch of predicates; replies come back in order. A
+    /// `Degraded` reply is *not* accepted here — use
+    /// [`Client::batch_outcome`] to opt into partial results.
     pub fn batch(
         &mut self,
         predicates: &[String],
@@ -156,6 +482,22 @@ impl Client {
             Response::BatchRows(rows) => Ok(rows),
             _ => Err(ClientError::Unexpected("want BatchRows")),
         }
+    }
+
+    /// Evaluates a batch, surfacing partial results as
+    /// [`Outcome::Degraded`] when the request opted in.
+    pub fn batch_outcome(
+        &mut self,
+        predicates: &[String],
+        domain: EvalDomain,
+        deadline_ms: u32,
+    ) -> Result<Outcome<Vec<RowsReply>>, ClientError> {
+        let req = Request::Batch {
+            domain,
+            deadline_ms,
+            predicates: predicates.to_vec(),
+        };
+        self.roundtrip_outcome(req)
     }
 
     /// Fetches the server's metrics in the requested format.

@@ -8,8 +8,16 @@
 //! * [`server`] — an accept thread plus worker pool with bounded
 //!   admission, per-request deadlines, hot index reload, graceful
 //!   drain, and a live [`bix_core::MetricsRegistry`];
-//! * [`client`] — a blocking client library used by the `bix client`
-//!   CLI, the integration tests, and the serving benchmark.
+//! * [`client`] — a blocking client library (generic over the byte
+//!   transport, with bounded jittered retry) used by the `bix client`
+//!   CLI, the router, the integration tests, and the serving benchmark;
+//! * [`router`] — scatter-gather serving over row-range shards with
+//!   epoch fencing, per-shard deadline budgets, bounded retry, and
+//!   opt-in degraded partial results;
+//! * [`supervisor`] — circuit-breaker health tracking (`Up`/`Down`/
+//!   `HalfOpen`) that routes traffic around dead shards;
+//! * [`netfault`] — deterministic frame-level fault injection
+//!   ([`FaultyStream`]) for chaos-testing the network path.
 //!
 //! ```no_run
 //! use bix_server::{Client, Server, ServerConfig};
@@ -30,13 +38,19 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod netfault;
 pub mod protocol;
+pub mod router;
 pub mod server;
+pub mod supervisor;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ClientStats, Outcome, RetryPolicy};
+pub use netfault::{Direction, FaultyStream, NetFault, NetFaultPlan};
 pub use protocol::{
     decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, Message, Request,
-    Response, RowsReply, StatsFormat, WireError, HEADER_LEN, MAGIC, MAX_BATCH, MAX_PAYLOAD,
-    VERSION,
+    Response, RowsReply, StatsFormat, WireError, EXT_LEN, FLAG_ALLOW_DEGRADED, HEADER_LEN, MAGIC,
+    MAX_BATCH, MAX_PAYLOAD, MAX_SHARDS, VERSION, VERSION_EXT,
 };
-pub use server::{Server, ServerConfig};
+pub use router::{merge_replies, Router, RouterConfig, ShardReply};
+pub use server::{IndexHandler, RequestMeta, ServeHandler, Server, ServerConfig};
+pub use supervisor::{ShardState, Supervisor, SupervisorConfig};

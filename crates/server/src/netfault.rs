@@ -1,0 +1,475 @@
+//! Deterministic network fault injection: the wire-level twin of the
+//! disk layer's `FaultPlan`.
+//!
+//! [`FaultyStream`] wraps any `Read + Write` transport and perturbs
+//! traffic *at frame granularity*: it watches the byte stream for `bX`
+//! frame boundaries (both protocol versions) and applies scheduled
+//! faults — drop, delay, truncate, garble — to the Nth frame in either
+//! direction. Working on whole frames rather than raw byte offsets
+//! keeps plans meaningful as payloads change size: "garble the second
+//! reply" stays the second reply no matter how many rows it carries.
+//!
+//! Plans are data ([`NetFaultPlan`]), either built explicitly or
+//! derived from a seed ([`NetFaultPlan::from_seed`]) so chaos tests can
+//! sweep seeds and replay any failure exactly. The stream itself adds
+//! no randomness: the same plan over the same traffic yields the same
+//! bytes.
+//!
+//! Faults model real failure classes:
+//! - [`NetFault::Drop`] — the frame vanishes (lossy path, dead NAT
+//!   entry); the peer sees silence, exercising read timeouts.
+//! - [`NetFault::Delay`] — the frame arrives late, exercising deadline
+//!   budgets and retry races.
+//! - [`NetFault::Truncate`] — the connection dies mid-frame; the first
+//!   half is delivered, then the stream reports `BrokenPipe`/EOF,
+//!   exercising `Truncated` handling.
+//! - [`NetFault::Garble`] — one CRC-trailer bit is flipped, exercising
+//!   integrity checking (the receiver must see `CrcMismatch`, never bad
+//!   data and never a structural misparse).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::protocol::HEADER_LEN;
+
+/// One scheduled perturbation of a single frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Swallow the frame entirely; the stream stays healthy.
+    Drop,
+    /// Hold the frame for the given duration before forwarding it.
+    Delay(Duration),
+    /// Deliver only the first half of the frame, then kill the stream
+    /// in that direction (EOF on read, `BrokenPipe` on write).
+    Truncate,
+    /// Flip one bit of the CRC trailer so verification cannot pass.
+    Garble,
+}
+
+/// Which half of the conversation a fault applies to, from the
+/// perspective of the wrapped endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Frames this endpoint writes.
+    Send,
+    /// Frames this endpoint reads.
+    Recv,
+}
+
+/// A schedule of frame faults: `(direction, frame index, fault)`
+/// triples, where frame indices count from 0 per direction.
+#[derive(Debug, Clone, Default)]
+pub struct NetFaultPlan {
+    faults: Vec<(Direction, u64, NetFault)>,
+}
+
+impl NetFaultPlan {
+    /// An empty plan (the stream is transparent).
+    pub fn new() -> NetFaultPlan {
+        NetFaultPlan::default()
+    }
+
+    /// Schedules `fault` for the `frame`-th frame in `direction`
+    /// (builder-style). Later entries for the same frame are ignored —
+    /// one fault per frame.
+    pub fn fault(mut self, direction: Direction, frame: u64, fault: NetFault) -> NetFaultPlan {
+        self.faults.push((direction, frame, fault));
+        self
+    }
+
+    /// Derives a small pseudorandom plan from `seed`: one to three
+    /// faults spread over the first eight frames of either direction.
+    /// Sweeping seeds sweeps the fault space deterministically.
+    pub fn from_seed(seed: u64) -> NetFaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 1 + (rng.next_u64() % 3);
+        let mut plan = NetFaultPlan::new();
+        for _ in 0..n {
+            let direction = if rng.next_u64() % 2 == 0 {
+                Direction::Send
+            } else {
+                Direction::Recv
+            };
+            let frame = rng.next_u64() % 8;
+            let fault = match rng.next_u64() % 4 {
+                0 => NetFault::Drop,
+                1 => NetFault::Delay(Duration::from_millis(1 + rng.next_u64() % 40)),
+                2 => NetFault::Truncate,
+                _ => NetFault::Garble,
+            };
+            plan = plan.fault(direction, frame, fault);
+        }
+        plan
+    }
+
+    /// The first fault scheduled for this frame, if any.
+    fn lookup(&self, direction: Direction, frame: u64) -> Option<NetFault> {
+        self.faults
+            .iter()
+            .find(|(d, f, _)| *d == direction && *f == frame)
+            .map(|(_, _, fault)| *fault)
+    }
+}
+
+/// Per-direction frame reassembly state.
+struct Lane {
+    /// Bytes accumulated towards the current frame boundary.
+    buf: Vec<u8>,
+    /// Frames seen so far in this direction.
+    frames: u64,
+    /// A `Truncate` fault fired; the lane is dead.
+    broken: bool,
+}
+
+impl Lane {
+    fn new() -> Lane {
+        Lane {
+            buf: Vec::new(),
+            frames: 0,
+            broken: false,
+        }
+    }
+}
+
+/// Total on-wire length of the frame starting at `buf[0]`, once enough
+/// of its header has arrived to tell. `None` means "need more bytes".
+/// Returns an error sentinel of 0 if the bytes cannot be a `bX` frame —
+/// the stream then falls back to transparent pass-through, so the
+/// injector never deadlocks on traffic it does not understand.
+fn frame_len(buf: &[u8]) -> Option<usize> {
+    if buf.len() < 3 {
+        return None;
+    }
+    if buf[0..2] != crate::protocol::MAGIC {
+        return Some(0);
+    }
+    let version = buf[2];
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    let payload_len = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]) as usize;
+    match version {
+        crate::protocol::VERSION => Some(HEADER_LEN + payload_len + 4),
+        crate::protocol::VERSION_EXT => {
+            if buf.len() < HEADER_LEN + 1 {
+                return None;
+            }
+            let ext_len = buf[HEADER_LEN] as usize;
+            Some(HEADER_LEN + 1 + ext_len + payload_len + 4)
+        }
+        // Unknown version: treat header + payload + CRC as the span so
+        // the receiver still gets a parseable-but-rejectable frame.
+        _ => Some(HEADER_LEN + payload_len + 4),
+    }
+}
+
+/// Applies `fault` to a complete frame, returning the bytes to forward
+/// and whether the lane dies afterwards.
+fn perturb(frame: Vec<u8>, fault: Option<NetFault>) -> (Vec<u8>, bool) {
+    match fault {
+        None => (frame, false),
+        Some(NetFault::Drop) => (Vec::new(), false),
+        Some(NetFault::Delay(d)) => {
+            std::thread::sleep(d);
+            (frame, false)
+        }
+        Some(NetFault::Truncate) => {
+            let half = frame.len() / 2;
+            (frame[..half].to_vec(), true)
+        }
+        Some(NetFault::Garble) => {
+            let mut frame = frame;
+            // Flip a bit in the CRC trailer: the frame's structure
+            // (magic, version, extension length) stays intact in both
+            // wire revisions, so the CRC check — not a structural
+            // parse error — is what must catch the corruption.
+            let at = frame.len().saturating_sub(1);
+            frame[at] ^= 0x40;
+            (frame, false)
+        }
+    }
+}
+
+/// A `Read + Write` wrapper that injects [`NetFaultPlan`] faults at
+/// frame boundaries. Wrap the *client side* of a connection (the server
+/// talks to its socket directly) and drive it with the ordinary
+/// [`Client`](crate::Client) — the faults happen under real protocol
+/// traffic.
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: NetFaultPlan,
+    send: Lane,
+    recv: Lane,
+    /// Decoded-and-perturbed inbound bytes waiting for the caller.
+    pending: VecDeque<u8>,
+    /// `frame_len` gave up on this direction; pass bytes through.
+    transparent: bool,
+}
+
+impl<S: Read + Write> FaultyStream<S> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: S, plan: NetFaultPlan) -> FaultyStream<S> {
+        FaultyStream {
+            inner,
+            plan,
+            send: Lane::new(),
+            recv: Lane::new(),
+            pending: VecDeque::new(),
+            transparent: false,
+        }
+    }
+
+    /// Frames observed so far as `(sent, received)`.
+    pub fn frames_seen(&self) -> (u64, u64) {
+        (self.send.frames, self.recv.frames)
+    }
+
+    /// Drains every complete frame in the send lane through the plan.
+    fn flush_send_frames(&mut self) -> io::Result<()> {
+        loop {
+            let Some(len) = frame_len(&self.send.buf) else {
+                return Ok(()); // incomplete header, wait for more
+            };
+            if len == 0 {
+                // Not frame traffic; forward verbatim and stop parsing.
+                self.transparent = true;
+                let raw = std::mem::take(&mut self.send.buf);
+                self.inner.write_all(&raw)?;
+                return Ok(());
+            }
+            if self.send.buf.len() < len {
+                return Ok(());
+            }
+            let rest = self.send.buf.split_off(len);
+            let frame = std::mem::replace(&mut self.send.buf, rest);
+            let fault = self.plan.lookup(Direction::Send, self.send.frames);
+            self.send.frames += 1;
+            let (bytes, dies) = perturb(frame, fault);
+            if !bytes.is_empty() {
+                self.inner.write_all(&bytes)?;
+            }
+            if dies {
+                self.send.broken = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "netfault: connection truncated mid-frame",
+                ));
+            }
+        }
+    }
+
+    /// Reads from the inner stream until at least one complete frame is
+    /// perturbed into `pending` (or the lane dies / goes transparent).
+    fn fill_pending(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if !self.pending.is_empty() || self.recv.broken {
+                return Ok(());
+            }
+            // Try to peel complete frames off the reassembly buffer.
+            match frame_len(&self.recv.buf) {
+                Some(0) => {
+                    self.transparent = true;
+                    self.pending.extend(std::mem::take(&mut self.recv.buf));
+                    return Ok(());
+                }
+                Some(len) if self.recv.buf.len() >= len => {
+                    let rest = self.recv.buf.split_off(len);
+                    let frame = std::mem::replace(&mut self.recv.buf, rest);
+                    let fault = self.plan.lookup(Direction::Recv, self.recv.frames);
+                    self.recv.frames += 1;
+                    let (bytes, dies) = perturb(frame, fault);
+                    self.pending.extend(bytes);
+                    if dies {
+                        self.recv.broken = true;
+                    }
+                    continue; // may have produced bytes, loop re-checks
+                }
+                _ => {}
+            }
+            let n = self.inner.read(&mut chunk)?;
+            if n == 0 {
+                // EOF with a partial frame buffered: deliver what we
+                // have so the peer's decoder sees the truncation.
+                self.pending.extend(std::mem::take(&mut self.recv.buf));
+                return Ok(());
+            }
+            self.recv.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+impl<S: Read + Write> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.transparent && self.pending.is_empty() {
+            return self.inner.read(buf);
+        }
+        if self.pending.is_empty() {
+            if self.recv.broken {
+                return Ok(0); // truncated lane reads as EOF
+            }
+            self.fill_pending()?;
+        }
+        let n = buf.len().min(self.pending.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = self.pending.pop_front().expect("len checked");
+        }
+        if n == 0 && self.recv.broken {
+            return Ok(0);
+        }
+        Ok(n)
+    }
+}
+
+impl<S: Read + Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.send.broken {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "netfault: connection truncated mid-frame",
+            ));
+        }
+        if self.transparent {
+            return self.inner.write(buf);
+        }
+        self.send.buf.extend_from_slice(buf);
+        self.flush_send_frames()?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{decode_frame, encode_frame, Frame, Message, Request, WireError};
+
+    /// An in-memory loopback: writes land in `out`, reads drain `input`.
+    struct Loopback {
+        input: VecDeque<u8>,
+        out: Vec<u8>,
+    }
+
+    impl Read for Loopback {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.input.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = self.input.pop_front().unwrap();
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for Loopback {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.out.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn ping_frame(id: u64) -> Vec<u8> {
+        encode_frame(&Frame::new(id, Message::Request(Request::Ping)))
+    }
+
+    #[test]
+    fn clean_plan_is_transparent_both_ways() {
+        let mut wire = Vec::new();
+        for id in 0..3 {
+            wire.extend(ping_frame(id));
+        }
+        let inner = Loopback {
+            input: wire.clone().into(),
+            out: Vec::new(),
+        };
+        let mut s = FaultyStream::new(inner, NetFaultPlan::new());
+        s.write_all(&wire).unwrap();
+        let mut got = vec![0u8; wire.len()];
+        s.read_exact(&mut got).unwrap();
+        assert_eq!(got, wire);
+        assert_eq!(s.inner.out, wire);
+        assert_eq!(s.frames_seen(), (3, 3));
+    }
+
+    #[test]
+    fn drop_swallows_exactly_the_nth_send_frame() {
+        let inner = Loopback {
+            input: VecDeque::new(),
+            out: Vec::new(),
+        };
+        let plan = NetFaultPlan::new().fault(Direction::Send, 1, NetFault::Drop);
+        let mut s = FaultyStream::new(inner, plan);
+        for id in 0..3 {
+            s.write_all(&ping_frame(id)).unwrap();
+        }
+        let mut expect = ping_frame(0);
+        expect.extend(ping_frame(2));
+        assert_eq!(s.inner.out, expect);
+    }
+
+    #[test]
+    fn garbled_recv_frame_fails_crc_not_decode() {
+        let frame = ping_frame(7);
+        let inner = Loopback {
+            input: frame.clone().into(),
+            out: Vec::new(),
+        };
+        let plan = NetFaultPlan::new().fault(Direction::Recv, 0, NetFault::Garble);
+        let mut s = FaultyStream::new(inner, plan);
+        let mut got = vec![0u8; frame.len()];
+        s.read_exact(&mut got).unwrap();
+        assert_ne!(got, frame);
+        match decode_frame(&got) {
+            Err(WireError::CrcMismatch) => {}
+            other => panic!("garble must surface as CrcMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncate_delivers_half_then_eof() {
+        let frame = ping_frame(9);
+        let inner = Loopback {
+            input: frame.clone().into(),
+            out: Vec::new(),
+        };
+        let plan = NetFaultPlan::new().fault(Direction::Recv, 0, NetFault::Truncate);
+        let mut s = FaultyStream::new(inner, plan);
+        let mut got = Vec::new();
+        s.read_to_end(&mut got).unwrap();
+        assert_eq!(got.len(), frame.len() / 2);
+        assert_eq!(&got[..], &frame[..frame.len() / 2]);
+    }
+
+    #[test]
+    fn truncate_on_send_breaks_the_pipe() {
+        let inner = Loopback {
+            input: VecDeque::new(),
+            out: Vec::new(),
+        };
+        let plan = NetFaultPlan::new().fault(Direction::Send, 0, NetFault::Truncate);
+        let mut s = FaultyStream::new(inner, plan);
+        let err = s.write_all(&ping_frame(0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        let err = s.write_all(&ping_frame(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_nonempty() {
+        for seed in 0..64 {
+            let a = NetFaultPlan::from_seed(seed);
+            let b = NetFaultPlan::from_seed(seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+            assert!(!a.faults.is_empty(), "seed {seed} produced an empty plan");
+        }
+    }
+}

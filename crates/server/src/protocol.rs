@@ -5,13 +5,37 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  b"bX"
-//! 2       1     protocol version (1)
+//! 2       1     protocol version (1 or 2)
 //! 3       1     frame kind
 //! 4       8     request id (little endian)
 //! 12      4     payload length in bytes (little endian)
 //! 16      n     payload
 //! 16+n    4     CRC-32 (IEEE) over the payload, little endian
 //! ```
+//!
+//! Version 2 frames carry a fixed-size routing extension between the
+//! base header and the payload:
+//!
+//! ```text
+//! offset  size  field
+//! 16      1     extension length (must be 11)
+//! 17      1     flags (bit 0: ALLOW_DEGRADED)
+//! 18      2     shard id (little endian)
+//! 20      8     shard epoch (little endian)
+//! 28      n     payload
+//! 28+n    4     CRC-32 over extension bytes + payload
+//! ```
+//!
+//! The extension exists for sharded serving: a shard stamps every reply
+//! with its id and its reload epoch so a router can detect replies
+//! computed against a stale index generation (a hot reload mid-stream)
+//! and retry them instead of merging them. Frames with all-zero routing
+//! fields encode as version 1, so single-node deployments and old peers
+//! see exactly the v1 byte stream; a v2 extension whose length is not
+//! the known 11 bytes is rejected with a typed error — trailing bytes
+//! are never silently skipped. For v2 frames the CRC covers the
+//! extension as well as the payload, so a bit-flipped epoch can never
+//! route a reply into the wrong merge.
 //!
 //! The codec in this module is pure — it maps between byte slices and
 //! typed [`Frame`] values without touching sockets — so every decode
@@ -31,15 +55,28 @@ use bix_storage::crc32;
 
 /// Two-byte frame preamble.
 pub const MAGIC: [u8; 2] = *b"bX";
-/// Wire protocol version carried in every frame header.
+/// Wire protocol version of frames without routing metadata.
 pub const VERSION: u8 = 1;
-/// Fixed byte length of the frame header (everything before the payload).
+/// Wire protocol version of frames carrying the routing extension
+/// (flags + shard id + epoch).
+pub const VERSION_EXT: u8 = 2;
+/// Fixed byte length of the base frame header (everything before the
+/// extension/payload).
 pub const HEADER_LEN: usize = 16;
+/// Byte length of the v2 routing extension body (flags + shard id +
+/// epoch), excluding its own length byte.
+pub const EXT_LEN: u8 = 11;
+/// Request flag: the client accepts a [`Response::Degraded`] partial
+/// result when some shards are unreachable. Without it a router answers
+/// all-or-typed-error.
+pub const FLAG_ALLOW_DEGRADED: u8 = 0x01;
 /// Upper bound on a frame payload; larger claims are rejected before
 /// any allocation happens.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
 /// Upper bound on the number of predicates a single batch may carry.
 pub const MAX_BATCH: u32 = 4096;
+/// Upper bound on shards named by a [`Response::Degraded`] frame.
+pub const MAX_SHARDS: u32 = 1024;
 
 /// Error codes carried by [`Response::Error`] frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +94,9 @@ pub enum ErrorCode {
     ShuttingDown = 5,
     /// An unexpected server-side failure (e.g. a failed reload).
     Internal = 6,
+    /// One or more shards behind a router were unreachable and the
+    /// request did not opt into degraded results.
+    Unavailable = 7,
 }
 
 impl ErrorCode {
@@ -68,6 +108,7 @@ impl ErrorCode {
             3 => ErrorCode::Overloaded,
             4 => ErrorCode::DeadlineExceeded,
             5 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Unavailable,
             _ => ErrorCode::Internal,
         }
     }
@@ -82,6 +123,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline exceeded",
             ErrorCode::ShuttingDown => "shutting down",
             ErrorCode::Internal => "internal error",
+            ErrorCode::Unavailable => "shard unavailable",
         };
         f.write_str(s)
     }
@@ -157,6 +199,18 @@ pub enum Response {
     },
     /// Untyped success acknowledgement (reload, shutdown).
     Ok,
+    /// Partial result from a router: the shards in `missing_shards`
+    /// were unreachable, every other shard's rows are merged in
+    /// `replies` (one entry per predicate, in request order). Only sent
+    /// when the request carried [`FLAG_ALLOW_DEGRADED`] — a degraded
+    /// answer is always explicitly typed, never a silently short
+    /// [`Response::Rows`].
+    Degraded {
+        /// Shard ids whose rows are absent from the merge.
+        missing_shards: Vec<u16>,
+        /// Per-predicate merged replies from the shards that answered.
+        replies: Vec<RowsReply>,
+    },
     /// Typed failure.
     Error {
         /// Machine-readable failure class.
@@ -175,13 +229,40 @@ pub enum Message {
     Response(Response),
 }
 
-/// One decoded wire frame: a request id plus its message body.
+/// One decoded wire frame: a request id plus its message body, with the
+/// v2 routing extension (zero for v1 frames).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Client-chosen id echoed back on the matching response.
     pub request_id: u64,
+    /// Request flags ([`FLAG_ALLOW_DEGRADED`]); 0 on v1 frames.
+    pub flags: u8,
+    /// Originating shard id on replies; 0 on v1 frames and requests.
+    pub shard_id: u16,
+    /// The shard's index reload generation on replies; 0 on v1 frames.
+    /// A router refuses to merge a reply whose epoch does not match its
+    /// routing table and retries it instead.
+    pub epoch: u64,
     /// The frame body.
     pub msg: Message,
+}
+
+impl Frame {
+    /// A frame with no routing metadata (encodes as protocol v1).
+    pub fn new(request_id: u64, msg: Message) -> Frame {
+        Frame {
+            request_id,
+            flags: 0,
+            shard_id: 0,
+            epoch: 0,
+            msg,
+        }
+    }
+
+    /// Whether this frame needs the v2 routing extension on the wire.
+    fn extended(&self) -> bool {
+        self.flags != 0 || self.shard_id != 0 || self.epoch != 0
+    }
 }
 
 /// Everything that can go wrong while decoding a frame.
@@ -193,6 +274,9 @@ pub enum WireError {
     BadMagic,
     /// Unsupported protocol version.
     BadVersion(u8),
+    /// A v2 routing extension whose length is not the known layout.
+    /// Unknown trailing extension bytes are rejected, never skipped.
+    BadExtension(u8),
     /// Unrecognised frame-kind byte.
     UnknownKind(u8),
     /// Claimed payload length exceeds [`MAX_PAYLOAD`].
@@ -213,6 +297,12 @@ impl fmt::Display for WireError {
             WireError::Io(e) => write!(f, "io: {e}"),
             WireError::BadMagic => f.write_str("bad frame magic"),
             WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadExtension(n) => {
+                write!(
+                    f,
+                    "unknown routing-extension length {n} (expected {EXT_LEN})"
+                )
+            }
             WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
             WireError::Oversize(n) => write!(f, "payload of {n} bytes exceeds cap"),
             WireError::CrcMismatch => f.write_str("payload CRC mismatch"),
@@ -247,6 +337,7 @@ const KIND_ROWS: u8 = 0x82;
 const KIND_BATCH_ROWS: u8 = 0x83;
 const KIND_STATS_REPLY: u8 = 0x84;
 const KIND_OK: u8 = 0x85;
+const KIND_DEGRADED: u8 = 0x86;
 const KIND_ERROR: u8 = 0xff;
 
 fn domain_to_u8(d: EvalDomain) -> u8 {
@@ -378,6 +469,7 @@ impl Message {
             Message::Response(Response::BatchRows(_)) => KIND_BATCH_ROWS,
             Message::Response(Response::Stats { .. }) => KIND_STATS_REPLY,
             Message::Response(Response::Ok) => KIND_OK,
+            Message::Response(Response::Degraded { .. }) => KIND_DEGRADED,
             Message::Response(Response::Error { .. }) => KIND_ERROR,
         }
     }
@@ -428,6 +520,19 @@ impl Message {
             }
             Message::Response(Response::Stats { text }) => {
                 out.extend_from_slice(text.as_bytes());
+            }
+            Message::Response(Response::Degraded {
+                missing_shards,
+                replies,
+            }) => {
+                put_u32(out, missing_shards.len() as u32);
+                for &shard in missing_shards {
+                    out.extend_from_slice(&shard.to_le_bytes());
+                }
+                put_u32(out, replies.len() as u32);
+                for rows in replies {
+                    encode_rows(out, rows);
+                }
             }
             Message::Response(Response::Error { code, message }) => {
                 out.extend_from_slice(&(*code as u16).to_le_bytes());
@@ -496,6 +601,31 @@ impl Message {
             KIND_STATS_REPLY => Message::Response(Response::Stats {
                 text: r.rest_utf8()?,
             }),
+            KIND_DEGRADED => {
+                let n_missing = r.u32()?;
+                if n_missing > MAX_SHARDS {
+                    return Err(WireError::Malformed("missing-shard count exceeds cap"));
+                }
+                if n_missing as usize > r.remaining() / 2 {
+                    return Err(WireError::Malformed("missing-shard count exceeds payload"));
+                }
+                let mut missing_shards = Vec::with_capacity(n_missing as usize);
+                for _ in 0..n_missing {
+                    missing_shards.push(r.u16()?);
+                }
+                let count = r.u32()?;
+                if count > MAX_BATCH {
+                    return Err(WireError::Malformed("batch count exceeds cap"));
+                }
+                let mut replies = Vec::with_capacity(count.min(64) as usize);
+                for _ in 0..count {
+                    replies.push(decode_rows(&mut r)?);
+                }
+                Message::Response(Response::Degraded {
+                    missing_shards,
+                    replies,
+                })
+            }
             KIND_ERROR => {
                 let code = ErrorCode::from_u16(r.u16()?);
                 let message = r.rest_utf8()?;
@@ -508,7 +638,37 @@ impl Message {
     }
 }
 
-/// Encodes a frame into a fresh byte buffer (header + payload + CRC).
+/// Streaming CRC-32 over a sequence of slices (extension + payload on
+/// v2 frames) without concatenating them.
+fn crc32_over(parts: &[&[u8]]) -> u32 {
+    let mut h = bix_storage::Crc32::new();
+    for part in parts {
+        h.update(part);
+    }
+    h.finalize()
+}
+
+/// Serialises the v2 routing extension (length byte + body).
+fn encode_extension(frame: &Frame) -> [u8; 1 + EXT_LEN as usize] {
+    let mut ext = [0u8; 1 + EXT_LEN as usize];
+    ext[0] = EXT_LEN;
+    ext[1] = frame.flags;
+    ext[2..4].copy_from_slice(&frame.shard_id.to_le_bytes());
+    ext[4..12].copy_from_slice(&frame.epoch.to_le_bytes());
+    ext
+}
+
+/// Decodes the v2 extension body (after its length byte has been
+/// validated) into `frame`'s routing fields.
+fn apply_extension(frame: &mut Frame, body: &[u8]) {
+    debug_assert_eq!(body.len(), EXT_LEN as usize);
+    frame.flags = body[0];
+    frame.shard_id = u16::from_le_bytes(body[1..3].try_into().unwrap());
+    frame.epoch = u64::from_le_bytes(body[3..11].try_into().unwrap());
+}
+
+/// Encodes a frame into a fresh byte buffer (header [+ extension] +
+/// payload + CRC). Frames with zero routing metadata encode as v1.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut payload = Vec::new();
     frame.msg.encode_payload(&mut payload);
@@ -516,13 +676,20 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         payload.len() <= MAX_PAYLOAD as usize,
         "frame payload exceeds wire cap"
     );
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    let extended = frame.extended();
+    let ext = encode_extension(frame);
+    let mut out = Vec::with_capacity(HEADER_LEN + ext.len() + payload.len() + 4);
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(if extended { VERSION_EXT } else { VERSION });
     out.push(frame.msg.kind());
     put_u64(&mut out, frame.request_id);
     put_u32(&mut out, payload.len() as u32);
-    let crc = crc32(&payload);
+    let crc = if extended {
+        out.extend_from_slice(&ext);
+        crc32_over(&[&ext, &payload])
+    } else {
+        crc32(&payload)
+    };
     out.extend_from_slice(&payload);
     put_u32(&mut out, crc);
     out
@@ -538,8 +705,9 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
     if buf[0..2] != MAGIC {
         return Err(WireError::BadMagic);
     }
-    if buf[2] != VERSION {
-        return Err(WireError::BadVersion(buf[2]));
+    let version = buf[2];
+    if version != VERSION && version != VERSION_EXT {
+        return Err(WireError::BadVersion(version));
     }
     let kind = buf[3];
     let request_id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
@@ -547,17 +715,38 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
     if payload_len > MAX_PAYLOAD {
         return Err(WireError::Oversize(payload_len));
     }
-    let total = HEADER_LEN + payload_len as usize + 4;
+    // V2 frames interpose the routing extension between header and
+    // payload; its length byte is validated before any offset math.
+    let ext_bytes = if version == VERSION_EXT {
+        let &ext_len = buf.get(HEADER_LEN).ok_or(WireError::Truncated)?;
+        if ext_len != EXT_LEN {
+            return Err(WireError::BadExtension(ext_len));
+        }
+        1 + EXT_LEN as usize
+    } else {
+        0
+    };
+    let payload_at = HEADER_LEN + ext_bytes;
+    let total = payload_at + payload_len as usize + 4;
     if buf.len() < total {
         return Err(WireError::Truncated);
     }
-    let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len as usize];
+    let payload = &buf[payload_at..payload_at + payload_len as usize];
     let crc = u32::from_le_bytes(buf[total - 4..total].try_into().unwrap());
-    if crc != crc32(payload) {
+    let want = if version == VERSION_EXT {
+        crc32_over(&[&buf[HEADER_LEN..payload_at], payload])
+    } else {
+        crc32(payload)
+    };
+    if crc != want {
         return Err(WireError::CrcMismatch);
     }
     let msg = Message::decode_payload(kind, payload)?;
-    Ok((Frame { request_id, msg }, total))
+    let mut frame = Frame::new(request_id, msg);
+    if version == VERSION_EXT {
+        apply_extension(&mut frame, &buf[HEADER_LEN + 1..payload_at]);
+    }
+    Ok((frame, total))
 }
 
 /// Writes one frame to a transport, returning the bytes written.
@@ -579,8 +768,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     if header[0..2] != MAGIC {
         return Err(WireError::BadMagic);
     }
-    if header[2] != VERSION {
-        return Err(WireError::BadVersion(header[2]));
+    let version = header[2];
+    if version != VERSION && version != VERSION_EXT {
+        return Err(WireError::BadVersion(version));
     }
     let kind = header[3];
     let request_id = u64::from_le_bytes(header[4..12].try_into().unwrap());
@@ -588,16 +778,36 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     if payload_len > MAX_PAYLOAD {
         return Err(WireError::Oversize(payload_len));
     }
+    let mut ext = [0u8; 1 + EXT_LEN as usize];
+    let ext_bytes = if version == VERSION_EXT {
+        r.read_exact(&mut ext[..1])?;
+        if ext[0] != EXT_LEN {
+            return Err(WireError::BadExtension(ext[0]));
+        }
+        r.read_exact(&mut ext[1..])?;
+        ext.len()
+    } else {
+        0
+    };
     let mut payload = vec![0u8; payload_len as usize];
     r.read_exact(&mut payload)?;
     let mut trailer = [0u8; 4];
     r.read_exact(&mut trailer)?;
-    if u32::from_le_bytes(trailer) != crc32(&payload) {
+    let want = if version == VERSION_EXT {
+        crc32_over(&[&ext, &payload])
+    } else {
+        crc32(&payload)
+    };
+    if u32::from_le_bytes(trailer) != want {
         return Err(WireError::CrcMismatch);
     }
     let msg = Message::decode_payload(kind, &payload)?;
-    let total = HEADER_LEN + payload_len as usize + 4;
-    Ok((Frame { request_id, msg }, total))
+    let total = HEADER_LEN + ext_bytes + payload_len as usize + 4;
+    let mut frame = Frame::new(request_id, msg);
+    if version == VERSION_EXT {
+        apply_extension(&mut frame, &ext[1..]);
+    }
+    Ok((frame, total))
 }
 
 #[cfg(test)]
@@ -607,10 +817,16 @@ mod tests {
     fn sample_frames() -> Vec<Frame> {
         vec![
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 0,
                 msg: Message::Request(Request::Ping),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 7,
                 msg: Message::Request(Request::Query {
                     domain: EvalDomain::Compressed,
@@ -619,6 +835,9 @@ mod tests {
                 }),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 8,
                 msg: Message::Request(Request::Batch {
                     domain: EvalDomain::Auto,
@@ -627,24 +846,39 @@ mod tests {
                 }),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 9,
                 msg: Message::Request(Request::Stats(StatsFormat::Json)),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 10,
                 msg: Message::Request(Request::Reload {
                     path: "/tmp/x.bix".into(),
                 }),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 11,
                 msg: Message::Request(Request::Shutdown),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 12,
                 msg: Message::Response(Response::Pong),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 13,
                 msg: Message::Response(Response::Rows(RowsReply {
                     scans: 2,
@@ -653,6 +887,9 @@ mod tests {
                 })),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 14,
                 msg: Message::Response(Response::BatchRows(vec![
                     RowsReply {
@@ -668,16 +905,25 @@ mod tests {
                 ])),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 15,
                 msg: Message::Response(Response::Stats {
                     text: "# HELP x\n".into(),
                 }),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 16,
                 msg: Message::Response(Response::Ok),
             },
             Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 17,
                 msg: Message::Response(Response::Error {
                     code: ErrorCode::Overloaded,
@@ -714,6 +960,9 @@ mod tests {
     #[test]
     fn payload_bit_flips_fail_crc() {
         let frame = Frame {
+            flags: 0,
+            shard_id: 0,
+            epoch: 0,
             request_id: 42,
             msg: Message::Request(Request::Query {
                 domain: EvalDomain::Auto,
@@ -737,6 +986,9 @@ mod tests {
     #[test]
     fn oversize_claim_is_rejected_before_allocation() {
         let mut bytes = encode_frame(&Frame {
+            flags: 0,
+            shard_id: 0,
+            epoch: 0,
             request_id: 1,
             msg: Message::Request(Request::Ping),
         });
@@ -766,9 +1018,136 @@ mod tests {
         assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
     }
 
+    /// A frame with non-zero routing metadata, exercising the v2 path.
+    fn routed_frame() -> Frame {
+        Frame {
+            flags: FLAG_ALLOW_DEGRADED,
+            shard_id: 3,
+            epoch: 41,
+            ..Frame::new(
+                77,
+                Message::Response(Response::Rows(RowsReply {
+                    scans: 2,
+                    decompressions: 1,
+                    rows: vec![5, 9],
+                })),
+            )
+        }
+    }
+
+    #[test]
+    fn routing_metadata_round_trips_as_version_2() {
+        for (flags, shard_id, epoch) in [
+            (FLAG_ALLOW_DEGRADED, 0u16, 0u64),
+            (0, 7, 0),
+            (0, 0, 1),
+            (FLAG_ALLOW_DEGRADED, u16::MAX, u64::MAX),
+        ] {
+            let frame = Frame {
+                flags,
+                shard_id,
+                epoch,
+                ..Frame::new(9, Message::Request(Request::Ping))
+            };
+            let bytes = encode_frame(&frame);
+            assert_eq!(bytes[2], VERSION_EXT);
+            assert_eq!(bytes[HEADER_LEN], EXT_LEN);
+            let (got, used) = decode_frame(&bytes).expect("v2 round trip");
+            assert_eq!(used, bytes.len());
+            assert_eq!(got, frame);
+            let (got2, n) = read_frame(&mut &bytes[..]).expect("v2 stream decode");
+            assert_eq!(n, bytes.len());
+            assert_eq!(got2, frame);
+        }
+    }
+
+    #[test]
+    fn zero_routing_metadata_still_encodes_as_version_1() {
+        let bytes = encode_frame(&Frame::new(5, Message::Request(Request::Ping)));
+        assert_eq!(bytes[2], VERSION);
+        let (got, _) = decode_frame(&bytes).expect("v1 decode");
+        assert_eq!((got.flags, got.shard_id, got.epoch), (0, 0, 0));
+    }
+
+    #[test]
+    fn degraded_reply_round_trips() {
+        let frame = Frame::new(
+            4,
+            Message::Response(Response::Degraded {
+                missing_shards: vec![1, 3],
+                replies: vec![
+                    RowsReply {
+                        scans: 1,
+                        decompressions: 0,
+                        rows: vec![2, 4, 1000],
+                    },
+                    RowsReply {
+                        scans: 0,
+                        decompressions: 0,
+                        rows: vec![],
+                    },
+                ],
+            }),
+        );
+        let bytes = encode_frame(&frame);
+        let (got, _) = decode_frame(&bytes).expect("degraded round trip");
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn extension_bit_flips_fail_crc() {
+        let bytes = encode_frame(&routed_frame());
+        // Every byte of the extension body (flags, shard id, epoch) is
+        // CRC-covered; flipping any of them must be caught.
+        for pos in HEADER_LEN + 1..HEADER_LEN + 1 + EXT_LEN as usize {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << bit;
+                assert!(
+                    matches!(decode_frame(&corrupt), Err(WireError::CrcMismatch)),
+                    "ext flip at {pos}.{bit} must fail the CRC"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_extension_length_is_a_typed_error_not_a_skip() {
+        let good = encode_frame(&routed_frame());
+        for bad_len in [0u8, 1, EXT_LEN - 1, EXT_LEN + 1, 64, u8::MAX] {
+            let mut bytes = good.clone();
+            bytes[HEADER_LEN] = bad_len;
+            assert!(
+                matches!(
+                    decode_frame(&bytes),
+                    Err(WireError::BadExtension(n)) if n == bad_len
+                ),
+                "ext_len {bad_len} must be rejected"
+            );
+            assert!(
+                matches!(
+                    read_frame(&mut &bytes[..]),
+                    Err(WireError::BadExtension(n)) if n == bad_len
+                ),
+                "stream decode must reject ext_len {bad_len} too"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_truncations_are_typed_errors() {
+        let bytes = encode_frame(&routed_frame());
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
     #[test]
     fn wrong_magic_version_and_kind_are_typed() {
         let good = encode_frame(&Frame {
+            flags: 0,
+            shard_id: 0,
+            epoch: 0,
             request_id: 2,
             msg: Message::Request(Request::Ping),
         });

@@ -1,0 +1,863 @@
+//! Scatter-gather routing over row-range shards.
+//!
+//! A [`Router`] fronts N shard servers, each serving a contiguous slice
+//! of the global row space in shard order: shard 0 owns rows
+//! `[0, r0)`, shard 1 owns `[r0, r0+r1)`, and so on. Fanning a query
+//! out and merging is therefore cheap concatenation — each shard's
+//! local row ids are offset by the prefix sum of earlier shards' row
+//! counts ([`merge_replies`]) and appended; no sorting, no dedup.
+//!
+//! The router is itself a [`ServeHandler`], so it rides the same
+//! accept/admission/worker machinery as a shard: admission control,
+//! typed overload rejections, drain semantics, and metrics come for
+//! free, and a client cannot tell a router from a monolith (until it
+//! asks for `Stats`, which returns the aggregated fleet view).
+//!
+//! Failure handling, in order of application:
+//!
+//! 1. **Circuit breaker** — shards the [`Supervisor`] holds `Down` are
+//!    not dialled; they are "missing" instantly, costing none of the
+//!    request's deadline budget.
+//! 2. **Bounded per-shard retry** — transient failures (connect, I/O,
+//!    truncated/garbled replies, `Overloaded`) are retried on a fresh
+//!    connection with jittered exponential backoff, within what remains
+//!    of the request deadline.
+//! 3. **Epoch fencing** — every shard stamps replies with its reload
+//!    epoch. A reply whose epoch differs from the routing snapshot's
+//!    expectation is *stale*: it is never merged; the router refreshes
+//!    the shard's shape and re-runs the fan-out (bounded by
+//!    [`RouterConfig::epoch_retries`]).
+//! 4. **Typed partial results** — if shards are still missing after
+//!    retries: requests that set `FLAG_ALLOW_DEGRADED` get
+//!    [`Response::Degraded`] listing the missing shards; all others get
+//!    a typed `Unavailable` (or `DeadlineExceeded`) error. Silently
+//!    wrong answers are not an outcome.
+//!
+//! The shard transport is pluggable ([`Router::with_dialer`]) so chaos
+//! tests splice a [`FaultyStream`](crate::FaultyStream) under real
+//! router traffic.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bix_core::MetricsRegistry;
+use bix_telemetry::json::{self, Json};
+use bix_telemetry::{Counter, Gauge};
+
+use crate::client::{Client, ClientError, RetryPolicy};
+use crate::protocol::{ErrorCode, Request, Response, RowsReply, StatsFormat};
+use crate::server::{RequestMeta, ServeHandler};
+use crate::supervisor::{ShardState, Supervisor, SupervisorConfig};
+
+/// A byte transport a shard link can run over. Blanket-implemented;
+/// `TcpStream` in production, in-memory or fault-injecting streams in
+/// tests.
+pub trait Transport: Read + Write + Send {}
+impl<T: Read + Write + Send> Transport for T {}
+
+/// Dials shard `i` at `addr`, returning a fresh transport.
+pub type ShardDialer = Arc<dyn Fn(usize, &str) -> io::Result<Box<dyn Transport>> + Send + Sync>;
+
+/// Router tuning.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Deadline for requests that do not carry one, in ms (0 = none).
+    pub default_deadline_ms: u64,
+    /// Per-shard transient retry policy (budgeted inside the request
+    /// deadline).
+    pub retry: RetryPolicy,
+    /// Whole-fan-out retries when a shard reply is epoch-stale.
+    pub epoch_retries: u32,
+    /// Circuit-breaker thresholds.
+    pub supervisor: SupervisorConfig,
+    /// Health-ping cadence; `Duration::ZERO` disables the prober (tests
+    /// drive the supervisor directly).
+    pub health_interval: Duration,
+    /// Connect + socket read/write budget for one shard exchange.
+    pub io_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            default_deadline_ms: 0,
+            retry: RetryPolicy::standard(0x517e),
+            epoch_retries: 3,
+            supervisor: SupervisorConfig::default(),
+            health_interval: Duration::from_millis(200),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One shard's contribution to a batch, positioned in the global row
+/// space. The input type of [`merge_replies`].
+#[derive(Debug, Clone)]
+pub struct ShardReply {
+    /// Global row id of this shard's first local row (prefix sum of
+    /// earlier shards' row counts).
+    pub row_base: u64,
+    /// Per-predicate replies, local row ids.
+    pub replies: Vec<RowsReply>,
+}
+
+/// Merges per-shard batch replies into the monolith's answer: for each
+/// predicate, every shard's local row ids are offset by that shard's
+/// `row_base` and concatenated in the order given.
+///
+/// Callers must pass shards in ascending `row_base` order (shard
+/// order); local ids are sorted, so the concatenation is globally
+/// sorted without a merge sort. Scan and decompression counts sum.
+/// This is a pure function so its equivalence to monolith evaluation is
+/// property-testable without sockets.
+pub fn merge_replies(n_predicates: usize, shards: &[ShardReply]) -> Vec<RowsReply> {
+    let mut merged: Vec<RowsReply> = (0..n_predicates)
+        .map(|_| RowsReply {
+            scans: 0,
+            decompressions: 0,
+            rows: Vec::new(),
+        })
+        .collect();
+    for shard in shards {
+        for (q, reply) in shard.replies.iter().enumerate() {
+            let out = &mut merged[q];
+            out.scans += reply.scans;
+            out.decompressions += reply.decompressions;
+            out.rows
+                .extend(reply.rows.iter().map(|&r| r + shard.row_base));
+        }
+    }
+    merged
+}
+
+/// Per-shard metric handles, indexed like the shard list.
+struct ShardMetrics {
+    retries: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    failures: Arc<Counter>,
+    breaker: Arc<Gauge>,
+    epoch: Arc<Gauge>,
+    rows: Arc<Gauge>,
+}
+
+struct RouterMetrics {
+    fanouts: Arc<Counter>,
+    degraded: Arc<Counter>,
+    unavailable: Arc<Counter>,
+    stale_epoch_retries: Arc<Counter>,
+    shards: Vec<ShardMetrics>,
+}
+
+impl RouterMetrics {
+    fn new(registry: &MetricsRegistry, n_shards: usize) -> RouterMetrics {
+        let shards = (0..n_shards)
+            .map(|i| ShardMetrics {
+                retries: registry.counter(
+                    &format!("bix_route_shard_{i}_retries_total"),
+                    "Transient retries against this shard",
+                ),
+                timeouts: registry.counter(
+                    &format!("bix_route_shard_{i}_timeouts_total"),
+                    "Shard exchanges that timed out",
+                ),
+                failures: registry.counter(
+                    &format!("bix_route_shard_{i}_failures_total"),
+                    "Shard exchanges that failed after retries",
+                ),
+                breaker: registry.gauge(
+                    &format!("bix_route_shard_{i}_breaker_state"),
+                    "Circuit breaker: 0 up, 1 half-open, 2 down",
+                ),
+                epoch: registry.gauge(
+                    &format!("bix_route_shard_{i}_epoch"),
+                    "Last observed reload epoch",
+                ),
+                rows: registry.gauge(
+                    &format!("bix_route_shard_{i}_rows"),
+                    "Rows served by this shard",
+                ),
+            })
+            .collect();
+        RouterMetrics {
+            fanouts: registry.counter("bix_route_fanouts_total", "Requests fanned out to shards"),
+            degraded: registry.counter(
+                "bix_route_degraded_total",
+                "Requests answered with partial (degraded) results",
+            ),
+            unavailable: registry.counter(
+                "bix_route_unavailable_total",
+                "Requests failed because shards were unreachable",
+            ),
+            stale_epoch_retries: registry.counter(
+                "bix_route_stale_epoch_retries_total",
+                "Fan-outs re-run because a shard reply was epoch-stale",
+            ),
+            shards,
+        }
+    }
+}
+
+/// Why one shard produced no usable reply for a fan-out.
+#[derive(Debug)]
+enum ShardFailure {
+    /// Breaker open — never dialled.
+    Down,
+    /// Transport/typed failure after bounded retries.
+    Failed(ClientError),
+}
+
+/// Outcome of one shard leg of a fan-out.
+enum LegOutcome {
+    Ok { replies: Vec<RowsReply> },
+    Stale { epoch: u64 },
+    Missing(ShardFailure),
+}
+
+struct RouterInner {
+    addrs: Vec<String>,
+    config: RouterConfig,
+    supervisor: Supervisor,
+    registry: MetricsRegistry,
+    metrics: RouterMetrics,
+    dialer: ShardDialer,
+    stop: AtomicBool,
+    /// Composite routing generation: sum of last-seen shard epochs.
+    /// Changes whenever any shard hot-reloads, so clients of the router
+    /// see an epoch bump exactly like clients of a shard would.
+    epoch_sum: AtomicU64,
+}
+
+impl RouterInner {
+    fn shard_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Publishes breaker/shape gauges for one shard.
+    fn publish_shard_gauges(&self, i: usize) {
+        let m = &self.metrics.shards[i];
+        m.breaker.set(self.supervisor.state(i).as_gauge());
+        m.epoch.set(self.supervisor.epoch(i) as f64);
+        m.rows.set(self.supervisor.rows(i) as f64);
+    }
+
+    fn refresh_epoch_sum(&self) {
+        let sum = (0..self.shard_count())
+            .map(|i| self.supervisor.epoch(i))
+            .sum();
+        self.epoch_sum.store(sum, Ordering::Release);
+    }
+
+    fn dial(&self, shard: usize) -> io::Result<Box<dyn Transport>> {
+        (self.dialer)(shard, &self.addrs[shard])
+    }
+
+    /// One request/reply exchange with a shard on a fresh connection.
+    /// Returns the replies and the epoch stamped on the reply frame.
+    fn exchange(
+        &self,
+        shard: usize,
+        predicates: &[String],
+        domain: bix_core::EvalDomain,
+        deadline_ms: u32,
+    ) -> Result<(Vec<RowsReply>, u64), ClientError> {
+        let transport = self.dial(shard)?;
+        let mut client = Client::from_stream(transport);
+        let replies = client.batch(predicates, domain, deadline_ms)?;
+        Ok((replies, client.last_epoch()))
+    }
+
+    /// Fetches a shard's stats JSON and updates its remembered shape
+    /// (rows gauge + reply epoch). Used at startup, after a stale-epoch
+    /// detection, and by the health prober.
+    fn learn_shape(&self, shard: usize) -> Result<(), ClientError> {
+        let transport = self.dial(shard)?;
+        let mut client = Client::from_stream(transport);
+        let text = client.stats(StatsFormat::Json)?;
+        let epoch = client.last_epoch();
+        let rows = parse_rows_gauge(&text).ok_or(ClientError::Unexpected(
+            "shard stats missing bix_index_rows gauge",
+        ))?;
+        self.supervisor.set_shape(shard, epoch, rows);
+        self.publish_shard_gauges(shard);
+        self.refresh_epoch_sum();
+        Ok(())
+    }
+
+    /// Runs one shard leg: bounded transient retries inside the request
+    /// deadline, epoch check against `expected_epoch`.
+    fn run_leg(
+        &self,
+        shard: usize,
+        predicates: &[String],
+        domain: bix_core::EvalDomain,
+        deadline: Option<Instant>,
+        expected_epoch: u64,
+    ) -> LegOutcome {
+        let m = &self.metrics.shards[shard];
+        let policy = &self.config.retry;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(policy.seed ^ shard as u64);
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            // Carve this attempt's budget from what remains of the
+            // request deadline.
+            let budget_ms: u32 = match deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now()).as_millis();
+                    if left == 0 {
+                        m.timeouts.inc();
+                        m.failures.inc();
+                        return LegOutcome::Missing(ShardFailure::Failed(ClientError::Server {
+                            code: ErrorCode::DeadlineExceeded,
+                            message: format!("deadline spent before shard {shard} answered"),
+                        }));
+                    }
+                    left.min(u32::MAX as u128) as u32
+                }
+                None => 0,
+            };
+            match self.exchange(shard, predicates, domain, budget_ms) {
+                Ok((replies, epoch)) => {
+                    self.supervisor
+                        .record_success(shard, epoch, self.supervisor.rows(shard));
+                    if expected_epoch != 0 && epoch != expected_epoch {
+                        return LegOutcome::Stale { epoch };
+                    }
+                    return LegOutcome::Ok { replies };
+                }
+                Err(err) => {
+                    if let ClientError::Io(e) = &err {
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                        ) {
+                            m.timeouts.inc();
+                        }
+                    }
+                    let transient = err.is_transient();
+                    self.supervisor.record_failure(shard);
+                    self.publish_shard_gauges(shard);
+                    let budget_left = attempt <= policy.max_retries
+                        && deadline.is_none_or(|d| Instant::now() < d);
+                    if !transient || !budget_left {
+                        m.failures.inc();
+                        return LegOutcome::Missing(ShardFailure::Failed(err));
+                    }
+                    m.retries.inc();
+                    std::thread::sleep(retry_delay(policy, attempt, &mut rng));
+                }
+            }
+        }
+    }
+
+    /// The full scatter-gather: routing snapshot, parallel legs, epoch
+    /// fencing with bounded re-runs, merge or typed degradation.
+    fn fan_out(
+        &self,
+        predicates: &[String],
+        domain: bix_core::EvalDomain,
+        deadline_ms: u32,
+        allow_degraded: bool,
+    ) -> Response {
+        self.metrics.fanouts.inc();
+        let n = self.shard_count();
+        let effective_ms = if deadline_ms > 0 {
+            u64::from(deadline_ms)
+        } else {
+            self.config.default_deadline_ms
+        };
+        let deadline =
+            (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
+
+        for _epoch_round in 0..=self.config.epoch_retries {
+            // Routing snapshot: learn any shard shape we have never
+            // observed (epoch 0 = never heard), then freeze expected
+            // epochs and row bases for this round.
+            for i in 0..n {
+                if self.supervisor.epoch(i) == 0 && self.supervisor.state(i) != ShardState::Down {
+                    let _ = self.learn_shape(i);
+                }
+            }
+            let expected: Vec<u64> = (0..n).map(|i| self.supervisor.epoch(i)).collect();
+            if expected.contains(&0) {
+                // A shard we have never reached cannot be positioned in
+                // the row space, so even a degraded merge would place
+                // later shards' rows wrongly. Typed failure, not a guess.
+                self.metrics.unavailable.inc();
+                let missing: Vec<u16> = expected
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &e)| e == 0)
+                    .map(|(i, _)| i as u16)
+                    .collect();
+                return Response::Error {
+                    code: ErrorCode::Unavailable,
+                    message: format!(
+                        "shards {missing:?} have never been reachable; row layout unknown"
+                    ),
+                };
+            }
+            let rows: Vec<u64> = (0..n).map(|i| self.supervisor.rows(i)).collect();
+
+            // Parallel legs: one thread per admitted shard.
+            let mut outcomes: Vec<Option<LegOutcome>> = Vec::new();
+            for _ in 0..n {
+                outcomes.push(None);
+            }
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, slot) in outcomes.iter_mut().enumerate() {
+                    if !self.supervisor.admit(i) {
+                        *slot = Some(LegOutcome::Missing(ShardFailure::Down));
+                        continue;
+                    }
+                    let expected_epoch = expected[i];
+                    handles.push(scope.spawn(move || {
+                        *slot = Some(self.run_leg(i, predicates, domain, deadline, expected_epoch));
+                    }));
+                }
+                for h in handles {
+                    let _ = h.join();
+                }
+            });
+            for i in 0..n {
+                self.publish_shard_gauges(i);
+            }
+
+            // Epoch fencing: any stale reply poisons the snapshot; its
+            // rows are discarded, the shard's shape refreshed, and the
+            // whole fan-out re-run against the new table.
+            let mut stale = false;
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if let Some(LegOutcome::Stale { epoch }) = outcome {
+                    stale = true;
+                    self.metrics.stale_epoch_retries.inc();
+                    self.supervisor.set_shape(i, *epoch, 0);
+                    let _ = self.learn_shape(i);
+                }
+            }
+            if stale {
+                continue;
+            }
+            self.refresh_epoch_sum();
+
+            // Merge the legs that answered; type the rest.
+            let mut shard_replies: Vec<ShardReply> = Vec::new();
+            let mut missing: Vec<u16> = Vec::new();
+            let mut failures: Vec<(usize, ShardFailure)> = Vec::new();
+            let mut row_base: u64 = 0;
+            for (i, outcome) in outcomes.into_iter().enumerate() {
+                match outcome.expect("every slot filled") {
+                    LegOutcome::Ok { replies } => {
+                        shard_replies.push(ShardReply { row_base, replies });
+                    }
+                    LegOutcome::Stale { .. } => unreachable!("stale handled above"),
+                    LegOutcome::Missing(why) => {
+                        missing.push(i as u16);
+                        failures.push((i, why));
+                    }
+                }
+                row_base += rows[i];
+            }
+            let merged = merge_replies(predicates.len(), &shard_replies);
+            if missing.is_empty() {
+                return Response::BatchRows(merged);
+            }
+            // A BadQuery verdict is shard-independent: every shard
+            // parses the same predicate grammar, so surface it as-is
+            // rather than blaming shard availability.
+            for (_, why) in &failures {
+                if let ShardFailure::Failed(err @ ClientError::Server { code, message }) = why {
+                    if *code == ErrorCode::BadQuery {
+                        let _ = err; // typed passthrough below
+                        return Response::Error {
+                            code: ErrorCode::BadQuery,
+                            message: message.clone(),
+                        };
+                    }
+                }
+            }
+            if allow_degraded {
+                self.metrics.degraded.inc();
+                return Response::Degraded {
+                    missing_shards: missing,
+                    replies: merged,
+                };
+            }
+            let all_deadline = failures.iter().all(|(_, why)| {
+                matches!(
+                    why,
+                    ShardFailure::Failed(e) if e.is_code(ErrorCode::DeadlineExceeded)
+                )
+            });
+            self.metrics.unavailable.inc();
+            return Response::Error {
+                code: if all_deadline {
+                    ErrorCode::DeadlineExceeded
+                } else {
+                    ErrorCode::Unavailable
+                },
+                message: format!("shards {missing:?} unavailable (no degraded opt-in)"),
+            };
+        }
+        self.metrics.unavailable.inc();
+        Response::Error {
+            code: ErrorCode::Unavailable,
+            message: format!(
+                "routing table would not settle after {} epoch retries (shards hot-reloading)",
+                self.config.epoch_retries
+            ),
+        }
+    }
+
+    /// Aggregated stats: the router's own registry plus each reachable
+    /// shard's JSON snapshot, nested so the fleet is one scrape.
+    fn aggregated_stats(&self, format: StatsFormat) -> String {
+        match format {
+            StatsFormat::Prometheus => self.registry.snapshot().to_prometheus(),
+            StatsFormat::Json => {
+                let mut shard_docs = Vec::new();
+                for i in 0..self.shard_count() {
+                    let doc = if self.supervisor.state(i) == ShardState::Down {
+                        "null".to_string()
+                    } else {
+                        match self
+                            .dial(i)
+                            .map(Client::from_stream)
+                            .map_err(ClientError::from)
+                            .and_then(|mut c| c.stats(StatsFormat::Json))
+                        {
+                            Ok(text) => text,
+                            Err(_) => "null".to_string(),
+                        }
+                    };
+                    shard_docs.push(doc);
+                }
+                format!(
+                    "{{\"router\":{},\"shards\":[{}]}}",
+                    self.registry.snapshot().to_json(),
+                    shard_docs.join(",")
+                )
+            }
+        }
+    }
+
+    /// One health sweep: ping every shard (including `Down` ones — the
+    /// prober *is* the half-open probe), refreshing breaker state.
+    fn health_sweep(&self) {
+        for i in 0..self.shard_count() {
+            let ok = self
+                .dial(i)
+                .map(Client::from_stream)
+                .map_err(ClientError::from)
+                .and_then(|mut c| c.ping().map(|()| c.last_epoch()));
+            match ok {
+                Ok(epoch) => {
+                    let known = self.supervisor.epoch(i);
+                    self.supervisor
+                        .record_success(i, epoch, self.supervisor.rows(i));
+                    // A new epoch means the shard reloaded: row counts
+                    // may have changed, so re-learn the shape eagerly
+                    // rather than waiting for a stale-epoch fan-out.
+                    if known != 0 && epoch != known {
+                        let _ = self.learn_shape(i);
+                    }
+                }
+                Err(_) => self.supervisor.record_failure(i),
+            }
+            self.publish_shard_gauges(i);
+        }
+        self.refresh_epoch_sum();
+    }
+}
+
+use rand::SeedableRng;
+
+/// The jittered exponential backoff before retry `attempt` (1-based),
+/// shared shape with [`RetryPolicy`]'s client-side loop.
+fn retry_delay(policy: &RetryPolicy, attempt: u32, rng: &mut rand::rngs::StdRng) -> Duration {
+    use rand::RngCore;
+    let shift = attempt.saturating_sub(1).min(20);
+    let exp = policy
+        .base_delay
+        .saturating_mul(1u32 << shift)
+        .min(policy.max_delay);
+    let jitter_budget = exp.as_micros() as u64 / 2;
+    let jitter = if jitter_budget > 0 {
+        Duration::from_micros(rng.next_u64() % (jitter_budget + 1))
+    } else {
+        Duration::ZERO
+    };
+    exp + jitter
+}
+
+/// Extracts the `bix_index_rows` gauge from a shard's stats JSON.
+fn parse_rows_gauge(text: &str) -> Option<u64> {
+    let doc = json::parse(text).ok()?;
+    let metrics = doc.get("metrics")?.as_array()?;
+    for m in metrics {
+        if m.get("name").and_then(Json::as_str) == Some("bix_index_rows") {
+            return m.get("value").and_then(Json::as_f64).map(|v| v as u64);
+        }
+    }
+    None
+}
+
+/// Scatter-gather front-end over row-range shards; a [`ServeHandler`]
+/// served by [`Server::serve`](crate::Server::serve).
+pub struct Router {
+    inner: Arc<RouterInner>,
+    health: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Router {
+    /// Builds a router over `shard_addrs` (shard order = row order)
+    /// dialling real TCP, and starts the health prober (unless
+    /// `config.health_interval` is zero).
+    pub fn new(shard_addrs: Vec<String>, config: RouterConfig) -> Router {
+        let io_timeout = config.io_timeout;
+        let dialer: ShardDialer = Arc::new(move |_shard, addr| {
+            let resolved: Vec<std::net::SocketAddr> =
+                std::net::ToSocketAddrs::to_socket_addrs(addr)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?
+                    .collect();
+            let mut last = io::Error::new(io::ErrorKind::InvalidInput, "no addresses resolved");
+            for a in &resolved {
+                match TcpStream::connect_timeout(a, io_timeout) {
+                    Ok(s) => {
+                        s.set_nodelay(true)?;
+                        s.set_read_timeout(Some(io_timeout))?;
+                        s.set_write_timeout(Some(io_timeout))?;
+                        return Ok(Box::new(s) as Box<dyn Transport>);
+                    }
+                    Err(e) => last = e,
+                }
+            }
+            Err(last)
+        });
+        Router::with_dialer(shard_addrs, config, dialer)
+    }
+
+    /// As [`Router::new`] but with a custom transport factory — the
+    /// chaos-test hook for wrapping shard links in
+    /// [`FaultyStream`](crate::FaultyStream).
+    pub fn with_dialer(
+        shard_addrs: Vec<String>,
+        config: RouterConfig,
+        dialer: ShardDialer,
+    ) -> Router {
+        let registry = MetricsRegistry::new();
+        let metrics = RouterMetrics::new(&registry, shard_addrs.len());
+        let supervisor = Supervisor::new(shard_addrs.len(), config.supervisor.clone());
+        let interval = config.health_interval;
+        let inner = Arc::new(RouterInner {
+            addrs: shard_addrs,
+            config,
+            supervisor,
+            registry,
+            metrics,
+            dialer,
+            stop: AtomicBool::new(false),
+            epoch_sum: AtomicU64::new(0),
+        });
+        // Best-effort initial shape learning so the first fan-out has a
+        // routing table (failures just leave epochs at 0 for lazy retry).
+        for i in 0..inner.shard_count() {
+            let _ = inner.learn_shape(i);
+        }
+        let health = if interval > Duration::ZERO {
+            let inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("bix-health".into())
+                    .spawn(move || {
+                        while !inner.stop.load(Ordering::Acquire) {
+                            inner.health_sweep();
+                            std::thread::sleep(interval);
+                        }
+                    })
+                    .expect("spawn health prober"),
+            )
+        } else {
+            None
+        };
+        Router {
+            inner,
+            health: Mutex::new(health),
+        }
+    }
+
+    /// The supervisor, for tests and gauges.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.inner.supervisor
+    }
+
+    /// Forces an immediate health sweep (testing hook; the background
+    /// prober does this on its own cadence).
+    pub fn health_sweep(&self) {
+        self.inner.health_sweep();
+    }
+
+    /// Stops the health prober. Called on drop; idempotent.
+    pub fn stop_health(&self) {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(h) = self.health.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop_health();
+    }
+}
+
+impl ServeHandler for Router {
+    fn handle(&self, request: Request, meta: &RequestMeta) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => Response::Ok,
+            Request::Stats(format) => Response::Stats {
+                text: self.inner.aggregated_stats(format),
+            },
+            Request::Query {
+                domain,
+                deadline_ms,
+                predicate,
+            } => {
+                match self
+                    .inner
+                    .fan_out(&[predicate], domain, deadline_ms, meta.allow_degraded)
+                {
+                    Response::BatchRows(mut rows) if rows.len() == 1 => {
+                        Response::Rows(rows.pop().expect("len checked"))
+                    }
+                    other => other,
+                }
+            }
+            Request::Batch {
+                domain,
+                deadline_ms,
+                predicates,
+            } => self
+                .inner
+                .fan_out(&predicates, domain, deadline_ms, meta.allow_degraded),
+            Request::Reload { .. } => Response::Error {
+                code: ErrorCode::BadQuery,
+                message: "reload is a shard operation; send it to the shard, not the router".into(),
+            },
+        }
+    }
+
+    fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch_sum.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_offsets_and_concatenates_in_shard_order() {
+        let shards = vec![
+            ShardReply {
+                row_base: 0,
+                replies: vec![RowsReply {
+                    scans: 2,
+                    decompressions: 1,
+                    rows: vec![0, 5],
+                }],
+            },
+            ShardReply {
+                row_base: 10,
+                replies: vec![RowsReply {
+                    scans: 3,
+                    decompressions: 0,
+                    rows: vec![1, 2],
+                }],
+            },
+            // Empty shard contributes nothing but still occupies its
+            // row range (row_base of later shards already accounts).
+            ShardReply {
+                row_base: 20,
+                replies: vec![RowsReply {
+                    scans: 0,
+                    decompressions: 0,
+                    rows: vec![],
+                }],
+            },
+            ShardReply {
+                row_base: 20,
+                replies: vec![RowsReply {
+                    scans: 1,
+                    decompressions: 4,
+                    rows: vec![0],
+                }],
+            },
+        ];
+        let merged = merge_replies(1, &shards);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].rows, vec![0, 5, 11, 12, 20]);
+        assert_eq!(merged[0].scans, 6);
+        assert_eq!(merged[0].decompressions, 5);
+    }
+
+    #[test]
+    fn merge_handles_multi_predicate_batches() {
+        let shards = vec![
+            ShardReply {
+                row_base: 0,
+                replies: vec![
+                    RowsReply {
+                        scans: 1,
+                        decompressions: 0,
+                        rows: vec![3],
+                    },
+                    RowsReply {
+                        scans: 1,
+                        decompressions: 0,
+                        rows: vec![],
+                    },
+                ],
+            },
+            ShardReply {
+                row_base: 4,
+                replies: vec![
+                    RowsReply {
+                        scans: 1,
+                        decompressions: 0,
+                        rows: vec![],
+                    },
+                    RowsReply {
+                        scans: 1,
+                        decompressions: 0,
+                        rows: vec![0, 1],
+                    },
+                ],
+            },
+        ];
+        let merged = merge_replies(2, &shards);
+        assert_eq!(merged[0].rows, vec![3]);
+        assert_eq!(merged[1].rows, vec![4, 5]);
+    }
+
+    #[test]
+    fn rows_gauge_parses_from_stats_json() {
+        let text = r#"{"metrics":[
+            {"name":"bix_server_requests_total","type":"counter","help":"x","value":9},
+            {"name":"bix_index_rows","type":"gauge","help":"Indexed records","value":50000}
+        ]}"#;
+        assert_eq!(parse_rows_gauge(text), Some(50_000));
+        assert_eq!(parse_rows_gauge("{}"), None);
+    }
+}

@@ -10,12 +10,23 @@
 //! threads pop connections and serve frames until the peer goes idle
 //! past the read budget, disconnects, or the server drains.
 //!
+//! The loop itself is application-agnostic: everything after frame
+//! decode is delegated to a [`ServeHandler`]. Two handlers live in this
+//! crate — [`IndexHandler`] (single-index query serving, below) and the
+//! scatter-gather [`Router`](crate::Router) — so admission control,
+//! deadline plumbing, frame hardening, and drain semantics are written
+//! once and shared by every network-facing role.
+//!
+//! Every reply frame is stamped with the server's shard id and the
+//! handler's current epoch (its index reload generation), which is how
+//! a router detects replies computed against a stale index mid-stream.
+//!
 //! Queries execute on the crate-standard [`ParallelExecutor`] against a
 //! shared [`ShardedBufferPool`], under the per-request deadline (or the
 //! server default). A hot `Reload` request loads and `verify()`s a new
 //! index off the request thread, then atomically swaps the serving
-//! snapshot — in-flight requests keep the old index and pool until they
-//! finish; new requests see the new one.
+//! snapshot and bumps the epoch — in-flight requests keep the old index
+//! and pool until they finish; new requests see the new one.
 //!
 //! Shutdown sets a stop flag, wakes the accept thread with a loopback
 //! connection, and lets each worker finish its in-flight request before
@@ -24,7 +35,7 @@
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,9 +48,10 @@ use bix_telemetry::{Counter, Gauge, Histogram};
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, Frame, Message, Request, Response, RowsReply, StatsFormat,
+    FLAG_ALLOW_DEGRADED,
 };
 
-/// Tunables for [`Server::start`].
+/// Tunables for [`Server::start`] / [`Server::serve`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads serving connections.
@@ -58,6 +70,8 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Socket write budget for a single reply.
     pub write_timeout: Duration,
+    /// Shard id stamped on every reply frame (0 for a monolith).
+    pub shard_id: u16,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +84,7 @@ impl Default for ServerConfig {
             pool_pages: 4096,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
+            shard_id: 0,
         }
     }
 }
@@ -78,64 +93,71 @@ impl Default for ServerConfig {
 /// requests propagate promptly without busy-waiting.
 const TICK: Duration = Duration::from_millis(50);
 
-/// The immutable serving snapshot: an index plus the buffer pool built
-/// for it. Swapped wholesale on reload so pages cached for the old
-/// index can never be served against the new one's file ids.
-struct Serving {
-    index: BitmapIndex,
-    pool: ShardedBufferPool,
+/// Routing metadata decoded from a request frame's extension header,
+/// handed to the [`ServeHandler`] alongside the request body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestMeta {
+    /// The client opted into [`Response::Degraded`] partial results.
+    pub allow_degraded: bool,
+    /// Epoch the client pinned the request to (0 = unpinned). A shard
+    /// does not gate evaluation on it — replies carry the shard's own
+    /// epoch and the *caller* decides whether a mismatch is fatal.
+    pub epoch: u64,
+    /// Shard id named by the request (0 = unrouted).
+    pub shard_id: u16,
 }
 
-/// Handles to every server-side metric, created once at startup so the
-/// hot path never touches the registry's name map.
-struct ServerMetrics {
+/// The application half of a server: everything after frame decode.
+///
+/// Implementations must be cheap to share across worker threads and
+/// must never panic on hostile input — a request that cannot be served
+/// is answered with a typed [`Response::Error`].
+pub trait ServeHandler: Send + Sync + 'static {
+    /// Serves one decoded request.
+    fn handle(&self, request: Request, meta: &RequestMeta) -> Response;
+
+    /// The registry transport metrics are charged to (shared with the
+    /// handler's own counters so one `Stats` scrape sees both).
+    fn registry(&self) -> &MetricsRegistry;
+
+    /// Generation stamped on every reply frame; bumped whenever the
+    /// data being served changes identity (e.g. an index hot reload).
+    fn epoch(&self) -> u64 {
+        0
+    }
+}
+
+/// Handles to the transport-level metrics, created once at startup so
+/// the hot path never touches the registry's name map.
+struct TransportMetrics {
     requests: Arc<Counter>,
-    queries: Arc<Counter>,
-    rows_returned: Arc<Counter>,
     rejected: Arc<Counter>,
-    deadline_exceeded: Arc<Counter>,
     bad_frames: Arc<Counter>,
-    bad_queries: Arc<Counter>,
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
     connections: Arc<Counter>,
-    reloads: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     inflight: Arc<Gauge>,
     queue_wait_nanos: Arc<Histogram>,
     request_nanos: Arc<Histogram>,
-    eval_decompressions: Arc<Counter>,
-    eval_nodes_raw: Arc<Counter>,
-    eval_nodes_compressed: Arc<Counter>,
 }
 
-impl ServerMetrics {
-    fn new(registry: &MetricsRegistry) -> ServerMetrics {
+impl TransportMetrics {
+    fn new(registry: &MetricsRegistry) -> TransportMetrics {
         let c = |name: &str, help: &str| registry.counter(name, help);
-        ServerMetrics {
+        TransportMetrics {
             requests: c("bix_server_requests_total", "Frames served"),
-            queries: c("bix_server_queries_total", "Predicates evaluated"),
-            rows_returned: c("bix_server_rows_returned_total", "Row ids sent to clients"),
             rejected: c(
                 "bix_server_rejected_total",
                 "Connections refused by admission control",
-            ),
-            deadline_exceeded: c(
-                "bix_server_deadline_exceeded_total",
-                "Requests that ran past their deadline",
             ),
             bad_frames: c(
                 "bix_server_bad_frames_total",
                 "Frames that failed wire-protocol validation",
             ),
-            bad_queries: c(
-                "bix_server_bad_queries_total",
-                "Predicates rejected by the parser",
-            ),
             bytes_in: c("bix_server_bytes_in_total", "Wire bytes received"),
             bytes_out: c("bix_server_bytes_out_total", "Wire bytes sent"),
             connections: c("bix_server_connections_total", "Connections accepted"),
-            reloads: c("bix_server_reloads_total", "Successful hot index reloads"),
             queue_depth: registry.gauge(
                 "bix_server_queue_depth",
                 "Connections waiting in the admission queue",
@@ -149,30 +171,17 @@ impl ServerMetrics {
                 "bix_server_request_nanos",
                 "Wall time per served request (ns)",
             ),
-            eval_decompressions: c(
-                "bix_eval_decompressions_total",
-                "Compressed bitmaps materialised during evaluation",
-            ),
-            eval_nodes_raw: c(
-                "bix_eval_nodes_raw_total",
-                "DAG nodes folded in the raw (decoded) domain",
-            ),
-            eval_nodes_compressed: c(
-                "bix_eval_nodes_compressed_total",
-                "DAG nodes folded in the compressed domain",
-            ),
         }
     }
 }
 
 struct Shared {
     config: ServerConfig,
-    serving: Mutex<Arc<Serving>>,
-    registry: MetricsRegistry,
+    handler: Arc<dyn ServeHandler>,
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_cv: Condvar,
     stop: AtomicBool,
-    metrics: ServerMetrics,
+    metrics: TransportMetrics,
     addr: SocketAddr,
 }
 
@@ -212,9 +221,9 @@ fn set_index_gauges(registry: &MetricsRegistry, index: &BitmapIndex) {
     );
 }
 
-/// A running query server. Dropping the handle does **not** stop the
-/// threads; call [`Server::shutdown`] or send a `Shutdown` frame and
-/// [`Server::join`].
+/// A running server (index shard or router). Dropping the handle does
+/// **not** stop the threads; call [`Server::shutdown`] or send a
+/// `Shutdown` frame and [`Server::join`].
 pub struct Server {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
@@ -228,17 +237,24 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        let handler = Arc::new(IndexHandler::new(index, &config));
+        Server::serve(handler, addr, config)
+    }
+
+    /// Binds `addr` and serves an arbitrary [`ServeHandler`] behind the
+    /// shared accept/admission/worker machinery.
+    pub fn serve(
+        handler: Arc<dyn ServeHandler>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         assert!(config.workers > 0, "server needs at least one worker");
         assert!(config.queue_depth > 0, "queue depth must be positive");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let registry = MetricsRegistry::new();
-        let metrics = ServerMetrics::new(&registry);
-        set_index_gauges(&registry, &index);
-        let pool = ShardedBufferPool::new(config.pool_pages, config.workers.max(2));
+        let metrics = TransportMetrics::new(handler.registry());
         let shared = Arc::new(Shared {
-            serving: Mutex::new(Arc::new(Serving { index, pool })),
-            registry,
+            handler,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -272,9 +288,9 @@ impl Server {
         self.shared.addr
     }
 
-    /// The server's metrics registry (shared with the serving threads).
+    /// The handler's metrics registry (shared with the serving threads).
     pub fn registry(&self) -> &MetricsRegistry {
-        &self.shared.registry
+        self.shared.handler.registry()
     }
 
     /// Initiates a graceful drain and blocks until every thread exits:
@@ -344,16 +360,27 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
+/// Stamps the server's shard id and the handler's current epoch onto an
+/// outgoing reply frame.
+fn stamp(shared: &Shared, mut frame: Frame) -> Frame {
+    frame.shard_id = shared.config.shard_id;
+    frame.epoch = shared.handler.epoch();
+    frame
+}
+
 /// Best-effort typed rejection: one error frame, then close.
 fn refuse(mut stream: TcpStream, shared: &Shared, code: ErrorCode, message: &str) {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let reply = Frame {
-        request_id: 0,
-        msg: Message::Response(Response::Error {
-            code,
-            message: message.into(),
-        }),
-    };
+    let reply = stamp(
+        shared,
+        Frame::new(
+            0,
+            Message::Response(Response::Error {
+                code,
+                message: message.into(),
+            }),
+        ),
+    );
     if let Ok(n) = write_frame(&mut stream, &reply) {
         shared.metrics.bytes_out.add(n as u64);
     }
@@ -453,6 +480,11 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         shared.metrics.bytes_in.add(n_in as u64);
         shared.metrics.requests.inc();
         let request_id = frame.request_id;
+        let meta = RequestMeta {
+            allow_degraded: frame.flags & FLAG_ALLOW_DEGRADED != 0,
+            epoch: frame.epoch,
+            shard_id: frame.shard_id,
+        };
         let request = match frame.msg {
             Message::Request(req) => req,
             Message::Response(_) => {
@@ -470,7 +502,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             }
         };
         let is_shutdown = matches!(request, Request::Shutdown);
-        let reply = handle_request(request, shared);
+        let reply = shared.handler.handle(request, &meta);
         send(&mut stream, shared, request_id, reply);
         shared
             .metrics
@@ -485,159 +517,254 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
 
 /// Best-effort reply on an established connection.
 fn send(stream: &mut TcpStream, shared: &Shared, request_id: u64, response: Response) {
-    let frame = Frame {
-        request_id,
-        msg: Message::Response(response),
-    };
+    let frame = stamp(shared, Frame::new(request_id, Message::Response(response)));
     if let Ok(n) = write_frame(stream, &frame) {
         shared.metrics.bytes_out.add(n as u64);
     }
 }
 
-fn handle_request(request: Request, shared: &Shared) -> Response {
-    match request {
-        Request::Ping => Response::Pong,
-        Request::Shutdown => Response::Ok,
-        Request::Stats(format) => Response::Stats {
-            text: match format {
-                StatsFormat::Prometheus => shared.registry.snapshot().to_prometheus(),
-                StatsFormat::Json => shared.registry.snapshot().to_json(),
-            },
-        },
-        Request::Query {
-            domain,
-            deadline_ms,
-            predicate,
-        } => match evaluate(shared, domain, deadline_ms, &[predicate]) {
-            Ok(mut rows) => Response::Rows(rows.pop().expect("one query in, one reply out")),
-            Err(resp) => resp,
-        },
-        Request::Batch {
-            domain,
-            deadline_ms,
-            predicates,
-        } => match evaluate(shared, domain, deadline_ms, &predicates) {
-            Ok(rows) => Response::BatchRows(rows),
-            Err(resp) => resp,
-        },
-        Request::Reload { path } => match reload(shared, &path) {
-            Ok(()) => Response::Ok,
-            Err(message) => Response::Error {
-                code: ErrorCode::Internal,
-                message,
-            },
-        },
+/// The immutable serving snapshot: an index plus the buffer pool built
+/// for it. Swapped wholesale on reload so pages cached for the old
+/// index can never be served against the new one's file ids.
+struct Serving {
+    index: BitmapIndex,
+    pool: ShardedBufferPool,
+}
+
+/// Index-serving metrics, separate from the transport's.
+struct IndexMetrics {
+    queries: Arc<Counter>,
+    rows_returned: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    bad_queries: Arc<Counter>,
+    reloads: Arc<Counter>,
+    eval_decompressions: Arc<Counter>,
+    eval_nodes_raw: Arc<Counter>,
+    eval_nodes_compressed: Arc<Counter>,
+}
+
+impl IndexMetrics {
+    fn new(registry: &MetricsRegistry) -> IndexMetrics {
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        IndexMetrics {
+            queries: c("bix_server_queries_total", "Predicates evaluated"),
+            rows_returned: c("bix_server_rows_returned_total", "Row ids sent to clients"),
+            deadline_exceeded: c(
+                "bix_server_deadline_exceeded_total",
+                "Requests that ran past their deadline",
+            ),
+            bad_queries: c(
+                "bix_server_bad_queries_total",
+                "Predicates rejected by the parser",
+            ),
+            reloads: c("bix_server_reloads_total", "Successful hot index reloads"),
+            eval_decompressions: c(
+                "bix_eval_decompressions_total",
+                "Compressed bitmaps materialised during evaluation",
+            ),
+            eval_nodes_raw: c(
+                "bix_eval_nodes_raw_total",
+                "DAG nodes folded in the raw (decoded) domain",
+            ),
+            eval_nodes_compressed: c(
+                "bix_eval_nodes_compressed_total",
+                "DAG nodes folded in the compressed domain",
+            ),
+        }
     }
 }
 
-/// Parses and evaluates a batch under the request deadline, charging
-/// all eval-side metrics. Errors come back as ready-to-send responses.
-fn evaluate(
-    shared: &Shared,
-    domain: EvalDomain,
-    deadline_ms: u32,
-    predicates: &[String],
-) -> Result<Vec<RowsReply>, Response> {
-    let serving = Arc::clone(&shared.serving.lock().unwrap());
-    let cardinality = serving.index.config().cardinality;
-    let mut queries = Vec::with_capacity(predicates.len());
-    for text in predicates {
-        match Query::parse(text, cardinality) {
-            Ok(q) => queries.push(q),
-            Err(e) => {
-                shared.metrics.bad_queries.inc();
-                return Err(Response::Error {
-                    code: ErrorCode::BadQuery,
-                    message: e.to_string(),
-                });
+/// [`ServeHandler`] for a single bitmap index: parse, evaluate under
+/// deadline, hot reload with verification, metrics exposition.
+pub struct IndexHandler {
+    serving: Mutex<Arc<Serving>>,
+    registry: MetricsRegistry,
+    metrics: IndexMetrics,
+    /// Index generation: starts at 1, bumped by every successful
+    /// reload. Stamped on reply frames by the serving loop.
+    epoch: AtomicU64,
+    request_threads: usize,
+    default_deadline_ms: u64,
+    pool_pages: usize,
+    pool_shards: usize,
+}
+
+impl IndexHandler {
+    /// Wraps `index` for serving under `config`'s evaluation tunables.
+    pub fn new(index: BitmapIndex, config: &ServerConfig) -> IndexHandler {
+        let registry = MetricsRegistry::new();
+        let metrics = IndexMetrics::new(&registry);
+        set_index_gauges(&registry, &index);
+        let pool_shards = config.workers.max(2);
+        let pool = ShardedBufferPool::new(config.pool_pages, pool_shards);
+        IndexHandler {
+            serving: Mutex::new(Arc::new(Serving { index, pool })),
+            registry,
+            metrics,
+            epoch: AtomicU64::new(1),
+            request_threads: config.request_threads,
+            default_deadline_ms: config.default_deadline_ms,
+            pool_pages: config.pool_pages,
+            pool_shards,
+        }
+    }
+
+    /// Parses and evaluates a batch under the request deadline, charging
+    /// all eval-side metrics. Errors come back as ready-to-send responses.
+    fn evaluate(
+        &self,
+        domain: EvalDomain,
+        deadline_ms: u32,
+        predicates: &[String],
+    ) -> Result<Vec<RowsReply>, Response> {
+        let serving = Arc::clone(&self.serving.lock().unwrap());
+        let cardinality = serving.index.config().cardinality;
+        let mut queries = Vec::with_capacity(predicates.len());
+        for text in predicates {
+            match Query::parse(text, cardinality) {
+                Ok(q) => queries.push(q),
+                Err(e) => {
+                    self.metrics.bad_queries.inc();
+                    return Err(Response::Error {
+                        code: ErrorCode::BadQuery,
+                        message: e.to_string(),
+                    });
+                }
             }
         }
-    }
-    let effective_ms = if deadline_ms > 0 {
-        u64::from(deadline_ms)
-    } else {
-        shared.config.default_deadline_ms
-    };
-    let deadline = (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
-    let executor = ParallelExecutor::new(shared.config.request_threads.max(1)).with_domain(domain);
-    let batch = match executor.execute_deadline(
-        &serving.index,
-        &queries,
-        &serving.pool,
-        &CostModel::default(),
-        deadline,
-    ) {
-        Ok(batch) => batch,
-        Err(DeadlineExceeded) => {
-            shared.metrics.deadline_exceeded.inc();
+        let effective_ms = if deadline_ms > 0 {
+            u64::from(deadline_ms)
+        } else {
+            self.default_deadline_ms
+        };
+        let deadline =
+            (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
+        let executor = ParallelExecutor::new(self.request_threads.max(1)).with_domain(domain);
+        let batch = match executor.execute_deadline(
+            &serving.index,
+            &queries,
+            &serving.pool,
+            &CostModel::default(),
+            deadline,
+        ) {
+            Ok(batch) => batch,
+            Err(DeadlineExceeded) => {
+                self.metrics.deadline_exceeded.inc();
+                return Err(Response::Error {
+                    code: ErrorCode::DeadlineExceeded,
+                    message: format!("deadline of {effective_ms}ms exceeded"),
+                });
+            }
+        };
+        IoMetrics::register(&self.registry).record(&batch.io);
+        self.metrics.queries.add(queries.len() as u64);
+        // Bound the reply frame before building it: every row id costs 8
+        // payload bytes and each per-query header 24, and a frame larger
+        // than MAX_PAYLOAD must surface as a typed error, not a panic.
+        let reply_bytes: u64 = batch
+            .results
+            .iter()
+            .map(|r| 24 + 8 * r.bitmap.count_ones() as u64)
+            .sum::<u64>()
+            + 8;
+        if reply_bytes > u64::from(crate::protocol::MAX_PAYLOAD) {
             return Err(Response::Error {
-                code: ErrorCode::DeadlineExceeded,
-                message: format!("deadline of {effective_ms}ms exceeded"),
+                code: ErrorCode::Internal,
+                message: format!(
+                    "reply of {reply_bytes} bytes exceeds the frame cap; narrow the queries or split the batch"
+                ),
             });
         }
-    };
-    IoMetrics::register(&shared.registry).record(&batch.io);
-    shared.metrics.queries.add(queries.len() as u64);
-    // Bound the reply frame before building it: every row id costs 8
-    // payload bytes and each per-query header 24, and a frame larger
-    // than MAX_PAYLOAD must surface as a typed error, not a panic.
-    let reply_bytes: u64 = batch
-        .results
-        .iter()
-        .map(|r| 24 + 8 * r.bitmap.count_ones() as u64)
-        .sum::<u64>()
-        + 8;
-    if reply_bytes > u64::from(crate::protocol::MAX_PAYLOAD) {
-        return Err(Response::Error {
-            code: ErrorCode::Internal,
-            message: format!(
-                "reply of {reply_bytes} bytes exceeds the frame cap; narrow the queries or split the batch"
-            ),
-        });
+        let mut replies = Vec::with_capacity(batch.results.len());
+        for result in &batch.results {
+            self.metrics
+                .eval_decompressions
+                .add(result.decompressions as u64);
+            self.metrics.eval_nodes_raw.add(result.nodes_raw as u64);
+            self.metrics
+                .eval_nodes_compressed
+                .add(result.nodes_compressed as u64);
+            let rows: Vec<u64> = result
+                .bitmap
+                .to_positions()
+                .iter()
+                .map(|&p| p as u64)
+                .collect();
+            self.metrics.rows_returned.add(rows.len() as u64);
+            replies.push(RowsReply {
+                scans: result.scans as u64,
+                decompressions: result.decompressions as u64,
+                rows,
+            });
+        }
+        Ok(replies)
     }
-    let mut replies = Vec::with_capacity(batch.results.len());
-    for result in &batch.results {
-        shared
-            .metrics
-            .eval_decompressions
-            .add(result.decompressions as u64);
-        shared.metrics.eval_nodes_raw.add(result.nodes_raw as u64);
-        shared
-            .metrics
-            .eval_nodes_compressed
-            .add(result.nodes_compressed as u64);
-        let rows: Vec<u64> = result
-            .bitmap
-            .to_positions()
-            .iter()
-            .map(|&p| p as u64)
-            .collect();
-        shared.metrics.rows_returned.add(rows.len() as u64);
-        replies.push(RowsReply {
-            scans: result.scans as u64,
-            decompressions: result.decompressions as u64,
-            rows,
-        });
+
+    /// Loads, verifies, and atomically swaps in a new index, bumping
+    /// the epoch so routers re-learn this shard's shape. The fresh
+    /// buffer pool guarantees no page cached for the old index's file
+    /// ids is ever returned for the new one.
+    fn reload(&self, path: &str) -> Result<(), String> {
+        let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+        let report = index.verify();
+        if !report.is_clean() {
+            return Err(format!(
+                "refusing reload: index at {path} failed verification"
+            ));
+        }
+        let pool = ShardedBufferPool::new(self.pool_pages, self.pool_shards);
+        set_index_gauges(&self.registry, &index);
+        *self.serving.lock().unwrap() = Arc::new(Serving { index, pool });
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.metrics.reloads.inc();
+        Ok(())
     }
-    Ok(replies)
 }
 
-/// Loads, verifies, and atomically swaps in a new index. The fresh
-/// buffer pool guarantees no page cached for the old index's file ids
-/// is ever returned for the new one.
-fn reload(shared: &Shared, path: &str) -> Result<(), String> {
-    let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
-    let report = index.verify();
-    if !report.is_clean() {
-        return Err(format!(
-            "refusing reload: index at {path} failed verification"
-        ));
+impl ServeHandler for IndexHandler {
+    fn handle(&self, request: Request, _meta: &RequestMeta) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => Response::Ok,
+            Request::Stats(format) => Response::Stats {
+                text: match format {
+                    StatsFormat::Prometheus => self.registry.snapshot().to_prometheus(),
+                    StatsFormat::Json => self.registry.snapshot().to_json(),
+                },
+            },
+            Request::Query {
+                domain,
+                deadline_ms,
+                predicate,
+            } => match self.evaluate(domain, deadline_ms, &[predicate]) {
+                Ok(mut rows) => Response::Rows(rows.pop().expect("one query in, one reply out")),
+                Err(resp) => resp,
+            },
+            Request::Batch {
+                domain,
+                deadline_ms,
+                predicates,
+            } => match self.evaluate(domain, deadline_ms, &predicates) {
+                Ok(rows) => Response::BatchRows(rows),
+                Err(resp) => resp,
+            },
+            Request::Reload { path } => match self.reload(&path) {
+                Ok(()) => Response::Ok,
+                Err(message) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message,
+                },
+            },
+        }
     }
-    let pool = ShardedBufferPool::new(shared.config.pool_pages, shared.config.workers.max(2));
-    set_index_gauges(&shared.registry, &index);
-    *shared.serving.lock().unwrap() = Arc::new(Serving { index, pool });
-    shared.metrics.reloads.inc();
-    Ok(())
+
+    fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
 }
 
 #[cfg(test)]
@@ -655,14 +782,71 @@ mod tests {
         let server = Server::start(index, "127.0.0.1:0", ServerConfig::default()).unwrap();
         let addr = server.addr();
         let mut stream = TcpStream::connect(addr).unwrap();
-        let ping = Frame {
-            request_id: 5,
-            msg: Message::Request(Request::Ping),
-        };
+        let ping = Frame::new(5, Message::Request(Request::Ping));
         write_frame(&mut stream, &ping).unwrap();
         let (reply, _) = read_frame(&mut stream).unwrap();
         assert_eq!(reply.request_id, 5);
         assert_eq!(reply.msg, Message::Response(Response::Pong));
+        // A fresh index server stamps epoch 1 and the default shard 0.
+        assert_eq!(reply.epoch, 1);
+        assert_eq!(reply.shard_id, 0);
+        server.shutdown();
+    }
+
+    /// A trivial handler proving the serving loop is application-
+    /// agnostic and that stamping comes from the handler, not the index.
+    struct EchoHandler {
+        registry: MetricsRegistry,
+    }
+
+    impl ServeHandler for EchoHandler {
+        fn handle(&self, request: Request, meta: &RequestMeta) -> Response {
+            match request {
+                Request::Ping => Response::Pong,
+                Request::Shutdown => Response::Ok,
+                _ => Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("echo handler, allow_degraded={}", meta.allow_degraded),
+                },
+            }
+        }
+
+        fn registry(&self) -> &MetricsRegistry {
+            &self.registry
+        }
+
+        fn epoch(&self) -> u64 {
+            42
+        }
+    }
+
+    #[test]
+    fn custom_handlers_ride_the_same_loop_and_stamping() {
+        let handler = Arc::new(EchoHandler {
+            registry: MetricsRegistry::new(),
+        });
+        let config = ServerConfig {
+            shard_id: 9,
+            ..ServerConfig::default()
+        };
+        let server = Server::serve(handler, "127.0.0.1:0", config).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut stream, &Frame::new(1, Message::Request(Request::Ping))).unwrap();
+        let (reply, _) = read_frame(&mut stream).unwrap();
+        assert_eq!(reply.msg, Message::Response(Response::Pong));
+        assert_eq!(reply.shard_id, 9);
+        assert_eq!(reply.epoch, 42);
+        // The allow-degraded flag reaches the handler via RequestMeta.
+        let mut req = Frame::new(2, Message::Request(Request::Stats(StatsFormat::Json)));
+        req.flags = FLAG_ALLOW_DEGRADED;
+        write_frame(&mut stream, &req).unwrap();
+        let (reply, _) = read_frame(&mut stream).unwrap();
+        match reply.msg {
+            Message::Response(Response::Error { message, .. }) => {
+                assert!(message.contains("allow_degraded=true"), "{message}");
+            }
+            other => panic!("want the echo error, got {other:?}"),
+        }
         server.shutdown();
     }
 }

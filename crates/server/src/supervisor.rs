@@ -1,0 +1,282 @@
+//! Shard health tracking: a per-shard circuit breaker.
+//!
+//! The [`Supervisor`] is a pure state machine — it owns no sockets and
+//! spawns no threads. The router feeds it observations (ping results,
+//! request successes and failures) and asks it which shards are worth
+//! dialling; keeping it side-effect free makes every transition unit
+//! testable without a network.
+//!
+//! Per shard the classic three states:
+//!
+//! ```text
+//!            N consecutive failures
+//!     Up ───────────────────────────▶ Down
+//!      ▲                               │ cooldown elapses
+//!      │ probe succeeds                ▼
+//!      └──────────────────────────  HalfOpen
+//!                 (a failed probe goes straight back to Down)
+//! ```
+//!
+//! `Down` shards are not dialled at all — requests route around them
+//! immediately instead of burning their deadline budget on a dead
+//! socket. After [`SupervisorConfig::cooldown`] the shard *half-opens*:
+//! the next caller is allowed one probe, and its outcome decides
+//! between recovery and another cooldown. The supervisor also remembers
+//! each shard's last observed reload epoch and row count, which is the
+//! routing table the scatter-gather merge is built from.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker state of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Healthy: requests flow normally.
+    Up,
+    /// Tripped: not dialled until the cooldown elapses.
+    Down,
+    /// Cooldown elapsed: one probe in flight decides Up vs Down.
+    HalfOpen,
+}
+
+impl ShardState {
+    /// Stable numeric encoding for the breaker-state gauge
+    /// (0 = up, 1 = half-open, 2 = down).
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            ShardState::Up => 0.0,
+            ShardState::HalfOpen => 1.0,
+            ShardState::Down => 2.0,
+        }
+    }
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Consecutive failures that trip a shard to `Down`.
+    pub failure_threshold: u32,
+    /// How long a tripped shard rests before half-opening.
+    pub cooldown: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ShardHealth {
+    state: ShardState,
+    consecutive_failures: u32,
+    tripped_at: Option<Instant>,
+    /// A half-open probe has been handed out and not yet resolved.
+    probe_inflight: bool,
+    /// Last reload epoch observed in a reply from this shard.
+    epoch: u64,
+    /// Rows this shard reported serving (its slice of the corpus).
+    rows: u64,
+}
+
+impl ShardHealth {
+    fn new() -> ShardHealth {
+        ShardHealth {
+            state: ShardState::Up,
+            consecutive_failures: 0,
+            tripped_at: None,
+            probe_inflight: false,
+            epoch: 0,
+            rows: 0,
+        }
+    }
+}
+
+/// Health and shape tracking for a fixed set of shards.
+pub struct Supervisor {
+    shards: Vec<Mutex<ShardHealth>>,
+    config: SupervisorConfig,
+}
+
+impl Supervisor {
+    /// Tracks `n` shards, all initially `Up` with unknown shape.
+    pub fn new(n: usize, config: SupervisorConfig) -> Supervisor {
+        Supervisor {
+            shards: (0..n).map(|_| Mutex::new(ShardHealth::new())).collect(),
+            config,
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the supervisor tracks no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard's current state, applying the `Down → HalfOpen`
+    /// transition if its cooldown has elapsed.
+    pub fn state(&self, shard: usize) -> ShardState {
+        let mut h = self.shards[shard].lock().unwrap();
+        self.maybe_half_open(&mut h);
+        h.state
+    }
+
+    fn maybe_half_open(&self, h: &mut ShardHealth) {
+        if h.state == ShardState::Down {
+            if let Some(t) = h.tripped_at {
+                if t.elapsed() >= self.config.cooldown {
+                    h.state = ShardState::HalfOpen;
+                    h.probe_inflight = false;
+                }
+            }
+        }
+    }
+
+    /// Whether a request may be sent to this shard right now. `Up`
+    /// always admits; `HalfOpen` admits exactly one probe at a time;
+    /// `Down` admits nothing (callers should treat the shard as missing
+    /// without spending any deadline budget on it).
+    pub fn admit(&self, shard: usize) -> bool {
+        let mut h = self.shards[shard].lock().unwrap();
+        self.maybe_half_open(&mut h);
+        match h.state {
+            ShardState::Up => true,
+            ShardState::Down => false,
+            ShardState::HalfOpen => {
+                if h.probe_inflight {
+                    false
+                } else {
+                    h.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful exchange with the shard, closing the
+    /// breaker and refreshing the remembered shape.
+    pub fn record_success(&self, shard: usize, epoch: u64, rows: u64) {
+        let mut h = self.shards[shard].lock().unwrap();
+        h.state = ShardState::Up;
+        h.consecutive_failures = 0;
+        h.tripped_at = None;
+        h.probe_inflight = false;
+        if epoch != 0 {
+            h.epoch = epoch;
+        }
+        if rows != 0 {
+            h.rows = rows;
+        }
+    }
+
+    /// Records a failed exchange. A half-open probe failure re-trips
+    /// immediately; otherwise the shard trips once it accumulates
+    /// [`SupervisorConfig::failure_threshold`] consecutive failures.
+    pub fn record_failure(&self, shard: usize) {
+        let mut h = self.shards[shard].lock().unwrap();
+        h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+        let tripped = h.state == ShardState::HalfOpen
+            || h.consecutive_failures >= self.config.failure_threshold;
+        if tripped {
+            h.state = ShardState::Down;
+            h.tripped_at = Some(Instant::now());
+            h.probe_inflight = false;
+        }
+    }
+
+    /// Last reload epoch observed from this shard (0 = never heard).
+    pub fn epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].lock().unwrap().epoch
+    }
+
+    /// Rows this shard reported serving (0 = unknown).
+    pub fn rows(&self, shard: usize) -> u64 {
+        self.shards[shard].lock().unwrap().rows
+    }
+
+    /// Updates the remembered shape without touching breaker state
+    /// (used when shape is learned out-of-band, e.g. at startup).
+    pub fn set_shape(&self, shard: usize, epoch: u64, rows: u64) {
+        let mut h = self.shards[shard].lock().unwrap();
+        h.epoch = epoch;
+        h.rows = rows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> SupervisorConfig {
+        SupervisorConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let s = Supervisor::new(1, fast());
+        s.record_failure(0);
+        s.record_failure(0);
+        assert_eq!(s.state(0), ShardState::Up, "2 < threshold stays up");
+        s.record_success(0, 1, 100);
+        s.record_failure(0);
+        s.record_failure(0);
+        assert_eq!(s.state(0), ShardState::Up, "success resets the streak");
+        s.record_failure(0);
+        assert_eq!(s.state(0), ShardState::Down);
+        assert!(!s.admit(0), "down shards are not dialled");
+    }
+
+    #[test]
+    fn half_opens_after_cooldown_and_single_probe() {
+        let s = Supervisor::new(1, fast());
+        for _ in 0..3 {
+            s.record_failure(0);
+        }
+        assert!(!s.admit(0));
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(s.state(0), ShardState::HalfOpen);
+        assert!(s.admit(0), "first caller gets the probe");
+        assert!(!s.admit(0), "only one probe at a time");
+        s.record_success(0, 2, 100);
+        assert_eq!(s.state(0), ShardState::Up);
+        assert!(s.admit(0));
+    }
+
+    #[test]
+    fn failed_probe_re_trips_immediately() {
+        let s = Supervisor::new(1, fast());
+        for _ in 0..3 {
+            s.record_failure(0);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(s.admit(0));
+        s.record_failure(0);
+        assert_eq!(s.state(0), ShardState::Down, "one probe failure re-trips");
+        assert!(!s.admit(0));
+    }
+
+    #[test]
+    fn shape_tracks_latest_epoch_and_rows() {
+        let s = Supervisor::new(2, fast());
+        s.set_shape(0, 1, 500);
+        s.record_success(0, 2, 500);
+        assert_eq!(s.epoch(0), 2);
+        assert_eq!(s.rows(0), 500);
+        // Zero epoch/rows in a success (e.g. a bare ping) keep the
+        // remembered shape.
+        s.record_success(0, 0, 0);
+        assert_eq!(s.epoch(0), 2);
+        assert_eq!(s.rows(0), 500);
+        assert_eq!(s.epoch(1), 0, "untouched shard stays unknown");
+    }
+}

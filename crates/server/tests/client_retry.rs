@@ -1,0 +1,108 @@
+//! Client-side bounded retry: transient wire failures are retried on a
+//! fresh connection (mirroring the disk layer's bounded read-retry
+//! loop), permanent failures are not, and every retry is visible in
+//! [`ClientStats`].
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bix_core::{BitmapIndex, EncodingScheme, EvalDomain, IndexConfig};
+use bix_server::{
+    Client, ClientError, Direction, FaultyStream, NetFault, NetFaultPlan, RetryPolicy, Server,
+    ServerConfig,
+};
+
+fn start_server() -> Server {
+    let column: Vec<u64> = (0..4_000u64).map(|i| i % 20).collect();
+    let index = BitmapIndex::build(
+        &column,
+        &IndexConfig::one_component(20, EncodingScheme::Interval),
+    );
+    Server::start(index, "127.0.0.1:0", ServerConfig::default()).expect("bind")
+}
+
+/// A dialer whose first `faulty` connections run through a seeded
+/// fault plan; later connections are clean.
+fn dialer(
+    addr: std::net::SocketAddr,
+    faulty: u64,
+    plan: NetFaultPlan,
+) -> Box<dyn FnMut() -> std::io::Result<FaultyStream<TcpStream>> + Send> {
+    let dials = Arc::new(AtomicU64::new(0));
+    Box::new(move || {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        let nth = dials.fetch_add(1, Ordering::Relaxed);
+        let plan = if nth < faulty {
+            plan.clone()
+        } else {
+            NetFaultPlan::new()
+        };
+        Ok(FaultyStream::new(stream, plan))
+    })
+}
+
+#[test]
+fn garbled_reply_is_retried_on_a_fresh_connection() {
+    let server = start_server();
+    // The first connection's first reply arrives with a flipped bit —
+    // the CRC catches it, the client redials, the retry sails through.
+    let plan = NetFaultPlan::new().fault(Direction::Recv, 0, NetFault::Garble);
+    let mut client =
+        Client::from_dialer(dialer(server.addr(), 1, plan)).with_retry(RetryPolicy::standard(7));
+    let reply = client
+        .query("=3", EvalDomain::Auto, 0)
+        .expect("retried query");
+    assert_eq!(reply.rows.len(), 200, "every 20th row matches =3");
+    let stats = client.client_stats();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.retries, 1, "exactly one transient retry");
+    assert!(stats.reconnects >= 1, "the retry redialled");
+    server.shutdown();
+}
+
+#[test]
+fn truncated_reply_is_retried_but_budget_is_bounded() {
+    let server = start_server();
+    let plan = NetFaultPlan::new().fault(Direction::Recv, 0, NetFault::Truncate);
+
+    // Faults outnumber the retry budget: the client must give up with
+    // the transient error, not spin forever.
+    let mut client =
+        Client::from_dialer(dialer(server.addr(), 10, plan.clone())).with_retry(RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::standard(7)
+        });
+    let err = client
+        .query("=3", EvalDomain::Auto, 0)
+        .expect_err("budget exhausted");
+    assert!(err.is_transient(), "failure class survives: {err}");
+    assert_eq!(client.client_stats().retries, 2, "spent the whole budget");
+
+    // Same fault, budget of three: the fourth connection is clean.
+    let mut client =
+        Client::from_dialer(dialer(server.addr(), 3, plan)).with_retry(RetryPolicy::standard(7));
+    client.query("=3", EvalDomain::Auto, 0).expect("recovered");
+    assert_eq!(client.client_stats().retries, 3);
+    server.shutdown();
+}
+
+#[test]
+fn permanent_errors_are_not_retried() {
+    let server = start_server();
+    let mut client = Client::from_dialer(dialer(server.addr(), 0, NetFaultPlan::new()))
+        .with_retry(RetryPolicy::standard(7));
+    let err = client
+        .query("not a predicate", EvalDomain::Auto, 0)
+        .expect_err("bad query");
+    assert!(matches!(&err, ClientError::Server { .. }), "{err}");
+    assert!(!err.is_transient());
+    assert_eq!(
+        client.client_stats().retries,
+        0,
+        "semantic errors fail fast"
+    );
+    server.shutdown();
+}

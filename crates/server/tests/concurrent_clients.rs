@@ -153,6 +153,9 @@ fn interleaved_requests_on_one_connection_stay_ordered() {
     for (i, p) in preds.iter().enumerate() {
         let id = 1000 + i as u64;
         let frame = Frame {
+            flags: 0,
+            shard_id: 0,
+            epoch: 0,
             request_id: id,
             msg: Message::Request(Request::Query {
                 domain: EvalDomain::Auto,

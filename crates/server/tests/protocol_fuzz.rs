@@ -10,7 +10,7 @@ use std::time::Duration;
 use bix_core::{BitmapIndex, EncodingScheme, EvalDomain, IndexConfig};
 use bix_server::{
     decode_frame, encode_frame, Client, Frame, Message, Request, Response, RowsReply, Server,
-    ServerConfig, StatsFormat,
+    ServerConfig, StatsFormat, WireError, EXT_LEN, HEADER_LEN, VERSION, VERSION_EXT,
 };
 use proptest::prelude::*;
 
@@ -89,7 +89,7 @@ proptest! {
 
     #[test]
     fn arbitrary_frames_round_trip(req in arb_request(), id in any::<u64>()) {
-        let frame = Frame { request_id: id, msg: Message::Request(req) };
+        let frame = Frame { flags: 0, shard_id: 0, epoch: 0, request_id: id, msg: Message::Request(req) };
         let bytes = encode_frame(&frame);
         let (got, used) = decode_frame(&bytes).expect("round trip");
         prop_assert_eq!(used, bytes.len());
@@ -98,7 +98,7 @@ proptest! {
 
     #[test]
     fn arbitrary_replies_round_trip(resp in arb_response(), id in any::<u64>()) {
-        let frame = Frame { request_id: id, msg: Message::Response(resp) };
+        let frame = Frame { flags: 0, shard_id: 0, epoch: 0, request_id: id, msg: Message::Response(resp) };
         let bytes = encode_frame(&frame);
         let (got, _) = decode_frame(&bytes).expect("round trip");
         prop_assert_eq!(got, frame);
@@ -106,7 +106,7 @@ proptest! {
 
     #[test]
     fn single_byte_flips_never_panic(req in arb_request(), pos_seed in any::<u64>(), bit in 0u8..8) {
-        let frame = Frame { request_id: 9, msg: Message::Request(req) };
+        let frame = Frame { flags: 0, shard_id: 0, epoch: 0, request_id: 9, msg: Message::Request(req) };
         let mut bytes = encode_frame(&frame);
         let pos = (pos_seed % bytes.len() as u64) as usize;
         bytes[pos] ^= 1 << bit;
@@ -116,9 +116,66 @@ proptest! {
         let _ = decode_frame(&bytes);
     }
 
+    // Forward compatibility: frames with no routing state keep the v1
+    // layout bit-for-bit, so pre-sharding peers interoperate unchanged.
+    #[test]
+    fn unrouted_frames_stay_on_the_v1_wire(req in arb_request(), id in any::<u64>()) {
+        let frame = Frame::new(id, Message::Request(req));
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(bytes[2], VERSION, "zeroed routing must encode as v1");
+        let (got, used) = decode_frame(&bytes).expect("v1 decode");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn routed_frames_round_trip_on_the_v2_wire(
+        req in arb_request(),
+        id in any::<u64>(),
+        shard in 0u16..1024,
+        epoch in 1u64..u64::MAX,
+        flags in any::<u8>(),
+    ) {
+        let frame = Frame { request_id: id, flags, shard_id: shard, epoch, msg: Message::Request(req) };
+        let bytes = encode_frame(&frame);
+        prop_assert_eq!(bytes[2], VERSION_EXT);
+        let (got, _) = decode_frame(&bytes).expect("v2 decode");
+        prop_assert_eq!(got, frame);
+    }
+
+    // An ext region of a length this build does not know is a typed
+    // rejection, never a panic or a misparse — the reserved length byte
+    // is how future revisions can grow the extension.
+    #[test]
+    fn unknown_extension_lengths_are_rejected_typed(
+        req in arb_request(),
+        // 0..=254 with values >= EXT_LEN shifted up one: every length
+        // except the valid EXT_LEN itself.
+        bad_len in (0u8..255).prop_map(|raw| if raw >= EXT_LEN { raw + 1 } else { raw }),
+        extra in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let frame = Frame { request_id: 7, flags: 0, shard_id: 3, epoch: 9, msg: Message::Request(req) };
+        let mut bytes = encode_frame(&frame);
+        bytes[HEADER_LEN] = bad_len;
+        if bad_len > EXT_LEN {
+            // Splice in trailing ext bytes this build has never heard
+            // of, as a longer-ext future revision would.
+            let at = HEADER_LEN + 1 + EXT_LEN as usize;
+            let extra = &extra[..extra.len().min((bad_len - EXT_LEN) as usize)];
+            for (i, b) in extra.iter().enumerate() {
+                bytes.insert(at + i, *b);
+            }
+        }
+        match decode_frame(&bytes) {
+            Err(WireError::BadExtension(got)) => prop_assert_eq!(got, bad_len),
+            Err(_) => {} // shorter ext may surface as truncation/CRC — still typed
+            Ok(_) => prop_assert!(false, "unknown ext length {} must not decode", bad_len),
+        }
+    }
+
     #[test]
     fn every_prefix_truncation_is_an_error(req in arb_request()) {
-        let frame = Frame { request_id: 3, msg: Message::Request(req) };
+        let frame = Frame { flags: 0, shard_id: 0, epoch: 0, request_id: 3, msg: Message::Request(req) };
         let bytes = encode_frame(&frame);
         for cut in 0..bytes.len() {
             prop_assert!(decode_frame(&bytes[..cut]).is_err(), "cut {}", cut);
@@ -149,6 +206,9 @@ fn live_server_survives_socket_garbage() {
         // A valid ping frame with its CRC bit-flipped.
         {
             let mut f = encode_frame(&Frame {
+                flags: 0,
+                shard_id: 0,
+                epoch: 0,
                 request_id: 1,
                 msg: Message::Request(Request::Ping),
             });

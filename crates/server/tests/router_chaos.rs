@@ -1,0 +1,407 @@
+//! Chaos tests for the scatter-gather router: seeded network faults,
+//! shard death and restart mid-workload, and hot-reload epoch fencing.
+//!
+//! The invariants under test, in order of importance:
+//!
+//! 1. **No hangs, no panics.** Every fan-out terminates with a reply —
+//!    full, degraded, or a typed error — inside its io/deadline budget.
+//! 2. **No silent truncation.** A reply that claims to be full is
+//!    bit-identical to the monolith oracle; partial rows only ever
+//!    arrive as `Response::Degraded` naming the missing shards.
+//! 3. **Recovery.** Once faults clear and shards return, the router
+//!    converges back to full bit-identical service on its own.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bix_core::{BitmapIndex, EncodingScheme, EvalDomain, IndexConfig};
+use bix_server::{
+    ErrorCode, FaultyStream, IndexHandler, NetFaultPlan, Request, RequestMeta, Response,
+    RetryPolicy, Router, RouterConfig, RowsReply, ServeHandler, Server, ServerConfig,
+    SupervisorConfig,
+};
+use bix_workload::{DatasetSpec, QuerySetSpec};
+
+const CARDINALITY: u64 = 24;
+const ROWS: usize = 6_000;
+
+fn corpus() -> Vec<u64> {
+    DatasetSpec {
+        rows: ROWS,
+        cardinality: CARDINALITY,
+        zipf_z: 1.0,
+        seed: 0xc0de,
+    }
+    .generate()
+    .values
+}
+
+fn batch() -> Vec<String> {
+    QuerySetSpec { n_int: 2, n_equ: 1 }
+        .generate(CARDINALITY, 8, 0xbeef)
+        .iter()
+        .map(|q| {
+            let vals: Vec<String> = q.values().iter().map(u64::to_string).collect();
+            format!("in:{}", vals.join(","))
+        })
+        .collect()
+}
+
+fn build_index(column: &[u64]) -> BitmapIndex {
+    BitmapIndex::build(
+        column,
+        &IndexConfig::one_component(CARDINALITY, EncodingScheme::Interval),
+    )
+}
+
+/// The oracle: the whole column evaluated by one in-process handler.
+fn monolith_oracle(column: &[u64], predicates: &[String]) -> Vec<RowsReply> {
+    let handler = IndexHandler::new(build_index(column), &ServerConfig::default());
+    match handler.handle(
+        Request::Batch {
+            domain: EvalDomain::Auto,
+            deadline_ms: 0,
+            predicates: predicates.to_vec(),
+        },
+        &RequestMeta::default(),
+    ) {
+        Response::BatchRows(replies) => replies,
+        other => panic!("oracle evaluation failed: {other:?}"),
+    }
+}
+
+/// Starts one real TCP server per contiguous row slice.
+fn start_shards(column: &[u64], bounds: &[usize]) -> Vec<Server> {
+    bounds
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| {
+            let config = ServerConfig {
+                shard_id: i as u16,
+                ..ServerConfig::default()
+            };
+            Server::start(build_index(&column[w[0]..w[1]]), "127.0.0.1:0", config)
+                .expect("bind shard")
+        })
+        .collect()
+}
+
+fn router_config() -> RouterConfig {
+    RouterConfig {
+        retry: RetryPolicy::standard(0x5eed),
+        io_timeout: Duration::from_millis(500),
+        // Tests drive the supervisor by hand.
+        health_interval: Duration::ZERO,
+        supervisor: SupervisorConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(30),
+        },
+        ..RouterConfig::default()
+    }
+}
+
+fn run_batch(router: &Router, predicates: &[String], allow_degraded: bool) -> Response {
+    router.handle(
+        Request::Batch {
+            domain: EvalDomain::Auto,
+            deadline_ms: 4_000,
+            predicates: predicates.to_vec(),
+        },
+        &RequestMeta {
+            allow_degraded,
+            ..RequestMeta::default()
+        },
+    )
+}
+
+fn assert_bit_identical(got: &[RowsReply], want: &[RowsReply]) {
+    assert_eq!(got.len(), want.len(), "reply count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.rows, w.rows, "predicate {i} rows diverge");
+    }
+}
+
+/// Every shard link's first few connections run through a seeded
+/// [`FaultyStream`]; later dials are clean so bounded retry can land.
+fn faulty_dialer(seed: u64, faulty_dials_per_shard: u64) -> bix_server::router::ShardDialer {
+    let dials: Arc<Vec<AtomicU64>> = Arc::new((0..16).map(|_| AtomicU64::new(0)).collect());
+    Arc::new(move |shard, addr: &str| {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+        let nth = dials[shard].fetch_add(1, Ordering::Relaxed);
+        if nth < faulty_dials_per_shard {
+            let plan = NetFaultPlan::from_seed(
+                seed.wrapping_mul(0x9e37_79b9)
+                    .wrapping_add((shard as u64) << 8 | nth),
+            );
+            Ok(Box::new(FaultyStream::new(stream, plan)))
+        } else {
+            Ok(Box::new(stream))
+        }
+    })
+}
+
+#[test]
+fn seeded_fault_sweep_never_hangs_or_lies() {
+    let column = corpus();
+    let predicates = batch();
+    let oracle = monolith_oracle(&column, &predicates);
+    let bounds = [0, 1_500, 3_500, ROWS];
+    let shards = start_shards(&column, &bounds);
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+
+    let mut full = 0u32;
+    let mut typed = 0u32;
+    for seed in 0..16u64 {
+        let router = Router::with_dialer(addrs.clone(), router_config(), faulty_dialer(seed, 2));
+        match run_batch(&router, &predicates, false) {
+            Response::BatchRows(replies) => {
+                assert_bit_identical(&replies, &oracle);
+                full += 1;
+            }
+            Response::Error { code, .. } => {
+                // Faults may legitimately exhaust a leg's retry budget,
+                // but the failure must be typed — never partial rows
+                // masquerading as a full reply.
+                assert!(
+                    matches!(code, ErrorCode::Unavailable | ErrorCode::DeadlineExceeded),
+                    "seed {seed}: unexpected error class {code:?}"
+                );
+                typed += 1;
+            }
+            other => panic!("seed {seed}: non-typed outcome {other:?}"),
+        }
+        // Once the faulty dials are spent the same router must heal.
+        match run_batch(&router, &predicates, false) {
+            Response::BatchRows(replies) => assert_bit_identical(&replies, &oracle),
+            Response::Error { .. } => {
+                // Breaker may still be cooling down; one sweep heals it.
+                std::thread::sleep(Duration::from_millis(40));
+                router.health_sweep();
+                match run_batch(&router, &predicates, false) {
+                    Response::BatchRows(replies) => assert_bit_identical(&replies, &oracle),
+                    other => panic!("seed {seed}: did not heal: {other:?}"),
+                }
+            }
+            other => panic!("seed {seed}: did not heal: {other:?}"),
+        }
+    }
+    assert!(
+        full + typed == 16,
+        "every seed must resolve (got {full} full + {typed} typed)"
+    );
+    assert!(full > 0, "retry should recover at least one seed");
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn killed_shard_degrades_typed_and_recovers_on_restart() {
+    let column = corpus();
+    let predicates = batch();
+    let oracle = monolith_oracle(&column, &predicates);
+    let bounds = [0, 2_000, 4_000, ROWS];
+    let mut shards = start_shards(&column, &bounds);
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+
+    let router = Router::new(addrs.clone(), router_config());
+
+    // Healthy baseline: full and bit-identical.
+    match run_batch(&router, &predicates, false) {
+        Response::BatchRows(replies) => assert_bit_identical(&replies, &oracle),
+        other => panic!("baseline failed: {other:?}"),
+    }
+
+    // Kill the middle shard.
+    let dead = shards.remove(1);
+    let dead_addr = addrs[1].clone();
+    dead.shutdown();
+
+    // Without the degraded opt-in: all-or-typed-error.
+    match run_batch(&router, &predicates, false) {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Unavailable, "{message}");
+            assert!(message.contains('1'), "must name the dead shard: {message}");
+        }
+        other => panic!("want typed Unavailable, got {other:?}"),
+    }
+
+    // With the opt-in: partial rows, missing shard named, and the rows
+    // that did arrive are exactly the oracle minus the dead range.
+    let dead_range = bounds[1] as u64..bounds[2] as u64;
+    match run_batch(&router, &predicates, true) {
+        Response::Degraded {
+            missing_shards,
+            replies,
+        } => {
+            assert_eq!(missing_shards, vec![1]);
+            let expected: Vec<Vec<u64>> = oracle
+                .iter()
+                .map(|r| {
+                    r.rows
+                        .iter()
+                        .copied()
+                        .filter(|row| !dead_range.contains(row))
+                        .collect()
+                })
+                .collect();
+            for (got, want) in replies.iter().zip(&expected) {
+                assert_eq!(
+                    &got.rows, want,
+                    "degraded rows must be oracle minus shard 1"
+                );
+            }
+        }
+        other => panic!("want Degraded, got {other:?}"),
+    }
+
+    // Restart the shard on its old address (retry briefly: the OS may
+    // hold the port for a moment) and let the breaker half-open.
+    let mut revived = None;
+    for _ in 0..50 {
+        let config = ServerConfig {
+            shard_id: 1,
+            ..ServerConfig::default()
+        };
+        match Server::start(
+            build_index(&column[bounds[1]..bounds[2]]),
+            dead_addr.as_str(),
+            config,
+        ) {
+            Ok(s) => {
+                revived = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let revived = revived.expect("rebind shard address");
+    std::thread::sleep(Duration::from_millis(40)); // past breaker cooldown
+    router.health_sweep();
+
+    match run_batch(&router, &predicates, false) {
+        Response::BatchRows(replies) => assert_bit_identical(&replies, &oracle),
+        other => panic!("restarted fleet must serve fully: {other:?}"),
+    }
+
+    revived.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn mid_stream_connection_death_is_retried_not_merged() {
+    let column = corpus();
+    let predicates = batch();
+    let oracle = monolith_oracle(&column, &predicates);
+    let bounds = [0, 3_000, ROWS];
+    let shards = start_shards(&column, &bounds);
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+
+    // Shard 1's first post-startup connection dies mid-reply (the
+    // truncation lands inside the batch response). The router must
+    // treat the half-delivered reply as line noise and retry on a
+    // fresh connection, not merge what it got.
+    let dials = Arc::new(AtomicU64::new(0));
+    let dialer: bix_server::router::ShardDialer = Arc::new(move |shard, addr: &str| {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+        if shard == 1 {
+            let nth = dials.fetch_add(1, Ordering::Relaxed);
+            // Dial 0 is shape learning; dial 1 carries the batch.
+            if nth == 1 {
+                let plan = NetFaultPlan::new().fault(
+                    bix_server::Direction::Recv,
+                    0,
+                    bix_server::NetFault::Truncate,
+                );
+                return Ok(Box::new(FaultyStream::new(stream, plan))
+                    as Box<dyn bix_server::router::Transport>);
+            }
+        }
+        Ok(Box::new(stream))
+    });
+
+    let router = Router::with_dialer(addrs, router_config(), dialer);
+    match run_batch(&router, &predicates, false) {
+        Response::BatchRows(replies) => assert_bit_identical(&replies, &oracle),
+        other => panic!("mid-stream death must be survived by retry: {other:?}"),
+    }
+
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn hot_reload_mid_workload_is_fenced_and_survived() {
+    let column = corpus();
+    let predicates = batch();
+    let oracle = monolith_oracle(&column, &predicates);
+    let bounds = [0, 2_500, ROWS];
+    let shards = start_shards(&column, &bounds);
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+
+    // Persist shard 0's slice so the live server can hot-reload it.
+    let path = std::env::temp_dir().join(format!(
+        "bix-chaos-reload-{}-{}.bix",
+        std::process::id(),
+        shards[0].addr().port(),
+    ));
+    build_index(&column[bounds[0]..bounds[1]])
+        .save(&path)
+        .expect("save shard slice");
+
+    let router = Router::new(addrs.clone(), router_config());
+    match run_batch(&router, &predicates, false) {
+        Response::BatchRows(replies) => assert_bit_identical(&replies, &oracle),
+        other => panic!("baseline failed: {other:?}"),
+    }
+
+    // Reload shard 0 behind the router's back: its epoch bumps 1 → 2
+    // while the router's routing table still says 1.
+    let mut direct = bix_server::Client::connect(shards[0].addr()).expect("dial shard");
+    direct
+        .reload(path.to_str().expect("utf8 path"))
+        .expect("reload");
+    assert_eq!(direct.last_epoch(), 2, "reload must bump the epoch");
+
+    // The next fan-out sees a stale epoch, refreshes, re-runs, and
+    // still answers bit-identically — the fence shows up in metrics.
+    match run_batch(&router, &predicates, false) {
+        Response::BatchRows(replies) => assert_bit_identical(&replies, &oracle),
+        other => panic!("post-reload fan-out failed: {other:?}"),
+    }
+    let stats = match router.handle(
+        Request::Stats(bix_server::StatsFormat::Prometheus),
+        &RequestMeta::default(),
+    ) {
+        Response::Stats { text } => text,
+        other => panic!("stats failed: {other:?}"),
+    };
+    let fenced = stats
+        .lines()
+        .find(|l| l.starts_with("bix_route_stale_epoch_retries_total"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("stale-epoch counter present");
+    assert!(
+        fenced >= 1.0,
+        "the stale reply must have been fenced, not merged"
+    );
+
+    // The router's externally visible epoch moved with the shard's.
+    assert_eq!(router.epoch(), 3, "epoch sum = shard0(2) + shard1(1)");
+
+    let _ = std::fs::remove_file(&path);
+    for shard in shards {
+        shard.shutdown();
+    }
+}

@@ -24,11 +24,22 @@
 //! bix repair  index.bix [--out file] [--metrics-out file.json]
 //! bix serve   index.bix [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!             [--deadline-ms MS] [--request-threads N] [--pool-pages P]
-//! bix client  ping|query|batch|stats|reload|shutdown --addr HOST:PORT ...
+//!             [--shard-id N]      # stamp replies as shard N (row-range member)
+//! bix route   --shards H:P,H:P[,...] [--addr HOST:PORT] [--workers N]
+//!             [--queue-depth N] [--deadline-ms MS] [--retries N]
+//!             [--health-interval-ms MS]
+//!                                 # scatter-gather front-end over row-range
+//!                                 # shards (shard order = row order)
+//! bix client  ping|query|batch|stats|reload|shutdown|help
+//!             --addr HOST:PORT | --via-router HOST:PORT ...
 //!             # query  <predicate> [--eval-domain ...] [--deadline-ms MS]
 //!             # batch  <file>      [--eval-domain ...] [--deadline-ms MS]
 //!             # stats  [--json]
 //!             # reload <server-side index path>
+//!             # common: [--retries N] [--allow-degraded]
+//!             # exit codes: 0 ok, 2 usage/connect, 3 overloaded,
+//!             #             4 deadline, 5 degraded, 6 unavailable,
+//!             #             7 bad query, 8 wire/malformed
 //! ```
 //!
 //! The input file is one value per line, or CSV with `--column` selecting
@@ -47,8 +58,12 @@ use chan_bitmap_index::core::{
     EvalResult, EvalStrategy, IndexConfig, IoMetrics, MetricsRegistry, ParallelExecutor, Query,
     ShardedBufferPool, Tracer, EXISTENCE_REF,
 };
-use chan_bitmap_index::server::{Client, Server, ServerConfig, StatsFormat};
+use chan_bitmap_index::server::{
+    Client, ClientError, ErrorCode as WireErrorCode, RetryPolicy, Router, RouterConfig, Server,
+    ServerConfig, StatsFormat,
+};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -63,9 +78,20 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("repair") => cmd_repair(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
-        Some("client") => cmd_client(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        // `client` maps typed outcomes to distinct exit codes so chaos
+        // scripts and CI can assert without parsing stderr.
+        Some("client") => {
+            return match cmd_client(&args[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(CliFailure { exit_code, message }) => {
+                    eprintln!("error: {message}");
+                    ExitCode::from(exit_code)
+                }
+            }
+        }
         _ => Err(
-            "usage: bix <build|query|info|explain|stats|advise|verify|repair|serve|client> ..."
+            "usage: bix <build|query|info|explain|stats|advise|verify|repair|serve|route|client> ..."
                 .to_string(),
         ),
     };
@@ -709,7 +735,8 @@ fn numeric_flag(args: &[String], flag: &str, default: usize) -> Result<usize, St
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: bix serve <index.bix> [--addr HOST:PORT] [--workers N] \
-         [--queue-depth N] [--deadline-ms MS] [--request-threads N] [--pool-pages P]";
+         [--queue-depth N] [--deadline-ms MS] [--request-threads N] [--pool-pages P] \
+         [--shard-id N]";
     let path = args.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into());
     let defaults = ServerConfig::default();
@@ -721,6 +748,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         default_deadline_ms: match flag_value(args, "--deadline-ms") {
             None => defaults.default_deadline_ms,
             Some(v) => v.parse().map_err(|_| "--deadline-ms must be a number")?,
+        },
+        shard_id: match flag_value(args, "--shard-id") {
+            None => defaults.shard_id,
+            Some(v) => v.parse().map_err(|_| "--shard-id must be a small number")?,
         },
         ..defaults
     };
@@ -738,29 +769,179 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_client(args: &[String]) -> Result<(), String> {
-    const USAGE: &str = "usage: bix client <ping|query|batch|stats|reload|shutdown> \
-         --addr HOST:PORT [...]";
-    let sub = args.first().ok_or(USAGE)?;
-    let addr = flag_value(args, "--addr").ok_or("missing --addr HOST:PORT")?;
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: bix route --shards HOST:PORT,HOST:PORT[,...] \
+         [--addr HOST:PORT] [--workers N] [--queue-depth N] [--deadline-ms MS] \
+         [--retries N] [--health-interval-ms MS]";
+    let shards: Vec<String> = flag_value(args, "--shards")
+        .ok_or(USAGE)?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if shards.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7071".into());
+    let route_defaults = RouterConfig::default();
+    let retry = RetryPolicy {
+        max_retries: numeric_flag(args, "--retries", route_defaults.retry.max_retries as usize)?
+            as u32,
+        ..route_defaults.retry
+    };
+    let health_interval = match flag_value(args, "--health-interval-ms") {
+        None => route_defaults.health_interval,
+        Some(v) => Duration::from_millis(
+            v.parse()
+                .map_err(|_| "--health-interval-ms must be a number")?,
+        ),
+    };
+    let route_config = RouterConfig {
+        default_deadline_ms: match flag_value(args, "--deadline-ms") {
+            None => route_defaults.default_deadline_ms,
+            Some(v) => v.parse().map_err(|_| "--deadline-ms must be a number")?,
+        },
+        retry,
+        health_interval,
+        ..route_defaults
+    };
+    let serve_defaults = ServerConfig::default();
+    let serve_config = ServerConfig {
+        workers: numeric_flag(args, "--workers", serve_defaults.workers)?,
+        queue_depth: numeric_flag(args, "--queue-depth", serve_defaults.queue_depth)?,
+        ..serve_defaults
+    };
+    let n_shards = shards.len();
+    let router = Router::new(shards, route_config);
+    let server = Server::serve(Arc::new(router), addr.as_str(), serve_config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("routing {n_shards} shards on {}", server.addr());
+    server.join();
+    eprintln!("router stopped");
+    Ok(())
+}
+
+/// A `bix client` failure paired with the process exit code that
+/// `main` should report, so scripts can branch on the outcome class
+/// without parsing stderr.
+struct CliFailure {
+    exit_code: u8,
+    message: String,
+}
+
+impl From<String> for CliFailure {
+    fn from(message: String) -> CliFailure {
+        CliFailure {
+            exit_code: 2,
+            message,
+        }
+    }
+}
+
+impl From<&str> for CliFailure {
+    fn from(message: &str) -> CliFailure {
+        CliFailure::from(message.to_string())
+    }
+}
+
+impl From<ClientError> for CliFailure {
+    fn from(err: ClientError) -> CliFailure {
+        let exit_code = match &err {
+            ClientError::Server { code, .. } => match code {
+                WireErrorCode::Overloaded => 3,
+                WireErrorCode::DeadlineExceeded => 4,
+                WireErrorCode::Unavailable => 6,
+                WireErrorCode::BadQuery => 7,
+                WireErrorCode::Malformed => 8,
+                _ => 2,
+            },
+            ClientError::Wire(_) => 8,
+            ClientError::Io(_) | ClientError::Unexpected(_) => 2,
+        };
+        CliFailure {
+            exit_code,
+            message: err.to_string(),
+        }
+    }
+}
+
+const CLIENT_USAGE: &str = "usage: bix client <ping|query|batch|stats|reload|shutdown|help> \
+     --addr HOST:PORT [...]\n\
+\n\
+subcommands:\n\
+  ping                     round-trip liveness check\n\
+  query <predicate>        evaluate one predicate, print matching rows\n\
+  batch <file>             evaluate predicates from <file> (one per line, # comments)\n\
+  stats [--json]           fetch live metrics (Prometheus text by default)\n\
+  reload <path>            hot-swap the server's index from a server-side path\n\
+  shutdown                 ask the server to drain and stop\n\
+  help                     print this text\n\
+\n\
+common flags:\n\
+  --addr HOST:PORT         server or router address (required)\n\
+  --via-router HOST:PORT   alias for --addr, documenting that the peer\n\
+                           is a scatter-gather router\n\
+  --deadline-ms MS         per-request deadline (query/batch)\n\
+  --eval-domain D          auto|compressed|decompressed (query/batch)\n\
+  --retries N              transient-failure retries with jittered backoff\n\
+                           (reconnects between attempts; default 0)\n\
+  --allow-degraded         accept partial results when a router has lost\n\
+                           shards; missing shards go to stderr, exit 5\n\
+\n\
+exit codes:\n\
+  0  success (full result)\n\
+  2  usage, connection, or unclassified error\n\
+  3  server overloaded (admission queue full)\n\
+  4  request deadline exceeded\n\
+  5  degraded reply: partial rows printed, some shards missing\n\
+  6  shards unavailable and --allow-degraded not set\n\
+  7  predicate rejected (bad query)\n\
+  8  wire-level failure (malformed, truncated, or corrupt frames)";
+
+fn cmd_client(args: &[String]) -> Result<(), CliFailure> {
+    let sub = args.first().ok_or(CLIENT_USAGE)?;
+    if sub == "help" || sub == "--help" {
+        println!("{CLIENT_USAGE}");
+        return Ok(());
+    }
+    let addr = flag_value(args, "--addr")
+        .or_else(|| flag_value(args, "--via-router"))
+        .ok_or("missing --addr HOST:PORT (or --via-router HOST:PORT)")?;
     let deadline_ms: u32 = match flag_value(args, "--deadline-ms") {
         None => 0,
         Some(v) => v.parse().map_err(|_| "--deadline-ms must be a number")?,
     };
+    let retries: u32 = match flag_value(args, "--retries") {
+        None => 0,
+        Some(v) => v.parse().map_err(|_| "--retries must be a number")?,
+    };
+    let allow_degraded = has_flag(args, "--allow-degraded");
     let timeout = Duration::from_secs(30);
     let mut client = Client::connect_with_timeout(addr.as_str(), timeout)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if retries > 0 {
+        client = client.with_retry(RetryPolicy {
+            max_retries: retries,
+            ..RetryPolicy::standard(0xb1c5)
+        });
+    }
+    client.set_allow_degraded(allow_degraded);
+    let mut degraded: Option<Vec<u16>> = None;
     match sub.as_str() {
         "ping" => {
-            client.ping().map_err(|e| e.to_string())?;
+            client.ping()?;
             eprintln!("pong from {addr}");
         }
         "query" => {
-            let predicate = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+            let predicate = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or(CLIENT_USAGE)?;
             let domain = parse_eval_domain(args)?;
-            let reply = client
-                .query(predicate, domain, deadline_ms)
-                .map_err(|e| e.to_string())?;
+            let outcome = client.query_outcome(predicate, domain, deadline_ms)?;
+            let missing = outcome.missing_shards().to_vec();
+            let reply = outcome.into_value();
             for row in &reply.rows {
                 println!("{row}");
             }
@@ -770,9 +951,15 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 reply.scans,
                 reply.decompressions,
             );
+            if !missing.is_empty() {
+                degraded = Some(missing);
+            }
         }
         "batch" => {
-            let file = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+            let file = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or(CLIENT_USAGE)?;
             let domain = parse_eval_domain(args)?;
             let contents =
                 std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -783,17 +970,20 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 .map(String::from)
                 .collect();
             if predicates.is_empty() {
-                return Err(format!("{file} contains no predicates"));
+                return Err(format!("{file} contains no predicates").into());
             }
-            let replies = client
-                .batch(&predicates, domain, deadline_ms)
-                .map_err(|e| e.to_string())?;
+            let outcome = client.batch_outcome(&predicates, domain, deadline_ms)?;
+            let missing = outcome.missing_shards().to_vec();
+            let replies = outcome.into_value();
             let mut scans = 0u64;
             for (text, reply) in predicates.iter().zip(&replies) {
                 println!("{text}\t{} rows\t{} scans", reply.rows.len(), reply.scans);
                 scans += reply.scans;
             }
             eprintln!("{} queries: {} scans", replies.len(), scans);
+            if !missing.is_empty() {
+                degraded = Some(missing);
+            }
         }
         "stats" => {
             let format = if has_flag(args, "--json") {
@@ -801,18 +991,40 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             } else {
                 StatsFormat::Prometheus
             };
-            print!("{}", client.stats(format).map_err(|e| e.to_string())?);
+            print!("{}", client.stats(format)?);
         }
         "reload" => {
-            let path = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
-            client.reload(path).map_err(|e| e.to_string())?;
+            let path = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or(CLIENT_USAGE)?;
+            client.reload(path)?;
             eprintln!("reloaded {path}");
         }
         "shutdown" => {
-            client.shutdown().map_err(|e| e.to_string())?;
+            client.shutdown()?;
             eprintln!("server draining");
         }
-        other => return Err(format!("unknown client subcommand {other}\n{USAGE}")),
+        other => {
+            return Err(format!("unknown client subcommand {other}\n{CLIENT_USAGE}").into());
+        }
+    }
+    let stats = client.client_stats();
+    if stats.retries > 0 {
+        eprintln!(
+            "{} transient failure(s) retried ({} reconnects)",
+            stats.retries, stats.reconnects
+        );
+    }
+    if let Some(missing) = degraded {
+        let list: Vec<String> = missing.iter().map(u16::to_string).collect();
+        return Err(CliFailure {
+            exit_code: 5,
+            message: format!(
+                "degraded reply: rows from shard(s) {} are missing",
+                list.join(",")
+            ),
+        });
     }
     Ok(())
 }
@@ -820,6 +1032,38 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn client_exit_codes_are_distinct_per_error_class() {
+        let server = |code| ClientError::Server {
+            code,
+            message: String::new(),
+        };
+        let cases = [
+            (server(WireErrorCode::Overloaded), 3),
+            (server(WireErrorCode::DeadlineExceeded), 4),
+            (server(WireErrorCode::Unavailable), 6),
+            (server(WireErrorCode::BadQuery), 7),
+            (server(WireErrorCode::Malformed), 8),
+            (server(WireErrorCode::Internal), 2),
+            (
+                ClientError::Wire(chan_bitmap_index::server::WireError::Truncated),
+                8,
+            ),
+            (
+                ClientError::Io(std::io::Error::other("x")),
+                2,
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(CliFailure::from(err).exit_code, want);
+        }
+        // Every documented code appears in the help text.
+        for code in [0, 2, 3, 4, 5, 6, 7, 8] {
+            let entry = format!("\n{code}  ");
+            assert!(CLIENT_USAGE.contains(&entry), "help must document {code}");
+        }
+    }
 
     #[test]
     fn predicate_grammar() {
