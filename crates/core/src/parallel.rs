@@ -200,6 +200,26 @@ impl ParallelExecutor {
         )
     }
 
+    /// Span tracing *and* a wall-clock deadline together — the traced
+    /// serving path. Behaves like [`ParallelExecutor::execute_traced`]
+    /// when `deadline` is `None` and like
+    /// [`ParallelExecutor::execute_deadline`] when the tracer is
+    /// disabled; a deadline expiry discards the batch but the spans
+    /// recorded up to that point survive in the tracer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_full(
+        &self,
+        index: &BitmapIndex,
+        queries: &[Query],
+        pool: &ShardedBufferPool,
+        cost: &CostModel,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+        deadline: Option<Instant>,
+    ) -> Result<BatchResult, DeadlineExceeded> {
+        self.execute_inner(index, queries, pool, cost, tracer, parent, deadline)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn execute_inner(
         &self,

@@ -28,6 +28,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use bix_core::EvalDomain;
+use bix_telemetry::{SpanRecord, TraceContext};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -219,6 +220,8 @@ pub struct Client<S: Read + Write + Send = TcpStream> {
     stats: ClientStats,
     last_epoch: u64,
     last_shard: u16,
+    trace: TraceContext,
+    last_spans: Vec<SpanRecord>,
 }
 
 impl Client<TcpStream> {
@@ -258,6 +261,8 @@ impl Client<TcpStream> {
             stats: ClientStats::default(),
             last_epoch: 0,
             last_shard: 0,
+            trace: TraceContext::default(),
+            last_spans: Vec::new(),
         })
     }
 }
@@ -277,6 +282,8 @@ impl<S: Read + Write + Send> Client<S> {
             stats: ClientStats::default(),
             last_epoch: 0,
             last_shard: 0,
+            trace: TraceContext::default(),
+            last_spans: Vec::new(),
         }
     }
 
@@ -293,6 +300,8 @@ impl<S: Read + Write + Send> Client<S> {
             stats: ClientStats::default(),
             last_epoch: 0,
             last_shard: 0,
+            trace: TraceContext::default(),
+            last_spans: Vec::new(),
         }
     }
 
@@ -324,6 +333,27 @@ impl<S: Read + Write + Send> Client<S> {
         self.last_shard
     }
 
+    /// Stamps `trace` on every future request frame. A sampled context
+    /// asks the server to trace the request and ship its span forest
+    /// back ([`Client::last_spans`]); an all-zero context (the default)
+    /// keeps frames v1-identical.
+    pub fn set_trace(&mut self, trace: TraceContext) {
+        self.trace = trace;
+    }
+
+    /// The trace context currently stamped on outgoing requests.
+    pub fn trace(&self) -> TraceContext {
+        self.trace
+    }
+
+    /// The span forest shipped with the most recent reply (empty unless
+    /// the request was sampled). Parent links are raw indices local to
+    /// this forest — feed them to `Tracer::graft` to splice the forest
+    /// into a local trace.
+    pub fn last_spans(&self) -> &[SpanRecord] {
+        &self.last_spans
+    }
+
     /// Sends one request and reads its reply on the current transport.
     fn attempt(&mut self, request: &Request) -> Result<Response, ClientError> {
         if self.stream.is_none() {
@@ -340,10 +370,12 @@ impl<S: Read + Write + Send> Client<S> {
         if self.allow_degraded {
             frame.flags |= FLAG_ALLOW_DEGRADED;
         }
+        frame.trace = self.trace;
         write_frame(stream, &frame)?;
         let (reply, _) = read_frame(stream)?;
         self.last_epoch = reply.epoch;
         self.last_shard = reply.shard_id;
+        self.last_spans = reply.spans;
         match reply.msg {
             // Typed errors are honoured whatever their id: admission
             // rejections are written before the server ever reads a
@@ -505,6 +537,15 @@ impl<S: Read + Write + Send> Client<S> {
         match self.roundtrip(Request::Stats(format))? {
             Response::Stats { text } => Ok(text),
             _ => Err(ClientError::Unexpected("want Stats")),
+        }
+    }
+
+    /// Fetches the server's slow-query log as JSON. Against a router
+    /// this is the aggregated fleet view (`{"router":…,"shards":[…]}`).
+    pub fn slowlog(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(Request::SlowLog)? {
+            Response::Stats { text } => Ok(text),
+            _ => Err(ClientError::Unexpected("want SlowLog stats")),
         }
     }
 

@@ -26,16 +26,41 @@
 //! 28+n    4     CRC-32 over extension bytes + payload
 //! ```
 //!
+//! Traced frames grow the extension to carry a distributed-trace
+//! context ([`EXT_LEN_TRACE`] = 36 bytes):
+//!
+//! ```text
+//! offset  size  field
+//! 16      1     extension length (36)
+//! 17      1     flags (bit 0: ALLOW_DEGRADED)
+//! 18      2     shard id (little endian)
+//! 20      8     shard epoch (little endian)
+//! 28      16    trace id (little endian)
+//! 44      8     parent span id (little endian)
+//! 52      1     trace flags (bit 0: SAMPLED, bit 1: HAS_SPANS)
+//! 53      n     [spans section]? + payload
+//! 53+n    4     CRC-32 over extension bytes + payload
+//! ```
+//!
+//! When trace-flag bit 1 (`HAS_SPANS`) is set, the payload begins with
+//! a length-prefixed section of [`SpanRecord`]s — a sampled shard
+//! shipping its span forest back to the router — followed by the normal
+//! message body. Parent links are raw indices into the section itself
+//! and must point backwards; the router grafts the forest into its own
+//! tracer, remapping the indices.
+//!
 //! The extension exists for sharded serving: a shard stamps every reply
 //! with its id and its reload epoch so a router can detect replies
 //! computed against a stale index generation (a hot reload mid-stream)
 //! and retry them instead of merging them. Frames with all-zero routing
 //! fields encode as version 1, so single-node deployments and old peers
-//! see exactly the v1 byte stream; a v2 extension whose length is not
-//! the known 11 bytes is rejected with a typed error — trailing bytes
-//! are never silently skipped. For v2 frames the CRC covers the
-//! extension as well as the payload, so a bit-flipped epoch can never
-//! route a reply into the wrong merge.
+//! see exactly the v1 byte stream; frames with routing state but no
+//! trace keep the 11-byte extension byte-for-byte. A v2 extension whose
+//! length is not one of the known layouts (11 or 36) is rejected with a
+//! typed error — trailing bytes are never silently skipped. For v2
+//! frames the CRC covers the extension as well as the payload, so a
+//! bit-flipped epoch or trace id can never route a reply into the wrong
+//! merge or splice spans into the wrong trace.
 //!
 //! The codec in this module is pure — it maps between byte slices and
 //! typed [`Frame`] values without touching sockets — so every decode
@@ -52,6 +77,7 @@ use std::io::{self, Read, Write};
 
 use bix_core::EvalDomain;
 use bix_storage::crc32;
+use bix_telemetry::{SpanId, SpanRecord, TraceContext};
 
 /// Two-byte frame preamble.
 pub const MAGIC: [u8; 2] = *b"bX";
@@ -66,6 +92,18 @@ pub const HEADER_LEN: usize = 16;
 /// Byte length of the v2 routing extension body (flags + shard id +
 /// epoch), excluding its own length byte.
 pub const EXT_LEN: u8 = 11;
+/// Byte length of the extension body when it also carries a trace
+/// context (routing fields + trace id + parent span + trace flags).
+pub const EXT_LEN_TRACE: u8 = 36;
+/// Trace flag (in the extension's trace-flags byte): the request is
+/// sampled — record spans and ship them back in the reply.
+pub const TRACE_FLAG_SAMPLED: u8 = 0x01;
+/// Trace flag: the payload begins with a spans section.
+pub const TRACE_FLAG_SPANS: u8 = 0x02;
+/// Upper bound on spans a single frame may carry.
+pub const MAX_SPANS: u32 = 16_384;
+/// Upper bound on attributes per shipped span.
+pub const MAX_SPAN_ATTRS: u16 = 64;
 /// Request flag: the client accepts a [`Response::Degraded`] partial
 /// result when some shards are unreachable. Without it a router answers
 /// all-or-typed-error.
@@ -174,6 +212,9 @@ pub enum Request {
     },
     /// Fetch the server's metrics registry.
     Stats(StatsFormat),
+    /// Fetch the server's slow-query log as a JSON [`Response::Stats`]
+    /// (a router aggregates its own log with every shard's).
+    SlowLog,
     /// Atomically swap in a freshly verified index from this path.
     Reload {
         /// Server-side filesystem path of the index to load.
@@ -243,6 +284,13 @@ pub struct Frame {
     /// A router refuses to merge a reply whose epoch does not match its
     /// routing table and retries it instead.
     pub epoch: u64,
+    /// Distributed-trace context; all-zero when the request is not
+    /// traced (the common case — encodes to nothing on the wire).
+    pub trace: TraceContext,
+    /// Span forest shipped with a sampled reply, in the sender's
+    /// creation order (parents always precede children). Empty on
+    /// requests and unsampled replies.
+    pub spans: Vec<SpanRecord>,
     /// The frame body.
     pub msg: Message,
 }
@@ -255,13 +303,20 @@ impl Frame {
             flags: 0,
             shard_id: 0,
             epoch: 0,
+            trace: TraceContext::default(),
+            spans: Vec::new(),
             msg,
         }
     }
 
     /// Whether this frame needs the v2 routing extension on the wire.
     fn extended(&self) -> bool {
-        self.flags != 0 || self.shard_id != 0 || self.epoch != 0
+        self.flags != 0 || self.shard_id != 0 || self.epoch != 0 || self.trace_extended()
+    }
+
+    /// Whether this frame needs the longer trace-carrying extension.
+    fn trace_extended(&self) -> bool {
+        !self.trace.is_zero() || !self.spans.is_empty()
     }
 }
 
@@ -300,7 +355,7 @@ impl fmt::Display for WireError {
             WireError::BadExtension(n) => {
                 write!(
                     f,
-                    "unknown routing-extension length {n} (expected {EXT_LEN})"
+                    "unknown routing-extension length {n} (expected {EXT_LEN} or {EXT_LEN_TRACE})"
                 )
             }
             WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
@@ -332,6 +387,7 @@ const KIND_BATCH: u8 = 0x03;
 const KIND_STATS: u8 = 0x04;
 const KIND_RELOAD: u8 = 0x05;
 const KIND_SHUTDOWN: u8 = 0x06;
+const KIND_SLOWLOG: u8 = 0x07;
 const KIND_PONG: u8 = 0x81;
 const KIND_ROWS: u8 = 0x82;
 const KIND_BATCH_ROWS: u8 = 0x83;
@@ -462,6 +518,7 @@ impl Message {
             Message::Request(Request::Query { .. }) => KIND_QUERY,
             Message::Request(Request::Batch { .. }) => KIND_BATCH,
             Message::Request(Request::Stats(_)) => KIND_STATS,
+            Message::Request(Request::SlowLog) => KIND_SLOWLOG,
             Message::Request(Request::Reload { .. }) => KIND_RELOAD,
             Message::Request(Request::Shutdown) => KIND_SHUTDOWN,
             Message::Response(Response::Pong) => KIND_PONG,
@@ -478,6 +535,7 @@ impl Message {
         match self {
             Message::Request(Request::Ping)
             | Message::Request(Request::Shutdown)
+            | Message::Request(Request::SlowLog)
             | Message::Response(Response::Pong)
             | Message::Response(Response::Ok) => {}
             Message::Request(Request::Query {
@@ -546,6 +604,7 @@ impl Message {
         let msg = match kind {
             KIND_PING => Message::Request(Request::Ping),
             KIND_SHUTDOWN => Message::Request(Request::Shutdown),
+            KIND_SLOWLOG => Message::Request(Request::SlowLog),
             KIND_PONG => Message::Response(Response::Pong),
             KIND_OK => Message::Response(Response::Ok),
             KIND_QUERY => {
@@ -648,29 +707,135 @@ fn crc32_over(parts: &[&[u8]]) -> u32 {
     h.finalize()
 }
 
-/// Serialises the v2 routing extension (length byte + body).
-fn encode_extension(frame: &Frame) -> [u8; 1 + EXT_LEN as usize] {
-    let mut ext = [0u8; 1 + EXT_LEN as usize];
-    ext[0] = EXT_LEN;
-    ext[1] = frame.flags;
-    ext[2..4].copy_from_slice(&frame.shard_id.to_le_bytes());
-    ext[4..12].copy_from_slice(&frame.epoch.to_le_bytes());
+/// Serialises the v2 extension (length byte + body): the 11-byte
+/// routing layout, or the 36-byte trace-carrying layout when the frame
+/// has a trace context or ships spans.
+fn encode_extension(frame: &Frame) -> Vec<u8> {
+    let traced = frame.trace_extended();
+    let mut ext = Vec::with_capacity(1 + EXT_LEN_TRACE as usize);
+    ext.push(if traced { EXT_LEN_TRACE } else { EXT_LEN });
+    ext.push(frame.flags);
+    ext.extend_from_slice(&frame.shard_id.to_le_bytes());
+    ext.extend_from_slice(&frame.epoch.to_le_bytes());
+    if traced {
+        ext.extend_from_slice(&frame.trace.trace_id.to_le_bytes());
+        ext.extend_from_slice(&frame.trace.parent_span.to_le_bytes());
+        let mut trace_flags = 0u8;
+        if frame.trace.sampled {
+            trace_flags |= TRACE_FLAG_SAMPLED;
+        }
+        if !frame.spans.is_empty() {
+            trace_flags |= TRACE_FLAG_SPANS;
+        }
+        ext.push(trace_flags);
+    }
     ext
 }
 
-/// Decodes the v2 extension body (after its length byte has been
-/// validated) into `frame`'s routing fields.
-fn apply_extension(frame: &mut Frame, body: &[u8]) {
-    debug_assert_eq!(body.len(), EXT_LEN as usize);
+/// Decodes a v2 extension body (its length byte already validated as
+/// one of the known layouts) into `frame`'s routing and trace fields.
+/// Returns whether the payload begins with a spans section.
+fn apply_extension(frame: &mut Frame, body: &[u8]) -> bool {
+    debug_assert!(body.len() == EXT_LEN as usize || body.len() == EXT_LEN_TRACE as usize);
     frame.flags = body[0];
     frame.shard_id = u16::from_le_bytes(body[1..3].try_into().unwrap());
     frame.epoch = u64::from_le_bytes(body[3..11].try_into().unwrap());
+    if body.len() == EXT_LEN_TRACE as usize {
+        frame.trace.trace_id = u128::from_le_bytes(body[11..27].try_into().unwrap());
+        frame.trace.parent_span = u64::from_le_bytes(body[27..35].try_into().unwrap());
+        let trace_flags = body[35];
+        frame.trace.sampled = trace_flags & TRACE_FLAG_SAMPLED != 0;
+        trace_flags & TRACE_FLAG_SPANS != 0
+    } else {
+        false
+    }
+}
+
+/// Smallest possible encoded span: parent + start + end + empty name
+/// length + attr count. Bounds the span-count allocation.
+const SPAN_MIN_BYTES: usize = 4 + 8 + 8 + 4 + 2;
+
+/// Serialises a span forest (creation order; parents precede children)
+/// as the frame's spans section. Spans past [`MAX_SPANS`] and
+/// attributes past [`MAX_SPAN_ATTRS`] are dropped from the tail —
+/// truncation is safe because parent links only ever point backwards.
+fn encode_spans(out: &mut Vec<u8>, spans: &[SpanRecord]) {
+    let spans = &spans[..spans.len().min(MAX_SPANS as usize)];
+    put_u32(out, spans.len() as u32);
+    for s in spans {
+        put_u32(out, s.parent.map_or(u32::MAX, SpanId::raw));
+        put_u64(out, s.start_ns);
+        put_u64(out, s.end_ns);
+        put_u32(out, s.name.len() as u32);
+        out.extend_from_slice(s.name.as_bytes());
+        let attrs = &s.attrs[..s.attrs.len().min(MAX_SPAN_ATTRS as usize)];
+        out.extend_from_slice(&(attrs.len() as u16).to_le_bytes());
+        for (k, v) in attrs {
+            put_u32(out, k.len() as u32);
+            out.extend_from_slice(k.as_bytes());
+            put_u32(out, v.len() as u32);
+            out.extend_from_slice(v.as_bytes());
+        }
+    }
+}
+
+/// Parses the spans section off the front of `payload`, returning the
+/// spans and the remaining message body. Counts are bounded by the
+/// bytes actually present before any allocation, and every parent link
+/// must point at an earlier span — a forest that cannot cycle.
+fn decode_spans(payload: &[u8]) -> Result<(Vec<SpanRecord>, &[u8]), WireError> {
+    let mut r = Reader::new(payload);
+    let count = r.u32()?;
+    if count > MAX_SPANS {
+        return Err(WireError::Malformed("span count exceeds cap"));
+    }
+    if count as usize > r.remaining() / SPAN_MIN_BYTES {
+        return Err(WireError::Malformed("span count exceeds payload"));
+    }
+    let mut spans = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let parent_raw = r.u32()?;
+        let parent = if parent_raw == u32::MAX {
+            None
+        } else if parent_raw < i {
+            Some(SpanId::from_raw(parent_raw))
+        } else {
+            return Err(WireError::Malformed("span parent must precede child"));
+        };
+        let start_ns = r.u64()?;
+        let end_ns = r.u64()?;
+        let name = r.sized_utf8()?;
+        let n_attrs = r.u16()?;
+        if n_attrs > MAX_SPAN_ATTRS {
+            return Err(WireError::Malformed("span attr count exceeds cap"));
+        }
+        if n_attrs as usize > r.remaining() / 8 {
+            return Err(WireError::Malformed("span attr count exceeds payload"));
+        }
+        let mut attrs = Vec::with_capacity(n_attrs as usize);
+        for _ in 0..n_attrs {
+            let k = r.sized_utf8()?;
+            let v = r.sized_utf8()?;
+            attrs.push((k, v));
+        }
+        spans.push(SpanRecord {
+            name,
+            parent,
+            start_ns,
+            end_ns,
+            attrs,
+        });
+    }
+    Ok((spans, &payload[r.pos..]))
 }
 
 /// Encodes a frame into a fresh byte buffer (header [+ extension] +
 /// payload + CRC). Frames with zero routing metadata encode as v1.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut payload = Vec::new();
+    if !frame.spans.is_empty() {
+        encode_spans(&mut payload, &frame.spans);
+    }
     frame.msg.encode_payload(&mut payload);
     assert!(
         payload.len() <= MAX_PAYLOAD as usize,
@@ -719,10 +884,10 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
     // payload; its length byte is validated before any offset math.
     let ext_bytes = if version == VERSION_EXT {
         let &ext_len = buf.get(HEADER_LEN).ok_or(WireError::Truncated)?;
-        if ext_len != EXT_LEN {
+        if ext_len != EXT_LEN && ext_len != EXT_LEN_TRACE {
             return Err(WireError::BadExtension(ext_len));
         }
-        1 + EXT_LEN as usize
+        1 + ext_len as usize
     } else {
         0
     };
@@ -741,11 +906,19 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
     if crc != want {
         return Err(WireError::CrcMismatch);
     }
-    let msg = Message::decode_payload(kind, payload)?;
-    let mut frame = Frame::new(request_id, msg);
-    if version == VERSION_EXT {
-        apply_extension(&mut frame, &buf[HEADER_LEN + 1..payload_at]);
-    }
+    let mut frame = Frame::new(request_id, Message::Request(Request::Ping));
+    let has_spans = if version == VERSION_EXT {
+        apply_extension(&mut frame, &buf[HEADER_LEN + 1..payload_at])
+    } else {
+        false
+    };
+    let (spans, body) = if has_spans {
+        decode_spans(payload)?
+    } else {
+        (Vec::new(), payload)
+    };
+    frame.spans = spans;
+    frame.msg = Message::decode_payload(kind, body)?;
     Ok((frame, total))
 }
 
@@ -778,14 +951,15 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     if payload_len > MAX_PAYLOAD {
         return Err(WireError::Oversize(payload_len));
     }
-    let mut ext = [0u8; 1 + EXT_LEN as usize];
+    let mut ext = [0u8; 1 + EXT_LEN_TRACE as usize];
     let ext_bytes = if version == VERSION_EXT {
         r.read_exact(&mut ext[..1])?;
-        if ext[0] != EXT_LEN {
+        if ext[0] != EXT_LEN && ext[0] != EXT_LEN_TRACE {
             return Err(WireError::BadExtension(ext[0]));
         }
-        r.read_exact(&mut ext[1..])?;
-        ext.len()
+        let n = 1 + ext[0] as usize;
+        r.read_exact(&mut ext[1..n])?;
+        n
     } else {
         0
     };
@@ -794,19 +968,27 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     let mut trailer = [0u8; 4];
     r.read_exact(&mut trailer)?;
     let want = if version == VERSION_EXT {
-        crc32_over(&[&ext, &payload])
+        crc32_over(&[&ext[..ext_bytes], &payload])
     } else {
         crc32(&payload)
     };
     if u32::from_le_bytes(trailer) != want {
         return Err(WireError::CrcMismatch);
     }
-    let msg = Message::decode_payload(kind, &payload)?;
     let total = HEADER_LEN + ext_bytes + payload_len as usize + 4;
-    let mut frame = Frame::new(request_id, msg);
-    if version == VERSION_EXT {
-        apply_extension(&mut frame, &ext[1..]);
-    }
+    let mut frame = Frame::new(request_id, Message::Request(Request::Ping));
+    let has_spans = if version == VERSION_EXT {
+        apply_extension(&mut frame, &ext[1..ext_bytes])
+    } else {
+        false
+    };
+    let (spans, body) = if has_spans {
+        decode_spans(&payload)?
+    } else {
+        (Vec::new(), payload.as_slice())
+    };
+    frame.spans = spans;
+    frame.msg = Message::decode_payload(kind, body)?;
     Ok((frame, total))
 }
 
@@ -816,82 +998,44 @@ mod tests {
 
     fn sample_frames() -> Vec<Frame> {
         vec![
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 0,
-                msg: Message::Request(Request::Ping),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 7,
-                msg: Message::Request(Request::Query {
+            Frame::new(0, Message::Request(Request::Ping)),
+            Frame::new(
+                7,
+                Message::Request(Request::Query {
                     domain: EvalDomain::Compressed,
                     deadline_ms: 250,
                     predicate: "3..17".into(),
                 }),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 8,
-                msg: Message::Request(Request::Batch {
+            ),
+            Frame::new(
+                8,
+                Message::Request(Request::Batch {
                     domain: EvalDomain::Auto,
                     deadline_ms: 0,
                     predicates: vec!["=4".into(), "in:1,2,3".into(), "!0..9".into()],
                 }),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 9,
-                msg: Message::Request(Request::Stats(StatsFormat::Json)),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 10,
-                msg: Message::Request(Request::Reload {
+            ),
+            Frame::new(9, Message::Request(Request::Stats(StatsFormat::Json))),
+            Frame::new(
+                10,
+                Message::Request(Request::Reload {
                     path: "/tmp/x.bix".into(),
                 }),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 11,
-                msg: Message::Request(Request::Shutdown),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 12,
-                msg: Message::Response(Response::Pong),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 13,
-                msg: Message::Response(Response::Rows(RowsReply {
+            ),
+            Frame::new(11, Message::Request(Request::Shutdown)),
+            Frame::new(18, Message::Request(Request::SlowLog)),
+            Frame::new(12, Message::Response(Response::Pong)),
+            Frame::new(
+                13,
+                Message::Response(Response::Rows(RowsReply {
                     scans: 2,
                     decompressions: 1,
                     rows: vec![0, 5, 1_000_000],
                 })),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 14,
-                msg: Message::Response(Response::BatchRows(vec![
+            ),
+            Frame::new(
+                14,
+                Message::Response(Response::BatchRows(vec![
                     RowsReply {
                         scans: 1,
                         decompressions: 0,
@@ -903,33 +1047,21 @@ mod tests {
                         rows: vec![9, 10],
                     },
                 ])),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 15,
-                msg: Message::Response(Response::Stats {
+            ),
+            Frame::new(
+                15,
+                Message::Response(Response::Stats {
                     text: "# HELP x\n".into(),
                 }),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 16,
-                msg: Message::Response(Response::Ok),
-            },
-            Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 17,
-                msg: Message::Response(Response::Error {
+            ),
+            Frame::new(16, Message::Response(Response::Ok)),
+            Frame::new(
+                17,
+                Message::Response(Response::Error {
                     code: ErrorCode::Overloaded,
                     message: "queue full".into(),
                 }),
-            },
+            ),
         ]
     }
 
@@ -959,17 +1091,14 @@ mod tests {
 
     #[test]
     fn payload_bit_flips_fail_crc() {
-        let frame = Frame {
-            flags: 0,
-            shard_id: 0,
-            epoch: 0,
-            request_id: 42,
-            msg: Message::Request(Request::Query {
+        let frame = Frame::new(
+            42,
+            Message::Request(Request::Query {
                 domain: EvalDomain::Auto,
                 deadline_ms: 0,
                 predicate: "0..10".into(),
             }),
-        };
+        );
         let bytes = encode_frame(&frame);
         for bit in 0..8 {
             for pos in HEADER_LEN..bytes.len() - 4 {
@@ -985,13 +1114,7 @@ mod tests {
 
     #[test]
     fn oversize_claim_is_rejected_before_allocation() {
-        let mut bytes = encode_frame(&Frame {
-            flags: 0,
-            shard_id: 0,
-            epoch: 0,
-            request_id: 1,
-            msg: Message::Request(Request::Ping),
-        });
+        let mut bytes = encode_frame(&Frame::new(1, Message::Request(Request::Ping)));
         bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             decode_frame(&bytes),
@@ -1142,15 +1265,167 @@ mod tests {
         }
     }
 
+    /// A sampled reply frame carrying a trace context and a span
+    /// forest, exercising the 36-byte extension and the spans section.
+    fn traced_frame() -> Frame {
+        let mut frame = Frame::new(
+            91,
+            Message::Response(Response::Rows(RowsReply {
+                scans: 1,
+                decompressions: 0,
+                rows: vec![3, 8],
+            })),
+        );
+        frame.shard_id = 2;
+        frame.epoch = 7;
+        frame.trace = TraceContext {
+            trace_id: 0xfeed_f00d_dead_beef_0123_4567_89ab_cdef,
+            parent_span: 42,
+            sampled: true,
+        };
+        frame.spans = vec![
+            SpanRecord {
+                name: "serve shard=2".into(),
+                parent: None,
+                start_ns: 10,
+                end_ns: 900,
+                attrs: vec![("queue_wait_ns".into(), "5".into())],
+            },
+            SpanRecord {
+                name: "batch".into(),
+                parent: Some(SpanId::from_raw(0)),
+                start_ns: 20,
+                end_ns: 800,
+                attrs: Vec::new(),
+            },
+            SpanRecord {
+                name: "query 0".into(),
+                parent: Some(SpanId::from_raw(1)),
+                start_ns: 30,
+                end_ns: 700,
+                attrs: vec![("scans".into(), "1".into())],
+            },
+        ];
+        frame
+    }
+
+    #[test]
+    fn trace_context_round_trips_on_the_36_byte_extension() {
+        for (trace_id, parent_span, sampled) in [
+            (1u128, 0u64, false),
+            (u128::MAX, u64::MAX, true),
+            (0x0123_4567_89ab_cdef_u128 << 64 | 0xff, 9, true),
+        ] {
+            let mut frame = Frame::new(21, Message::Request(Request::Ping));
+            frame.trace = TraceContext {
+                trace_id,
+                parent_span,
+                sampled,
+            };
+            let bytes = encode_frame(&frame);
+            assert_eq!(bytes[2], VERSION_EXT);
+            assert_eq!(bytes[HEADER_LEN], EXT_LEN_TRACE);
+            let (got, used) = decode_frame(&bytes).expect("traced round trip");
+            assert_eq!(used, bytes.len());
+            assert_eq!(got, frame);
+            let (got2, n) = read_frame(&mut &bytes[..]).expect("traced stream decode");
+            assert_eq!(n, bytes.len());
+            assert_eq!(got2, frame);
+        }
+    }
+
+    #[test]
+    fn span_forest_round_trips_through_the_spans_section() {
+        let frame = traced_frame();
+        let bytes = encode_frame(&frame);
+        assert_eq!(bytes[HEADER_LEN], EXT_LEN_TRACE);
+        let (got, used) = decode_frame(&bytes).expect("span round trip");
+        assert_eq!(used, bytes.len());
+        assert_eq!(got.spans, frame.spans);
+        assert_eq!(got, frame);
+        let (got2, _) = read_frame(&mut &bytes[..]).expect("span stream decode");
+        assert_eq!(got2, frame);
+    }
+
+    #[test]
+    fn routing_only_frames_keep_the_short_extension() {
+        // A trace-free routed frame must stay on the 11-byte layout —
+        // pre-trace peers keep decoding it unchanged.
+        let bytes = encode_frame(&routed_frame());
+        assert_eq!(bytes[HEADER_LEN], EXT_LEN);
+        let payload_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        assert_eq!(
+            bytes.len(),
+            HEADER_LEN + 1 + EXT_LEN as usize + payload_len + 4
+        );
+    }
+
+    #[test]
+    fn trace_extension_bit_flips_fail_crc() {
+        // All 36 extension bytes — routing, trace id, parent span, and
+        // the trace-flags byte — are CRC-covered.
+        let bytes = encode_frame(&traced_frame());
+        for pos in HEADER_LEN + 1..HEADER_LEN + 1 + EXT_LEN_TRACE as usize {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << bit;
+                assert!(
+                    matches!(decode_frame(&corrupt), Err(WireError::CrcMismatch)),
+                    "trace ext flip at {pos}.{bit} must fail the CRC"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_truncations_are_typed_errors() {
+        let bytes = encode_frame(&traced_frame());
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn forward_span_parents_are_rejected_typed() {
+        // Parents must precede children on the wire; a forward link is
+        // hostile input (a real tracer cannot produce one) and must be
+        // rejected, not grafted into a cycle.
+        let mut frame = traced_frame();
+        frame.spans[1].parent = Some(SpanId::from_raw(9));
+        let bytes = encode_frame(&frame);
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::Malformed(m)) if m.contains("precede")
+        ));
+    }
+
+    #[test]
+    fn span_tail_truncates_at_the_cap() {
+        // Encoding more than MAX_SPANS drops the tail (safe: parents
+        // only point backwards) and the result still decodes.
+        let mut frame = traced_frame();
+        frame.spans = (0..MAX_SPANS + 10)
+            .map(|i| SpanRecord {
+                name: "s".into(),
+                parent: if i == 0 {
+                    None
+                } else {
+                    Some(SpanId::from_raw(i - 1))
+                },
+                start_ns: u64::from(i),
+                end_ns: u64::from(i) + 1,
+                attrs: Vec::new(),
+            })
+            .collect();
+        let bytes = encode_frame(&frame);
+        let (got, _) = decode_frame(&bytes).expect("capped forest decodes");
+        assert_eq!(got.spans.len(), MAX_SPANS as usize);
+        assert_eq!(got.spans, frame.spans[..MAX_SPANS as usize]);
+    }
+
     #[test]
     fn wrong_magic_version_and_kind_are_typed() {
-        let good = encode_frame(&Frame {
-            flags: 0,
-            shard_id: 0,
-            epoch: 0,
-            request_id: 2,
-            msg: Message::Request(Request::Ping),
-        });
+        let good = encode_frame(&Frame::new(2, Message::Request(Request::Ping)));
         let mut bad = good.clone();
         bad[0] = b'Z';
         assert!(matches!(decode_frame(&bad), Err(WireError::BadMagic)));

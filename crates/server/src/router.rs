@@ -46,7 +46,9 @@ use std::time::{Duration, Instant};
 
 use bix_core::MetricsRegistry;
 use bix_telemetry::json::{self, Json};
-use bix_telemetry::{Counter, Gauge};
+use bix_telemetry::{
+    unix_ms_now, Counter, Gauge, SlowLog, SlowQuery, SpanId, TraceContext, Tracer,
+};
 
 use crate::client::{Client, ClientError, RetryPolicy};
 use crate::protocol::{ErrorCode, Request, Response, RowsReply, StatsFormat};
@@ -79,6 +81,11 @@ pub struct RouterConfig {
     pub health_interval: Duration,
     /// Connect + socket read/write budget for one shard exchange.
     pub io_timeout: Duration,
+    /// Fan-outs at least this slow (wall ms) enter the router's
+    /// slow-query log.
+    pub slow_threshold_ms: u64,
+    /// Router slow-query log capacity.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for RouterConfig {
@@ -90,6 +97,8 @@ impl Default for RouterConfig {
             supervisor: SupervisorConfig::default(),
             health_interval: Duration::from_millis(200),
             io_timeout: Duration::from_secs(5),
+            slow_threshold_ms: 250,
+            slow_log_capacity: 128,
         }
     }
 }
@@ -229,6 +238,9 @@ struct RouterInner {
     /// Changes whenever any shard hot-reloads, so clients of the router
     /// see an epoch bump exactly like clients of a shard would.
     epoch_sum: AtomicU64,
+    /// Slow fan-outs (router's own view; shard logs are aggregated on
+    /// demand by [`Request::SlowLog`]).
+    slow: SlowLog,
 }
 
 impl RouterInner {
@@ -256,18 +268,23 @@ impl RouterInner {
     }
 
     /// One request/reply exchange with a shard on a fresh connection.
-    /// Returns the replies and the epoch stamped on the reply frame.
+    /// Returns the replies, the epoch stamped on the reply frame, and
+    /// the shard's span forest (empty unless `trace` was sampled).
     fn exchange(
         &self,
         shard: usize,
         predicates: &[String],
         domain: bix_core::EvalDomain,
         deadline_ms: u32,
-    ) -> Result<(Vec<RowsReply>, u64), ClientError> {
+        trace: TraceContext,
+    ) -> Result<(Vec<RowsReply>, u64, Vec<bix_telemetry::SpanRecord>), ClientError> {
         let transport = self.dial(shard)?;
         let mut client = Client::from_stream(transport);
+        client.set_trace(trace);
         let replies = client.batch(predicates, domain, deadline_ms)?;
-        Ok((replies, client.last_epoch()))
+        let epoch = client.last_epoch();
+        let spans = client.last_spans().to_vec();
+        Ok((replies, epoch, spans))
     }
 
     /// Fetches a shard's stats JSON and updates its remembered shape
@@ -289,6 +306,12 @@ impl RouterInner {
 
     /// Runs one shard leg: bounded transient retries inside the request
     /// deadline, epoch check against `expected_epoch`.
+    ///
+    /// When the request is sampled, the leg records one `leg` span with
+    /// an `attempt` child per try; each attempt carries a child trace
+    /// context whose parent is the attempt span, so shard-side `serve`
+    /// spans graft exactly under the try that produced them.
+    #[allow(clippy::too_many_arguments)]
     fn run_leg(
         &self,
         shard: usize,
@@ -296,10 +319,15 @@ impl RouterInner {
         domain: bix_core::EvalDomain,
         deadline: Option<Instant>,
         expected_epoch: u64,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+        trace: TraceContext,
     ) -> LegOutcome {
         let m = &self.metrics.shards[shard];
         let policy = &self.config.retry;
         let mut rng = rand::rngs::StdRng::seed_from_u64(policy.seed ^ shard as u64);
+        let leg_span = tracer.span(&format!("leg shard={shard}"), parent);
+        let leg_id = leg_span.id();
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
@@ -311,6 +339,7 @@ impl RouterInner {
                     if left == 0 {
                         m.timeouts.inc();
                         m.failures.inc();
+                        leg_span.attr("outcome", "deadline");
                         return LegOutcome::Missing(ShardFailure::Failed(ClientError::Server {
                             code: ErrorCode::DeadlineExceeded,
                             message: format!("deadline spent before shard {shard} answered"),
@@ -320,16 +349,33 @@ impl RouterInner {
                 }
                 None => 0,
             };
-            match self.exchange(shard, predicates, domain, budget_ms) {
-                Ok((replies, epoch)) => {
+            let attempt_span = tracer.span(&format!("attempt {attempt}"), leg_id);
+            let attempt_id = attempt_span.id();
+            // Address shard-side spans under this attempt: the shard
+            // sees the attempt span as its remote parent.
+            let leg_trace = match attempt_id {
+                Some(id) => trace.child(u64::from(id.raw())),
+                None => trace,
+            };
+            let outcome = self.exchange(shard, predicates, domain, budget_ms, leg_trace);
+            match outcome {
+                Ok((replies, epoch, spans)) => {
+                    if let Some(id) = attempt_id {
+                        let base_ns = tracer.start_ns(id).unwrap_or(0);
+                        tracer.graft(attempt_id, &spans, base_ns);
+                    }
+                    attempt_span.finish();
                     self.supervisor
                         .record_success(shard, epoch, self.supervisor.rows(shard));
                     if expected_epoch != 0 && epoch != expected_epoch {
+                        leg_span.attr("outcome", "stale-epoch");
                         return LegOutcome::Stale { epoch };
                     }
                     return LegOutcome::Ok { replies };
                 }
                 Err(err) => {
+                    attempt_span.attr("error", &err);
+                    attempt_span.finish();
                     if let ClientError::Io(e) = &err {
                         if matches!(
                             e.kind(),
@@ -345,10 +391,14 @@ impl RouterInner {
                         && deadline.is_none_or(|d| Instant::now() < d);
                     if !transient || !budget_left {
                         m.failures.inc();
+                        leg_span.attr("outcome", "failed");
                         return LegOutcome::Missing(ShardFailure::Failed(err));
                     }
                     m.retries.inc();
-                    std::thread::sleep(retry_delay(policy, attempt, &mut rng));
+                    let delay = retry_delay(policy, attempt, &mut rng);
+                    let backoff = tracer.span(&format!("backoff {attempt}"), leg_id);
+                    std::thread::sleep(delay);
+                    backoff.finish();
                 }
             }
         }
@@ -361,8 +411,10 @@ impl RouterInner {
         predicates: &[String],
         domain: bix_core::EvalDomain,
         deadline_ms: u32,
-        allow_degraded: bool,
+        meta: &RequestMeta,
     ) -> Response {
+        let allow_degraded = meta.allow_degraded;
+        let tracer = &meta.tracer;
         self.metrics.fanouts.inc();
         let n = self.shard_count();
         let effective_ms = if deadline_ms > 0 {
@@ -372,8 +424,11 @@ impl RouterInner {
         };
         let deadline =
             (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
+        let fanout_span = tracer.span("fanout", meta.span);
+        fanout_span.attr("shards", n);
+        fanout_span.attr("predicates", predicates.len());
 
-        for _epoch_round in 0..=self.config.epoch_retries {
+        for epoch_round in 0..=self.config.epoch_retries {
             // Routing snapshot: learn any shard shape we have never
             // observed (epoch 0 = never heard), then freeze expected
             // epochs and row bases for this round.
@@ -403,7 +458,12 @@ impl RouterInner {
             }
             let rows: Vec<u64> = (0..n).map(|i| self.supervisor.rows(i)).collect();
 
-            // Parallel legs: one thread per admitted shard.
+            // Parallel legs: one thread per admitted shard. Each epoch
+            // round is its own span so re-fans after a stale reply are
+            // visible in the trace, not silently folded into one.
+            let round_span = tracer.span(&format!("round {epoch_round}"), fanout_span.id());
+            let round_id = round_span.id();
+            let trace = meta.trace;
             let mut outcomes: Vec<Option<LegOutcome>> = Vec::new();
             for _ in 0..n {
                 outcomes.push(None);
@@ -417,7 +477,16 @@ impl RouterInner {
                     }
                     let expected_epoch = expected[i];
                     handles.push(scope.spawn(move || {
-                        *slot = Some(self.run_leg(i, predicates, domain, deadline, expected_epoch));
+                        *slot = Some(self.run_leg(
+                            i,
+                            predicates,
+                            domain,
+                            deadline,
+                            expected_epoch,
+                            tracer,
+                            round_id,
+                            trace,
+                        ));
                     }));
                 }
                 for h in handles {
@@ -463,7 +532,10 @@ impl RouterInner {
                 }
                 row_base += rows[i];
             }
+            let merge_span = tracer.span("merge", round_id);
+            merge_span.attr("answered", shard_replies.len());
             let merged = merge_replies(predicates.len(), &shard_replies);
+            merge_span.finish();
             if missing.is_empty() {
                 return Response::BatchRows(merged);
             }
@@ -544,6 +616,35 @@ impl RouterInner {
                 )
             }
         }
+    }
+
+    /// Aggregated slow-query log: the router's own fan-out captures
+    /// plus each reachable shard's log, in shard order (`null` for
+    /// shards that are down or unreachable) — same shape discipline as
+    /// [`RouterInner::aggregated_stats`].
+    fn aggregated_slowlog(&self) -> String {
+        let mut shard_docs = Vec::new();
+        for i in 0..self.shard_count() {
+            let doc = if self.supervisor.state(i) == ShardState::Down {
+                "null".to_string()
+            } else {
+                match self
+                    .dial(i)
+                    .map(Client::from_stream)
+                    .map_err(ClientError::from)
+                    .and_then(|mut c| c.slowlog())
+                {
+                    Ok(text) => text,
+                    Err(_) => "null".to_string(),
+                }
+            };
+            shard_docs.push(doc);
+        }
+        format!(
+            "{{\"router\":{},\"shards\":[{}]}}",
+            self.slow.to_json(),
+            shard_docs.join(",")
+        )
     }
 
     /// One health sweep: ping every shard (including `Down` ones — the
@@ -654,6 +755,10 @@ impl Router {
         let metrics = RouterMetrics::new(&registry, shard_addrs.len());
         let supervisor = Supervisor::new(shard_addrs.len(), config.supervisor.clone());
         let interval = config.health_interval;
+        let slow = SlowLog::new(
+            config.slow_log_capacity,
+            config.slow_threshold_ms.saturating_mul(1_000_000),
+        );
         let inner = Arc::new(RouterInner {
             addrs: shard_addrs,
             config,
@@ -663,6 +768,7 @@ impl Router {
             dialer,
             stop: AtomicBool::new(false),
             epoch_sum: AtomicU64::new(0),
+            slow,
         });
         // Best-effort initial shape learning so the first fan-out has a
         // routing table (failures just leave epochs at 0 for lazy retry).
@@ -696,6 +802,11 @@ impl Router {
         &self.inner.supervisor
     }
 
+    /// The router's own slow-query log (fan-out latencies).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.inner.slow
+    }
+
     /// Forces an immediate health sweep (testing hook; the background
     /// prober does this on its own cadence).
     pub fn health_sweep(&self) {
@@ -725,15 +836,28 @@ impl ServeHandler for Router {
             Request::Stats(format) => Response::Stats {
                 text: self.inner.aggregated_stats(format),
             },
+            Request::SlowLog => Response::Stats {
+                text: self.inner.aggregated_slowlog(),
+            },
             Request::Query {
                 domain,
                 deadline_ms,
                 predicate,
             } => {
-                match self
-                    .inner
-                    .fan_out(&[predicate], domain, deadline_ms, meta.allow_degraded)
-                {
+                let started = Instant::now();
+                let reply =
+                    self.inner
+                        .fan_out(std::slice::from_ref(&predicate), domain, deadline_ms, meta);
+                self.inner
+                    .slow
+                    .observe(started.elapsed().as_nanos() as u64, || SlowQuery {
+                        predicate: predicate.clone(),
+                        duration_ns: started.elapsed().as_nanos() as u64,
+                        trace_id: meta.trace.trace_id,
+                        scans: 0,
+                        unix_ms: unix_ms_now(),
+                    });
+                match reply {
                     Response::BatchRows(mut rows) if rows.len() == 1 => {
                         Response::Rows(rows.pop().expect("len checked"))
                     }
@@ -744,9 +868,20 @@ impl ServeHandler for Router {
                 domain,
                 deadline_ms,
                 predicates,
-            } => self
-                .inner
-                .fan_out(&predicates, domain, deadline_ms, meta.allow_degraded),
+            } => {
+                let started = Instant::now();
+                let reply = self.inner.fan_out(&predicates, domain, deadline_ms, meta);
+                self.inner
+                    .slow
+                    .observe(started.elapsed().as_nanos() as u64, || SlowQuery {
+                        predicate: crate::server::summarize_predicates(&predicates),
+                        duration_ns: started.elapsed().as_nanos() as u64,
+                        trace_id: meta.trace.trace_id,
+                        scans: 0,
+                        unix_ms: unix_ms_now(),
+                    });
+                reply
+            }
             Request::Reload { .. } => Response::Error {
                 code: ErrorCode::BadQuery,
                 message: "reload is a shard operation; send it to the shard, not the router".into(),

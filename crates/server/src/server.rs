@@ -44,7 +44,9 @@ use bix_core::{
     BitmapIndex, CostModel, DeadlineExceeded, EvalDomain, IoMetrics, MetricsRegistry,
     ParallelExecutor, Query, ShardedBufferPool,
 };
-use bix_telemetry::{Counter, Gauge, Histogram};
+use bix_telemetry::{
+    unix_ms_now, Counter, Gauge, Histogram, SlowLog, SlowQuery, SpanId, TraceContext, Tracer,
+};
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, Frame, Message, Request, Response, RowsReply, StatsFormat,
@@ -72,6 +74,11 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Shard id stamped on every reply frame (0 for a monolith).
     pub shard_id: u16,
+    /// Queries at least this slow (wall ms) enter the slow-query log.
+    pub slow_threshold_ms: u64,
+    /// Slow-query log capacity (reservoir bound; memory never exceeds
+    /// this many entries).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +92,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             shard_id: 0,
+            slow_threshold_ms: 250,
+            slow_log_capacity: 128,
         }
     }
 }
@@ -95,7 +104,7 @@ const TICK: Duration = Duration::from_millis(50);
 
 /// Routing metadata decoded from a request frame's extension header,
 /// handed to the [`ServeHandler`] alongside the request body.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone)]
 pub struct RequestMeta {
     /// The client opted into [`Response::Degraded`] partial results.
     pub allow_degraded: bool,
@@ -105,6 +114,29 @@ pub struct RequestMeta {
     pub epoch: u64,
     /// Shard id named by the request (0 = unrouted).
     pub shard_id: u16,
+    /// Distributed-trace context carried by the request frame (all-zero
+    /// when the request is untraced).
+    pub trace: TraceContext,
+    /// Span collector for this request: enabled iff the request is
+    /// sampled. Handlers open their spans here; the serving loop ships
+    /// the records back in the reply frame.
+    pub tracer: Tracer,
+    /// The serving loop's root span for this request, the parent for
+    /// handler-side spans (`None` when the tracer is disabled).
+    pub span: Option<SpanId>,
+}
+
+impl Default for RequestMeta {
+    fn default() -> Self {
+        RequestMeta {
+            allow_degraded: false,
+            epoch: 0,
+            shard_id: 0,
+            trace: TraceContext::default(),
+            tracer: Tracer::disabled(),
+            span: None,
+        }
+    }
 }
 
 /// The application half of a server: everything after frame decode.
@@ -406,10 +438,11 @@ fn worker_loop(shared: &Shared) {
         let Some((stream, enqueued)) = popped else {
             break; // stopping and the queue is empty
         };
+        let queue_wait = enqueued.elapsed();
         shared
             .metrics
             .queue_wait_nanos
-            .record(enqueued.elapsed().as_nanos() as u64);
+            .record(queue_wait.as_nanos() as u64);
         if shared.stopping() {
             refuse(stream, shared, ErrorCode::ShuttingDown, "server draining");
             continue;
@@ -418,7 +451,7 @@ fn worker_loop(shared: &Shared) {
             .metrics
             .inflight
             .set(shared.metrics.inflight.get() + 1.0);
-        serve_connection(stream, shared);
+        serve_connection(stream, shared, queue_wait);
         shared
             .metrics
             .inflight
@@ -427,8 +460,11 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Serves frames on one connection until the peer disconnects, idles
-/// out, breaks the protocol, or the server drains.
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+/// out, breaks the protocol, or the server drains. `queue_wait` is how
+/// long the connection sat in the admission queue; sampled requests
+/// record it on their root span so cross-process traces show admission
+/// time, not just handler time.
+fn serve_connection(mut stream: TcpStream, shared: &Shared, queue_wait: Duration) {
     let mut idle = Duration::ZERO;
     loop {
         if shared.stopping() {
@@ -480,10 +516,22 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         shared.metrics.bytes_in.add(n_in as u64);
         shared.metrics.requests.inc();
         let request_id = frame.request_id;
+        // Sampled requests get a live tracer whose records ship back in
+        // the reply frame; everything else pays one branch.
+        let tracer = if frame.trace.sampled {
+            Tracer::new()
+        } else {
+            Tracer::disabled()
+        };
+        let serve_span = tracer.span(&format!("serve shard={}", shared.config.shard_id), None);
+        serve_span.attr("queue_wait_ns", queue_wait.as_nanos());
         let meta = RequestMeta {
             allow_degraded: frame.flags & FLAG_ALLOW_DEGRADED != 0,
             epoch: frame.epoch,
             shard_id: frame.shard_id,
+            trace: frame.trace,
+            tracer: tracer.clone(),
+            span: serve_span.id(),
         };
         let request = match frame.msg {
             Message::Request(req) => req,
@@ -503,7 +551,17 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         };
         let is_shutdown = matches!(request, Request::Shutdown);
         let reply = shared.handler.handle(request, &meta);
-        send(&mut stream, shared, request_id, reply);
+        serve_span.finish();
+        let mut reply_frame = stamp(shared, Frame::new(request_id, Message::Response(reply)));
+        if tracer.is_enabled() {
+            // Echo the trace identity and attach this process's span
+            // forest so the caller can graft it into its own tree.
+            reply_frame.trace = frame.trace;
+            reply_frame.spans = tracer.records();
+        }
+        if let Ok(n) = write_frame(&mut stream, &reply_frame) {
+            shared.metrics.bytes_out.add(n as u64);
+        }
         shared
             .metrics
             .request_nanos
@@ -587,6 +645,8 @@ pub struct IndexHandler {
     default_deadline_ms: u64,
     pool_pages: usize,
     pool_shards: usize,
+    /// Bounded slow-query reservoir, served by [`Request::SlowLog`].
+    slow: SlowLog,
 }
 
 impl IndexHandler {
@@ -606,17 +666,31 @@ impl IndexHandler {
             default_deadline_ms: config.default_deadline_ms,
             pool_pages: config.pool_pages,
             pool_shards,
+            slow: SlowLog::new(
+                config.slow_log_capacity,
+                config.slow_threshold_ms.saturating_mul(1_000_000),
+            ),
         }
+    }
+
+    /// The handler's slow-query log (testing and CLI hook).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow
     }
 
     /// Parses and evaluates a batch under the request deadline, charging
     /// all eval-side metrics. Errors come back as ready-to-send responses.
+    /// Sampled requests (`meta.tracer` enabled) record the full
+    /// rewrite → decompose → eval span tree under `meta.span`; queries
+    /// over the slow threshold enter the slow-query log either way.
     fn evaluate(
         &self,
         domain: EvalDomain,
         deadline_ms: u32,
         predicates: &[String],
+        meta: &RequestMeta,
     ) -> Result<Vec<RowsReply>, Response> {
+        let eval_started = Instant::now();
         let serving = Arc::clone(&self.serving.lock().unwrap());
         let cardinality = serving.index.config().cardinality;
         let mut queries = Vec::with_capacity(predicates.len());
@@ -640,11 +714,13 @@ impl IndexHandler {
         let deadline =
             (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
         let executor = ParallelExecutor::new(self.request_threads.max(1)).with_domain(domain);
-        let batch = match executor.execute_deadline(
+        let batch = match executor.execute_full(
             &serving.index,
             &queries,
             &serving.pool,
             &CostModel::default(),
+            &meta.tracer,
+            meta.span,
             deadline,
         ) {
             Ok(batch) => batch,
@@ -658,6 +734,15 @@ impl IndexHandler {
         };
         IoMetrics::register(&self.registry).record(&batch.io);
         self.metrics.queries.add(queries.len() as u64);
+        let total_scans: u64 = batch.results.iter().map(|r| r.scans as u64).sum();
+        self.slow
+            .observe(eval_started.elapsed().as_nanos() as u64, || SlowQuery {
+                predicate: summarize_predicates(predicates),
+                duration_ns: eval_started.elapsed().as_nanos() as u64,
+                trace_id: meta.trace.trace_id,
+                scans: total_scans,
+                unix_ms: unix_ms_now(),
+            });
         // Bound the reply frame before building it: every row id costs 8
         // payload bytes and each per-query header 24, and a frame larger
         // than MAX_PAYLOAD must surface as a typed error, not a panic.
@@ -721,8 +806,18 @@ impl IndexHandler {
     }
 }
 
+/// Slow-log label for a batch: the first predicate, annotated with how
+/// many ride along (slow batches are captured as one entry, not many).
+pub(crate) fn summarize_predicates(predicates: &[String]) -> String {
+    match predicates {
+        [] => String::new(),
+        [one] => one.clone(),
+        [first, rest @ ..] => format!("{first} (+{} more in batch)", rest.len()),
+    }
+}
+
 impl ServeHandler for IndexHandler {
-    fn handle(&self, request: Request, _meta: &RequestMeta) -> Response {
+    fn handle(&self, request: Request, meta: &RequestMeta) -> Response {
         match request {
             Request::Ping => Response::Pong,
             Request::Shutdown => Response::Ok,
@@ -732,11 +827,14 @@ impl ServeHandler for IndexHandler {
                     StatsFormat::Json => self.registry.snapshot().to_json(),
                 },
             },
+            Request::SlowLog => Response::Stats {
+                text: self.slow.to_json(),
+            },
             Request::Query {
                 domain,
                 deadline_ms,
                 predicate,
-            } => match self.evaluate(domain, deadline_ms, &[predicate]) {
+            } => match self.evaluate(domain, deadline_ms, &[predicate], meta) {
                 Ok(mut rows) => Response::Rows(rows.pop().expect("one query in, one reply out")),
                 Err(resp) => resp,
             },
@@ -744,7 +842,7 @@ impl ServeHandler for IndexHandler {
                 domain,
                 deadline_ms,
                 predicates,
-            } => match self.evaluate(domain, deadline_ms, &predicates) {
+            } => match self.evaluate(domain, deadline_ms, &predicates, meta) {
                 Ok(rows) => Response::BatchRows(rows),
                 Err(resp) => resp,
             },

@@ -152,17 +152,14 @@ fn interleaved_requests_on_one_connection_stay_ordered() {
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
     for (i, p) in preds.iter().enumerate() {
         let id = 1000 + i as u64;
-        let frame = Frame {
-            flags: 0,
-            shard_id: 0,
-            epoch: 0,
-            request_id: id,
-            msg: Message::Request(Request::Query {
+        let frame = Frame::new(
+            id,
+            Message::Request(Request::Query {
                 domain: EvalDomain::Auto,
                 deadline_ms: 0,
                 predicate: p.clone(),
             }),
-        };
+        );
         write_frame(&mut stream, &frame).expect("write");
         let (reply, _) = read_frame(&mut stream).expect("read");
         assert_eq!(reply.request_id, id);

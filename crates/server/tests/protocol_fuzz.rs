@@ -10,8 +10,9 @@ use std::time::Duration;
 use bix_core::{BitmapIndex, EncodingScheme, EvalDomain, IndexConfig};
 use bix_server::{
     decode_frame, encode_frame, Client, Frame, Message, Request, Response, RowsReply, Server,
-    ServerConfig, StatsFormat, WireError, EXT_LEN, HEADER_LEN, VERSION, VERSION_EXT,
+    ServerConfig, StatsFormat, WireError, EXT_LEN, EXT_LEN_TRACE, HEADER_LEN, VERSION, VERSION_EXT,
 };
+use bix_telemetry::{SpanId, SpanRecord, TraceContext};
 use proptest::prelude::*;
 
 /// Printable-ASCII soup of up to `max` bytes.
@@ -78,6 +79,48 @@ fn arb_response() -> impl Strategy<Value = Response> {
     ]
 }
 
+fn arb_trace() -> impl Strategy<Value = TraceContext> {
+    (any::<u128>(), any::<u64>(), any::<bool>()).prop_map(|(trace_id, parent_span, sampled)| {
+        TraceContext {
+            trace_id,
+            parent_span,
+            sampled,
+        }
+    })
+}
+
+/// A structurally valid span forest: every parent link points at an
+/// earlier span, as a real tracer guarantees.
+fn arb_spans(max: usize) -> impl Strategy<Value = Vec<SpanRecord>> {
+    prop::collection::vec(
+        (
+            arb_text(12),
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec((arb_text(6), arb_text(6)), 0..3),
+            any::<u32>(),
+        ),
+        0..max,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, start_ns, end_ns, attrs, pseed))| SpanRecord {
+                name,
+                parent: if i == 0 || pseed % (i as u32 + 1) == 0 {
+                    None
+                } else {
+                    Some(SpanId::from_raw(pseed % i as u32))
+                },
+                start_ns,
+                end_ns,
+                attrs,
+            })
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -89,7 +132,7 @@ proptest! {
 
     #[test]
     fn arbitrary_frames_round_trip(req in arb_request(), id in any::<u64>()) {
-        let frame = Frame { flags: 0, shard_id: 0, epoch: 0, request_id: id, msg: Message::Request(req) };
+        let frame = Frame::new(id, Message::Request(req));
         let bytes = encode_frame(&frame);
         let (got, used) = decode_frame(&bytes).expect("round trip");
         prop_assert_eq!(used, bytes.len());
@@ -98,7 +141,7 @@ proptest! {
 
     #[test]
     fn arbitrary_replies_round_trip(resp in arb_response(), id in any::<u64>()) {
-        let frame = Frame { flags: 0, shard_id: 0, epoch: 0, request_id: id, msg: Message::Response(resp) };
+        let frame = Frame::new(id, Message::Response(resp));
         let bytes = encode_frame(&frame);
         let (got, _) = decode_frame(&bytes).expect("round trip");
         prop_assert_eq!(got, frame);
@@ -106,7 +149,7 @@ proptest! {
 
     #[test]
     fn single_byte_flips_never_panic(req in arb_request(), pos_seed in any::<u64>(), bit in 0u8..8) {
-        let frame = Frame { flags: 0, shard_id: 0, epoch: 0, request_id: 9, msg: Message::Request(req) };
+        let frame = Frame::new(9, Message::Request(req));
         let mut bytes = encode_frame(&frame);
         let pos = (pos_seed % bytes.len() as u64) as usize;
         bytes[pos] ^= 1 << bit;
@@ -136,7 +179,7 @@ proptest! {
         epoch in 1u64..u64::MAX,
         flags in any::<u8>(),
     ) {
-        let frame = Frame { request_id: id, flags, shard_id: shard, epoch, msg: Message::Request(req) };
+        let frame = Frame { flags, shard_id: shard, epoch, ..Frame::new(id, Message::Request(req)) };
         let bytes = encode_frame(&frame);
         prop_assert_eq!(bytes[2], VERSION_EXT);
         let (got, _) = decode_frame(&bytes).expect("v2 decode");
@@ -149,12 +192,17 @@ proptest! {
     #[test]
     fn unknown_extension_lengths_are_rejected_typed(
         req in arb_request(),
-        // 0..=254 with values >= EXT_LEN shifted up one: every length
-        // except the valid EXT_LEN itself.
-        bad_len in (0u8..255).prop_map(|raw| if raw >= EXT_LEN { raw + 1 } else { raw }),
+        // 0..=252 with the two valid lengths skipped: every length
+        // except EXT_LEN and EXT_LEN_TRACE.
+        bad_len in (0u8..253).prop_map(|raw| {
+            let mut v = raw;
+            if v >= EXT_LEN { v += 1; }
+            if v >= EXT_LEN_TRACE { v += 1; }
+            v
+        }),
         extra in prop::collection::vec(any::<u8>(), 0..16),
     ) {
-        let frame = Frame { request_id: 7, flags: 0, shard_id: 3, epoch: 9, msg: Message::Request(req) };
+        let frame = Frame { shard_id: 3, epoch: 9, ..Frame::new(7, Message::Request(req)) };
         let mut bytes = encode_frame(&frame);
         bytes[HEADER_LEN] = bad_len;
         if bad_len > EXT_LEN {
@@ -175,7 +223,76 @@ proptest! {
 
     #[test]
     fn every_prefix_truncation_is_an_error(req in arb_request()) {
-        let frame = Frame { flags: 0, shard_id: 0, epoch: 0, request_id: 3, msg: Message::Request(req) };
+        let frame = Frame::new(3, Message::Request(req));
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_frame(&bytes[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    // Any live trace context promotes the frame to the long (36-byte)
+    // extension, and everything — routing state, context, span forest —
+    // survives the round trip intact.
+    #[test]
+    fn traced_frames_round_trip_on_the_long_extension(
+        req in arb_request(),
+        id in any::<u64>(),
+        shard in 0u16..1024,
+        epoch in any::<u64>(),
+        trace in arb_trace(),
+        spans in arb_spans(8),
+    ) {
+        let mut frame = Frame { shard_id: shard, epoch, ..Frame::new(id, Message::Request(req)) };
+        frame.trace = trace;
+        frame.spans = spans;
+        let bytes = encode_frame(&frame);
+        if !frame.trace.is_zero() || !frame.spans.is_empty() {
+            prop_assert_eq!(bytes[2], VERSION_EXT);
+            prop_assert_eq!(bytes[HEADER_LEN], EXT_LEN_TRACE);
+        }
+        let (got, used) = decode_frame(&bytes).expect("traced round trip");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(got, frame);
+    }
+
+    // A flipped bit anywhere in the trace extension is caught by the
+    // CRC (or an earlier structural check) — corruption can never smear
+    // one trace into another.
+    #[test]
+    fn trace_extension_bit_flips_are_always_caught(
+        trace in arb_trace(),
+        spans in arb_spans(4),
+        byte_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        prop_assume!(!trace.is_zero());
+        let mut frame = Frame::new(21, Message::Request(Request::Ping));
+        frame.trace = trace;
+        frame.spans = spans;
+        let mut bytes = encode_frame(&frame);
+        // Target only the ext region: length byte plus the 36 ext bytes.
+        let pos = HEADER_LEN + (byte_seed % (1 + EXT_LEN_TRACE as u64)) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            decode_frame(&bytes).is_err(),
+            "corrupted trace ext at byte {} bit {} must not decode",
+            pos,
+            bit
+        );
+    }
+
+    // Truncation totality holds on the long-extension path too: every
+    // strict prefix of a traced frame is a typed error, never a panic
+    // or a partial parse.
+    #[test]
+    fn every_traced_prefix_truncation_is_an_error(
+        trace in arb_trace(),
+        spans in arb_spans(4),
+    ) {
+        prop_assume!(!trace.is_zero());
+        let mut frame = Frame::new(5, Message::Request(Request::Ping));
+        frame.trace = trace;
+        frame.spans = spans;
         let bytes = encode_frame(&frame);
         for cut in 0..bytes.len() {
             prop_assert!(decode_frame(&bytes[..cut]).is_err(), "cut {}", cut);
@@ -205,13 +322,7 @@ fn live_server_survives_socket_garbage() {
         [b"bX\x01".to_vec(), vec![0xab; 40]].concat(),
         // A valid ping frame with its CRC bit-flipped.
         {
-            let mut f = encode_frame(&Frame {
-                flags: 0,
-                shard_id: 0,
-                epoch: 0,
-                request_id: 1,
-                msg: Message::Request(Request::Ping),
-            });
+            let mut f = encode_frame(&Frame::new(1, Message::Request(Request::Ping)));
             let last = f.len() - 1;
             f[last] ^= 0x01;
             f

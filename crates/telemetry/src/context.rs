@@ -1,0 +1,109 @@
+//! Cross-process trace identity.
+//!
+//! A [`TraceContext`] names one distributed trace as it crosses process
+//! boundaries: the router stamps it onto shard-bound request frames, the
+//! shard threads it into its local [`crate::Tracer`], and sampled shards
+//! ship their spans back so the router can assemble a single tree under
+//! one trace id. The all-zero context means "no tracing requested" and
+//! encodes to nothing on the wire (frames stay v1-identical).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Identity of one distributed trace, carried on the wire.
+///
+/// `trace_id` is shared by every span of the trace regardless of which
+/// process recorded it; `parent_span` is the sender-local span id the
+/// receiver's root span should hang under when the forests are grafted
+/// together; `sampled` is the propagated sampling decision — only
+/// sampled requests record spans and ship them back in the reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// 128-bit trace id; `0` means no trace.
+    pub trace_id: u128,
+    /// Span id in the *sender's* tracer that parents the receiver's
+    /// root span (the receiver echoes it back untouched).
+    pub parent_span: u64,
+    /// Whether spans are recorded and returned for this request.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Whether this is the absent (all-zero) context, which encodes to
+    /// nothing on the wire.
+    pub fn is_zero(&self) -> bool {
+        self.trace_id == 0 && self.parent_span == 0 && !self.sampled
+    }
+
+    /// A fresh sampled context with a unique nonzero trace id.
+    ///
+    /// Ids mix wall-clock nanoseconds, the process id, and a process-wide
+    /// counter through SplitMix64, so concurrent clients on one machine
+    /// do not collide; no external randomness source is required.
+    pub fn generate() -> TraceContext {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seed = nanos
+            ^ (u64::from(std::process::id()) << 32)
+            ^ COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        let hi = splitmix64(seed);
+        let lo = splitmix64(hi ^ seed.rotate_left(17));
+        let trace_id = (u128::from(hi) << 64) | u128::from(lo) | 1;
+        TraceContext {
+            trace_id,
+            parent_span: 0,
+            sampled: true,
+        }
+    }
+
+    /// The same trace re-parented under `parent_span` — what a caller
+    /// stamps onto an outgoing downstream request so the callee's spans
+    /// graft under the calling span.
+    pub fn child(&self, parent_span: u64) -> TraceContext {
+        TraceContext {
+            parent_span,
+            ..*self
+        }
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_and_generate_is_not() {
+        assert!(TraceContext::default().is_zero());
+        let ctx = TraceContext::generate();
+        assert!(!ctx.is_zero());
+        assert_ne!(ctx.trace_id, 0);
+        assert!(ctx.sampled);
+    }
+
+    #[test]
+    fn generated_ids_are_distinct() {
+        let a = TraceContext::generate();
+        let b = TraceContext::generate();
+        assert_ne!(a.trace_id, b.trace_id);
+    }
+
+    #[test]
+    fn child_keeps_identity_and_moves_parent() {
+        let ctx = TraceContext::generate();
+        let child = ctx.child(42);
+        assert_eq!(child.trace_id, ctx.trace_id);
+        assert_eq!(child.parent_span, 42);
+        assert!(child.sampled);
+    }
+}

@@ -19,7 +19,14 @@
 //! * Exposition — [`MetricsSnapshot::to_prometheus`] (Prometheus text
 //!   format) and [`MetricsSnapshot::to_json`] (JSON snapshot), plus a
 //!   minimal JSON parser ([`json::parse`]) so snapshots and bench
-//!   baselines can be validated without external crates.
+//!   baselines can be validated without external crates. Histograms
+//!   surface estimated p50/p95/p99 ([`HistogramSnapshot::quantile`]).
+//! * Distribution — [`TraceContext`] names a trace across process
+//!   boundaries and [`Tracer::graft`] splices a remote span forest into
+//!   a local one, so a router can assemble one tree from shard replies.
+//! * [`SlowLog`] — a bounded, lock-striped slow-query reservoir
+//!   (threshold + Algorithm R) whose memory never grows past its
+//!   capacity no matter how many slow queries occur.
 //!
 //! # Metric naming scheme
 //!
@@ -34,12 +41,16 @@
 
 #![warn(missing_docs)]
 
+mod context;
 pub mod json;
 mod metrics;
+mod slowlog;
 mod trace;
 
+pub use context::TraceContext;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, MetricsRegistry,
     MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
+pub use slowlog::{unix_ms_now, SlowLog, SlowQuery};
 pub use trace::{SpanGuard, SpanId, SpanRecord, Tracer};

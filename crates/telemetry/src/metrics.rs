@@ -120,6 +120,51 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` (`0.0..=1.0`) by linear
+    /// interpolation inside the covering log2 bucket.
+    ///
+    /// Bucket bounds double, so the estimate is exact only at bucket
+    /// edges and can be off by up to ~2x inside a bucket — good enough
+    /// to tell 1 ms from 100 ms, which is what a latency quantile is
+    /// for. The `+Inf` bucket is treated as one more doubling. Returns
+    /// `None` for an empty histogram or an out-of-range `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let before = cumulative as f64;
+            cumulative += b;
+            if cumulative as f64 >= target {
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+                let hi = if i == self.buckets.len() - 1 {
+                    lo * 2.0
+                } else {
+                    (1u64 << i) as f64
+                };
+                let frac = ((target - before) / b as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+        }
+        // Racy bucket/count snapshots can leave cumulative < count;
+        // answer with the largest populated bucket's upper bound.
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(|i| (1u64 << i.min(63)) as f64)
+    }
+}
+
 /// Value of one metric in a snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
@@ -320,6 +365,18 @@ impl MetricsSnapshot {
                         };
                         out.push_str(&format!("{}_bucket{{le=\"{le}\"}} {cumulative}\n", e.name));
                     }
+                    // Estimated quantiles, summary-style, so dashboards
+                    // get p50/p95/p99 without re-deriving them from the
+                    // log2 buckets.
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        if let Some(v) = h.quantile(q) {
+                            out.push_str(&format!(
+                                "{}{{quantile=\"{label}\"}} {}\n",
+                                e.name,
+                                fmt_f64(v)
+                            ));
+                        }
+                    }
                     out.push_str(&format!("{}_sum {}\n", e.name, h.sum));
                     out.push_str(&format!("{}_count {}\n", e.name, h.count));
                 }
@@ -354,9 +411,15 @@ impl MetricsSnapshot {
                 }
                 MetricValue::Histogram(h) => {
                     out.push_str(&format!(
-                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, ",
                         h.count, h.sum
                     ));
+                    for (q, key) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                        if let Some(v) = h.quantile(q) {
+                            out.push_str(&format!("\"{key}\": {}, ", fmt_f64(v)));
+                        }
+                    }
+                    out.push_str("\"buckets\": [");
                     let mut first = true;
                     for (b, &count) in h.buckets.iter().enumerate() {
                         if count == 0 {
@@ -418,6 +481,50 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_inside_log2_buckets() {
+        let h = Histogram::default();
+        // 100 observations of 1000 ns: everything is in the le=1024
+        // bucket (lo 512), so every quantile lands in [512, 1024].
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        let s = h.snapshot();
+        for q in [0.5, 0.95, 0.99] {
+            let v = s.quantile(q).unwrap();
+            assert!((512.0..=1024.0).contains(&v), "q{q} -> {v}");
+        }
+        // Order holds across buckets: add a slow tail and p99 must
+        // leave p50 far behind.
+        for _ in 0..5 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        let (p50, p99) = (s.quantile(0.5).unwrap(), s.quantile(0.99).unwrap());
+        assert!(p50 <= 1024.0, "p50 {p50}");
+        assert!(p99 > 100_000.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.quantile(0.5), None);
+        let h = Histogram::default();
+        h.record(7);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(1.5), None);
+        assert_eq!(s.quantile(-0.1), None);
+        // A single observation: every quantile is inside its bucket.
+        for q in [0.0, 0.5, 1.0] {
+            let v = s.quantile(q).unwrap();
+            assert!((4.0..=8.0).contains(&v), "q{q} -> {v}");
+        }
+        // +Inf bucket observations still produce a finite estimate.
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        assert!(h.snapshot().quantile(0.5).unwrap().is_finite());
+    }
+
+    #[test]
     #[should_panic(expected = "not a counter")]
     fn kind_mismatch_panics() {
         let reg = MetricsRegistry::new();
@@ -440,6 +547,9 @@ mod tests {
         assert!(text.contains("# TYPE bix_query_nanos histogram"));
         assert!(text.contains("bix_query_nanos_bucket{le=\"1024\"} 1"));
         assert!(text.contains("bix_query_nanos_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("bix_query_nanos{quantile=\"0.5\"}"));
+        assert!(text.contains("bix_query_nanos{quantile=\"0.95\"}"));
+        assert!(text.contains("bix_query_nanos{quantile=\"0.99\"}"));
         assert!(text.contains("bix_query_nanos_sum 900"));
         assert!(text.contains("bix_query_nanos_count 1"));
     }
@@ -478,6 +588,10 @@ mod tests {
         assert_eq!(hist.get("count").unwrap().as_f64(), Some(2.0));
         assert_eq!(hist.get("sum").unwrap().as_f64(), Some(2_001_000.0));
         assert_eq!(hist.get("buckets").unwrap().as_array().unwrap().len(), 2);
+        for key in ["p50", "p95", "p99"] {
+            let v = hist.get(key).and_then(|v| v.as_f64());
+            assert!(v.unwrap_or(-1.0) > 0.0, "{key} missing: {v:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Bounded slow-query capture.
+//!
+//! A [`SlowLog`] keeps the most interesting slow requests a process has
+//! seen without unbounded memory growth or hot-path contention. Entries
+//! above the threshold go into a lock-striped set of fixed-capacity
+//! reservoirs: each stripe runs Vitter's Algorithm R independently, so
+//! once a stripe fills, every later slow query still has a uniform
+//! chance of being retained. Memory is bounded by `capacity` entries
+//! regardless of how many slow queries occur, and concurrent recorders
+//! contend only on their own stripe's mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One captured slow query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The predicate text (or a summary for batches).
+    pub predicate: String,
+    /// End-to-end duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Trace id if the request was traced, else 0.
+    pub trace_id: u128,
+    /// Bitmap scans charged to the query (0 when unknown).
+    pub scans: u64,
+    /// Capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+}
+
+/// Milliseconds since the Unix epoch, for stamping captures.
+pub fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+struct Stripe {
+    entries: Vec<SlowQuery>,
+    /// Slow queries routed to this stripe so far (Algorithm R's `t`).
+    seen: u64,
+    /// xorshift64 state for reservoir replacement.
+    rng: u64,
+}
+
+/// A bounded, lock-striped slow-query log with reservoir sampling.
+pub struct SlowLog {
+    threshold_ns: AtomicU64,
+    seen: AtomicU64,
+    stripes: Vec<Mutex<Stripe>>,
+    per_stripe: usize,
+}
+
+/// Stripe count: enough to keep recorders off each other's locks
+/// without fragmenting tiny capacities.
+const STRIPES: usize = 8;
+
+impl SlowLog {
+    /// A log retaining at most `capacity` entries, capturing queries
+    /// that take `threshold_ns` nanoseconds or longer.
+    pub fn new(capacity: usize, threshold_ns: u64) -> SlowLog {
+        let stripes = STRIPES.min(capacity.max(1));
+        SlowLog {
+            threshold_ns: AtomicU64::new(threshold_ns),
+            seen: AtomicU64::new(0),
+            stripes: (0..stripes)
+                .map(|i| {
+                    Mutex::new(Stripe {
+                        entries: Vec::new(),
+                        seen: 0,
+                        // Any fixed nonzero per-stripe seed works: the
+                        // reservoir needs spread, not unpredictability.
+                        rng: 0x9e37_79b9_7f4a_7c15 ^ ((i as u64 + 1) << 32),
+                    })
+                })
+                .collect(),
+            per_stripe: capacity.max(1).div_ceil(stripes),
+        }
+    }
+
+    /// The capture threshold in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Changes the capture threshold.
+    pub fn set_threshold_ns(&self, threshold_ns: u64) {
+        self.threshold_ns.store(threshold_ns, Ordering::Relaxed);
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.per_stripe * self.stripes.len()
+    }
+
+    /// Slow queries observed over the threshold so far (including ones
+    /// the reservoir has since evicted).
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Records `entry` if `duration_ns` meets the threshold, building
+    /// it lazily so fast queries pay only one atomic load. Returns
+    /// whether the query was slow enough to record.
+    pub fn observe(&self, duration_ns: u64, make: impl FnOnce() -> SlowQuery) -> bool {
+        if duration_ns < self.threshold_ns() {
+            return false;
+        }
+        self.record(make());
+        true
+    }
+
+    /// Unconditionally records one captured query.
+    pub fn record(&self, entry: SlowQuery) {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        let stripe = &self.stripes[(n % self.stripes.len() as u64) as usize];
+        let mut s = stripe.lock().expect("slowlog stripe");
+        s.seen += 1;
+        if s.entries.len() < self.per_stripe {
+            s.entries.push(entry);
+        } else {
+            // Algorithm R: replace a uniformly random slot with
+            // probability capacity/seen, keeping the reservoir an
+            // unbiased sample of everything over the threshold.
+            let j = xorshift64(&mut s.rng) % s.seen;
+            if (j as usize) < self.per_stripe {
+                s.entries[j as usize] = entry;
+            }
+        }
+    }
+
+    /// Every retained entry, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowQuery> {
+        let mut out: Vec<SlowQuery> = self
+            .stripes
+            .iter()
+            .flat_map(|s| s.lock().expect("slowlog stripe").entries.clone())
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.duration_ns));
+        out
+    }
+
+    /// Renders the log as a JSON object:
+    /// `{"threshold_ns": …, "seen": …, "entries": [{"predicate": …,
+    /// "duration_ns": …, "trace_id": "hex", "scans": …, "unix_ms": …}]}`.
+    /// Trace ids are hex strings because 128-bit values do not survive
+    /// an f64 JSON number.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"threshold_ns\": {}, \"seen\": {}, \"entries\": [",
+            self.threshold_ns(),
+            self.seen()
+        );
+        for (i, e) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"predicate\": {}, \"duration_ns\": {}, \"trace_id\": \"{:032x}\", \
+                 \"scans\": {}, \"unix_ms\": {}}}",
+                crate::json::escape(&e.predicate),
+                e.duration_ns,
+                e.trace_id,
+                e.scans,
+                e.unix_ms,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ms: u64) -> SlowQuery {
+        SlowQuery {
+            predicate: format!("q{ms}"),
+            duration_ns: ms * 1_000_000,
+            trace_id: u128::from(ms),
+            scans: ms,
+            unix_ms: 1_000 + ms,
+        }
+    }
+
+    #[test]
+    fn threshold_gates_capture_and_builds_lazily() {
+        let log = SlowLog::new(16, 5_000_000);
+        assert!(!log.observe(4_999_999, || panic!("must not build a fast entry")));
+        assert!(log.observe(5_000_000, || entry(5)));
+        assert_eq!(log.seen(), 1);
+        assert_eq!(log.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_flood() {
+        let log = SlowLog::new(32, 0);
+        for i in 0..10_000 {
+            log.record(entry(i));
+        }
+        assert_eq!(log.seen(), 10_000);
+        assert!(log.snapshot().len() <= log.capacity());
+        assert!(log.capacity() >= 32);
+    }
+
+    #[test]
+    fn snapshot_is_slowest_first() {
+        let log = SlowLog::new(8, 0);
+        for ms in [3u64, 9, 1, 7] {
+            log.record(entry(ms));
+        }
+        let snap = log.snapshot();
+        let durs: Vec<u64> = snap.iter().map(|e| e.duration_ns).collect();
+        let mut sorted = durs.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(durs, sorted);
+    }
+
+    #[test]
+    fn reservoir_keeps_late_entries_reachable() {
+        // After a flood, the retained set must not be just the first
+        // `capacity` entries: late arrivals must have displaced some.
+        let log = SlowLog::new(16, 0);
+        for i in 0..4_000 {
+            log.record(entry(i));
+        }
+        let any_late = log
+            .snapshot()
+            .iter()
+            .any(|e| e.duration_ns >= 1_000 * 1_000_000);
+        assert!(any_late, "reservoir never admitted a late entry");
+    }
+
+    #[test]
+    fn json_parses_and_carries_trace_ids_as_hex() {
+        let log = SlowLog::new(4, 0);
+        log.record(SlowQuery {
+            predicate: "in:1,2 \"quoted\"".into(),
+            duration_ns: 77,
+            trace_id: 0xdead_beef,
+            scans: 3,
+            unix_ms: 9,
+        });
+        let doc = crate::json::parse(&log.to_json()).expect("slowlog JSON parses");
+        let entries = doc.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        let tid = entries[0].get("trace_id").unwrap().as_str().unwrap();
+        assert!(tid.ends_with("deadbeef"), "{tid}");
+        assert_eq!(entries[0].get("duration_ns").unwrap().as_f64(), Some(77.0));
+    }
+
+    #[test]
+    fn set_threshold_applies_immediately() {
+        let log = SlowLog::new(4, u64::MAX);
+        assert!(!log.observe(u64::MAX - 1, || entry(1)));
+        log.set_threshold_ns(10);
+        assert!(log.observe(10, || entry(1)));
+    }
+}

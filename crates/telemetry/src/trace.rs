@@ -15,10 +15,17 @@ impl SpanId {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a span id from its raw index — for decoding span
+    /// forests that crossed a process boundary (wire replies carry
+    /// parent links as raw indices).
+    pub fn from_raw(raw: u32) -> SpanId {
+        SpanId(raw)
+    }
 }
 
 /// One finished (or still-open) span.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Span name. The leading whitespace-delimited token is the stable
     /// *phase* (`rewrite`, `fold`, `read`, …); anything after it is
@@ -28,8 +35,9 @@ pub struct SpanRecord {
     pub parent: Option<SpanId>,
     /// Nanoseconds from the tracer's origin to span start (monotonic).
     pub start_ns: u64,
-    /// Nanoseconds from the tracer's origin to span end; equals
-    /// `start_ns` while the span is still open.
+    /// Nanoseconds from the tracer's origin to span end. While the span
+    /// is open this holds the latest end among its closed children (or
+    /// `start_ns` if none), so containment holds at every instant.
     pub end_ns: u64,
     /// Key/value annotations (scan counts, byte counts, wait times, …).
     pub attrs: Vec<(String, String)>,
@@ -104,6 +112,59 @@ impl Tracer {
         SpanGuard {
             inner: Some((Arc::clone(buf), id)),
         }
+    }
+
+    /// Grafts a span forest recorded by another process (a shard's
+    /// reply) into this tracer under `parent`.
+    ///
+    /// Remote parent links are raw indices local to the remote tracer;
+    /// they are remapped by this tracer's current length. Remote roots
+    /// (and any entry whose parent link does not point at an earlier
+    /// remote span — a malformed forest) hang under `parent`. Remote
+    /// timestamps count from the remote tracer's origin, so they are
+    /// shifted by `base_ns` — pass the enclosing span's `start_ns` to
+    /// align the remote forest at the moment the request went out. The
+    /// two clocks never mix: alignment is an offset, not a sync.
+    ///
+    /// Returns the id of the first grafted span (`None` when disabled
+    /// or `remote` is empty).
+    pub fn graft(
+        &self,
+        parent: Option<SpanId>,
+        remote: &[SpanRecord],
+        base_ns: u64,
+    ) -> Option<SpanId> {
+        let buf = self.inner.as_ref()?;
+        let mut spans = buf.spans.lock().expect("span buffer");
+        let offset = u32::try_from(spans.len()).expect("too many spans");
+        for (i, r) in remote.iter().enumerate() {
+            let parent = match r.parent {
+                Some(p) if (p.raw() as usize) < i => Some(SpanId(p.raw() + offset)),
+                _ => parent,
+            };
+            spans.push(SpanRecord {
+                name: r.name.clone(),
+                parent,
+                start_ns: r.start_ns.saturating_add(base_ns),
+                end_ns: r.end_ns.saturating_add(base_ns),
+                attrs: r.attrs.clone(),
+            });
+        }
+        if remote.is_empty() {
+            None
+        } else {
+            Some(SpanId(offset))
+        }
+    }
+
+    /// The recorded start timestamp of one span, without cloning the
+    /// whole buffer — the router uses it to align grafted shard forests
+    /// at the moment their request went out. `None` when disabled or
+    /// out of range.
+    pub fn start_ns(&self, id: SpanId) -> Option<u64> {
+        let buf = self.inner.as_ref()?;
+        let spans = buf.spans.lock().expect("span buffer");
+        spans.get(id.raw() as usize).map(|r| r.start_ns)
     }
 
     /// Snapshot of every span recorded so far, in creation order.
@@ -192,6 +253,14 @@ impl Default for Tracer {
     }
 }
 
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
 /// Formats a nanosecond duration with a human-friendly unit.
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
@@ -237,6 +306,23 @@ impl Drop for SpanGuard {
             let end_ns = buf.origin.elapsed().as_nanos() as u64;
             let mut spans = buf.spans.lock().expect("span buffer");
             spans[*id as usize].end_ns = end_ns;
+            // A guard can migrate across worker-pool threads and close
+            // *after* its parent's guard already did (a stolen task
+            // finishing late). The parent link is correct — it was
+            // captured at open — but the recorded windows would say the
+            // child escaped its parent, which breaks every consumer
+            // that attributes child time to parents. A parent is not
+            // logically finished while work it spawned is in flight, so
+            // stretch each already-closed ancestor to cover this close.
+            let mut next = spans[*id as usize].parent;
+            while let Some(p) = next {
+                let rec = &mut spans[p.raw() as usize];
+                if rec.end_ns >= end_ns {
+                    break;
+                }
+                rec.end_ns = end_ns;
+                next = rec.parent;
+            }
         }
     }
 }
@@ -314,6 +400,133 @@ mod tests {
         for line in jsonl.lines() {
             crate::json::parse(line).expect("every JSONL line parses");
         }
+    }
+
+    /// Regression: a span opened on one worker and closed on another
+    /// *after* its parent closed (a stolen task finishing late) must
+    /// keep its recorded parent and stay inside the parent's window.
+    /// The interleaving is forced with channels, not timing.
+    #[test]
+    fn cross_thread_close_after_parent_keeps_containment() {
+        let t = Tracer::new();
+        let root = t.span("batch", None);
+        let child = t.span("query 0", root.id());
+        let (parent_closed_tx, parent_closed_rx) = std::sync::mpsc::channel::<()>();
+        let stealer = std::thread::spawn(move || {
+            // The "stealing" worker holds the child guard and only
+            // closes it once the parent is already gone.
+            parent_closed_rx.recv().expect("parent close signal");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            drop(child);
+        });
+        drop(root);
+        parent_closed_tx.send(()).expect("signal stealer");
+        stealer.join().expect("stealer thread");
+
+        let records = t.records();
+        assert_eq!(records.len(), 2);
+        let (parent, child) = (&records[0], &records[1]);
+        assert_eq!(child.parent, Some(SpanId(0)), "parent link must survive");
+        assert!(child.duration_ns() > 0);
+        assert!(
+            child.end_ns <= parent.end_ns,
+            "child ({}..{}) escaped its parent ({}..{})",
+            child.start_ns,
+            child.end_ns,
+            parent.start_ns,
+            parent.end_ns,
+        );
+    }
+
+    /// The stretch in `Drop` must walk the whole ancestor chain, not
+    /// just the immediate parent.
+    #[test]
+    fn late_close_stretches_every_ancestor() {
+        let t = Tracer::new();
+        let root = t.span("batch", None);
+        let query = t.span("query 0", root.id());
+        let node = t.span("node 3 and", query.id());
+        drop(query);
+        drop(root);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        drop(node);
+
+        let records = t.records();
+        let end = records[2].end_ns;
+        assert!(records[1].end_ns >= end, "query must cover the late node");
+        assert!(records[0].end_ns >= end, "root must cover the late node");
+    }
+
+    #[test]
+    fn graft_remaps_remote_parents_and_rebases_time() {
+        let remote = Tracer::new();
+        {
+            let r = remote.span("serve", None);
+            let q = remote.span("query =5", r.id());
+            let _e = remote.span("eval", q.id());
+            let _orphan = remote.span("detached", None);
+        }
+        let shipped = remote.records();
+
+        let local = Tracer::new();
+        let leg = local.span("leg 2", None);
+        let leg_id = leg.id();
+        let base = local.records()[0].start_ns;
+        let first = local.graft(leg_id, &shipped, base).expect("grafted");
+        drop(leg);
+
+        let records = local.records();
+        assert_eq!(records.len(), 1 + shipped.len());
+        let off = first.raw() as usize;
+        // Remote roots hang under the leg; interior links are remapped.
+        assert_eq!(records[off].parent, leg_id);
+        assert_eq!(records[off + 1].parent, Some(first));
+        assert_eq!(records[off + 3].parent, leg_id, "second remote root");
+        for (r, s) in records[off..].iter().zip(&shipped) {
+            assert_eq!(r.start_ns, s.start_ns + base);
+            assert_eq!(r.end_ns, s.end_ns + base);
+        }
+        // The grafted forest renders as one tree under the leg.
+        let tree = local.render_tree();
+        assert!(tree.contains("leg 2"), "{tree}");
+        assert!(tree.contains("  serve"), "{tree}");
+        assert!(tree.contains("    query =5"), "{tree}");
+    }
+
+    #[test]
+    fn graft_treats_malformed_forward_links_as_roots() {
+        let local = Tracer::new();
+        let leg = local.span("leg 0", None);
+        let leg_id = leg.id();
+        // A forward/self parent link could never come from a real
+        // tracer; it must not produce a cycle or an out-of-range index.
+        let bogus = vec![SpanRecord {
+            name: "evil".into(),
+            parent: Some(SpanId(7)),
+            start_ns: 0,
+            end_ns: 1,
+            attrs: Vec::new(),
+        }];
+        local.graft(leg_id, &bogus, 0);
+        drop(leg);
+        let records = local.records();
+        assert_eq!(records[1].parent, leg_id);
+        // render_tree must not panic on the result.
+        assert_eq!(local.render_tree().lines().count(), 2);
+    }
+
+    #[test]
+    fn graft_on_disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        let spans = vec![SpanRecord {
+            name: "x".into(),
+            parent: None,
+            start_ns: 0,
+            end_ns: 1,
+            attrs: Vec::new(),
+        }];
+        assert!(t.graft(None, &spans, 0).is_none());
+        assert!(t.records().is_empty());
     }
 
     #[test]

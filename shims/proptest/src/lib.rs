@@ -255,6 +255,12 @@ macro_rules! int_arbitrary {
 
 int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
 /// The strategy returned by [`any`].
 pub struct Any<T>(std::marker::PhantomData<T>);
 

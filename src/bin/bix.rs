@@ -25,21 +25,27 @@
 //! bix serve   index.bix [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!             [--deadline-ms MS] [--request-threads N] [--pool-pages P]
 //!             [--shard-id N]      # stamp replies as shard N (row-range member)
+//!             [--slow-ms MS]      # slow-query capture threshold (0 = all)
 //! bix route   --shards H:P,H:P[,...] [--addr HOST:PORT] [--workers N]
 //!             [--queue-depth N] [--deadline-ms MS] [--retries N]
-//!             [--health-interval-ms MS]
+//!             [--health-interval-ms MS] [--slow-ms MS]
 //!                                 # scatter-gather front-end over row-range
 //!                                 # shards (shard order = row order)
-//! bix client  ping|query|batch|stats|reload|shutdown|help
+//! bix client  ping|query|batch|stats|slowlog|reload|shutdown|help
 //!             --addr HOST:PORT | --via-router HOST:PORT ...
 //!             # query  <predicate> [--eval-domain ...] [--deadline-ms MS]
+//!             #        [--trace] [--trace-out spans.jsonl]  # distributed trace
 //!             # batch  <file>      [--eval-domain ...] [--deadline-ms MS]
 //!             # stats  [--json]
+//!             # slowlog            # slow-query log (router: whole fleet)
 //!             # reload <server-side index path>
 //!             # common: [--retries N] [--allow-degraded]
 //!             # exit codes: 0 ok, 2 usage/connect, 3 overloaded,
 //!             #             4 deadline, 5 degraded, 6 unavailable,
 //!             #             7 bad query, 8 wire/malformed
+//! bix top     --addr HOST:PORT [--interval-ms MS] [--iterations N]
+//!                                 # live fleet view: per-node qps, p50/p99,
+//!                                 # breaker state, in-flight load
 //! ```
 //!
 //! The input file is one value per line, or CSV with `--column` selecting
@@ -52,6 +58,7 @@
 //! `--metrics-out` writes a JSON metrics snapshot (counters, gauges, and
 //! per-phase latency histograms).
 
+use bix_telemetry::{json, TraceContext};
 use chan_bitmap_index::analysis::{advise, Workload};
 use chan_bitmap_index::core::{
     BitmapIndex, BitmapRef, BufferPool, CodecKind, CostModel, EncodingScheme, EvalDomain,
@@ -79,6 +86,7 @@ fn main() -> ExitCode {
         Some("repair") => cmd_repair(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         // `client` maps typed outcomes to distinct exit codes so chaos
         // scripts and CI can assert without parsing stderr.
         Some("client") => {
@@ -91,7 +99,7 @@ fn main() -> ExitCode {
             }
         }
         _ => Err(
-            "usage: bix <build|query|info|explain|stats|advise|verify|repair|serve|route|client> ..."
+            "usage: bix <build|query|info|explain|stats|advise|verify|repair|serve|route|client|top> ..."
                 .to_string(),
         ),
     };
@@ -733,10 +741,19 @@ fn numeric_flag(args: &[String], flag: &str, default: usize) -> Result<usize, St
     }
 }
 
+/// Like [`numeric_flag`] but zero is meaningful (`--slow-ms 0` captures
+/// everything, `--iterations 0` runs until interrupted).
+fn u64_flag(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{flag} must be a number")),
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: bix serve <index.bix> [--addr HOST:PORT] [--workers N] \
          [--queue-depth N] [--deadline-ms MS] [--request-threads N] [--pool-pages P] \
-         [--shard-id N]";
+         [--shard-id N] [--slow-ms MS]";
     let path = args.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into());
     let defaults = ServerConfig::default();
@@ -753,6 +770,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             None => defaults.shard_id,
             Some(v) => v.parse().map_err(|_| "--shard-id must be a small number")?,
         },
+        slow_threshold_ms: u64_flag(args, "--slow-ms", defaults.slow_threshold_ms)?,
         ..defaults
     };
     let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
@@ -772,7 +790,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 fn cmd_route(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: bix route --shards HOST:PORT,HOST:PORT[,...] \
          [--addr HOST:PORT] [--workers N] [--queue-depth N] [--deadline-ms MS] \
-         [--retries N] [--health-interval-ms MS]";
+         [--retries N] [--health-interval-ms MS] [--slow-ms MS]";
     let shards: Vec<String> = flag_value(args, "--shards")
         .ok_or(USAGE)?
         .split(',')
@@ -804,6 +822,7 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
         },
         retry,
         health_interval,
+        slow_threshold_ms: u64_flag(args, "--slow-ms", route_defaults.slow_threshold_ms)?,
         ..route_defaults
     };
     let serve_defaults = ServerConfig::default();
@@ -820,6 +839,154 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     server.join();
     eprintln!("router stopped");
     Ok(())
+}
+
+/// Finds one named metric entry in a registry JSON snapshot.
+fn metric<'a>(doc: &'a json::Json, name: &str) -> Option<&'a json::Json> {
+    doc.get("metrics")?
+        .as_array()?
+        .iter()
+        .find(|m| m.get("name").and_then(json::Json::as_str) == Some(name))
+}
+
+/// One row of the `bix top` display, extracted from a node's snapshot.
+struct TopRow {
+    label: String,
+    /// Breaker state as the router publishes it (0 up, 1 half-open,
+    /// 2 down); `None` for nodes without a breaker (the router itself)
+    /// or unreachable shards.
+    breaker: Option<f64>,
+    reachable: bool,
+    requests: Option<f64>,
+    p50_ms: Option<f64>,
+    p99_ms: Option<f64>,
+    inflight: Option<f64>,
+}
+
+impl TopRow {
+    fn from_snapshot(label: String, doc: &json::Json, breaker: Option<f64>) -> TopRow {
+        let hist = metric(doc, "bix_server_request_nanos");
+        let q = |key: &str| hist.and_then(|h| h.get(key)).and_then(json::Json::as_f64);
+        TopRow {
+            label,
+            breaker,
+            reachable: true,
+            requests: metric(doc, "bix_server_requests_total")
+                .and_then(|m| m.get("value"))
+                .and_then(json::Json::as_f64),
+            p50_ms: q("p50").map(|ns| ns / 1e6),
+            p99_ms: q("p99").map(|ns| ns / 1e6),
+            inflight: metric(doc, "bix_server_inflight")
+                .and_then(|m| m.get("value"))
+                .and_then(json::Json::as_f64),
+        }
+    }
+
+    fn unreachable(label: String, breaker: Option<f64>) -> TopRow {
+        TopRow {
+            label,
+            breaker,
+            reachable: false,
+            requests: None,
+            p50_ms: None,
+            p99_ms: None,
+            inflight: None,
+        }
+    }
+
+    fn state(&self) -> &'static str {
+        if !self.reachable {
+            return "down";
+        }
+        match self.breaker {
+            Some(s) if s >= 2.0 => "down",
+            Some(s) if s >= 1.0 => "half-open",
+            _ => "up",
+        }
+    }
+}
+
+/// Splits an aggregated router snapshot (`{"router": …, "shards":
+/// […]}`) — or a single server's flat snapshot — into display rows.
+fn top_rows(doc: &json::Json) -> Vec<TopRow> {
+    let Some(router) = doc.get("router") else {
+        return vec![TopRow::from_snapshot("server".into(), doc, None)];
+    };
+    let mut rows = vec![TopRow::from_snapshot("router".into(), router, None)];
+    if let Some(shards) = doc.get("shards").and_then(json::Json::as_array) {
+        for (i, shard) in shards.iter().enumerate() {
+            let label = format!("shard {i}");
+            let breaker = metric(router, &format!("bix_route_shard_{i}_breaker_state"))
+                .and_then(|m| m.get("value"))
+                .and_then(json::Json::as_f64);
+            // Unreachable shards arrive as JSON null (no "metrics").
+            if shard.get("metrics").is_some() {
+                rows.push(TopRow::from_snapshot(label, shard, breaker));
+            } else {
+                rows.push(TopRow::unreachable(label, breaker));
+            }
+        }
+    }
+    rows
+}
+
+/// `bix top`: a live fleet view — per-node request rate, latency
+/// quantiles, breaker state, and in-flight load, polled from one
+/// stats endpoint (a router aggregates its whole fleet).
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: bix top --addr HOST:PORT [--interval-ms MS] [--iterations N (0 = forever)]";
+    let addr = flag_value(args, "--addr").ok_or(USAGE)?;
+    let interval_ms = u64_flag(args, "--interval-ms", 2_000)?.max(1);
+    let iterations = u64_flag(args, "--iterations", 0)?;
+    let mut prev: Vec<(String, f64)> = Vec::new();
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let text = Client::connect_with_timeout(addr.as_str(), Duration::from_secs(5))
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?
+            .stats(StatsFormat::Json)
+            .map_err(|e| e.to_string())?;
+        let doc = json::parse(&text).map_err(|e| format!("bad stats JSON from {addr}: {e}"))?;
+        let rows = top_rows(&doc);
+
+        let dash = "-".to_string();
+        let fmt = |v: Option<f64>| v.map_or_else(|| dash.clone(), |v| format!("{v:.2}"));
+        println!("bix top — {addr} — tick {tick} (every {interval_ms} ms)");
+        println!(
+            "{:<10} {:>9} {:>10} {:>8} {:>9} {:>9} {:>9}",
+            "node", "state", "requests", "qps", "p50_ms", "p99_ms", "inflight"
+        );
+        let mut next_prev = Vec::with_capacity(rows.len());
+        for row in &rows {
+            // Request rate is the delta against this node's previous
+            // sample; the first tick (and any node that just appeared
+            // or restarted) shows "-".
+            let qps = row.requests.and_then(|cur| {
+                next_prev.push((row.label.clone(), cur));
+                let (_, last) = prev.iter().find(|(l, _)| *l == row.label)?;
+                (cur >= *last).then(|| (cur - last) * 1_000.0 / interval_ms as f64)
+            });
+            println!(
+                "{:<10} {:>9} {:>10} {:>8} {:>9} {:>9} {:>9}",
+                row.label,
+                row.state(),
+                row.requests
+                    .map_or_else(|| dash.clone(), |v| format!("{v:.0}")),
+                fmt(qps),
+                fmt(row.p50_ms),
+                fmt(row.p99_ms),
+                row.inflight
+                    .map_or_else(|| dash.clone(), |v| format!("{v:.0}")),
+            );
+        }
+        println!();
+        prev = next_prev;
+        if iterations > 0 && tick >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
 }
 
 /// A `bix client` failure paired with the process exit code that
@@ -874,6 +1041,8 @@ subcommands:\n\
   query <predicate>        evaluate one predicate, print matching rows\n\
   batch <file>             evaluate predicates from <file> (one per line, # comments)\n\
   stats [--json]           fetch live metrics (Prometheus text by default)\n\
+  slowlog                  fetch the slow-query log (JSON; a router\n\
+                           aggregates its own log plus every shard's)\n\
   reload <path>            hot-swap the server's index from a server-side path\n\
   shutdown                 ask the server to drain and stop\n\
   help                     print this text\n\
@@ -888,6 +1057,9 @@ common flags:\n\
                            (reconnects between attempts; default 0)\n\
   --allow-degraded         accept partial results when a router has lost\n\
                            shards; missing shards go to stderr, exit 5\n\
+  --trace                  sample this query: print the assembled\n\
+                           cross-process span tree on stderr (query)\n\
+  --trace-out FILE         write the assembled spans as JSONL (query)\n\
 \n\
 exit codes:\n\
   0  success (full result)\n\
@@ -939,6 +1111,10 @@ fn cmd_client(args: &[String]) -> Result<(), CliFailure> {
                 .filter(|a| !a.starts_with("--"))
                 .ok_or(CLIENT_USAGE)?;
             let domain = parse_eval_domain(args)?;
+            let traced = wants_trace(args);
+            if traced {
+                client.set_trace(TraceContext::generate());
+            }
             let outcome = client.query_outcome(predicate, domain, deadline_ms)?;
             let missing = outcome.missing_shards().to_vec();
             let reply = outcome.into_value();
@@ -951,6 +1127,21 @@ fn cmd_client(args: &[String]) -> Result<(), CliFailure> {
                 reply.scans,
                 reply.decompressions,
             );
+            if traced {
+                // The reply carries the whole fleet's span forest
+                // (router admission, per-shard legs with retries, and
+                // each shard's evaluation) already assembled into one
+                // tree; re-hydrate it into a tracer to render.
+                let spans = client.last_spans().to_vec();
+                eprintln!(
+                    "trace {:032x} ({} spans)",
+                    client.trace().trace_id,
+                    spans.len()
+                );
+                let assembled = Tracer::new();
+                assembled.graft(None, &spans, 0);
+                emit_trace(args, &assembled)?;
+            }
             if !missing.is_empty() {
                 degraded = Some(missing);
             }
@@ -992,6 +1183,9 @@ fn cmd_client(args: &[String]) -> Result<(), CliFailure> {
                 StatsFormat::Prometheus
             };
             print!("{}", client.stats(format)?);
+        }
+        "slowlog" => {
+            println!("{}", client.slowlog()?);
         }
         "reload" => {
             let path = args
@@ -1050,10 +1244,7 @@ mod tests {
                 ClientError::Wire(chan_bitmap_index::server::WireError::Truncated),
                 8,
             ),
-            (
-                ClientError::Io(std::io::Error::other("x")),
-                2,
-            ),
+            (ClientError::Io(std::io::Error::other("x")), 2),
         ];
         for (err, want) in cases {
             assert_eq!(CliFailure::from(err).exit_code, want);
