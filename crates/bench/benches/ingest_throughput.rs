@@ -1,0 +1,201 @@
+//! Streaming-ingest throughput: how fast the LSM-style delta absorbs
+//! appends, single-threaded, in serving-sized batches — the write-path
+//! counterpart of `serve_throughput`.
+//!
+//! Three numbers matter and all land in the committed baseline:
+//!
+//! - `absorb_rows_per_sec` — pure [`DeltaIndex::absorb`] rate (the
+//!   in-process memtable hot path; the acceptance floor is 1 Mrows/s),
+//! - `wire_rows_per_sec` — the same rows pushed through a real `bix
+//!   serve` TCP socket in ingest frames,
+//! - `merge_rows_per_sec` — draining the full delta into the main index
+//!   through the journaled `try_append` protocol (what the background
+//!   merge pays).
+//!
+//! Before any timing starts, `main ∪ delta` evaluation is asserted
+//! bit-identical to an index rebuilt from the concatenated column, so
+//! the numbers can never come from a delta that answers wrong.
+
+use bix_bench::results;
+use bix_core::{BitmapIndex, CodecKind, DeltaIndex, EncodingScheme, IndexConfig, Query};
+use bix_server::{Client, Server, ServerConfig};
+use bix_workload::DatasetSpec;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+const BASE_ROWS: usize = 100_000;
+const INGEST_ROWS: usize = 1_000_000;
+const C: u64 = 200;
+const BATCH: usize = 4096;
+
+fn base_index() -> BitmapIndex {
+    let data = DatasetSpec {
+        rows: BASE_ROWS,
+        cardinality: C,
+        zipf_z: 1.0,
+        seed: 99,
+    }
+    .generate();
+    let config =
+        IndexConfig::one_component(C, EncodingScheme::Equality).with_codec(CodecKind::Ewah);
+    BitmapIndex::build(&data.values, &config)
+}
+
+fn tail_values() -> Vec<u64> {
+    DatasetSpec {
+        rows: INGEST_ROWS,
+        cardinality: C,
+        zipf_z: 1.0,
+        seed: 7,
+    }
+    .generate()
+    .values
+}
+
+/// Asserts `main ∪ delta` answers exactly like an index rebuilt from
+/// the concatenated column, over a spread of predicate shapes.
+fn verify_bit_identity(main: &mut BitmapIndex, tail: &[u64]) {
+    let mut delta = DeltaIndex::for_index(main, usize::MAX);
+    for batch in tail.chunks(BATCH) {
+        delta.absorb(batch).expect("verify absorb");
+    }
+    let mut all = Vec::with_capacity(BASE_ROWS + tail.len());
+    let base = DatasetSpec {
+        rows: BASE_ROWS,
+        cardinality: C,
+        zipf_z: 1.0,
+        seed: 99,
+    }
+    .generate();
+    all.extend_from_slice(&base.values);
+    all.extend_from_slice(tail);
+    let mut rebuilt = BitmapIndex::build(&all, main.config());
+    for pred in [
+        "=7",
+        "=199",
+        "10..60",
+        "<=25",
+        ">=150",
+        "!40..160",
+        "in:0,50,100,150",
+    ] {
+        let q = Query::parse(pred, C).expect("verify predicate");
+        assert_eq!(
+            main.evaluate_with_delta(&q, &delta).to_positions(),
+            rebuilt.evaluate(&q).to_positions(),
+            "{pred}: main ∪ delta drifts from rebuild"
+        );
+    }
+}
+
+/// Absorbs the whole tail into a fresh delta, returning rows/second.
+fn timed_absorb(main: &BitmapIndex, tail: &[u64]) -> (f64, f64) {
+    let mut delta = DeltaIndex::for_index(main, usize::MAX);
+    let started = Instant::now();
+    for batch in tail.chunks(BATCH) {
+        black_box(delta.absorb(batch).expect("bench absorb"));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(delta.rows(), tail.len());
+    (tail.len() as f64 / wall, wall)
+}
+
+/// Pushes the tail through a real server socket in ingest frames,
+/// returning rows/second (merge disabled so the number isolates wire +
+/// absorb cost).
+fn timed_wire(tail: &[u64]) -> f64 {
+    let config = ServerConfig {
+        delta_budget_bytes: 512 << 20,
+        merge_threshold_bytes: 1 << 30,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(base_index(), "127.0.0.1:0", config).expect("bench server");
+    let mut client = Client::connect(server.addr()).expect("bench connect");
+    let started = Instant::now();
+    let mut acked = 0u64;
+    for batch in tail.chunks(BATCH) {
+        acked += client.ingest(batch).expect("bench ingest").appended;
+    }
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(acked, tail.len() as u64);
+    server.shutdown();
+    tail.len() as f64 / wall
+}
+
+/// Drains a full delta into the main index through `try_append` — one
+/// background-merge compaction — returning rows/second.
+fn timed_merge(main: &BitmapIndex, tail: &[u64]) -> f64 {
+    let mut merged = {
+        // The merge clones the serving index the same way the server
+        // does: a save/load round-trip, never touching the original.
+        let mut buf = Vec::new();
+        main.save_to(&mut buf).expect("clone save");
+        BitmapIndex::load_from(&buf[..]).expect("clone load")
+    };
+    let started = Instant::now();
+    merged.try_append(tail).expect("merge append");
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(merged.rows(), BASE_ROWS + tail.len());
+    tail.len() as f64 / wall
+}
+
+fn write_results_json(absorb_rps: f64, wall: f64, wire_rps: f64, merge_rps: f64) {
+    eprintln!(
+        "ingest_throughput: absorb {absorb_rps:.0} rows/s ({wall:.3}s for {INGEST_ROWS} rows), \
+         wire {wire_rps:.0} rows/s, merge {merge_rps:.0} rows/s"
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"ingest_throughput\",\n  \"base_rows\": {BASE_ROWS},\n  \
+         \"rows_ingested\": {INGEST_ROWS},\n  \"cardinality\": {C},\n  \
+         \"batch_rows\": {BATCH},\n  \"encoding\": \"E\",\n  \"codec\": \"ewah\",\n  \
+         \"bit_identical\": true,\n  \"wall_seconds\": {wall:.6},\n  \
+         \"absorb_rows_per_sec\": {absorb_rps:.1},\n  \
+         \"wire_rows_per_sec\": {wire_rps:.1},\n  \
+         \"merge_rows_per_sec\": {merge_rps:.1}\n}}\n",
+    );
+    results::write_validated(
+        &results::results_dir().join("ingest_throughput.json"),
+        &json,
+    );
+    results::write_validated(&results::repo_root().join("BENCH_ingest.json"), &json);
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut main = base_index();
+    let tail = tail_values();
+    verify_bit_identity(&mut main, &tail);
+
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("absorb_4096_row_batch", |b| {
+        let mut delta = DeltaIndex::for_index(&main, usize::MAX);
+        let mut cursor = 0usize;
+        b.iter(|| {
+            if cursor + BATCH > tail.len() {
+                delta = DeltaIndex::for_index(&main, usize::MAX);
+                cursor = 0;
+            }
+            black_box(delta.absorb(&tail[cursor..cursor + BATCH]).expect("absorb"));
+            cursor += BATCH;
+        })
+    });
+    group.finish();
+
+    // Best-of-three for the committed number: absorption is allocation-
+    // light, so the spread is small, but the first pass pays page
+    // faults for the tail buffers.
+    let (mut absorb_rps, mut wall) = (0.0f64, 0.0f64);
+    for _ in 0..3 {
+        let (rps, w) = timed_absorb(&main, &tail);
+        if rps > absorb_rps {
+            (absorb_rps, wall) = (rps, w);
+        }
+    }
+    let wire_rps = timed_wire(&tail);
+    let merge_rps = timed_merge(&main, &tail);
+    write_results_json(absorb_rps, wall, wire_rps, merge_rps);
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

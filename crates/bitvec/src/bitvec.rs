@@ -33,6 +33,28 @@ impl Bitvec {
         bv
     }
 
+    /// Creates a bit vector of `len` bits directly from its backing
+    /// words (the inverse of [`Bitvec::words`]). The word buffer is
+    /// adopted without copying — the zero-copy constructor for callers
+    /// that maintain raw word buffers, such as the in-memory delta
+    /// index's bitmap tails and the word-at-a-time codec decoders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly `ceil(len / 64)` long, or if any
+    /// bit past `len` in the final word is set (the tail invariant).
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            words_for(len),
+            "word buffer length {} does not match {len} bits",
+            words.len()
+        );
+        let bv = Bitvec { words, len };
+        assert!(bv.tail_is_clean(), "word buffer has stray tail bits");
+        bv
+    }
+
     /// Creates a bit vector from a boolean slice.
     pub fn from_bools(bits: &[bool]) -> Self {
         let mut bv = Bitvec::zeros(bits.len());

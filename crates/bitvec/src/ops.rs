@@ -111,6 +111,34 @@ impl Bitvec {
             .zip(&other.words)
             .all(|(a, b)| a & !b == 0)
     }
+
+    /// Appends `other` after `self`: bit `i` of `other` becomes bit
+    /// `self.len() + i`. The row-space concatenation behind `main ∪
+    /// delta` evaluation. Word-aligned when `self.len()` is a multiple
+    /// of 64; otherwise `other` is re-packed in 64-bit chunks.
+    pub fn extend_from(&mut self, other: &Bitvec) {
+        let offset = self.len;
+        self.len += other.len;
+        if offset.is_multiple_of(crate::WORD_BITS) {
+            self.words.extend_from_slice(&other.words);
+            return;
+        }
+        self.words.resize(crate::words_for(self.len), 0);
+        let mut pos = 0;
+        while pos < other.len {
+            let n = crate::WORD_BITS.min(other.len - pos);
+            self.set_bits(offset + pos, n, other.get_bits(pos, n));
+            pos += n;
+        }
+    }
+
+    /// Returns `self` followed by `other` (see [`Bitvec::extend_from`]).
+    #[must_use]
+    pub fn concat(&self, other: &Bitvec) -> Bitvec {
+        let mut out = self.clone();
+        out.extend_from(other);
+        out
+    }
 }
 
 impl std::ops::BitAnd for &Bitvec {
@@ -220,6 +248,31 @@ mod tests {
         let a = bv("1100");
         let b = bv("1010");
         assert_eq!(a.xor(&b), a.and_not(&b).or(&b.and_not(&a)));
+    }
+
+    #[test]
+    fn concat_is_positional_append() {
+        for a_len in [0usize, 1, 5, 63, 64, 65, 130] {
+            for b_len in [0usize, 1, 64, 67] {
+                let mut a = Bitvec::zeros(a_len);
+                for i in (0..a_len).step_by(3) {
+                    a.set(i, true);
+                }
+                let mut b = Bitvec::zeros(b_len);
+                for i in (0..b_len).step_by(2) {
+                    b.set(i, true);
+                }
+                let cat = a.concat(&b);
+                assert_eq!(cat.len(), a_len + b_len);
+                assert!(cat.tail_is_clean(), "a={a_len} b={b_len}");
+                for i in 0..a_len {
+                    assert_eq!(cat.get(i), a.get(i), "a={a_len} b={b_len} i={i}");
+                }
+                for i in 0..b_len {
+                    assert_eq!(cat.get(a_len + i), b.get(i), "a={a_len} b={b_len} i={i}");
+                }
+            }
+        }
     }
 
     #[test]

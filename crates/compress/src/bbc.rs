@@ -254,36 +254,45 @@ impl Bbc {
     /// allowed to grow past `n_bytes`, so hostile gap or literal counts
     /// cannot force oversized allocations.
     pub fn try_decompress_bytes(stream: &[u8], n_bytes: usize) -> Result<Vec<u8>, DecodeError> {
-        let mut out = Vec::with_capacity(n_bytes);
+        // One zeroed allocation up front, then a cursor: a zero gap is a
+        // pure cursor skip, a one gap is a slice fill, and a literal tail
+        // is one bulk copy. Sparse bitmaps are almost entirely zero gaps,
+        // so their decode cost collapses to the header parse itself.
+        let mut out = vec![0u8; n_bytes];
+        let mut decoded = 0usize;
         let mut pos = 0usize;
         while pos < stream.len() {
             let (fill, gap, lits) = try_read_atom(stream, &mut pos)?;
-            if gap > n_bytes - out.len() {
+            if gap > n_bytes - decoded {
                 return Err(DecodeError::Overrun {
                     codec: "bbc",
                     declared_bits: n_bytes * 8,
                 });
             }
-            out.extend(std::iter::repeat_n(if fill { 0xFFu8 } else { 0x00 }, gap));
+            if fill {
+                out[decoded..decoded + gap].fill(0xFF);
+            }
+            decoded += gap;
             if lits > stream.len() - pos {
                 return Err(DecodeError::Truncated {
                     codec: "bbc",
                     offset: stream.len(),
                 });
             }
-            if lits > n_bytes - out.len() {
+            if lits > n_bytes - decoded {
                 return Err(DecodeError::Overrun {
                     codec: "bbc",
                     declared_bits: n_bytes * 8,
                 });
             }
-            out.extend_from_slice(&stream[pos..pos + lits]);
+            out[decoded..decoded + lits].copy_from_slice(&stream[pos..pos + lits]);
+            decoded += lits;
             pos += lits;
         }
-        if out.len() != n_bytes {
+        if decoded != n_bytes {
             return Err(DecodeError::WrongLength {
                 codec: "bbc",
-                decoded: out.len(),
+                decoded,
                 declared: n_bytes,
             });
         }

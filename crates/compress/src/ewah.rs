@@ -105,7 +105,14 @@ impl Ewah {
     /// requires, so a hostile fill count cannot force a huge allocation.
     pub fn try_decompress_words(stream: &[u64], len_bits: usize) -> Result<Bitvec, DecodeError> {
         let total_words = len_bits.div_ceil(64);
-        let mut words = Vec::with_capacity(total_words);
+        // One zeroed allocation up front, then a cursor: a zero fill is a
+        // pure cursor skip, a one fill is a slice fill, and a literal run
+        // is one bulk copy. Sparse streams — mostly zero fills with a
+        // literal word here and there — decode without per-word pushes or
+        // growth checks, and the word buffer becomes the bitmap directly
+        // instead of round-tripping through a byte stream.
+        let mut words = vec![0u64; total_words];
+        let mut filled = 0usize;
         let mut i = 0usize;
         while i < stream.len() {
             let (fill, fills, lits) = unpack(stream[i]);
@@ -117,35 +124,37 @@ impl Ewah {
                 });
             }
             i += 1;
-            if fills as usize > total_words - words.len() {
+            let (fills, lits) = (fills as usize, lits as usize);
+            if fills > total_words - filled {
                 return Err(DecodeError::Overrun {
                     codec: "ewah",
                     declared_bits: len_bits,
                 });
             }
-            words.extend(std::iter::repeat_n(
-                if fill { u64::MAX } else { 0 },
-                fills as usize,
-            ));
-            if lits as usize > stream.len() - i {
+            if fill {
+                words[filled..filled + fills].fill(u64::MAX);
+            }
+            filled += fills;
+            if lits > stream.len() - i {
                 return Err(DecodeError::Truncated {
                     codec: "ewah",
                     offset: stream.len() * 8,
                 });
             }
-            if lits as usize > total_words - words.len() {
+            if lits > total_words - filled {
                 return Err(DecodeError::Overrun {
                     codec: "ewah",
                     declared_bits: len_bits,
                 });
             }
-            words.extend_from_slice(&stream[i..i + lits as usize]);
-            i += lits as usize;
+            words[filled..filled + lits].copy_from_slice(&stream[i..i + lits]);
+            filled += lits;
+            i += lits;
         }
-        if words.len() != total_words {
+        if filled != total_words {
             return Err(DecodeError::WrongLength {
                 codec: "ewah",
-                decoded: words.len(),
+                decoded: filled,
                 declared: total_words,
             });
         }
@@ -163,12 +172,7 @@ impl Ewah {
                 }
             }
         }
-        // Reassemble through the byte path to restore the tail invariant.
-        let mut bytes = Vec::with_capacity(total_words * 8);
-        for w in &words {
-            bytes.extend_from_slice(&w.to_le_bytes());
-        }
-        Ok(Bitvec::from_bytes(len_bits, &bytes[..len_bits.div_ceil(8)]))
+        Ok(Bitvec::from_words(len_bits, words))
     }
 }
 

@@ -233,6 +233,8 @@ impl BitmapIndex {
                 // The degraded path folds raw bitmaps only.
                 nodes_raw: scans,
                 nodes_compressed: 0,
+                delta_scans: 0,
+                delta_rows: 0,
             });
         }
         Err(self.degraded(Vec::new()))

@@ -648,6 +648,14 @@ pub struct EvalResult {
     pub nodes_raw: usize,
     /// DAG-fold nodes whose value stayed a compressed stream.
     pub nodes_compressed: usize,
+    /// In-memory delta tails folded for this query (`main ∪ delta`
+    /// evaluation); zero when the query ran against the main index alone.
+    /// Delta reads never touch the store, so they are counted apart from
+    /// [`EvalResult::scans`].
+    pub delta_scans: usize,
+    /// Rows of [`EvalResult::bitmap`] contributed by the delta tail
+    /// (always the trailing rows).
+    pub delta_rows: usize,
 }
 
 impl EvalResult {
@@ -875,6 +883,8 @@ pub fn evaluate_domain_traced(
         peak_resident,
         nodes_raw: node_mix.0,
         nodes_compressed: node_mix.1,
+        delta_scans: 0,
+        delta_rows: 0,
     }
 }
 

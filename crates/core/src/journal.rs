@@ -53,6 +53,61 @@ pub struct RecoveryReport {
     pub records: usize,
 }
 
+/// Why an append was rejected.
+///
+/// [`BitmapIndex::try_append`] and [`crate::DeltaIndex::absorb`] share
+/// this type so a serving shard can map every ingest failure to a wire
+/// error instead of crashing: bad input ([`AppendError::OutOfDomain`])
+/// is the client's fault, a full memtable ([`AppendError::MemtableFull`])
+/// is transient backpressure, and a disk fault means the journaled batch
+/// needs [`BitmapIndex::recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendError {
+    /// A value in the batch is `>= cardinality`. Nothing was applied.
+    OutOfDomain {
+        /// The offending value.
+        value: u64,
+        /// The index cardinality (domain is `0..cardinality`).
+        cardinality: u64,
+    },
+    /// The delta memtable would exceed its byte budget. Nothing was
+    /// applied; retry after the background merge drains the delta.
+    MemtableFull {
+        /// Bytes the memtable would occupy after the batch.
+        needed: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The simulated disk faulted mid-protocol; the journal knows how to
+    /// restore a consistent state via [`BitmapIndex::recover`].
+    Disk(DiskFault),
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::OutOfDomain { value, cardinality } => {
+                write!(f, "appended value {value} outside domain 0..{cardinality}")
+            }
+            AppendError::MemtableFull { needed, budget } => {
+                write!(
+                    f,
+                    "delta memtable full: batch needs {needed} bytes, budget is {budget}"
+                )
+            }
+            AppendError::Disk(fault) => write!(f, "disk fault during append: {fault:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+impl From<DiskFault> for AppendError {
+    fn from(fault: DiskFault) -> AppendError {
+        AppendError::Disk(fault)
+    }
+}
+
 /// One bitmap rewrite planned by the build phase / declared by an intent
 /// record.
 struct PlannedRewrite {
@@ -234,14 +289,28 @@ impl BitmapIndex {
     /// A stale journal from an earlier crash is recovered automatically
     /// before the new batch starts.
     ///
-    /// # Panics
-    ///
-    /// Panics if any value is `>= cardinality`.
-    pub fn try_append(&mut self, new_rows: &[u64]) -> Result<UpdateStats, DiskFault> {
+    /// Out-of-domain values are rejected with
+    /// [`AppendError::OutOfDomain`] before anything is applied — a
+    /// serving shard fed a bad batch must be able to refuse it without
+    /// crashing. [`BitmapIndex::append`] is the panicking convenience
+    /// wrapper.
+    pub fn try_append(&mut self, new_rows: &[u64]) -> Result<UpdateStats, AppendError> {
         let c = self.config().cardinality;
         if let Some(&bad) = new_rows.iter().find(|&&v| v >= c) {
-            panic!("appended value {bad} outside domain 0..{c}");
+            return Err(AppendError::OutOfDomain {
+                value: bad,
+                cardinality: c,
+            });
         }
+        let result = self.append_journaled(new_rows);
+        // Index maintenance is off the query clock on *every* exit. The
+        // fault path used to return early and leak the build/rewrite
+        // traffic into the query-time counters.
+        self.reset_stats();
+        result.map_err(AppendError::Disk)
+    }
+
+    fn append_journaled(&mut self, new_rows: &[u64]) -> Result<UpdateStats, DiskFault> {
         if !self.store().journal().is_empty() {
             self.recover();
         }
@@ -334,7 +403,6 @@ impl BitmapIndex {
         // Truncate: the journal's commit point. A fault here leaves the
         // committed batch in the journal; recovery just truncates.
         self.store_mut().journal_truncate()?;
-        self.reset_stats();
         Ok(UpdateStats {
             records: new_rows.len(),
             one_bit_updates,

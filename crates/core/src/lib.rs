@@ -42,6 +42,7 @@
 
 mod decompose;
 pub mod degrade;
+mod delta;
 pub mod encoding;
 mod eval;
 mod expr;
@@ -57,6 +58,7 @@ mod update;
 
 pub use decompose::{best_bases, compose, decompose, BaseVector};
 pub use degrade::{Degraded, RepairReport, VerifyReport, EXISTENCE_REF};
+pub use delta::{DeltaIndex, DeltaStats};
 pub use encoding::{AlphaForm, EncodingScheme};
 pub use eval::{
     evaluate, evaluate_domain_traced, evaluate_traced, DomainCostModel, DomainCosts, EvalDomain,
@@ -64,7 +66,7 @@ pub use eval::{
 };
 pub use expr::{BitmapRef, Expr};
 pub use index::{BitmapIndex, CostPrediction, IndexConfig};
-pub use journal::{RecoveryAction, RecoveryReport};
+pub use journal::{AppendError, RecoveryAction, RecoveryReport};
 pub use multi::{IndexedTable, TableEvalResult, TableQuery};
 pub use parallel::DeadlineExceeded;
 pub use parallel::{BatchResult, ParallelExecutor};

@@ -24,7 +24,7 @@
 //! sequentially (seek counts differ: heads are per-thread).
 
 use crate::eval::{reads_compressed, Dag, NodeOp, NodeVal};
-use crate::{BitmapIndex, EvalDomain, EvalResult, Expr, Query};
+use crate::{BitmapIndex, DeltaIndex, EvalDomain, EvalResult, Expr, Query};
 use bix_bitvec::Bitvec;
 use bix_compress::{BitOp, CodecKind};
 use bix_storage::{BitmapHandle, CostModel, IoStats, ReadContext, ShardedBufferPool};
@@ -170,7 +170,7 @@ impl ParallelExecutor {
         tracer: &Tracer,
         parent: Option<SpanId>,
     ) -> BatchResult {
-        self.execute_inner(index, queries, pool, cost, tracer, parent, None)
+        self.execute_inner(index, None, queries, pool, cost, tracer, parent, None)
             .expect("no deadline, cannot expire")
     }
 
@@ -191,6 +191,7 @@ impl ParallelExecutor {
     ) -> Result<BatchResult, DeadlineExceeded> {
         self.execute_inner(
             index,
+            None,
             queries,
             pool,
             cost,
@@ -217,13 +218,35 @@ impl ParallelExecutor {
         parent: Option<SpanId>,
         deadline: Option<Instant>,
     ) -> Result<BatchResult, DeadlineExceeded> {
-        self.execute_inner(index, queries, pool, cost, tracer, parent, deadline)
+        self.execute_inner(index, None, queries, pool, cost, tracer, parent, deadline)
+    }
+
+    /// [`ParallelExecutor::execute_full`] over `main ∪ delta`: every
+    /// query's result is the main index's answer with the in-memory
+    /// delta tail appended ([`DeltaIndex::overlay`]), so mid-ingest
+    /// batches are bit-identical to a from-scratch rebuild over the
+    /// concatenated column. `delta: None` behaves exactly like
+    /// [`ParallelExecutor::execute_full`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_full_delta(
+        &self,
+        index: &BitmapIndex,
+        delta: Option<&DeltaIndex>,
+        queries: &[Query],
+        pool: &ShardedBufferPool,
+        cost: &CostModel,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+        deadline: Option<Instant>,
+    ) -> Result<BatchResult, DeadlineExceeded> {
+        self.execute_inner(index, delta, queries, pool, cost, tracer, parent, deadline)
     }
 
     #[allow(clippy::too_many_arguments)]
     fn execute_inner(
         &self,
         index: &BitmapIndex,
+        delta: Option<&DeltaIndex>,
         queries: &[Query],
         pool: &ShardedBufferPool,
         cost: &CostModel,
@@ -265,6 +288,7 @@ impl ParallelExecutor {
                     let q_id = q_span.as_ref().and_then(|s| s.id());
                     let result = evaluate_one(
                         index,
+                        delta,
                         q,
                         pool,
                         inner,
@@ -355,6 +379,7 @@ impl BatchResult {
 #[allow(clippy::too_many_arguments)]
 fn evaluate_one(
     index: &BitmapIndex,
+    delta: Option<&DeltaIndex>,
     q: &Query,
     pool: &ShardedBufferPool,
     inner: usize,
@@ -414,7 +439,7 @@ fn evaluate_one(
         }
     }
 
-    EvalResult {
+    let mut result = EvalResult {
         bitmap,
         scans,
         distinct_bitmaps: distinct,
@@ -425,7 +450,18 @@ fn evaluate_one(
         peak_resident,
         nodes_raw: fold.nodes_raw,
         nodes_compressed: fold.nodes_compressed,
+        delta_scans: 0,
+        delta_rows: 0,
+    };
+    if let Some(delta) = delta {
+        if !cancel.is_some_and(Cancel::expired) {
+            let span = tracer.span("delta", parent);
+            delta.overlay(q, &mut result);
+            span.attr("delta_rows", result.delta_rows);
+            span.finish();
+        }
     }
+    result
 }
 
 /// A ready-queue entry: the node index plus its enqueue time when

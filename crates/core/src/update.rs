@@ -47,16 +47,21 @@ impl BitmapIndex {
     ///
     /// The rewrite runs through the crash-safe journal protocol of
     /// [`BitmapIndex::try_append`]; this convenience wrapper simply treats
-    /// a disk fault as fatal. When fault injection is active, call
-    /// [`BitmapIndex::try_append`] and [`BitmapIndex::recover`] instead.
+    /// any [`crate::AppendError`] as fatal. When fault injection is
+    /// active, or when the batch comes from an untrusted source, call
+    /// [`BitmapIndex::try_append`] (and [`BitmapIndex::recover`]) instead.
     ///
     /// # Panics
     ///
     /// Panics if any value is `>= cardinality`, or if the simulated disk
     /// faults mid-append.
     pub fn append(&mut self, new_rows: &[u64]) -> UpdateStats {
-        self.try_append(new_rows)
-            .expect("disk fault during append; use try_append + recover under fault injection")
+        self.try_append(new_rows).unwrap_or_else(|e| match e {
+            crate::AppendError::Disk(_) => {
+                panic!("disk fault during append; use try_append + recover under fault injection")
+            }
+            other => panic!("{other}"),
+        })
     }
 }
 

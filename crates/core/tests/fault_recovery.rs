@@ -177,6 +177,38 @@ fn bit_flips_are_detected_never_silently_returned() {
     }
 }
 
+/// The fault path of `try_append` must reset the I/O counters exactly
+/// like the success path: index maintenance is off the query clock on
+/// every exit. Before the fix, an early fault return leaked the build
+/// and rewrite traffic into the query-time counters.
+#[test]
+fn faulted_append_resets_stats_like_a_clean_one() {
+    let (_, column, batch) = scenario(2);
+    let config = IndexConfig::one_component(CARDINALITY, EncodingScheme::Equality);
+    let mut idx = BitmapIndex::build(&column, &config);
+    idx.reset_stats();
+
+    // Tear a rewrite mid-batch: the append errors after real I/O.
+    let target = idx.disk_writes_issued() + 2;
+    idx.inject_faults(FaultPlan::new().tear_nth_write(target));
+    idx.try_append(&batch).expect_err("torn rewrite");
+    idx.clear_faults();
+
+    let leaked = idx.io_stats();
+    assert_eq!(
+        leaked,
+        bix_core::IoStats::new(),
+        "maintenance I/O leaked into the query counters on the fault path"
+    );
+
+    // The out-of-domain rejection is equally side-effect free.
+    idx.recover();
+    idx.reset_stats();
+    let err = idx.try_append(&[CARDINALITY]).expect_err("out of domain");
+    assert!(matches!(err, bix_core::AppendError::OutOfDomain { .. }));
+    assert_eq!(idx.io_stats(), bix_core::IoStats::new());
+}
+
 /// Transient read faults below the retry limit are absorbed by the
 /// backoff loop without surfacing to queries.
 #[test]

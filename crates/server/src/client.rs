@@ -205,6 +205,17 @@ impl<T> Outcome<T> {
     }
 }
 
+/// Acknowledgement of an ingest batch: the delta absorbed it whole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAck {
+    /// Rows appended by this request.
+    pub appended: u64,
+    /// Rows buffered in the server's delta after this request.
+    pub delta_rows: u64,
+    /// Total queryable rows on the server (main index + delta).
+    pub total_rows: u64,
+}
+
 /// How a generic client re-establishes its transport for a retry.
 type Dialer<S> = Box<dyn FnMut() -> io::Result<S> + Send>;
 
@@ -555,6 +566,37 @@ impl<S: Read + Write + Send> Client<S> {
         match self.roundtrip(Request::Reload { path: path.into() })? {
             Response::Ok => Ok(()),
             _ => Err(ClientError::Unexpected("want Ok")),
+        }
+    }
+
+    /// Streams a batch of values into the server's delta index.
+    ///
+    /// Ingest is **not idempotent**: a retried batch is appended twice.
+    /// This method therefore makes exactly one attempt — it never enters
+    /// the retry loop, even for errors that [`ClientError::is_transient`]
+    /// classifies as retryable (a lost reply leaves the batch's fate
+    /// unknown). After any failure the connection is dropped so the next
+    /// request redials; callers decide whether to re-send.
+    pub fn ingest(&mut self, values: &[u64]) -> Result<IngestAck, ClientError> {
+        self.stats.requests += 1;
+        let req = Request::Ingest {
+            values: values.to_vec(),
+        };
+        match self.attempt(&req) {
+            Ok(Response::Ingested {
+                appended,
+                delta_rows,
+                total_rows,
+            }) => Ok(IngestAck {
+                appended,
+                delta_rows,
+                total_rows,
+            }),
+            Ok(_) => Err(ClientError::Unexpected("want Ingested")),
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
         }
     }
 

@@ -44,12 +44,12 @@ pub mod router;
 pub mod server;
 pub mod supervisor;
 
-pub use client::{Client, ClientError, ClientStats, Outcome, RetryPolicy};
+pub use client::{Client, ClientError, ClientStats, IngestAck, Outcome, RetryPolicy};
 pub use netfault::{Direction, FaultyStream, NetFault, NetFaultPlan};
 pub use protocol::{
     decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, Message, Request,
     Response, RowsReply, StatsFormat, WireError, EXT_LEN, EXT_LEN_TRACE, FLAG_ALLOW_DEGRADED,
-    HEADER_LEN, MAGIC, MAX_BATCH, MAX_PAYLOAD, MAX_SHARDS, MAX_SPANS, MAX_SPAN_ATTRS,
+    HEADER_LEN, MAGIC, MAX_BATCH, MAX_INGEST, MAX_PAYLOAD, MAX_SHARDS, MAX_SPANS, MAX_SPAN_ATTRS,
     TRACE_FLAG_SAMPLED, TRACE_FLAG_SPANS, VERSION, VERSION_EXT,
 };
 pub use router::{merge_replies, Router, RouterConfig, ShardReply};

@@ -115,6 +115,10 @@ pub const MAX_PAYLOAD: u32 = 64 << 20;
 pub const MAX_BATCH: u32 = 4096;
 /// Upper bound on shards named by a [`Response::Degraded`] frame.
 pub const MAX_SHARDS: u32 = 1024;
+/// Upper bound on values a single [`Request::Ingest`] frame may carry
+/// (8 MiB of payload). Clients split larger batches into multiple
+/// frames; each frame is acknowledged independently.
+pub const MAX_INGEST: u32 = 1 << 20;
 
 /// Error codes carried by [`Response::Error`] frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,6 +226,13 @@ pub enum Request {
     },
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Append a batch of attribute values to the served index's
+    /// in-memory delta. Not idempotent: a client must never blindly
+    /// retry an ingest whose reply was lost.
+    Ingest {
+        /// Attribute values in row order; each becomes one new row.
+        values: Vec<u64>,
+    },
 }
 
 /// A server-to-client message.
@@ -251,6 +262,16 @@ pub enum Response {
         missing_shards: Vec<u16>,
         /// Per-predicate merged replies from the shards that answered.
         replies: Vec<RowsReply>,
+    },
+    /// Reply to [`Request::Ingest`]: the batch was absorbed into the
+    /// delta (all-or-nothing).
+    Ingested {
+        /// Rows appended by this request.
+        appended: u64,
+        /// Rows currently buffered in the delta (after this request).
+        delta_rows: u64,
+        /// Total queryable rows, main index plus delta.
+        total_rows: u64,
     },
     /// Typed failure.
     Error {
@@ -388,12 +409,14 @@ const KIND_STATS: u8 = 0x04;
 const KIND_RELOAD: u8 = 0x05;
 const KIND_SHUTDOWN: u8 = 0x06;
 const KIND_SLOWLOG: u8 = 0x07;
+const KIND_INGEST: u8 = 0x08;
 const KIND_PONG: u8 = 0x81;
 const KIND_ROWS: u8 = 0x82;
 const KIND_BATCH_ROWS: u8 = 0x83;
 const KIND_STATS_REPLY: u8 = 0x84;
 const KIND_OK: u8 = 0x85;
 const KIND_DEGRADED: u8 = 0x86;
+const KIND_INGESTED: u8 = 0x87;
 const KIND_ERROR: u8 = 0xff;
 
 fn domain_to_u8(d: EvalDomain) -> u8 {
@@ -521,12 +544,14 @@ impl Message {
             Message::Request(Request::SlowLog) => KIND_SLOWLOG,
             Message::Request(Request::Reload { .. }) => KIND_RELOAD,
             Message::Request(Request::Shutdown) => KIND_SHUTDOWN,
+            Message::Request(Request::Ingest { .. }) => KIND_INGEST,
             Message::Response(Response::Pong) => KIND_PONG,
             Message::Response(Response::Rows(_)) => KIND_ROWS,
             Message::Response(Response::BatchRows(_)) => KIND_BATCH_ROWS,
             Message::Response(Response::Stats { .. }) => KIND_STATS_REPLY,
             Message::Response(Response::Ok) => KIND_OK,
             Message::Response(Response::Degraded { .. }) => KIND_DEGRADED,
+            Message::Response(Response::Ingested { .. }) => KIND_INGESTED,
             Message::Response(Response::Error { .. }) => KIND_ERROR,
         }
     }
@@ -569,6 +594,12 @@ impl Message {
             Message::Request(Request::Reload { path }) => {
                 out.extend_from_slice(path.as_bytes());
             }
+            Message::Request(Request::Ingest { values }) => {
+                put_u32(out, values.len() as u32);
+                for &v in values {
+                    put_u64(out, v);
+                }
+            }
             Message::Response(Response::Rows(rows)) => encode_rows(out, rows),
             Message::Response(Response::BatchRows(all)) => {
                 put_u32(out, all.len() as u32);
@@ -591,6 +622,15 @@ impl Message {
                 for rows in replies {
                     encode_rows(out, rows);
                 }
+            }
+            Message::Response(Response::Ingested {
+                appended,
+                delta_rows,
+                total_rows,
+            }) => {
+                put_u64(out, *appended);
+                put_u64(out, *delta_rows);
+                put_u64(out, *total_rows);
             }
             Message::Response(Response::Error { code, message }) => {
                 out.extend_from_slice(&(*code as u16).to_le_bytes());
@@ -645,6 +685,22 @@ impl Message {
             KIND_RELOAD => Message::Request(Request::Reload {
                 path: r.rest_utf8()?,
             }),
+            KIND_INGEST => {
+                let count = r.u32()?;
+                if count > MAX_INGEST {
+                    return Err(WireError::Malformed("ingest count exceeds cap"));
+                }
+                // Each value occupies 8 payload bytes; bound the
+                // allocation by the bytes actually present.
+                if count as usize > r.remaining() / 8 {
+                    return Err(WireError::Malformed("ingest count exceeds payload"));
+                }
+                let mut values = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    values.push(r.u64()?);
+                }
+                Message::Request(Request::Ingest { values })
+            }
             KIND_ROWS => Message::Response(Response::Rows(decode_rows(&mut r)?)),
             KIND_BATCH_ROWS => {
                 let count = r.u32()?;
@@ -683,6 +739,16 @@ impl Message {
                 Message::Response(Response::Degraded {
                     missing_shards,
                     replies,
+                })
+            }
+            KIND_INGESTED => {
+                let appended = r.u64()?;
+                let delta_rows = r.u64()?;
+                let total_rows = r.u64()?;
+                Message::Response(Response::Ingested {
+                    appended,
+                    delta_rows,
+                    total_rows,
                 })
             }
             KIND_ERROR => {
@@ -1024,6 +1090,12 @@ mod tests {
             ),
             Frame::new(11, Message::Request(Request::Shutdown)),
             Frame::new(18, Message::Request(Request::SlowLog)),
+            Frame::new(
+                19,
+                Message::Request(Request::Ingest {
+                    values: vec![0, 7, 7, 199, 3],
+                }),
+            ),
             Frame::new(12, Message::Response(Response::Pong)),
             Frame::new(
                 13,
@@ -1055,6 +1127,14 @@ mod tests {
                 }),
             ),
             Frame::new(16, Message::Response(Response::Ok)),
+            Frame::new(
+                20,
+                Message::Response(Response::Ingested {
+                    appended: 5,
+                    delta_rows: 4096,
+                    total_rows: 1_000_000,
+                }),
+            ),
             Frame::new(
                 17,
                 Message::Response(Response::Error {

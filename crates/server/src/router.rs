@@ -647,6 +647,68 @@ impl RouterInner {
         )
     }
 
+    /// Forwards an ingest batch to the last shard. Appends extend the
+    /// end of the global row space, so the owning shard is always the
+    /// final row range — earlier shards' row bases never move.
+    ///
+    /// Exactly one attempt: ingest is not idempotent, and the router
+    /// must not double-apply a batch whose reply was lost. Transport
+    /// failures surface as `Unavailable`; typed shard errors (e.g.
+    /// `Overloaded` while a merge catches up) pass through unchanged so
+    /// the client can apply its own back-off.
+    fn forward_ingest(&self, values: &[u64]) -> Response {
+        let Some(shard) = self.shard_count().checked_sub(1) else {
+            return Response::Error {
+                code: ErrorCode::Unavailable,
+                message: "router has no shards".into(),
+            };
+        };
+        if !self.supervisor.admit(shard) {
+            return Response::Error {
+                code: ErrorCode::Unavailable,
+                message: format!("ingest shard {shard} is down"),
+            };
+        }
+        let outcome = self
+            .dial(shard)
+            .map(Client::from_stream)
+            .map_err(ClientError::from)
+            .and_then(|mut c| c.ingest(values).map(|ack| (ack, c.last_epoch())));
+        match outcome {
+            Ok((ack, epoch)) => {
+                self.supervisor.record_success(shard, epoch, ack.total_rows);
+                self.publish_shard_gauges(shard);
+                // Global view: rows remembered for every earlier shard
+                // plus the owning shard's fresh main+delta total. A
+                // shard whose shape was never learned (startup race)
+                // would silently undercount, so learn it on demand.
+                for i in 0..shard {
+                    if self.supervisor.rows(i) == 0 {
+                        let _ = self.learn_shape(i);
+                    }
+                }
+                let earlier: u64 = (0..shard).map(|i| self.supervisor.rows(i)).sum();
+                Response::Ingested {
+                    appended: ack.appended,
+                    delta_rows: ack.delta_rows,
+                    total_rows: earlier + ack.total_rows,
+                }
+            }
+            // The shard answered with a typed error: it is alive, and
+            // the batch was refused before any row landed. Pass the
+            // verdict through.
+            Err(ClientError::Server { code, message }) => Response::Error { code, message },
+            Err(e) => {
+                self.supervisor.record_failure(shard);
+                self.publish_shard_gauges(shard);
+                Response::Error {
+                    code: ErrorCode::Unavailable,
+                    message: format!("ingest shard {shard} unreachable: {e}"),
+                }
+            }
+        }
+    }
+
     /// One health sweep: ping every shard (including `Down` ones — the
     /// prober *is* the half-open probe), refreshing breaker state.
     fn health_sweep(&self) {
@@ -659,12 +721,22 @@ impl RouterInner {
             match ok {
                 Ok(epoch) => {
                     let known = self.supervisor.epoch(i);
+                    // Clear the breaker but keep the remembered shape:
+                    // epoch and row count are only ever published
+                    // together by `learn_shape`, so a concurrent
+                    // fan-out can never observe a real epoch paired
+                    // with a placeholder row base. Publishing the
+                    // probe's epoch here would do exactly that for a
+                    // shard that came up after the router's startup
+                    // learning pass failed — disarming the fan-out's
+                    // lazy `epoch == 0` learning while the row base is
+                    // still 0 and mis-offsetting every routed row id.
                     self.supervisor
-                        .record_success(i, epoch, self.supervisor.rows(i));
-                    // A new epoch means the shard reloaded: row counts
-                    // may have changed, so re-learn the shape eagerly
+                        .record_success(i, known, self.supervisor.rows(i));
+                    // A new epoch means the shard reloaded (or was
+                    // never learned): re-learn the shape eagerly
                     // rather than waiting for a stale-epoch fan-out.
-                    if known != 0 && epoch != known {
+                    if epoch != known {
                         let _ = self.learn_shape(i);
                     }
                 }
@@ -886,6 +958,7 @@ impl ServeHandler for Router {
                 code: ErrorCode::BadQuery,
                 message: "reload is a shard operation; send it to the shard, not the router".into(),
             },
+            Request::Ingest { values } => self.inner.forward_ingest(&values),
         }
     }
 

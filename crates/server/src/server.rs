@@ -36,13 +36,13 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bix_core::{
-    BitmapIndex, CostModel, DeadlineExceeded, EvalDomain, IoMetrics, MetricsRegistry,
-    ParallelExecutor, Query, ShardedBufferPool,
+    AppendError, BitmapIndex, CostModel, DeadlineExceeded, DeltaIndex, EvalDomain, IoMetrics,
+    MetricsRegistry, ParallelExecutor, Query, ShardedBufferPool,
 };
 use bix_telemetry::{
     unix_ms_now, Counter, Gauge, Histogram, SlowLog, SlowQuery, SpanId, TraceContext, Tracer,
@@ -79,6 +79,13 @@ pub struct ServerConfig {
     /// Slow-query log capacity (reservoir bound; memory never exceeds
     /// this many entries).
     pub slow_log_capacity: usize,
+    /// Byte budget of the in-memory ingest delta. Batches that would
+    /// exceed it are refused with `Overloaded` until the background
+    /// merge drains the delta into the main index.
+    pub delta_budget_bytes: usize,
+    /// Delta size that wakes the background merge. Must be well below
+    /// `delta_budget_bytes` so ingest keeps landing while a merge runs.
+    pub merge_threshold_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +101,8 @@ impl Default for ServerConfig {
             shard_id: 0,
             slow_threshold_ms: 250,
             slow_log_capacity: 128,
+            delta_budget_bytes: 64 << 20,
+            merge_threshold_bytes: 8 << 20,
         }
     }
 }
@@ -157,6 +166,11 @@ pub trait ServeHandler: Send + Sync + 'static {
     fn epoch(&self) -> u64 {
         0
     }
+
+    /// Called once when the server starts draining, before the worker
+    /// threads are joined. Handlers that own background threads (e.g.
+    /// the ingest merge) use it to wind them down.
+    fn on_drain(&self) {}
 }
 
 /// Handles to the transport-level metrics, created once at startup so
@@ -226,6 +240,7 @@ impl Shared {
     /// out of its blocking `accept()` with a loopback connection.
     fn trigger_stop(&self) {
         self.stop.store(true, Ordering::Release);
+        self.handler.on_drain();
         self.queue_cv.notify_all();
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
     }
@@ -263,14 +278,22 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// starts serving `index` on a pool of worker threads.
+    /// starts serving `index` on a pool of worker threads, plus a
+    /// background merge thread draining the ingest delta into the index.
     pub fn start(
         index: BitmapIndex,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<Server> {
         let handler = Arc::new(IndexHandler::new(index, &config));
-        Server::serve(handler, addr, config)
+        let merge_handler = Arc::clone(&handler);
+        let mut server = Server::serve(handler, addr, config)?;
+        server.handles.push(
+            std::thread::Builder::new()
+                .name("bix-merge".into())
+                .spawn(move || merge_handler.merge_loop())?,
+        );
+        Ok(server)
     }
 
     /// Binds `addr` and serves an arbitrary [`ServeHandler`] behind the
@@ -599,6 +622,13 @@ struct IndexMetrics {
     eval_decompressions: Arc<Counter>,
     eval_nodes_raw: Arc<Counter>,
     eval_nodes_compressed: Arc<Counter>,
+    ingest_rows: Arc<Counter>,
+    ingest_rejected: Arc<Counter>,
+    merges: Arc<Counter>,
+    merge_failures: Arc<Counter>,
+    index_rows: Arc<Gauge>,
+    delta_rows: Arc<Gauge>,
+    delta_bytes: Arc<Gauge>,
 }
 
 impl IndexMetrics {
@@ -628,23 +658,66 @@ impl IndexMetrics {
                 "bix_eval_nodes_compressed_total",
                 "DAG nodes folded in the compressed domain",
             ),
+            ingest_rows: c("bix_ingest_rows_total", "Rows absorbed into the delta"),
+            ingest_rejected: c(
+                "bix_ingest_rejected_total",
+                "Ingest batches refused (bad value or memtable full)",
+            ),
+            merges: c(
+                "bix_delta_merges_total",
+                "Background delta-into-main merges completed",
+            ),
+            merge_failures: c(
+                "bix_delta_merge_failures_total",
+                "Background merges abandoned (fault or index swap)",
+            ),
+            index_rows: registry.gauge("bix_index_rows", "Indexed records"),
+            delta_rows: registry.gauge(
+                "bix_delta_rows",
+                "Rows buffered in the ingest delta (not yet merged)",
+            ),
+            delta_bytes: registry.gauge(
+                "bix_delta_bytes",
+                "Bytes occupied by the ingest delta memtable",
+            ),
         }
     }
 }
 
 /// [`ServeHandler`] for a single bitmap index: parse, evaluate under
-/// deadline, hot reload with verification, metrics exposition.
+/// deadline, streaming ingest into an in-memory delta, hot reload with
+/// verification, metrics exposition.
+///
+/// Lock order (deadlock- and torn-snapshot-freedom): the `delta`
+/// [`RwLock`] is always acquired **before** the `serving` mutex. A
+/// query holds the delta read lock across evaluation, so the `(main,
+/// delta)` pair it snapshots is the pair the merge thread swaps
+/// atomically under the delta *write* lock — a reader can never see a
+/// merged index paired with an unpruned delta (the overlay's
+/// `base_rows` assertion would catch it) or vice versa.
 pub struct IndexHandler {
     serving: Mutex<Arc<Serving>>,
+    /// In-memory ingest delta extending the serving index. Guarded by
+    /// an [`RwLock`] so concurrent queries share it while ingest and
+    /// the merge swap take it exclusively.
+    delta: RwLock<DeltaIndex>,
     registry: MetricsRegistry,
     metrics: IndexMetrics,
     /// Index generation: starts at 1, bumped by every successful
-    /// reload. Stamped on reply frames by the serving loop.
+    /// reload and every completed merge. Stamped on reply frames by
+    /// the serving loop.
     epoch: AtomicU64,
     request_threads: usize,
     default_deadline_ms: u64,
     pool_pages: usize,
     pool_shards: usize,
+    delta_budget_bytes: usize,
+    merge_threshold_bytes: usize,
+    /// Merge wake-up: set under the mutex and notified when the delta
+    /// crosses the merge threshold (or fills outright).
+    merge_pending: Mutex<bool>,
+    merge_cv: Condvar,
+    merge_stop: AtomicBool,
     /// Bounded slow-query reservoir, served by [`Request::SlowLog`].
     slow: SlowLog,
 }
@@ -657,8 +730,10 @@ impl IndexHandler {
         set_index_gauges(&registry, &index);
         let pool_shards = config.workers.max(2);
         let pool = ShardedBufferPool::new(config.pool_pages, pool_shards);
+        let delta = DeltaIndex::for_index(&index, config.delta_budget_bytes);
         IndexHandler {
             serving: Mutex::new(Arc::new(Serving { index, pool })),
+            delta: RwLock::new(delta),
             registry,
             metrics,
             epoch: AtomicU64::new(1),
@@ -666,6 +741,11 @@ impl IndexHandler {
             default_deadline_ms: config.default_deadline_ms,
             pool_pages: config.pool_pages,
             pool_shards,
+            delta_budget_bytes: config.delta_budget_bytes,
+            merge_threshold_bytes: config.merge_threshold_bytes,
+            merge_pending: Mutex::new(false),
+            merge_cv: Condvar::new(),
+            merge_stop: AtomicBool::new(false),
             slow: SlowLog::new(
                 config.slow_log_capacity,
                 config.slow_threshold_ms.saturating_mul(1_000_000),
@@ -691,6 +771,10 @@ impl IndexHandler {
         meta: &RequestMeta,
     ) -> Result<Vec<RowsReply>, Response> {
         let eval_started = Instant::now();
+        // Delta read lock first, then the serving snapshot: the merge
+        // swaps both under the delta write lock, so this pair is
+        // consistent for the whole evaluation (see the struct docs).
+        let delta = self.delta.read().unwrap();
         let serving = Arc::clone(&self.serving.lock().unwrap());
         let cardinality = serving.index.config().cardinality;
         let mut queries = Vec::with_capacity(predicates.len());
@@ -714,8 +798,9 @@ impl IndexHandler {
         let deadline =
             (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
         let executor = ParallelExecutor::new(self.request_threads.max(1)).with_domain(domain);
-        let batch = match executor.execute_full(
+        let batch = match executor.execute_full_delta(
             &serving.index,
+            Some(&delta),
             &queries,
             &serving.pool,
             &CostModel::default(),
@@ -788,7 +873,9 @@ impl IndexHandler {
     /// Loads, verifies, and atomically swaps in a new index, bumping
     /// the epoch so routers re-learn this shard's shape. The fresh
     /// buffer pool guarantees no page cached for the old index's file
-    /// ids is ever returned for the new one.
+    /// ids is ever returned for the new one. The ingest delta extended
+    /// the *old* index, so a reload resets it: rows not yet merged are
+    /// dropped with the dataset they belonged to.
     fn reload(&self, path: &str) -> Result<(), String> {
         let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
         let report = index.verify();
@@ -799,10 +886,171 @@ impl IndexHandler {
         }
         let pool = ShardedBufferPool::new(self.pool_pages, self.pool_shards);
         set_index_gauges(&self.registry, &index);
+        let mut delta = self.delta.write().unwrap();
+        *delta = DeltaIndex::for_index(&index, self.delta_budget_bytes);
         *self.serving.lock().unwrap() = Arc::new(Serving { index, pool });
         self.epoch.fetch_add(1, Ordering::AcqRel);
         self.metrics.reloads.inc();
+        self.metrics.delta_rows.set(0.0);
+        self.metrics.delta_bytes.set(0.0);
         Ok(())
+    }
+
+    /// Absorbs an ingest batch into the delta (all-or-nothing) and
+    /// reports the post-absorb shape. Domain violations come back as
+    /// `BadQuery`; a full memtable as `Overloaded` — the client may
+    /// retry *a rejected batch* after the merge drains (a batch whose
+    /// reply was lost must never be blindly retried: ingest is not
+    /// idempotent).
+    fn ingest(&self, values: &[u64]) -> Response {
+        let mut delta = self.delta.write().unwrap();
+        match delta.absorb(values) {
+            Ok(appended) => {
+                let stats = delta.stats();
+                drop(delta);
+                self.metrics.ingest_rows.add(appended as u64);
+                self.metrics.delta_rows.set(stats.rows as f64);
+                self.metrics.delta_bytes.set(stats.bytes as f64);
+                // Queryable rows = main + delta; routers size row
+                // offsets from this gauge.
+                self.metrics
+                    .index_rows
+                    .set((stats.base_rows + stats.rows) as f64);
+                if stats.bytes >= self.merge_threshold_bytes {
+                    self.kick_merge();
+                }
+                Response::Ingested {
+                    appended: appended as u64,
+                    delta_rows: stats.rows as u64,
+                    total_rows: (stats.base_rows + stats.rows) as u64,
+                }
+            }
+            Err(e @ AppendError::OutOfDomain { .. }) => {
+                drop(delta);
+                self.metrics.ingest_rejected.inc();
+                Response::Error {
+                    code: ErrorCode::BadQuery,
+                    message: e.to_string(),
+                }
+            }
+            Err(e @ AppendError::MemtableFull { .. }) => {
+                drop(delta);
+                self.metrics.ingest_rejected.inc();
+                self.kick_merge();
+                Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: e.to_string(),
+                }
+            }
+            Err(e) => {
+                drop(delta);
+                self.metrics.ingest_rejected.inc();
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    message: e.to_string(),
+                }
+            }
+        }
+    }
+
+    /// Wakes the merge thread.
+    fn kick_merge(&self) {
+        *self.merge_pending.lock().unwrap() = true;
+        self.merge_cv.notify_one();
+    }
+
+    /// The background merge thread: waits for a kick (or polls the
+    /// threshold) and compacts the delta into the main index until the
+    /// server drains. Rows still buffered at shutdown are in-memory
+    /// only and are dropped — durability is the merge's product, not
+    /// the delta's promise.
+    fn merge_loop(&self) {
+        while !self.merge_stop.load(Ordering::Acquire) {
+            let kicked = {
+                let guard = self.merge_pending.lock().unwrap();
+                let (mut guard, _) = self
+                    .merge_cv
+                    .wait_timeout_while(guard, Duration::from_millis(200), |pending| {
+                        !*pending && !self.merge_stop.load(Ordering::Acquire)
+                    })
+                    .unwrap();
+                std::mem::take(&mut *guard)
+            };
+            if self.merge_stop.load(Ordering::Acquire) {
+                break;
+            }
+            let over_threshold =
+                { self.delta.read().unwrap().bytes_used() >= self.merge_threshold_bytes };
+            if kicked || over_threshold {
+                self.merge_once();
+            }
+        }
+    }
+
+    /// One merge cycle: snapshot the delta's buffered values and the
+    /// serving index, append them to a private copy of the index
+    /// through the journaled [`BitmapIndex::try_append`] protocol
+    /// (readers keep the old snapshot the whole time), then swap the
+    /// merged index in and prune the delta under the delta write lock.
+    /// Rows absorbed while the merge ran survive in the pruned delta.
+    ///
+    /// Returns the number of rows merged (0 when there was nothing to
+    /// do or the index was swapped out from under the merge).
+    pub fn merge_once(&self) -> usize {
+        let epoch_at = self.epoch.load(Ordering::Acquire);
+        let (values, serving) = {
+            let delta = self.delta.read().unwrap();
+            if delta.is_empty() {
+                return 0;
+            }
+            (
+                delta.values().to_vec(),
+                Arc::clone(&self.serving.lock().unwrap()),
+            )
+        };
+        // Clone the index by round-tripping the persistence format —
+        // the only supported way to copy an index, and it keeps the
+        // maintenance work entirely off the serving snapshot.
+        let mut buf = Vec::new();
+        if serving.index.save_to(&mut buf).is_err() {
+            self.metrics.merge_failures.inc();
+            return 0;
+        }
+        let mut merged = match BitmapIndex::load_from(&buf[..]) {
+            Ok(ix) => ix,
+            Err(_) => {
+                self.metrics.merge_failures.inc();
+                return 0;
+            }
+        };
+        if merged.try_append(&values).is_err() {
+            self.metrics.merge_failures.inc();
+            return 0;
+        }
+        let pool = ShardedBufferPool::new(self.pool_pages, self.pool_shards);
+        let mut delta = self.delta.write().unwrap();
+        if self.epoch.load(Ordering::Acquire) != epoch_at {
+            // A reload replaced the index while we merged; our merged
+            // copy extends a dead snapshot. Abandon it.
+            self.metrics.merge_failures.inc();
+            return 0;
+        }
+        set_index_gauges(&self.registry, &merged);
+        *self.serving.lock().unwrap() = Arc::new(Serving {
+            index: merged,
+            pool,
+        });
+        delta.prune_merged(values.len());
+        let stats = delta.stats();
+        drop(delta);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.metrics.merges.inc();
+        self.metrics.delta_rows.set(stats.rows as f64);
+        self.metrics.delta_bytes.set(stats.bytes as f64);
+        self.metrics
+            .index_rows
+            .set((stats.base_rows + stats.rows) as f64);
+        values.len()
     }
 }
 
@@ -853,6 +1101,7 @@ impl ServeHandler for IndexHandler {
                     message,
                 },
             },
+            Request::Ingest { values } => self.ingest(&values),
         }
     }
 
@@ -862,6 +1111,11 @@ impl ServeHandler for IndexHandler {
 
     fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
+    }
+
+    fn on_drain(&self) {
+        self.merge_stop.store(true, Ordering::Release);
+        self.merge_cv.notify_all();
     }
 }
 

@@ -405,3 +405,97 @@ fn hot_reload_mid_workload_is_fenced_and_survived() {
         shard.shutdown();
     }
 }
+
+/// Regression: a health probe that reaches a shard before the router
+/// has ever learned its shape must not publish the shard's epoch while
+/// the row base is still the placeholder 0 — that disarms the
+/// fan-out's lazy `epoch == 0` learning and mis-offsets every routed
+/// row id behind that shard. Seen live when the router process came up
+/// before its shards finished binding.
+#[test]
+fn health_probe_before_startup_learning_keeps_row_bases_correct() {
+    let column = corpus();
+    let predicates = batch();
+    let oracle = monolith_oracle(&column, &predicates);
+    let bounds = [0, 2_000, 4_000, ROWS];
+
+    // Reserve addresses, then create the router while nothing is
+    // listening yet: its startup shape-learning pass must fail.
+    let addrs: Vec<String> = (0..bounds.len() - 1)
+        .map(|_| {
+            std::net::TcpListener::bind("127.0.0.1:0")
+                .unwrap()
+                .local_addr()
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    let router = Router::new(addrs.clone(), router_config());
+    for i in 0..addrs.len() {
+        assert_eq!(router.supervisor().epoch(i), 0, "nothing learned yet");
+    }
+
+    // The shards come up on those addresses afterwards (retry briefly:
+    // the OS may hold a reserved port for a moment), and the health
+    // prober reaches them before any fan-out does.
+    let shards: Vec<Server> = bounds
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| {
+            let mut started = None;
+            for _ in 0..50 {
+                let config = ServerConfig {
+                    shard_id: i as u16,
+                    ..ServerConfig::default()
+                };
+                match Server::start(build_index(&column[w[0]..w[1]]), addrs[i].as_str(), config) {
+                    Ok(s) => {
+                        started = Some(s);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+            started.expect("rebind shard on reserved address")
+        })
+        .collect();
+    router.health_sweep();
+
+    // The sweep must leave each shard either unlearned (epoch 0, lazy
+    // learning still armed) or fully learned — never a published epoch
+    // over a placeholder row base.
+    for i in 0..addrs.len() {
+        let (epoch, rows) = (router.supervisor().epoch(i), router.supervisor().rows(i));
+        assert!(
+            epoch == 0 || rows > 0,
+            "shard {i}: epoch {epoch} published with placeholder row base"
+        );
+    }
+
+    match run_batch(&router, &predicates, false) {
+        Response::BatchRows(replies) => assert_bit_identical(&replies, &oracle),
+        other => panic!("post-race fleet must serve fully: {other:?}"),
+    }
+
+    // Ingest forwards to the tail shard; the acknowledged global total
+    // must count the earlier shards' rows too.
+    match router.handle(
+        Request::Ingest { values: vec![3, 5] },
+        &RequestMeta::default(),
+    ) {
+        Response::Ingested {
+            appended,
+            delta_rows,
+            total_rows,
+        } => {
+            assert_eq!(appended, 2);
+            assert_eq!(delta_rows, 2);
+            assert_eq!(total_rows, ROWS as u64 + 2);
+        }
+        other => panic!("ingest through the router failed: {other:?}"),
+    }
+
+    for shard in shards {
+        shard.shutdown();
+    }
+}

@@ -67,7 +67,7 @@ use chan_bitmap_index::core::{
 };
 use chan_bitmap_index::server::{
     Client, ClientError, ErrorCode as WireErrorCode, RetryPolicy, Router, RouterConfig, Server,
-    ServerConfig, StatsFormat,
+    ServerConfig, StatsFormat, MAX_INGEST,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -87,8 +87,9 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
-        // `client` maps typed outcomes to distinct exit codes so chaos
-        // scripts and CI can assert without parsing stderr.
+        // `client` and `ingest` map typed outcomes to distinct exit
+        // codes so chaos scripts and CI can assert without parsing
+        // stderr.
         Some("client") => {
             return match cmd_client(&args[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
@@ -98,8 +99,17 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("ingest") => {
+            return match cmd_ingest(&args[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(CliFailure { exit_code, message }) => {
+                    eprintln!("error: {message}");
+                    ExitCode::from(exit_code)
+                }
+            }
+        }
         _ => Err(
-            "usage: bix <build|query|info|explain|stats|advise|verify|repair|serve|route|client|top> ..."
+            "usage: bix <build|query|info|explain|stats|advise|verify|repair|serve|route|client|ingest|top> ..."
                 .to_string(),
         ),
     };
@@ -753,7 +763,7 @@ fn u64_flag(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: bix serve <index.bix> [--addr HOST:PORT] [--workers N] \
          [--queue-depth N] [--deadline-ms MS] [--request-threads N] [--pool-pages P] \
-         [--shard-id N] [--slow-ms MS]";
+         [--shard-id N] [--slow-ms MS] [--delta-budget-mb MB] [--merge-threshold-mb MB]";
     let path = args.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into());
     let defaults = ServerConfig::default();
@@ -771,6 +781,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             Some(v) => v.parse().map_err(|_| "--shard-id must be a small number")?,
         },
         slow_threshold_ms: u64_flag(args, "--slow-ms", defaults.slow_threshold_ms)?,
+        delta_budget_bytes: numeric_flag(
+            args,
+            "--delta-budget-mb",
+            defaults.delta_budget_bytes >> 20,
+        )? << 20,
+        merge_threshold_bytes: numeric_flag(
+            args,
+            "--merge-threshold-mb",
+            defaults.merge_threshold_bytes >> 20,
+        )? << 20,
         ..defaults
     };
     let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
@@ -1031,6 +1051,92 @@ impl From<ClientError> for CliFailure {
             message: err.to_string(),
         }
     }
+}
+
+const INGEST_USAGE: &str = "usage: bix ingest --addr HOST:PORT (--values V1,V2,... | --file PATH) \
+     [--batch-size N]\n\
+\n\
+Streams values into a serving shard's in-memory delta index. The peer\n\
+may also be a router, which forwards the batch to the shard owning the\n\
+tail of the global row space. --file reads one value per line (blank\n\
+lines and # comments skipped; '-' reads stdin). Values are split into\n\
+batches of --batch-size (default 4096) and sent in order.\n\
+\n\
+Ingest is NOT idempotent, so failed batches are never retried\n\
+automatically: on the first failure the command stops, reports how many\n\
+rows were acknowledged, and the operator decides how to resume.\n\
+Exit codes match `bix client` (3 = overloaded while a merge catches up,\n\
+7 = a value is outside the indexed domain).";
+
+fn cmd_ingest(args: &[String]) -> Result<(), CliFailure> {
+    if args.first().map(String::as_str) == Some("help") || has_flag(args, "--help") {
+        println!("{INGEST_USAGE}");
+        return Ok(());
+    }
+    let addr = flag_value(args, "--addr").ok_or(INGEST_USAGE)?;
+    let values: Vec<u64> = if let Some(csv) = flag_value(args, "--values") {
+        csv.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().map_err(|_| format!("--values: {s} is not a u64")))
+            .collect::<Result<_, String>>()?
+    } else if let Some(file) = flag_value(args, "--file") {
+        let contents = if file == "-" {
+            use std::io::Read as _;
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            text
+        } else {
+            std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?
+        };
+        contents
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| l.parse().map_err(|_| format!("{file}: {l} is not a u64")))
+            .collect::<Result<_, String>>()?
+    } else {
+        return Err(INGEST_USAGE.into());
+    };
+    if values.is_empty() {
+        return Err("no values to ingest".into());
+    }
+    let batch_size: usize = match flag_value(args, "--batch-size") {
+        None => 4096,
+        Some(v) => v.parse().map_err(|_| "--batch-size must be a number")?,
+    };
+    if batch_size == 0 || batch_size > MAX_INGEST as usize {
+        return Err(format!("--batch-size must be 1..={MAX_INGEST}").into());
+    }
+    let timeout = Duration::from_secs(30);
+    let mut client = Client::connect_with_timeout(addr.as_str(), timeout)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut sent = 0u64;
+    let mut last_ack = None;
+    for chunk in values.chunks(batch_size) {
+        match client.ingest(chunk) {
+            Ok(ack) => {
+                sent += ack.appended;
+                last_ack = Some(ack);
+            }
+            Err(e) => {
+                eprintln!(
+                    "{sent} of {} rows acknowledged before the failure; \
+                     ingest is not idempotent, so nothing was retried",
+                    values.len()
+                );
+                return Err(e.into());
+            }
+        }
+    }
+    let ack = last_ack.expect("non-empty values sent at least one batch");
+    eprintln!(
+        "ingested {sent} rows: delta holds {}, {} rows queryable in total",
+        ack.delta_rows, ack.total_rows
+    );
+    Ok(())
 }
 
 const CLIENT_USAGE: &str = "usage: bix client <ping|query|batch|stats|reload|shutdown|help> \
