@@ -1,0 +1,157 @@
+//! Multi-attribute table queries: the planner's rewritten DNF
+//! execution against naive [`TableQuery`] tree evaluation, and COUNT
+//! pushdown (fold + popcount, nothing materialised) against full row
+//! materialisation (fold + positions + the 8-byte-per-row reply array a
+//! serving shard would build).
+//!
+//! Everything lands in the committed baseline `BENCH_multi.json`:
+//!
+//! - `naive_seconds` vs `planned_seconds` — the rewrite's win on the
+//!   paper's motivating star-schema selection,
+//! - `materialize_seconds` vs `count_pushdown_seconds` — what skipping
+//!   row materialisation saves on a large result set.
+//!
+//! Before any timing starts, naive, sequential-plan, and parallel-plan
+//! evaluation are asserted bit-identical, and the pushdown count is
+//! asserted equal to the materialised row count — the numbers can never
+//! come from a plan that answers wrong.
+
+use bix_bench::results;
+use bix_core::{
+    CodecKind, CostModel, EncodingScheme, IndexConfig, IndexedTable, ParallelExecutor, Planner,
+    ShardedBufferPool,
+};
+use bix_workload::DatasetSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROWS: usize = 200_000;
+const QUERY: &str = "region in {0, 1} and (discount >= 7 or not store = 12)";
+/// (name, cardinality, scheme) — the star dimensions.
+const ATTRS: [(&str, u64, EncodingScheme); 3] = [
+    ("region", 4, EncodingScheme::Equality),
+    ("store", 20, EncodingScheme::Interval),
+    ("discount", 10, EncodingScheme::EqualityIntervalStar),
+];
+
+fn build_table() -> IndexedTable {
+    let mut table = IndexedTable::new(ROWS);
+    for (i, (name, cardinality, scheme)) in ATTRS.iter().enumerate() {
+        let column = DatasetSpec {
+            rows: ROWS,
+            cardinality: *cardinality,
+            zipf_z: 1.0,
+            seed: 0x5eed + i as u64,
+        }
+        .generate()
+        .values;
+        let config = IndexConfig::one_component(*cardinality, *scheme).with_codec(CodecKind::Ewah);
+        table.add_attribute(name, &column, config);
+    }
+    table
+}
+
+/// Minimum of `runs` timed executions of `f`, in seconds.
+fn best_of(runs: usize, mut f: impl FnMut()) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_multi_attr(c: &mut Criterion) {
+    let mut table = build_table();
+    let schema = table.schema();
+    let query = bix_core::TableQuery::parse(QUERY, &schema).expect("bench query parses");
+    let plan = Planner::plan_text(&schema, QUERY).expect("bench query plans");
+    let cost = CostModel::default();
+
+    // Bit-identity gate: naive tree, sequential plan, and parallel plan
+    // must agree exactly, and the pushdown count must equal the
+    // materialised row count, before anything is timed.
+    let naive = table.evaluate(&query);
+    let sequential = table.execute_plan(&plan, &cost);
+    assert_eq!(
+        sequential.bitmap.to_positions(),
+        naive.to_positions(),
+        "rewritten plan drifts from naive evaluation"
+    );
+    let pool = ShardedBufferPool::new(8192, 4);
+    let executor = ParallelExecutor::new(4);
+    let parallel = executor.execute_plan(&table, &plan, &pool, &cost);
+    assert_eq!(
+        parallel.bitmap.to_positions(),
+        naive.to_positions(),
+        "parallel plan drifts from naive evaluation"
+    );
+    let expected_rows = naive.count_ones();
+    assert_eq!(
+        sequential.count(),
+        expected_rows as u64,
+        "pushdown count lies"
+    );
+    assert!(expected_rows > 0, "bench query must match rows");
+
+    let mut group = c.benchmark_group("multi_attr");
+    group.bench_function("naive_tree", |b| {
+        b.iter(|| black_box(table.evaluate(&query)))
+    });
+    group.bench_function("planned_sequential", |b| {
+        b.iter(|| black_box(table.execute_plan(&plan, &cost)))
+    });
+    group.bench_function("planned_parallel_4", |b| {
+        b.iter(|| black_box(executor.execute_plan(&table, &plan, &pool, &cost)))
+    });
+    group.finish();
+
+    const RUNS: usize = 7;
+    let naive_seconds = best_of(RUNS, || {
+        black_box(table.evaluate(&query));
+    });
+    let planned_seconds = best_of(RUNS, || {
+        black_box(table.execute_plan(&plan, &cost));
+    });
+    // COUNT pushdown: fold then popcount; the bitmap never leaves the
+    // evaluator as rows.
+    let count_pushdown_seconds = best_of(RUNS, || {
+        let r = table.execute_plan(&plan, &cost);
+        black_box(r.count());
+    });
+    // Materialisation: fold, extract positions, and build the 8-byte-
+    // per-row reply array a serving shard encodes into a rows frame.
+    let materialize_seconds = best_of(RUNS, || {
+        let r = table.execute_plan(&plan, &cost);
+        let rows: Vec<u64> = r.bitmap.to_positions().iter().map(|&p| p as u64).collect();
+        let mut reply = Vec::with_capacity(rows.len() * 8);
+        for row in &rows {
+            reply.extend_from_slice(&row.to_le_bytes());
+        }
+        black_box(reply);
+    });
+
+    eprintln!(
+        "multi_attr: naive {naive_seconds:.6}s, planned {planned_seconds:.6}s, \
+         count-pushdown {count_pushdown_seconds:.6}s, materialize {materialize_seconds:.6}s \
+         ({expected_rows} of {ROWS} rows match)"
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"multi_attr\",\n  \"rows\": {ROWS},\n  \
+         \"attributes\": {},\n  \"query\": {:?},\n  \"matching_rows\": {expected_rows},\n  \
+         \"codec\": \"ewah\",\n  \"bit_identical\": true,\n  \
+         \"naive_seconds\": {naive_seconds:.9},\n  \
+         \"planned_seconds\": {planned_seconds:.9},\n  \
+         \"count_pushdown_seconds\": {count_pushdown_seconds:.9},\n  \
+         \"materialize_seconds\": {materialize_seconds:.9}\n}}\n",
+        ATTRS.len(),
+        QUERY,
+    );
+    results::write_validated(&results::results_dir().join("multi_attr.json"), &json);
+    results::write_validated(&results::repo_root().join("BENCH_multi.json"), &json);
+}
+
+criterion_group!(benches, bench_multi_attr);
+criterion_main!(benches);

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+mod catalog;
 mod decompose;
 pub mod degrade;
 mod delta;
@@ -52,10 +53,12 @@ mod multi;
 mod nulls;
 mod parallel;
 mod persist;
+mod plan;
 mod query;
 mod rewrite;
 mod update;
 
+pub use catalog::{Catalog, CatalogError, MAX_CATALOG_ATTRS};
 pub use decompose::{best_bases, compose, decompose, BaseVector};
 pub use degrade::{Degraded, RepairReport, VerifyReport, EXISTENCE_REF};
 pub use delta::{DeltaIndex, DeltaStats};
@@ -67,9 +70,13 @@ pub use eval::{
 pub use expr::{BitmapRef, Expr};
 pub use index::{BitmapIndex, CostPrediction, IndexConfig};
 pub use journal::{AppendError, RecoveryAction, RecoveryReport};
-pub use multi::{IndexedTable, TableEvalResult, TableQuery};
+pub use multi::{IndexedTable, PlanEvalResult, TableEvalResult, TableQuery};
 pub use parallel::DeadlineExceeded;
 pub use parallel::{BatchResult, ParallelExecutor};
+pub use plan::{
+    AttrSchema, Plan, PlanError, PlanLiteral, PlanTextError, Planner, RewriteAction,
+    TableParseError, TableSchema, MAX_DNF_CLAUSES, MAX_PLAN_DEPTH,
+};
 pub use query::{ParseError, Query, QueryClass, MAX_MEMBERSHIP_VALUES};
 pub use rewrite::{minimal_intervals, rewrite_interval, rewrite_query};
 pub use update::UpdateStats;

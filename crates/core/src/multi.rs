@@ -32,8 +32,12 @@
 //! assert_eq!(table.evaluate(&q).to_positions(), vec![1, 4]);
 //! ```
 
-use crate::{BitmapIndex, BufferPool, CostModel, EvalStrategy, IndexConfig, IoStats, Query};
+use crate::plan::{display_query, AttrSchema, Plan, PlanLiteral, TableSchema};
+use crate::{
+    BitmapIndex, BufferPool, CostModel, DeltaIndex, EvalStrategy, IndexConfig, IoStats, Query,
+};
 use bix_bitvec::Bitvec;
+use std::fmt;
 
 /// A boolean combination of per-attribute selection queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +100,50 @@ impl TableQuery {
     }
 }
 
+impl fmt::Display for TableQuery {
+    /// Renders the query in the grammar [`TableQuery::parse`] accepts
+    /// (modulo `!`-spelled inner negations on a leaf query).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn needs_parens(q: &TableQuery) -> bool {
+            matches!(q, TableQuery::And(_) | TableQuery::Or(_))
+        }
+        fn child(q: &TableQuery, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if needs_parens(q) {
+                write!(f, "({q})")
+            } else {
+                write!(f, "{q}")
+            }
+        }
+        match self {
+            TableQuery::Attr { name, query } => {
+                write!(f, "{name} {}", display_query(query))
+            }
+            TableQuery::Not(inner) => {
+                write!(f, "not ")?;
+                child(inner, f)
+            }
+            TableQuery::And(children) => {
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    child(c, f)?;
+                }
+                Ok(())
+            }
+            TableQuery::Or(children) => {
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    child(c, f)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Aggregated cost of a multi-attribute evaluation.
 #[derive(Debug, Clone)]
 pub struct TableEvalResult {
@@ -107,6 +155,32 @@ pub struct TableEvalResult {
     pub io: IoStats,
     /// Simulated I/O + scaled CPU seconds, summed.
     pub seconds: f64,
+}
+
+/// Aggregated cost of executing a rewritten [`Plan`].
+#[derive(Debug, Clone)]
+pub struct PlanEvalResult {
+    /// The matching records (base rows, then any delta rows).
+    pub bitmap: Bitvec,
+    /// Bitmap scans summed over all evaluated literals.
+    pub scans: usize,
+    /// Disk activity summed over all evaluated literals.
+    pub io: IoStats,
+    /// Simulated I/O + scaled CPU seconds, summed.
+    pub seconds: f64,
+    /// Compressed-bitmap decodes summed over all evaluated literals.
+    pub decompressions: usize,
+    /// Distinct literals evaluated (shared literals run once however
+    /// many clauses reference them).
+    pub literals: usize,
+}
+
+impl PlanEvalResult {
+    /// COUNT pushdown: the number of matching records by popcount,
+    /// without materializing row positions.
+    pub fn count(&self) -> u64 {
+        self.bitmap.count_ones() as u64
+    }
 }
 
 /// A set of bitmap indexes over the attributes of one relation.
@@ -174,9 +248,45 @@ impl IndexedTable {
         self.attrs.push((name.to_string(), index));
     }
 
+    /// Registers an already-built index (the catalog load path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index's row count differs from the table's or the
+    /// name is already taken.
+    pub fn add_index(&mut self, name: &str, index: BitmapIndex) {
+        assert_eq!(
+            index.rows(),
+            self.rows,
+            "index for {name} has {} rows, table has {}",
+            index.rows(),
+            self.rows
+        );
+        assert!(
+            self.attrs.iter().all(|(n, _)| n != name),
+            "attribute {name} already indexed"
+        );
+        self.attrs.push((name.to_string(), index));
+    }
+
     /// Number of records.
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// The table's schema: every attribute's name, cardinality, and
+    /// nullability, in registration order (the order [`crate::Planner`]
+    /// literals index into).
+    pub fn schema(&self) -> TableSchema {
+        let mut schema = TableSchema::new();
+        for (name, index) in &self.attrs {
+            schema.push(AttrSchema {
+                name: name.clone(),
+                cardinality: index.config().cardinality,
+                nullable: index.is_nullable(),
+            });
+        }
+        schema
     }
 
     /// Registered attribute names, in insertion order.
@@ -195,6 +305,22 @@ impl IndexedTable {
             .iter_mut()
             .find(|(n, _)| n == name)
             .map(|(_, i)| i)
+    }
+
+    /// Shared access to one attribute's index.
+    pub fn index(&self, name: &str) -> Option<&BitmapIndex> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, i)| i)
+    }
+
+    /// The attribute index at a schema position (what [`PlanLiteral::attr`]
+    /// refers to).
+    pub fn index_at(&self, position: usize) -> Option<&BitmapIndex> {
+        self.attrs.get(position).map(|(_, i)| i)
+    }
+
+    /// Iterates over every attribute's index mutably (verify/repair).
+    pub fn indexes_mut(&mut self) -> impl Iterator<Item = (&str, &mut BitmapIndex)> {
+        self.attrs.iter_mut().map(|(n, i)| (n.as_str(), i))
     }
 
     /// Evaluates a multi-attribute query with a generous fresh pool per
@@ -236,6 +362,95 @@ impl IndexedTable {
                 r
             }
         }
+    }
+
+    /// Executes a rewritten [`Plan`]: every distinct literal is
+    /// evaluated once through its attribute's index, then clauses fold
+    /// with AND and combine with OR word-wise over the decoded results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's attribute position is out of range (plans
+    /// must be built against [`IndexedTable::schema`]).
+    pub fn execute_plan(&mut self, plan: &Plan, cost: &CostModel) -> PlanEvalResult {
+        self.execute_plan_delta(plan, &[], cost)
+    }
+
+    /// [`IndexedTable::execute_plan`] with per-attribute delta-index
+    /// overlays. `deltas` is indexed by schema position; `&[]` (or
+    /// `None` entries) means no unmerged rows on that attribute. When
+    /// any delta is present, every attribute a literal touches must
+    /// carry one with the same appended row count, or the per-literal
+    /// bitmap lengths disagree and folding panics.
+    pub fn execute_plan_delta(
+        &mut self,
+        plan: &Plan,
+        deltas: &[Option<&DeltaIndex>],
+        cost: &CostModel,
+    ) -> PlanEvalResult {
+        let lits = plan.distinct_literals();
+        let mut bitmaps: Vec<Bitvec> = Vec::with_capacity(lits.len());
+        let mut out = PlanEvalResult {
+            bitmap: Bitvec::zeros(0),
+            scans: 0,
+            io: IoStats::new(),
+            seconds: 0.0,
+            decompressions: 0,
+            literals: lits.len(),
+        };
+        for lit in &lits {
+            let (_, index) = self
+                .attrs
+                .get_mut(lit.attr)
+                .unwrap_or_else(|| panic!("plan literal references attribute {}", lit.attr));
+            let mut pool = BufferPool::new(index.config().disk.pages_for_bytes(11 << 20));
+            index.reset_stats();
+            let mut r =
+                index.evaluate_detailed(&lit.query, &mut pool, EvalStrategy::ComponentWise, cost);
+            if let Some(delta) = deltas.get(lit.attr).copied().flatten() {
+                delta.overlay(&lit.query, &mut r);
+            }
+            out.scans += r.scans;
+            out.io += r.io;
+            out.seconds += r.total_seconds();
+            out.decompressions += r.decompressions;
+            let mut bitmap = r.bitmap;
+            if lit.complement {
+                bitmap.not_assign();
+            }
+            bitmaps.push(bitmap);
+        }
+        // Constant plans never touch an index; their length is the base
+        // table plus whatever any delta appended.
+        let total_rows = bitmaps.first().map_or_else(
+            || self.rows + deltas.iter().flatten().next().map_or(0, |d| d.rows()),
+            Bitvec::len,
+        );
+        let lookup = |lit: &PlanLiteral| -> &Bitvec {
+            &bitmaps[lits
+                .iter()
+                .position(|l| l == lit)
+                .expect("literal evaluated")]
+        };
+        let mut acc: Option<Bitvec> = None;
+        for clause in &plan.clauses {
+            let folded = match clause.split_first() {
+                None => Bitvec::ones_vec(total_rows),
+                Some((first, rest)) => {
+                    let mut b = lookup(first).clone();
+                    for lit in rest {
+                        b.and_assign(lookup(lit));
+                    }
+                    b
+                }
+            };
+            match &mut acc {
+                None => acc = Some(folded),
+                Some(a) => a.or_assign(&folded),
+            }
+        }
+        out.bitmap = acc.unwrap_or_else(|| Bitvec::zeros(total_rows));
+        out
     }
 
     fn combine(

@@ -205,6 +205,18 @@ impl<T> Outcome<T> {
     }
 }
 
+/// Result of a count-only table query: a popcount plus the same
+/// evaluation-cost summary a [`RowsReply`] carries, with no row ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountReply {
+    /// Number of rows matching the expression.
+    pub count: u64,
+    /// Bitmap scans charged to the query.
+    pub scans: u64,
+    /// Compressed bitmaps materialised during evaluation.
+    pub decompressions: u64,
+}
+
 /// Acknowledgement of an ingest batch: the delta absorbed it whole.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestAck {
@@ -541,6 +553,88 @@ impl<S: Read + Write + Send> Client<S> {
             predicates: predicates.to_vec(),
         };
         self.roundtrip_outcome(req)
+    }
+
+    /// Evaluates one multi-attribute table expression against a catalog
+    /// server (or a router fronting catalog shards). A `Degraded` reply
+    /// is *not* accepted here — use [`Client::table_query_outcome`] to
+    /// opt into partial results.
+    pub fn table_query(
+        &mut self,
+        text: &str,
+        domain: EvalDomain,
+        deadline_ms: u32,
+    ) -> Result<RowsReply, ClientError> {
+        let req = Request::TableQuery {
+            domain,
+            deadline_ms,
+            count_only: false,
+            text: text.into(),
+        };
+        match self.roundtrip(req)? {
+            Response::Rows(rows) => Ok(rows),
+            _ => Err(ClientError::Unexpected("want Rows")),
+        }
+    }
+
+    /// Evaluates one table expression, surfacing partial results as
+    /// [`Outcome::Degraded`] when the request opted in.
+    pub fn table_query_outcome(
+        &mut self,
+        text: &str,
+        domain: EvalDomain,
+        deadline_ms: u32,
+    ) -> Result<Outcome<RowsReply>, ClientError> {
+        let req = Request::TableQuery {
+            domain,
+            deadline_ms,
+            count_only: false,
+            text: text.into(),
+        };
+        match self.roundtrip_outcome(req)? {
+            Outcome::Full(mut rows) if rows.len() == 1 => {
+                Ok(Outcome::Full(rows.pop().expect("len checked")))
+            }
+            Outcome::Degraded {
+                missing_shards,
+                mut value,
+            } if value.len() == 1 => Ok(Outcome::Degraded {
+                missing_shards,
+                value: value.pop().expect("len checked"),
+            }),
+            _ => Err(ClientError::Unexpected("want exactly one reply")),
+        }
+    }
+
+    /// Counts the rows matching a table expression without shipping
+    /// them: the server answers with a popcount (COUNT pushdown), so
+    /// the reply stays a few bytes however many rows match. Counts are
+    /// all-or-nothing — a router never degrades one, because a partial
+    /// count is indistinguishable from a full one.
+    pub fn table_count(
+        &mut self,
+        text: &str,
+        domain: EvalDomain,
+        deadline_ms: u32,
+    ) -> Result<CountReply, ClientError> {
+        let req = Request::TableQuery {
+            domain,
+            deadline_ms,
+            count_only: true,
+            text: text.into(),
+        };
+        match self.roundtrip(req)? {
+            Response::Count {
+                count,
+                scans,
+                decompressions,
+            } => Ok(CountReply {
+                count,
+                scans,
+                decompressions,
+            }),
+            _ => Err(ClientError::Unexpected("want Count")),
+        }
     }
 
     /// Fetches the server's metrics in the requested format.

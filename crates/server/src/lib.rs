@@ -44,7 +44,7 @@ pub mod router;
 pub mod server;
 pub mod supervisor;
 
-pub use client::{Client, ClientError, ClientStats, IngestAck, Outcome, RetryPolicy};
+pub use client::{Client, ClientError, ClientStats, CountReply, IngestAck, Outcome, RetryPolicy};
 pub use netfault::{Direction, FaultyStream, NetFault, NetFaultPlan};
 pub use protocol::{
     decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, Message, Request,
@@ -53,5 +53,5 @@ pub use protocol::{
     TRACE_FLAG_SAMPLED, TRACE_FLAG_SPANS, VERSION, VERSION_EXT,
 };
 pub use router::{merge_replies, Router, RouterConfig, ShardReply};
-pub use server::{IndexHandler, RequestMeta, ServeHandler, Server, ServerConfig};
+pub use server::{CatalogHandler, IndexHandler, RequestMeta, ServeHandler, Server, ServerConfig};
 pub use supervisor::{ShardState, Supervisor, SupervisorConfig};

@@ -233,6 +233,24 @@ pub enum Request {
         /// Attribute values in row order; each becomes one new row.
         values: Vec<u64>,
     },
+    /// Evaluate one multi-attribute boolean expression against a served
+    /// catalog. Only catalog servers answer it; index servers reply
+    /// with a typed [`ErrorCode::BadQuery`]. The frame kind is new in
+    /// this revision, so peers that never send it interoperate with v1
+    /// byte streams unchanged.
+    TableQuery {
+        /// Evaluation domain to use.
+        domain: EvalDomain,
+        /// Per-request deadline in milliseconds; 0 uses the server default.
+        deadline_ms: u32,
+        /// When set, the server replies with [`Response::Count`] — a
+        /// popcount of the result bitmap — and never materialises or
+        /// ships the matching row ids.
+        count_only: bool,
+        /// Expression text, `TableQuery::parse` grammar over the
+        /// catalog's attribute names.
+        text: String,
+    },
 }
 
 /// A server-to-client message.
@@ -272,6 +290,17 @@ pub enum Response {
         delta_rows: u64,
         /// Total queryable rows, main index plus delta.
         total_rows: u64,
+    },
+    /// Reply to a count-only [`Request::TableQuery`]: the popcount of
+    /// the result bitmap, with the same evaluation-cost summary a
+    /// [`RowsReply`] carries but no row ids.
+    Count {
+        /// Number of rows matching the expression.
+        count: u64,
+        /// Bitmap scans charged to the query (the paper's cost metric).
+        scans: u64,
+        /// Compressed bitmaps materialised during evaluation.
+        decompressions: u64,
     },
     /// Typed failure.
     Error {
@@ -410,6 +439,7 @@ const KIND_RELOAD: u8 = 0x05;
 const KIND_SHUTDOWN: u8 = 0x06;
 const KIND_SLOWLOG: u8 = 0x07;
 const KIND_INGEST: u8 = 0x08;
+const KIND_TABLE_QUERY: u8 = 0x09;
 const KIND_PONG: u8 = 0x81;
 const KIND_ROWS: u8 = 0x82;
 const KIND_BATCH_ROWS: u8 = 0x83;
@@ -417,6 +447,7 @@ const KIND_STATS_REPLY: u8 = 0x84;
 const KIND_OK: u8 = 0x85;
 const KIND_DEGRADED: u8 = 0x86;
 const KIND_INGESTED: u8 = 0x87;
+const KIND_COUNT: u8 = 0x88;
 const KIND_ERROR: u8 = 0xff;
 
 fn domain_to_u8(d: EvalDomain) -> u8 {
@@ -545,6 +576,7 @@ impl Message {
             Message::Request(Request::Reload { .. }) => KIND_RELOAD,
             Message::Request(Request::Shutdown) => KIND_SHUTDOWN,
             Message::Request(Request::Ingest { .. }) => KIND_INGEST,
+            Message::Request(Request::TableQuery { .. }) => KIND_TABLE_QUERY,
             Message::Response(Response::Pong) => KIND_PONG,
             Message::Response(Response::Rows(_)) => KIND_ROWS,
             Message::Response(Response::BatchRows(_)) => KIND_BATCH_ROWS,
@@ -552,6 +584,7 @@ impl Message {
             Message::Response(Response::Ok) => KIND_OK,
             Message::Response(Response::Degraded { .. }) => KIND_DEGRADED,
             Message::Response(Response::Ingested { .. }) => KIND_INGESTED,
+            Message::Response(Response::Count { .. }) => KIND_COUNT,
             Message::Response(Response::Error { .. }) => KIND_ERROR,
         }
     }
@@ -600,6 +633,17 @@ impl Message {
                     put_u64(out, v);
                 }
             }
+            Message::Request(Request::TableQuery {
+                domain,
+                deadline_ms,
+                count_only,
+                text,
+            }) => {
+                out.push(domain_to_u8(*domain));
+                put_u32(out, *deadline_ms);
+                out.push(u8::from(*count_only));
+                out.extend_from_slice(text.as_bytes());
+            }
             Message::Response(Response::Rows(rows)) => encode_rows(out, rows),
             Message::Response(Response::BatchRows(all)) => {
                 put_u32(out, all.len() as u32);
@@ -631,6 +675,15 @@ impl Message {
                 put_u64(out, *appended);
                 put_u64(out, *delta_rows);
                 put_u64(out, *total_rows);
+            }
+            Message::Response(Response::Count {
+                count,
+                scans,
+                decompressions,
+            }) => {
+                put_u64(out, *count);
+                put_u64(out, *scans);
+                put_u64(out, *decompressions);
             }
             Message::Response(Response::Error { code, message }) => {
                 out.extend_from_slice(&(*code as u16).to_le_bytes());
@@ -701,6 +754,22 @@ impl Message {
                 }
                 Message::Request(Request::Ingest { values })
             }
+            KIND_TABLE_QUERY => {
+                let domain = domain_from_u8(r.u8()?)?;
+                let deadline_ms = r.u32()?;
+                let count_only = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("unknown count-only flag")),
+                };
+                let text = r.rest_utf8()?;
+                Message::Request(Request::TableQuery {
+                    domain,
+                    deadline_ms,
+                    count_only,
+                    text,
+                })
+            }
             KIND_ROWS => Message::Response(Response::Rows(decode_rows(&mut r)?)),
             KIND_BATCH_ROWS => {
                 let count = r.u32()?;
@@ -749,6 +818,16 @@ impl Message {
                     appended,
                     delta_rows,
                     total_rows,
+                })
+            }
+            KIND_COUNT => {
+                let count = r.u64()?;
+                let scans = r.u64()?;
+                let decompressions = r.u64()?;
+                Message::Response(Response::Count {
+                    count,
+                    scans,
+                    decompressions,
                 })
             }
             KIND_ERROR => {
@@ -1096,6 +1175,24 @@ mod tests {
                     values: vec![0, 7, 7, 199, 3],
                 }),
             ),
+            Frame::new(
+                21,
+                Message::Request(Request::TableQuery {
+                    domain: EvalDomain::Auto,
+                    deadline_ms: 500,
+                    count_only: false,
+                    text: "region in {0, 1} and (discount >= 7 or not store = 12)".into(),
+                }),
+            ),
+            Frame::new(
+                22,
+                Message::Request(Request::TableQuery {
+                    domain: EvalDomain::Compressed,
+                    deadline_ms: 0,
+                    count_only: true,
+                    text: "store = 3".into(),
+                }),
+            ),
             Frame::new(12, Message::Response(Response::Pong)),
             Frame::new(
                 13,
@@ -1133,6 +1230,14 @@ mod tests {
                     appended: 5,
                     delta_rows: 4096,
                     total_rows: 1_000_000,
+                }),
+            ),
+            Frame::new(
+                23,
+                Message::Response(Response::Count {
+                    count: 12_345,
+                    scans: 9,
+                    decompressions: 4,
                 }),
             ),
             Frame::new(

@@ -219,9 +219,41 @@ enum ShardFailure {
     Failed(ClientError),
 }
 
+/// The request body a fan-out sends to every shard. Row-partitioned
+/// shards all receive the same body; only the merge differs.
+#[derive(Clone, Copy)]
+enum LegRequest<'a> {
+    /// Single-index predicate batch ([`Request::Batch`] on the wire).
+    Batch(&'a [String]),
+    /// Multi-attribute table query ([`Request::TableQuery`]).
+    Table { text: &'a str, count_only: bool },
+}
+
+impl LegRequest<'_> {
+    /// Replies each shard contributes (merge width).
+    fn n_replies(&self) -> usize {
+        match self {
+            LegRequest::Batch(predicates) => predicates.len(),
+            LegRequest::Table { .. } => 1,
+        }
+    }
+}
+
+/// What one shard answered with.
+enum LegReply {
+    /// Per-predicate row lists (batch, or a row-returning table query).
+    Rows(Vec<RowsReply>),
+    /// A COUNT-pushdown answer: no row ids crossed the wire.
+    Count {
+        count: u64,
+        scans: u64,
+        decompressions: u64,
+    },
+}
+
 /// Outcome of one shard leg of a fan-out.
 enum LegOutcome {
-    Ok { replies: Vec<RowsReply> },
+    Ok { reply: LegReply },
     Stale { epoch: u64 },
     Missing(ShardFailure),
 }
@@ -268,23 +300,42 @@ impl RouterInner {
     }
 
     /// One request/reply exchange with a shard on a fresh connection.
-    /// Returns the replies, the epoch stamped on the reply frame, and
+    /// Returns the reply, the epoch stamped on the reply frame, and
     /// the shard's span forest (empty unless `trace` was sampled).
     fn exchange(
         &self,
         shard: usize,
-        predicates: &[String],
+        req: LegRequest<'_>,
         domain: bix_core::EvalDomain,
         deadline_ms: u32,
         trace: TraceContext,
-    ) -> Result<(Vec<RowsReply>, u64, Vec<bix_telemetry::SpanRecord>), ClientError> {
+    ) -> Result<(LegReply, u64, Vec<bix_telemetry::SpanRecord>), ClientError> {
         let transport = self.dial(shard)?;
         let mut client = Client::from_stream(transport);
         client.set_trace(trace);
-        let replies = client.batch(predicates, domain, deadline_ms)?;
+        let reply = match req {
+            LegRequest::Batch(predicates) => {
+                LegReply::Rows(client.batch(predicates, domain, deadline_ms)?)
+            }
+            LegRequest::Table {
+                text,
+                count_only: false,
+            } => LegReply::Rows(vec![client.table_query(text, domain, deadline_ms)?]),
+            LegRequest::Table {
+                text,
+                count_only: true,
+            } => {
+                let c = client.table_count(text, domain, deadline_ms)?;
+                LegReply::Count {
+                    count: c.count,
+                    scans: c.scans,
+                    decompressions: c.decompressions,
+                }
+            }
+        };
         let epoch = client.last_epoch();
         let spans = client.last_spans().to_vec();
-        Ok((replies, epoch, spans))
+        Ok((reply, epoch, spans))
     }
 
     /// Fetches a shard's stats JSON and updates its remembered shape
@@ -315,7 +366,7 @@ impl RouterInner {
     fn run_leg(
         &self,
         shard: usize,
-        predicates: &[String],
+        req: LegRequest<'_>,
         domain: bix_core::EvalDomain,
         deadline: Option<Instant>,
         expected_epoch: u64,
@@ -357,9 +408,9 @@ impl RouterInner {
                 Some(id) => trace.child(u64::from(id.raw())),
                 None => trace,
             };
-            let outcome = self.exchange(shard, predicates, domain, budget_ms, leg_trace);
+            let outcome = self.exchange(shard, req, domain, budget_ms, leg_trace);
             match outcome {
-                Ok((replies, epoch, spans)) => {
+                Ok((reply, epoch, spans)) => {
                     if let Some(id) = attempt_id {
                         let base_ns = tracer.start_ns(id).unwrap_or(0);
                         tracer.graft(attempt_id, &spans, base_ns);
@@ -371,7 +422,7 @@ impl RouterInner {
                         leg_span.attr("outcome", "stale-epoch");
                         return LegOutcome::Stale { epoch };
                     }
-                    return LegOutcome::Ok { replies };
+                    return LegOutcome::Ok { reply };
                 }
                 Err(err) => {
                     attempt_span.attr("error", &err);
@@ -406,14 +457,26 @@ impl RouterInner {
 
     /// The full scatter-gather: routing snapshot, parallel legs, epoch
     /// fencing with bounded re-runs, merge or typed degradation.
+    ///
+    /// Count-only table queries are all-or-nothing: a count merged from
+    /// a subset of shards is indistinguishable from a full one, so a
+    /// missing shard always surfaces as a typed error — the degraded
+    /// opt-in never applies.
     fn fan_out(
         &self,
-        predicates: &[String],
+        req: LegRequest<'_>,
         domain: bix_core::EvalDomain,
         deadline_ms: u32,
         meta: &RequestMeta,
     ) -> Response {
-        let allow_degraded = meta.allow_degraded;
+        let count_only = matches!(
+            req,
+            LegRequest::Table {
+                count_only: true,
+                ..
+            }
+        );
+        let allow_degraded = meta.allow_degraded && !count_only;
         let tracer = &meta.tracer;
         self.metrics.fanouts.inc();
         let n = self.shard_count();
@@ -426,7 +489,7 @@ impl RouterInner {
             (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
         let fanout_span = tracer.span("fanout", meta.span);
         fanout_span.attr("shards", n);
-        fanout_span.attr("predicates", predicates.len());
+        fanout_span.attr("predicates", req.n_replies());
 
         for epoch_round in 0..=self.config.epoch_retries {
             // Routing snapshot: learn any shard shape we have never
@@ -479,7 +542,7 @@ impl RouterInner {
                     handles.push(scope.spawn(move || {
                         *slot = Some(self.run_leg(
                             i,
-                            predicates,
+                            req,
                             domain,
                             deadline,
                             expected_epoch,
@@ -514,15 +577,35 @@ impl RouterInner {
             }
             self.refresh_epoch_sum();
 
-            // Merge the legs that answered; type the rest.
+            // Merge the legs that answered; type the rest. Row replies
+            // concatenate with per-shard offsets; counts simply sum —
+            // shards partition the row space, so no row is counted twice.
             let mut shard_replies: Vec<ShardReply> = Vec::new();
+            let mut count_sum = (0u64, 0u64, 0u64); // (count, scans, decompressions)
+            let mut answered = 0usize;
             let mut missing: Vec<u16> = Vec::new();
             let mut failures: Vec<(usize, ShardFailure)> = Vec::new();
             let mut row_base: u64 = 0;
             for (i, outcome) in outcomes.into_iter().enumerate() {
                 match outcome.expect("every slot filled") {
-                    LegOutcome::Ok { replies } => {
+                    LegOutcome::Ok {
+                        reply: LegReply::Rows(replies),
+                    } => {
+                        answered += 1;
                         shard_replies.push(ShardReply { row_base, replies });
+                    }
+                    LegOutcome::Ok {
+                        reply:
+                            LegReply::Count {
+                                count,
+                                scans,
+                                decompressions,
+                            },
+                    } => {
+                        answered += 1;
+                        count_sum.0 += count;
+                        count_sum.1 += scans;
+                        count_sum.2 += decompressions;
                     }
                     LegOutcome::Stale { .. } => unreachable!("stale handled above"),
                     LegOutcome::Missing(why) => {
@@ -533,10 +616,17 @@ impl RouterInner {
                 row_base += rows[i];
             }
             let merge_span = tracer.span("merge", round_id);
-            merge_span.attr("answered", shard_replies.len());
-            let merged = merge_replies(predicates.len(), &shard_replies);
+            merge_span.attr("answered", answered);
+            let merged = merge_replies(req.n_replies(), &shard_replies);
             merge_span.finish();
             if missing.is_empty() {
+                if count_only {
+                    return Response::Count {
+                        count: count_sum.0,
+                        scans: count_sum.1,
+                        decompressions: count_sum.2,
+                    };
+                }
                 return Response::BatchRows(merged);
             }
             // A BadQuery verdict is shard-independent: every shard
@@ -917,9 +1007,12 @@ impl ServeHandler for Router {
                 predicate,
             } => {
                 let started = Instant::now();
-                let reply =
-                    self.inner
-                        .fan_out(std::slice::from_ref(&predicate), domain, deadline_ms, meta);
+                let reply = self.inner.fan_out(
+                    LegRequest::Batch(std::slice::from_ref(&predicate)),
+                    domain,
+                    deadline_ms,
+                    meta,
+                );
                 self.inner
                     .slow
                     .observe(started.elapsed().as_nanos() as u64, || SlowQuery {
@@ -942,7 +1035,9 @@ impl ServeHandler for Router {
                 predicates,
             } => {
                 let started = Instant::now();
-                let reply = self.inner.fan_out(&predicates, domain, deadline_ms, meta);
+                let reply =
+                    self.inner
+                        .fan_out(LegRequest::Batch(&predicates), domain, deadline_ms, meta);
                 self.inner
                     .slow
                     .observe(started.elapsed().as_nanos() as u64, || SlowQuery {
@@ -953,6 +1048,40 @@ impl ServeHandler for Router {
                         unix_ms: unix_ms_now(),
                     });
                 reply
+            }
+            Request::TableQuery {
+                domain,
+                deadline_ms,
+                count_only,
+                text,
+            } => {
+                let started = Instant::now();
+                let reply = self.inner.fan_out(
+                    LegRequest::Table {
+                        text: &text,
+                        count_only,
+                    },
+                    domain,
+                    deadline_ms,
+                    meta,
+                );
+                self.inner
+                    .slow
+                    .observe(started.elapsed().as_nanos() as u64, || SlowQuery {
+                        predicate: text.clone(),
+                        duration_ns: started.elapsed().as_nanos() as u64,
+                        trace_id: meta.trace.trace_id,
+                        scans: 0,
+                        unix_ms: unix_ms_now(),
+                    });
+                match reply {
+                    // A row-returning table query is one logical query;
+                    // unwrap the single-entry batch like Query does.
+                    Response::BatchRows(mut rows) if rows.len() == 1 => {
+                        Response::Rows(rows.pop().expect("len checked"))
+                    }
+                    other => other,
+                }
             }
             Request::Reload { .. } => Response::Error {
                 code: ErrorCode::BadQuery,

@@ -41,8 +41,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bix_core::{
-    AppendError, BitmapIndex, CostModel, DeadlineExceeded, DeltaIndex, EvalDomain, IoMetrics,
-    MetricsRegistry, ParallelExecutor, Query, ShardedBufferPool,
+    AppendError, BitmapIndex, Catalog, CostModel, DeadlineExceeded, DeltaIndex, EvalDomain,
+    IndexedTable, IoMetrics, MetricsRegistry, ParallelExecutor, Planner, Query, ShardedBufferPool,
+    TableSchema,
 };
 use bix_telemetry::{
     unix_ms_now, Counter, Gauge, Histogram, SlowLog, SlowQuery, SpanId, TraceContext, Tracer,
@@ -294,6 +295,19 @@ impl Server {
                 .spawn(move || merge_handler.merge_loop())?,
         );
         Ok(server)
+    }
+
+    /// Binds `addr` and starts serving a multi-attribute catalog:
+    /// [`Request::TableQuery`] frames are planned and executed across
+    /// the catalog's per-attribute indexes; single-index requests get
+    /// typed refusals.
+    pub fn start_catalog(
+        catalog: Catalog,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let handler = Arc::new(CatalogHandler::new(catalog, &config));
+        Server::serve(handler, addr, config)
     }
 
     /// Binds `addr` and serves an arbitrary [`ServeHandler`] behind the
@@ -1102,6 +1116,12 @@ impl ServeHandler for IndexHandler {
                 },
             },
             Request::Ingest { values } => self.ingest(&values),
+            Request::TableQuery { .. } => Response::Error {
+                code: ErrorCode::BadQuery,
+                message: "this server serves a single index; table queries need a catalog \
+                          (`bix serve <table.bixcat>`)"
+                    .into(),
+            },
         }
     }
 
@@ -1116,6 +1136,311 @@ impl ServeHandler for IndexHandler {
     fn on_drain(&self) {
         self.merge_stop.store(true, Ordering::Release);
         self.merge_cv.notify_all();
+    }
+}
+
+/// The immutable catalog serving snapshot: the table, its resolved
+/// schema, and the buffer pool every attribute index shares. Swapped
+/// wholesale on reload, same discipline as [`Serving`].
+struct CatalogServing {
+    table: IndexedTable,
+    schema: TableSchema,
+    pool: ShardedBufferPool,
+}
+
+/// Catalog-serving metrics, separate from the transport's.
+struct CatalogMetrics {
+    queries: Arc<Counter>,
+    counts: Arc<Counter>,
+    rows_returned: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    bad_queries: Arc<Counter>,
+    reloads: Arc<Counter>,
+    eval_decompressions: Arc<Counter>,
+}
+
+impl CatalogMetrics {
+    fn new(registry: &MetricsRegistry) -> CatalogMetrics {
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        CatalogMetrics {
+            queries: c("bix_server_queries_total", "Table queries evaluated"),
+            counts: c(
+                "bix_server_counts_total",
+                "Table queries answered by COUNT pushdown (no rows shipped)",
+            ),
+            rows_returned: c("bix_server_rows_returned_total", "Row ids sent to clients"),
+            deadline_exceeded: c(
+                "bix_server_deadline_exceeded_total",
+                "Requests that ran past their deadline",
+            ),
+            bad_queries: c(
+                "bix_server_bad_queries_total",
+                "Expressions rejected by the parser or planner",
+            ),
+            reloads: c("bix_server_reloads_total", "Successful hot catalog reloads"),
+            eval_decompressions: c(
+                "bix_eval_decompressions_total",
+                "Compressed bitmaps materialised during evaluation",
+            ),
+        }
+    }
+}
+
+/// Publishes the catalog-shape gauges. `bix_index_rows` is the same
+/// gauge name an index shard publishes, so a router learns a catalog
+/// shard's row count through the exact same stats scrape.
+fn set_catalog_gauges(registry: &MetricsRegistry, table: &IndexedTable) {
+    let set = |name: &str, help: &str, v: f64| registry.gauge(name, help).set(v);
+    set("bix_index_rows", "Indexed records", table.rows() as f64);
+    set(
+        "bix_catalog_attrs",
+        "Attributes in the served catalog",
+        table.schema().len() as f64,
+    );
+    set(
+        "bix_index_stored_bytes",
+        "On-disk catalog size (compressed)",
+        table.space_bytes() as f64,
+    );
+}
+
+/// [`ServeHandler`] for a multi-attribute catalog: parse the boolean
+/// expression against the catalog's schema, plan it (rewrite + DNF),
+/// execute across the per-attribute indexes under the request deadline,
+/// and reply with rows or — for count-only requests — a popcount that
+/// never materialises row ids.
+///
+/// Single-index requests (`Query`, `Batch`, `Ingest`) are refused with
+/// typed errors: predicates have no attribute name to resolve against a
+/// catalog, and this keeps the two serving roles honest on the wire.
+pub struct CatalogHandler {
+    serving: Mutex<Arc<CatalogServing>>,
+    registry: MetricsRegistry,
+    metrics: CatalogMetrics,
+    /// Catalog generation: starts at 1, bumped by every successful
+    /// reload. Stamped on reply frames by the serving loop.
+    epoch: AtomicU64,
+    request_threads: usize,
+    default_deadline_ms: u64,
+    pool_pages: usize,
+    pool_shards: usize,
+    /// Bounded slow-query reservoir, served by [`Request::SlowLog`].
+    slow: SlowLog,
+}
+
+impl CatalogHandler {
+    /// Wraps `catalog` for serving under `config`'s evaluation tunables.
+    pub fn new(catalog: Catalog, config: &ServerConfig) -> CatalogHandler {
+        let registry = MetricsRegistry::new();
+        let metrics = CatalogMetrics::new(&registry);
+        let table = catalog.into_table();
+        set_catalog_gauges(&registry, &table);
+        let pool_shards = config.workers.max(2);
+        let pool = ShardedBufferPool::new(config.pool_pages, pool_shards);
+        let schema = table.schema();
+        CatalogHandler {
+            serving: Mutex::new(Arc::new(CatalogServing {
+                table,
+                schema,
+                pool,
+            })),
+            registry,
+            metrics,
+            epoch: AtomicU64::new(1),
+            request_threads: config.request_threads,
+            default_deadline_ms: config.default_deadline_ms,
+            pool_pages: config.pool_pages,
+            pool_shards,
+            slow: SlowLog::new(
+                config.slow_log_capacity,
+                config.slow_threshold_ms.saturating_mul(1_000_000),
+            ),
+        }
+    }
+
+    /// The handler's slow-query log (testing and CLI hook).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow
+    }
+
+    /// Plans and executes one expression under the request deadline,
+    /// charging eval-side metrics. Errors come back as ready-to-send
+    /// responses.
+    fn evaluate(
+        &self,
+        domain: EvalDomain,
+        deadline_ms: u32,
+        text: &str,
+        meta: &RequestMeta,
+    ) -> Result<bix_core::PlanEvalResult, Response> {
+        let eval_started = Instant::now();
+        let serving = Arc::clone(&self.serving.lock().unwrap());
+        let plan = match Planner::plan_text(&serving.schema, text) {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.metrics.bad_queries.inc();
+                return Err(Response::Error {
+                    code: ErrorCode::BadQuery,
+                    message: e.to_string(),
+                });
+            }
+        };
+        let effective_ms = if deadline_ms > 0 {
+            u64::from(deadline_ms)
+        } else {
+            self.default_deadline_ms
+        };
+        let deadline =
+            (effective_ms > 0).then(|| Instant::now() + Duration::from_millis(effective_ms));
+        let executor = ParallelExecutor::new(self.request_threads.max(1)).with_domain(domain);
+        let result = match executor.execute_plan_full(
+            &serving.table,
+            None,
+            &plan,
+            &serving.pool,
+            &CostModel::default(),
+            &meta.tracer,
+            meta.span,
+            deadline,
+        ) {
+            Ok(result) => result,
+            Err(DeadlineExceeded) => {
+                self.metrics.deadline_exceeded.inc();
+                return Err(Response::Error {
+                    code: ErrorCode::DeadlineExceeded,
+                    message: format!("deadline of {effective_ms}ms exceeded"),
+                });
+            }
+        };
+        IoMetrics::register(&self.registry).record(&result.io);
+        self.metrics.queries.inc();
+        self.metrics
+            .eval_decompressions
+            .add(result.decompressions as u64);
+        self.slow
+            .observe(eval_started.elapsed().as_nanos() as u64, || SlowQuery {
+                predicate: text.to_string(),
+                duration_ns: eval_started.elapsed().as_nanos() as u64,
+                trace_id: meta.trace.trace_id,
+                scans: result.scans as u64,
+                unix_ms: unix_ms_now(),
+            });
+        Ok(result)
+    }
+
+    /// Loads, verifies, and atomically swaps in a new catalog, bumping
+    /// the epoch so routers re-learn this shard's shape.
+    fn reload(&self, path: &str) -> Result<(), String> {
+        let mut catalog =
+            Catalog::load(path).map_err(|e| format!("cannot load catalog {path}: {e}"))?;
+        if catalog
+            .verify()
+            .iter()
+            .any(|(_, report)| !report.is_clean())
+        {
+            return Err(format!(
+                "refusing reload: catalog at {path} failed verification"
+            ));
+        }
+        let table = catalog.into_table();
+        let pool = ShardedBufferPool::new(self.pool_pages, self.pool_shards);
+        set_catalog_gauges(&self.registry, &table);
+        let schema = table.schema();
+        *self.serving.lock().unwrap() = Arc::new(CatalogServing {
+            table,
+            schema,
+            pool,
+        });
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.metrics.reloads.inc();
+        Ok(())
+    }
+}
+
+impl ServeHandler for CatalogHandler {
+    fn handle(&self, request: Request, meta: &RequestMeta) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => Response::Ok,
+            Request::Stats(format) => Response::Stats {
+                text: match format {
+                    StatsFormat::Prometheus => self.registry.snapshot().to_prometheus(),
+                    StatsFormat::Json => self.registry.snapshot().to_json(),
+                },
+            },
+            Request::SlowLog => Response::Stats {
+                text: self.slow.to_json(),
+            },
+            Request::TableQuery {
+                domain,
+                deadline_ms,
+                count_only,
+                text,
+            } => match self.evaluate(domain, deadline_ms, &text, meta) {
+                Err(resp) => resp,
+                Ok(result) if count_only => {
+                    // COUNT pushdown: a popcount over the folded bitmap;
+                    // row ids are never materialised or shipped.
+                    self.metrics.counts.inc();
+                    Response::Count {
+                        count: result.count(),
+                        scans: result.scans as u64,
+                        decompressions: result.decompressions as u64,
+                    }
+                }
+                Ok(result) => {
+                    // Bound the reply frame before building it (same
+                    // discipline as the index handler's batch path).
+                    let reply_bytes = 32 + 8 * result.bitmap.count_ones() as u64;
+                    if reply_bytes > u64::from(crate::protocol::MAX_PAYLOAD) {
+                        return Response::Error {
+                            code: ErrorCode::Internal,
+                            message: format!(
+                                "reply of {reply_bytes} bytes exceeds the frame cap; narrow the \
+                                 query or use a count"
+                            ),
+                        };
+                    }
+                    let rows: Vec<u64> = result
+                        .bitmap
+                        .to_positions()
+                        .iter()
+                        .map(|&p| p as u64)
+                        .collect();
+                    self.metrics.rows_returned.add(rows.len() as u64);
+                    Response::Rows(RowsReply {
+                        scans: result.scans as u64,
+                        decompressions: result.decompressions as u64,
+                        rows,
+                    })
+                }
+            },
+            Request::Reload { path } => match self.reload(&path) {
+                Ok(()) => Response::Ok,
+                Err(message) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message,
+                },
+            },
+            Request::Query { .. } | Request::Batch { .. } => Response::Error {
+                code: ErrorCode::BadQuery,
+                message: "this server serves a catalog; single-index predicates have no \
+                          attribute name — send a table query instead"
+                    .into(),
+            },
+            Request::Ingest { .. } => Response::Error {
+                code: ErrorCode::BadQuery,
+                message: "catalog serving does not accept ingest".into(),
+            },
+        }
+    }
+
+    fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 }
 
@@ -1142,6 +1467,93 @@ mod tests {
         // A fresh index server stamps epoch 1 and the default shard 0.
         assert_eq!(reply.epoch, 1);
         assert_eq!(reply.shard_id, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn catalog_serving_answers_table_queries() {
+        use bix_core::{Catalog, CostModel, Planner};
+
+        let rows = 4_000usize;
+        let region: Vec<u64> = (0..rows as u64).map(|i| i % 4).collect();
+        let store: Vec<u64> = (0..rows as u64).map(|i| (i * 7) % 20).collect();
+        let discount: Vec<u64> = (0..rows as u64).map(|i| (i * 3) % 10).collect();
+        let columns: [(&str, &[u64], IndexConfig); 3] = [
+            (
+                "region",
+                &region,
+                IndexConfig::one_component(4, EncodingScheme::Equality),
+            ),
+            (
+                "store",
+                &store,
+                IndexConfig::one_component(20, EncodingScheme::Interval),
+            ),
+            (
+                "discount",
+                &discount,
+                IndexConfig::one_component(10, EncodingScheme::EqualityIntervalStar),
+            ),
+        ];
+        let catalog = Catalog::build(rows, &columns);
+
+        // Local oracle, computed before the table moves into the server.
+        let text = "region in {0, 1} and (discount >= 7 or not store = 12)";
+        let mut oracle_table = Catalog::build(rows, &columns).into_table();
+        let plan = Planner::plan_text(&oracle_table.schema(), text).unwrap();
+        let oracle = oracle_table.execute_plan(&plan, &CostModel::default());
+        let want: Vec<u64> = oracle
+            .bitmap
+            .to_positions()
+            .iter()
+            .map(|&p| p as u64)
+            .collect();
+        assert!(
+            !want.is_empty() && want.len() < rows,
+            "query must discriminate"
+        );
+
+        let server =
+            Server::start_catalog(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = crate::Client::connect(server.addr()).unwrap();
+
+        let reply = client.table_query(text, EvalDomain::Auto, 0).unwrap();
+        assert_eq!(reply.rows, want, "served rows must match the local oracle");
+
+        // COUNT pushdown returns the same cardinality without rows.
+        let count = client.table_count(text, EvalDomain::Auto, 0).unwrap();
+        assert_eq!(count.count, want.len() as u64);
+
+        // A fresh catalog server stamps epoch 1.
+        assert_eq!(client.last_epoch(), 1);
+
+        // Single-index predicates are refused typed: a catalog has no
+        // anonymous "the" index to aim them at.
+        let err = client.query("=3", EvalDomain::Auto, 0).unwrap_err();
+        assert!(err.is_code(ErrorCode::BadQuery), "{err:?}");
+
+        // Malformed expressions come back BadQuery, not Internal.
+        let err = client
+            .table_query("region in {", EvalDomain::Auto, 0)
+            .unwrap_err();
+        assert!(err.is_code(ErrorCode::BadQuery), "{err:?}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn index_server_refuses_table_queries_typed() {
+        let column: Vec<u64> = (0..500u64).map(|i| i % 8).collect();
+        let index = BitmapIndex::build(
+            &column,
+            &IndexConfig::one_component(8, EncodingScheme::Equality),
+        );
+        let server = Server::start(index, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = crate::Client::connect(server.addr()).unwrap();
+        let err = client
+            .table_query("region = 1", EvalDomain::Auto, 0)
+            .unwrap_err();
+        assert!(err.is_code(ErrorCode::BadQuery), "{err:?}");
         server.shutdown();
     }
 

@@ -53,6 +53,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
         prop::sample::select(vec![StatsFormat::Prometheus, StatsFormat::Json])
             .prop_map(Request::Stats),
         arb_text(60).prop_map(|path| Request::Reload { path }),
+        (arb_domain(), 0u32..10_000, any::<bool>(), arb_text(80)).prop_map(
+            |(domain, deadline_ms, count_only, text)| Request::TableQuery {
+                domain,
+                deadline_ms,
+                count_only,
+                text,
+            }
+        ),
     ]
 }
 
@@ -76,6 +84,13 @@ fn arb_response() -> impl Strategy<Value = Response> {
         arb_rows().prop_map(Response::Rows),
         prop::collection::vec(arb_rows(), 0..4).prop_map(Response::BatchRows),
         arb_text(60).prop_map(|text| Response::Stats { text }),
+        (any::<u64>(), 0u64..100, 0u64..100).prop_map(|(count, scans, decompressions)| {
+            Response::Count {
+                count,
+                scans,
+                decompressions,
+            }
+        }),
     ]
 }
 

@@ -95,6 +95,11 @@ impl ReadContext {
 /// that never run under an installed plan.
 pub struct DiskSim {
     config: DiskConfig,
+    /// Process-unique disk identity, so page caches shared between
+    /// several disks (e.g. one [`crate::ShardedBufferPool`] serving all
+    /// of a catalog's attribute indexes) never key two disks' pages the
+    /// same — every disk numbers its files from zero.
+    sim_id: u32,
     files: Vec<Vec<u8>>,
     stats: Arc<Mutex<IoStats>>,
     /// Head position: last (file, page) read, for seek accounting.
@@ -119,8 +124,10 @@ enum WriteGate {
 impl DiskSim {
     /// Creates an empty disk.
     pub fn new(config: DiskConfig) -> Self {
+        static NEXT_SIM_ID: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
         DiskSim {
             config,
+            sim_id: NEXT_SIM_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             files: Vec::new(),
             stats: Arc::new(Mutex::new(IoStats::new())),
             head: None,
@@ -128,6 +135,12 @@ impl DiskSim {
             writes_issued: 0,
             fault_plan: None,
         }
+    }
+
+    /// This disk's process-unique identity (shared page caches key on
+    /// it; see [`crate::ShardedBufferPool`]).
+    pub fn sim_id(&self) -> u32 {
+        self.sim_id
     }
 
     /// The disk geometry.

@@ -4,8 +4,11 @@ use crate::{DiskSim, FileId, ReadContext};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// Key of one cached page.
-type PageKey = (FileId, usize);
+/// Key of one cached page: the owning disk's process-unique id, the
+/// file, and the page number. The disk id matters because one pool may
+/// serve several disks (a catalog's attribute indexes each own a disk,
+/// and every disk numbers its files from zero).
+type PageKey = (u32, FileId, usize);
 
 /// One independently-locked LRU stripe.
 struct Shard {
@@ -23,7 +26,7 @@ impl Shard {
             entry.1 = self.clock;
             return entry.0.clone();
         }
-        let contents = disk.read_page_shared(key.0, key.1, ctx).to_vec();
+        let contents = disk.read_page_shared(key.1, key.2, ctx).to_vec();
         if self.pages.len() >= self.capacity_pages {
             let victim = self
                 .pages
@@ -106,7 +109,7 @@ impl ShardedBufferPool {
         page_no: usize,
         ctx: &mut ReadContext,
     ) -> Vec<u8> {
-        let key = (file, page_no);
+        let key = (disk.sim_id(), file, page_no);
         let shard = &self.shards[self.shard_of(key)];
         shard.lock().expect("shard lock").get(disk, key, ctx)
     }
@@ -119,8 +122,8 @@ impl ShardedBufferPool {
     }
 
     /// True if the page is resident (test/diagnostic helper).
-    pub fn contains(&self, file: FileId, page_no: usize) -> bool {
-        let key = (file, page_no);
+    pub fn contains(&self, disk: &DiskSim, file: FileId, page_no: usize) -> bool {
+        let key = (disk.sim_id(), file, page_no);
         self.shards[self.shard_of(key)]
             .lock()
             .expect("shard lock")
@@ -129,11 +132,11 @@ impl ShardedBufferPool {
     }
 
     fn shard_of(&self, key: PageKey) -> usize {
-        // Fibonacci hashing over (file, page): cheap, and spreads the
-        // sequential page numbers of one file across stripes.
-        let h = (key.0 .0 as u64)
+        // Fibonacci hashing over (disk, file, page): cheap, and spreads
+        // the sequential page numbers of one file across stripes.
+        let h = ((key.0 as u64) << 32 | key.1 .0 as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((key.1 as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+            .wrapping_add((key.2 as u64).wrapping_mul(0xA24B_AED4_963E_E407));
         (h >> 32) as usize % self.shards.len()
     }
 }
@@ -224,7 +227,7 @@ mod tests {
         let pool = ShardedBufferPool::new(4, 2);
         let mut ctx = ReadContext::new();
         pool.get(&disk, id, 0, &mut ctx);
-        assert!(pool.contains(id, 0));
+        assert!(pool.contains(&disk, id, 0));
         pool.flush();
         assert_eq!(pool.resident(), 0);
     }
@@ -233,5 +236,25 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = ShardedBufferPool::new(4, 0);
+    }
+
+    #[test]
+    fn two_disks_sharing_one_pool_never_collide() {
+        // Both disks name their first file FileId(0) with different
+        // contents; the shared pool must keep them apart.
+        let page_size = 8;
+        let mut disk_a = DiskSim::new(DiskConfig { page_size });
+        let mut disk_b = DiskSim::new(DiskConfig { page_size });
+        let id_a = disk_a.create_file(vec![0xAA; page_size]);
+        let id_b = disk_b.create_file(vec![0xBB; page_size]);
+        assert_eq!(id_a, id_b, "both disks number files from zero");
+
+        let pool = ShardedBufferPool::new(8, 2);
+        let mut ctx = ReadContext::new();
+        assert_eq!(pool.get(&disk_a, id_a, 0, &mut ctx), vec![0xAA; page_size]);
+        assert_eq!(pool.get(&disk_b, id_b, 0, &mut ctx), vec![0xBB; page_size]);
+        assert_eq!(pool.get(&disk_a, id_a, 0, &mut ctx), vec![0xAA; page_size]);
+        assert!(pool.contains(&disk_a, id_a, 0));
+        assert!(pool.contains(&disk_b, id_b, 0));
     }
 }

@@ -10,19 +10,34 @@
 //! bix query   index.bix --batch queries.txt [--parallel N] [--pool-pages P]
 //!             [--eval-domain auto|compressed|raw]
 //!             [--trace] [--trace-out spans.jsonl] [--metrics-out file.json]
+//! bix buildcat --input table.csv --out star.bixcat
+//!             [--encoding I] [--codec raw|bbc|wah|ewah|roaring]
+//!             [--components N]    # header row names the attributes; one
+//!                                 # index per column, cardinality = max+1
+//! bix query   --catalog star.bixcat "<expr>" [--count] [--parallel N]
+//!             [--eval-domain auto|compressed|raw] [--metrics-out file.json]
+//!                                 # boolean multi-attribute selection, e.g.
+//!                                 # "region in {0,1} and (discount >= 7 or
+//!                                 #  not store = 12)"; --count skips row
+//!                                 # materialisation (popcount pushdown)
 //! bix explain index.bix <predicate> [--eval-domain auto|compressed|raw]
 //!                                     # expression, per-constituent scans,
 //!                                     # predicted cost-model seconds, and a
 //!                                     # traced fold: per-node chosen domain
 //!                                     # with predicted-vs-actual time
+//! bix explain --catalog star.bixcat "<expr>"
+//!                                     # parsed expression, rewrite action
+//!                                     # log, DNF clauses, and per-literal
+//!                                     # predicted cost through its index
 //! bix stats   index.bix [--json]      # metrics snapshot: Prometheus text
 //!                                     # by default, JSON with --json
 //! bix info    index.bix
 //! bix advise  --cardinality C [--equality X --one-sided Y --two-sided Z]
 //!             [--budget BITMAPS]
-//! bix verify  index.bix               # checksum every bitmap; exit 2 if corrupt
+//! bix verify  index.bix|star.bixcat   # checksum every bitmap; exit 2 if corrupt
 //! bix repair  index.bix [--out file] [--metrics-out file.json]
-//! bix serve   index.bix [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//! bix repair  star.bixcat             # rebuild every repairable attribute
+//! bix serve   index.bix|star.bixcat [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!             [--deadline-ms MS] [--request-threads N] [--pool-pages P]
 //!             [--shard-id N]      # stamp replies as shard N (row-range member)
 //!             [--slow-ms MS]      # slow-query capture threshold (0 = all)
@@ -31,10 +46,13 @@
 //!             [--health-interval-ms MS] [--slow-ms MS]
 //!                                 # scatter-gather front-end over row-range
 //!                                 # shards (shard order = row order)
-//! bix client  ping|query|batch|stats|slowlog|reload|shutdown|help
+//! bix client  ping|query|table|batch|stats|slowlog|reload|shutdown|help
 //!             --addr HOST:PORT | --via-router HOST:PORT ...
 //!             # query  <predicate> [--eval-domain ...] [--deadline-ms MS]
 //!             #        [--trace] [--trace-out spans.jsonl]  # distributed trace
+//!             # table  "<expr>" [--count] [--eval-domain ...] [--deadline-ms MS]
+//!             #        # multi-attribute query against a catalog server or a
+//!             #        # router over catalog shards; --count sums shard popcounts
 //!             # batch  <file>      [--eval-domain ...] [--deadline-ms MS]
 //!             # stats  [--json]
 //!             # slowlog            # slow-query log (router: whole fleet)
@@ -61,9 +79,9 @@
 use bix_telemetry::{json, TraceContext};
 use chan_bitmap_index::analysis::{advise, Workload};
 use chan_bitmap_index::core::{
-    BitmapIndex, BitmapRef, BufferPool, CodecKind, CostModel, EncodingScheme, EvalDomain,
-    EvalResult, EvalStrategy, IndexConfig, IoMetrics, MetricsRegistry, ParallelExecutor, Query,
-    ShardedBufferPool, Tracer, EXISTENCE_REF,
+    BitmapIndex, BitmapRef, BufferPool, Catalog, CodecKind, CostModel, EncodingScheme, EvalDomain,
+    EvalResult, EvalStrategy, IndexConfig, IoMetrics, MetricsRegistry, ParallelExecutor, Planner,
+    Query, RewriteAction, ShardedBufferPool, TableQuery, Tracer, EXISTENCE_REF,
 };
 use chan_bitmap_index::server::{
     Client, ClientError, ErrorCode as WireErrorCode, RetryPolicy, Router, RouterConfig, Server,
@@ -77,6 +95,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
+        Some("buildcat") => cmd_buildcat(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
@@ -109,7 +128,7 @@ fn main() -> ExitCode {
             }
         }
         _ => Err(
-            "usage: bix <build|query|info|explain|stats|advise|verify|repair|serve|route|client|ingest|top> ..."
+            "usage: bix <build|buildcat|query|info|explain|stats|advise|verify|repair|serve|route|client|ingest|top> ..."
                 .to_string(),
         ),
     };
@@ -322,8 +341,241 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags that consume a value argument, shared by the catalog-aware
+/// subcommands so positional arguments (the expression) can be found
+/// wherever they sit relative to `--flag value` pairs.
+const VALUE_FLAGS: &[&str] = &[
+    "--catalog",
+    "--eval-domain",
+    "--parallel",
+    "--pool-pages",
+    "--metrics-out",
+    "--trace-out",
+    "--input",
+    "--out",
+    "--encoding",
+    "--codec",
+    "--components",
+];
+
+/// The first positional (non-flag) argument, skipping `--flag value`
+/// pairs for every flag in [`VALUE_FLAGS`].
+fn first_positional(args: &[String]) -> Option<&String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += if VALUE_FLAGS.contains(&args[i].as_str()) {
+                2
+            } else {
+                1
+            };
+            continue;
+        }
+        return Some(&args[i]);
+    }
+    None
+}
+
+/// Reads a whole table from a headed CSV: the first non-empty line
+/// names the attributes, every following line is one row of u64 values.
+fn read_table(path: &str) -> Result<(Vec<String>, Vec<Vec<u64>>), String> {
+    let contents = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut lines = contents
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or_else(|| format!("{path} is empty"))?;
+    let names: Vec<String> = header
+        .split(',')
+        .map(|f| f.trim().to_string())
+        .filter(|f| !f.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err(format!("{path}: header row names no attributes"));
+    }
+    let mut columns: Vec<Vec<u64>> = vec![Vec::new(); names.len()];
+    for (line_no, line) in lines {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != names.len() {
+            return Err(format!(
+                "{path}:{}: {} field(s), header has {}",
+                line_no + 1,
+                fields.len(),
+                names.len()
+            ));
+        }
+        for (column, field) in columns.iter_mut().zip(&fields) {
+            let v: u64 = field
+                .parse()
+                .map_err(|_| format!("{path}:{}: bad value {field:?}", line_no + 1))?;
+            column.push(v);
+        }
+    }
+    if columns[0].is_empty() {
+        return Err(format!("{path} contains no rows"));
+    }
+    Ok((names, columns))
+}
+
+fn cmd_buildcat(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: bix buildcat --input table.csv --out star.bixcat \
+         [--encoding I] [--codec raw|bbc|wah|ewah|roaring] [--components N]";
+    let input = flag_value(args, "--input").ok_or(USAGE)?;
+    let out = flag_value(args, "--out").ok_or(USAGE)?;
+    let encoding = parse_encoding(&flag_value(args, "--encoding").unwrap_or_else(|| "I".into()))?;
+    let codec = parse_codec(&flag_value(args, "--codec").unwrap_or_else(|| "raw".into()))?;
+    let components: usize = flag_value(args, "--components")
+        .map(|v| v.parse().map_err(|_| "--components must be a number"))
+        .transpose()?
+        .unwrap_or(1);
+
+    let (names, columns) = read_table(&input)?;
+    let rows = columns[0].len();
+    let specs: Vec<(&str, &[u64], IndexConfig)> = names
+        .iter()
+        .zip(&columns)
+        .map(|(name, column)| {
+            let cardinality = column.iter().max().copied().unwrap_or(0) + 1;
+            let config =
+                IndexConfig::n_components(cardinality, encoding, components).with_codec(codec);
+            (name.as_str(), column.as_slice(), config)
+        })
+        .collect();
+    let mut catalog = Catalog::build(rows, &specs);
+    catalog
+        .save(&out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "built catalog over {rows} rows: {} attribute(s) ({}), {} bytes of indexes -> {out}",
+        names.len(),
+        names.join(", "),
+        catalog.table().space_bytes(),
+    );
+    Ok(())
+}
+
+/// `bix query --catalog`: plans a boolean multi-attribute expression
+/// and executes it across the catalog's indexes through one shared
+/// buffer pool. `--count` skips row materialisation entirely — the
+/// answer is the folded bitmap's popcount.
+fn cmd_query_catalog(path: &str, args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: bix query --catalog <table.bixcat> \"<expr>\" [--count] [--parallel N] \
+         [--pool-pages P] [--eval-domain auto|compressed|raw] [--metrics-out file.json]";
+    let text = first_positional(args).ok_or(USAGE)?;
+    let domain = parse_eval_domain(args)?;
+    let threads = numeric_flag(args, "--parallel", 1)?;
+    let pool_pages = numeric_flag(args, "--pool-pages", 8192)?;
+
+    let catalog = Catalog::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let table = catalog.into_table();
+    let schema = table.schema();
+    let plan = Planner::plan_text(&schema, text).map_err(|e| e.to_string())?;
+
+    let pool = ShardedBufferPool::new(pool_pages, threads.max(2));
+    let executor = ParallelExecutor::new(threads).with_domain(domain);
+    let result = executor.execute_plan(&table, &plan, &pool, &CostModel::default());
+
+    if has_flag(args, "--count") {
+        println!("{}", result.count());
+        eprintln!(
+            "{} rows matched ({} bitmap scans, {} decompressions, {:.4}s simulated I/O; \
+             count pushdown, rows never materialised)",
+            result.count(),
+            result.scans,
+            result.decompressions,
+            result.seconds,
+        );
+    } else {
+        for row in result.bitmap.ones() {
+            println!("{row}");
+        }
+        eprintln!(
+            "{} rows matched ({} bitmap scans, {} decompressions, {:.4}s simulated I/O)",
+            result.bitmap.count_ones(),
+            result.scans,
+            result.decompressions,
+            result.seconds,
+        );
+    }
+    if let Some(metrics_out) = flag_value(args, "--metrics-out") {
+        let registry = MetricsRegistry::new();
+        registry
+            .gauge("bix_index_rows", "Indexed records")
+            .set(table.rows() as f64);
+        registry
+            .gauge("bix_catalog_attrs", "Indexed attributes")
+            .set(schema.len() as f64);
+        registry
+            .counter("bix_queries_total", "Queries executed")
+            .inc();
+        IoMetrics::register(&registry).record(&result.io);
+        write_metrics(&metrics_out, &registry)?;
+    }
+    Ok(())
+}
+
+/// `bix explain --catalog`: the parsed expression, the rewrite action
+/// log, the DNF clauses, and each distinct literal's predicted cost
+/// through its attribute's index.
+fn cmd_explain_catalog(path: &str, args: &[String]) -> Result<(), String> {
+    let text =
+        first_positional(args).ok_or("usage: bix explain --catalog <table.bixcat> \"<expr>\"")?;
+    let catalog = Catalog::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let table = catalog.into_table();
+    let schema = table.schema();
+
+    let query = TableQuery::parse(text, &schema).map_err(|e| e.to_string())?;
+    println!("expression: {query}");
+    let plan = Planner::new(&schema)
+        .plan(&query)
+        .map_err(|e| e.to_string())?;
+    if plan.actions.is_empty() {
+        println!("rewrite: (already normalised)");
+    } else {
+        let steps: Vec<String> = plan.actions.iter().map(RewriteAction::to_string).collect();
+        println!("rewrite: {}", steps.join(", "));
+    }
+    println!("plan ({} DNF clause(s)):", plan.clauses.len());
+    println!("{}", plan.display(&schema));
+
+    let cost = CostModel::default();
+    let mut scans = 0usize;
+    let mut bytes = 0usize;
+    let mut seconds = 0.0f64;
+    for lit in plan.distinct_literals() {
+        let name = &schema.attr(lit.attr).name;
+        let index = table
+            .index_at(lit.attr)
+            .ok_or_else(|| format!("catalog has no index for attribute {name}"))?;
+        let expr = index.rewrite(&lit.query);
+        let p = index.predict_cost(&expr, &cost);
+        let complement = if lit.complement {
+            " (complemented)"
+        } else {
+            ""
+        };
+        println!(
+            "  literal {name}{complement}: {} scan(s), {} bytes, predicted {:.4}s",
+            p.scans, p.bytes, p.seconds,
+        );
+        scans += p.scans;
+        bytes += p.bytes;
+        seconds += p.seconds;
+    }
+    println!(
+        "-- {scans} bitmap scan(s), {bytes} stored bytes, predicted {seconds:.4}s I/O \
+         across {} distinct literal(s)",
+        plan.distinct_literals().len(),
+    );
+    Ok(())
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    const USAGE: &str = "usage: bix query <index.bix> <predicate> [--eval-domain auto|compressed|raw] | bix query <index.bix> --batch <file> [--parallel N] [--eval-domain auto|compressed|raw]";
+    const USAGE: &str = "usage: bix query <index.bix> <predicate> [--eval-domain auto|compressed|raw] | bix query <index.bix> --batch <file> [--parallel N] [--eval-domain auto|compressed|raw] | bix query --catalog <table.bixcat> \"<expr>\" [--count] [--parallel N]";
+    if let Some(catalog_path) = flag_value(args, "--catalog") {
+        return cmd_query_catalog(&catalog_path, args);
+    }
     let path = args.first().ok_or(USAGE)?;
     if let Some(batch_file) = flag_value(args, "--batch") {
         return cmd_query_batch(path, &batch_file, args);
@@ -468,9 +720,14 @@ fn cmd_query_batch(path: &str, batch_file: &str, args: &[String]) -> Result<(), 
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {
+    if let Some(catalog_path) = flag_value(args, "--catalog") {
+        return cmd_explain_catalog(&catalog_path, args);
+    }
     let [path, predicate, ..] = args else {
         return Err(
-            "usage: bix explain <index.bix> <predicate> [--eval-domain auto|compressed|raw]".into(),
+            "usage: bix explain <index.bix> <predicate> [--eval-domain auto|compressed|raw] \
+             | bix explain --catalog <table.bixcat> \"<expr>\""
+                .into(),
         );
     };
     let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
@@ -665,10 +922,74 @@ fn load_tolerant_path(path: &str) -> Result<BitmapIndex, String> {
         .map_err(|e| format!("cannot load {path}: {e}"))
 }
 
+/// `bix verify` for a `.bixcat` catalog: every attribute's index is
+/// checksummed; any corrupt bitmap anywhere fails the whole catalog.
+fn cmd_verify_catalog(path: &str) -> Result<(), String> {
+    let mut catalog =
+        Catalog::load_tolerant(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let reports = catalog.verify();
+    let mut corrupt = 0usize;
+    for (attr, report) in &reports {
+        for (r, name) in &report.corrupt {
+            corrupt += 1;
+            eprintln!("corrupt: {attr}: {} [{name}]", describe_ref(*r));
+        }
+    }
+    if corrupt == 0 {
+        println!(
+            "{path}: ok ({} attribute(s), {} rows, {} bytes)",
+            reports.len(),
+            catalog.table().rows(),
+            catalog.table().space_bytes(),
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: {corrupt} bitmap(s) failed checksum verification across {} attribute(s)",
+            reports.len(),
+        ))
+    }
+}
+
+/// `bix repair` for a `.bixcat` catalog. Refuses to save when any
+/// attribute still holds an unrepairable bitmap, for the same reason
+/// the single-index repair does.
+fn cmd_repair_catalog(path: &str, args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").unwrap_or_else(|| path.to_string());
+    let mut catalog =
+        Catalog::load_tolerant(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let reports = catalog.repair();
+    let mut rebuilt = 0usize;
+    let mut unrepairable = 0usize;
+    for (attr, report) in &reports {
+        for r in &report.repaired {
+            rebuilt += 1;
+            eprintln!("repaired: {attr}: {}", describe_ref(*r));
+        }
+        for r in &report.unrepairable {
+            unrepairable += 1;
+            eprintln!("unrepairable: {attr}: {}", describe_ref(*r));
+        }
+    }
+    if unrepairable > 0 {
+        return Err(format!(
+            "{path}: {unrepairable} bitmap(s) could not be reconstructed; not saving",
+        ));
+    }
+    catalog
+        .save(&out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("{path}: {rebuilt} bitmap(s) rebuilt, catalog saved to {out}");
+    Ok(())
+}
+
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     let [path, ..] = args else {
-        return Err("usage: bix verify <index.bix>".into());
+        return Err("usage: bix verify <index.bix|table.bixcat>".into());
     };
+    if path.ends_with(".bixcat") {
+        return cmd_verify_catalog(path);
+    }
     let mut index = load_tolerant_path(path)?;
     let report = index.verify();
     for (r, name) in &report.corrupt {
@@ -695,7 +1016,10 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
-        .ok_or("usage: bix repair <index.bix> [--out <file>]")?;
+        .ok_or("usage: bix repair <index.bix|table.bixcat> [--out <file>]")?;
+    if path.ends_with(".bixcat") {
+        return cmd_repair_catalog(path, args);
+    }
     let out = flag_value(args, "--out").unwrap_or_else(|| path.clone());
     let mut index = load_tolerant_path(path)?;
     let report = index.repair();
@@ -761,7 +1085,8 @@ fn u64_flag(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    const USAGE: &str = "usage: bix serve <index.bix> [--addr HOST:PORT] [--workers N] \
+    const USAGE: &str =
+        "usage: bix serve <index.bix|table.bixcat> [--addr HOST:PORT] [--workers N] \
          [--queue-depth N] [--deadline-ms MS] [--request-threads N] [--pool-pages P] \
          [--shard-id N] [--slow-ms MS] [--delta-budget-mb MB] [--merge-threshold-mb MB]";
     let path = args.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
@@ -793,6 +1118,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         )? << 20,
         ..defaults
     };
+    // A `.bixcat` path serves the whole catalog: multi-attribute table
+    // queries instead of single-index predicates.
+    if path.ends_with(".bixcat") {
+        let mut catalog = Catalog::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+        if catalog.verify().iter().any(|(_, r)| !r.is_clean()) {
+            return Err(format!("{path}: catalog failed verification; not serving"));
+        }
+        let server = Server::start_catalog(catalog, addr.as_str(), config)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        println!("serving catalog {path} on {}", server.addr());
+        server.join();
+        eprintln!("server stopped");
+        return Ok(());
+    }
     let mut index = BitmapIndex::load(path).map_err(|e| format!("cannot load {path}: {e}"))?;
     // Never serve an index that fails verification; a reload request
     // applies the same gate.
@@ -1139,12 +1478,17 @@ fn cmd_ingest(args: &[String]) -> Result<(), CliFailure> {
     Ok(())
 }
 
-const CLIENT_USAGE: &str = "usage: bix client <ping|query|batch|stats|reload|shutdown|help> \
+const CLIENT_USAGE: &str =
+    "usage: bix client <ping|query|table|batch|stats|slowlog|reload|shutdown|help> \
      --addr HOST:PORT [...]\n\
 \n\
 subcommands:\n\
   ping                     round-trip liveness check\n\
   query <predicate>        evaluate one predicate, print matching rows\n\
+  table <expr> [--count]   evaluate a boolean multi-attribute expression\n\
+                           against a catalog server (or a router over\n\
+                           catalog shards); --count sums shard popcounts\n\
+                           without materialising rows, and never degrades\n\
   batch <file>             evaluate predicates from <file> (one per line, # comments)\n\
   stats [--json]           fetch live metrics (Prometheus text by default)\n\
   slowlog                  fetch the slow-query log (JSON; a router\n\
@@ -1250,6 +1594,38 @@ fn cmd_client(args: &[String]) -> Result<(), CliFailure> {
             }
             if !missing.is_empty() {
                 degraded = Some(missing);
+            }
+        }
+        "table" => {
+            let text = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or(CLIENT_USAGE)?;
+            let domain = parse_eval_domain(args)?;
+            if has_flag(args, "--count") {
+                let reply = client.table_count(text, domain, deadline_ms)?;
+                println!("{}", reply.count);
+                eprintln!(
+                    "{} rows matched ({} bitmap scans, {} decompressions; \
+                     count pushdown, rows never left the shards)",
+                    reply.count, reply.scans, reply.decompressions,
+                );
+            } else {
+                let outcome = client.table_query_outcome(text, domain, deadline_ms)?;
+                let missing = outcome.missing_shards().to_vec();
+                let reply = outcome.into_value();
+                for row in &reply.rows {
+                    println!("{row}");
+                }
+                eprintln!(
+                    "{} rows matched ({} bitmap scans, {} decompressions)",
+                    reply.rows.len(),
+                    reply.scans,
+                    reply.decompressions,
+                );
+                if !missing.is_empty() {
+                    degraded = Some(missing);
+                }
             }
         }
         "batch" => {
@@ -1686,6 +2062,56 @@ mod tests {
         cmd_info(&[idx.to_string_lossy().into_owned()]).expect("info");
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&idx).ok();
+    }
+
+    #[test]
+    fn catalog_build_query_explain_verify_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("bix_cli_cat_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("table.csv");
+        let cat = dir.join("star.bixcat");
+        let mut text = String::from("region,store,discount\n");
+        for i in 0..200u64 {
+            text.push_str(&format!("{},{},{}\n", i % 4, (i * 7) % 20, (i * 3) % 10));
+        }
+        std::fs::write(&csv, text).unwrap();
+
+        let csv_s = csv.to_string_lossy().into_owned();
+        let cat_s = cat.to_string_lossy().into_owned();
+        cmd_buildcat(&[
+            "--input".into(),
+            csv_s.clone(),
+            "--out".into(),
+            cat_s.clone(),
+            "--encoding".into(),
+            "EI*".into(),
+        ])
+        .expect("buildcat");
+        cmd_verify(std::slice::from_ref(&cat_s)).expect("fresh catalog verifies");
+
+        let expr = "region in {0, 1} and (discount >= 7 or not store = 12)";
+        cmd_query(&["--catalog".into(), cat_s.clone(), expr.into()]).expect("catalog query");
+        cmd_query(&[
+            "--catalog".into(),
+            cat_s.clone(),
+            expr.into(),
+            "--count".into(),
+            "--parallel".into(),
+            "2".into(),
+        ])
+        .expect("catalog count");
+        cmd_explain(&["--catalog".into(), cat_s.clone(), expr.into()]).expect("catalog explain");
+
+        // Malformed expressions and unknown attributes are typed errors.
+        assert!(cmd_query(&["--catalog".into(), cat_s.clone(), "region in {".into()]).is_err());
+        assert!(cmd_explain(&["--catalog".into(), cat_s.clone(), "nope = 1".into()]).is_err());
+
+        // Header-shape problems are reported with the line number.
+        std::fs::write(&csv, "a,b\n1\n").unwrap();
+        let err = cmd_buildcat(&["--input".into(), csv_s, "--out".into(), cat_s]).unwrap_err();
+        assert!(err.contains(":2:"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Builds a 200-row index file for the verify/repair tests and returns
